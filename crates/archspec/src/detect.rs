@@ -1,0 +1,78 @@
+//! Host microarchitecture detection from a CPU description.
+//!
+//! Real archspec reads `/proc/cpuinfo`; our simulated clusters describe their
+//! CPUs explicitly, so detection takes a [`CpuDescription`] and returns the
+//! most specific compatible microarchitecture. The selection rule mirrors
+//! archspec: among candidates whose feature set is a subset of the CPU's
+//! features and whose vendor matches, prefer the one with the most ancestors
+//! (most specific), breaking ties by generation and name.
+
+use crate::taxonomy::taxonomy;
+use crate::uarch::{Microarch, Vendor};
+use std::collections::BTreeSet;
+
+/// A CPU as reported by a (simulated) host.
+#[derive(Debug, Clone)]
+pub struct CpuDescription {
+    /// Vendor of the physical CPU.
+    pub vendor: Vendor,
+    /// Root family (`x86_64`, `ppc64le`, `aarch64`).
+    pub family: String,
+    /// Feature flags, as `/proc/cpuinfo` would list them.
+    pub features: BTreeSet<String>,
+}
+
+impl CpuDescription {
+    /// Builds a description from a feature list.
+    pub fn new(vendor: Vendor, family: &str, features: &[&str]) -> Self {
+        CpuDescription {
+            vendor,
+            family: family.to_string(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Convenience: the description of a known microarchitecture (all its
+    /// cumulative features).
+    pub fn of(uarch: &Microarch) -> Self {
+        CpuDescription {
+            vendor: uarch.vendor,
+            family: uarch.family().to_string(),
+            features: uarch.all_features.clone(),
+        }
+    }
+}
+
+/// Detects the best-matching microarchitecture for `cpu`.
+///
+/// Returns the family root if nothing more specific matches, or `None` for an
+/// unknown family.
+pub fn detect(cpu: &CpuDescription) -> Option<&'static Microarch> {
+    let tax = taxonomy();
+    tax.get(&cpu.family)?; // unknown family → None
+
+    let mut best: Option<&Microarch> = None;
+    for node in tax.iter() {
+        if node.family() != cpu.family {
+            continue;
+        }
+        if !node.vendor.accepts(cpu.vendor) && node.vendor != cpu.vendor {
+            continue;
+        }
+        if !node.all_features.is_subset(&cpu.features) {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(cur) => {
+                let a = (node.ancestors.len(), node.generation);
+                let b = (cur.ancestors.len(), cur.generation);
+                a > b || (a == b && node.name < cur.name)
+            }
+        };
+        if better {
+            best = Some(node);
+        }
+    }
+    best
+}

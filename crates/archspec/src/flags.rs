@@ -1,0 +1,92 @@
+//! Compiler optimization flag selection.
+
+use crate::uarch::Microarch;
+use std::fmt;
+
+/// Why flags could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlagError {
+    /// The compiler has no entry for this microarchitecture at any version.
+    UnsupportedCompiler {
+        uarch: String,
+        compiler: String,
+    },
+    /// The compiler is known but this version is older than the minimum.
+    VersionTooOld {
+        uarch: String,
+        compiler: String,
+        version: String,
+        minimum: String,
+    },
+}
+
+impl fmt::Display for FlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagError::UnsupportedCompiler { uarch, compiler } => {
+                write!(f, "compiler `{compiler}` cannot target microarchitecture `{uarch}`")
+            }
+            FlagError::VersionTooOld {
+                uarch,
+                compiler,
+                version,
+                minimum,
+            } => write!(
+                f,
+                "compiler `{compiler}@{version}` is too old to target `{uarch}` (needs >= {minimum})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+impl Microarch {
+    /// Returns the optimization flags for building on this microarchitecture
+    /// with `compiler@version`, falling back to the most specific *ancestor*
+    /// the compiler does support (archspec's behavior: an old gcc on zen3
+    /// still gets `-march=x86-64-v3`-era flags rather than an error, as long
+    /// as some ancestor works).
+    pub fn optimization_flags(&self, compiler: &str, version: &str) -> Result<String, FlagError> {
+        if let Some(support) = self.compiler_support(compiler, version) {
+            return Ok(support.flags.clone());
+        }
+        // Walk ancestors from most to least specific.
+        let tax = crate::taxonomy();
+        let mut ancestors: Vec<&Microarch> = self
+            .ancestors
+            .iter()
+            .filter_map(|name| tax.get(name))
+            .collect();
+        ancestors.sort_by_key(|a| std::cmp::Reverse(a.ancestors.len()));
+        for ancestor in ancestors {
+            if let Some(support) = ancestor.compiler_support(compiler, version) {
+                return Ok(support.flags.clone());
+            }
+        }
+        // Distinguish "unknown compiler" from "version too old".
+        let entries: Vec<_> = self
+            .compilers
+            .iter()
+            .filter(|c| c.compiler == compiler)
+            .collect();
+        if let Some(entry) = entries.first() {
+            Err(FlagError::VersionTooOld {
+                uarch: self.name.clone(),
+                compiler: compiler.to_string(),
+                version: version.to_string(),
+                minimum: entry
+                    .min_version
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("."),
+            })
+        } else {
+            Err(FlagError::UnsupportedCompiler {
+                uarch: self.name.clone(),
+                compiler: compiler.to_string(),
+            })
+        }
+    }
+}

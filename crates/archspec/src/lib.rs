@@ -1,0 +1,44 @@
+//! `benchpark-archspec` — microarchitecture taxonomy, detection, and
+//! compiler-flag selection.
+//!
+//! The paper (§3.1.3) uses [Archspec] to (1) tailor build recipes to the
+//! target architecture and (2) detect the system architecture. This crate
+//! reimplements that functionality:
+//!
+//! * a taxonomy of microarchitectures as a DAG rooted at generic families
+//!   (`x86_64`, `ppc64le`, `aarch64`), each node carrying vendor, cumulative
+//!   feature set, and per-compiler optimization flags;
+//! * a compatibility partial order (`zen3` can run binaries built for
+//!   `x86_64_v3`, not vice versa);
+//! * host detection from a CPU description (vendor + feature flags), picking
+//!   the most specific compatible microarchitecture — this is what the
+//!   simulated clusters report as their `target`;
+//! * compiler flag selection with minimum-version checks (`gcc@12` knows
+//!   `-march=znver3`; `gcc@4.8` does not).
+//!
+//! [Archspec]: https://github.com/archspec/archspec
+//!
+//! # Example
+//!
+//! ```
+//! use benchpark_archspec::taxonomy;
+//!
+//! let skx = taxonomy().get("skylake_avx512").unwrap();
+//! assert!(skx.has_feature("avx512f"));
+//! assert!(skx.is_descendant_of("x86_64_v3"));
+//! let flags = skx.optimization_flags("gcc", "12.1.1").unwrap();
+//! assert!(flags.contains("-march=skylake-avx512"));
+//! ```
+
+mod detect;
+mod flags;
+mod taxonomy;
+mod uarch;
+
+pub use detect::{detect, CpuDescription};
+pub use flags::FlagError;
+pub use taxonomy::{taxonomy, Taxonomy};
+pub use uarch::{Microarch, Vendor};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,230 @@
+//! The built-in microarchitecture registry.
+//!
+//! Mirrors the structure of archspec's `microarchitectures.json`: each entry
+//! names its parents, vendor, the features it introduces, and per-compiler
+//! flag recipes. The set below covers the systems the paper demonstrates on
+//! (§4: Intel Xeon `cts1`, IBM Power9 `ats2`, AMD Trento `ats4`) plus the
+//! cloud/Arm targets discussed in §7.2.
+
+use crate::uarch::{CompilerSupport, Microarch, Vendor};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// An immutable registry of microarchitectures.
+#[derive(Debug)]
+pub struct Taxonomy {
+    nodes: BTreeMap<String, Microarch>,
+}
+
+impl Taxonomy {
+    /// Looks up a microarchitecture by name.
+    pub fn get(&self, name: &str) -> Option<&Microarch> {
+        self.nodes.get(name)
+    }
+
+    /// Iterates over all microarchitectures in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Microarch> {
+        self.nodes.values()
+    }
+
+    /// All names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.nodes.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered microarchitectures.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never true: the builtin taxonomy is non-empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Returns the global built-in taxonomy.
+pub fn taxonomy() -> &'static Taxonomy {
+    static TAXONOMY: OnceLock<Taxonomy> = OnceLock::new();
+    TAXONOMY.get_or_init(build)
+}
+
+struct Entry {
+    name: &'static str,
+    parents: &'static [&'static str],
+    vendor: Vendor,
+    features: &'static [&'static str],
+    generation: u32,
+    /// (compiler, min_version, flags)
+    compilers: &'static [(&'static str, &'static str, &'static str)],
+}
+
+#[rustfmt::skip]
+const ENTRIES: &[Entry] = &[
+    // ----- x86_64 generic levels -------------------------------------------
+    Entry { name: "x86_64", parents: &[], vendor: Vendor::Generic, generation: 0,
+        features: &["mmx", "sse", "sse2"],
+        compilers: &[("gcc", "4.2", "-march=x86-64 -mtune=generic"),
+                     ("clang", "3.9", "-march=x86-64 -mtune=generic"),
+                     ("intel", "16.0", "-march=pentium4 -mtune=generic")] },
+    Entry { name: "x86_64_v2", parents: &["x86_64"], vendor: Vendor::Generic, generation: 0,
+        features: &["cx16", "lahf_lm", "popcnt", "sse3", "sse4_1", "sse4_2", "ssse3"],
+        compilers: &[("gcc", "11.1", "-march=x86-64-v2 -mtune=generic"),
+                     ("clang", "12.0", "-march=x86-64-v2 -mtune=generic")] },
+    Entry { name: "x86_64_v3", parents: &["x86_64_v2"], vendor: Vendor::Generic, generation: 0,
+        features: &["avx", "avx2", "bmi1", "bmi2", "f16c", "fma", "abm", "movbe", "xsave"],
+        compilers: &[("gcc", "11.1", "-march=x86-64-v3 -mtune=generic"),
+                     ("clang", "12.0", "-march=x86-64-v3 -mtune=generic")] },
+    Entry { name: "x86_64_v4", parents: &["x86_64_v3"], vendor: Vendor::Generic, generation: 0,
+        features: &["avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl"],
+        compilers: &[("gcc", "11.1", "-march=x86-64-v4 -mtune=generic"),
+                     ("clang", "12.0", "-march=x86-64-v4 -mtune=generic")] },
+    // ----- Intel -----------------------------------------------------------
+    Entry { name: "nehalem", parents: &["x86_64_v2"], vendor: Vendor::Intel, generation: 1,
+        features: &[],
+        compilers: &[("gcc", "4.9", "-march=nehalem -mtune=nehalem"),
+                     ("clang", "3.9", "-march=nehalem -mtune=nehalem"),
+                     ("intel", "16.0", "-march=corei7 -mtune=corei7")] },
+    Entry { name: "sandybridge", parents: &["nehalem"], vendor: Vendor::Intel, generation: 2,
+        features: &["avx"],
+        compilers: &[("gcc", "4.9", "-march=sandybridge -mtune=sandybridge"),
+                     ("clang", "3.9", "-march=sandybridge -mtune=sandybridge"),
+                     ("intel", "16.0", "-march=sandybridge -mtune=sandybridge")] },
+    Entry { name: "haswell", parents: &["sandybridge", "x86_64_v3"], vendor: Vendor::Intel, generation: 3,
+        features: &["avx2", "bmi1", "bmi2", "f16c", "fma", "movbe"],
+        compilers: &[("gcc", "4.9", "-march=haswell -mtune=haswell"),
+                     ("clang", "3.9", "-march=haswell -mtune=haswell"),
+                     ("intel", "16.0", "-march=core-avx2 -mtune=core-avx2")] },
+    Entry { name: "broadwell", parents: &["haswell"], vendor: Vendor::Intel, generation: 4,
+        features: &["adx", "rdseed"],
+        compilers: &[("gcc", "4.9", "-march=broadwell -mtune=broadwell"),
+                     ("clang", "3.9", "-march=broadwell -mtune=broadwell"),
+                     ("intel", "16.0", "-march=core-avx2 -mtune=core-avx2")] },
+    Entry { name: "skylake", parents: &["broadwell"], vendor: Vendor::Intel, generation: 5,
+        features: &["clflushopt", "xsavec"],
+        compilers: &[("gcc", "6.0", "-march=skylake -mtune=skylake"),
+                     ("clang", "3.9", "-march=skylake -mtune=skylake"),
+                     ("intel", "16.0", "-march=skylake -mtune=skylake")] },
+    Entry { name: "skylake_avx512", parents: &["skylake", "x86_64_v4"], vendor: Vendor::Intel, generation: 6,
+        features: &["avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl", "clwb"],
+        compilers: &[("gcc", "6.0", "-march=skylake-avx512 -mtune=skylake-avx512"),
+                     ("clang", "3.9", "-march=skylake-avx512 -mtune=skylake-avx512"),
+                     ("intel", "16.0", "-march=skylake-avx512 -mtune=skylake-avx512")] },
+    Entry { name: "cascadelake", parents: &["skylake_avx512"], vendor: Vendor::Intel, generation: 7,
+        features: &["avx512_vnni"],
+        compilers: &[("gcc", "9.0", "-march=cascadelake -mtune=cascadelake"),
+                     ("clang", "8.0", "-march=cascadelake -mtune=cascadelake"),
+                     ("intel", "19.0.1", "-march=cascadelake -mtune=cascadelake")] },
+    Entry { name: "icelake", parents: &["cascadelake"], vendor: Vendor::Intel, generation: 8,
+        features: &["avx512_vbmi2", "avx512_bitalg", "gfni", "vaes"],
+        compilers: &[("gcc", "8.0", "-march=icelake-server -mtune=icelake-server"),
+                     ("clang", "8.0", "-march=icelake-server -mtune=icelake-server")] },
+    Entry { name: "sapphirerapids", parents: &["icelake"], vendor: Vendor::Intel, generation: 9,
+        features: &["amx_bf16", "amx_int8", "avx512_bf16"],
+        compilers: &[("gcc", "11.0", "-march=sapphirerapids -mtune=sapphirerapids"),
+                     ("clang", "12.0", "-march=sapphirerapids -mtune=sapphirerapids")] },
+    // ----- AMD -------------------------------------------------------------
+    Entry { name: "zen", parents: &["x86_64_v3"], vendor: Vendor::Amd, generation: 1,
+        features: &["clzero", "sha_ni"],
+        compilers: &[("gcc", "6.0", "-march=znver1 -mtune=znver1"),
+                     ("clang", "4.0", "-march=znver1 -mtune=znver1"),
+                     ("rocmcc", "3.0", "-march=znver1 -mtune=znver1")] },
+    Entry { name: "zen2", parents: &["zen"], vendor: Vendor::Amd, generation: 2,
+        features: &["clwb", "rdpid", "wbnoinvd"],
+        compilers: &[("gcc", "9.0", "-march=znver2 -mtune=znver2"),
+                     ("clang", "9.0", "-march=znver2 -mtune=znver2"),
+                     ("rocmcc", "3.0", "-march=znver2 -mtune=znver2")] },
+    Entry { name: "zen3", parents: &["zen2"], vendor: Vendor::Amd, generation: 3,
+        features: &["pku", "vaes", "vpclmulqdq"],
+        compilers: &[("gcc", "10.3", "-march=znver3 -mtune=znver3"),
+                     ("clang", "12.0", "-march=znver3 -mtune=znver3"),
+                     ("rocmcc", "3.0", "-march=znver3 -mtune=znver3")] },
+    Entry { name: "zen4", parents: &["zen3", "x86_64_v4"], vendor: Vendor::Amd, generation: 4,
+        features: &["avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl", "avx512_bf16"],
+        compilers: &[("gcc", "12.3", "-march=znver4 -mtune=znver4"),
+                     ("clang", "16.0", "-march=znver4 -mtune=znver4")] },
+    // ----- IBM POWER -------------------------------------------------------
+    Entry { name: "ppc64le", parents: &[], vendor: Vendor::Generic, generation: 0,
+        features: &[],
+        compilers: &[("gcc", "4.9", "-mcpu=power8 -mtune=power8"),
+                     ("clang", "3.9", "-mcpu=power8 -mtune=power8")] },
+    Entry { name: "power8le", parents: &["ppc64le"], vendor: Vendor::Ibm, generation: 8,
+        features: &["altivec", "vsx"],
+        compilers: &[("gcc", "4.9", "-mcpu=power8 -mtune=power8"),
+                     ("clang", "3.9", "-mcpu=power8 -mtune=power8"),
+                     ("xl", "13.1", "-qarch=pwr8 -qtune=pwr8")] },
+    Entry { name: "power9le", parents: &["power8le"], vendor: Vendor::Ibm, generation: 9,
+        features: &["darn", "ieee128"],
+        compilers: &[("gcc", "6.0", "-mcpu=power9 -mtune=power9"),
+                     ("clang", "4.0", "-mcpu=power9 -mtune=power9"),
+                     ("xl", "13.1", "-qarch=pwr9 -qtune=pwr9")] },
+    Entry { name: "power10le", parents: &["power9le"], vendor: Vendor::Ibm, generation: 10,
+        features: &["mma"],
+        compilers: &[("gcc", "11.1", "-mcpu=power10 -mtune=power10"),
+                     ("clang", "11.0", "-mcpu=power10 -mtune=power10")] },
+    // ----- Arm -------------------------------------------------------------
+    Entry { name: "aarch64", parents: &[], vendor: Vendor::Generic, generation: 0,
+        features: &["fp", "asimd"],
+        compilers: &[("gcc", "4.8", "-march=armv8-a -mtune=generic"),
+                     ("clang", "3.9", "-march=armv8-a -mtune=generic")] },
+    Entry { name: "armv8_2a", parents: &["aarch64"], vendor: Vendor::Generic, generation: 0,
+        features: &["atomics", "fphp", "asimdhp"],
+        compilers: &[("gcc", "6.0", "-march=armv8.2-a -mtune=generic"),
+                     ("clang", "4.0", "-march=armv8.2-a -mtune=generic")] },
+    Entry { name: "neoverse_n1", parents: &["armv8_2a"], vendor: Vendor::Arm, generation: 1,
+        features: &["asimdrdm", "lrcpc", "dcpop"],
+        compilers: &[("gcc", "9.0", "-mcpu=neoverse-n1"),
+                     ("clang", "10.0", "-mcpu=neoverse-n1")] },
+    Entry { name: "neoverse_v1", parents: &["neoverse_n1"], vendor: Vendor::Arm, generation: 2,
+        features: &["sve", "bf16", "i8mm"],
+        compilers: &[("gcc", "10.0", "-mcpu=neoverse-v1"),
+                     ("clang", "12.0", "-mcpu=neoverse-v1")] },
+    Entry { name: "a64fx", parents: &["armv8_2a"], vendor: Vendor::Fujitsu, generation: 1,
+        features: &["sve", "fcma"],
+        compilers: &[("gcc", "8.0", "-march=armv8.2-a+sve -mtune=a64fx"),
+                     ("clang", "7.0", "-march=armv8.2-a+sve")] },
+    Entry { name: "m1", parents: &["armv8_2a"], vendor: Vendor::Apple, generation: 1,
+        features: &["fcma", "jscvt", "sha3"],
+        compilers: &[("gcc", "11.0", "-mcpu=apple-m1"),
+                     ("clang", "13.0", "-mcpu=apple-m1")] },
+];
+
+fn build() -> Taxonomy {
+    let mut nodes: BTreeMap<String, Microarch> = BTreeMap::new();
+    // ENTRIES is topologically ordered (parents precede children), so a
+    // single pass can accumulate ancestor and feature sets.
+    for entry in ENTRIES {
+        let mut all_features: BTreeSet<String> =
+            entry.features.iter().map(|s| s.to_string()).collect();
+        let mut ancestors = BTreeSet::new();
+        for parent in entry.parents {
+            let p = nodes
+                .get(*parent)
+                .unwrap_or_else(|| panic!("taxonomy entry {} lists unknown parent {parent}", entry.name));
+            all_features.extend(p.all_features.iter().cloned());
+            ancestors.insert(p.name.clone());
+            ancestors.extend(p.ancestors.iter().cloned());
+        }
+        let node = Microarch {
+            name: entry.name.to_string(),
+            parents: entry.parents.iter().map(|s| s.to_string()).collect(),
+            vendor: entry.vendor,
+            features: entry.features.iter().map(|s| s.to_string()).collect(),
+            all_features,
+            generation: entry.generation,
+            compilers: entry
+                .compilers
+                .iter()
+                .map(|(c, v, f)| CompilerSupport {
+                    compiler: c.to_string(),
+                    min_version: Microarch::parse_version(v),
+                    flags: f.to_string(),
+                })
+                .collect(),
+            ancestors,
+        };
+        nodes.insert(node.name.clone(), node);
+    }
+    Taxonomy { nodes }
+}

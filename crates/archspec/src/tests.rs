@@ -1,0 +1,242 @@
+//! Tests for the microarchitecture taxonomy, detection, and flags.
+
+use crate::{detect, taxonomy, CpuDescription, FlagError, Vendor};
+
+#[test]
+fn taxonomy_is_populated() {
+    let tax = taxonomy();
+    assert!(tax.len() >= 20);
+    assert!(!tax.is_empty());
+    for required in [
+        "x86_64",
+        "x86_64_v3",
+        "skylake_avx512",
+        "zen3",
+        "power9le",
+        "aarch64",
+        "neoverse_v1",
+        "a64fx",
+    ] {
+        assert!(tax.get(required).is_some(), "missing {required}");
+    }
+}
+
+#[test]
+fn features_are_cumulative() {
+    let tax = taxonomy();
+    let skx = tax.get("skylake_avx512").unwrap();
+    // own feature
+    assert!(skx.has_feature("avx512f"));
+    // inherited from haswell
+    assert!(skx.has_feature("avx2"));
+    // inherited from the x86_64 root
+    assert!(skx.has_feature("sse2"));
+    // not a feature of this line
+    assert!(!skx.has_feature("sve"));
+}
+
+#[test]
+fn ancestry_partial_order() {
+    let tax = taxonomy();
+    let zen3 = tax.get("zen3").unwrap();
+    assert!(zen3.is_descendant_of("zen3"));
+    assert!(zen3.is_descendant_of("zen"));
+    assert!(zen3.is_descendant_of("x86_64_v3"));
+    assert!(zen3.is_descendant_of("x86_64"));
+    assert!(!zen3.is_descendant_of("haswell")); // cousins, not ancestors
+    assert!(!zen3.is_descendant_of("x86_64_v4")); // zen3 has no avx512
+
+    let v4 = tax.get("x86_64_v4").unwrap();
+    assert!(!v4.is_descendant_of("zen3"));
+}
+
+#[test]
+fn generic_levels_thread_through_vendor_lines() {
+    // zen4 and skylake_avx512 both carry x86_64_v4 as a parent, so binaries
+    // built for the generic v4 level run on either vendor's chips.
+    let tax = taxonomy();
+    let zen4 = tax.get("zen4").unwrap();
+    assert!(zen4.has_feature("avx512f"));
+    assert!(zen4.is_descendant_of("x86_64_v4"));
+    assert!(tax.get("skylake_avx512").unwrap().is_descendant_of("x86_64_v4"));
+    // zen3 predates avx512 and must *not* satisfy the v4 level.
+    assert!(!tax.get("zen3").unwrap().is_descendant_of("x86_64_v4"));
+}
+
+#[test]
+fn families() {
+    let tax = taxonomy();
+    assert_eq!(tax.get("cascadelake").unwrap().family(), "x86_64");
+    assert_eq!(tax.get("power9le").unwrap().family(), "ppc64le");
+    assert_eq!(tax.get("a64fx").unwrap().family(), "aarch64");
+    assert_eq!(tax.get("x86_64").unwrap().family(), "x86_64");
+}
+
+#[test]
+fn detect_exact_uarch() {
+    let tax = taxonomy();
+    for name in ["skylake_avx512", "zen3", "power9le", "neoverse_v1"] {
+        let node = tax.get(name).unwrap();
+        let cpu = CpuDescription::of(node);
+        let detected = detect(&cpu).unwrap();
+        assert_eq!(detected.name, name, "detection failed for {name}");
+    }
+}
+
+#[test]
+fn detect_prefers_most_specific() {
+    // A CPU with cascadelake features must not be detected as plain skylake.
+    let tax = taxonomy();
+    let clx = tax.get("cascadelake").unwrap();
+    let detected = detect(&CpuDescription::of(clx)).unwrap();
+    assert_eq!(detected.name, "cascadelake");
+}
+
+#[test]
+fn detect_respects_vendor() {
+    // zen3-featured CPU reported as Intel must not detect as zen3.
+    let tax = taxonomy();
+    let zen3 = tax.get("zen3").unwrap();
+    let mut cpu = CpuDescription::of(zen3);
+    cpu.vendor = Vendor::Intel;
+    let detected = detect(&cpu).unwrap();
+    assert_ne!(detected.name, "zen3");
+    // The best Intel-or-generic fit for zen3's feature set is haswell
+    // (broadwell needs adx/rdseed, which zen-line CPUs don't report here).
+    assert_eq!(detected.name, "haswell");
+    // Whatever is chosen must be feature-compatible with the CPU.
+    assert!(detected.all_features.is_subset(&cpu.features));
+}
+
+#[test]
+fn detect_partial_features_falls_back() {
+    // A cloud instance masking avx512 (the §7.1 scenario) detects as skylake,
+    // not skylake_avx512.
+    let tax = taxonomy();
+    let skx = tax.get("skylake_avx512").unwrap();
+    let mut cpu = CpuDescription::of(skx);
+    for f in ["avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl", "clwb"] {
+        cpu.features.remove(f);
+    }
+    let detected = detect(&cpu).unwrap();
+    assert_eq!(detected.name, "skylake");
+}
+
+#[test]
+fn detect_unknown_family() {
+    let cpu = CpuDescription::new(Vendor::Intel, "riscv64", &[]);
+    assert!(detect(&cpu).is_none());
+}
+
+#[test]
+fn detect_bare_family() {
+    let cpu = CpuDescription::new(Vendor::Generic, "x86_64", &["mmx", "sse", "sse2"]);
+    assert_eq!(detect(&cpu).unwrap().name, "x86_64");
+}
+
+#[test]
+fn flags_for_supported_compiler() {
+    let tax = taxonomy();
+    let skx = tax.get("skylake_avx512").unwrap();
+    let flags = skx.optimization_flags("gcc", "12.1.1").unwrap();
+    assert_eq!(flags, "-march=skylake-avx512 -mtune=skylake-avx512");
+
+    let zen3 = tax.get("zen3").unwrap();
+    assert_eq!(
+        zen3.optimization_flags("clang", "14.0.6").unwrap(),
+        "-march=znver3 -mtune=znver3"
+    );
+}
+
+#[test]
+fn flags_fall_back_to_ancestor_for_old_compiler() {
+    // gcc 9 predates znver3 support but handles znver2.
+    let tax = taxonomy();
+    let zen3 = tax.get("zen3").unwrap();
+    let flags = zen3.optimization_flags("gcc", "9.4.0").unwrap();
+    assert_eq!(flags, "-march=znver2 -mtune=znver2");
+
+    // gcc 5 only reaches the generic haswell-era entry on Intel.
+    let skl = tax.get("skylake").unwrap();
+    let flags = skl.optimization_flags("gcc", "5.4.0").unwrap();
+    assert_eq!(flags, "-march=broadwell -mtune=broadwell");
+}
+
+#[test]
+fn flags_unknown_compiler() {
+    let tax = taxonomy();
+    let p9 = tax.get("power9le").unwrap();
+    let err = p9.optimization_flags("rocmcc", "5.2.0").unwrap_err();
+    assert!(matches!(err, FlagError::UnsupportedCompiler { .. }));
+    assert!(err.to_string().contains("rocmcc"));
+}
+
+#[test]
+fn flags_version_too_old_without_fallback() {
+    // xl supports power9le with min 13.1 and power8le with min 13.1; a
+    // version below both yields VersionTooOld (compiler known, version old).
+    let tax = taxonomy();
+    let p9 = tax.get("power9le").unwrap();
+    let err = p9.optimization_flags("xl", "12.0").unwrap_err();
+    assert!(matches!(err, FlagError::VersionTooOld { .. }), "{err:?}");
+}
+
+#[test]
+fn version_parsing() {
+    use crate::uarch::Microarch;
+    assert_eq!(Microarch::parse_version("12.1.1"), vec![12, 1, 1]);
+    assert_eq!(Microarch::parse_version("12.1.1-magic"), vec![12, 1, 1]);
+    assert_eq!(Microarch::parse_version("9"), vec![9]);
+    assert_eq!(Microarch::parse_version(""), Vec::<u32>::new());
+}
+
+#[test]
+fn power_line_generations() {
+    let tax = taxonomy();
+    let p10 = tax.get("power10le").unwrap();
+    assert!(p10.is_descendant_of("power9le"));
+    assert!(p10.is_descendant_of("power8le"));
+    assert!(p10.has_feature("vsx"));
+    assert!(p10.has_feature("mma"));
+    let p9 = tax.get("power9le").unwrap();
+    assert!(!p9.has_feature("mma"));
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_uarch() -> impl Strategy<Value = &'static crate::Microarch> {
+        let names: Vec<&'static str> = taxonomy().names();
+        prop::sample::select(names).prop_map(|n| taxonomy().get(n).unwrap())
+    }
+
+    proptest! {
+        /// Detection of a node's own description returns that node
+        /// (most-specific rule is sound) for every taxonomy member.
+        #[test]
+        fn detect_is_identity_on_taxonomy(node in arb_uarch()) {
+            let detected = detect(&CpuDescription::of(node)).unwrap();
+            prop_assert_eq!(&detected.name, &node.name);
+        }
+
+        /// Ancestry implies feature containment.
+        #[test]
+        fn ancestors_features_subset(node in arb_uarch()) {
+            for anc_name in &node.ancestors {
+                let anc = taxonomy().get(anc_name).unwrap();
+                prop_assert!(anc.all_features.is_subset(&node.all_features),
+                    "{} should inherit all features of {}", node.name, anc_name);
+            }
+        }
+
+        /// The descendant relation is antisymmetric.
+        #[test]
+        fn ancestry_antisymmetric(a in arb_uarch(), b in arb_uarch()) {
+            if a.name != b.name {
+                prop_assert!(!(a.is_descendant_of(&b.name) && b.is_descendant_of(&a.name)));
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Microarchitecture node type and compatibility relations.
+
+use std::collections::BTreeSet;
+
+/// CPU vendor, used to disambiguate detection (a feature-compatible uarch from
+/// the wrong vendor is never selected as host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Matches any vendor (generic architecture levels).
+    Generic,
+    Intel,
+    Amd,
+    Ibm,
+    Arm,
+    Fujitsu,
+    Apple,
+}
+
+impl Vendor {
+    /// Generic nodes are compatible with every concrete vendor.
+    pub fn accepts(&self, other: Vendor) -> bool {
+        *self == Vendor::Generic || *self == other
+    }
+}
+
+/// A compiler's support entry for a microarchitecture.
+#[derive(Debug, Clone)]
+pub struct CompilerSupport {
+    /// Compiler name (`gcc`, `clang`, `intel`, `cce`, `rocmcc`, `xl`).
+    pub compiler: String,
+    /// Minimum supported version, compared component-wise.
+    pub min_version: Vec<u32>,
+    /// Flags to emit, e.g. `-march=znver3 -mtune=znver3`.
+    pub flags: String,
+}
+
+/// One node in the microarchitecture taxonomy.
+#[derive(Debug, Clone)]
+pub struct Microarch {
+    /// Canonical lowercase name (`skylake_avx512`).
+    pub name: String,
+    /// Immediate parents (more generic microarchitectures).
+    pub parents: Vec<String>,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Features *introduced* at this node (cumulative set is computed).
+    pub features: BTreeSet<String>,
+    /// Cumulative features including everything inherited from ancestors.
+    pub all_features: BTreeSet<String>,
+    /// Hardware generation within the vendor line (for ordering cousins).
+    pub generation: u32,
+    /// Per-compiler flag support.
+    pub compilers: Vec<CompilerSupport>,
+    /// All ancestor names (transitive), excluding self.
+    pub ancestors: BTreeSet<String>,
+}
+
+impl Microarch {
+    /// True if this microarchitecture supports `feature` (inherited features
+    /// included).
+    pub fn has_feature(&self, feature: &str) -> bool {
+        self.all_features.contains(feature)
+    }
+
+    /// True if `self` is `other` or descends from it — i.e. a binary built
+    /// for `other` runs on `self`.
+    pub fn is_descendant_of(&self, other: &str) -> bool {
+        self.name == other || self.ancestors.contains(other)
+    }
+
+    /// The root family of this microarchitecture (`x86_64`, `ppc64le`,
+    /// `aarch64`), or its own name for roots.
+    pub fn family(&self) -> &str {
+        // Roots have no parents; all our taxonomies have a unique root per
+        // node, recorded as the ancestor with no ancestors — but since we
+        // store names only, the taxonomy computes and stores family during
+        // construction via the ancestors set: the root is the ancestor that
+        // appears in `ancestors` and is itself parentless. For leaf queries
+        // we rely on the convention that family roots are the well-known
+        // names below.
+        for root in ["x86_64", "ppc64le", "aarch64"] {
+            if self.name == root || self.ancestors.contains(root) {
+                return root;
+            }
+        }
+        &self.name
+    }
+
+    /// Parses a dotted version string into numeric components, ignoring any
+    /// non-numeric suffix (`12.1.1-magic` → `[12, 1, 1]`).
+    pub fn parse_version(version: &str) -> Vec<u32> {
+        version
+            .split(['.', '-', '_'])
+            .map_while(|part| part.parse::<u32>().ok())
+            .collect()
+    }
+
+    /// Looks up compiler support, enforcing the minimum version.
+    pub fn compiler_support(&self, compiler: &str, version: &str) -> Option<&CompilerSupport> {
+        let v = Self::parse_version(version);
+        self.compilers
+            .iter()
+            .filter(|c| c.compiler == compiler)
+            .find(|c| version_at_least(&v, &c.min_version))
+    }
+}
+
+/// Component-wise version comparison: `v >= min`.
+pub(crate) fn version_at_least(v: &[u32], min: &[u32]) -> bool {
+    for i in 0..min.len().max(v.len()) {
+        let a = v.get(i).copied().unwrap_or(0);
+        let b = min.get(i).copied().unwrap_or(0);
+        if a != b {
+            return a > b;
+        }
+    }
+    true
+}

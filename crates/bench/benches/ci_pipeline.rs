@@ -1,0 +1,102 @@
+//! Experiment F6 / ablation A2: the Figure 6 automation loop, measuring the
+//! binary cache's effect — a cold pipeline builds everything from source; a
+//! warm pipeline (rolling cache, §7.2) fetches.
+
+use benchpark_ci::{run_pipeline, BenchparkExecutor, Lab, Repository};
+use benchpark_cluster::{Cluster, Machine};
+use benchpark_core::SystemProfile;
+use benchpark_pkg::Repo;
+use benchpark_spack::InstallDatabase;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const CI_CONFIG: &str = "stages:\n  - build\n  - bench\nbuild:\n  stage: build\n  script:\n    - spack install amg2023+caliper\nbench:\n  stage: bench\n  script:\n    - submit cts1 ci/amg.sbatch\n";
+
+const BENCH_SCRIPT: &str =
+    "#SBATCH -N 1\n#SBATCH -n 8\nsrun -n 8 amg -P 2 2 2 -n 64 64 64 -problem 1\n";
+
+fn source_repo() -> Repository {
+    let mut repo = Repository::init("llnl/benchpark");
+    repo.commit(
+        "main",
+        "olga",
+        "ci",
+        &[(".gitlab-ci.yml", CI_CONFIG), ("ci/amg.sbatch", BENCH_SCRIPT)],
+    )
+    .unwrap();
+    repo
+}
+
+/// Runs one pipeline; returns the virtual build makespan parsed from the log.
+fn run_once(executor: &mut BenchparkExecutor<'_>, tag: u64) -> f64 {
+    let mut lab = Lab::new();
+    let id = lab
+        .receive_mirror(&source_repo(), "main", &format!("pr-{tag}"))
+        .unwrap();
+    run_pipeline(&mut lab, id, "olga", executor).unwrap();
+    let p = lab.pipeline(id).unwrap();
+    assert_eq!(p.state(), benchpark_ci::PipelineState::Success, "{:#?}", p.jobs);
+    // "installed N packages in X virtual seconds"
+    p.jobs[0]
+        .log
+        .lines()
+        .find(|l| l.contains("virtual seconds"))
+        .and_then(|l| l.split_whitespace().nth(4))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+fn report() {
+    println!("\n========= Experiment F6 / Ablation A2: CI binary cache =========\n");
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SystemProfile::cts1().site_config());
+    executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+
+    let cold = run_once(&mut executor, 1);
+    executor.db = InstallDatabase::new(); // fresh builder machine, warm cache
+    let warm = run_once(&mut executor, 2);
+    let (hits, misses, pushes) = executor.cache.stats();
+    println!("pipeline        virtual build seconds");
+    println!("cold (source)   {cold:>12.1}");
+    println!("warm (cache)    {warm:>12.1}");
+    println!("speedup         {:>12.1}x", cold / warm.max(1e-9));
+    println!("cache: {hits} hits / {misses} misses / {pushes} pushes\n");
+    assert!(warm * 5.0 < cold, "cache must be much faster");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let pkg_repo = Repo::builtin();
+
+    c.bench_function("ci/pipeline_cold_cache", |b| {
+        let mut i = 100u64;
+        b.iter(|| {
+            // fresh executor each time: cold cache, cold DB
+            let mut executor =
+                BenchparkExecutor::new(&pkg_repo, SystemProfile::cts1().site_config());
+            executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+            i += 1;
+            black_box(run_once(&mut executor, i))
+        })
+    });
+
+    c.bench_function("ci/pipeline_warm_cache", |b| {
+        // shared executor: cache warms on the first iteration
+        let mut executor = BenchparkExecutor::new(&pkg_repo, SystemProfile::cts1().site_config());
+        executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+        let mut i = 10_000u64;
+        run_once(&mut executor, i);
+        b.iter(|| {
+            executor.db = InstallDatabase::new();
+            i += 1;
+            black_box(run_once(&mut executor, i))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

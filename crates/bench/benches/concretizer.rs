@@ -1,0 +1,96 @@
+//! Ablation A1: concretizer costs — single spec vs. full environment,
+//! `unify: true` vs. `unify: false`, and `--reuse` against a warm database.
+
+use benchpark_concretizer::{Concretizer, SiteConfig};
+use benchpark_pkg::Repo;
+use benchpark_spec::Spec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn env_roots() -> Vec<Spec> {
+    [
+        "saxpy+openmp",
+        "amg2023+caliper",
+        "stream",
+        "lulesh+openmp",
+        "osu-micro-benchmarks",
+        "caliper",
+        "hypre+openmp",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect()
+}
+
+fn report() {
+    println!("\n=============== Ablation A1: concretizer ===============\n");
+    let repo = Repo::builtin();
+    let config = SiteConfig::example_cts();
+    let solver = Concretizer::new(&repo, &config);
+    let roots = env_roots();
+    let unified = solver.concretize_env(&roots, true).unwrap();
+    let independent = solver.concretize_env(&roots, false).unwrap();
+    let count_distinct = |dags: &[benchpark_concretizer::ConcreteSpec]| {
+        let mut hashes = std::collections::BTreeSet::new();
+        for dag in dags {
+            for node in dag.nodes.values() {
+                hashes.insert(node.hash.clone());
+            }
+        }
+        hashes.len()
+    };
+    println!("environment of {} roots:", roots.len());
+    println!("  unify: true  → {} distinct package configurations", count_distinct(&unified));
+    println!("  unify: false → {} distinct package configurations", count_distinct(&independent));
+    println!("(unification deduplicates shared dependencies across roots)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let repo = Repo::builtin();
+    let config = SiteConfig::example_cts();
+    let roots = env_roots();
+
+    c.bench_function("concretize/saxpy_single", |b| {
+        let solver = Concretizer::new(&repo, &config);
+        let spec: Spec = "saxpy@1.0.0 +openmp ^cmake@3.23.1".parse().unwrap();
+        b.iter(|| black_box(solver.concretize(black_box(&spec)).unwrap()))
+    });
+
+    c.bench_function("concretize/amg_stack", |b| {
+        let solver = Concretizer::new(&repo, &config);
+        let spec: Spec = "amg2023+caliper".parse().unwrap();
+        b.iter(|| black_box(solver.concretize(black_box(&spec)).unwrap()))
+    });
+
+    c.bench_function("concretize/env7_unify_true", |b| {
+        let solver = Concretizer::new(&repo, &config);
+        b.iter(|| black_box(solver.concretize_env(black_box(&roots), true).unwrap()))
+    });
+
+    c.bench_function("concretize/env7_unify_false", |b| {
+        let solver = Concretizer::new(&repo, &config);
+        b.iter(|| black_box(solver.concretize_env(black_box(&roots), false).unwrap()))
+    });
+
+    // reuse: warm database adopts installed specs instead of re-deciding
+    let warm = {
+        let solver = Concretizer::new(&repo, &config);
+        solver.concretize_env(&roots, true).unwrap()
+    };
+    let mut reuse_config = SiteConfig::example_cts();
+    reuse_config.reuse = true;
+    reuse_config.installed = warm;
+    c.bench_function("concretize/amg_stack_with_reuse", |b| {
+        let solver = Concretizer::new(&repo, &reuse_config);
+        let spec: Spec = "amg2023+caliper".parse().unwrap();
+        b.iter(|| black_box(solver.concretize(black_box(&spec)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment F14 (+ ablation A4): regenerates Figure 14 — the Extra-P
+//! model of MPI_Bcast on the CTS architecture — for the linear broadcast
+//! (the paper's `c + a·p¹` form) and the binomial-tree ablation, then
+//! benchmarks the model-fitting and scaling-study machinery.
+
+use benchpark_cluster::BcastAlgorithm;
+use benchpark_core::{scaling, MetricsDatabase};
+use benchpark_perf::extrap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_fig14() -> Vec<(f64, f64)> {
+    println!("\n================= Experiment F14: Figure 14 =================\n");
+    let db = MetricsDatabase::new();
+    let linear = scaling::bcast_scaling_study(
+        "cts1",
+        None,
+        benchpark_bench::bench_dir("fig14-linear"),
+        &db,
+    )
+    .expect("study runs");
+    print!("{}", linear.render());
+    println!("\npaper:  -0.6355857931034596 + 0.04660217702356169 * p^(1)");
+    println!("ours:   {}\n", linear.model);
+    assert_eq!((linear.model.i, linear.model.j), (1.0, 0), "shape must match the paper");
+
+    println!("----- ablation A4: binomial-tree broadcast -----\n");
+    let tree = scaling::bcast_scaling_study(
+        "cts1",
+        Some(BcastAlgorithm::BinomialTree),
+        benchpark_bench::bench_dir("fig14-tree"),
+        &db,
+    )
+    .expect("ablation runs");
+    print!("{}", tree.render());
+    assert_eq!((tree.model.i, tree.model.j), (0.0, 1), "tree must fit log2(p)");
+    println!();
+    linear.points
+}
+
+fn bench(c: &mut Criterion) {
+    let points = regenerate_fig14();
+
+    c.bench_function("fig14/extrap_fit_8_points", |b| {
+        b.iter(|| black_box(extrap::fit(black_box(&points)).unwrap()))
+    });
+
+    let many: Vec<(f64, f64)> = (1..=200)
+        .map(|i| {
+            let p = (i * 16) as f64;
+            (p, -0.64 + 0.0466 * p)
+        })
+        .collect();
+    c.bench_function("fig14/extrap_fit_200_points", |b| {
+        b.iter(|| black_box(extrap::fit(black_box(&many)).unwrap()))
+    });
+
+    c.bench_function("fig14/full_scaling_study", |b| {
+        let db = MetricsDatabase::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let dir = benchpark_bench::bench_dir(&format!("fig14-bench-{i}"));
+            black_box(scaling::bcast_scaling_study("cts1", None, dir, &db).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment A5: figure-of-merit extraction throughput — the rex engine
+//! scanning benchmark logs with Figure 8's patterns (the hot loop of
+//! `ramble workspace analyze` when thousands of experiments report).
+
+use benchpark_rex::Regex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Builds a synthetic AMG-style log of `lines` lines with FOMs sprinkled in.
+fn synthetic_log(lines: usize) -> String {
+    let mut out = String::new();
+    for i in 0..lines {
+        match i % 8 {
+            0 => out.push_str("iteration residual 1.0e-05 cycle v\n"),
+            1 => out.push_str(&format!("Solve phase time: {}.{:03} seconds\n", i % 97, i % 1000)),
+            2 => out.push_str(&format!("Figure of Merit (FOM_Solve): {}.4e8\n", i % 9 + 1)),
+            3 => out.push_str("Kernel done\n"),
+            _ => out.push_str("some unrelated progress output with numbers 123 456\n"),
+        }
+    }
+    out
+}
+
+fn report() {
+    println!("\n============== Experiment A5: FOM extraction ==============\n");
+    let log = synthetic_log(10_000);
+    let re = Regex::new(r"Figure of Merit \(FOM_Solve\): (?P<fom>[0-9.e+-]+)").unwrap();
+    let count = log.lines().filter(|l| re.captures(l).is_some()).count();
+    println!(
+        "10k-line log: {count} FOM_Solve matches extracted ({} bytes scanned)\n",
+        log.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let fom_re = Regex::new(r"Figure of Merit \(FOM_Solve\): (?P<fom>[0-9.e+-]+)").unwrap();
+    let success_re = Regex::new(r"(?P<done>Kernel done)").unwrap();
+    let time_re = Regex::new(r"Solve phase time: (?P<t>[0-9.e+-]+) seconds").unwrap();
+
+    let mut group = c.benchmark_group("fom_extract");
+    for lines in [1_000usize, 10_000] {
+        let log = synthetic_log(lines);
+        group.throughput(Throughput::Bytes(log.len() as u64));
+        group.bench_with_input(BenchmarkId::new("three_patterns", lines), &log, |b, log| {
+            b.iter(|| {
+                let mut foms = 0usize;
+                for line in log.lines() {
+                    if let Some(c) = fom_re.captures(line) {
+                        black_box(c.name("fom"));
+                        foms += 1;
+                    }
+                    if success_re.is_match(line) {
+                        foms += 1;
+                    }
+                    if let Some(c) = time_re.captures(line) {
+                        black_box(c.name("t"));
+                        foms += 1;
+                    }
+                }
+                black_box(foms)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("fom_extract/compile_fig8_regex", |b| {
+        b.iter(|| black_box(Regex::new(r"(?P<done>Kernel done)").unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

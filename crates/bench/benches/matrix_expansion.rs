@@ -1,0 +1,85 @@
+//! Experiment F10 at scale: Ramble's experiment-generation machinery
+//! (zips + matrices) on growing variable spaces, with the Figure 10 case as
+//! the calibration point (exactly 8 experiments).
+
+use benchpark_ramble::{generate_experiments, RambleConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// Builds a ramble.yaml whose single experiment crosses an n×n matrix with a
+/// length-n zip → n³ experiments.
+fn synthetic_config(n: usize) -> RambleConfig {
+    let list = |prefix: &str| -> String {
+        let items: Vec<String> = (0..n).map(|i| format!("'{prefix}{i}'")).collect();
+        format!("[{}]", items.join(", "))
+    };
+    let yaml = format!(
+        "ramble:\n  applications:\n    saxpy:\n      workloads:\n        problem:\n          experiments:\n            e_{{a}}_{{b}}_{{z}}:\n              variables:\n                a: {}\n                b: {}\n                z: {}\n              matrices:\n              - m:\n                - a\n                - b\n",
+        list("a"),
+        list("b"),
+        list("z"),
+    );
+    RambleConfig::from_yaml(&yaml).unwrap()
+}
+
+fn fig10_case() {
+    println!("\n======== Experiment F10: Figure 10 expansion ========\n");
+    let yaml = benchpark_core::experiment_template("saxpy", "openmp").unwrap();
+    let config = RambleConfig::from_yaml(&yaml).unwrap();
+    let wl = &config.applications["saxpy"]["problem"];
+    let mut base = BTreeMap::new();
+    base.insert("batch_time".to_string(), "120".to_string());
+    let exps = generate_experiments("saxpy", "problem", wl, &wl.experiments[0], &base).unwrap();
+    println!("Figure 10 template expands to {} experiments:", exps.len());
+    for exp in &exps {
+        println!("  {}", exp.name);
+    }
+    assert_eq!(exps.len(), 8);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    fig10_case();
+
+    let mut group = c.benchmark_group("matrix_expansion");
+    for n in [2usize, 4, 8, 16] {
+        let config = synthetic_config(n);
+        let wl = config.applications["saxpy"]["problem"].clone();
+        group.bench_with_input(BenchmarkId::new("n_cubed", n * n * n), &n, |b, _| {
+            b.iter(|| {
+                let exps = generate_experiments(
+                    "saxpy",
+                    "problem",
+                    black_box(&wl),
+                    &wl.experiments[0],
+                    &BTreeMap::new(),
+                )
+                .unwrap();
+                assert_eq!(exps.len(), n * n * n);
+                black_box(exps)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("matrix_expansion/fig10", |b| {
+        let yaml = benchpark_core::experiment_template("saxpy", "openmp").unwrap();
+        let config = RambleConfig::from_yaml(&yaml).unwrap();
+        let wl = config.applications["saxpy"]["problem"].clone();
+        let mut base = BTreeMap::new();
+        base.insert("batch_time".to_string(), "120".to_string());
+        b.iter(|| {
+            black_box(
+                generate_experiments("saxpy", "problem", &wl, &wl.experiments[0], &base).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment F7: the real saxpy kernel (paper Figure 7), executed
+//! multithreaded — thread-scaling of the one piece of benchmark source code
+//! the paper prints in full.
+
+use benchpark_cluster::saxpy_kernel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn report() {
+    println!("\n============== Experiment F7: saxpy kernel ==============\n");
+    let n = 1 << 22;
+    let x = vec![1.0f32; n];
+    let y = vec![2.0f32; n];
+    println!("n = {n} elements ({} MiB traffic per call)", n * 12 / (1 << 20));
+    for threads in [1usize, 2, 4, 8] {
+        let mut r = vec![0.0f32; n];
+        let start = std::time::Instant::now();
+        for _ in 0..8 {
+            saxpy_kernel(&mut r, &x, &y, 2.5, threads);
+        }
+        let per_call = start.elapsed().as_secs_f64() / 8.0;
+        println!(
+            "  {threads} thread(s): {:>8.3} ms/call  ({:.1} GB/s)",
+            per_call * 1e3,
+            (n * 12) as f64 / per_call / 1e9
+        );
+        assert_eq!(r[0], 4.5);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let n = 1 << 21;
+    let x = vec![1.0f32; n];
+    let y = vec![2.0f32; n];
+
+    let mut group = c.benchmark_group("saxpy_kernel");
+    group.throughput(Throughput::Bytes((n * 12) as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let mut r = vec![0.0f32; n];
+            b.iter(|| {
+                saxpy_kernel(black_box(&mut r), black_box(&x), black_box(&y), 2.5, t);
+                black_box(r[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

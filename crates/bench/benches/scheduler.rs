@@ -1,0 +1,113 @@
+//! Ablation A3: scheduler policy — conservative backfill vs. FIFO.
+//!
+//! The scenario that separates the policies: a long 1-node job is running, a
+//! machine-wide job waits behind it at the head of the queue, and a stream
+//! of short benchmark jobs arrives. FIFO makes the short jobs wait for the
+//! wide job; backfill runs them in the wide job's shadow on the idle nodes.
+//! Continuous benchmarking is exactly such a stream of short filler jobs.
+
+use benchpark_cluster::{Cluster, Machine, SchedulerPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct MixOutcome {
+    makespan: f64,
+    mean_filler_wait: f64,
+    utilization: f64,
+}
+
+fn run_mix(policy: SchedulerPolicy) -> MixOutcome {
+    let mut cluster = Cluster::with_policy(Machine::ats4(), policy);
+    // blocker: one node, runs for a while (big single-rank AMG), long limit
+    let blocker = "#SBATCH -N 1\n#SBATCH -n 1\n#SBATCH -t 60:00\nsrun -n 1 amg -P 1 1 1 -n 400 400 400 -problem 1\n";
+    // wide: needs the whole machine, queued right behind the blocker
+    let wide = format!(
+        "#SBATCH -N {}\n#SBATCH -n 8\n#SBATCH -t 60:00\nsrun -n 8 amg -P 2 2 2 -n 96 96 96 -problem 1\n",
+        Machine::ats4().nodes
+    );
+    // fillers: short benchmark jobs with tight limits (they fit the shadow)
+    let filler = "#SBATCH -N 1\n#SBATCH -n 4\n#SBATCH -t 2:00\nsrun -n 4 amg -P 2 2 1 -n 96 96 96 -problem 1\n";
+
+    cluster.submit_script(blocker, "prod").unwrap();
+    let _wide_id = cluster.submit_script(&wide, "prod").unwrap();
+    let mut filler_ids = Vec::new();
+    for _ in 0..16 {
+        filler_ids.push(cluster.submit_script(filler, "bench").unwrap());
+    }
+    cluster.run_until_idle();
+
+    let mean_filler_wait = filler_ids
+        .iter()
+        .map(|id| {
+            let job = cluster.job(*id).unwrap();
+            job.start_time.unwrap() - job.submit_time
+        })
+        .sum::<f64>()
+        / filler_ids.len() as f64;
+    MixOutcome {
+        makespan: cluster.now(),
+        mean_filler_wait,
+        utilization: cluster.utilization(),
+    }
+}
+
+fn report() {
+    println!("\n=============== Ablation A3: scheduler policy ===============\n");
+    let fifo = run_mix(SchedulerPolicy::Fifo);
+    let backfill = run_mix(SchedulerPolicy::Backfill);
+    println!("policy      makespan(s)   mean filler wait(s)   utilization");
+    println!(
+        "FIFO        {:>10.3}   {:>18.3}   {:>10.1}%",
+        fifo.makespan,
+        fifo.mean_filler_wait,
+        fifo.utilization * 100.0
+    );
+    println!(
+        "Backfill    {:>10.3}   {:>18.3}   {:>10.1}%",
+        backfill.makespan,
+        backfill.mean_filler_wait,
+        backfill.utilization * 100.0
+    );
+    println!(
+        "\nbackfill cuts filler wait {:.1}x and makespan {:.2}x\n",
+        fifo.mean_filler_wait / backfill.mean_filler_wait.max(1e-9),
+        fifo.makespan / backfill.makespan.max(1e-9),
+    );
+    assert!(
+        backfill.mean_filler_wait < fifo.mean_filler_wait,
+        "backfill must reduce filler wait"
+    );
+    assert!(backfill.makespan <= fifo.makespan + 1e-9);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("scheduler/fifo_mix", |b| {
+        b.iter(|| black_box(run_mix(SchedulerPolicy::Fifo).makespan))
+    });
+    c.bench_function("scheduler/backfill_mix", |b| {
+        b.iter(|| black_box(run_mix(SchedulerPolicy::Backfill).makespan))
+    });
+    c.bench_function("scheduler/throughput_100_jobs", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(Machine::cts1());
+            for _ in 0..100 {
+                cluster
+                    .submit_script(
+                        "#SBATCH -N 1\n#SBATCH -n 4\nsrun -n 4 amg -P 2 2 1 -n 32 32 32 -problem 1\n",
+                        "x",
+                    )
+                    .unwrap();
+            }
+            cluster.run_until_idle();
+            black_box(cluster.now())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

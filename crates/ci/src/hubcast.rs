@@ -1,0 +1,148 @@
+//! Hubcast: secure GitHub→GitLab mirroring with approval gating (§3.3.1).
+
+use crate::hub::{Hub, StatusState};
+use crate::jacamar::Jacamar;
+use crate::lab::Lab;
+
+/// Why a PR was (not) mirrored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirrorDecision {
+    /// Mirrored; pipeline created with this id, jobs will run as this user.
+    Mirrored { pipeline: u64, run_as: String },
+    /// Untrusted author and no admin approval yet.
+    AwaitingApproval,
+    /// Already mirrored at this head.
+    AlreadyMirrored,
+    /// Mirroring failed (e.g. no `.gitlab-ci.yml`).
+    Error(String),
+}
+
+/// The mirroring bot.
+#[derive(Debug, Default)]
+pub struct Hubcast {
+    /// `(pr number, head hash)` pairs already mirrored.
+    mirrored: Vec<(u64, String)>,
+}
+
+impl Hubcast {
+    /// A fresh bot.
+    pub fn new() -> Hubcast {
+        Hubcast::default()
+    }
+
+    /// Security criteria (§3.3.1): a PR may be mirrored when its author is a
+    /// trusted-org member, or when a site/system administrator (other than
+    /// the author) has approved it.
+    pub fn eligible(hub: &Hub, pr_number: u64) -> bool {
+        let Some(pr) = hub.pr(pr_number) else {
+            return false;
+        };
+        if hub.org_members.contains(&pr.author) {
+            return true;
+        }
+        pr.approvals.iter().any(|a| hub.admins.contains(a))
+    }
+
+    /// Processes one PR: if eligible and not yet mirrored at its current
+    /// head, mirrors the branch to GitLab, creates the pipeline, and sets
+    /// the pending status check on GitHub.
+    pub fn process_pr(
+        &mut self,
+        hub: &mut Hub,
+        lab: &mut Lab,
+        jacamar: &Jacamar,
+        pr_number: u64,
+    ) -> MirrorDecision {
+        let Some(pr) = hub.pr(pr_number) else {
+            return MirrorDecision::Error(format!("no PR #{pr_number}"));
+        };
+        let head = pr.head.clone();
+        let author = pr.author.clone();
+        let approver = pr
+            .approvals
+            .iter()
+            .find(|a| hub.admins.contains(*a))
+            .cloned();
+        let source_repo = pr.source_repo.clone();
+        let source_branch = pr.source_branch.clone();
+
+        if !Self::eligible(hub, pr_number) {
+            if let Ok(pr) = hub.pr_mut(pr_number) {
+                pr.set_check(
+                    "hubcast/mirror",
+                    StatusState::Pending,
+                    "awaiting review by a site and system administrator",
+                );
+            }
+            return MirrorDecision::AwaitingApproval;
+        }
+        if self.mirrored.contains(&(pr_number, head.clone())) {
+            return MirrorDecision::AlreadyMirrored;
+        }
+
+        // decide the execution user before running anything (§3.3.2)
+        let run_as = match jacamar.resolve_user(&author, approver.as_deref()) {
+            Ok(user) => user,
+            Err(e) => {
+                if let Ok(pr) = hub.pr_mut(pr_number) {
+                    pr.set_check("hubcast/mirror", StatusState::Failure, &e);
+                }
+                return MirrorDecision::Error(e);
+            }
+        };
+
+        let Some(source) = hub.repos.get(&source_repo) else {
+            return MirrorDecision::Error(format!("missing repo `{source_repo}`"));
+        };
+        let mirror_branch = format!("pr-{pr_number}");
+        match lab.receive_mirror(source, &source_branch, &mirror_branch) {
+            Ok(pipeline) => {
+                self.mirrored.push((pr_number, head));
+                if let Ok(pr) = hub.pr_mut(pr_number) {
+                    pr.set_check(
+                        "hubcast/mirror",
+                        StatusState::Success,
+                        &format!("mirrored to gitlab as {mirror_branch}"),
+                    );
+                    pr.set_check(
+                        "gitlab-ci/pipeline",
+                        StatusState::Running,
+                        &format!("pipeline #{pipeline} created"),
+                    );
+                }
+                MirrorDecision::Mirrored { pipeline, run_as }
+            }
+            Err(e) => {
+                if let Ok(pr) = hub.pr_mut(pr_number) {
+                    pr.set_check("hubcast/mirror", StatusState::Failure, &e);
+                }
+                MirrorDecision::Error(e)
+            }
+        }
+    }
+
+    /// Streams a finished pipeline's state back to the PR as a status check.
+    pub fn report_pipeline(&self, hub: &mut Hub, lab: &Lab, pr_number: u64, pipeline: u64) {
+        let Some(p) = lab.pipeline(pipeline) else {
+            return;
+        };
+        let (state, description) = match p.state() {
+            crate::lab::PipelineState::Success => {
+                (StatusState::Success, "all jobs passed".to_string())
+            }
+            crate::lab::PipelineState::Failed => {
+                let failed: Vec<&str> = p
+                    .jobs
+                    .iter()
+                    .filter(|j| j.state == crate::lab::JobState::Failed)
+                    .map(|j| j.name.as_str())
+                    .collect();
+                (StatusState::Failure, format!("failed jobs: {}", failed.join(", ")))
+            }
+            _ => (StatusState::Running, "in progress".to_string()),
+        };
+        if let Ok(pr) = hub.pr_mut(pr_number) {
+            pr.set_check("gitlab-ci/pipeline", state, &description);
+        }
+    }
+}

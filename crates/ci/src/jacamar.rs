@@ -1,0 +1,64 @@
+//! Jacamar: the setuid CI executor's user-mapping policy (§3.3.2).
+//!
+//! *"Instead of running multiple CI jobs all under a single service user,
+//! Jacamar uses setuid to execute jobs as the user who triggered them. …
+//! If a job is submitted by a user without an account at a participating
+//! site, the job will be run as the user who approved the pull request."*
+
+use std::collections::BTreeSet;
+
+/// The site's user database.
+#[derive(Debug, Clone, Default)]
+pub struct SiteAccounts {
+    users: BTreeSet<String>,
+}
+
+impl SiteAccounts {
+    /// Builds from a user list.
+    pub fn new(users: &[&str]) -> SiteAccounts {
+        SiteAccounts {
+            users: users.iter().map(|u| u.to_string()).collect(),
+        }
+    }
+
+    /// Adds an account.
+    pub fn add(&mut self, user: &str) {
+        self.users.insert(user.to_string());
+    }
+
+    /// True if `user` has an account at this site.
+    pub fn has_account(&self, user: &str) -> bool {
+        self.users.contains(user)
+    }
+}
+
+/// The Jacamar executor policy for one site.
+#[derive(Debug, Clone, Default)]
+pub struct Jacamar {
+    pub accounts: SiteAccounts,
+}
+
+impl Jacamar {
+    /// A Jacamar instance over the site's accounts.
+    pub fn new(accounts: SiteAccounts) -> Jacamar {
+        Jacamar { accounts }
+    }
+
+    /// Decides which OS user a job runs as: the triggering user when they
+    /// have a site account; otherwise the approving administrator (who must
+    /// have one). No service-account fallback exists — that is the point.
+    pub fn resolve_user(&self, author: &str, approver: Option<&str>) -> Result<String, String> {
+        if self.accounts.has_account(author) {
+            return Ok(author.to_string());
+        }
+        match approver {
+            Some(approver) if self.accounts.has_account(approver) => Ok(approver.to_string()),
+            Some(approver) => Err(format!(
+                "neither author `{author}` nor approver `{approver}` has a site account"
+            )),
+            None => Err(format!(
+                "author `{author}` has no site account and the PR has no admin approval"
+            )),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `benchpark-ci` — the continuous-integration substrate (paper §3.3,
+//! Figure 6).
+//!
+//! Benchpark *"relies on GitLab CI through Hubcast and Jacamar to manage the
+//! continuous integration task of continuous benchmarking"*. This crate
+//! implements that entire automation loop as an in-process simulation with
+//! real policy checks:
+//!
+//! * [`Repository`] — a content-hashed git-like repository model (commits,
+//!   branches, forks, diffs) standing in for real git.
+//! * [`Hub`] — the GitHub side: the canonical repository, fork-based pull
+//!   requests, reviews/approvals, and native status checks.
+//! * [`Lab`] — the GitLab side: mirrored repositories, `.gitlab-ci.yml`
+//!   parsing (stages + jobs), pipelines, and runners.
+//! * [`Hubcast`] — the secure mirroring bot (§3.3.1): *"untrusted pull
+//!   requests from forks … mirrored to a GitLab once they pass a configured
+//!   set of security criteria"*; a PR from outside the trusted org must be
+//!   *"reviewed and approved by a site and system administrator"* before the
+//!   commit is mirrored, CI runs, and statuses stream back to GitHub.
+//! * [`Jacamar`] (§3.3.2) — the setuid executor: jobs run as the triggering
+//!   user when they have a site account, otherwise *"as the user who
+//!   approved the pull request"*.
+//! * [`BenchparkExecutor`] — executes pipeline jobs against the other
+//!   substrates: `spack install …` jobs drive the install engine (with the
+//!   shared S3-style [`benchpark_spack::BinaryCache`] from Figure 6), and
+//!   benchmark jobs submit batch scripts to a simulated cluster.
+
+mod exec;
+mod federation;
+mod git;
+mod hub;
+mod hubcast;
+mod jacamar;
+mod lab;
+
+pub use exec::{run_pipeline, BenchparkExecutor, JobExecutor, JobResult};
+pub use federation::{Federation, Site, SiteOutcome};
+pub use git::{Commit, Repository};
+pub use hub::{Hub, PrState, PullRequest, StatusCheck, StatusState};
+pub use hubcast::{Hubcast, MirrorDecision};
+pub use jacamar::{Jacamar, SiteAccounts};
+pub use lab::{CiJob, JobState, Lab, Pipeline, PipelineState};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,460 @@
+//! Tests for the CI substrate: git model, hub/lab services, Hubcast gating,
+//! Jacamar user mapping, and pipeline execution.
+
+use crate::{
+    run_pipeline, BenchparkExecutor, Hub, Hubcast, Jacamar, JobState, Lab, MirrorDecision,
+    PipelineState, PrState, Repository, SiteAccounts, StatusState,
+};
+use benchpark_cluster::{Cluster, Machine};
+use benchpark_concretizer::SiteConfig;
+use benchpark_pkg::Repo;
+
+// ---------------------------------------------------------------------------
+// Git model
+// ---------------------------------------------------------------------------
+
+#[test]
+fn git_commit_read_and_history() {
+    let mut repo = Repository::init("llnl/benchpark");
+    let c1 = repo
+        .commit("main", "olga", "add saxpy", &[("experiments/saxpy.yaml", "n: 512\n")])
+        .unwrap();
+    let c2 = repo
+        .commit("main", "olga", "bump n", &[("experiments/saxpy.yaml", "n: 1024\n")])
+        .unwrap();
+    assert_ne!(c1, c2);
+    assert_eq!(repo.read("main", "experiments/saxpy.yaml"), Some("n: 1024\n"));
+    assert_eq!(repo.head("main").unwrap().hash, c2);
+    assert_eq!(repo.head("main").unwrap().parent.as_ref(), Some(&c1));
+    assert_eq!(repo.changed_paths(&c2), vec!["experiments/saxpy.yaml".to_string()]);
+}
+
+#[test]
+fn git_hash_is_content_addressed() {
+    let mut a = Repository::init("r");
+    let mut b = Repository::init("r");
+    let ha = a.commit("main", "u", "m", &[("f", "x")]).unwrap();
+    let hb = b.commit("main", "u", "m", &[("f", "x")]).unwrap();
+    assert_eq!(ha, hb);
+    let hc = b.commit("main", "u", "m", &[("f", "y")]).unwrap();
+    assert_ne!(ha, hc);
+}
+
+#[test]
+fn git_branch_fork_import() {
+    let mut repo = Repository::init("llnl/benchpark");
+    repo.commit("main", "olga", "base", &[("README", "hi")]).unwrap();
+
+    let mut fork = repo.fork("alice/benchpark");
+    fork.create_branch("feature", "main").unwrap();
+    let head = fork
+        .commit("feature", "alice", "tweak", &[("README", "hello")])
+        .unwrap();
+
+    let mut mirror = Repository::init("mirror");
+    let imported = mirror.import_branch(&fork, "feature", "pr-1").unwrap();
+    assert_eq!(imported, head);
+    assert_eq!(mirror.read("pr-1", "README"), Some("hello"));
+}
+
+#[test]
+fn git_fast_forward_rules() {
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "base", &[("f", "1")]).unwrap();
+    repo.create_branch("feature", "main").unwrap();
+    let feat = repo.commit("feature", "u", "work", &[("f", "2")]).unwrap();
+    repo.fast_forward("main", &feat).unwrap();
+    assert_eq!(repo.read("main", "f"), Some("2"));
+
+    // diverged: main moves on, feature2 branches from the old head
+    repo.create_branch("feature2", "main").unwrap();
+    let f2 = repo.commit("feature2", "u", "a", &[("f", "3")]).unwrap();
+    repo.commit("main", "u", "b", &[("g", "4")]).unwrap();
+    assert!(repo.fast_forward("main", &f2).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Hub: PRs, approvals, merge gating
+// ---------------------------------------------------------------------------
+
+fn hub_with_pr() -> (Hub, u64) {
+    let mut canonical = Repository::init("llnl/benchpark");
+    canonical
+        .commit("main", "olga", "base", &[(".gitlab-ci.yml", CI_CONFIG), ("README", "benchpark")])
+        .unwrap();
+    let mut hub = Hub::new(canonical);
+    hub.add_admin("olga");
+    let fork = hub.fork("llnl/benchpark", "jens").unwrap();
+    let repo = hub.repos.get_mut(&fork).unwrap();
+    repo.create_branch("add-bcast", "main").unwrap();
+    repo.commit(
+        "add-bcast",
+        "jens",
+        "add bcast benchmark",
+        &[("ci/bcast_cts1.sbatch", "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 100\n")],
+    )
+    .unwrap();
+    let pr = hub
+        .open_pr("llnl/benchpark", &fork, "add-bcast", "main", "jens")
+        .unwrap();
+    (hub, pr)
+}
+
+const CI_CONFIG: &str = "stages:\n  - build\n  - bench\nbuild-cts1:\n  stage: build\n  script:\n    - spack install saxpy+openmp\n  tags: [cts1]\nbench-cts1:\n  stage: bench\n  script:\n    - submit cts1 ci/bcast_cts1.sbatch\n  tags: [cts1]\n";
+
+#[test]
+fn approvals_policy() {
+    let (mut hub, pr) = hub_with_pr();
+    // outsiders cannot review
+    assert!(hub.approve(pr, "random").is_err());
+    // authors cannot self-approve
+    hub.add_org_member("jens");
+    assert!(hub.approve(pr, "jens").is_err());
+    // admins can
+    hub.approve(pr, "olga").unwrap();
+    assert!(hub.pr(pr).unwrap().approvals.contains("olga"));
+}
+
+#[test]
+fn merge_requires_approval_and_green_checks() {
+    let (mut hub, pr) = hub_with_pr();
+    assert!(hub.merge("llnl/benchpark", pr).is_err()); // no approval
+    hub.approve(pr, "olga").unwrap();
+    assert!(hub.merge("llnl/benchpark", pr).is_err()); // no checks
+    hub.pr_mut(pr)
+        .unwrap()
+        .set_check("gitlab-ci/pipeline", StatusState::Success, "ok");
+    hub.merge("llnl/benchpark", pr).unwrap();
+    assert_eq!(hub.pr(pr).unwrap().state, PrState::Merged);
+    // the canonical main now has the new file
+    assert!(hub.repos["llnl/benchpark"]
+        .read("main", "ci/bcast_cts1.sbatch")
+        .is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Hubcast: security criteria and mirroring (§3.3.1)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn untrusted_pr_waits_for_admin_approval() {
+    let (mut hub, pr) = hub_with_pr();
+    let mut lab = Lab::new();
+    let jacamar = Jacamar::new(SiteAccounts::new(&["olga"]));
+    let mut hubcast = Hubcast::new();
+
+    // jens is not in the trusted org: no mirroring
+    let decision = hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr);
+    assert_eq!(decision, MirrorDecision::AwaitingApproval);
+    assert!(lab.pipelines().is_empty());
+    let check = &hub.pr(pr).unwrap().checks[0];
+    assert_eq!(check.context, "hubcast/mirror");
+    assert_eq!(check.state, StatusState::Pending);
+
+    // after the admin approves, the branch mirrors and a pipeline appears
+    hub.approve(pr, "olga").unwrap();
+    let decision = hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr);
+    match decision {
+        MirrorDecision::Mirrored { pipeline, run_as } => {
+            assert_eq!(run_as, "olga"); // jens has no site account
+            assert!(lab.pipeline(pipeline).is_some());
+        }
+        other => panic!("expected mirror, got {other:?}"),
+    }
+    // idempotent at the same head
+    let again = hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr);
+    assert_eq!(again, MirrorDecision::AlreadyMirrored);
+}
+
+#[test]
+fn updated_pr_requires_fresh_approval_and_remirrors() {
+    let (mut hub, pr) = hub_with_pr();
+    let mut lab = Lab::new();
+    let jacamar = Jacamar::new(SiteAccounts::new(&["olga"]));
+    let mut hubcast = Hubcast::new();
+
+    hub.approve(pr, "olga").unwrap();
+    let MirrorDecision::Mirrored { pipeline: p1, .. } =
+        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr)
+    else {
+        panic!("expected first mirror");
+    };
+
+    // the contributor pushes a new commit to the PR branch
+    let source_repo = hub.pr(pr).unwrap().source_repo.clone();
+    hub.repos
+        .get_mut(&source_repo)
+        .unwrap()
+        .commit(
+            "add-bcast",
+            "jens",
+            "tweak message size",
+            &[("ci/bcast_cts1.sbatch", "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 64:64 -i 100\n")],
+        )
+        .unwrap();
+    assert!(hub.refresh_pr_head(pr).unwrap());
+    assert!(!hub.refresh_pr_head(pr).unwrap(), "idempotent");
+
+    // stale approval was dismissed: the new head must wait again
+    assert_eq!(
+        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr),
+        MirrorDecision::AwaitingApproval
+    );
+    hub.approve(pr, "olga").unwrap();
+    let MirrorDecision::Mirrored { pipeline: p2, .. } =
+        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr)
+    else {
+        panic!("expected re-mirror");
+    };
+    assert_ne!(p1, p2, "updated head gets a fresh pipeline");
+    // the mirrored branch carries the new content
+    let mirrored = lab.repo.as_ref().unwrap().read("pr-1", "ci/bcast_cts1.sbatch").unwrap();
+    assert!(mirrored.contains("-m 64:64"), "{mirrored}");
+}
+
+#[test]
+fn trusted_member_mirrors_without_approval() {
+    let (mut hub, pr) = hub_with_pr();
+    hub.add_org_member("jens");
+    let mut lab = Lab::new();
+    let jacamar = Jacamar::new(SiteAccounts::new(&["jens", "olga"]));
+    let mut hubcast = Hubcast::new();
+    match hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr) {
+        MirrorDecision::Mirrored { run_as, .. } => assert_eq!(run_as, "jens"),
+        other => panic!("expected mirror, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jacamar (§3.3.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn jacamar_user_mapping() {
+    let jacamar = Jacamar::new(SiteAccounts::new(&["olga", "alec"]));
+    // author with account runs as themself
+    assert_eq!(jacamar.resolve_user("alec", Some("olga")).unwrap(), "alec");
+    // author without account runs as the approver
+    assert_eq!(jacamar.resolve_user("jens", Some("olga")).unwrap(), "olga");
+    // neither has an account → refusal (no service-account fallback)
+    assert!(jacamar.resolve_user("jens", Some("doug")).is_err());
+    assert!(jacamar.resolve_user("jens", None).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Pipelines: parsing and execution (Figure 6 end to end)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ci_config_parsing() {
+    let (stages, jobs) = crate::lab::parse_ci_config(CI_CONFIG).unwrap();
+    assert_eq!(stages, vec!["build", "bench"]);
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(jobs[0].name, "build-cts1");
+    assert_eq!(jobs[0].stage, "build");
+    assert_eq!(jobs[0].script, vec!["spack install saxpy+openmp"]);
+    assert_eq!(jobs[0].tags, vec!["cts1"]);
+
+    assert!(crate::lab::parse_ci_config("stages: [a]\n").is_err()); // no jobs
+    assert!(
+        crate::lab::parse_ci_config("stages: [a]\nj:\n  stage: b\n  script: [x]\n").is_err(),
+        "unknown stage must be rejected"
+    );
+}
+
+/// Figure 6, end to end: PR → approval → Hubcast mirror → GitLab pipeline
+/// (build via Spack + benchmark run on the simulated cluster) → status back
+/// on GitHub → merge.
+#[test]
+fn golden_fig6_automation_workflow() {
+    let (mut hub, pr) = hub_with_pr();
+    let mut lab = Lab::new();
+    let jacamar = Jacamar::new(SiteAccounts::new(&["olga"]));
+    let mut hubcast = Hubcast::new();
+
+    hub.approve(pr, "olga").unwrap();
+    let MirrorDecision::Mirrored { pipeline, run_as } =
+        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr)
+    else {
+        panic!("mirror expected");
+    };
+
+    // CI builders + benchmark runners
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+    run_pipeline(&mut lab, pipeline, &run_as, &mut executor).unwrap();
+
+    let p = lab.pipeline(pipeline).unwrap();
+    assert_eq!(p.state(), PipelineState::Success, "{:#?}", p.jobs);
+    assert!(p.jobs.iter().all(|j| j.ran_as.as_deref() == Some("olga")));
+    let build = &p.jobs[0];
+    assert!(build.log.contains("installed"), "{}", build.log);
+    let bench = &p.jobs[1];
+    assert!(bench.log.contains("OSU MPI Broadcast Latency Test"), "{}", bench.log);
+
+    // status streams back; PR becomes mergeable
+    hubcast.report_pipeline(&mut hub, &lab, pr, pipeline);
+    assert!(hub.pr(pr).unwrap().checks_green());
+    hub.merge("llnl/benchpark", pr).unwrap();
+    assert_eq!(hub.pr(pr).unwrap().state, PrState::Merged);
+}
+
+#[test]
+fn pipeline_failure_blocks_merge() {
+    // PR whose benchmark script launches an unknown binary
+    let mut canonical = Repository::init("llnl/benchpark");
+    canonical
+        .commit("main", "olga", "base", &[(".gitlab-ci.yml", CI_CONFIG)])
+        .unwrap();
+    let mut hub = Hub::new(canonical);
+    hub.add_admin("olga");
+    let fork = hub.fork("llnl/benchpark", "eve").unwrap();
+    let repo = hub.repos.get_mut(&fork).unwrap();
+    repo.create_branch("bad", "main").unwrap();
+    repo.commit(
+        "bad",
+        "eve",
+        "broken bench",
+        &[("ci/bcast_cts1.sbatch", "srun -n 4 nonexistent_binary\n")],
+    )
+    .unwrap();
+    let pr = hub.open_pr("llnl/benchpark", &fork, "bad", "main", "eve").unwrap();
+    hub.approve(pr, "olga").unwrap();
+
+    let mut lab = Lab::new();
+    let jacamar = Jacamar::new(SiteAccounts::new(&["olga"]));
+    let mut hubcast = Hubcast::new();
+    let MirrorDecision::Mirrored { pipeline, run_as } =
+        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr)
+    else {
+        panic!("mirror expected");
+    };
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+    run_pipeline(&mut lab, pipeline, &run_as, &mut executor).unwrap();
+
+    let p = lab.pipeline(pipeline).unwrap();
+    assert_eq!(p.state(), PipelineState::Failed);
+    // build succeeded, bench failed
+    assert_eq!(p.jobs[0].state, JobState::Success);
+    assert_eq!(p.jobs[1].state, JobState::Failed);
+
+    hubcast.report_pipeline(&mut hub, &lab, pr, pipeline);
+    let err = hub.merge("llnl/benchpark", pr).unwrap_err();
+    assert!(err.contains("failing"), "{err}");
+}
+
+#[test]
+fn failed_stage_skips_later_stages() {
+    let config = "stages:\n  - build\n  - bench\nb:\n  stage: build\n  script:\n    - spack install definitely-not-a-package\nr:\n  stage: bench\n  script:\n    - echo never runs\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)]).unwrap();
+    let mut lab = Lab::new();
+    let source = repo.clone();
+    let id = lab.receive_mirror(&source, "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+    let p = lab.pipeline(id).unwrap();
+    assert_eq!(p.jobs[0].state, JobState::Failed);
+    assert_eq!(p.jobs[1].state, JobState::Created, "bench stage must be skipped");
+    assert_eq!(p.state(), PipelineState::Failed);
+}
+
+/// Table 1 row 6: "Hubcast@LLNL/RIKEN/AWS" — three sites validate the same
+/// PR; each posts its own status; all must pass before merge.
+#[test]
+fn federation_requires_all_sites_green() {
+    use crate::{Federation, PipelineState, Site, SiteOutcome};
+
+    // CI config whose bench job targets `cts1` — a runner every site has to
+    // provide under its own tag mapping.
+    let (mut hub, pr) = hub_with_pr();
+    hub.approve(pr, "olga").unwrap();
+
+    let mut federation = Federation::new(vec![
+        Site::new("llnl", Jacamar::new(SiteAccounts::new(&["olga"]))),
+        Site::new("riken", Jacamar::new(SiteAccounts::new(&["olga", "jens"]))),
+        Site::new("aws", Jacamar::new(SiteAccounts::new(&["olga", "heidi"]))),
+    ]);
+
+    let pkg_repo = Repo::builtin();
+    let site_cfg = SiteConfig::example_cts();
+    let mut llnl = BenchparkExecutor::new(&pkg_repo, site_cfg.clone());
+    llnl.add_cluster("cts1", Cluster::new(Machine::cts1()));
+    let mut riken = BenchparkExecutor::new(&pkg_repo, site_cfg.clone());
+    riken.add_cluster("cts1", Cluster::new(Machine::ats4()));
+    // AWS "forgot" to register a runner for the cts1 tag → its bench job fails
+    let mut aws = BenchparkExecutor::new(&pkg_repo, site_cfg.clone());
+
+    let outcomes = federation.process_pr(
+        &mut hub,
+        pr,
+        &mut [&mut llnl, &mut riken, &mut aws],
+    );
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(outcomes[0].1, SiteOutcome::Ran(PipelineState::Success));
+    assert_eq!(outcomes[1].1, SiteOutcome::Ran(PipelineState::Success));
+    assert_eq!(outcomes[2].1, SiteOutcome::Ran(PipelineState::Failed));
+
+    // per-site status checks on the PR
+    let checks = &hub.pr(pr).unwrap().checks;
+    let check = |ctx: &str| checks.iter().find(|c| c.context == ctx).unwrap().state;
+    assert_eq!(check("gitlab-ci/llnl"), StatusState::Success);
+    assert_eq!(check("gitlab-ci/riken"), StatusState::Success);
+    assert_eq!(check("gitlab-ci/aws"), StatusState::Failure);
+    // merge is blocked by the failing site
+    assert!(hub.merge("llnl/benchpark", pr).is_err());
+
+    // AWS fixes its runner; reprocessing is up-to-date at green sites and
+    // retries nothing (same head already mirrored there)
+    aws.add_cluster("cts1", Cluster::new(Machine::cloud_c5()));
+    let outcomes = federation.process_pr(&mut hub, pr, &mut [&mut llnl, &mut riken, &mut aws]);
+    assert_eq!(outcomes[0].1, SiteOutcome::UpToDate);
+    assert_eq!(outcomes[2].1, SiteOutcome::UpToDate, "same head is not re-run");
+
+    // the contributor pushes a fix commit → all sites revalidate
+    let source_repo = hub.pr(pr).unwrap().source_repo.clone();
+    hub.repos
+        .get_mut(&source_repo)
+        .unwrap()
+        .commit("add-bcast", "jens", "bump iters", &[(
+            "ci/bcast_cts1.sbatch",
+            "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 200\n",
+        )])
+        .unwrap();
+    hub.refresh_pr_head(pr).unwrap();
+    hub.approve(pr, "olga").unwrap();
+    let outcomes = federation.process_pr(&mut hub, pr, &mut [&mut llnl, &mut riken, &mut aws]);
+    assert!(outcomes
+        .iter()
+        .all(|(_, o)| *o == SiteOutcome::Ran(PipelineState::Success)), "{outcomes:?}");
+    hub.merge("llnl/benchpark", pr).unwrap();
+}
+
+#[test]
+fn binary_cache_shared_across_pipeline_runs() {
+    let mut repo = Repository::init("r");
+    let config = "stages: [build]\nb:\n  stage: build\n  script:\n    - spack install amg2023+caliper\n";
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)]).unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+
+    let mut lab = Lab::new();
+    let p1 = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+    run_pipeline(&mut lab, p1, "olga", &mut executor).unwrap();
+    let builds_before = executor.cache.len();
+    assert!(builds_before > 0);
+
+    // a second pipeline on a "fresh machine" (empty DB) hits the cache
+    executor.db = benchpark_spack::InstallDatabase::new();
+    let p2 = lab.receive_mirror(&repo.clone(), "main", "pr-2").unwrap();
+    run_pipeline(&mut lab, p2, "olga", &mut executor).unwrap();
+    let log = &lab.pipeline(p2).unwrap().jobs[0].log;
+    assert!(log.contains("FetchFromCache"), "{log}");
+    assert!(!log.contains(" Build "), "second run should not rebuild: {log}");
+}

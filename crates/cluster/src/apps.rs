@@ -1,0 +1,488 @@
+//! Application execution: analytical performance models plus the real saxpy
+//! kernel (paper Figure 7).
+//!
+//! Benchpark treats applications as black boxes that print FOM-bearing
+//! stdout; the models here produce exactly that, with run times derived from
+//! roofline compute, memory bandwidth, and MPI collective costs on the
+//! simulated machine, plus deterministic seeded noise.
+
+use crate::machine::Machine;
+use crate::net::CollectiveModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the binary was built (drives GPU-vs-CPU execution and the §7.1
+/// feature-mismatch fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgrammingModel {
+    Serial,
+    OpenMp,
+    Cuda,
+    Rocm,
+}
+
+/// An installed executable on a cluster: what the Spack build produced.
+#[derive(Debug, Clone)]
+pub struct BinaryInfo {
+    /// Executable base name (`saxpy`, `amg`, `osu_bcast`…).
+    pub name: String,
+    /// Microarchitecture the binary was compiled for (`target=` in the spec).
+    pub target: String,
+    /// Programming model variants enabled at build time.
+    pub model: ProgrammingModel,
+    /// Hardware features the binary (including its math libraries) executes —
+    /// running on a machine lacking any of these dies with SIGILL (§7.1).
+    pub required_features: Vec<String>,
+}
+
+impl BinaryInfo {
+    /// Builds a `BinaryInfo` whose required features are the SIMD features
+    /// of the compile target — what an optimizing compiler and vendored math
+    /// library would actually emit.
+    pub fn for_target(name: &str, target: &str, model: ProgrammingModel) -> BinaryInfo {
+        let simd = [
+            "sse4_2", "avx", "avx2", "fma", "avx512f", "avx512bw", "avx512dq", "avx512vl",
+            "vsx", "altivec", "sve", "asimd",
+        ];
+        let required = benchpark_archspec::taxonomy()
+            .get(target)
+            .map(|u| {
+                simd.iter()
+                    .filter(|f| u.all_features.contains(**f))
+                    .map(|f| f.to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        BinaryInfo {
+            name: name.to_string(),
+            target: target.to_string(),
+            model,
+            required_features: required,
+        }
+    }
+}
+
+/// The context one application run executes in.
+#[derive(Debug, Clone)]
+pub struct RunContext<'a> {
+    pub machine: &'a Machine,
+    pub n_nodes: usize,
+    pub n_ranks: usize,
+    pub n_threads: usize,
+    pub binary: BinaryInfo,
+    /// Seed for deterministic noise (derived from experiment identity).
+    pub seed: u64,
+}
+
+impl RunContext<'_> {
+    fn noise(&self, salt: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15));
+        1.0 + 0.04 * (rng.gen::<f64>() - 0.5)
+    }
+
+    fn uses_gpu(&self) -> bool {
+        matches!(
+            self.binary.model,
+            ProgrammingModel::Cuda | ProgrammingModel::Rocm
+        ) && self.machine.gpus_per_node > 0
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct AppOutput {
+    /// Simulated stdout (what Ramble's FOM regexes scan).
+    pub stdout: String,
+    /// Wall-clock seconds the job consumed on the machine.
+    pub duration_seconds: f64,
+    /// 0 on success; 132 models SIGILL (illegal instruction, §7.1).
+    pub exit_code: i32,
+    /// Caliper-style flat profile: `(region path, seconds)`.
+    pub profile: Vec<(String, f64)>,
+}
+
+impl AppOutput {
+    fn crash_sigill(binary: &BinaryInfo, machine: &Machine) -> AppOutput {
+        AppOutput {
+            stdout: format!(
+                "[{}] {}: illegal instruction (core dumped)\n\
+                 binary compiled for target={} requires features the host lacks\n",
+                machine.name, binary.name, binary.target
+            ),
+            duration_seconds: 0.01,
+            exit_code: 132, // 128 + SIGILL(4)
+            profile: Vec::new(),
+        }
+    }
+
+    /// Success?
+    pub fn success(&self) -> bool {
+        self.exit_code == 0
+    }
+}
+
+/// A pluggable application performance model: `(context, argv) → output`.
+pub type AppModelFn = fn(&RunContext<'_>, &[String]) -> AppOutput;
+
+/// Dispatches executable names to their models.
+pub struct AppRegistry;
+
+impl AppRegistry {
+    /// Known executable base names.
+    pub fn known() -> &'static [&'static str] {
+        &["saxpy", "amg", "stream", "osu_bcast", "xhpl", "lulesh2.0"]
+    }
+
+    /// Applies the §7.1 hardware-feature check, then runs `model`. The crash
+    /// happens in the loader/math library, before any application logic —
+    /// custom models get the same treatment as built-ins.
+    pub fn feature_checked(
+        ctx: &RunContext<'_>,
+        model: impl FnOnce() -> AppOutput,
+    ) -> Option<AppOutput> {
+        let missing = ctx
+            .binary
+            .required_features
+            .iter()
+            .any(|f| !ctx.machine.cpu.features.contains(f.as_str()));
+        if missing {
+            return Some(AppOutput::crash_sigill(&ctx.binary, ctx.machine));
+        }
+        Some(model())
+    }
+
+    /// Runs `exe args…` under `ctx`. Returns `None` for unknown executables
+    /// (the batch layer turns that into `command not found`, exit 127).
+    pub fn run(exe: &str, args: &[String], ctx: &RunContext<'_>) -> Option<AppOutput> {
+        // §7.1 feature check happens before any application logic: the crash
+        // is in the loader/math library, not the app.
+        let missing: Vec<&String> = ctx
+            .binary
+            .required_features
+            .iter()
+            .filter(|f| !ctx.machine.cpu.features.contains(f.as_str()))
+            .collect();
+        if !missing.is_empty() {
+            return Some(AppOutput::crash_sigill(&ctx.binary, ctx.machine));
+        }
+        match exe {
+            "saxpy" => Some(saxpy(args, ctx)),
+            "amg" => Some(amg(args, ctx)),
+            "stream" => Some(stream(args, ctx)),
+            "osu_bcast" => Some(osu_bcast(args, ctx)),
+            "xhpl" => Some(hpl(args, ctx)),
+            "lulesh2.0" => Some(lulesh(args, ctx)),
+            _ => None,
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_values(args: &[String], flag: &str, n: usize) -> Option<Vec<u64>> {
+    let i = args.iter().position(|a| a == flag)?;
+    let vals: Vec<u64> = args[i + 1..]
+        .iter()
+        .take(n)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    (vals.len() == n).then_some(vals)
+}
+
+/// Figure 7's kernel, executed for real (multithreaded via crossbeam scoped
+/// threads) in addition to the distributed-time model.
+pub fn saxpy_kernel(r: &mut [f32], x: &[f32], y: &[f32], a: f32, threads: usize) {
+    let threads = threads.clamp(1, 16);
+    if threads == 1 || r.len() < 4096 {
+        for i in 0..r.len() {
+            r[i] = a * x[i] + y[i];
+        }
+        return;
+    }
+    let chunk = r.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for ((r_chunk, x_chunk), y_chunk) in r
+            .chunks_mut(chunk)
+            .zip(x.chunks(chunk))
+            .zip(y.chunks(chunk))
+        {
+            s.spawn(move |_| {
+                for i in 0..r_chunk.len() {
+                    r_chunk[i] = a * x_chunk[i] + y_chunk[i];
+                }
+            });
+        }
+    })
+    .expect("saxpy workers must not panic");
+}
+
+fn saxpy(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
+    let n: u64 = flag_value(args, "-n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // really run the kernel (bounded size so tests stay fast)
+    let real_n = n.min(1 << 22) as usize;
+    let x = vec![1.0f32; real_n];
+    let y = vec![2.0f32; real_n];
+    let mut r = vec![0.0f32; real_n];
+    saxpy_kernel(&mut r, &x, &y, 2.5, ctx.n_threads);
+    debug_assert!(r.iter().all(|&v| (v - 4.5).abs() < 1e-6));
+
+    // distributed-time model: bandwidth-bound streaming kernel + a parameter
+    // broadcast
+    let per_rank = n.div_ceil(ctx.n_ranks.max(1) as u64);
+    let bytes = per_rank * 3 * 4; // read x, y; write r
+    let ranks_per_node = ctx.n_ranks.div_ceil(ctx.n_nodes.max(1));
+    let node_bw = ctx.machine.memory_bw_gb_s * 1e9;
+    let rank_bw = node_bw / ranks_per_node.max(1) as f64;
+    let kernel = bytes as f64 / rank_bw * ctx.noise(1);
+    let coll = CollectiveModel::new(&ctx.machine.network);
+    let bcast = coll.bcast(ctx.machine.network.bcast, ctx.n_ranks, 16);
+    let total = kernel + bcast;
+
+    AppOutput {
+        stdout: format!(
+            "Running saxpy: n={} ranks={} threads={}\nKernel done\nKernel time (s): {:.6}\n",
+            n, ctx.n_ranks, ctx.n_threads, total
+        ),
+        duration_seconds: total + 0.05,
+        exit_code: 0,
+        profile: vec![
+            ("main".to_string(), total),
+            ("main/saxpy_kernel".to_string(), kernel),
+            ("MPI_Bcast".to_string(), bcast),
+        ],
+    }
+}
+
+fn amg(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
+    let p = flag_values(args, "-P", 3).unwrap_or(vec![1, 1, 1]);
+    let n = flag_values(args, "-n", 3).unwrap_or(vec![10, 10, 10]);
+    let needed = (p[0] * p[1] * p[2]) as usize;
+    if needed != ctx.n_ranks {
+        return AppOutput {
+            stdout: format!(
+                "ERROR: processor topology {}x{}x{} requires {} ranks, got {}\n",
+                p[0], p[1], p[2], needed, ctx.n_ranks
+            ),
+            duration_seconds: 0.01,
+            exit_code: 1,
+            profile: Vec::new(),
+        };
+    }
+    let per_rank_dof = (n[0] * n[1] * n[2]) as f64;
+    let total_dof = per_rank_dof * needed as f64;
+
+    // effective per-rank memory bandwidth (GPU runs use device bandwidth)
+    let ranks_per_node = ctx.n_ranks.div_ceil(ctx.n_nodes.max(1));
+    let bw = if ctx.uses_gpu() {
+        let g = ctx.machine.gpu.as_ref().expect("uses_gpu checked");
+        g.memory_bw_gb_s * 1e9 * ctx.machine.gpus_per_node as f64 / ranks_per_node.max(1) as f64
+    } else {
+        ctx.machine.memory_bw_gb_s * 1e9 / ranks_per_node.max(1) as f64
+    };
+
+    let coll = CollectiveModel::new(&ctx.machine.network);
+    // setup: matrix + hierarchy construction, ~250 bytes/DOF of traffic,
+    // plus an allgather of coarse-grid info
+    let setup = per_rank_dof * 250.0 / bw * ctx.noise(2)
+        + coll.allgather(ctx.n_ranks, 4096)
+        + coll.bcast(ctx.machine.network.bcast, ctx.n_ranks, 1024);
+    // solve: V-cycles; 27-pt SpMV traffic dominates; each iteration does
+    // halo exchanges and two dot-product allreduces
+    let iterations = 17u32;
+    let face_bytes = (n[0] * n[1] * 8) as u64;
+    let per_iter = per_rank_dof * 27.0 * 8.0 * 1.7 / bw // 1.7: V-cycle levels
+        + coll.halo3d(face_bytes)
+        + 2.0 * coll.allreduce(ctx.n_ranks, 8);
+    let solve = per_iter * iterations as f64 * ctx.noise(3);
+
+    let fom_setup = total_dof / setup;
+    let fom_solve = total_dof * iterations as f64 / solve;
+    let total = setup + solve;
+
+    AppOutput {
+        stdout: format!(
+            "AMG2023 driver\nProblem: {} x {} x {} per process, P = {} {} {}\n\
+             Iterations = {}\nFinal relative residual = 1.0e-08\n\
+             Setup phase time: {:.6} seconds\nSolve phase time: {:.6} seconds\n\
+             Figure of Merit (FOM_Setup): {:.6e}\nFigure of Merit (FOM_Solve): {:.6e}\n",
+            n[0], n[1], n[2], p[0], p[1], p[2], iterations, setup, solve, fom_setup, fom_solve
+        ),
+        duration_seconds: total + 0.3,
+        exit_code: 0,
+        profile: vec![
+            ("main".to_string(), total),
+            ("main/setup".to_string(), setup),
+            ("main/solve".to_string(), solve),
+            (
+                "MPI_Allreduce".to_string(),
+                2.0 * coll.allreduce(ctx.n_ranks, 8) * iterations as f64,
+            ),
+            (
+                "MPI_Bcast".to_string(),
+                coll.bcast(ctx.machine.network.bcast, ctx.n_ranks, 1024),
+            ),
+        ],
+    }
+}
+
+fn stream(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
+    let size: u64 = flag_value(args, "-s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80_000_000);
+    // bandwidth saturates once ~half the cores participate
+    let cores = ctx.machine.cores_per_node() as f64;
+    let saturation = (ctx.n_threads as f64 / (cores / 2.0)).min(1.0);
+    let bw = ctx.machine.memory_bw_gb_s * 1e9 * (0.25 + 0.75 * saturation);
+    let mbps = |factor: f64, salt: u64| bw * factor / 1e6 * ctx.noise(salt);
+    let copy = mbps(0.92, 10);
+    let scale = mbps(0.90, 11);
+    let add = mbps(0.95, 12);
+    let triad = mbps(0.96, 13);
+    let duration = (size * 8 * 10) as f64 / bw;
+    AppOutput {
+        stdout: format!(
+            "STREAM version $Revision: 5.10 $\nArray size = {size}\n\
+             Function    Best Rate MB/s\nCopy:     {copy:.1}\nScale:    {scale:.1}\n\
+             Add:      {add:.1}\nTriad:    {triad:.1}\nSolution Validates\n"
+        ),
+        duration_seconds: duration,
+        exit_code: 0,
+        profile: vec![("main/triad".to_string(), duration / 4.0)],
+    }
+}
+
+fn osu_bcast(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
+    let sizes = flag_value(args, "-m").unwrap_or_else(|| "8:8".to_string());
+    let iterations: u64 = flag_value(args, "-i")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let (lo, hi) = match sizes.split_once(':') {
+        Some((a, b)) => (
+            a.parse::<u64>().unwrap_or(8),
+            b.parse::<u64>().unwrap_or(8),
+        ),
+        None => {
+            let v = sizes.parse::<u64>().unwrap_or(8);
+            (v, v)
+        }
+    };
+    let coll = CollectiveModel::new(&ctx.machine.network);
+    let mut stdout = String::from("# OSU MPI Broadcast Latency Test\n# Size       Avg Latency(us)\n");
+    let mut total = 0.0;
+    let mut profile = Vec::new();
+    let mut size = lo.max(1);
+    while size <= hi.max(1) {
+        let one = coll.bcast(ctx.machine.network.bcast, ctx.n_ranks, size) * ctx.noise(size);
+        stdout.push_str(&format!("{} {:.2}\n", size, one * 1e6));
+        total += one * iterations as f64;
+        profile.push((format!("MPI_Bcast/{size}"), one * iterations as f64));
+        if size == hi.max(1) {
+            break;
+        }
+        size = (size * 2).min(hi.max(1));
+    }
+    profile.push(("MPI_Bcast".to_string(), total));
+    AppOutput {
+        stdout,
+        duration_seconds: total + 0.02,
+        exit_code: 0,
+        profile,
+    }
+}
+
+/// High-Performance Linpack: compute-bound LU factorization,
+/// `2/3·N³ + 2·N²` flops at a machine-dependent efficiency.
+fn hpl(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
+    let n: f64 = flag_value(args, "-N")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000.0);
+    let nb: u64 = flag_value(args, "-NB")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(192);
+
+    // peak flops of the allocation
+    let ranks_per_node = ctx.n_ranks.div_ceil(ctx.n_nodes.max(1));
+    let (peak_flops, efficiency) = if ctx.uses_gpu() {
+        let g = ctx.machine.gpu.as_ref().expect("uses_gpu checked");
+        let node_peak = g.fp64_tflops * 1e12 * ctx.machine.gpus_per_node as f64;
+        (node_peak * ctx.n_nodes as f64, 0.70)
+    } else {
+        let threads = ctx.n_threads.max(1) as f64;
+        let cores_used =
+            (ranks_per_node as f64 * threads).min(ctx.machine.cores_per_node() as f64);
+        let node_peak = ctx.machine.gflops_per_core * 1e9 * cores_used;
+        (node_peak * ctx.n_nodes as f64, 0.82)
+    };
+    let flops = 2.0 / 3.0 * n * n * n + 2.0 * n * n;
+    let compute = flops / (peak_flops * efficiency);
+    // panel broadcasts: one per block column
+    let coll = CollectiveModel::new(&ctx.machine.network);
+    let panels = (n / nb as f64).ceil();
+    let comm = panels * coll.bcast(ctx.machine.network.bcast, ctx.n_ranks, nb * nb * 8);
+    let time = (compute + comm) * ctx.noise(31);
+    let gflops = flops / time / 1e9;
+
+    AppOutput {
+        stdout: format!(
+            "================================================================================\n             T/V                N    NB               Time                 Gflops\n             --------------------------------------------------------------------------------\n             WR11C2R4 {} {} {:.2} {:.4e}\n             Time   :   {:.2}\n             ||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)=   0.0023820 ...... PASSED\n",
+            n as u64, nb, time, gflops, time
+        ),
+        duration_seconds: time + 1.0,
+        exit_code: 0,
+        profile: vec![
+            ("main".to_string(), time),
+            ("main/pdgesv".to_string(), compute),
+            ("MPI_Bcast".to_string(), comm),
+        ],
+    }
+}
+
+fn lulesh(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
+    let s: u64 = flag_value(args, "-s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let iterations: u64 = flag_value(args, "-i")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let zones_per_domain = (s * s * s) as f64;
+    let total_zones = zones_per_domain * ctx.n_ranks as f64;
+
+    let ranks_per_node = ctx.n_ranks.div_ceil(ctx.n_nodes.max(1));
+    let flops_per_zone_step = 8000.0;
+    let core_gflops = ctx.machine.gflops_per_core * 1e9;
+    let threads = ctx.n_threads.max(1) as f64;
+    let compute =
+        zones_per_domain * flops_per_zone_step / (core_gflops * threads.min(8.0)) * ctx.noise(21);
+    let coll = CollectiveModel::new(&ctx.machine.network);
+    let face_bytes = s * s * 8;
+    let comm = coll.halo3d(face_bytes) + coll.allreduce(ctx.n_ranks, 8);
+    let per_step = compute + comm;
+    let elapsed = per_step * iterations as f64;
+    let fom = total_zones * iterations as f64 / elapsed / 1.0;
+    let _ = ranks_per_node;
+
+    AppOutput {
+        stdout: format!(
+            "Running problem size {s}^3 per domain until completion\n\
+             Num processors: {}\nIterations: {iterations}\n\
+             Elapsed time         =      {elapsed:.2} (s)\n\
+             FOM                  =      {fom:.2} (z/s)\nRun completed\n",
+            ctx.n_ranks
+        ),
+        duration_seconds: elapsed,
+        exit_code: 0,
+        profile: vec![
+            ("main".to_string(), elapsed),
+            ("main/LagrangeLeapFrog".to_string(), compute * iterations as f64),
+            ("MPI_Allreduce".to_string(), coll.allreduce(ctx.n_ranks, 8) * iterations as f64),
+        ],
+    }
+}

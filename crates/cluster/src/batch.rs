@@ -1,0 +1,236 @@
+//! Batch script parsing: the consumer of Figure 13's rendered template.
+//!
+//! A generated `execute_experiment` script looks like:
+//!
+//! ```text
+//! #!/bin/bash
+//! #SBATCH -N 2
+//! #SBATCH -n 16
+//! #SBATCH -t 120:00
+//! cd /workspace/experiments/saxpy_512_2_16_4
+//! export OMP_NUM_THREADS=4
+//! srun -N 2 -n 16 saxpy -n 512
+//! ```
+//!
+//! The parser understands Slurm (`#SBATCH`/`srun`), LSF (`#BSUB`/`jsrun`),
+//! and Flux (`#flux:`/`flux run`) dialects, since Benchpark's per-system
+//! `variables.yaml` (Figure 12) renders whichever the system uses.
+
+use std::collections::BTreeMap;
+
+/// One launcher invocation inside a batch script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrunCommand {
+    /// `-N` override, if given on the launcher line.
+    pub nodes: Option<usize>,
+    /// `-n` override, if given on the launcher line.
+    pub ranks: Option<usize>,
+    /// Executable base name (path stripped).
+    pub exe: String,
+    /// Arguments after the executable.
+    pub args: Vec<String>,
+    /// True if launched via an MPI launcher (vs. run directly).
+    pub via_launcher: bool,
+    /// The raw line, for diagnostics.
+    pub raw: String,
+}
+
+/// A parsed batch script.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScript {
+    /// Requested node count (directives; defaults to 1).
+    pub nodes: usize,
+    /// Requested task/rank count (defaults to `nodes`).
+    pub tasks: usize,
+    /// Wall-time limit in seconds (defaults to 1 hour).
+    pub time_limit_s: f64,
+    /// Environment set in the script (`export K=V` and `K=V` lines).
+    pub env: BTreeMap<String, String>,
+    /// Working directory from a `cd` line, if any.
+    pub workdir: Option<String>,
+    /// Commands to execute, in order.
+    pub commands: Vec<SrunCommand>,
+}
+
+impl BatchScript {
+    /// Parses a script. Never fails: unrecognized lines are ignored, exactly
+    /// like a shell ignoring comments — but a script with no commands is
+    /// still a valid (empty) job.
+    pub fn parse(text: &str) -> BatchScript {
+        let mut script = BatchScript {
+            nodes: 1,
+            tasks: 0,
+            time_limit_s: 3600.0,
+            ..BatchScript::default()
+        };
+        for raw_line in text.lines() {
+            let line = raw_line.trim();
+            if line.is_empty() || line == "#!/bin/bash" || line == "#!/bin/sh" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("#SBATCH ") {
+                script.parse_directive(rest);
+            } else if let Some(rest) = line.strip_prefix("#BSUB ") {
+                script.parse_bsub(rest);
+            } else if let Some(rest) = line.strip_prefix("#flux:") {
+                script.parse_directive(rest.trim());
+            } else if line.starts_with('#') {
+                continue;
+            } else if let Some(rest) = line.strip_prefix("cd ") {
+                script.workdir = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("export ") {
+                if let Some((k, v)) = rest.split_once('=') {
+                    script.env.insert(k.trim().to_string(), v.trim().to_string());
+                }
+            } else if is_plain_assignment(line) {
+                if let Some((k, v)) = line.split_once('=') {
+                    script.env.insert(k.trim().to_string(), v.trim().to_string());
+                }
+            } else {
+                if let Some(cmd) = parse_command(line) {
+                    script.commands.push(cmd);
+                }
+            }
+        }
+        if script.tasks == 0 {
+            script.tasks = script.nodes;
+        }
+        script
+    }
+
+    fn parse_directive(&mut self, rest: &str) {
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            match tokens[i] {
+                "-N" | "--nodes" => {
+                    if let Some(v) = tokens.get(i + 1).and_then(|t| t.parse().ok()) {
+                        self.nodes = v;
+                    }
+                    i += 2;
+                }
+                "-n" | "--ntasks" => {
+                    if let Some(v) = tokens.get(i + 1).and_then(|t| t.parse().ok()) {
+                        self.tasks = v;
+                    }
+                    i += 2;
+                }
+                "-t" | "--time" => {
+                    if let Some(t) = tokens.get(i + 1) {
+                        self.time_limit_s = parse_time_limit(t);
+                    }
+                    i += 2;
+                }
+                t => {
+                    // combined forms: -N2, -n16
+                    if let Some(v) = t.strip_prefix("-N").and_then(|s| s.parse().ok()) {
+                        self.nodes = v;
+                    } else if let Some(v) = t.strip_prefix("-n").and_then(|s| s.parse().ok()) {
+                        self.tasks = v;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_bsub(&mut self, rest: &str) {
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            match tokens[i] {
+                "-nnodes" => {
+                    if let Some(v) = tokens.get(i + 1).and_then(|t| t.parse().ok()) {
+                        self.nodes = v;
+                    }
+                    i += 2;
+                }
+                "-n" => {
+                    if let Some(v) = tokens.get(i + 1).and_then(|t| t.parse().ok()) {
+                        self.tasks = v;
+                    }
+                    i += 2;
+                }
+                "-W" => {
+                    if let Some(t) = tokens.get(i + 1) {
+                        self.time_limit_s = parse_time_limit(t);
+                    }
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+}
+
+/// `KEY=VALUE` with a shell-identifier key.
+fn is_plain_assignment(line: &str) -> bool {
+    match line.split_once('=') {
+        Some((k, _)) => {
+            !k.is_empty()
+                && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !k.starts_with(|c: char| c.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+/// `"120:00"` (MM:SS), `"1:30:00"` (HH:MM:SS), or plain minutes.
+fn parse_time_limit(text: &str) -> f64 {
+    let parts: Vec<&str> = text.split(':').collect();
+    let nums: Vec<f64> = parts.iter().map(|p| p.parse().unwrap_or(0.0)).collect();
+    match nums.as_slice() {
+        [m] => m * 60.0,
+        [m, s] => m * 60.0 + s,
+        [h, m, s] => h * 3600.0 + m * 60.0 + s,
+        _ => 3600.0,
+    }
+}
+
+/// Parses a command line, recognizing MPI launchers.
+fn parse_command(line: &str) -> Option<SrunCommand> {
+    let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut idx = 0;
+    let mut nodes = None;
+    let mut ranks = None;
+    let mut via_launcher = false;
+
+    let launcher = tokens[0].as_str();
+    if launcher == "srun" || launcher == "jsrun" || launcher == "lrun" {
+        via_launcher = true;
+        idx = 1;
+    } else if launcher == "flux" && tokens.get(1).map(String::as_str) == Some("run") {
+        via_launcher = true;
+        idx = 2;
+    }
+    if via_launcher {
+        while idx < tokens.len() && tokens[idx].starts_with('-') {
+            match tokens[idx].as_str() {
+                "-N" => {
+                    nodes = tokens.get(idx + 1).and_then(|t| t.parse().ok());
+                    idx += 2;
+                }
+                "-n" => {
+                    ranks = tokens.get(idx + 1).and_then(|t| t.parse().ok());
+                    idx += 2;
+                }
+                "-a" | "-c" | "-g" => idx += 2, // per-resource flags with value
+                _ => idx += 1,
+            }
+        }
+    }
+    let exe_path = tokens.get(idx)?;
+    let exe = exe_path.rsplit('/').next().unwrap_or(exe_path).to_string();
+    let args = tokens[idx + 1..].to_vec();
+    Some(SrunCommand {
+        nodes,
+        ranks,
+        exe,
+        args,
+        via_launcher,
+        raw: line.to_string(),
+    })
+}

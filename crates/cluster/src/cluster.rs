@@ -1,0 +1,285 @@
+//! The cluster facade: submit batch scripts, run the event loop, collect
+//! output — everything `ramble on` needs from a machine.
+
+use crate::apps::{AppModelFn, AppRegistry, BinaryInfo, ProgrammingModel, RunContext};
+use crate::batch::BatchScript;
+use crate::machine::Machine;
+use crate::sched::{JobRequest, JobState, Scheduler, SchedulerPolicy};
+use std::collections::BTreeMap;
+
+/// Opaque job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Everything known about a finished (or failed) job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub id: JobId,
+    pub user: String,
+    pub state: JobState,
+    pub submit_time: f64,
+    pub start_time: Option<f64>,
+    pub end_time: Option<f64>,
+    /// Combined stdout of all commands.
+    pub stdout: String,
+    /// Exit code of the job script (first failing command wins).
+    pub exit_code: i32,
+    /// Caliper-style profile aggregated across commands.
+    pub profile: Vec<(String, f64)>,
+    /// Nodes the job used.
+    pub nodes: usize,
+    /// Energy consumed, kWh (nodes × node power × wall time) — available for
+    /// energy-aware procurement scoring.
+    pub energy_kwh: f64,
+}
+
+impl JobOutcome {
+    /// Did every command succeed within the time limit?
+    pub fn success(&self) -> bool {
+        self.state == JobState::Completed && self.exit_code == 0
+    }
+}
+
+/// A simulated cluster: one machine + its batch scheduler + installed
+/// binaries.
+pub struct Cluster {
+    pub machine: Machine,
+    sched: Scheduler,
+    jobs: BTreeMap<JobId, JobOutcome>,
+    binaries: BTreeMap<String, BinaryInfo>,
+    /// User-registered application models (the §4 "adding benchmarks"
+    /// extension point): checked before the built-in registry.
+    custom_models: BTreeMap<String, AppModelFn>,
+    next_id: u64,
+}
+
+impl Cluster {
+    /// Boots a cluster with the machine's native scheduler and backfill.
+    pub fn new(machine: Machine) -> Cluster {
+        Cluster::with_policy(machine, SchedulerPolicy::Backfill)
+    }
+
+    /// Boots with an explicit scheduling policy (ablation A3).
+    pub fn with_policy(machine: Machine, policy: SchedulerPolicy) -> Cluster {
+        let sched = Scheduler::new(machine.nodes, policy);
+        Cluster {
+            machine,
+            sched,
+            jobs: BTreeMap::new(),
+            binaries: BTreeMap::new(),
+            custom_models: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Registers a performance model for a new executable name — how a
+    /// contributed benchmark (paper §4) becomes runnable on the simulated
+    /// cluster. Custom models shadow built-in ones.
+    pub fn register_app_model(&mut self, exe: &str, model: AppModelFn) {
+        self.custom_models.insert(exe.to_string(), model);
+    }
+
+    /// Registers an installed executable (what `spack install` produced).
+    /// Unregistered executables run as if built natively for this machine.
+    pub fn install_binary(&mut self, binary: BinaryInfo) {
+        self.binaries.insert(binary.name.clone(), binary);
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.sched.now()
+    }
+
+    /// Scheduler utilization so far.
+    pub fn utilization(&self) -> f64 {
+        self.sched.utilization()
+    }
+
+    /// Nodes currently unallocated.
+    pub fn free_nodes(&self) -> usize {
+        self.sched.free_nodes()
+    }
+
+    /// Injects hardware failure: removes `n` nodes from service.
+    pub fn fail_nodes(&mut self, n: usize) {
+        self.sched.fail_nodes(n);
+    }
+
+    /// Submits a batch script (e.g. the output of Figure 13's template).
+    ///
+    /// The job's stdout and runtime are computed immediately from the
+    /// performance models, but delivery waits until the scheduler actually
+    /// starts and finishes the job in virtual time.
+    pub fn submit_script(&mut self, script_text: &str, user: &str) -> Result<JobId, String> {
+        let script = BatchScript::parse(script_text);
+        if script.nodes > self.sched.total_nodes() {
+            return Err(format!(
+                "job requests {} nodes but {} has only {}",
+                script.nodes,
+                self.machine.name,
+                self.sched.total_nodes()
+            ));
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+
+        // execute the commands against the models now; the scheduler decides
+        // *when* this output becomes visible
+        let (stdout, exit_code, duration, profile) = self.execute_commands(&script, id);
+        let timed_out = duration > script.time_limit_s;
+
+        let outcome = JobOutcome {
+            id,
+            user: user.to_string(),
+            state: JobState::Pending,
+            submit_time: self.sched.now(),
+            start_time: None,
+            end_time: None,
+            stdout: if timed_out {
+                format!("{stdout}slurmstepd: error: *** JOB {} ON {} CANCELLED DUE TO TIME LIMIT ***\n", id.0, self.machine.name)
+            } else {
+                stdout
+            },
+            exit_code: if timed_out { 143 } else { exit_code },
+            profile,
+            nodes: script.nodes,
+            energy_kwh: self.machine.node_power_kw * script.nodes as f64
+                * duration.min(script.time_limit_s) / 3600.0,
+        };
+        self.jobs.insert(id, outcome);
+        self.sched.submit(JobRequest {
+            id: id.0,
+            nodes: script.nodes,
+            time_limit_s: script.time_limit_s,
+            actual_runtime_s: duration,
+        });
+        Ok(id)
+    }
+
+    fn execute_commands(
+        &self,
+        script: &BatchScript,
+        id: JobId,
+    ) -> (String, i32, f64, Vec<(String, f64)>) {
+        let mut stdout = String::new();
+        let mut exit_code = 0;
+        let mut duration = 0.0f64;
+        let mut profile: BTreeMap<String, f64> = BTreeMap::new();
+
+        let n_threads = script
+            .env
+            .get("OMP_NUM_THREADS")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+
+        for cmd in &script.commands {
+            let ranks = if cmd.via_launcher {
+                cmd.ranks.unwrap_or(script.tasks).max(1)
+            } else {
+                1
+            };
+            let nodes = cmd.nodes.unwrap_or(script.nodes).max(1);
+            let binary = self
+                .binaries
+                .get(&cmd.exe)
+                .cloned()
+                .unwrap_or_else(|| {
+                    BinaryInfo::for_target(
+                        &cmd.exe,
+                        &self.machine.target().name,
+                        ProgrammingModel::OpenMp,
+                    )
+                });
+            let seed = seed_for(&self.machine.name, id.0, &cmd.raw);
+            let ctx = RunContext {
+                machine: &self.machine,
+                n_nodes: nodes,
+                n_ranks: ranks,
+                n_threads,
+                binary,
+                seed,
+            };
+            let result = match self.custom_models.get(&cmd.exe) {
+                Some(model) => AppRegistry::feature_checked(&ctx, || model(&ctx, &cmd.args)),
+                None => AppRegistry::run(&cmd.exe, &cmd.args, &ctx),
+            };
+            match result {
+                Some(output) => {
+                    stdout.push_str(&output.stdout);
+                    duration += output.duration_seconds;
+                    for (region, t) in output.profile {
+                        *profile.entry(region).or_insert(0.0) += t;
+                    }
+                    if output.exit_code != 0 && exit_code == 0 {
+                        exit_code = output.exit_code;
+                    }
+                    if output.exit_code != 0 {
+                        break; // `set -e` semantics
+                    }
+                }
+                None => {
+                    stdout.push_str(&format!("bash: {}: command not found\n", cmd.exe));
+                    exit_code = 127;
+                    break;
+                }
+            }
+        }
+        let profile: Vec<(String, f64)> = profile.into_iter().collect();
+        (stdout, exit_code, duration.max(0.001), profile)
+    }
+
+    /// Runs the scheduler event loop until all jobs are done.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            for id in self.sched.try_start() {
+                let now = self.sched.now();
+                if let Some(job) = self.jobs.get_mut(&JobId(id)) {
+                    job.state = JobState::Running;
+                    job.start_time = Some(now);
+                }
+            }
+            if !self.sched.busy() {
+                break;
+            }
+            let finished = self.sched.advance();
+            if finished.is_empty() && self.sched.busy() {
+                // jobs pending but nothing running and nothing startable:
+                // the queue is wedged (request larger than the machine)
+                break;
+            }
+            let now = self.sched.now();
+            for id in finished {
+                if let Some(job) = self.jobs.get_mut(&JobId(id)) {
+                    job.end_time = Some(now);
+                    job.state = if job.exit_code == 143 {
+                        JobState::Timeout
+                    } else if job.exit_code != 0 {
+                        JobState::Failed
+                    } else {
+                        JobState::Completed
+                    };
+                }
+            }
+        }
+    }
+
+    /// Looks up a job.
+    pub fn job(&self, id: JobId) -> Option<&JobOutcome> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs in submission order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.jobs.values()
+    }
+}
+
+/// Deterministic seed from machine + job + command identity.
+fn seed_for(machine: &str, job: u64, raw: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in machine.bytes().chain(raw.bytes()) {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash ^ job.wrapping_mul(0x9e3779b97f4a7c15)
+}

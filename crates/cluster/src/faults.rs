@@ -1,0 +1,46 @@
+//! Fault injection (paper §1: benchmarking is *"a useful tool for tracking
+//! system performance over time and diagnosing hardware failures"*; §7.1's
+//! cloud math-library bug).
+
+use crate::machine::Machine;
+
+/// A fault to inject into a machine before (or while) running jobs.
+#[derive(Debug, Clone)]
+pub enum FaultSpec {
+    /// Hypervisor / firmware masks CPU features (the §7.1 scenario: cloud
+    /// instances of "similar architecture" lacking a hardware feature the
+    /// math library uses).
+    MaskCpuFeatures(Vec<String>),
+    /// Memory bandwidth degraded to `factor` of nominal (failing DIMM,
+    /// misconfigured NUMA) — continuous benchmarking catches the regression.
+    DegradeMemoryBandwidth(f64),
+    /// Interconnect latency inflated by `factor` (bad cable / flaky switch).
+    InflateNetworkLatency(f64),
+    /// `count` nodes taken out of service (applied via
+    /// [`crate::Cluster::fail_nodes`] by the caller for running clusters).
+    FailNodes(usize),
+}
+
+impl FaultSpec {
+    /// Applies the fault to a machine description, returning the degraded
+    /// machine. `FailNodes` reduces the node count.
+    pub fn apply(&self, mut machine: Machine) -> Machine {
+        match self {
+            FaultSpec::MaskCpuFeatures(features) => {
+                for f in features {
+                    machine.cpu.features.remove(f);
+                }
+            }
+            FaultSpec::DegradeMemoryBandwidth(factor) => {
+                machine.memory_bw_gb_s *= factor.clamp(0.0, 1.0);
+            }
+            FaultSpec::InflateNetworkLatency(factor) => {
+                machine.network.latency_us *= factor.max(1.0);
+            }
+            FaultSpec::FailNodes(count) => {
+                machine.nodes = machine.nodes.saturating_sub(*count);
+            }
+        }
+        machine
+    }
+}

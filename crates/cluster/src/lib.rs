@@ -1,0 +1,47 @@
+//! `benchpark-cluster` — simulated HPC systems: machines, a Slurm-like batch
+//! scheduler, MPI collective cost models, and an application execution engine.
+//!
+//! The paper runs saxpy and AMG2023 on three LLNL systems (§4): `cts1`
+//! (Intel Xeon CPU-only), `ats2` (Power9 + 4×V100), and `ats4` (AMD Trento +
+//! MI250X), plus cloud instances (§7.2). We obviously cannot ship those
+//! machines, so this crate provides the closest synthetic equivalent that
+//! exercises the same code paths Benchpark exercises on real systems:
+//!
+//! * [`Machine`] descriptions with node/socket/core/GPU/memory topology and a
+//!   CPU feature set fed through `benchpark-archspec` detection — including
+//!   the three paper systems as presets and a "cloud" preset whose masked
+//!   AVX-512 reproduces the §7.1 debugging story.
+//! * A [`Cluster`] with a Slurm-like batch scheduler: `#SBATCH` directive
+//!   parsing (the output of Figure 13's template), FIFO and conservative
+//!   backfill policies, job lifecycle (pending → running → completed /
+//!   failed / timeout), and node accounting.
+//! * An analytical performance model per application (roofline compute +
+//!   memory bandwidth + MPI collective costs with selectable broadcast
+//!   algorithms — the knob behind Figure 14's linear-in-`p` model) with
+//!   deterministic noise. The saxpy kernel (Figure 7) is additionally
+//!   executed for real, multithreaded, via crossbeam scoped threads.
+//! * Fault injection ([`FaultSpec`]): running a binary built for a
+//!   microarchitecture whose features the host lacks dies with an
+//!   illegal-instruction error, reproducing the paper's cloud-portability
+//!   anecdote.
+
+mod apps;
+mod batch;
+mod cluster;
+mod faults;
+mod machine;
+mod net;
+mod sched;
+
+pub use apps::{
+    saxpy_kernel, AppModelFn, AppOutput, AppRegistry, BinaryInfo, ProgrammingModel, RunContext,
+};
+pub use batch::{BatchScript, SrunCommand};
+pub use cluster::{Cluster, JobId, JobOutcome};
+pub use faults::FaultSpec;
+pub use machine::{GpuModel, Machine, SchedulerKind};
+pub use net::{BcastAlgorithm, CollectiveModel, NetworkModel};
+pub use sched::{JobRequest, JobState, SchedulerPolicy};
+
+#[cfg(test)]
+mod tests;

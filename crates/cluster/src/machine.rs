@@ -1,0 +1,250 @@
+//! Machine descriptions: the hardware the simulator "runs" on.
+
+use crate::net::{BcastAlgorithm, NetworkModel};
+use benchpark_archspec::{detect, taxonomy, CpuDescription, Vendor};
+
+/// Which batch system front-end the machine speaks (affects launcher and
+/// directive syntax rendered by `variables.yaml`, Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Slurm: `sbatch` + `srun` (cts1, cloud).
+    Slurm,
+    /// LSF: `bsub` + `jsrun`/`lrun` (ats2-class Power systems).
+    Lsf,
+    /// Flux: `flux batch` + `flux run` (ats4-class El Capitan EAS).
+    Flux,
+}
+
+impl SchedulerKind {
+    /// The MPI launcher command template for this scheduler.
+    pub fn mpi_command(&self) -> &'static str {
+        match self {
+            SchedulerKind::Slurm => "srun -N {n_nodes} -n {n_ranks}",
+            SchedulerKind::Lsf => "jsrun -n {n_ranks} -a 1",
+            SchedulerKind::Flux => "flux run -N {n_nodes} -n {n_ranks}",
+        }
+    }
+
+    /// The batch submission command template.
+    pub fn batch_submit(&self) -> &'static str {
+        match self {
+            SchedulerKind::Slurm => "sbatch {execute_experiment}",
+            SchedulerKind::Lsf => "bsub {execute_experiment}",
+            SchedulerKind::Flux => "flux batch {execute_experiment}",
+        }
+    }
+}
+
+/// A GPU model attached to nodes.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    pub name: String,
+    /// Peak double-precision TFLOP/s per GPU.
+    pub fp64_tflops: f64,
+    /// Device memory, GiB.
+    pub memory_gb: f64,
+    /// Device memory bandwidth, GB/s.
+    pub memory_bw_gb_s: f64,
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Site-unique name (`cts1`, `ats2`, `ats4`, `cloud-c5`).
+    pub name: String,
+    pub description: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    pub sockets_per_node: usize,
+    pub cores_per_socket: usize,
+    /// CPU description (vendor + features) for archspec detection.
+    pub cpu: CpuDescription,
+    /// Peak GFLOP/s per core (fp64, with vector units the CPU has).
+    pub gflops_per_core: f64,
+    /// Memory per node, GiB.
+    pub memory_per_node_gb: f64,
+    /// STREAM-class memory bandwidth per node, GB/s.
+    pub memory_bw_gb_s: f64,
+    /// GPUs per node, if any.
+    pub gpus_per_node: usize,
+    pub gpu: Option<GpuModel>,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Which batch system runs here.
+    pub scheduler: SchedulerKind,
+    /// Mean power draw per busy node, kilowatts (CPU + GPUs + fabric share).
+    /// Drives the energy accounting used by procurement studies.
+    pub node_power_kw: f64,
+}
+
+impl Machine {
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// The archspec microarchitecture this machine detects as.
+    pub fn target(&self) -> &'static benchpark_archspec::Microarch {
+        detect(&self.cpu).unwrap_or_else(|| {
+            taxonomy()
+                .get("x86_64")
+                .expect("generic x86_64 always exists")
+        })
+    }
+
+    /// True if the machine's CPU supports every feature of `uarch_name` —
+    /// i.e. a binary compiled *for* `uarch_name` can run here. This is the
+    /// check behind the §7.1 cloud-portability fault.
+    pub fn can_run_binary_for(&self, uarch_name: &str) -> bool {
+        match taxonomy().get(uarch_name) {
+            Some(uarch) => uarch.all_features.is_subset(&self.cpu.features),
+            None => false,
+        }
+    }
+
+    // --- presets (paper §4 and §7.2) ---------------------------------------
+
+    /// `cts1`: the Commodity Technology System — dual-socket Intel Xeon,
+    /// CPU-only, Omni-Path, Slurm (the paper's CTS / Figure 14 system).
+    pub fn cts1() -> Machine {
+        let skx = taxonomy().get("skylake_avx512").expect("in taxonomy");
+        Machine {
+            name: "cts1".to_string(),
+            description: "CPU-only Intel Xeon commodity cluster (Slurm)".to_string(),
+            nodes: 1302,
+            sockets_per_node: 2,
+            cores_per_socket: 18,
+            cpu: CpuDescription::of(skx),
+            gflops_per_core: 41.6, // 2.1 GHz × 8-wide FMA × 2 pipes… ballpark
+            memory_per_node_gb: 128.0,
+            memory_bw_gb_s: 205.0,
+            gpus_per_node: 0,
+            gpu: None,
+            network: NetworkModel {
+                latency_us: 1.3,
+                bandwidth_gb_s: 12.5, // 100 Gb/s Omni-Path
+                bcast: BcastAlgorithm::Linear,
+            },
+            scheduler: SchedulerKind::Slurm,
+            node_power_kw: 0.35,
+        }
+    }
+
+    /// `ats2`: IBM Power9 + 4×NVIDIA V100 per node, EDR InfiniBand, LSF
+    /// (a Sierra/Lassen-class Advanced Technology System).
+    pub fn ats2() -> Machine {
+        let p9 = taxonomy().get("power9le").expect("in taxonomy");
+        Machine {
+            name: "ats2".to_string(),
+            description: "IBM Power9 + 4x NVIDIA V100 hybrid system (LSF)".to_string(),
+            nodes: 756,
+            sockets_per_node: 2,
+            cores_per_socket: 22,
+            cpu: CpuDescription::of(p9),
+            gflops_per_core: 23.0,
+            memory_per_node_gb: 256.0,
+            memory_bw_gb_s: 340.0,
+            gpus_per_node: 4,
+            gpu: Some(GpuModel {
+                name: "V100".to_string(),
+                fp64_tflops: 7.8,
+                memory_gb: 16.0,
+                memory_bw_gb_s: 900.0,
+            }),
+            network: NetworkModel {
+                latency_us: 1.0,
+                bandwidth_gb_s: 25.0, // 2× EDR
+                bcast: BcastAlgorithm::BinomialTree,
+            },
+            scheduler: SchedulerKind::Lsf,
+            node_power_kw: 2.9,
+        }
+    }
+
+    /// `ats4` EAS: AMD Trento + 4×MI250X, Slingshot, Flux
+    /// (an El Capitan early-access system).
+    pub fn ats4() -> Machine {
+        let zen3 = taxonomy().get("zen3").expect("in taxonomy");
+        Machine {
+            name: "ats4".to_string(),
+            description: "AMD Trento + 4x MI250X hybrid EAS (Flux)".to_string(),
+            nodes: 64,
+            sockets_per_node: 1,
+            cores_per_socket: 64,
+            cpu: CpuDescription::of(zen3),
+            gflops_per_core: 31.2,
+            memory_per_node_gb: 512.0,
+            memory_bw_gb_s: 400.0,
+            gpus_per_node: 4,
+            gpu: Some(GpuModel {
+                name: "MI250X".to_string(),
+                fp64_tflops: 47.9,
+                memory_gb: 128.0,
+                memory_bw_gb_s: 3200.0,
+            }),
+            network: NetworkModel {
+                latency_us: 0.9,
+                bandwidth_gb_s: 25.0, // Slingshot-11
+                bcast: BcastAlgorithm::BinomialTree,
+            },
+            scheduler: SchedulerKind::Flux,
+            node_power_kw: 3.6,
+        }
+    }
+
+    /// A cloud instance pool of "similar architecture" to cts1 (§7.1/§7.2):
+    /// same Skylake generation but with AVX-512 masked by the hypervisor —
+    /// the missing hardware feature at the heart of the math-library bug
+    /// anecdote.
+    pub fn cloud_c5() -> Machine {
+        let skx = taxonomy().get("skylake_avx512").expect("in taxonomy");
+        let mut cpu = CpuDescription::of(skx);
+        for feature in [
+            "avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl", "clwb",
+        ] {
+            cpu.features.remove(feature);
+        }
+        cpu.vendor = Vendor::Intel;
+        Machine {
+            name: "cloud-c5".to_string(),
+            description: "Cloud instances of similar architecture to cts1 (AVX-512 masked)"
+                .to_string(),
+            nodes: 64,
+            sockets_per_node: 1,
+            cores_per_socket: 36,
+            cpu,
+            gflops_per_core: 38.0,
+            memory_per_node_gb: 96.0,
+            memory_bw_gb_s: 180.0,
+            gpus_per_node: 0,
+            gpu: None,
+            network: NetworkModel {
+                latency_us: 15.0, // cloud ethernet fabric
+                bandwidth_gb_s: 3.1,
+                bcast: BcastAlgorithm::BinomialTree,
+            },
+            scheduler: SchedulerKind::Slurm,
+            node_power_kw: 0.3,
+        }
+    }
+
+    /// All presets.
+    pub fn presets() -> Vec<Machine> {
+        vec![
+            Machine::cts1(),
+            Machine::ats2(),
+            Machine::ats4(),
+            Machine::cloud_c5(),
+        ]
+    }
+
+    /// Looks up a preset by name.
+    pub fn preset(name: &str) -> Option<Machine> {
+        Machine::presets().into_iter().find(|m| m.name == name)
+    }
+}

@@ -1,0 +1,230 @@
+//! The batch scheduler: job queue, node accounting, FIFO and conservative
+//! backfill policies (ablation A3).
+
+use std::collections::BTreeMap;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Strict first-in-first-out: the head of the queue blocks everyone.
+    Fifo,
+    /// Conservative backfill: later jobs may start early if they fit in the
+    /// free nodes *and* finish (by their wall-time limit) before the head
+    /// job's reservation.
+    Backfill,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Pending,
+    Running,
+    Completed,
+    Failed,
+    Timeout,
+    Cancelled,
+}
+
+/// What the scheduler needs to place a job.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    pub id: u64,
+    pub nodes: usize,
+    /// Wall-time limit (the reservation length for backfill planning).
+    pub time_limit_s: f64,
+    /// Actual runtime, known to the simulator (not the scheduler) up front.
+    pub actual_runtime_s: f64,
+}
+
+/// One running job's reservation.
+#[derive(Debug, Clone)]
+struct Running {
+    nodes: usize,
+    /// When the job will actually finish.
+    end: f64,
+    /// When its reservation (limit) expires — backfill plans against this.
+    reservation_end: f64,
+}
+
+/// An event-driven scheduler over `total_nodes` identical nodes.
+#[derive(Debug)]
+pub struct Scheduler {
+    pub policy: SchedulerPolicy,
+    total_nodes: usize,
+    free_nodes: usize,
+    queue: Vec<JobRequest>,
+    running: BTreeMap<u64, Running>,
+    now: f64,
+    /// `(job id, start time)` log.
+    pub starts: Vec<(u64, f64)>,
+    /// `(job id, end time)` log.
+    pub finishes: Vec<(u64, f64)>,
+    /// node-seconds of useful work, for utilization accounting
+    busy_node_seconds: f64,
+}
+
+impl Scheduler {
+    /// Creates an idle scheduler.
+    pub fn new(total_nodes: usize, policy: SchedulerPolicy) -> Scheduler {
+        Scheduler {
+            policy,
+            total_nodes,
+            free_nodes: total_nodes,
+            queue: Vec::new(),
+            running: BTreeMap::new(),
+            now: 0.0,
+            starts: Vec::new(),
+            finishes: Vec::new(),
+            busy_node_seconds: 0.0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Nodes not currently allocated.
+    pub fn free_nodes(&self) -> usize {
+        self.free_nodes
+    }
+
+    /// Total nodes (possibly reduced by fault injection).
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Removes `n` nodes from service (hardware failure injection). Nodes
+    /// are taken from the free pool first; if fewer are free, capacity
+    /// shrinks below the running total and frees reconcile on completion.
+    pub fn fail_nodes(&mut self, n: usize) {
+        let n = n.min(self.total_nodes);
+        self.total_nodes -= n;
+        self.free_nodes = self.free_nodes.saturating_sub(n);
+    }
+
+    /// Enqueues a job.
+    pub fn submit(&mut self, request: JobRequest) {
+        self.queue.push(request);
+    }
+
+    /// True if any work remains.
+    pub fn busy(&self) -> bool {
+        !self.queue.is_empty() || !self.running.is_empty()
+    }
+
+    /// Starts every job the policy allows right now. Returns started ids.
+    pub fn try_start(&mut self) -> Vec<u64> {
+        let mut started = Vec::new();
+        loop {
+            let mut launched = false;
+            // head-of-queue first
+            while let Some(head) = self.queue.first() {
+                if head.nodes <= self.free_nodes {
+                    let job = self.queue.remove(0);
+                    self.start(job, &mut started);
+                    launched = true;
+                } else {
+                    break;
+                }
+            }
+            if self.policy == SchedulerPolicy::Backfill && !self.queue.is_empty() {
+                // shadow time: when the head job could start, given current
+                // reservations
+                let head_nodes = self.queue[0].nodes;
+                let shadow = self.shadow_time(head_nodes);
+                let mut i = 1;
+                while i < self.queue.len() {
+                    let fits = self.queue[i].nodes <= self.free_nodes;
+                    let harmless = self.now + self.queue[i].time_limit_s <= shadow
+                        || self.queue[i].nodes
+                            <= self.free_nodes.saturating_sub(head_nodes.min(self.free_nodes));
+                    if fits && harmless {
+                        let job = self.queue.remove(i);
+                        self.start(job, &mut started);
+                        launched = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if !launched {
+                break;
+            }
+        }
+        started
+    }
+
+    /// Earliest time `nodes` become free, assuming running jobs hold their
+    /// reservations to the limit (conservative).
+    fn shadow_time(&self, nodes: usize) -> f64 {
+        if nodes <= self.free_nodes {
+            return self.now;
+        }
+        let mut ends: Vec<(f64, usize)> = self
+            .running
+            .values()
+            .map(|r| (r.reservation_end, r.nodes))
+            .collect();
+        ends.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut free = self.free_nodes;
+        for (end, n) in ends {
+            free += n;
+            if free >= nodes {
+                return end;
+            }
+        }
+        f64::INFINITY
+    }
+
+    fn start(&mut self, job: JobRequest, started: &mut Vec<u64>) {
+        debug_assert!(job.nodes <= self.free_nodes);
+        self.free_nodes -= job.nodes;
+        let run = job.actual_runtime_s.min(job.time_limit_s);
+        self.running.insert(
+            job.id,
+            Running {
+                nodes: job.nodes,
+                end: self.now + run,
+                reservation_end: self.now + job.time_limit_s,
+            },
+        );
+        self.busy_node_seconds += run * job.nodes as f64;
+        self.starts.push((job.id, self.now));
+        started.push(job.id);
+    }
+
+    /// Advances to the next completion event. Returns ids of jobs that
+    /// finished, or an empty vec when nothing is running.
+    pub fn advance(&mut self) -> Vec<u64> {
+        let Some(next_end) = self
+            .running
+            .values()
+            .map(|r| r.end)
+            .min_by(f64::total_cmp)
+        else {
+            return Vec::new();
+        };
+        self.now = next_end.max(self.now);
+        let finished: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.end <= self.now + 1e-12)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &finished {
+            let r = self.running.remove(id).expect("listed as running");
+            self.free_nodes = (self.free_nodes + r.nodes).min(self.total_nodes);
+            self.finishes.push((*id, self.now));
+        }
+        finished
+    }
+
+    /// Machine utilization so far: busy node-seconds over capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.now <= 0.0 || self.total_nodes == 0 {
+            return 0.0;
+        }
+        self.busy_node_seconds / (self.now * self.total_nodes as f64)
+    }
+}

@@ -1,0 +1,138 @@
+//! Site configuration consumed by the solver: the semantic content of
+//! `compilers.yaml` and `packages.yaml` (paper §3.1.2, Figure 4).
+
+use benchpark_spec::{Spec, Version, VersionConstraint};
+use std::collections::BTreeMap;
+
+/// A compiler installation available on the system (one `compilers.yaml`
+/// entry).
+#[derive(Debug, Clone)]
+pub struct CompilerEntry {
+    /// Compiler name (`gcc`).
+    pub name: String,
+    /// Exact version (`12.1.1`).
+    pub version: Version,
+    /// Installation prefix on the (simulated) system.
+    pub prefix: String,
+}
+
+impl CompilerEntry {
+    /// Builds an entry from `name@version`.
+    pub fn new(name: &str, version: &str, prefix: &str) -> CompilerEntry {
+        CompilerEntry {
+            name: name.to_string(),
+            version: Version::new(version),
+            prefix: prefix.to_string(),
+        }
+    }
+}
+
+/// An externally-installed package (a `packages.yaml` `externals:` entry,
+/// Figure 4).
+#[derive(Debug, Clone)]
+pub struct External {
+    /// The external's spec, e.g. `intel-oneapi-mkl@2022.1.0`. Treated as the
+    /// authoritative description of what is installed.
+    pub spec: Spec,
+    /// Filesystem prefix.
+    pub prefix: String,
+}
+
+impl External {
+    /// Builds an external from spec text and prefix.
+    pub fn new(spec: &str, prefix: &str) -> External {
+        External {
+            spec: spec.parse().expect("external spec must parse"),
+            prefix: prefix.to_string(),
+        }
+    }
+}
+
+/// Per-site configuration for the concretizer.
+#[derive(Debug, Clone, Default)]
+pub struct SiteConfig {
+    /// Compilers installed on the system, in preference order.
+    pub compilers: Vec<CompilerEntry>,
+    /// Externals, keyed by package name.
+    pub externals: BTreeMap<String, Vec<External>>,
+    /// `buildable: false` packages (must come from externals).
+    pub not_buildable: Vec<String>,
+    /// Preferred providers per virtual, in order (`mpi → [mvapich2]`).
+    pub provider_prefs: BTreeMap<String, Vec<String>>,
+    /// Preferred version constraint per package.
+    pub version_prefs: BTreeMap<String, VersionConstraint>,
+    /// Default target microarchitecture for the system.
+    pub default_target: String,
+    /// Extra constraints applied to every root (site policy), e.g. a
+    /// default variant setting.
+    pub require: Vec<Spec>,
+    /// Already-installed concrete specs available for reuse.
+    pub installed: Vec<crate::result::ConcreteSpec>,
+    /// Reuse installed specs when they satisfy the constraints.
+    pub reuse: bool,
+}
+
+impl SiteConfig {
+    /// A minimal config for tests and examples: gcc 12.1.1, MVAPICH2 and MKL
+    /// as externals (the Figure 4 setup) on a Skylake system.
+    pub fn example_cts() -> SiteConfig {
+        let mut externals = BTreeMap::new();
+        externals.insert(
+            "mvapich2".to_string(),
+            vec![External::new(
+                "mvapich2@2.3.7 target=skylake_avx512",
+                "/path/to/mvapich2",
+            )],
+        );
+        externals.insert(
+            "intel-oneapi-mkl".to_string(),
+            vec![External::new(
+                "intel-oneapi-mkl@2022.1.0 target=skylake_avx512",
+                "/path/to/intel-oneapi-mkl",
+            )],
+        );
+        let mut provider_prefs = BTreeMap::new();
+        provider_prefs.insert("mpi".to_string(), vec!["mvapich2".to_string()]);
+        provider_prefs.insert("blas".to_string(), vec!["intel-oneapi-mkl".to_string()]);
+        provider_prefs.insert("lapack".to_string(), vec!["intel-oneapi-mkl".to_string()]);
+        SiteConfig {
+            compilers: vec![
+                CompilerEntry::new("gcc", "12.1.1", "/usr/tce/gcc-12.1.1"),
+                CompilerEntry::new("intel", "2021.6.0", "/usr/tce/intel-2021.6.0"),
+            ],
+            externals,
+            not_buildable: vec!["mvapich2".to_string(), "intel-oneapi-mkl".to_string()],
+            provider_prefs,
+            version_prefs: BTreeMap::new(),
+            default_target: "skylake_avx512".to_string(),
+            require: Vec::new(),
+            installed: Vec::new(),
+            reuse: false,
+        }
+    }
+
+    /// Is this package allowed to be built from source?
+    pub fn buildable(&self, name: &str) -> bool {
+        !self.not_buildable.iter().any(|n| n == name)
+    }
+
+    /// Externals for a package, if any.
+    pub fn externals_for(&self, name: &str) -> &[External] {
+        self.externals
+            .get(name)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The default compiler (first entry).
+    pub fn default_compiler(&self) -> Option<&CompilerEntry> {
+        self.compilers.first()
+    }
+
+    /// Finds an installed compiler matching a constraint.
+    pub fn find_compiler(&self, spec: &benchpark_spec::CompilerSpec) -> Option<&CompilerEntry> {
+        self.compilers
+            .iter()
+            .find(|c| c.name == spec.name && spec.versions.contains(&c.version))
+    }
+}

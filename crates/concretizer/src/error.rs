@@ -1,0 +1,71 @@
+//! Concretization failure modes.
+
+use benchpark_spec::SpecError;
+use std::fmt;
+
+/// Why concretization failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConcretizeError {
+    /// The repository has no recipe (and no provider) for this name.
+    UnknownPackage { name: String },
+    /// A virtual package has no provider compatible with the constraints.
+    NoProvider { virtual_name: String, constraint: String },
+    /// No declared version of the package satisfies the constraints.
+    NoVersion { name: String, constraint: String },
+    /// The requested compiler is not installed on this system.
+    NoCompiler { requested: String },
+    /// Constraint propagation produced a contradiction.
+    Unsatisfiable { message: String },
+    /// A recipe conflict was violated.
+    Conflict { name: String, messages: Vec<String> },
+    /// The package may not be built and no external matches.
+    NotBuildable { name: String },
+    /// The dependency graph contains a cycle.
+    Cycle { through: String },
+    /// `unify: true` and two roots need incompatible configurations.
+    UnifyConflict { name: String, message: String },
+}
+
+impl From<SpecError> for ConcretizeError {
+    fn from(e: SpecError) -> Self {
+        ConcretizeError::Unsatisfiable {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ConcretizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcretizeError::UnknownPackage { name } => {
+                write!(f, "unknown package `{name}`")
+            }
+            ConcretizeError::NoProvider {
+                virtual_name,
+                constraint,
+            } => write!(f, "no provider of virtual `{virtual_name}` satisfies `{constraint}`"),
+            ConcretizeError::NoVersion { name, constraint } => {
+                write!(f, "no declared version of `{name}` satisfies `@{constraint}`")
+            }
+            ConcretizeError::NoCompiler { requested } => {
+                write!(f, "compiler `{requested}` is not installed on this system")
+            }
+            ConcretizeError::Unsatisfiable { message } => write!(f, "unsatisfiable: {message}"),
+            ConcretizeError::Conflict { name, messages } => {
+                write!(f, "conflicts in `{name}`: {}", messages.join("; "))
+            }
+            ConcretizeError::NotBuildable { name } => write!(
+                f,
+                "package `{name}` is not buildable and no external installation matches"
+            ),
+            ConcretizeError::Cycle { through } => {
+                write!(f, "dependency cycle through `{through}`")
+            }
+            ConcretizeError::UnifyConflict { name, message } => {
+                write!(f, "unify conflict on `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConcretizeError {}

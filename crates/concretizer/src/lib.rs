@@ -1,0 +1,55 @@
+//! `benchpark-concretizer` — abstract-to-concrete spec resolution.
+//!
+//! Spack's second primary component (paper §3.1): *"the concretizer, an
+//! algorithm that takes abstract specs and fills in remaining choice points
+//! for the build space, producing concrete specs"*. Given
+//!
+//! * an abstract spec (`amg2023+caliper`),
+//! * a package repository ([`benchpark_pkg::Repo`]),
+//! * and site configuration (available compilers, external installations,
+//!   provider/version preferences, default target — the contents of
+//!   `compilers.yaml` / `packages.yaml`, Figure 4),
+//!
+//! the solver produces a fully concrete dependency DAG: every node has an
+//! exact version, compiler, target, all variants pinned, every virtual
+//! (`mpi`, `blas`, `lapack`) mapped to a real provider, and a stable
+//! content hash. Externals (`buildable: false` packages, Figure 4) are
+//! honored: the solver adopts the external installation rather than planning
+//! a build.
+//!
+//! The algorithm is a deterministic monotone fixpoint over constraint
+//! propagation followed by greedy choice-point resolution (newest admitted
+//! version, preferred providers, declared variant defaults) — a faithful
+//! functional reproduction of what the paper's workflow needs, not a clone
+//! of Spack's ASP encoding. Environment-level solving supports the
+//! `concretizer: unify: true` mode from Figure 3: all roots are solved in one
+//! shared node table so the environment contains at most one configuration
+//! of each package.
+//!
+//! # Example
+//!
+//! ```
+//! use benchpark_concretizer::{Concretizer, SiteConfig};
+//! use benchpark_pkg::Repo;
+//!
+//! let repo = Repo::builtin();
+//! let config = SiteConfig::example_cts();
+//! let solver = Concretizer::new(&repo, &config);
+//! let result = solver.concretize(&"saxpy@1.0.0 +openmp ^cmake@3.23.1".parse().unwrap()).unwrap();
+//! let root = result.root_node();
+//! assert!(root.spec.is_concrete());
+//! assert_eq!(root.spec.versions.concrete().unwrap().as_str(), "1.0.0");
+//! ```
+
+mod config;
+mod error;
+mod result;
+mod solver;
+
+pub use config::{CompilerEntry, External, SiteConfig};
+pub use error::ConcretizeError;
+pub use result::{ConcreteNode, ConcreteSpec, Origin};
+pub use solver::Concretizer;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,168 @@
+//! Concrete-spec DAGs and content hashing.
+
+use benchpark_spec::Spec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where an installation comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// Will be built from source by the install engine.
+    Source,
+    /// Provided by the system (a `packages.yaml` external); never built.
+    External { prefix: String },
+    /// Reused from an existing installation database entry.
+    Reused,
+}
+
+/// One node of a concrete dependency DAG.
+#[derive(Debug, Clone)]
+pub struct ConcreteNode {
+    /// The node's concrete spec. `spec.dependencies` holds the *constraints*
+    /// view; the authoritative edges are [`ConcreteNode::deps`].
+    pub spec: Spec,
+    /// Edges: dependency package name → node key in the owning DAG.
+    pub deps: BTreeMap<String, String>,
+    /// Which virtuals this node was chosen to provide (e.g. `["mpi"]`).
+    pub provides: Vec<String>,
+    /// Provenance.
+    pub origin: Origin,
+    /// Stable content hash of the node including its dependency hashes.
+    pub hash: String,
+}
+
+/// A fully concretized spec: a DAG of concrete nodes keyed by package name.
+#[derive(Debug, Clone)]
+pub struct ConcreteSpec {
+    /// Key of the root node.
+    pub root: String,
+    /// All nodes (root + transitive dependencies).
+    pub nodes: BTreeMap<String, ConcreteNode>,
+}
+
+impl ConcreteSpec {
+    /// The root node.
+    pub fn root_node(&self) -> &ConcreteNode {
+        &self.nodes[&self.root]
+    }
+
+    /// Nodes in dependency-first (topological) order; the root is last.
+    pub fn build_order(&self) -> Vec<&ConcreteNode> {
+        let mut order = Vec::new();
+        let mut visited = std::collections::BTreeSet::new();
+        self.visit(&self.root, &mut visited, &mut order);
+        order
+    }
+
+    fn visit<'a>(
+        &'a self,
+        key: &str,
+        visited: &mut std::collections::BTreeSet<String>,
+        order: &mut Vec<&'a ConcreteNode>,
+    ) {
+        if !visited.insert(key.to_string()) {
+            return;
+        }
+        let node = &self.nodes[key];
+        for dep_key in node.deps.values() {
+            self.visit(dep_key, visited, order);
+        }
+        order.push(node);
+    }
+
+    /// Reconstructs a nested [`Spec`] (dependencies inlined) for
+    /// `satisfies` queries against abstract specs.
+    pub fn to_spec(&self) -> Spec {
+        self.node_to_spec(&self.root, 0)
+    }
+
+    fn node_to_spec(&self, key: &str, depth: usize) -> Spec {
+        let node = &self.nodes[key];
+        let mut spec = node.spec.clone();
+        spec.dependencies.clear();
+        if depth < 32 {
+            // also flatten every transitive dep onto the root (Spack displays
+            // and matches this way)
+            for dep_key in node.deps.values() {
+                let dep_spec = self.node_to_spec(dep_key, depth + 1);
+                // flatten grandchildren into this level
+                for (gname, gspec) in dep_spec.dependencies.clone() {
+                    spec.dependencies.entry(gname).or_insert(gspec);
+                }
+                let mut flat = dep_spec;
+                flat.dependencies.clear();
+                spec.dependencies
+                    .insert(flat.name.clone().unwrap_or_default(), flat);
+            }
+        }
+        spec
+    }
+
+    /// The root hash (identifies the whole DAG).
+    pub fn dag_hash(&self) -> &str {
+        &self.root_node().hash
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A DAG always has a root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl fmt::Display for ConcreteSpec {
+    /// Renders a `spack spec`-style tree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn walk(
+            dag: &ConcreteSpec,
+            key: &str,
+            depth: usize,
+            seen: &mut std::collections::BTreeSet<String>,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let node = &dag.nodes[key];
+            let marker = match &node.origin {
+                Origin::Source => "",
+                Origin::External { .. } => " [external]",
+                Origin::Reused => " [reused]",
+            };
+            writeln!(
+                f,
+                "{:indent$}{}{}{}",
+                "",
+                if depth == 0 { "" } else { "^" },
+                node.spec.short(),
+                marker,
+                indent = depth * 4
+            )?;
+            if seen.insert(key.to_string()) {
+                for dep_key in node.deps.values() {
+                    walk(dag, dep_key, depth + 1, seen, f)?;
+                }
+            }
+            Ok(())
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        walk(self, &self.root, 0, &mut seen, f)
+    }
+}
+
+/// 128-bit FNV-1a content hash, hex-encoded (stable across runs and
+/// platforms; used to address the binary cache and the install tree).
+pub(crate) fn content_hash(text: &str) -> String {
+    fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+        let mut hash = seed;
+        for &b in data {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
+    }
+    let a = fnv1a(0xcbf29ce484222325, text.as_bytes());
+    let b = fnv1a(0x9e3779b97f4a7c15, text.as_bytes());
+    format!("{a:016x}{b:016x}")
+}

@@ -1,0 +1,663 @@
+//! The concretization algorithm: monotone constraint propagation to a
+//! fixpoint, then greedy choice-point resolution.
+
+use crate::config::SiteConfig;
+use crate::error::ConcretizeError;
+use crate::result::{content_hash, ConcreteNode, ConcreteSpec, Origin};
+use benchpark_pkg::Repo;
+use benchpark_spec::{CompilerSpec, Spec, VersionConstraint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The concretizer: borrows a repository and site configuration.
+pub struct Concretizer<'a> {
+    repo: &'a Repo,
+    config: &'a SiteConfig,
+}
+
+impl<'a> Concretizer<'a> {
+    /// Creates a solver for the given repository and site.
+    pub fn new(repo: &'a Repo, config: &'a SiteConfig) -> Concretizer<'a> {
+        Concretizer { repo, config }
+    }
+
+    /// Concretizes a single abstract spec.
+    pub fn concretize(&self, abstract_spec: &Spec) -> Result<ConcreteSpec, ConcretizeError> {
+        let mut results = self.concretize_env(std::slice::from_ref(abstract_spec), true)?;
+        Ok(results.pop().expect("one root yields one result"))
+    }
+
+    /// Concretizes an environment's root specs.
+    ///
+    /// With `unify = true` (Figure 3's `concretizer: unify: true`) all roots
+    /// share one node table, so the environment contains at most one
+    /// configuration of each package; conflicting roots fail with
+    /// [`ConcretizeError::UnifyConflict`]. With `unify = false` each root is
+    /// solved independently.
+    pub fn concretize_env(
+        &self,
+        roots: &[Spec],
+        unify: bool,
+    ) -> Result<Vec<ConcreteSpec>, ConcretizeError> {
+        if unify {
+            let mut solve = Solve::new(self);
+            for root in roots {
+                solve.add_root(root).map_err(|e| match e {
+                    ConcretizeError::Unsatisfiable { message } => ConcretizeError::UnifyConflict {
+                        name: root.name_str().to_string(),
+                        message,
+                    },
+                    other => other,
+                })?;
+            }
+            solve.run()?;
+            roots
+                .iter()
+                .map(|r| solve.extract(&solve.root_key(r)))
+                .collect()
+        } else {
+            roots
+                .iter()
+                .map(|root| {
+                    let mut solve = Solve::new(self);
+                    solve.add_root(root)?;
+                    solve.run()?;
+                    solve.extract(&solve.root_key(root))
+                })
+                .collect()
+        }
+    }
+}
+
+/// One node of the partial solution.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Accumulated constraints; `name` is always set, `dependencies` unused
+    /// (edges live in `deps`).
+    spec: Spec,
+    /// Edges: resolved dependency package name → node key.
+    deps: BTreeMap<String, String>,
+    /// Virtuals this node provides in this solution.
+    provides: Vec<String>,
+    origin: Origin,
+    /// Defaults have been applied at least once.
+    defaulted: bool,
+}
+
+/// A user-requested dependency on a virtual (`^mpi+cuda`) awaiting provider
+/// resolution.
+#[derive(Debug)]
+struct PendingVirtual {
+    root: String,
+    virtual_name: String,
+    constraint: Spec,
+    consumed: bool,
+}
+
+struct Solve<'a, 'b> {
+    cz: &'b Concretizer<'a>,
+    nodes: BTreeMap<String, Node>,
+    pending: Vec<PendingVirtual>,
+}
+
+impl<'a, 'b> Solve<'a, 'b> {
+    fn new(cz: &'b Concretizer<'a>) -> Self {
+        Solve {
+            cz,
+            nodes: BTreeMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The node key a root spec resolves to (providers for virtual roots).
+    fn root_key(&self, root: &Spec) -> String {
+        let name = root.name_str();
+        if self.nodes.contains_key(name) {
+            return name.to_string();
+        }
+        // virtual root: find its provider
+        self.nodes
+            .iter()
+            .find(|(_, n)| n.provides.iter().any(|v| v == name))
+            .map(|(k, _)| k.clone())
+            .unwrap_or_else(|| name.to_string())
+    }
+
+    fn add_root(&mut self, root: &Spec) -> Result<(), ConcretizeError> {
+        let name = root
+            .name
+            .clone()
+            .ok_or_else(|| ConcretizeError::Unsatisfiable {
+                message: format!("root spec `{root}` has no package name"),
+            })?;
+
+        // Virtual root (`spack add mpi`): resolve the provider immediately.
+        let key = if self.cz.repo.get(&name).is_none() && self.cz.repo.is_virtual(&name) {
+            let mut constraint = root.clone();
+            constraint.name = None;
+            constraint.dependencies.clear();
+            self.resolve_provider(&name, &constraint)?
+        } else {
+            name.clone()
+        };
+
+        let mut constraint = root.clone();
+        constraint.name = Some(key.clone());
+        let deps = std::mem::take(&mut constraint.dependencies);
+        self.constrain_node(&key, &constraint)?;
+
+        // apply site-wide requirements to roots
+        for req in &self.cz.config.require {
+            let mut r = req.clone();
+            r.name = Some(key.clone());
+            self.constrain_node(&key, &r)?;
+        }
+
+        // `^dep` constraints: real packages become forced edges now; virtuals
+        // wait for provider resolution.
+        for (dep_name, dep_spec) in deps {
+            if self.cz.repo.get(&dep_name).is_some() {
+                self.constrain_node(&dep_name, &dep_spec)?;
+                self.nodes
+                    .get_mut(&key)
+                    .expect("root node exists")
+                    .deps
+                    .insert(dep_name.clone(), dep_name.clone());
+            } else if self.cz.repo.is_virtual(&dep_name) {
+                let mut c = dep_spec.clone();
+                c.name = None;
+                self.pending.push(PendingVirtual {
+                    root: key.clone(),
+                    virtual_name: dep_name,
+                    constraint: c,
+                    consumed: false,
+                });
+            } else {
+                return Err(ConcretizeError::UnknownPackage { name: dep_name });
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates or constrains a node.
+    fn constrain_node(&mut self, key: &str, constraint: &Spec) -> Result<bool, ConcretizeError> {
+        if self.cz.repo.get(key).is_none() {
+            return Err(ConcretizeError::UnknownPackage {
+                name: key.to_string(),
+            });
+        }
+        let node = self.nodes.entry(key.to_string()).or_insert_with(|| Node {
+            spec: Spec::named(key),
+            deps: BTreeMap::new(),
+            provides: Vec::new(),
+            origin: Origin::Source,
+            defaulted: false,
+        });
+        let before = node.spec.clone();
+        let mut c = constraint.clone();
+        c.dependencies.clear();
+        c.name = Some(key.to_string());
+        node.spec.constrain(&c)?;
+        Ok(node.spec != before)
+    }
+
+    /// Chooses a provider for `virtual_name` under `constraint`
+    /// (an anonymous spec).
+    fn resolve_provider(
+        &mut self,
+        virtual_name: &str,
+        constraint: &Spec,
+    ) -> Result<String, ConcretizeError> {
+        // 1. an existing node already providing this virtual wins (unification)
+        if let Some((key, _)) = self
+            .nodes
+            .iter()
+            .find(|(_, n)| n.provides.iter().any(|v| v == virtual_name))
+        {
+            let key = key.clone();
+            self.constrain_node(&key, constraint)?;
+            return Ok(key);
+        }
+
+        let candidates: Vec<String> = {
+            let mut names: Vec<String> = Vec::new();
+            // 2. a node already in the DAG whose recipe provides the virtual
+            //    (e.g. a user-forced `^openmpi`) wins over site preferences
+            for (key, _) in self.nodes.iter() {
+                if let Some(pkg) = self.cz.repo.get(key) {
+                    if pkg.provides.iter().any(|p| p.virtual_name == virtual_name) {
+                        names.push(key.clone());
+                    }
+                }
+            }
+            // site preferences next
+            if let Some(prefs) = self.cz.config.provider_prefs.get(virtual_name) {
+                names.extend(prefs.iter().cloned());
+            }
+            // then providers with externals, then the rest alphabetically
+            let mut rest: Vec<String> = self
+                .cz
+                .repo
+                .providers(virtual_name)
+                .iter()
+                .map(|p| p.name.clone())
+                .collect();
+            rest.sort_by_key(|n| {
+                (
+                    self.cz.config.externals_for(n).is_empty(),
+                    n.clone(),
+                )
+            });
+            names.extend(rest);
+            names
+        };
+
+        for candidate in candidates {
+            let Some(pkg) = self.cz.repo.get(&candidate) else {
+                continue;
+            };
+            let Some(provide) = pkg
+                .provides
+                .iter()
+                .find(|p| p.virtual_name == virtual_name)
+            else {
+                continue;
+            };
+            // candidate must be compatible with the constraint, plus any
+            // `provides(…, when=…)` condition (choosing this provider then
+            // *forces* the condition, e.g. the variant that enables the
+            // virtual interface)
+            let mut probe = Spec::named(&candidate);
+            let mut c = constraint.clone();
+            c.name = Some(candidate.clone());
+            if let Some(when) = &provide.when {
+                let mut cond = when.clone();
+                cond.name = Some(candidate.clone());
+                if c.constrain(&cond).is_err() {
+                    continue;
+                }
+            }
+            if probe.constrain(&c).is_err() {
+                continue;
+            }
+            // and with any existing node of that name
+            if let Some(existing) = self.nodes.get(&candidate) {
+                if !existing.spec.intersects(&probe) {
+                    continue;
+                }
+            }
+            self.constrain_node(&candidate, &c)?;
+            let node = self.nodes.get_mut(&candidate).expect("just created");
+            if !node.provides.iter().any(|v| v == virtual_name) {
+                node.provides.push(virtual_name.to_string());
+            }
+            // consume matching pending user constraints
+            let mut pending_constraints = Vec::new();
+            for p in self.pending.iter_mut() {
+                if p.virtual_name == virtual_name && !p.consumed {
+                    p.consumed = true;
+                    pending_constraints.push(p.constraint.clone());
+                }
+            }
+            for pc in pending_constraints {
+                let mut c = pc;
+                c.name = Some(candidate.clone());
+                self.constrain_node(&candidate, &c)?;
+            }
+            return Ok(candidate);
+        }
+        Err(ConcretizeError::NoProvider {
+            virtual_name: virtual_name.to_string(),
+            constraint: constraint.to_string(),
+        })
+    }
+
+    /// Runs propagation to fixpoint, then finalizes all choices.
+    fn run(&mut self) -> Result<(), ConcretizeError> {
+        const MAX_ITERS: usize = 64;
+        for _ in 0..MAX_ITERS {
+            if !self.propagate_once()? {
+                break;
+            }
+        }
+        self.resolve_unconsumed_pending()?;
+        self.check_cycles()?;
+        if self.cz.config.reuse {
+            self.adopt_reusable();
+        }
+        self.finalize()?;
+        Ok(())
+    }
+
+    /// One propagation sweep; returns true if anything changed.
+    fn propagate_once(&mut self) -> Result<bool, ConcretizeError> {
+        let mut changed = false;
+        let keys: Vec<String> = self.nodes.keys().cloned().collect();
+        for key in keys {
+            // 1. apply recipe defaults once
+            if !self.nodes[&key].defaulted {
+                let pkg = self.cz.repo.get(&key).expect("nodes have recipes");
+                let defaults: Vec<(String, benchpark_spec::VariantValue)> = pkg
+                    .variants
+                    .iter()
+                    .map(|v| (v.name.clone(), v.default.clone()))
+                    .collect();
+                let node = self.nodes.get_mut(&key).unwrap();
+                for (name, value) in defaults {
+                    node.spec.variants.entry(name).or_insert(value);
+                }
+                node.defaulted = true;
+                changed = true;
+            }
+
+            // 2. expand active dependencies
+            let (active, parent_compiler, parent_target): (Vec<(Spec, String)>, _, _) = {
+                let node = &self.nodes[&key];
+                let pkg = self.cz.repo.get(&key).expect("nodes have recipes");
+                let active = pkg
+                    .active_dependencies(&node.spec)
+                    .into_iter()
+                    .map(|d| (d.spec.clone(), d.spec.name_str().to_string()))
+                    .collect();
+                (active, node.spec.compiler.clone(), node.spec.target.clone())
+            };
+            for (dep_spec, dep_name) in active {
+                let child_key = if self.cz.repo.get(&dep_name).is_some() {
+                    let mut c = dep_spec.clone();
+                    c.name = Some(dep_name.clone());
+                    if self.constrain_node(&dep_name, &c)? {
+                        changed = true;
+                    }
+                    dep_name.clone()
+                } else if self.cz.repo.is_virtual(&dep_name) {
+                    let mut c = dep_spec.clone();
+                    c.name = None;
+                    self.resolve_provider(&dep_name, &c)?
+                } else {
+                    return Err(ConcretizeError::UnknownPackage { name: dep_name });
+                };
+                let node = self.nodes.get_mut(&key).unwrap();
+                if node.deps.insert(child_key.clone(), child_key.clone()).is_none() {
+                    changed = true;
+                }
+            }
+
+            // 3. propagate compiler and target to children lacking them
+            let child_keys: Vec<String> = self.nodes[&key].deps.values().cloned().collect();
+            for child in child_keys {
+                let node = self.nodes.get_mut(&child).expect("edges point at nodes");
+                if node.spec.compiler.is_none() {
+                    if let Some(c) = &parent_compiler {
+                        node.spec.compiler = Some(c.clone());
+                        changed = true;
+                    }
+                }
+                if node.spec.target.is_none() {
+                    if let Some(t) = &parent_target {
+                        node.spec.target = Some(t.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Any `^virtual` the recipes never asked for becomes a direct edge from
+    /// the requesting root.
+    fn resolve_unconsumed_pending(&mut self) -> Result<(), ConcretizeError> {
+        let unconsumed: Vec<(String, String, Spec)> = self
+            .pending
+            .iter()
+            .filter(|p| !p.consumed)
+            .map(|p| (p.root.clone(), p.virtual_name.clone(), p.constraint.clone()))
+            .collect();
+        for (root, virtual_name, constraint) in unconsumed {
+            let provider = self.resolve_provider(&virtual_name, &constraint)?;
+            self.nodes
+                .get_mut(&root)
+                .expect("roots exist")
+                .deps
+                .insert(provider.clone(), provider);
+        }
+        for p in self.pending.iter_mut() {
+            p.consumed = true;
+        }
+        Ok(())
+    }
+
+    fn check_cycles(&self) -> Result<(), ConcretizeError> {
+        // DFS coloring: 0 = white, 1 = gray, 2 = black
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+        fn dfs<'s>(
+            nodes: &'s BTreeMap<String, Node>,
+            key: &'s str,
+            color: &mut BTreeMap<&'s str, u8>,
+        ) -> Result<(), ConcretizeError> {
+            match color.get(key) {
+                Some(1) => {
+                    return Err(ConcretizeError::Cycle {
+                        through: key.to_string(),
+                    })
+                }
+                Some(2) => return Ok(()),
+                _ => {}
+            }
+            color.insert(key, 1);
+            for dep in nodes[key].deps.values() {
+                dfs(nodes, dep, color)?;
+            }
+            color.insert(key, 2);
+            Ok(())
+        }
+        for key in self.nodes.keys() {
+            dfs(&self.nodes, key, &mut color)?;
+        }
+        Ok(())
+    }
+
+    /// Adopts installed specs that satisfy node constraints (`--reuse`).
+    fn adopt_reusable(&mut self) {
+        let keys: Vec<String> = self.nodes.keys().cloned().collect();
+        for key in keys {
+            let node = &self.nodes[&key];
+            if node.origin != Origin::Source {
+                continue;
+            }
+            let mut constraint = node.spec.clone();
+            constraint.dependencies.clear();
+            let adopted = self.cz.config.installed.iter().find_map(|inst| {
+                let root = inst.root_node();
+                (root.spec.name.as_deref() == Some(key.as_str())
+                    && inst.to_spec().satisfies(&constraint))
+                .then(|| root.spec.clone())
+            });
+            if let Some(spec) = adopted {
+                let node = self.nodes.get_mut(&key).unwrap();
+                node.spec = spec;
+                node.origin = Origin::Reused;
+            }
+        }
+    }
+
+    /// Fills remaining choice points: externals, versions, compilers,
+    /// targets; then validates conflicts.
+    fn finalize(&mut self) -> Result<(), ConcretizeError> {
+        let keys: Vec<String> = self.nodes.keys().cloned().collect();
+        for key in keys {
+            if self.nodes[&key].origin == Origin::Reused {
+                continue;
+            }
+            let pkg = self.cz.repo.get(&key).expect("nodes have recipes").clone();
+
+            // externals first: adopting one pins version and variants
+            let external = self
+                .cz
+                .config
+                .externals_for(&key)
+                .iter()
+                .find(|e| {
+                    let mut probe = self.nodes[&key].spec.clone();
+                    probe.dependencies.clear();
+                    probe.constrain(&e.spec).is_ok()
+                })
+                .cloned();
+            match external {
+                Some(ext) => {
+                    let node = self.nodes.get_mut(&key).unwrap();
+                    node.spec.constrain(&ext.spec)?;
+                    // pin the external's version exactly
+                    if let Some(v) = ext.spec.versions.highest_mentioned() {
+                        node.spec.versions = VersionConstraint::exactly(v.clone());
+                    }
+                    // externals bring no build-time dependency edges
+                    node.deps.clear();
+                    node.origin = Origin::External { prefix: ext.prefix };
+                }
+                None => {
+                    if !self.cz.config.buildable(&key) {
+                        return Err(ConcretizeError::NotBuildable { name: key });
+                    }
+                    // version: site preference first, then newest admitted
+                    let node_versions = self.nodes[&key].spec.versions.clone();
+                    let chosen = {
+                        let site_pref = self.cz.config.version_prefs.get(&key);
+                        let preferred = pkg
+                            .admitted_versions(&node_versions)
+                            .find(|v| site_pref.is_some_and(|p| p.contains(v)));
+                        preferred
+                            .or_else(|| pkg.admitted_versions(&node_versions).next())
+                            .cloned()
+                            .or_else(|| {
+                                // a user-pinned exact version not in the recipe
+                                node_versions.concrete().cloned()
+                            })
+                    };
+                    let Some(version) = chosen else {
+                        return Err(ConcretizeError::NoVersion {
+                            name: key.clone(),
+                            constraint: node_versions.to_string(),
+                        });
+                    };
+                    let node = self.nodes.get_mut(&key).unwrap();
+                    node.spec.versions = VersionConstraint::exactly(version);
+                }
+            }
+
+            // compiler
+            let node_compiler = self.nodes[&key].spec.compiler.clone();
+            let chosen_compiler = match &node_compiler {
+                Some(c) => {
+                    let found = self.cz.config.find_compiler(c).ok_or_else(|| {
+                        ConcretizeError::NoCompiler {
+                            requested: c.to_string(),
+                        }
+                    })?;
+                    CompilerSpec::new(&found.name, VersionConstraint::exactly(found.version.clone()))
+                }
+                None => {
+                    let default =
+                        self.cz
+                            .config
+                            .default_compiler()
+                            .ok_or(ConcretizeError::NoCompiler {
+                                requested: "<site default>".to_string(),
+                            })?;
+                    CompilerSpec::new(
+                        &default.name,
+                        VersionConstraint::exactly(default.version.clone()),
+                    )
+                }
+            };
+            // target
+            let target = self.nodes[&key]
+                .spec
+                .target
+                .clone()
+                .unwrap_or_else(|| self.cz.config.default_target.clone());
+            {
+                let node = self.nodes.get_mut(&key).unwrap();
+                node.spec.compiler = Some(chosen_compiler);
+                node.spec.target = Some(target);
+            }
+
+            // conflicts
+            let violations = pkg.violated_conflicts(&self.nodes[&key].spec);
+            if !violations.is_empty() {
+                return Err(ConcretizeError::Conflict {
+                    name: key,
+                    messages: violations,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the concrete DAG reachable from `root_key`.
+    fn extract(&self, root_key: &str) -> Result<ConcreteSpec, ConcretizeError> {
+        if !self.nodes.contains_key(root_key) {
+            return Err(ConcretizeError::UnknownPackage {
+                name: root_key.to_string(),
+            });
+        }
+        // reachable set
+        let mut reach = BTreeSet::new();
+        let mut stack = vec![root_key.to_string()];
+        while let Some(k) = stack.pop() {
+            if reach.insert(k.clone()) {
+                for dep in self.nodes[&k].deps.values() {
+                    stack.push(dep.clone());
+                }
+            }
+        }
+        // hashes in dependency-first order
+        let mut hashes: BTreeMap<String, String> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        fn topo(
+            nodes: &BTreeMap<String, Node>,
+            key: &str,
+            seen: &mut BTreeSet<String>,
+            order: &mut Vec<String>,
+        ) {
+            if !seen.insert(key.to_string()) {
+                return;
+            }
+            for dep in nodes[key].deps.values() {
+                topo(nodes, dep, seen, order);
+            }
+            order.push(key.to_string());
+        }
+        let mut seen = BTreeSet::new();
+        topo(&self.nodes, root_key, &mut seen, &mut order);
+
+        let mut nodes = BTreeMap::new();
+        for key in &order {
+            let node = &self.nodes[key];
+            let mut hash_input = node.spec.short();
+            for (dep_name, dep_key) in &node.deps {
+                hash_input.push_str(dep_name);
+                hash_input.push('=');
+                hash_input.push_str(&hashes[dep_key]);
+                hash_input.push(';');
+            }
+            let hash = content_hash(&hash_input);
+            hashes.insert(key.clone(), hash.clone());
+            let mut spec = node.spec.clone();
+            spec.dependencies.clear();
+            nodes.insert(
+                key.clone(),
+                ConcreteNode {
+                    spec,
+                    deps: node.deps.clone(),
+                    provides: node.provides.clone(),
+                    origin: node.origin.clone(),
+                    hash,
+                },
+            );
+        }
+        let _ = reach;
+        Ok(ConcreteSpec {
+            root: root_key.to_string(),
+            nodes,
+        })
+    }
+}

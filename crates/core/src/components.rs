@@ -1,0 +1,97 @@
+//! Table 1: the components of Benchpark and their orthogonalization into
+//! benchmark-specific, system-specific, and experiment-specific concerns.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    pub number: usize,
+    pub component: &'static str,
+    pub benchmark_specific: &'static str,
+    pub system_specific: &'static str,
+    pub experiment_specific: &'static str,
+    /// Which of this repository's modules implement the cell contents
+    /// (our addition: the reproduction index).
+    pub implemented_by: &'static str,
+}
+
+/// The six rows of Table 1, with the implementing modules recorded.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            number: 1,
+            component: "Source code",
+            benchmark_specific: "package.py",
+            system_specific: "archspec (Sec. 3.1.3)",
+            experiment_specific: "ramble.yaml: spack",
+            implemented_by: "benchpark-pkg::PackageDef, benchpark-archspec, benchpark-ramble::RambleConfig",
+        },
+        Table1Row {
+            number: 2,
+            component: "Build instructions",
+            benchmark_specific: "package.py",
+            system_specific: "Spack config. files, spack.yaml",
+            experiment_specific: "ramble.yaml: spack",
+            implemented_by: "benchpark-pkg::PackageDef::install_args, benchpark-spack::ConfigScopes, benchpark-ramble::SpackPackageDef",
+        },
+        Table1Row {
+            number: 3,
+            component: "Benchmark input",
+            benchmark_specific: "application.py, (optional) data",
+            system_specific: "variables.yaml",
+            experiment_specific: "ramble.yaml: experiments",
+            implemented_by: "benchpark-pkg::ApplicationDef, benchpark-core::SystemProfile, benchpark-ramble::ExperimentDef",
+        },
+        Table1Row {
+            number: 4,
+            component: "Run instructions",
+            benchmark_specific: "application.py",
+            system_specific: "variables.yaml: scheduler, launcher",
+            experiment_specific: "ramble.yaml: experiments",
+            implemented_by: "benchpark-pkg::ExecutableDef, benchpark-cluster::SchedulerKind, benchpark-ramble::generate_experiments",
+        },
+        Table1Row {
+            number: 5,
+            component: "Experiment evaluation",
+            benchmark_specific: "(optional) application.py",
+            system_specific: "(optional) hardware counters, etc.",
+            experiment_specific: "ramble.yaml: success_criteria",
+            implemented_by: "benchpark-pkg::FomDef + SuccessCriterion, benchpark-perf, benchpark-ramble::analyze",
+        },
+        Table1Row {
+            number: 6,
+            component: "CI testing",
+            benchmark_specific: ".gitlab-ci.yml",
+            system_specific: "Hubcast@LLNL/RIKEN/AWS",
+            experiment_specific: "Benchpark executable",
+            implemented_by: "benchpark-ci::{Lab, Hubcast, Jacamar}, benchpark-core::Benchpark",
+        },
+    ]
+}
+
+/// Renders Table 1 as fixed-width text (the regenerated artifact for
+/// experiment T1).
+pub fn render_table1() -> String {
+    let rows = table1();
+    let mut out = String::new();
+    out.push_str(
+        "Table 1: Components of Benchpark, a collaborative continuous benchmark suite\n\n",
+    );
+    out.push_str(&format!(
+        "{:<3} {:<24} {:<34} {:<38} {:<26}\n",
+        "#", "Component", "Benchmark-specific", "HPC System-specific", "Experiment-specific"
+    ));
+    out.push_str(&"-".repeat(128));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&format!(
+            "{:<3} {:<24} {:<34} {:<38} {:<26}\n",
+            row.number,
+            row.component,
+            row.benchmark_specific,
+            row.system_specific,
+            row.experiment_specific
+        ));
+        out.push_str(&format!("    implemented by: {}\n", row.implemented_by));
+    }
+    out
+}

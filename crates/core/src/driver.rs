@@ -1,0 +1,287 @@
+//! The Benchpark driver: Figure 1c's nine-step workflow as a library.
+
+use crate::systems::SystemProfile;
+use crate::templates::experiment_template;
+use benchpark_cluster::{AppModelFn, BinaryInfo, Cluster, Machine, ProgrammingModel};
+use benchpark_concretizer::Concretizer;
+use benchpark_pkg::{AppRepo, Repo};
+use benchpark_ramble::{AnalyzeReport, RambleError, RunOutput, SetupReport, Workspace};
+use benchpark_spack::InstallOptions;
+use benchpark_spec::VariantValue;
+use std::path::Path;
+
+/// A transcript of the workflow steps executed (Figure 1c's numbering).
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowLog {
+    pub steps: Vec<String>,
+}
+
+impl WorkflowLog {
+    fn step(&mut self, n: usize, text: impl Into<String>) {
+        self.steps.push(format!("step {n}: {}", text.into()));
+    }
+
+    /// Renders the transcript.
+    pub fn render(&self) -> String {
+        self.steps.join("\n")
+    }
+}
+
+/// The driver: owns the package and application repositories
+/// (step 3 of Figure 1c, "Benchpark clones Spack and Ramble").
+pub struct Benchpark {
+    pub repo: Repo,
+    pub app_repo: AppRepo,
+}
+
+impl Default for Benchpark {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchpark {
+    /// Step 1: "user clones the Benchpark repository" — instantiates the
+    /// built-in package and application repositories (with Benchpark's
+    /// `repo/` overlay already applied).
+    pub fn new() -> Benchpark {
+        Benchpark {
+            repo: Repo::builtin(),
+            app_repo: AppRepo::builtin(),
+        }
+    }
+
+    /// Overlays a contributed package recipe (Benchpark's `repo/` mechanism,
+    /// Figure 1a lines 41–48): the first half of "adding a benchmark" (§4).
+    pub fn add_package(&mut self, pkg: benchpark_pkg::PackageDef) {
+        self.repo.add(pkg);
+    }
+
+    /// Overlays a contributed application definition — the `application.py`
+    /// half of "adding a benchmark" (§4).
+    pub fn add_application(&mut self, app: benchpark_pkg::ApplicationDef) {
+        self.app_repo.add(app);
+    }
+
+    /// Step 2: `/bin/benchpark $experiment $system $workspace_dir`.
+    ///
+    /// Generates the workspace for `benchmark`/`variant` on `system`,
+    /// concretizes and installs the software environment, renders batch
+    /// scripts, and boots the system's simulated cluster.
+    pub fn setup_workspace(
+        &self,
+        benchmark: &str,
+        variant: &str,
+        system: &str,
+        workspace_dir: impl AsRef<Path>,
+    ) -> Result<BenchparkWorkspace, String> {
+        self.setup_workspace_on(benchmark, variant, system, workspace_dir, None)
+    }
+
+    /// Like [`Benchpark::setup_workspace`] but with an explicit machine
+    /// (used to inject faults or alternate interconnect configurations —
+    /// ablation A4 and the §7.1 scenario).
+    pub fn setup_workspace_on(
+        &self,
+        benchmark: &str,
+        variant: &str,
+        system: &str,
+        workspace_dir: impl AsRef<Path>,
+        machine_override: Option<Machine>,
+    ) -> Result<BenchparkWorkspace, String> {
+        let template = experiment_template(benchmark, variant)
+            .ok_or_else(|| format!("unknown experiment `{benchmark}/{variant}`"))?;
+        self.setup_workspace_from_template(
+            benchmark,
+            variant,
+            &template,
+            system,
+            workspace_dir,
+            machine_override,
+            &[],
+        )
+    }
+
+    /// Sets up a workspace from a *user-supplied* `ramble.yaml` template —
+    /// the full §4 "adding benchmarks to Benchpark" path. `app_models`
+    /// registers performance models for executables the built-in cluster
+    /// registry does not know.
+    #[allow(clippy::too_many_arguments)]
+    pub fn setup_workspace_from_template(
+        &self,
+        benchmark: &str,
+        variant: &str,
+        template: &str,
+        system: &str,
+        workspace_dir: impl AsRef<Path>,
+        machine_override: Option<Machine>,
+        app_models: &[(&str, AppModelFn)],
+    ) -> Result<BenchparkWorkspace, String> {
+        let mut log = WorkflowLog::default();
+        log.step(1, "user clones Benchpark repository (builtin repos loaded)");
+
+        let profile = SystemProfile::by_name(system)
+            .ok_or_else(|| format!("unknown system `{system}`"))?;
+        log.step(
+            2,
+            format!("benchpark {benchmark}/{variant} {system} {}", workspace_dir.as_ref().display()),
+        );
+        log.step(3, "Benchpark clones Spack and Ramble (substrates instantiated)");
+
+        // step 4: generate workspace configuration
+        let mut workspace =
+            Workspace::create(&workspace_dir).map_err(|e| e.to_string())?;
+        workspace.set_config(template).map_err(|e| e.to_string())?;
+        workspace
+            .merge_spack(&profile.spack_yaml)
+            .map_err(|e| e.to_string())?;
+        workspace
+            .merge_variables(&profile.variables_yaml)
+            .map_err(|e| e.to_string())?;
+        log.step(4, "Benchpark generates workspace config (ramble.yaml + system includes)");
+
+        // steps 5–7: ramble workspace setup (spack builds + script rendering)
+        let site = profile.site_config();
+        let report = workspace
+            .setup(&self.repo, &self.app_repo, &site, &InstallOptions::default())
+            .map_err(|e| e.to_string())?;
+        log.step(5, "user calls Ramble within workspace (ramble workspace setup)");
+        log.step(
+            6,
+            format!(
+                "Ramble uses Spack to build each benchmark ({} environments)",
+                report.install_reports.len()
+            ),
+        );
+        log.step(
+            7,
+            format!("Ramble renders batch experiment scripts ({} experiments)", report.experiments.len()),
+        );
+
+        // boot the cluster and install the built binaries on it
+        let machine = machine_override.unwrap_or_else(|| profile.machine());
+        let mut cluster = Cluster::new(machine);
+        for (exe, model) in app_models {
+            cluster.register_app_model(exe, *model);
+        }
+        for (app_name, _) in workspace
+            .config()
+            .expect("config set above")
+            .applications
+            .clone()
+        {
+            let app = self
+                .app_repo
+                .get(&app_name)
+                .ok_or_else(|| format!("unknown application `{app_name}`"))?;
+            let spec_text = workspace
+                .config()
+                .expect("config set")
+                .resolved_spec(&app.software)
+                .map_err(|e| e.to_string())?;
+            let abstract_spec: benchpark_spec::Spec =
+                spec_text.parse().map_err(|e| format!("{e}"))?;
+            let dag = Concretizer::new(&self.repo, &site)
+                .concretize(&abstract_spec)
+                .map_err(|e| e.to_string())?;
+            let concrete = &dag.root_node().spec;
+            let target = concrete
+                .target
+                .clone()
+                .unwrap_or_else(|| "x86_64".to_string());
+            let model = if concrete.variants.get("cuda") == Some(&VariantValue::Bool(true)) {
+                ProgrammingModel::Cuda
+            } else if concrete.variants.get("rocm") == Some(&VariantValue::Bool(true)) {
+                ProgrammingModel::Rocm
+            } else if concrete.variants.get("openmp") == Some(&VariantValue::Bool(true)) {
+                ProgrammingModel::OpenMp
+            } else {
+                ProgrammingModel::Serial
+            };
+            for exe in &app.executables {
+                let base = exe
+                    .template
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or(&app.software);
+                cluster.install_binary(BinaryInfo::for_target(base, &target, model));
+            }
+        }
+
+        Ok(BenchparkWorkspace {
+            benchmark: benchmark.to_string(),
+            variant: variant.to_string(),
+            system: profile,
+            workspace,
+            cluster,
+            setup_report: report,
+            log,
+        })
+    }
+}
+
+/// A ready-to-run Benchpark workspace bound to a simulated cluster.
+pub struct BenchparkWorkspace {
+    pub benchmark: String,
+    pub variant: String,
+    pub system: SystemProfile,
+    pub workspace: Workspace,
+    pub cluster: Cluster,
+    pub setup_report: SetupReport,
+    pub log: WorkflowLog,
+}
+
+impl BenchparkWorkspace {
+    /// Step 8: `ramble on` — submits every rendered script to the system's
+    /// batch scheduler and waits for completion.
+    pub fn run(&mut self) -> Result<(), RambleError> {
+        let cluster = &mut self.cluster;
+        self.workspace.run_with(|_exp, script| {
+            match cluster.submit_script(script, "benchpark") {
+                Ok(id) => {
+                    cluster.run_until_idle();
+                    let job = cluster.job(id).expect("submitted job exists");
+                    RunOutput {
+                        stdout: job.stdout.clone(),
+                        exit_code: job.exit_code,
+                        profile: job.profile.clone(),
+                    }
+                }
+                Err(e) => RunOutput {
+                    stdout: format!("sbatch: error: {e}\n"),
+                    exit_code: 1,
+                    profile: Vec::new(),
+                },
+            }
+        })?;
+        self.log
+            .step(8, "user calls Ramble to submit batch experiment scripts (ramble on)");
+        Ok(())
+    }
+
+    /// Step 9: `ramble workspace analyze` — extracts FOMs and success
+    /// criteria.
+    pub fn analyze(&mut self, benchpark: &Benchpark) -> Result<AnalyzeReport, RambleError> {
+        let report = self.workspace.analyze(&benchpark.app_repo)?;
+        self.log
+            .step(9, "user calls Ramble to analyze output and extract metrics");
+        Ok(report)
+    }
+
+    /// A manifest describing exactly what ran (§5: *"Storing the Benchpark
+    /// manifest with the performance results will enable introspection into
+    /// benchmark performance across systems and time"*).
+    pub fn manifest(&self) -> String {
+        let mut out = format!(
+            "benchmark: {}/{}\nsystem: {}\n",
+            self.benchmark, self.variant, self.system.name
+        );
+        for (env, specs) in &self.setup_report.environment_specs {
+            out.push_str(&format!("environment {env}:\n"));
+            for spec in specs {
+                out.push_str(&format!("  - {spec}\n"));
+            }
+        }
+        out
+    }
+}

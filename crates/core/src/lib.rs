@@ -1,0 +1,55 @@
+//! `benchpark-core` — the Benchpark driver: systems, experiment suites, the
+//! end-to-end workflow, the metrics database, and reports.
+//!
+//! This crate is the paper's primary contribution (§2): *"Benchpark is an
+//! infrastructure-as-code project combining a variety of open source tools
+//! into a fully specified system for tracking benchmark performance across a
+//! variety of systems, across multiple HPC centers, and across arbitrary
+//! choices of benchmarks"* — with every component orthogonalized into
+//! benchmark-specific, system-specific, and experiment-specific concerns
+//! (Table 1).
+//!
+//! * [`SystemProfile`] — the `configs/<system>/` directories of Figure 1a:
+//!   `compilers.yaml`, `packages.yaml`, `spack.yaml`, `variables.yaml` for
+//!   the three demonstration systems (`cts1`, `ats2`, `ats4`, §4) plus the
+//!   cloud pool of §7.2 — each backed by a simulated machine.
+//! * [`experiment_template`] — the `experiments/<benchmark>/<variant>/`
+//!   entries (Figure 1a lines 20–40): `ramble.yaml` texts per benchmark and
+//!   programming model.
+//! * [`Benchpark`] — the driver (Figure 1b/1c): step 2's
+//!   `/bin/benchpark $experiment $system $workspace_dir` becomes
+//!   [`Benchpark::setup_workspace`], and the remaining workflow steps map to
+//!   methods on the returned [`BenchparkWorkspace`].
+//! * [`MetricsDatabase`] — §5's goal: results stored *with* the exact
+//!   experiment manifests, queryable across systems and time, convertible to
+//!   [`benchpark_perf::Thicket`]s for Extra-P modeling (Figure 14).
+//! * [`table1`] — the component matrix of Table 1, regenerated from the
+//!   implemented modules.
+//! * [`scaling`] — the Figure 14 pipeline: broadcast scaling study →
+//!   Thicket → Extra-P model.
+
+mod components;
+mod driver;
+mod metrics;
+mod plot;
+pub mod procurement;
+pub mod regression;
+pub mod scaling;
+mod systems;
+mod templates;
+mod tree;
+
+pub use components::{render_table1, table1, Table1Row};
+pub use driver::{Benchpark, BenchparkWorkspace, WorkflowLog};
+pub use metrics::{MetricsDatabase, StoredResult};
+pub use plot::ascii_plot;
+pub use procurement::{ProcurementReport, ProcurementStudy, WorkloadSpec};
+pub use regression::{detect_regression, RegressionReport};
+pub use systems::SystemProfile;
+pub use templates::{experiment_template, available_experiments};
+pub use tree::{render_tree, write_skeleton};
+
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod tests_extended;

@@ -1,0 +1,79 @@
+//! Terminal plots for the dashboard (§5: *"The interactive dashboard could
+//! be designed with some pre-built plots and visualizations"*). Figure 14 is
+//! a scatter + model line; this renders the same thing in text.
+
+/// Renders an ASCII scatter plot of `(x, y)` points, optionally overlaying a
+/// model curve (drawn with `·`, data points with `●`).
+pub fn ascii_plot(
+    title: &str,
+    points: &[(f64, f64)],
+    model: Option<&dyn Fn(f64) -> f64>,
+    width: usize,
+    height: usize,
+) -> String {
+    if points.is_empty() || width < 8 || height < 4 {
+        return format!("{title}\n(no data)\n");
+    }
+    let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let mut y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let mut y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    if let Some(f) = model {
+        for i in 0..width {
+            let x = x_min + (x_max - x_min) * i as f64 / (width - 1) as f64;
+            let y = f(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if (y_max - y_min).abs() < 1e-30 {
+        y_max = y_min + 1.0;
+    }
+    if (x_max - x_min).abs() < 1e-30 {
+        return format!("{title}\n(degenerate x range)\n");
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let to_col = |x: f64| {
+        (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
+    };
+    let to_row = |y: f64| {
+        let r = ((y - y_min) / (y_max - y_min)) * (height - 1) as f64;
+        height - 1 - (r.round() as usize).min(height - 1)
+    };
+    if let Some(f) = model {
+        for (col, x) in (0..width)
+            .map(|c| (c, x_min + (x_max - x_min) * c as f64 / (width - 1) as f64))
+        {
+            let y = f(x);
+            if y.is_finite() && y >= y_min && y <= y_max {
+                grid[to_row(y)][col] = '·';
+            }
+        }
+    }
+    for (x, y) in points {
+        grid[to_row(*y)][to_col(*x)] = '●';
+    }
+
+    let mut out = format!("{title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>10.3e} |")
+        } else if i == height - 1 {
+            format!("{y_min:>10.3e} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {:<width$}\n",
+        "",
+        format!("{x_min:.0} … {x_max:.0}"),
+        width = width
+    ));
+    out
+}

@@ -1,0 +1,127 @@
+//! Performance-regression detection over time (paper §1: once a system is
+//! in service, *"benchmarking is a useful tool for tracking system
+//! performance over time and diagnosing hardware failures"*).
+//!
+//! Continuous benchmarking records each run into the [`MetricsDatabase`]
+//! with a monotonically increasing sequence point; this module compares the
+//! most recent sequence against the history and flags statistically
+//! meaningful drops.
+
+use crate::metrics::MetricsDatabase;
+use benchpark_ramble::ExperimentStatus;
+
+/// The verdict for one FOM on one (benchmark, system).
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    pub benchmark: String,
+    pub system: String,
+    pub fom: String,
+    /// Mean over all sequences before the latest.
+    pub baseline_mean: f64,
+    /// Standard deviation of the per-sequence baseline means.
+    pub baseline_std: f64,
+    /// Mean of the latest sequence.
+    pub latest_mean: f64,
+    /// Relative change of the latest vs baseline: negative = got worse for
+    /// higher-is-better FOMs.
+    pub change: f64,
+    /// True if the latest run regressed beyond the threshold.
+    pub regressed: bool,
+    /// Number of sequences in the baseline.
+    pub history_len: usize,
+}
+
+impl RegressionReport {
+    /// Renders a one-line verdict.
+    pub fn render(&self) -> String {
+        format!(
+            "{}/{} `{}`: baseline {:.4e} (±{:.1e}, n={}), latest {:.4e} ({:+.1}%) — {}",
+            self.benchmark,
+            self.system,
+            self.fom,
+            self.baseline_mean,
+            self.baseline_std,
+            self.history_len,
+            self.latest_mean,
+            self.change * 100.0,
+            if self.regressed { "REGRESSION" } else { "ok" }
+        )
+    }
+}
+
+/// Per-sequence means of a FOM for one (benchmark, system).
+fn sequence_means(
+    db: &MetricsDatabase,
+    benchmark: &str,
+    system: &str,
+    fom: &str,
+) -> Vec<(u64, f64)> {
+    use std::collections::BTreeMap;
+    let mut by_seq: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for record in db.query(Some(benchmark), Some(system)) {
+        if record.result.status != ExperimentStatus::Success {
+            continue;
+        }
+        for f in &record.result.foms {
+            if f.name == fom {
+                if let Some(v) = f.as_f64() {
+                    by_seq.entry(record.sequence).or_default().push(v);
+                }
+            }
+        }
+    }
+    by_seq
+        .into_iter()
+        .filter(|(_, vs)| !vs.is_empty())
+        .map(|(seq, vs)| (seq, vs.iter().sum::<f64>() / vs.len() as f64))
+        .collect()
+}
+
+/// Compares the latest sequence to the history.
+///
+/// A regression is flagged when the latest mean is worse than the baseline
+/// mean by more than `threshold` (relative) *and* more than two baseline
+/// standard deviations (so ordinary run-to-run noise never alarms).
+/// Returns `None` when fewer than 3 sequences exist.
+pub fn detect_regression(
+    db: &MetricsDatabase,
+    benchmark: &str,
+    system: &str,
+    fom: &str,
+    higher_is_better: bool,
+    threshold: f64,
+) -> Option<RegressionReport> {
+    let means = sequence_means(db, benchmark, system, fom);
+    if means.len() < 3 {
+        return None;
+    }
+    let (latest_seq, latest_mean) = *means.last().expect("len >= 3");
+    let baseline: Vec<f64> = means[..means.len() - 1].iter().map(|(_, m)| *m).collect();
+    let baseline_mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
+    let var = baseline
+        .iter()
+        .map(|v| (v - baseline_mean).powi(2))
+        .sum::<f64>()
+        / baseline.len() as f64;
+    let baseline_std = var.sqrt();
+
+    let change = if higher_is_better {
+        (latest_mean - baseline_mean) / baseline_mean.abs().max(1e-12)
+    } else {
+        (baseline_mean - latest_mean) / baseline_mean.abs().max(1e-12)
+    };
+    let beyond_noise = (latest_mean - baseline_mean).abs() > 2.0 * baseline_std;
+    let regressed = change < -threshold && beyond_noise;
+    let _ = latest_seq;
+    Some(RegressionReport {
+        benchmark: benchmark.to_string(),
+        system: system.to_string(),
+        fom: fom.to_string(),
+        baseline_mean,
+        baseline_std,
+        latest_mean,
+        change,
+        regressed,
+        history_len: baseline.len(),
+    })
+}

@@ -1,0 +1,279 @@
+//! System profiles: the `configs/<system>/` directories (Figure 1a).
+//!
+//! Each profile bundles the four system-specific files of Table 1's middle
+//! column — compiler definitions, package/external definitions, named Spack
+//! definitions (Figure 9), and scheduler/launcher variables (Figure 12) —
+//! plus the simulated machine the system runs on.
+
+use benchpark_cluster::Machine;
+use benchpark_concretizer::SiteConfig;
+use benchpark_spack::ConfigScopes;
+
+/// One HPC system as Benchpark sees it.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    /// System name (`cts1`, `ats2`, `ats4`, `cloud-c5`).
+    pub name: String,
+    /// `compilers.yaml` text.
+    pub compilers_yaml: String,
+    /// `packages.yaml` text (externals, providers, target).
+    pub packages_yaml: String,
+    /// `spack.yaml` text: named definitions (Figure 9).
+    pub spack_yaml: String,
+    /// `variables.yaml` text: scheduler + launcher (Figure 12).
+    pub variables_yaml: String,
+}
+
+impl SystemProfile {
+    /// The simulated machine behind this profile.
+    pub fn machine(&self) -> Machine {
+        Machine::preset(&self.name).expect("profiles exist only for preset machines")
+    }
+
+    /// Lowers the profile to the concretizer's site configuration.
+    pub fn site_config(&self) -> SiteConfig {
+        let mut scopes = ConfigScopes::new();
+        scopes
+            .push_scope(
+                &self.name,
+                &[
+                    ("compilers.yaml", &self.compilers_yaml),
+                    ("packages.yaml", &self.packages_yaml),
+                ],
+            )
+            .expect("builtin system configs must parse");
+        scopes.site_config()
+    }
+
+    /// All built-in system profiles.
+    pub fn all() -> Vec<SystemProfile> {
+        vec![
+            SystemProfile::cts1(),
+            SystemProfile::ats2(),
+            SystemProfile::ats4(),
+            SystemProfile::cloud_c5(),
+        ]
+    }
+
+    /// Looks up a profile by system name.
+    pub fn by_name(name: &str) -> Option<SystemProfile> {
+        SystemProfile::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// `cts1`: Intel Xeon + MVAPICH2 + MKL under Slurm (§4 system 1).
+    /// `packages.yaml` is Figure 4 verbatim plus target/provider policy;
+    /// `variables.yaml` is Figure 12 verbatim.
+    pub fn cts1() -> SystemProfile {
+        SystemProfile {
+            name: "cts1".to_string(),
+            compilers_yaml: r#"compilers:
+- compiler:
+    spec: gcc@12.1.1
+    prefix: /usr/tce/packages/gcc/gcc-12.1.1
+- compiler:
+    spec: intel@2021.6.0
+    prefix: /usr/tce/packages/intel/intel-2021.6.0
+"#
+            .to_string(),
+            packages_yaml: r#"packages:
+  all:
+    target: [skylake_avx512]
+  blas:
+    externals:
+    - spec: intel-oneapi-mkl@2022.1.0
+      prefix: /path/to/intel-oneapi-mkl
+    buildable: false
+  lapack:
+    externals:
+    - spec: intel-oneapi-mkl@2022.1.0
+      prefix: /path/to/intel-oneapi-mkl
+    buildable: false
+  mpi:
+    externals:
+    - spec: mvapich2@2.3.7-gcc12.1.1-magic
+      prefix: /path/to/mvapich2
+    buildable: false
+"#
+            .to_string(),
+            spack_yaml: r#"spack:
+  packages:
+    default-compiler:
+      spack_spec: gcc@12.1.1
+    default-mpi:
+      spack_spec: mvapich2@2.3.7-gcc12.1.1
+    gcc1211:
+      spack_spec: gcc@12.1.1
+    lapack:
+      spack_spec: intel-oneapi-mkl@2022.1.0
+    mpi-compilers:
+      spack_spec: mvapich2@2.3.7-compilers
+"#
+            .to_string(),
+            variables_yaml: r#"variables:
+  mpi_command: 'srun -N {n_nodes} -n {n_ranks}'
+  batch_submit: 'sbatch {execute_experiment}'
+  batch_nodes: '#SBATCH -N {n_nodes}'
+  batch_ranks: '#SBATCH -n {n_ranks}'
+  batch_timeout: '#SBATCH -t {batch_time}:00'
+  compilers: [gcc1211, intel202160classic]
+"#
+            .to_string(),
+        }
+    }
+
+    /// `ats2`: Power9 + V100 + Spectrum MPI + ESSL under LSF (§4 system 2).
+    pub fn ats2() -> SystemProfile {
+        SystemProfile {
+            name: "ats2".to_string(),
+            compilers_yaml: r#"compilers:
+- compiler:
+    spec: gcc@8.5.0
+    prefix: /usr/tce/packages/gcc/gcc-8.5.0
+- compiler:
+    spec: xl@16.1.1
+    prefix: /usr/tce/packages/xl/xl-16.1.1
+"#
+            .to_string(),
+            packages_yaml: r#"packages:
+  all:
+    target: [power9le]
+  blas:
+    externals:
+    - spec: essl@6.3.0
+      prefix: /usr/tcetmp/packages/essl
+    buildable: false
+  lapack:
+    externals:
+    - spec: essl@6.3.0
+      prefix: /usr/tcetmp/packages/essl
+    buildable: false
+  mpi:
+    externals:
+    - spec: spectrum-mpi@10.3.1.2
+      prefix: /usr/tce/packages/spectrum-mpi
+    buildable: false
+  cuda:
+    externals:
+    - spec: cuda@11.7.0
+      prefix: /usr/tce/packages/cuda-11.7.0
+    buildable: false
+"#
+            .to_string(),
+            spack_yaml: r#"spack:
+  packages:
+    default-compiler:
+      spack_spec: gcc@8.5.0
+    default-mpi:
+      spack_spec: spectrum-mpi@10.3.1.2
+    lapack:
+      spack_spec: essl@6.3.0
+"#
+            .to_string(),
+            variables_yaml: r#"variables:
+  mpi_command: 'jsrun -n {n_ranks} -a 1'
+  batch_submit: 'bsub {execute_experiment}'
+  batch_nodes: '#BSUB -nnodes {n_nodes}'
+  batch_ranks: '#BSUB -n {n_ranks}'
+  batch_timeout: '#BSUB -W {batch_time}'
+  compilers: [gcc850, xl1611]
+"#
+            .to_string(),
+        }
+    }
+
+    /// `ats4` EAS: Trento + MI250X + Cray MPICH under Flux (§4 system 3).
+    pub fn ats4() -> SystemProfile {
+        SystemProfile {
+            name: "ats4".to_string(),
+            compilers_yaml: r#"compilers:
+- compiler:
+    spec: gcc@12.1.1
+    prefix: /opt/cray/pe/gcc/12.1.1
+- compiler:
+    spec: rocmcc@5.2.0
+    prefix: /opt/rocm-5.2.0
+"#
+            .to_string(),
+            packages_yaml: r#"packages:
+  all:
+    target: [zen3]
+  mpi:
+    externals:
+    - spec: cray-mpich@8.1.16
+      prefix: /opt/cray/pe/mpich/8.1.16
+    buildable: false
+  hip:
+    externals:
+    - spec: hip@5.2.0
+      prefix: /opt/rocm-5.2.0
+    buildable: false
+  blas:
+    providers: [openblas]
+"#
+            .to_string(),
+            spack_yaml: r#"spack:
+  packages:
+    default-compiler:
+      spack_spec: gcc@12.1.1
+    default-mpi:
+      spack_spec: cray-mpich@8.1.16
+    lapack:
+      spack_spec: openblas@0.3.20
+"#
+            .to_string(),
+            variables_yaml: r#"variables:
+  mpi_command: 'flux run -N {n_nodes} -n {n_ranks}'
+  batch_submit: 'flux batch {execute_experiment}'
+  batch_nodes: '#flux: -N {n_nodes}'
+  batch_ranks: '#flux: -n {n_ranks}'
+  batch_timeout: '#flux: -t {batch_time}m'
+  compilers: [gcc1211, rocmcc520]
+"#
+            .to_string(),
+        }
+    }
+
+    /// `cloud-c5`: the §7.2 cloud pool — everything built from source, no
+    /// blessed externals, Slurm front-end. Its machine masks AVX-512 (§7.1).
+    pub fn cloud_c5() -> SystemProfile {
+        SystemProfile {
+            name: "cloud-c5".to_string(),
+            compilers_yaml: r#"compilers:
+- compiler:
+    spec: gcc@12.1.1
+    prefix: /usr
+"#
+            .to_string(),
+            packages_yaml: r#"packages:
+  all:
+    target: [skylake]
+  mpi:
+    providers: [openmpi]
+  blas:
+    providers: [openblas]
+  lapack:
+    providers: [openblas]
+"#
+            .to_string(),
+            spack_yaml: r#"spack:
+  packages:
+    default-compiler:
+      spack_spec: gcc@12.1.1
+    default-mpi:
+      spack_spec: openmpi@4.1.4
+    lapack:
+      spack_spec: openblas@0.3.20
+"#
+            .to_string(),
+            variables_yaml: r#"variables:
+  mpi_command: 'srun -N {n_nodes} -n {n_ranks}'
+  batch_submit: 'sbatch {execute_experiment}'
+  batch_nodes: '#SBATCH -N {n_nodes}'
+  batch_ranks: '#SBATCH -n {n_ranks}'
+  batch_timeout: '#SBATCH -t {batch_time}:00'
+  compilers: [gcc1211]
+"#
+            .to_string(),
+        }
+    }
+}

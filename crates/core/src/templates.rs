@@ -1,0 +1,274 @@
+//! Experiment templates: the `experiments/<benchmark>/<variant>/ramble.yaml`
+//! entries of Figure 1a (lines 20–40).
+//!
+//! Each template is benchmark + experiment specific and references the
+//! *system's* named definitions (`default-compiler`, `default-mpi`,
+//! Figure 9) rather than naming concrete compilers — that reference
+//! indirection is exactly how Benchpark orthogonalizes the Table 1 columns.
+
+/// The `(benchmark, variant)` pairs shipped in the repository.
+pub fn available_experiments() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("saxpy", "openmp"),
+        ("saxpy", "cuda"),
+        ("saxpy", "rocm"),
+        ("amg2023", "openmp"),
+        ("amg2023", "cuda"),
+        ("amg2023", "rocm"),
+        ("stream", "openmp"),
+        ("osu-bcast", "scaling"),
+        ("hpl", "mpi"),
+        ("lulesh", "openmp"),
+    ]
+}
+
+/// Returns the `ramble.yaml` text for `experiments/<benchmark>/<variant>/`,
+/// or `None` for unknown combinations.
+pub fn experiment_template(benchmark: &str, variant: &str) -> Option<String> {
+    let text = match (benchmark, variant) {
+        // Figure 10, verbatim structure (minus the include paths, which the
+        // driver resolves by merging the system files directly).
+        ("saxpy", "openmp") => SAXPY_OPENMP.to_string(),
+        ("saxpy", "cuda") => saxpy_gpu("cuda"),
+        ("saxpy", "rocm") => saxpy_gpu("rocm"),
+        ("amg2023", "openmp") => amg("openmp", "+openmp"),
+        ("amg2023", "cuda") => amg("cuda", "+cuda"),
+        ("amg2023", "rocm") => amg("rocm", "+rocm"),
+        ("stream", "openmp") => STREAM.to_string(),
+        ("hpl", "mpi") => HPL.to_string(),
+        ("osu-bcast", "scaling") => OSU_BCAST_SCALING.to_string(),
+        ("lulesh", "openmp") => LULESH.to_string(),
+        _ => return None,
+    };
+    Some(text)
+}
+
+const SAXPY_OPENMP: &str = r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    saxpy:
+      workloads:
+        problem:
+          env_vars:
+            set:
+              OMP_NUM_THREADS: '{n_threads}'
+          variables:
+            n_ranks: '8'
+            batch_time: '120'
+          experiments:
+            saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:
+              variables:
+                processes_per_node: ['8', '4']
+                n_nodes: ['1', '2']
+                n_threads: ['2', '4']
+                n: ['512', '1024']
+              matrices:
+              - size_threads:
+                - n
+                - n_threads
+  spack:
+    packages:
+      saxpy:
+        spack_spec: saxpy@1.0.0 +openmp ^cmake@3.23.1
+        compiler: default-compiler
+    environments:
+      saxpy:
+        packages:
+        - default-mpi
+        - saxpy
+"#;
+
+fn saxpy_gpu(model: &str) -> String {
+    format!(
+        r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    saxpy:
+      workloads:
+        problem:
+          variables:
+            n_ranks: '4'
+            batch_time: '60'
+          experiments:
+            saxpy_{model}_{{n}}_{{n_nodes}}_{{n_ranks}}:
+              variables:
+                n_nodes: '1'
+                n: ['16384', '65536']
+  spack:
+    packages:
+      saxpy:
+        spack_spec: saxpy@1.0.0 ~openmp+{model} ^cmake@3.23.1
+        compiler: default-compiler
+    environments:
+      saxpy:
+        packages:
+        - default-mpi
+        - saxpy
+"#
+    )
+}
+
+fn amg(variant_name: &str, variant: &str) -> String {
+    format!(
+        r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    amg2023:
+      workloads:
+        problem1:
+          variables:
+            batch_time: '60'
+            px: '2'
+            py: '2'
+            pz: '2'
+            n_ranks: '8'
+            n_nodes: '1'
+          experiments:
+            amg2023_{variant_name}_problem1_{{nx}}_{{ny}}_{{nz}}:
+              variables:
+                nx: ['64', '128']
+                ny: ['64', '128']
+                nz: ['64', '128']
+  spack:
+    packages:
+      amg2023:
+        spack_spec: amg2023@1.0 {variant} ^hypre@2.25.0
+        compiler: default-compiler
+    environments:
+      amg2023:
+        packages:
+        - default-mpi
+        - amg2023
+"#
+    )
+}
+
+const STREAM: &str = r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    stream:
+      workloads:
+        standard:
+          env_vars:
+            set:
+              OMP_NUM_THREADS: '{n_threads}'
+          variables:
+            batch_time: '20'
+            n_nodes: '1'
+            n_ranks: '1'
+          experiments:
+            stream_{n_threads}_{array_size}:
+              variables:
+                n_threads: ['4', '9', '18', '36']
+                array_size: '80000000'
+  spack:
+    packages:
+      stream:
+        spack_spec: stream@5.10 +openmp
+        compiler: default-compiler
+    environments:
+      stream:
+        packages:
+        - stream
+"#;
+
+/// The scaling study behind Figure 14: broadcast latency at increasing rank
+/// counts on one system.
+const OSU_BCAST_SCALING: &str = r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    osu-bcast:
+      workloads:
+        bcast:
+          variables:
+            batch_time: '30'
+            processes_per_node: '36'
+            message_size: '8'
+            iterations: '1000'
+          experiments:
+            bcast_{n_ranks}:
+              variables:
+                n_nodes: ['1', '2', '4', '8', '15', '29', '57', '96']
+  spack:
+    packages:
+      osu-micro-benchmarks:
+        spack_spec: osu-micro-benchmarks@5.9
+        compiler: default-compiler
+    environments:
+      osu-bcast:
+        packages:
+        - default-mpi
+        - osu-micro-benchmarks
+"#;
+
+const HPL: &str = r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    hpl:
+      workloads:
+        standard:
+          variables:
+            batch_time: '240'
+            processes_per_node: '16'
+            block_size: '192'
+          experiments:
+            hpl_{problem_size}_{n_nodes}_{n_ranks}:
+              variables:
+                n_nodes: ['1', '4']
+                problem_size: ['20000', '40000']
+  spack:
+    packages:
+      hpl:
+        spack_spec: hpl@2.3 ^lapack
+        compiler: default-compiler
+    environments:
+      hpl:
+        packages:
+        - default-mpi
+        - hpl
+"#;
+
+const LULESH: &str = r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  applications:
+    lulesh:
+      workloads:
+        standard:
+          env_vars:
+            set:
+              OMP_NUM_THREADS: '{n_threads}'
+          variables:
+            batch_time: '60'
+            n_threads: '4'
+          experiments:
+            lulesh_{size}_{n_nodes}_{n_ranks}:
+              variables:
+                processes_per_node: ['8', '8']
+                n_nodes: ['1', '2']
+                size: '30'
+                iterations: '100'
+  spack:
+    packages:
+      lulesh:
+        spack_spec: lulesh@2.0.3 +openmp+mpi
+        compiler: default-compiler
+    environments:
+      lulesh:
+        packages:
+        - default-mpi
+        - lulesh
+"#;

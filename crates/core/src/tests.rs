@@ -1,0 +1,327 @@
+//! Tests for the Benchpark driver, systems, templates, metrics database,
+//! Table 1, and the Figure 14 pipeline.
+
+use crate::{
+    available_experiments, experiment_template, render_table1, render_tree, scaling, table1,
+    Benchpark, MetricsDatabase, SystemProfile,
+};
+use benchpark_cluster::BcastAlgorithm;
+use benchpark_ramble::ExperimentStatus;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("benchpark-core-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Systems
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_system_profiles_lower_to_site_configs() {
+    for profile in SystemProfile::all() {
+        let site = profile.site_config();
+        assert!(
+            !site.compilers.is_empty(),
+            "{} must define compilers",
+            profile.name
+        );
+        assert!(!site.default_target.is_empty());
+        let machine = profile.machine();
+        assert_eq!(machine.name, profile.name);
+        // system default target must be runnable on the machine
+        assert!(
+            machine.can_run_binary_for(&site.default_target),
+            "{}: binaries for {} must run on the machine",
+            profile.name,
+            site.default_target
+        );
+    }
+}
+
+#[test]
+fn cts1_profile_matches_fig4() {
+    let site = SystemProfile::cts1().site_config();
+    assert_eq!(site.externals_for("mvapich2").len(), 1);
+    assert_eq!(site.externals_for("intel-oneapi-mkl").len(), 1);
+    assert!(!site.buildable("mvapich2"));
+    assert_eq!(site.default_target, "skylake_avx512");
+    assert_eq!(site.provider_prefs["mpi"], vec!["mvapich2".to_string()]);
+}
+
+// ---------------------------------------------------------------------------
+// Templates
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_templates_parse() {
+    for (benchmark, variant) in available_experiments() {
+        let text = experiment_template(benchmark, variant).unwrap();
+        let config = benchpark_ramble::RambleConfig::from_yaml(&text)
+            .unwrap_or_else(|e| panic!("{benchmark}/{variant}: {e}"));
+        assert!(!config.applications.is_empty());
+        assert!(!config.environments.is_empty());
+    }
+    assert!(experiment_template("nope", "x").is_none());
+}
+
+// ---------------------------------------------------------------------------
+// The 9-step workflow (Figure 1c) and the §4 demonstration matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_fig1c_nine_step_workflow() {
+    let benchpark = Benchpark::new();
+    let mut ws = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", temp_dir("fig1c"))
+        .unwrap();
+    // Figure 10 expansion: 8 experiments
+    assert_eq!(ws.setup_report.experiments.len(), 8);
+    ws.run().unwrap();
+    let analysis = ws.analyze(&benchpark).unwrap();
+    assert_eq!(analysis.successes().count(), 8, "{}", analysis.render());
+
+    // all nine steps logged
+    assert_eq!(ws.log.steps.len(), 9);
+    for n in 1..=9 {
+        assert!(
+            ws.log.steps.iter().any(|s| s.starts_with(&format!("step {n}:"))),
+            "missing step {n}: {:?}",
+            ws.log.steps
+        );
+    }
+    // the manifest captures the environment specs
+    let manifest = ws.manifest();
+    assert!(manifest.contains("saxpy@1.0.0 +openmp"), "{manifest}");
+    assert!(manifest.contains("system: cts1"));
+}
+
+/// §4: both paper benchmarks on all three paper systems, matched to each
+/// system's programming model.
+#[test]
+fn demo_matrix_benchmarks_times_systems() {
+    let combos = [
+        ("saxpy", "openmp", "cts1"),
+        ("saxpy", "cuda", "ats2"),
+        ("saxpy", "rocm", "ats4"),
+        ("amg2023", "openmp", "cts1"),
+        ("amg2023", "cuda", "ats2"),
+        ("amg2023", "rocm", "ats4"),
+    ];
+    let benchpark = Benchpark::new();
+    for (benchmark, variant, system) in combos {
+        let mut ws = benchpark
+            .setup_workspace(
+                benchmark,
+                variant,
+                system,
+                temp_dir(&format!("{benchmark}-{variant}-{system}")),
+            )
+            .unwrap_or_else(|e| panic!("{benchmark}/{variant} on {system}: {e}"));
+        ws.run().unwrap();
+        let analysis = ws.analyze(&benchpark).unwrap();
+        assert!(
+            analysis.successes().count() > 0,
+            "{benchmark}/{variant} on {system}: no successes\n{}",
+            analysis.render()
+        );
+        for result in &analysis.results {
+            assert_eq!(
+                result.status,
+                ExperimentStatus::Success,
+                "{benchmark}/{variant}@{system}: {}",
+                result.experiment
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_dialects_render_correctly() {
+    let benchpark = Benchpark::new();
+    // LSF on ats2
+    let ws = benchpark
+        .setup_workspace("saxpy", "cuda", "ats2", temp_dir("lsf"))
+        .unwrap();
+    let script = ws.workspace.script("saxpy_cuda_16384_1_4").unwrap();
+    assert!(script.contains("#BSUB -nnodes 1"), "{script}");
+    assert!(script.contains("jsrun -n 4 -a 1 saxpy -n 16384"), "{script}");
+
+    // Flux on ats4
+    let ws = benchpark
+        .setup_workspace("saxpy", "rocm", "ats4", temp_dir("flux"))
+        .unwrap();
+    let script = ws.workspace.script("saxpy_rocm_16384_1_4").unwrap();
+    assert!(script.contains("#flux: -N 1"), "{script}");
+    assert!(script.contains("flux run -N 1 -n 4 saxpy -n 16384"), "{script}");
+}
+
+#[test]
+fn unknown_inputs_rejected() {
+    let benchpark = Benchpark::new();
+    assert!(benchpark
+        .setup_workspace("saxpy", "openmp", "summit", temp_dir("bad1"))
+        .is_err());
+    assert!(benchpark
+        .setup_workspace("hpl", "openmp", "cts1", temp_dir("bad2"))
+        .is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics database
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_database_roundtrip() {
+    let benchpark = Benchpark::new();
+    let db = MetricsDatabase::new();
+    let mut ws = benchpark
+        .setup_workspace("stream", "openmp", "cts1", temp_dir("metrics"))
+        .unwrap();
+    ws.run().unwrap();
+    let analysis = ws.analyze(&benchpark).unwrap();
+    db.record("cts1", "stream", "openmp", &ws.manifest(), &analysis.results);
+
+    assert_eq!(db.len(), 4); // 4 thread counts
+    assert_eq!(db.query(Some("stream"), Some("cts1")).len(), 4);
+    assert_eq!(db.query(Some("stream"), Some("ats2")).len(), 0);
+    assert_eq!(db.query(None, None).len(), 4);
+
+    // triad bandwidth grows with threads until saturation
+    let series = db.fom_series("stream", "cts1", "triad_bw", "n_threads");
+    assert_eq!(series.len(), 4);
+    assert!(series[0].1 < series[3].1, "{series:?}");
+
+    // stored manifests allow functional reproduction
+    let rec = &db.all()[0];
+    assert!(rec.manifest.contains("stream@5.10"));
+    assert!(db.render_dashboard().contains("stream"));
+}
+
+#[test]
+fn metrics_database_tracks_time_sequence() {
+    let db = MetricsDatabase::new();
+    let result = benchpark_ramble::ExperimentResult {
+        experiment: "e".to_string(),
+        application: "saxpy".to_string(),
+        workload: "problem".to_string(),
+        status: ExperimentStatus::Success,
+        foms: Vec::new(),
+        criteria: Vec::new(),
+        variables: Default::default(),
+        profile: Vec::new(),
+    };
+    let s1 = db.record("cts1", "saxpy", "openmp", "m", std::slice::from_ref(&result));
+    let s2 = db.record("cts1", "saxpy", "openmp", "m", &[result]);
+    assert!(s2 > s1, "sequence must advance for tracking over time");
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 and the tree (Figures 1a)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_table1_structure() {
+    let rows = table1();
+    assert_eq!(rows.len(), 6);
+    let components: Vec<&str> = rows.iter().map(|r| r.component).collect();
+    assert_eq!(
+        components,
+        vec![
+            "Source code",
+            "Build instructions",
+            "Benchmark input",
+            "Run instructions",
+            "Experiment evaluation",
+            "CI testing"
+        ]
+    );
+    // paper cells reproduced
+    assert_eq!(rows[0].benchmark_specific, "package.py");
+    assert_eq!(rows[2].system_specific, "variables.yaml");
+    assert_eq!(rows[4].experiment_specific, "ramble.yaml: success_criteria");
+    assert_eq!(rows[5].benchmark_specific, ".gitlab-ci.yml");
+    // every row names its implementing modules
+    for row in &rows {
+        assert!(row.implemented_by.contains("benchpark-"), "row {}", row.number);
+    }
+    let rendered = render_table1();
+    assert!(rendered.contains("Component"));
+    assert!(rendered.contains("ramble.yaml: success_criteria"));
+}
+
+#[test]
+fn tree_and_skeleton() {
+    let tree = render_tree();
+    assert!(tree.contains("configs"));
+    assert!(tree.contains("cts1"));
+    assert!(tree.contains("experiments"));
+    assert!(tree.contains("saxpy"));
+    assert!(tree.contains("ramble.yaml"));
+
+    let dir = temp_dir("skeleton");
+    crate::write_skeleton(&dir).unwrap();
+    assert!(dir.join("configs/cts1/packages.yaml").is_file());
+    assert!(dir.join("experiments/saxpy/openmp/ramble.yaml").is_file());
+    assert!(dir.join("experiments/amg2023/rocm/execute_experiment.tpl").is_file());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14
+// ---------------------------------------------------------------------------
+
+/// The headline: on CTS (linear broadcast), the fitted Extra-P model is
+/// `c + a·p^(1)` — the same functional form as the paper's
+/// `-0.636 + 0.0466·p¹`.
+#[test]
+fn golden_fig14_extrap_model_on_cts() {
+    let db = MetricsDatabase::new();
+    let study =
+        scaling::bcast_scaling_study("cts1", None, temp_dir("fig14"), &db).unwrap();
+    assert_eq!(study.points.len(), 8);
+    assert_eq!(study.algorithm, BcastAlgorithm::Linear);
+    assert_eq!(
+        (study.model.i, study.model.j),
+        (1.0, 0),
+        "expected linear model, got {}",
+        study.model
+    );
+    assert!(study.model.a > 0.0);
+    assert!(study.model.r_squared > 0.99, "{}", study.model.r_squared);
+    // max nprocs matches the paper's x-axis reach (3456 on the far right)
+    assert_eq!(study.points.last().unwrap().0, 3456.0);
+    let rendered = study.render();
+    assert!(rendered.contains("p^(1)"), "{rendered}");
+    // results recorded into the metrics database
+    assert_eq!(db.query(Some("osu-bcast"), Some("cts1")).len(), 8);
+}
+
+/// Ablation A4: a binomial-tree broadcast fits a logarithmic model instead.
+#[test]
+fn fig14_ablation_tree_bcast_is_logarithmic() {
+    let db = MetricsDatabase::new();
+    let study = scaling::bcast_scaling_study(
+        "cts1",
+        Some(BcastAlgorithm::BinomialTree),
+        temp_dir("fig14-tree"),
+        &db,
+    )
+    .unwrap();
+    assert_eq!(
+        (study.model.i, study.model.j),
+        (0.0, 1),
+        "expected log model, got {}",
+        study.model
+    );
+    // and the tree broadcast is far faster at scale than linear
+    let linear = scaling::bcast_scaling_study(
+        "cts1",
+        Some(BcastAlgorithm::Linear),
+        temp_dir("fig14-lin"),
+        &db,
+    )
+    .unwrap();
+    let p_max = 3456.0;
+    assert!(study.model.predict(p_max) * 10.0 < linear.model.predict(p_max));
+}

@@ -1,0 +1,94 @@
+//! The Benchpark repository layout (Figure 1a).
+
+use crate::systems::SystemProfile;
+use crate::templates::available_experiments;
+
+/// Renders the Figure 1a directory structure for the built-in systems and
+/// experiments.
+pub fn render_tree() -> String {
+    let mut out = String::from("benchpark\n");
+    out.push_str("├── bin\n│   └── benchpark\n");
+    out.push_str("├── configs            //HPC System-specific\n");
+    let systems = SystemProfile::all();
+    for (i, system) in systems.iter().enumerate() {
+        let last_system = i + 1 == systems.len();
+        let bar = if last_system { "└──" } else { "├──" };
+        let pad = if last_system { "    " } else { "│   " };
+        out.push_str(&format!("│   {bar} {}\n", system.name));
+        for (j, file) in ["compilers.yaml", "packages.yaml", "spack.yaml", "variables.yaml"]
+            .iter()
+            .enumerate()
+        {
+            let file_bar = if j == 3 { "└──" } else { "├──" };
+            out.push_str(&format!("│   {pad}{file_bar} {file}\n"));
+        }
+    }
+    out.push_str("├── experiments        //Experiment-specific\n");
+    let experiments = available_experiments();
+    let mut benchmarks: Vec<&str> = experiments.iter().map(|(b, _)| *b).collect();
+    benchmarks.dedup();
+    for (i, benchmark) in benchmarks.iter().enumerate() {
+        let last = i + 1 == benchmarks.len();
+        let bar = if last { "└──" } else { "├──" };
+        let pad = if last { "    " } else { "│   " };
+        out.push_str(&format!("│   {bar} {benchmark}\n"));
+        let variants: Vec<&str> = experiments
+            .iter()
+            .filter(|(b, _)| b == benchmark)
+            .map(|(_, v)| *v)
+            .collect();
+        for (j, variant) in variants.iter().enumerate() {
+            let vbar = if j + 1 == variants.len() { "└──" } else { "├──" };
+            out.push_str(&format!("│   {pad}{vbar} {variant}\n"));
+            out.push_str(&format!(
+                "│   {pad}{}    ├── execute_experiment.tpl\n",
+                if j + 1 == variants.len() { " " } else { "│" }
+            ));
+            out.push_str(&format!(
+                "│   {pad}{}    └── ramble.yaml\n",
+                if j + 1 == variants.len() { " " } else { "│" }
+            ));
+        }
+    }
+    out.push_str("└── repo               //benchmark + application recipes\n");
+    out.push_str("    ├── repo.yaml\n");
+    for (i, benchmark) in benchmarks.iter().enumerate() {
+        let bar = if i + 1 == benchmarks.len() { "└──" } else { "├──" };
+        out.push_str(&format!("    {bar} {benchmark}\n"));
+        let pad = if i + 1 == benchmarks.len() { "    " } else { "│   " };
+        out.push_str(&format!("    {pad}├── application.py\n"));
+        out.push_str(&format!("    {pad}└── package.py\n"));
+    }
+    out
+}
+
+/// Writes the repository skeleton (configs + experiments) under `dir`,
+/// exactly what `git clone benchpark` would produce.
+pub fn write_skeleton(dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir.join("bin"))?;
+    std::fs::write(
+        dir.join("bin/benchpark"),
+        "#!/bin/bash\n# driver: see benchpark-core::Benchpark\n",
+    )?;
+    for system in SystemProfile::all() {
+        let sys_dir = dir.join("configs").join(&system.name);
+        std::fs::create_dir_all(&sys_dir)?;
+        std::fs::write(sys_dir.join("compilers.yaml"), &system.compilers_yaml)?;
+        std::fs::write(sys_dir.join("packages.yaml"), &system.packages_yaml)?;
+        std::fs::write(sys_dir.join("spack.yaml"), &system.spack_yaml)?;
+        std::fs::write(sys_dir.join("variables.yaml"), &system.variables_yaml)?;
+    }
+    for (benchmark, variant) in available_experiments() {
+        let exp_dir = dir.join("experiments").join(benchmark).join(variant);
+        std::fs::create_dir_all(&exp_dir)?;
+        let template = crate::templates::experiment_template(benchmark, variant)
+            .expect("available experiments have templates");
+        std::fs::write(exp_dir.join("ramble.yaml"), template)?;
+        std::fs::write(
+            exp_dir.join("execute_experiment.tpl"),
+            benchpark_ramble::template_default(),
+        )?;
+    }
+    Ok(())
+}

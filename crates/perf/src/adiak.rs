@@ -1,0 +1,55 @@
+//! Adiak-style run metadata collection (paper §5).
+
+use crate::caliper::Profile;
+use std::collections::BTreeMap;
+
+/// Collects build-settings and execution-context metadata, then stamps it
+/// onto profiles so Thicket can filter and sort by it.
+#[derive(Debug, Clone, Default)]
+pub struct Adiak {
+    values: BTreeMap<String, String>,
+}
+
+impl Adiak {
+    /// An empty collector.
+    pub fn new() -> Adiak {
+        Adiak::default()
+    }
+
+    /// `adiak::value(name, value)`.
+    pub fn value(&mut self, name: &str, value: impl ToString) -> &mut Self {
+        self.values.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// The standard implicit keys Adiak collects (`adiak::collect_all`),
+    /// given the execution context.
+    pub fn collect_all(&mut self, user: &str, executable: &str, launchdate: &str) -> &mut Self {
+        self.value("user", user);
+        self.value("executable", executable);
+        self.value("launchdate", launchdate);
+        self
+    }
+
+    /// A value by key.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Stamps every collected value onto a profile's metadata.
+    pub fn stamp(&self, profile: &mut Profile) {
+        for (k, v) in &self.values {
+            profile.metadata.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Number of collected values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing collected.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}

@@ -1,0 +1,198 @@
+//! Extra-P-style analytical scaling models (paper Figure 14).
+//!
+//! Extra-P fits functions from the *performance model normal form*
+//! `f(p) = c + a · p^i · log₂^j(p)` to measurements at different scales and
+//! picks the best hypothesis. Figure 14 shows such a model for `MPI_Bcast`
+//! on the CTS architecture: `-0.6355857931034596 + 0.04660217702356169 · p¹`.
+//! This module reproduces that machinery: least-squares fits over the
+//! standard exponent grid, selection by adjusted R², and rendering in the
+//! figure's notation.
+
+use std::fmt;
+
+/// The Extra-P exponent grid for `i` (powers of `p`).
+pub const EXPONENTS: &[f64] = &[
+    0.0,
+    0.25,
+    1.0 / 3.0,
+    0.5,
+    2.0 / 3.0,
+    0.75,
+    1.0,
+    1.25,
+    4.0 / 3.0,
+    1.5,
+    2.0,
+    7.0 / 3.0,
+    2.5,
+    3.0,
+];
+
+/// The grid for `j` (powers of `log₂ p`).
+pub const LOG_EXPONENTS: &[u32] = &[0, 1, 2];
+
+/// A fitted single-term model `c + a · p^i · log₂^j(p)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingModel {
+    pub c: f64,
+    pub a: f64,
+    /// Exponent of `p`.
+    pub i: f64,
+    /// Exponent of `log₂ p`.
+    pub j: u32,
+    /// Coefficient of determination on the training points.
+    pub r_squared: f64,
+    /// Adjusted R² (the selection criterion).
+    pub adjusted_r_squared: f64,
+    /// Symmetric mean absolute percentage error, `[0, 2]`.
+    pub smape: f64,
+}
+
+impl ScalingModel {
+    /// Evaluates the model at `p`.
+    pub fn predict(&self, p: f64) -> f64 {
+        self.c + self.a * basis(p, self.i, self.j)
+    }
+
+    /// True if the model is (asymptotically) constant.
+    pub fn is_constant(&self) -> bool {
+        self.a.abs() < 1e-12 || (self.i == 0.0 && self.j == 0)
+    }
+
+    /// The asymptotic complexity class as text (`O(p^1)`, `O(log2(p))`…).
+    pub fn complexity(&self) -> String {
+        if self.is_constant() {
+            return "O(1)".to_string();
+        }
+        match (self.i, self.j) {
+            (i, 0) => format!("O(p^{})", trim_float(i)),
+            (0.0, j) => format!("O(log2^{j}(p))"),
+            (i, j) => format!("O(p^{} * log2^{}(p))", trim_float(i), j),
+        }
+    }
+}
+
+impl fmt::Display for ScalingModel {
+    /// Renders in Figure 14's caption notation:
+    /// `-0.6355857931034596 + 0.04660217702356169 * p^(1)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_constant() {
+            return write!(f, "{}", self.c);
+        }
+        write!(f, "{} + {} * ", self.c, self.a)?;
+        match (self.i, self.j) {
+            (i, 0) => write!(f, "p^({})", trim_float(i)),
+            (0.0, j) => write!(f, "log2(p)^({j})"),
+            (i, j) => write!(f, "p^({}) * log2(p)^({j})", trim_float(i)),
+        }
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn basis(p: f64, i: f64, j: u32) -> f64 {
+    let p = p.max(1.0);
+    p.powf(i) * p.log2().powi(j as i32)
+}
+
+/// Fits the best single-term model to `(p, time)` measurements.
+///
+/// Needs at least 3 points (Extra-P requires ≥5 for confidence; we accept 3
+/// and report quality through `adjusted_r_squared`). Returns `None` for
+/// fewer points or degenerate inputs.
+pub fn fit(points: &[(f64, f64)]) -> Option<ScalingModel> {
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+
+    let mut best: Option<ScalingModel> = None;
+    for &i in EXPONENTS {
+        for &j in LOG_EXPONENTS {
+            // g(p) = p^i log2^j p ; least squares for y = c + a g
+            let g: Vec<f64> = points.iter().map(|(p, _)| basis(*p, i, j)).collect();
+            let mean_g = g.iter().sum::<f64>() / n;
+            let var_g: f64 = g.iter().map(|v| (v - mean_g).powi(2)).sum();
+            let (c, a) = if var_g < 1e-12 {
+                // constant basis (i = j = 0): intercept-only model
+                (mean_y, 0.0)
+            } else {
+                let cov: f64 = points
+                    .iter()
+                    .zip(&g)
+                    .map(|((_, y), gv)| (gv - mean_g) * (y - mean_y))
+                    .sum();
+                let a = cov / var_g;
+                (mean_y - a * mean_g, a)
+            };
+
+            let ss_res: f64 = points
+                .iter()
+                .zip(&g)
+                .map(|((_, y), gv)| (y - (c + a * gv)).powi(2))
+                .sum();
+            let r2 = if ss_tot < 1e-20 {
+                if ss_res < 1e-20 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                1.0 - ss_res / ss_tot
+            };
+            let params = if a == 0.0 { 1.0 } else { 2.0 };
+            let adj = if n - params - 1.0 > 0.0 {
+                1.0 - (1.0 - r2) * (n - 1.0) / (n - params - 1.0)
+            } else {
+                r2
+            };
+            let smape = points
+                .iter()
+                .zip(&g)
+                .map(|((_, y), gv)| {
+                    let pred = c + a * gv;
+                    let denom = y.abs() + pred.abs();
+                    if denom < 1e-20 {
+                        0.0
+                    } else {
+                        2.0 * (pred - y).abs() / denom
+                    }
+                })
+                .sum::<f64>()
+                / n;
+
+            let candidate = ScalingModel {
+                c,
+                a,
+                i,
+                j,
+                r_squared: r2,
+                adjusted_r_squared: adj,
+                smape,
+            };
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    // prefer higher adjusted R²; on (near-)ties prefer the
+                    // simpler hypothesis (smaller i, then smaller j)
+                    let diff = candidate.adjusted_r_squared - cur.adjusted_r_squared;
+                    diff > 1e-9
+                        || (diff.abs() <= 1e-9
+                            && (candidate.i, candidate.j) < (cur.i, cur.j))
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}

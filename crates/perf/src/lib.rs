@@ -1,0 +1,33 @@
+//! `benchpark-perf` — performance analysis: Caliper-style profiles, Adiak
+//! metadata, Thicket multi-profile composition, and Extra-P scaling models.
+//!
+//! Paper §5 lays out the performance-analysis plan this crate implements:
+//!
+//! * *"we plan to annotate the benchmarks with **Caliper**"* —
+//!   [`Annotator`] provides nested-region instrumentation (both real wall
+//!   clock for in-process code and recorded values for simulator output),
+//!   producing [`Profile`]s: call-path → time plus metadata.
+//! * *"We will use **Adiak** to collect metadata related to the build
+//!   settings and execution contexts, enabling filtering and sorting of
+//!   collected profiles"* — [`Adiak`].
+//! * *"**Thicket** … composes performance data from multiple performance
+//!   profiles potentially generated at different scales, on different
+//!   architectures"* — [`Thicket`]: a (profile × call-tree-node) table with
+//!   filter / group-by / per-node statistics.
+//! * *"an analytical performance model computed by **Extra-P**"* (Figure 14)
+//!   — [`extrap::fit`] searches the standard Extra-P hypothesis space
+//!   `c + a·p^i·log₂^j(p)` by least squares and reports the best model in
+//!   the figure's notation, e.g. `-0.636 + 0.0466 * p^(1)`.
+
+mod adiak;
+mod caliper;
+pub mod extrap;
+mod thicket;
+
+pub use adiak::Adiak;
+pub use caliper::{Annotator, Profile};
+pub use extrap::{fit, ScalingModel};
+pub use thicket::{NodeStats, Thicket};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,207 @@
+//! Thicket-style composition of many profiles (paper §5, Figure 14's input).
+
+use crate::caliper::Profile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-call-tree-node statistics across profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub std_dev: f64,
+}
+
+/// A composition of performance profiles "potentially generated at different
+/// scales, on different architectures, using different versions of
+/// dependencies" (§5): a (profile × call-tree-node) data table plus a
+/// per-profile metadata table.
+#[derive(Debug, Clone, Default)]
+pub struct Thicket {
+    profiles: Vec<Profile>,
+}
+
+impl Thicket {
+    /// Composes profiles into a thicket.
+    pub fn from_profiles(profiles: Vec<Profile>) -> Thicket {
+        Thicket { profiles }
+    }
+
+    /// Concatenates two thickets (`Thicket.concat_thickets`).
+    pub fn concat(mut self, other: Thicket) -> Thicket {
+        self.profiles.extend(other.profiles);
+        self
+    }
+
+    /// Number of composed profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if no profiles are composed.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profiles.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// The unified call tree: every region path appearing in any profile.
+    pub fn tree(&self) -> BTreeSet<String> {
+        self.profiles
+            .iter()
+            .flat_map(|p| p.regions.keys().cloned())
+            .collect()
+    }
+
+    /// Keeps profiles whose metadata satisfies `pred`
+    /// (`thicket.filter_metadata`).
+    pub fn filter_metadata(&self, pred: impl Fn(&BTreeMap<String, String>) -> bool) -> Thicket {
+        Thicket {
+            profiles: self
+                .profiles
+                .iter()
+                .filter(|p| pred(&p.metadata))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Groups profiles by a metadata key (`thicket.groupby`). Profiles
+    /// lacking the key are dropped.
+    pub fn groupby(&self, key: &str) -> BTreeMap<String, Thicket> {
+        let mut groups: BTreeMap<String, Vec<Profile>> = BTreeMap::new();
+        for p in &self.profiles {
+            if let Some(v) = p.meta(key) {
+                groups.entry(v.to_string()).or_default().push(p.clone());
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(k, profiles)| (k, Thicket { profiles }))
+            .collect()
+    }
+
+    /// The data column for one call-tree node: `(profile index, seconds)`
+    /// for profiles that measured it.
+    pub fn column(&self, region: &str) -> Vec<(usize, f64)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.get(region).map(|t| (i, t)))
+            .collect()
+    }
+
+    /// `(x, y)` series for scaling studies: x from a numeric metadata key
+    /// (e.g. `nprocs`), y the region's time — exactly what Extra-P consumes
+    /// for Figure 14. Sorted by x; multiple profiles at the same x are kept
+    /// as separate points.
+    pub fn series(&self, x_key: &str, region: &str) -> Vec<(f64, f64)> {
+        let mut points: Vec<(f64, f64)> = self
+            .profiles
+            .iter()
+            .filter_map(|p| {
+                let x: f64 = p.meta(x_key)?.parse().ok()?;
+                let y = p.get(region)?;
+                Some((x, y))
+            })
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        points
+    }
+
+    /// Statistics for one call-tree node across all profiles
+    /// (`thicket.statsframe`).
+    pub fn stats(&self, region: &str) -> Option<NodeStats> {
+        let values: Vec<f64> = self
+            .profiles
+            .iter()
+            .filter_map(|p| p.get(region))
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(NodeStats {
+            count,
+            mean,
+            min,
+            max,
+            std_dev: var.sqrt(),
+        })
+    }
+
+    /// Statistics for every node (the full stats frame).
+    pub fn stats_frame(&self) -> BTreeMap<String, NodeStats> {
+        self.tree()
+            .into_iter()
+            .filter_map(|region| self.stats(&region).map(|s| (region, s)))
+            .collect()
+    }
+
+    /// The `q`-th percentile (0–100, linear interpolation) of one node's
+    /// values across profiles.
+    pub fn percentile(&self, region: &str, q: f64) -> Option<f64> {
+        let mut values: Vec<f64> = self
+            .profiles
+            .iter()
+            .filter_map(|p| p.get(region))
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let q = q.clamp(0.0, 100.0) / 100.0;
+        let pos = q * (values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+    }
+
+    /// Median across profiles for one node.
+    pub fn median(&self, region: &str) -> Option<f64> {
+        self.percentile(region, 50.0)
+    }
+
+    /// Renders the data frame: one row per profile (labeled by `label_key`
+    /// metadata), one column per call-tree node — Thicket's tabular view.
+    pub fn render_table(&self, label_key: &str) -> String {
+        let regions: Vec<String> = self.tree().into_iter().collect();
+        let mut out = format!("{:<16}", label_key);
+        for region in &regions {
+            out.push_str(&format!("{:>18}", truncate(region, 17)));
+        }
+        out.push('\n');
+        for (idx, profile) in self.profiles.iter().enumerate() {
+            let label = profile
+                .meta(label_key)
+                .map(String::from)
+                .unwrap_or_else(|| format!("profile{idx}"));
+            out.push_str(&format!("{:<16}", truncate(&label, 15)));
+            for region in &regions {
+                match profile.get(region) {
+                    Some(v) => out.push_str(&format!("{v:>18.6}")),
+                    None => out.push_str(&format!("{:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}

@@ -1,0 +1,238 @@
+//! The `application.py` analogue: how experiments run and how their output
+//! is evaluated (paper §3.2, Figure 8).
+
+use std::collections::BTreeMap;
+
+/// An executable declaration:
+/// `executable('p', 'saxpy -n {n}', use_mpi=True)` (Figure 8, line 4).
+#[derive(Debug, Clone)]
+pub struct ExecutableDef {
+    /// Short handle (`'p'`).
+    pub name: String,
+    /// Command template with `{variable}` placeholders.
+    pub template: String,
+    /// Whether the command is launched under the system's MPI launcher.
+    pub use_mpi: bool,
+}
+
+/// A workload: a named scenario composed of executables
+/// (`workload('problem', executables=['p'])`, Figure 8 line 5).
+#[derive(Debug, Clone)]
+pub struct WorkloadDef {
+    pub name: String,
+    /// Executable handles run in order.
+    pub executables: Vec<String>,
+    /// Input files to stage (empty for saxpy; AMG2023 generates its own).
+    pub inputs: Vec<String>,
+}
+
+/// A workload variable with default
+/// (`workload_variable('n', default='1', …)`, Figure 8 lines 6–8).
+#[derive(Debug, Clone)]
+pub struct WorkloadVariable {
+    pub name: String,
+    pub default: String,
+    pub description: String,
+    /// Workloads the variable applies to (empty = all).
+    pub workloads: Vec<String>,
+}
+
+/// A figure of merit extracted from experiment output
+/// (`figure_of_merit("success", fom_regex=…, group_name=…, units=…)`,
+/// Figure 8 lines 9–11).
+#[derive(Debug, Clone)]
+pub struct FomDef {
+    pub name: String,
+    /// Regex with a named group; applied per line of the output file.
+    pub fom_regex: String,
+    /// The named group whose text becomes the FOM value.
+    pub group_name: String,
+    pub units: String,
+    /// Output file template (defaults to the experiment's stdout log).
+    pub log_file: Option<String>,
+}
+
+/// How a success criterion is evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuccessMode {
+    /// `mode='string'`: a regex must match somewhere in the file.
+    StringMatch,
+    /// `mode='fom_comparison'`: a named FOM must satisfy a comparison
+    /// (e.g. `> 0`).
+    FomComparison,
+}
+
+/// A success criterion
+/// (`success_criteria('pass', mode='string', match=…, file=…)`,
+/// Figure 8 lines 12–14).
+#[derive(Debug, Clone)]
+pub struct SuccessCriterion {
+    pub name: String,
+    pub mode: SuccessMode,
+    /// For `StringMatch`: the regex. For `FomComparison`: `"<fom> <op> <value>"`.
+    pub match_expr: String,
+    /// File template, e.g. `{experiment_run_dir}/{experiment_name}.out`.
+    pub file: String,
+}
+
+/// A complete application definition.
+#[derive(Debug, Clone)]
+pub struct ApplicationDef {
+    pub name: String,
+    pub description: String,
+    pub executables: Vec<ExecutableDef>,
+    pub workloads: Vec<WorkloadDef>,
+    pub workload_variables: Vec<WorkloadVariable>,
+    pub figures_of_merit: Vec<FomDef>,
+    pub success_criteria: Vec<SuccessCriterion>,
+    /// The package (by name) whose installation provides the executable.
+    pub software: String,
+}
+
+impl ApplicationDef {
+    /// Starts an application definition (`class Saxpy(SpackApplication)`).
+    pub fn new(name: &str, description: &str) -> ApplicationDef {
+        ApplicationDef {
+            name: name.to_string(),
+            description: description.to_string(),
+            executables: Vec::new(),
+            workloads: Vec::new(),
+            workload_variables: Vec::new(),
+            figures_of_merit: Vec::new(),
+            success_criteria: Vec::new(),
+            software: name.to_string(),
+        }
+    }
+
+    /// `executable('p', 'saxpy -n {n}', use_mpi=True)`.
+    pub fn executable(mut self, name: &str, template: &str, use_mpi: bool) -> Self {
+        self.executables.push(ExecutableDef {
+            name: name.to_string(),
+            template: template.to_string(),
+            use_mpi,
+        });
+        self
+    }
+
+    /// `workload('problem', executables=['p'])`.
+    pub fn workload(mut self, name: &str, executables: &[&str]) -> Self {
+        self.workloads.push(WorkloadDef {
+            name: name.to_string(),
+            executables: executables.iter().map(|s| s.to_string()).collect(),
+            inputs: Vec::new(),
+        });
+        self
+    }
+
+    /// `workload_variable('n', default='1', description=…, workloads=[…])`.
+    pub fn workload_variable(
+        mut self,
+        name: &str,
+        default: &str,
+        description: &str,
+        workloads: &[&str],
+    ) -> Self {
+        self.workload_variables.push(WorkloadVariable {
+            name: name.to_string(),
+            default: default.to_string(),
+            description: description.to_string(),
+            workloads: workloads.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// `figure_of_merit("success", fom_regex=…, group_name=…, units=…)`.
+    pub fn figure_of_merit(mut self, name: &str, fom_regex: &str, group_name: &str, units: &str) -> Self {
+        self.figures_of_merit.push(FomDef {
+            name: name.to_string(),
+            fom_regex: fom_regex.to_string(),
+            group_name: group_name.to_string(),
+            units: units.to_string(),
+            log_file: None,
+        });
+        self
+    }
+
+    /// `success_criteria('pass', mode='string', match=…, file=…)`.
+    pub fn success_criteria(mut self, name: &str, mode: SuccessMode, match_expr: &str, file: &str) -> Self {
+        self.success_criteria.push(SuccessCriterion {
+            name: name.to_string(),
+            mode,
+            match_expr: match_expr.to_string(),
+            file: file.to_string(),
+        });
+        self
+    }
+
+    /// Names the backing package if it differs from the application name.
+    pub fn software_spec(mut self, package: &str) -> Self {
+        self.software = package.to_string();
+        self
+    }
+
+    /// Looks up a workload.
+    pub fn get_workload(&self, name: &str) -> Option<&WorkloadDef> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+
+    /// Looks up an executable by handle.
+    pub fn get_executable(&self, name: &str) -> Option<&ExecutableDef> {
+        self.executables.iter().find(|e| e.name == name)
+    }
+
+    /// Default variable values applicable to `workload`.
+    pub fn defaults_for(&self, workload: &str) -> BTreeMap<String, String> {
+        self.workload_variables
+            .iter()
+            .filter(|v| v.workloads.is_empty() || v.workloads.iter().any(|w| w == workload))
+            .map(|v| (v.name.clone(), v.default.clone()))
+            .collect()
+    }
+}
+
+/// A registry of application definitions.
+#[derive(Debug, Clone, Default)]
+pub struct AppRepo {
+    apps: BTreeMap<String, ApplicationDef>,
+}
+
+impl AppRepo {
+    /// An empty registry.
+    pub fn new() -> AppRepo {
+        AppRepo::default()
+    }
+
+    /// The built-in applications (saxpy, amg2023, stream, osu-bcast, lulesh).
+    pub fn builtin() -> AppRepo {
+        let mut repo = AppRepo::new();
+        for app in crate::apps::builtin() {
+            repo.add(app);
+        }
+        repo
+    }
+
+    /// Adds (or replaces) an application.
+    pub fn add(&mut self, app: ApplicationDef) {
+        self.apps.insert(app.name.clone(), app);
+    }
+
+    /// Looks up an application.
+    pub fn get(&self, name: &str) -> Option<&ApplicationDef> {
+        self.apps.get(name)
+    }
+
+    /// All application names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.apps.keys().map(|s| s.as_str())
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+}

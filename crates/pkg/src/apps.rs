@@ -1,0 +1,151 @@
+//! Built-in application definitions.
+//!
+//! `saxpy` reproduces paper Figure 8 line-for-line; the others follow the
+//! same DSL for the benchmarks §4 and Figure 14 exercise.
+
+use crate::application::{ApplicationDef, SuccessMode};
+
+/// Builds the complete built-in application list.
+pub fn builtin() -> Vec<ApplicationDef> {
+    vec![saxpy(), amg2023(), stream(), osu_bcast(), hpl(), lulesh()]
+}
+
+/// Paper Figure 8, verbatim.
+fn saxpy() -> ApplicationDef {
+    ApplicationDef::new("saxpy", "Single-kernel SAXPY micro-benchmark")
+        .executable("p", "saxpy -n {n}", true)
+        .workload("problem", &["p"])
+        .workload_variable("n", "1", "problem size", &["problem"])
+        .figure_of_merit("success", r"(?P<done>Kernel done)", "done", "")
+        .figure_of_merit(
+            "kernel_time",
+            r"Kernel time \(s\): (?P<time>[0-9]+\.[0-9]+)",
+            "time",
+            "s",
+        )
+        .success_criteria(
+            "pass",
+            SuccessMode::StringMatch,
+            r"Kernel done",
+            "{experiment_run_dir}/{experiment_name}.out",
+        )
+}
+
+/// AMG2023 [21]: a BoomerAMG (hypre) driver with setup and solve phases.
+fn amg2023() -> ApplicationDef {
+    ApplicationDef::new("amg2023", "Parallel algebraic multigrid benchmark")
+        .executable("p", "amg -P {px} {py} {pz} -n {nx} {ny} {nz} -problem {problem_kind}", true)
+        .workload("problem1", &["p"])
+        .workload("problem2", &["p"])
+        .workload_variable("px", "2", "processor topology x", &[])
+        .workload_variable("py", "2", "processor topology y", &[])
+        .workload_variable("pz", "2", "processor topology z", &[])
+        .workload_variable("nx", "110", "per-process grid points x", &[])
+        .workload_variable("ny", "110", "per-process grid points y", &[])
+        .workload_variable("nz", "110", "per-process grid points z", &[])
+        .workload_variable("problem_kind", "1", "1 = Laplace, 2 = 27-pt stencil", &["problem1"])
+        .workload_variable("problem_kind", "2", "1 = Laplace, 2 = 27-pt stencil", &["problem2"])
+        .figure_of_merit(
+            "setup_fom",
+            r"Figure of Merit \(FOM_Setup\): (?P<fom>[0-9.e+-]+)",
+            "fom",
+            "DOF/s",
+        )
+        .figure_of_merit(
+            "solve_fom",
+            r"Figure of Merit \(FOM_Solve\): (?P<fom>[0-9.e+-]+)",
+            "fom",
+            "DOF/s",
+        )
+        .figure_of_merit(
+            "solve_time",
+            r"Solve phase time: (?P<t>[0-9.e+-]+) seconds",
+            "t",
+            "s",
+        )
+        .success_criteria(
+            "converged",
+            SuccessMode::StringMatch,
+            r"Iterations = \d+",
+            "{experiment_run_dir}/{experiment_name}.out",
+        )
+}
+
+/// McCalpin STREAM: memory-bandwidth FOMs per kernel.
+fn stream() -> ApplicationDef {
+    ApplicationDef::new("stream", "STREAM memory bandwidth benchmark")
+        .executable("p", "stream -s {array_size}", false)
+        .workload("standard", &["p"])
+        .workload_variable("array_size", "80000000", "elements per array", &["standard"])
+        .figure_of_merit("copy_bw", r"Copy:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
+        .figure_of_merit("scale_bw", r"Scale:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
+        .figure_of_merit("add_bw", r"Add:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
+        .figure_of_merit("triad_bw", r"Triad:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
+        .success_criteria(
+            "validated",
+            SuccessMode::StringMatch,
+            r"Solution Validates",
+            "{experiment_run_dir}/{experiment_name}.out",
+        )
+}
+
+/// OSU broadcast latency: the microbenchmark behind Figure 14.
+fn osu_bcast() -> ApplicationDef {
+    ApplicationDef::new("osu-bcast", "OSU MPI_Bcast latency micro-benchmark")
+        .software_spec("osu-micro-benchmarks")
+        .executable("p", "osu_bcast -m {message_size}:{message_size} -i {iterations}", true)
+        .workload("bcast", &["p"])
+        .workload_variable("message_size", "8", "message size in bytes", &["bcast"])
+        .workload_variable("iterations", "1000", "iterations per size", &["bcast"])
+        .figure_of_merit(
+            "avg_latency",
+            r"^(?P<size>\d+)\s+(?P<lat>[0-9.]+)$",
+            "lat",
+            "us",
+        )
+        .success_criteria(
+            "pass",
+            SuccessMode::StringMatch,
+            r"# OSU MPI Broadcast Latency Test",
+            "{experiment_run_dir}/{experiment_name}.out",
+        )
+}
+
+/// High-Performance Linpack: the compute-bound TOP500 benchmark.
+fn hpl() -> ApplicationDef {
+    ApplicationDef::new("hpl", "High-Performance Linpack benchmark")
+        .executable("p", "xhpl -N {problem_size} -NB {block_size}", true)
+        .workload("standard", &["p"])
+        .workload_variable("problem_size", "40000", "matrix dimension N", &["standard"])
+        .workload_variable("block_size", "192", "panel block size NB", &["standard"])
+        .figure_of_merit("gflops", r"WR\S+\s+\d+\s+\d+\s+[0-9.]+\s+(?P<gf>[0-9.e+]+)", "gf", "GFLOPS")
+        .figure_of_merit("hpl_time", r"Time\s+:\s+(?P<t>[0-9.]+)", "t", "s")
+        .success_criteria(
+            "passed",
+            SuccessMode::StringMatch,
+            r"PASSED",
+            "{experiment_run_dir}/{experiment_name}.out",
+        )
+}
+
+/// LULESH shock hydrodynamics proxy application.
+fn lulesh() -> ApplicationDef {
+    ApplicationDef::new("lulesh", "Unstructured Lagrangian shock hydrodynamics proxy")
+        .executable("p", "lulesh2.0 -s {size} -i {iterations}", true)
+        .workload("standard", &["p"])
+        .workload_variable("size", "30", "problem edge length", &["standard"])
+        .workload_variable("iterations", "100", "max iterations", &["standard"])
+        .figure_of_merit("fom", r"FOM\s+=\s+(?P<fom>[0-9.]+)", "fom", "z/s")
+        .figure_of_merit(
+            "elapsed",
+            r"Elapsed time\s+=\s+(?P<t>[0-9.]+)",
+            "t",
+            "s",
+        )
+        .success_criteria(
+            "ran",
+            SuccessMode::StringMatch,
+            r"Run completed",
+            "{experiment_run_dir}/{experiment_name}.out",
+        )
+}

@@ -1,0 +1,36 @@
+//! `benchpark-pkg` — package and application recipe repository.
+//!
+//! Spack's third primary component (paper §3.1) is *"package files, which
+//! define the build space for the package and provide package installation
+//! recipes templatized by the concrete spec"*; Ramble mirrors this with
+//! `application.py` files describing how experiments run (§3.2, Figure 8).
+//! This crate provides both halves:
+//!
+//! * [`PackageDef`] — the `package.py` analogue: known versions, variants
+//!   with defaults, conditional dependencies (`depends_on("cuda", when="+cuda")`),
+//!   virtual packages (`mvapich2` *provides* `mpi`), conflicts, and
+//!   build-system argument generation (Figure 11's `cmake_args`).
+//! * [`ApplicationDef`] — the `application.py` analogue: executables,
+//!   workloads, workload variables, figures of merit, and success criteria
+//!   (Figure 8, reproduced verbatim for saxpy).
+//! * [`Repo`] / [`AppRepo`] — registries with a built-in collection covering
+//!   everything the paper's demonstration needs (saxpy, AMG2023, their full
+//!   dependency stacks, three MPI implementations, BLAS/LAPACK providers,
+//!   CUDA/ROCm, Caliper/Adiak), plus a `repo overlay` mechanism matching
+//!   Benchpark's `repo/` directory (Figure 1a lines 41–48).
+
+mod application;
+mod apps;
+mod package;
+mod packages;
+mod repo;
+
+pub use application::{
+    AppRepo, ApplicationDef, ExecutableDef, FomDef, SuccessCriterion, SuccessMode,
+    WorkloadDef, WorkloadVariable,
+};
+pub use package::{BuildSystem, ConflictDef, DepType, DependencyDef, PackageDef, ProvidesDef, VariantDef};
+pub use repo::Repo;
+
+#[cfg(test)]
+mod tests;

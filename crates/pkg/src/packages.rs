@@ -1,0 +1,324 @@
+//! The built-in package collection.
+//!
+//! Covers the full software stacks the paper's demonstration systems need
+//! (§4): saxpy and AMG2023 plus their transitive dependencies on three
+//! machines — `cts1` (Intel + MVAPICH2 + MKL), `ats2` (Power9 + Spectrum MPI
+//! + ESSL + CUDA), and `ats4` (Trento + Cray MPICH + ROCm).
+
+use crate::package::{BuildSystem, DepType, PackageDef};
+use benchpark_spec::{Spec, VariantValue};
+
+/// Figure 11's `cmake_args` for saxpy, verbatim behavior.
+fn saxpy_args(spec: &Spec) -> Vec<String> {
+    let mut args = Vec::new();
+    if spec.variants.get("openmp") == Some(&VariantValue::Bool(true)) {
+        args.push("-DUSE_OPENMP=ON".to_string());
+    }
+    if spec.variants.get("cuda") == Some(&VariantValue::Bool(true)) {
+        args.push("-DUSE_CUDA=ON".to_string());
+    }
+    if spec.variants.get("rocm") == Some(&VariantValue::Bool(true)) {
+        args.push("-DUSE_HIP=ON".to_string());
+    }
+    args
+}
+
+fn hypre_args(spec: &Spec) -> Vec<String> {
+    let mut args = Vec::new();
+    if spec.variants.get("openmp") == Some(&VariantValue::Bool(true)) {
+        args.push("--with-openmp".to_string());
+    }
+    if spec.variants.get("cuda") == Some(&VariantValue::Bool(true)) {
+        args.push("--with-cuda".to_string());
+    }
+    if spec.variants.get("rocm") == Some(&VariantValue::Bool(true)) {
+        args.push("--with-hip".to_string());
+    }
+    args
+}
+
+fn amg2023_args(spec: &Spec) -> Vec<String> {
+    let mut args = Vec::new();
+    if spec.variants.get("caliper") == Some(&VariantValue::Bool(true)) {
+        args.push("-DWITH_CALIPER=ON".to_string());
+    }
+    if spec.variants.get("mpi") != Some(&VariantValue::Bool(false)) {
+        args.push("-DWITH_MPI=ON".to_string());
+    }
+    args
+}
+
+/// Builds the complete built-in package list.
+#[allow(clippy::vec_init_then_push)] // one push block per package reads best
+pub fn builtin() -> Vec<PackageDef> {
+    let mut pkgs = Vec::new();
+
+    // --- compilers (installed as packages; also referenced by %compiler) ---
+    pkgs.push(
+        PackageDef::new("gcc", "The GNU Compiler Collection")
+            .version("12.1.1")
+            .version("11.2.0")
+            .version("10.3.1")
+            .version("8.5.0")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(3600.0),
+    );
+    pkgs.push(
+        PackageDef::new("llvm", "The LLVM compiler infrastructure (clang)")
+            .version("14.0.6")
+            .version("13.0.1")
+            .build_cost(5400.0),
+    );
+    pkgs.push(
+        PackageDef::new("intel-oneapi-compilers", "Intel oneAPI compilers")
+            .version("2022.1.0")
+            .version("2021.6.0")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(600.0),
+    );
+    pkgs.push(
+        PackageDef::new("rocmcc", "AMD ROCm compiler (amdclang)")
+            .version("5.2.0")
+            .version("5.1.3")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(600.0),
+    );
+    pkgs.push(
+        PackageDef::new("xl", "IBM XL compiler suite")
+            .version("16.1.1")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(600.0),
+    );
+
+    // --- build tools --------------------------------------------------------
+    pkgs.push(
+        PackageDef::new("cmake", "Cross-platform build-system generator")
+            .version("3.23.1")
+            .version("3.20.2")
+            .version("3.14.5")
+            .variant_bool("ownlibs", true, "Use bundled libraries")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(300.0),
+    );
+    pkgs.push(
+        PackageDef::new("ninja", "Small, fast build system")
+            .version("1.11.0")
+            .build_cost(30.0),
+    );
+    pkgs.push(
+        PackageDef::new("python", "The Python interpreter")
+            .version("3.9.12")
+            .version("3.8.13")
+            .depends_on("zlib", DepType::Link)
+            .build_system(BuildSystem::Autotools)
+            .build_cost(400.0),
+    );
+    pkgs.push(
+        PackageDef::new("zlib", "Compression library")
+            .version("1.2.12")
+            .version("1.2.11")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(15.0),
+    );
+    pkgs.push(
+        PackageDef::new("hwloc", "Hardware locality detection")
+            .version("2.7.1")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(60.0),
+    );
+
+    // --- MPI providers ------------------------------------------------------
+    pkgs.push(
+        PackageDef::new("mvapich2", "MVAPICH2 MPI implementation")
+            .version("2.3.7")
+            .version("2.3.6")
+            .provides("mpi")
+            .variant_bool("cuda", false, "CUDA-aware MPI")
+            .depends_on("hwloc", DepType::Link)
+            .depends_on_when("cuda", DepType::Link, "+cuda")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(900.0),
+    );
+    pkgs.push(
+        PackageDef::new("openmpi", "Open MPI implementation")
+            .version("4.1.4")
+            .version("4.1.2")
+            .provides("mpi")
+            .variant_bool("cuda", false, "CUDA-aware MPI")
+            .depends_on("hwloc", DepType::Link)
+            .depends_on_when("cuda", DepType::Link, "+cuda")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(800.0),
+    );
+    pkgs.push(
+        PackageDef::new("spectrum-mpi", "IBM Spectrum MPI (Power systems)")
+            .version("10.3.1.2")
+            .provides("mpi")
+            .variant_bool("cuda", true, "CUDA-aware MPI")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(120.0),
+    );
+    pkgs.push(
+        PackageDef::new("cray-mpich", "HPE Cray MPICH (Cray systems)")
+            .version("8.1.16")
+            .provides("mpi")
+            .variant_bool("rocm", true, "GPU-aware MPI")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(120.0),
+    );
+
+    // --- BLAS / LAPACK providers -------------------------------------------
+    pkgs.push(
+        PackageDef::new("intel-oneapi-mkl", "Intel oneAPI Math Kernel Library")
+            .version("2022.1.0")
+            .version("2021.4.0")
+            .provides("blas")
+            .provides("lapack")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(180.0),
+    );
+    pkgs.push(
+        PackageDef::new("openblas", "OpenBLAS: optimized BLAS/LAPACK")
+            .version("0.3.20")
+            .version("0.3.18")
+            .provides("blas")
+            .provides("lapack")
+            .variant_bool("threads", true, "Multithreaded kernels")
+            .build_system(BuildSystem::Makefile)
+            .build_cost(700.0),
+    );
+    pkgs.push(
+        PackageDef::new("essl", "IBM Engineering and Scientific Subroutine Library")
+            .version("6.3.0")
+            .provides("blas")
+            .provides("lapack")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(120.0),
+    );
+
+    // --- GPU runtimes -------------------------------------------------------
+    pkgs.push(
+        PackageDef::new("cuda", "NVIDIA CUDA toolkit")
+            .version("11.7.0")
+            .version("10.2.89")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(500.0),
+    );
+    pkgs.push(
+        PackageDef::new("hip", "AMD ROCm HIP runtime")
+            .version("5.2.0")
+            .version("5.1.3")
+            .build_system(BuildSystem::Bundle)
+            .build_cost(500.0),
+    );
+
+    // --- performance tooling (§5) -------------------------------------------
+    pkgs.push(
+        PackageDef::new("adiak", "Run metadata collection library")
+            .version("0.4.0")
+            .version("0.2.2")
+            .depends_on("cmake@3.14:", DepType::Build)
+            .build_cost(45.0),
+    );
+    pkgs.push(
+        PackageDef::new("caliper", "Performance introspection and profiling library")
+            .version("2.8.0")
+            .version("2.7.0")
+            .variant_bool("adiak", true, "Metadata support via Adiak")
+            .variant_bool("mpi", true, "MPI-aware aggregation")
+            .depends_on("cmake@3.14:", DepType::Build)
+            .depends_on_when("adiak@0.4:", DepType::Link, "+adiak")
+            .depends_on_when("mpi", DepType::Link, "+mpi")
+            .build_cost(240.0),
+    );
+
+    // --- solvers ------------------------------------------------------------
+    pkgs.push(
+        PackageDef::new("hypre", "Scalable linear solvers and multigrid methods")
+            .version("2.25.0")
+            .version("2.24.0")
+            .variant_bool("mpi", true, "Distributed solve via MPI")
+            .variant_bool("openmp", false, "OpenMP threading")
+            .variant_bool("cuda", false, "NVIDIA GPU support")
+            .variant_bool("rocm", false, "AMD GPU support")
+            .depends_on("blas", DepType::Link)
+            .depends_on("lapack", DepType::Link)
+            .depends_on_when("mpi", DepType::Link, "+mpi")
+            .depends_on_when("cuda@10:", DepType::Link, "+cuda")
+            .depends_on_when("hip", DepType::Link, "+rocm")
+            .conflicts_with("+rocm", Some("+cuda"), "hypre cannot enable CUDA and ROCm together")
+            .build_system(BuildSystem::Autotools)
+            .build_cost(420.0)
+            .with_args(hypre_args),
+    );
+
+    // --- benchmarks (§4) -----------------------------------------------------
+    pkgs.push(
+        PackageDef::new("saxpy", "Test saxpy problem.")
+            .version("1.0.0")
+            .variant_bool("openmp", true, "OpenMP")
+            .variant_bool("cuda", false, "CUDA")
+            .variant_bool("rocm", false, "ROCm")
+            .depends_on("cmake@3.20:", DepType::Build)
+            .depends_on("mpi", DepType::Link)
+            .depends_on_when("cuda@10:", DepType::Link, "+cuda")
+            .depends_on_when("hip", DepType::Link, "+rocm")
+            .conflicts_with("+rocm", Some("+cuda"), "pick one GPU programming model")
+            .build_cost(20.0)
+            .with_args(saxpy_args),
+    );
+    pkgs.push(
+        PackageDef::new("amg2023", "Parallel algebraic multigrid solver benchmark (AMG2023)")
+            .version("1.0")
+            .variant_bool("mpi", true, "Distributed runs via MPI")
+            .variant_bool("openmp", false, "OpenMP threading")
+            .variant_bool("cuda", false, "NVIDIA GPU support")
+            .variant_bool("rocm", false, "AMD GPU support")
+            .variant_bool("caliper", false, "Caliper annotations")
+            .depends_on("cmake@3.14:", DepType::Build)
+            .depends_on("hypre@2.24:", DepType::Link)
+            .depends_on_when("mpi", DepType::Link, "+mpi")
+            .depends_on_when("hypre+cuda", DepType::Link, "+cuda")
+            .depends_on_when("hypre+rocm", DepType::Link, "+rocm")
+            .depends_on_when("hypre+openmp", DepType::Link, "+openmp")
+            .depends_on_when("caliper+adiak", DepType::Link, "+caliper")
+            .conflicts_with("+rocm", Some("+cuda"), "pick one GPU programming model")
+            .build_cost(90.0)
+            .with_args(amg2023_args),
+    );
+    pkgs.push(
+        PackageDef::new("stream", "McCalpin STREAM memory bandwidth benchmark")
+            .version("5.10")
+            .variant_bool("openmp", true, "OpenMP threading")
+            .build_system(BuildSystem::Makefile)
+            .build_cost(5.0),
+    );
+    pkgs.push(
+        PackageDef::new("osu-micro-benchmarks", "OSU MPI micro-benchmarks")
+            .version("5.9")
+            .version("5.6.3")
+            .depends_on("mpi", DepType::Link)
+            .build_system(BuildSystem::Autotools)
+            .build_cost(60.0),
+    );
+    pkgs.push(
+        PackageDef::new("hpl", "High-Performance Linpack (TOP500 benchmark)")
+            .version("2.3")
+            .variant_bool("openmp", false, "Threaded BLAS")
+            .depends_on("mpi", DepType::Link)
+            .depends_on("blas", DepType::Link)
+            .build_system(BuildSystem::Makefile)
+            .build_cost(45.0),
+    );
+    pkgs.push(
+        PackageDef::new("lulesh", "Livermore unstructured Lagrangian shock hydrodynamics proxy app")
+            .version("2.0.3")
+            .variant_bool("openmp", true, "OpenMP threading")
+            .variant_bool("mpi", true, "MPI domain decomposition")
+            .depends_on_when("mpi", DepType::Link, "+mpi")
+            .build_system(BuildSystem::Makefile)
+            .build_cost(25.0),
+    );
+
+    pkgs
+}

@@ -1,0 +1,86 @@
+//! Package registries with overlay support.
+
+use crate::package::PackageDef;
+use std::collections::BTreeMap;
+
+/// A registry of package recipes, name → definition.
+///
+/// Benchpark keeps a `repo/` directory of overlay recipes that shadow the
+/// upstream Spack repository (Figure 1a, lines 41–48); [`Repo::overlay`]
+/// models exactly that.
+#[derive(Debug, Clone, Default)]
+pub struct Repo {
+    packages: BTreeMap<String, PackageDef>,
+}
+
+impl Repo {
+    /// An empty repository.
+    pub fn new() -> Repo {
+        Repo::default()
+    }
+
+    /// The built-in repository with every package the demonstration needs.
+    pub fn builtin() -> Repo {
+        let mut repo = Repo::new();
+        for pkg in crate::packages::builtin() {
+            repo.add(pkg);
+        }
+        repo
+    }
+
+    /// Adds (or replaces) a recipe.
+    pub fn add(&mut self, pkg: PackageDef) {
+        self.packages.insert(pkg.name.clone(), pkg);
+    }
+
+    /// Overlays `other` on top of `self`: recipes in `other` shadow ours.
+    pub fn overlay(mut self, other: Repo) -> Repo {
+        for (name, pkg) in other.packages {
+            self.packages.insert(name, pkg);
+        }
+        self
+    }
+
+    /// Looks up a recipe by name.
+    pub fn get(&self, name: &str) -> Option<&PackageDef> {
+        self.packages.get(name)
+    }
+
+    /// True if `name` is a known *virtual* package (has providers but no
+    /// recipe of its own).
+    pub fn is_virtual(&self, name: &str) -> bool {
+        !self.packages.contains_key(name)
+            && self
+                .packages
+                .values()
+                .any(|p| p.provides.iter().any(|pr| pr.virtual_name == name))
+    }
+
+    /// Recipes providing the virtual package `virtual_name`, sorted by name.
+    pub fn providers(&self, virtual_name: &str) -> Vec<&PackageDef> {
+        self.packages
+            .values()
+            .filter(|p| p.provides.iter().any(|pr| pr.virtual_name == virtual_name))
+            .collect()
+    }
+
+    /// All package names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.packages.keys().map(|s| s.as_str())
+    }
+
+    /// Number of recipes.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True if no recipes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Iterates over all recipes.
+    pub fn iter(&self) -> impl Iterator<Item = &PackageDef> {
+        self.packages.values()
+    }
+}

@@ -1,0 +1,287 @@
+//! Tests for package recipes, the repository, and application definitions.
+
+use crate::{AppRepo, BuildSystem, DepType, PackageDef, Repo, SuccessMode};
+use benchpark_spec::Spec;
+
+fn spec(s: &str) -> Spec {
+    s.parse().unwrap()
+}
+
+#[test]
+fn builtin_repo_contents() {
+    let repo = Repo::builtin();
+    assert!(repo.len() >= 20, "expected a substantial builtin repo, got {}", repo.len());
+    for name in [
+        "saxpy",
+        "amg2023",
+        "hypre",
+        "caliper",
+        "adiak",
+        "cmake",
+        "gcc",
+        "mvapich2",
+        "spectrum-mpi",
+        "cray-mpich",
+        "intel-oneapi-mkl",
+        "cuda",
+        "hip",
+    ] {
+        assert!(repo.get(name).is_some(), "missing package {name}");
+    }
+}
+
+#[test]
+fn virtual_packages() {
+    let repo = Repo::builtin();
+    assert!(repo.is_virtual("mpi"));
+    assert!(repo.is_virtual("blas"));
+    assert!(repo.is_virtual("lapack"));
+    assert!(!repo.is_virtual("cmake"));
+    assert!(!repo.is_virtual("nonexistent"));
+
+    let mpi_providers: Vec<&str> = repo.providers("mpi").iter().map(|p| p.name.as_str()).collect();
+    assert!(mpi_providers.contains(&"mvapich2"));
+    assert!(mpi_providers.contains(&"openmpi"));
+    assert!(mpi_providers.contains(&"spectrum-mpi"));
+    assert!(mpi_providers.contains(&"cray-mpich"));
+
+    let blas: Vec<&str> = repo.providers("blas").iter().map(|p| p.name.as_str()).collect();
+    assert!(blas.contains(&"intel-oneapi-mkl"));
+    assert!(blas.contains(&"openblas"));
+    assert!(blas.contains(&"essl"));
+}
+
+#[test]
+fn overlay_shadows_builtin() {
+    let mut overlay = Repo::new();
+    overlay.add(
+        PackageDef::new("saxpy", "patched saxpy")
+            .version("2.0.0")
+            .build_cost(1.0),
+    );
+    let repo = Repo::builtin().overlay(overlay);
+    let saxpy = repo.get("saxpy").unwrap();
+    assert_eq!(saxpy.description, "patched saxpy");
+    assert_eq!(saxpy.preferred_version().unwrap().as_str(), "2.0.0");
+    // other packages unaffected
+    assert!(repo.get("cmake").is_some());
+}
+
+/// Figure 11: `cmake_args` produces `-DUSE_*=ON` per variant.
+#[test]
+fn golden_fig11_saxpy_cmake_args() {
+    let repo = Repo::builtin();
+    let saxpy = repo.get("saxpy").unwrap();
+    assert_eq!(saxpy.build_system, BuildSystem::Cmake);
+
+    let args = saxpy.install_args(&spec("saxpy@=1.0.0+openmp~cuda~rocm"));
+    assert_eq!(args, vec!["-DUSE_OPENMP=ON"]);
+
+    let args = saxpy.install_args(&spec("saxpy@=1.0.0~openmp+cuda~rocm"));
+    assert_eq!(args, vec!["-DUSE_CUDA=ON"]);
+
+    let args = saxpy.install_args(&spec("saxpy@=1.0.0~openmp~cuda+rocm"));
+    assert_eq!(args, vec!["-DUSE_HIP=ON"]);
+
+    let args = saxpy.install_args(&spec("saxpy@=1.0.0~openmp~cuda~rocm"));
+    assert!(args.is_empty());
+}
+
+#[test]
+fn build_type_arg_for_cmake_packages() {
+    let repo = Repo::builtin();
+    let saxpy = repo.get("saxpy").unwrap();
+    let args = saxpy.install_args(&spec("saxpy build_type=Debug +openmp"));
+    assert!(args.contains(&"-DCMAKE_BUILD_TYPE=Debug".to_string()));
+}
+
+#[test]
+fn conditional_dependencies() {
+    let repo = Repo::builtin();
+    let saxpy = repo.get("saxpy").unwrap();
+
+    let base: Vec<String> = saxpy
+        .active_dependencies(&spec("saxpy+openmp~cuda~rocm"))
+        .iter()
+        .map(|d| d.spec.name_str().to_string())
+        .collect();
+    assert!(base.contains(&"cmake".to_string()));
+    assert!(base.contains(&"mpi".to_string()));
+    assert!(!base.contains(&"cuda".to_string()));
+    assert!(!base.contains(&"hip".to_string()));
+
+    let with_cuda: Vec<String> = saxpy
+        .active_dependencies(&spec("saxpy+cuda~rocm+openmp"))
+        .iter()
+        .map(|d| d.spec.name_str().to_string())
+        .collect();
+    assert!(with_cuda.contains(&"cuda".to_string()));
+    assert!(!with_cuda.contains(&"hip".to_string()));
+}
+
+#[test]
+fn dependency_types() {
+    let repo = Repo::builtin();
+    let saxpy = repo.get("saxpy").unwrap();
+    let cmake_dep = saxpy
+        .dependencies
+        .iter()
+        .find(|d| d.spec.name_str() == "cmake")
+        .unwrap();
+    assert_eq!(cmake_dep.dep_type, DepType::Build);
+    let mpi_dep = saxpy
+        .dependencies
+        .iter()
+        .find(|d| d.spec.name_str() == "mpi")
+        .unwrap();
+    assert_eq!(mpi_dep.dep_type, DepType::Link);
+}
+
+#[test]
+fn conflicts_detected() {
+    let repo = Repo::builtin();
+    let saxpy = repo.get("saxpy").unwrap();
+    let violations = saxpy.violated_conflicts(&spec("saxpy+cuda+rocm"));
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].contains("GPU programming model"));
+    assert!(saxpy.violated_conflicts(&spec("saxpy+cuda~rocm")).is_empty());
+    assert!(saxpy.violated_conflicts(&spec("saxpy~cuda+rocm")).is_empty());
+
+    let hypre = repo.get("hypre").unwrap();
+    assert_eq!(hypre.violated_conflicts(&spec("hypre+cuda+rocm")).len(), 1);
+}
+
+#[test]
+fn variant_defaults() {
+    use benchpark_spec::VariantValue;
+    let repo = Repo::builtin();
+    let saxpy = repo.get("saxpy").unwrap();
+    assert_eq!(saxpy.variant_default("openmp"), Some(&VariantValue::Bool(true)));
+    assert_eq!(saxpy.variant_default("cuda"), Some(&VariantValue::Bool(false)));
+    assert!(saxpy.variant_default("nope").is_none());
+    assert!(saxpy.has_variant("rocm"));
+}
+
+#[test]
+fn version_preferences() {
+    let repo = Repo::builtin();
+    let cmake = repo.get("cmake").unwrap();
+    assert_eq!(cmake.preferred_version().unwrap().as_str(), "3.23.1");
+
+    let constraint = spec("cmake@3.20:").versions;
+    let admitted: Vec<&str> = cmake
+        .admitted_versions(&constraint)
+        .map(|v| v.as_str())
+        .collect();
+    assert_eq!(admitted, vec!["3.23.1", "3.20.2"]);
+}
+
+// ---------------------------------------------------------------------------
+// Applications
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builtin_apps() {
+    let apps = AppRepo::builtin();
+    assert!(apps.len() >= 5);
+    for name in ["saxpy", "amg2023", "stream", "osu-bcast", "lulesh"] {
+        assert!(apps.get(name).is_some(), "missing application {name}");
+    }
+}
+
+/// Figure 8 reproduced: executable template, workload, variable, FOM regex,
+/// and success criterion all match the paper.
+#[test]
+fn golden_fig8_saxpy_application() {
+    let apps = AppRepo::builtin();
+    let saxpy = apps.get("saxpy").unwrap();
+
+    let exe = saxpy.get_executable("p").unwrap();
+    assert_eq!(exe.template, "saxpy -n {n}");
+    assert!(exe.use_mpi);
+
+    let workload = saxpy.get_workload("problem").unwrap();
+    assert_eq!(workload.executables, vec!["p"]);
+
+    let n = saxpy
+        .workload_variables
+        .iter()
+        .find(|v| v.name == "n")
+        .unwrap();
+    assert_eq!(n.default, "1");
+    assert_eq!(n.description, "problem size");
+    assert_eq!(n.workloads, vec!["problem"]);
+
+    let fom = &saxpy.figures_of_merit[0];
+    assert_eq!(fom.name, "success");
+    assert_eq!(fom.fom_regex, r"(?P<done>Kernel done)");
+    assert_eq!(fom.group_name, "done");
+    assert_eq!(fom.units, "");
+
+    let crit = &saxpy.success_criteria[0];
+    assert_eq!(crit.name, "pass");
+    assert_eq!(crit.mode, SuccessMode::StringMatch);
+    assert_eq!(crit.match_expr, "Kernel done");
+    assert_eq!(crit.file, "{experiment_run_dir}/{experiment_name}.out");
+}
+
+#[test]
+fn all_fom_regexes_compile() {
+    // Every built-in FOM regex and success criterion must compile with rex.
+    let apps = AppRepo::builtin();
+    for name in apps.names().map(String::from).collect::<Vec<_>>() {
+        let app = apps.get(&name).unwrap();
+        for fom in &app.figures_of_merit {
+            let re = benchpark_rex::Regex::new(&fom.fom_regex)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", fom.name));
+            assert!(
+                re.capture_names().any(|n| n == fom.group_name),
+                "{name}/{}: regex lacks group {}",
+                fom.name,
+                fom.group_name
+            );
+        }
+        for crit in &app.success_criteria {
+            if crit.mode == SuccessMode::StringMatch {
+                benchpark_rex::Regex::new(&crit.match_expr)
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", crit.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_variable_scoping() {
+    let apps = AppRepo::builtin();
+    let amg = apps.get("amg2023").unwrap();
+    let p1 = amg.defaults_for("problem1");
+    let p2 = amg.defaults_for("problem2");
+    assert_eq!(p1.get("problem_kind").unwrap(), "1");
+    assert_eq!(p2.get("problem_kind").unwrap(), "2");
+    // unscoped variables apply to all workloads
+    assert_eq!(p1.get("nx").unwrap(), "110");
+    assert_eq!(p2.get("nx").unwrap(), "110");
+}
+
+#[test]
+fn software_spec_indirection() {
+    let apps = AppRepo::builtin();
+    // osu-bcast runs from the osu-micro-benchmarks package
+    assert_eq!(apps.get("osu-bcast").unwrap().software, "osu-micro-benchmarks");
+    // saxpy defaults to its own name
+    assert_eq!(apps.get("saxpy").unwrap().software, "saxpy");
+}
+
+#[test]
+fn applications_reference_real_packages() {
+    let repo = Repo::builtin();
+    let apps = AppRepo::builtin();
+    for name in apps.names().map(String::from).collect::<Vec<_>>() {
+        let app = apps.get(&name).unwrap();
+        assert!(
+            repo.get(&app.software).is_some(),
+            "application {name} references unknown package {}",
+            app.software
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Ramble error type.
+
+use std::fmt;
+
+/// Errors across the workspace lifecycle.
+#[derive(Debug)]
+pub enum RambleError {
+    /// Malformed `ramble.yaml` or `variables.yaml`.
+    Config(String),
+    /// Variable expansion failed (unknown variable, cycle).
+    Expansion(String),
+    /// Experiment generation failed (zip length mismatch, matrix misuse).
+    Generation(String),
+    /// Software environment could not be built.
+    Software(String),
+    /// A FOM regex failed to compile.
+    Regex(String),
+    /// Filesystem trouble in the workspace directory.
+    Io(std::io::Error),
+    /// Operation requires an earlier phase (`setup` before `on`…).
+    Phase(String),
+}
+
+impl fmt::Display for RambleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RambleError::Config(m) => write!(f, "configuration error: {m}"),
+            RambleError::Expansion(m) => write!(f, "variable expansion error: {m}"),
+            RambleError::Generation(m) => write!(f, "experiment generation error: {m}"),
+            RambleError::Software(m) => write!(f, "software environment error: {m}"),
+            RambleError::Regex(m) => write!(f, "figure-of-merit regex error: {m}"),
+            RambleError::Io(e) => write!(f, "workspace i/o error: {e}"),
+            RambleError::Phase(m) => write!(f, "workflow phase error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RambleError {}
+
+impl From<std::io::Error> for RambleError {
+    fn from(e: std::io::Error) -> Self {
+        RambleError::Io(e)
+    }
+}
+
+impl From<benchpark_yamlite::ParseError> for RambleError {
+    fn from(e: benchpark_yamlite::ParseError) -> Self {
+        RambleError::Config(e.to_string())
+    }
+}

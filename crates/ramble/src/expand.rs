@@ -1,0 +1,83 @@
+//! `{variable}` expansion, Ramble's templating primitive.
+
+use crate::error::RambleError;
+use std::collections::BTreeMap;
+
+/// Maximum substitution passes before declaring a cycle.
+const MAX_DEPTH: usize = 16;
+
+/// Expands `{var}` references in `template` using `vars`, recursively
+/// (values may themselves reference variables, as `mpi_command` does in
+/// Figure 12). Unknown variables are an error; `{{` renders a literal `{`.
+pub fn expand(template: &str, vars: &BTreeMap<String, String>) -> Result<String, RambleError> {
+    let mut current = template.to_string();
+    for _ in 0..MAX_DEPTH {
+        let (next, changed) = expand_once(&current, vars)?;
+        if !changed {
+            return Ok(next.replace("\u{1}", "{").replace("\u{2}", "}"));
+        }
+        current = next;
+    }
+    Err(RambleError::Expansion(format!(
+        "expansion of {template:?} did not terminate (cyclic variable definitions?)"
+    )))
+}
+
+fn expand_once(
+    text: &str,
+    vars: &BTreeMap<String, String>,
+) -> Result<(String, bool), RambleError> {
+    let mut out = String::with_capacity(text.len());
+    let mut changed = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                out.push('\u{1}'); // protected literal brace
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                out.push('\u{2}');
+            }
+            '{' => {
+                let mut name = String::new();
+                for nc in chars.by_ref() {
+                    if nc == '}' {
+                        break;
+                    }
+                    name.push(nc);
+                }
+                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    return Err(RambleError::Expansion(format!(
+                        "malformed variable reference `{{{name}}}` in {text:?}"
+                    )));
+                }
+                match vars.get(&name) {
+                    Some(value) => {
+                        out.push_str(value);
+                        changed = true;
+                    }
+                    None => {
+                        return Err(RambleError::Expansion(format!(
+                            "undefined variable `{name}` in {text:?}"
+                        )))
+                    }
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Ok((out, changed))
+}
+
+/// Expands every value of a variable map against itself (used to resolve
+/// `variables.yaml` entries that reference experiment variables late).
+pub fn expand_all(
+    vars: &BTreeMap<String, String>,
+) -> Result<BTreeMap<String, String>, RambleError> {
+    vars.iter()
+        .map(|(k, v)| Ok((k.clone(), expand(v, vars)?)))
+        .collect()
+}

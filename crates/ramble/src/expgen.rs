@@ -1,0 +1,191 @@
+//! Experiment generation: scalars + zips + matrices → concrete experiments.
+//!
+//! Semantics (matching Ramble's workspace configuration language):
+//!
+//! 1. Variables named in a **matrix** must be lists; each matrix is the
+//!    cross product of its variables. Multiple matrices are crossed with
+//!    each other.
+//! 2. List variables *not* named in any matrix are **zipped**: they advance
+//!    together and must all have the same length.
+//! 3. The zip is crossed with the matrix product; scalar variables are
+//!    constant across all experiments.
+//!
+//! Figure 10: matrix `size_threads = n × n_threads` (2×2 = 4) crossed with
+//! zip `(processes_per_node, n_nodes)` (length 2) ⇒ 8 experiments.
+
+use crate::error::RambleError;
+use crate::expand::expand;
+use crate::rconfig::{ExperimentDef, WorkloadConfig};
+use crate::rconfig::VarValue;
+use std::collections::BTreeMap;
+
+/// One fully-expanded experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentInstance {
+    /// Expanded experiment name (`saxpy_512_1_8_2`).
+    pub name: String,
+    pub application: String,
+    pub workload: String,
+    /// All variables, fully expanded to strings.
+    pub variables: BTreeMap<String, String>,
+    /// Environment variables to export in the batch script.
+    pub env_vars: BTreeMap<String, String>,
+}
+
+/// Generates all experiments for one experiment definition.
+///
+/// `base_vars` holds lower-precedence variables (application defaults,
+/// `variables.yaml` contents, workspace paths). Precedence, low→high:
+/// base < workload < experiment.
+pub fn generate_experiments(
+    application: &str,
+    workload: &str,
+    workload_cfg: &WorkloadConfig,
+    def: &ExperimentDef,
+    base_vars: &BTreeMap<String, String>,
+) -> Result<Vec<ExperimentInstance>, RambleError> {
+    // merged variable table
+    let mut merged: BTreeMap<String, VarValue> = base_vars
+        .iter()
+        .map(|(k, v)| (k.clone(), VarValue::Scalar(v.clone())))
+        .collect();
+    for (k, v) in &workload_cfg.variables {
+        merged.insert(k.clone(), v.clone());
+    }
+    for (k, v) in &def.variables {
+        merged.insert(k.clone(), v.clone());
+    }
+
+    // matrices: cross within, cross across
+    let mut matrix_vars: Vec<String> = Vec::new();
+    let mut matrix_rows: Vec<BTreeMap<String, String>> = vec![BTreeMap::new()];
+    for (matrix_name, vars) in &def.matrices {
+        for var in vars {
+            if matrix_vars.contains(var) {
+                return Err(RambleError::Generation(format!(
+                    "variable `{var}` appears in more than one matrix"
+                )));
+            }
+            let values = match merged.get(var) {
+                Some(VarValue::List(values)) => values.clone(),
+                Some(VarValue::Scalar(_)) => {
+                    return Err(RambleError::Generation(format!(
+                        "matrix `{matrix_name}` references scalar variable `{var}` (must be a list)"
+                    )))
+                }
+                None => {
+                    return Err(RambleError::Generation(format!(
+                        "matrix `{matrix_name}` references undefined variable `{var}`"
+                    )))
+                }
+            };
+            matrix_vars.push(var.clone());
+            let mut next = Vec::with_capacity(matrix_rows.len() * values.len());
+            for row in &matrix_rows {
+                for value in &values {
+                    let mut new_row = row.clone();
+                    new_row.insert(var.clone(), value.clone());
+                    next.push(new_row);
+                }
+            }
+            matrix_rows = next;
+        }
+    }
+
+    // zip of remaining list variables
+    let zip_vars: Vec<(&String, &Vec<String>)> = merged
+        .iter()
+        .filter_map(|(k, v)| match v {
+            VarValue::List(values) if !matrix_vars.contains(k) => Some((k, values)),
+            _ => None,
+        })
+        .collect();
+    let zip_len = zip_vars.first().map(|(_, v)| v.len()).unwrap_or(1);
+    for (name, values) in &zip_vars {
+        if values.len() != zip_len {
+            return Err(RambleError::Generation(format!(
+                "zipped list variables must have equal lengths: `{}` has {} values, expected {}",
+                name,
+                values.len(),
+                zip_len
+            )));
+        }
+    }
+
+    // assemble: matrix rows × zip indices
+    let mut out = Vec::with_capacity(matrix_rows.len() * zip_len);
+    for row in &matrix_rows {
+        for zi in 0..zip_len {
+            let mut vars: BTreeMap<String, String> = BTreeMap::new();
+            for (k, v) in &merged {
+                if let VarValue::Scalar(s) = v {
+                    vars.insert(k.clone(), s.clone());
+                }
+            }
+            for (k, values) in &zip_vars {
+                vars.insert((*k).clone(), values[zi].clone());
+            }
+            for (k, v) in row {
+                vars.insert(k.clone(), v.clone());
+            }
+
+            vars.insert("application_name".to_string(), application.to_string());
+            vars.insert("workload_name".to_string(), workload.to_string());
+
+            // derived: n_ranks = processes_per_node × n_nodes when both are
+            // numeric and n_ranks was not given (Ramble's builtin rule)
+            if !vars.contains_key("n_ranks") {
+                if let (Some(ppn), Some(nodes)) = (
+                    vars.get("processes_per_node")
+                        .and_then(|v| v.parse::<u64>().ok()),
+                    vars.get("n_nodes").and_then(|v| v.parse::<u64>().ok()),
+                ) {
+                    vars.insert("n_ranks".to_string(), (ppn * nodes).to_string());
+                }
+            }
+
+            let name = expand(&def.name_template, &vars)?;
+            vars.insert("experiment_name".to_string(), name.clone());
+            out.push(ExperimentInstance {
+                name,
+                application: application.to_string(),
+                workload: workload.to_string(),
+                variables: vars,
+                env_vars: workload_cfg.env_vars.clone(),
+            });
+        }
+    }
+
+    // n_repeats: replicate each instance as `<name>.1` … `<name>.N` with a
+    // `repeat_index` variable (Ramble's repetition support, for measuring
+    // run-to-run variance)
+    if def.n_repeats > 1 {
+        let mut repeated = Vec::with_capacity(out.len() * def.n_repeats as usize);
+        for exp in out {
+            for repeat in 1..=def.n_repeats {
+                let mut copy = exp.clone();
+                copy.name = format!("{}.{repeat}", exp.name);
+                copy.variables
+                    .insert("repeat_index".to_string(), repeat.to_string());
+                copy.variables
+                    .insert("experiment_name".to_string(), copy.name.clone());
+                repeated.push(copy);
+            }
+        }
+        out = repeated;
+    }
+
+    // duplicate names are a configuration error (templates must
+    // discriminate all varying variables)
+    let mut seen = std::collections::BTreeSet::new();
+    for exp in &out {
+        if !seen.insert(exp.name.clone()) {
+            return Err(RambleError::Generation(format!(
+                "experiment name template produced duplicate name `{}` — \
+                 include every varying variable in the template",
+                exp.name
+            )));
+        }
+    }
+    Ok(out)
+}

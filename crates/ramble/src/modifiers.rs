@@ -1,0 +1,44 @@
+//! Experiment modifiers (paper §3.2: *"abstract modifiers for changing the
+//! behavior of the experiments in repeatable ways"*; §4.5: *"Ramble also
+//! provides the modifier construct to capture architecture-specific FOMs"*).
+
+use crate::expgen::ExperimentInstance;
+
+/// A repeatable transformation applied to every generated experiment.
+#[derive(Debug, Clone)]
+pub enum Modifier {
+    /// Enables always-on Caliper profiling (§5): sets `CALI_CONFIG` so each
+    /// run emits a profile next to its output.
+    Caliper,
+    /// Exports an extra environment variable.
+    EnvVar(String, String),
+    /// Overrides (or injects) a variable.
+    SetVariable(String, String),
+    /// Appends a suffix to every experiment name (e.g. a trial tag).
+    NameSuffix(String),
+}
+
+impl Modifier {
+    /// Applies the modifier to one experiment.
+    pub fn apply(&self, exp: &mut ExperimentInstance) {
+        match self {
+            Modifier::Caliper => {
+                exp.env_vars.insert(
+                    "CALI_CONFIG".to_string(),
+                    "spot(output={experiment_run_dir}/{experiment_name}.cali)".to_string(),
+                );
+            }
+            Modifier::EnvVar(k, v) => {
+                exp.env_vars.insert(k.clone(), v.clone());
+            }
+            Modifier::SetVariable(k, v) => {
+                exp.variables.insert(k.clone(), v.clone());
+            }
+            Modifier::NameSuffix(suffix) => {
+                exp.name.push_str(suffix);
+                exp.variables
+                    .insert("experiment_name".to_string(), exp.name.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Parsing `ramble.yaml` (Figure 10) and `variables.yaml` (Figure 12).
+
+use crate::error::RambleError;
+use benchpark_yamlite::{parse, Value};
+use std::collections::BTreeMap;
+
+/// A variable value: scalar, or a list to be consumed by zips/matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarValue {
+    Scalar(String),
+    List(Vec<String>),
+}
+
+impl VarValue {
+    fn from_yaml(v: &Value) -> Option<VarValue> {
+        match v {
+            Value::Seq(_) => v.string_list().map(VarValue::List),
+            other => other.scalar_string().map(VarValue::Scalar),
+        }
+    }
+}
+
+/// One experiment declaration (Figure 10, lines 20–30).
+#[derive(Debug, Clone)]
+pub struct ExperimentDef {
+    /// The name template, e.g. `saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}`.
+    pub name_template: String,
+    /// Experiment-scoped variables (scalars and lists).
+    pub variables: BTreeMap<String, VarValue>,
+    /// Matrices: each entry is the list of variable names crossed together.
+    pub matrices: Vec<(String, Vec<String>)>,
+    /// `n_repeats`: replicate each generated experiment this many times
+    /// (named `<name>.1` … `<name>.N`) so analysis can measure run-to-run
+    /// variance. 1 = no repetition.
+    pub n_repeats: u32,
+}
+
+impl Default for ExperimentDef {
+    fn default() -> Self {
+        ExperimentDef {
+            name_template: String::new(),
+            variables: BTreeMap::new(),
+            matrices: Vec::new(),
+            n_repeats: 1,
+        }
+    }
+}
+
+/// One workload section (Figure 10, lines 12–30).
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadConfig {
+    /// `env_vars: set:` entries.
+    pub env_vars: BTreeMap<String, String>,
+    /// Workload-scoped variables.
+    pub variables: BTreeMap<String, VarValue>,
+    /// Experiments declared under this workload.
+    pub experiments: Vec<ExperimentDef>,
+    /// Extra success criteria declared in `ramble.yaml` (§4.5 / Table 1 row
+    /// 5: evaluation can be experiment-specific, not only `application.py`).
+    pub success_criteria: Vec<benchpark_pkg::SuccessCriterion>,
+}
+
+/// `spack: packages:` entry (Figure 10 lines 31–35 / Figure 9).
+#[derive(Debug, Clone)]
+pub struct SpackPackageDef {
+    pub spack_spec: String,
+    /// Reference to another package entry acting as the compiler
+    /// (`compiler: default-compiler`).
+    pub compiler: Option<String>,
+}
+
+/// `spack: environments:` entry (Figure 10 lines 36–40).
+#[derive(Debug, Clone, Default)]
+pub struct EnvironmentDef {
+    pub packages: Vec<String>,
+}
+
+/// The parsed `ramble.yaml` (+ merged `variables.yaml`).
+#[derive(Debug, Clone, Default)]
+pub struct RambleConfig {
+    /// `include:` paths (informational; Benchpark resolves them by handing
+    /// us the included texts via [`RambleConfig::merge_variables_yaml`]).
+    pub includes: Vec<String>,
+    /// application → workload name → workload config.
+    pub applications: BTreeMap<String, BTreeMap<String, WorkloadConfig>>,
+    /// Named spack package definitions.
+    pub spack_packages: BTreeMap<String, SpackPackageDef>,
+    /// Named software environments.
+    pub environments: BTreeMap<String, EnvironmentDef>,
+    /// Global variables (from `variables.yaml` and `ramble: variables:`).
+    pub variables: BTreeMap<String, String>,
+    /// `compilers:` list from `variables.yaml`.
+    pub compilers: Vec<String>,
+}
+
+impl RambleConfig {
+    /// Parses a `ramble.yaml` document (Figure 10's exact layout).
+    pub fn from_yaml(text: &str) -> Result<RambleConfig, RambleError> {
+        let doc = parse(text)?;
+        let ramble = doc
+            .get("ramble")
+            .ok_or_else(|| RambleError::Config("missing top-level `ramble:` key".to_string()))?;
+
+        let mut config = RambleConfig::default();
+        if let Some(includes) = ramble.get("include").and_then(Value::string_list) {
+            config.includes = includes;
+        }
+        if let Some(vars) = ramble.get("variables").and_then(Value::as_map) {
+            for (k, v) in vars.iter() {
+                if let Some(s) = v.scalar_string() {
+                    config.variables.insert(k.clone(), s);
+                }
+            }
+        }
+
+        if let Some(apps) = ramble.get("applications").and_then(Value::as_map) {
+            for (app_name, app_body) in apps.iter() {
+                let mut workloads = BTreeMap::new();
+                if let Some(wls) = app_body.get("workloads").and_then(Value::as_map) {
+                    for (wl_name, wl_body) in wls.iter() {
+                        workloads.insert(wl_name.clone(), parse_workload(wl_body)?);
+                    }
+                }
+                config.applications.insert(app_name.clone(), workloads);
+            }
+        }
+
+        if let Some(spack) = ramble.get("spack") {
+            if let Some(pkgs) = spack.get("packages").and_then(Value::as_map) {
+                for (name, body) in pkgs.iter() {
+                    let spec = body
+                        .get("spack_spec")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| {
+                            RambleError::Config(format!("package `{name}` lacks spack_spec"))
+                        })?;
+                    config.spack_packages.insert(
+                        name.clone(),
+                        SpackPackageDef {
+                            spack_spec: spec.to_string(),
+                            compiler: body
+                                .get("compiler")
+                                .and_then(Value::as_str)
+                                .map(String::from),
+                        },
+                    );
+                }
+            }
+            if let Some(envs) = spack.get("environments").and_then(Value::as_map) {
+                for (name, body) in envs.iter() {
+                    let packages = body
+                        .get("packages")
+                        .and_then(Value::string_list)
+                        .unwrap_or_default();
+                    config
+                        .environments
+                        .insert(name.clone(), EnvironmentDef { packages });
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Merges a `variables.yaml` document (Figure 12) into the global
+    /// variables — Benchpark's way of resolving the `include:` entries.
+    pub fn merge_variables_yaml(&mut self, text: &str) -> Result<(), RambleError> {
+        let doc = parse(text)?;
+        let vars = doc
+            .get("variables")
+            .ok_or_else(|| RambleError::Config("missing `variables:` key".to_string()))?
+            .as_map()
+            .ok_or_else(|| RambleError::Config("`variables:` must be a mapping".to_string()))?;
+        for (k, v) in vars.iter() {
+            if k == "compilers" {
+                if let Some(list) = v.string_list() {
+                    self.compilers = list;
+                }
+            } else if let Some(s) = v.scalar_string() {
+                self.variables.insert(k.clone(), s);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges a system-level `spack.yaml` (Figure 9: named package and
+    /// compiler definitions like `default-compiler`, `default-mpi`) into the
+    /// configuration — the other half of the `include:` mechanism. Existing
+    /// experiment-level definitions win.
+    pub fn merge_spack_yaml(&mut self, text: &str) -> Result<(), RambleError> {
+        let doc = parse(text)?;
+        let spack = doc
+            .get("spack")
+            .ok_or_else(|| RambleError::Config("missing `spack:` key".to_string()))?;
+        if let Some(pkgs) = spack.get("packages").and_then(Value::as_map) {
+            for (name, body) in pkgs.iter() {
+                if self.spack_packages.contains_key(name) {
+                    continue;
+                }
+                let spec = body
+                    .get("spack_spec")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| {
+                        RambleError::Config(format!("package `{name}` lacks spack_spec"))
+                    })?;
+                self.spack_packages.insert(
+                    name.clone(),
+                    SpackPackageDef {
+                        spack_spec: spec.to_string(),
+                        compiler: body
+                            .get("compiler")
+                            .and_then(Value::as_str)
+                            .map(String::from),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a `spack_spec` plus its `compiler:` reference into one
+    /// abstract spec string (`saxpy@1.0.0 +openmp ^cmake@3.23.1 %gcc@12.1.1`).
+    pub fn resolved_spec(&self, package: &str) -> Result<String, RambleError> {
+        let def = self.spack_packages.get(package).ok_or_else(|| {
+            RambleError::Config(format!("unknown spack package `{package}` in ramble.yaml"))
+        })?;
+        let mut spec = def.spack_spec.clone();
+        if let Some(comp_ref) = &def.compiler {
+            let comp = self.spack_packages.get(comp_ref).ok_or_else(|| {
+                RambleError::Config(format!(
+                    "package `{package}` references unknown compiler `{comp_ref}`"
+                ))
+            })?;
+            spec.push_str(&format!(" %{}", comp.spack_spec));
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_workload(body: &Value) -> Result<WorkloadConfig, RambleError> {
+    let mut wl = WorkloadConfig::default();
+    if let Some(set) = body.get_path(&["env_vars", "set"]).and_then(Value::as_map) {
+        for (k, v) in set.iter() {
+            if let Some(s) = v.scalar_string() {
+                wl.env_vars.insert(k.clone(), s);
+            }
+        }
+    }
+    if let Some(vars) = body.get("variables").and_then(Value::as_map) {
+        for (k, v) in vars.iter() {
+            if let Some(value) = VarValue::from_yaml(v) {
+                wl.variables.insert(k.clone(), value);
+            }
+        }
+    }
+    if let Some(criteria) = body.get("success_criteria").and_then(Value::as_seq) {
+        for crit in criteria {
+            let name = crit
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| RambleError::Config("success criterion lacks `name`".to_string()))?;
+            let mode = match crit.get("mode").and_then(Value::as_str) {
+                Some("string") | None => benchpark_pkg::SuccessMode::StringMatch,
+                Some("fom_comparison") => benchpark_pkg::SuccessMode::FomComparison,
+                Some(other) => {
+                    return Err(RambleError::Config(format!(
+                        "unknown success criterion mode `{other}`"
+                    )))
+                }
+            };
+            let match_expr = crit
+                .get("match")
+                .and_then(Value::as_str)
+                .ok_or_else(|| RambleError::Config(format!("criterion `{name}` lacks `match`")))?;
+            wl.success_criteria.push(benchpark_pkg::SuccessCriterion {
+                name: name.to_string(),
+                mode,
+                match_expr: match_expr.to_string(),
+                file: crit
+                    .get("file")
+                    .and_then(Value::as_str)
+                    .unwrap_or("{experiment_run_dir}/{experiment_name}.out")
+                    .to_string(),
+            });
+        }
+    }
+    if let Some(exps) = body.get("experiments").and_then(Value::as_map) {
+        for (name_template, exp_body) in exps.iter() {
+            let mut def = ExperimentDef {
+                name_template: name_template.clone(),
+                ..ExperimentDef::default()
+            };
+            if let Some(vars) = exp_body.get("variables").and_then(Value::as_map) {
+                for (k, v) in vars.iter() {
+                    if let Some(value) = VarValue::from_yaml(v) {
+                        def.variables.insert(k.clone(), value);
+                    }
+                }
+            }
+            if let Some(n) = exp_body.get("n_repeats").and_then(|v| v.scalar_string()) {
+                def.n_repeats = n.parse().map_err(|_| {
+                    RambleError::Config(format!("n_repeats must be a positive integer, got {n:?}"))
+                })?;
+                if def.n_repeats == 0 {
+                    return Err(RambleError::Config("n_repeats must be >= 1".to_string()));
+                }
+            }
+            if let Some(matrices) = exp_body.get("matrices").and_then(Value::as_seq) {
+                for m in matrices {
+                    let map = m.as_map().ok_or_else(|| {
+                        RambleError::Config("each matrix must be `- name:` with a list".to_string())
+                    })?;
+                    for (mname, mvars) in map.iter() {
+                        let vars = mvars.string_list().ok_or_else(|| {
+                            RambleError::Config(format!("matrix `{mname}` must list variables"))
+                        })?;
+                        def.matrices.push((mname.clone(), vars));
+                    }
+                }
+            }
+            wl.experiments.push(def);
+        }
+    }
+    Ok(wl)
+}

@@ -1,0 +1,18 @@
+//! Batch-script template rendering (paper Figure 13).
+
+use crate::error::RambleError;
+use crate::expand::expand;
+use std::collections::BTreeMap;
+
+/// The default `execute_experiment.tpl`, verbatim from Figure 13.
+pub const DEFAULT_TEMPLATE: &str = "#!/bin/bash\n{batch_nodes}\n{batch_ranks}\ncd {experiment_run_dir}\n{spack_setup}\n{command}\n";
+
+/// Renders a template with the experiment's full variable table — the last
+/// step of `ramble workspace setup` (§3.2.3: *"Generating files from every
+/// template file in the configs"*).
+pub fn render_template(
+    template: &str,
+    vars: &BTreeMap<String, String>,
+) -> Result<String, RambleError> {
+    expand(template, vars)
+}

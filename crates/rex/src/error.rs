@@ -1,0 +1,33 @@
+//! Pattern compilation errors.
+
+use std::fmt;
+
+/// An error produced while compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RexError {
+    /// Byte position in the pattern where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl RexError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        Self {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regex error at position {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for RexError {}

@@ -1,0 +1,245 @@
+//! Layered YAML configuration scopes (paper §3.1.2).
+//!
+//! Benchpark ships per-system directories of Spack configuration (Figure 1a,
+//! `configs/<system>/…`). A [`ConfigScopes`] stack merges those files with
+//! Spack precedence (later scopes override earlier ones, mappings deep-merge)
+//! and lowers the result to a [`SiteConfig`] the concretizer consumes.
+
+use benchpark_concretizer::{CompilerEntry, External, SiteConfig};
+use benchpark_yamlite::{parse, Map, ParseError, Value};
+use std::collections::BTreeMap;
+
+/// A stack of named configuration scopes (`site` < `system` < `user`).
+#[derive(Debug, Clone, Default)]
+pub struct ConfigScopes {
+    /// `(scope name, merged document per file name)` in precedence order —
+    /// later entries override earlier ones.
+    scopes: Vec<(String, BTreeMap<String, Value>)>,
+}
+
+impl ConfigScopes {
+    /// An empty configuration.
+    pub fn new() -> ConfigScopes {
+        ConfigScopes::default()
+    }
+
+    /// Pushes a scope. `files` maps file names (`"packages.yaml"`) to YAML
+    /// text. Later scopes take precedence.
+    pub fn push_scope(
+        &mut self,
+        name: &str,
+        files: &[(&str, &str)],
+    ) -> Result<(), ParseError> {
+        let mut docs = BTreeMap::new();
+        for (file, text) in files {
+            docs.insert(file.to_string(), parse(text)?);
+        }
+        self.scopes.push((name.to_string(), docs));
+        Ok(())
+    }
+
+    /// The merged document for one file across all scopes.
+    pub fn merged(&self, file: &str) -> Value {
+        let mut acc = Map::new();
+        for (_, docs) in &self.scopes {
+            if let Some(Value::Map(m)) = docs.get(file) {
+                acc.merge_from(m);
+            }
+        }
+        Value::Map(acc)
+    }
+
+    /// Scope names in precedence order.
+    pub fn scope_names(&self) -> Vec<&str> {
+        self.scopes.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Lowers the merged configuration to the concretizer's [`SiteConfig`].
+    ///
+    /// Recognized structure:
+    ///
+    /// ```yaml
+    /// # packages.yaml (Figure 4)
+    /// packages:
+    ///   all:
+    ///     target: [skylake_avx512]
+    ///     providers:
+    ///       mpi: [mvapich2]
+    ///   blas:
+    ///     externals:
+    ///     - spec: intel-oneapi-mkl@2022.1.0
+    ///       prefix: /path/to/intel-oneapi-mkl
+    ///     buildable: false
+    ///   cmake:
+    ///     version: ['3.23.1']
+    ///
+    /// # compilers.yaml
+    /// compilers:
+    /// - compiler:
+    ///     spec: gcc@12.1.1
+    ///     prefix: /usr/tce/gcc-12.1.1
+    /// ```
+    ///
+    /// An `externals:` entry under a *virtual* name (as in Figure 4, where
+    /// the MKL external lives under `blas:`) is attached to the provider
+    /// named by its spec.
+    pub fn site_config(&self) -> SiteConfig {
+        let mut config = SiteConfig {
+            default_target: "x86_64".to_string(),
+            ..SiteConfig::default()
+        };
+
+        // compilers.yaml
+        if let Some(list) = self.merged("compilers.yaml").get("compilers").and_then(|v| v.as_seq().map(<[Value]>::to_vec)) {
+            for entry in &list {
+                let body = entry.get("compiler").unwrap_or(entry);
+                let Some(spec_text) = body.get("spec").and_then(Value::as_str) else {
+                    continue;
+                };
+                if let Ok(cspec) = spec_text.parse::<benchpark_spec::Spec>() {
+                    if let (Some(name), Some(version)) =
+                        (cspec.name.clone(), cspec.versions.highest_mentioned())
+                    {
+                        let prefix = body
+                            .get("prefix")
+                            .and_then(Value::as_str)
+                            .unwrap_or("/usr")
+                            .to_string();
+                        config.compilers.push(CompilerEntry::new(
+                            &name,
+                            version.as_str(),
+                            &prefix,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // packages.yaml
+        if let Some(packages) = self.merged("packages.yaml").get("packages").and_then(|v| v.as_map().cloned()) {
+            for (pkg_name, body) in packages.iter() {
+                if pkg_name == "all" {
+                    if let Some(providers) = body.get("providers").and_then(Value::as_map) {
+                        for (virt, provs) in providers.iter() {
+                            if let Some(list) = provs.string_list() {
+                                config.provider_prefs.insert(virt.clone(), list);
+                            }
+                        }
+                    }
+                    if let Some(targets) = body.get("target").and_then(Value::string_list) {
+                        if let Some(first) = targets.first() {
+                            config.default_target = first.clone();
+                        }
+                    }
+                    if let Some(compiler_prefs) = body.get("compiler").and_then(Value::string_list)
+                    {
+                        // reorder config.compilers to honor the preference
+                        let prefs = compiler_prefs;
+                        config.compilers.sort_by_key(|c| {
+                            prefs
+                                .iter()
+                                .position(|p| {
+                                    p.parse::<benchpark_spec::Spec>()
+                                        .ok()
+                                        .and_then(|s| s.name)
+                                        .is_some_and(|n| n == c.name)
+                                        || *p == c.name
+                                })
+                                .unwrap_or(usize::MAX)
+                        });
+                    }
+                    continue;
+                }
+                if let Some(externals) = body.get("externals").and_then(|v| v.as_seq().map(<[Value]>::to_vec)) {
+                    for ext in &externals {
+                        let Some(spec_text) = ext.get("spec").and_then(Value::as_str) else {
+                            continue;
+                        };
+                        let Ok(espec) = spec_text.parse::<benchpark_spec::Spec>() else {
+                            continue;
+                        };
+                        let prefix = ext
+                            .get("prefix")
+                            .and_then(Value::as_str)
+                            .unwrap_or("/opt")
+                            .to_string();
+                        // attach under the provider named in the spec (handles
+                        // Figure 4's externals declared under virtual names);
+                        // the same external may be listed under several
+                        // virtuals (MKL provides blas *and* lapack) — dedupe
+                        let owner = espec.name.clone().unwrap_or_else(|| pkg_name.clone());
+                        let entry = config.externals.entry(owner).or_default();
+                        if !entry
+                            .iter()
+                            .any(|e| e.prefix == prefix && e.spec == espec)
+                        {
+                            entry.push(External { spec: espec, prefix });
+                        }
+                    }
+                }
+                if body.get("buildable").and_then(Value::as_bool) == Some(false) {
+                    // `buildable: false` under a virtual applies to the
+                    // externals' owners; under a real package, to itself.
+                    let mut owners: Vec<String> = Vec::new();
+                    if let Some(externals) = body.get("externals").and_then(Value::as_seq) {
+                        for ext in externals {
+                            if let Some(spec_text) = ext.get("spec").and_then(Value::as_str) {
+                                if let Ok(espec) = spec_text.parse::<benchpark_spec::Spec>() {
+                                    if let Some(n) = espec.name {
+                                        owners.push(n);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if owners.is_empty() {
+                        owners.push(pkg_name.clone());
+                    }
+                    for owner in owners {
+                        if !config.not_buildable.contains(&owner) {
+                            config.not_buildable.push(owner);
+                        }
+                    }
+                    // a non-buildable virtual also pins its providers
+                    if !config.not_buildable.contains(pkg_name) {
+                        config.not_buildable.push(pkg_name.clone());
+                    }
+                }
+                if let Some(vers) = body.get("version").and_then(Value::string_list) {
+                    if let Some(first) = vers.first() {
+                        if let Ok(vc) = format!("{pkg_name}@{first}").parse::<benchpark_spec::Spec>() {
+                            config.version_prefs.insert(pkg_name.clone(), vc.versions);
+                        }
+                    }
+                }
+            }
+            // externals under virtual names also become provider preferences
+            let virtuals = ["mpi", "blas", "lapack"];
+            for virt in virtuals {
+                if let Some(body) = packages.get(virt) {
+                    if let Some(externals) = body.get("externals").and_then(Value::as_seq) {
+                        let mut provs = Vec::new();
+                        for ext in externals {
+                            if let Some(spec_text) = ext.get("spec").and_then(Value::as_str) {
+                                if let Ok(espec) = spec_text.parse::<benchpark_spec::Spec>() {
+                                    if let Some(n) = espec.name {
+                                        if !provs.contains(&n) {
+                                            provs.push(n);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if !provs.is_empty() {
+                            config
+                                .provider_prefs
+                                .entry(virt.to_string())
+                                .or_insert(provs);
+                        }
+                    }
+                }
+            }
+        }
+        config
+    }
+}

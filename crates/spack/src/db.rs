@@ -1,0 +1,155 @@
+//! The installation database: content-hashed records of what is installed.
+
+use benchpark_concretizer::{ConcreteNode, Origin};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One installed package.
+#[derive(Debug, Clone)]
+pub struct InstalledRecord {
+    /// DAG hash of the node.
+    pub hash: String,
+    /// `name@version%compiler…` short form.
+    pub spec_short: String,
+    /// Package name.
+    pub name: String,
+    /// Installation prefix.
+    pub prefix: String,
+    /// Provenance.
+    pub origin: Origin,
+    /// Virtual simulation time (seconds) when the install finished.
+    pub installed_at: f64,
+    /// Whether the user asked for this spec directly (vs. as a dependency).
+    pub explicit: bool,
+    /// Hashes of this record's direct dependencies (for uninstall safety and
+    /// garbage collection).
+    pub deps: Vec<String>,
+}
+
+/// A thread-safe installation database, shared between installer workers and
+/// (in the CI substrate) between pipeline jobs.
+#[derive(Debug, Clone, Default)]
+pub struct InstallDatabase {
+    inner: Arc<RwLock<BTreeMap<String, InstalledRecord>>>,
+}
+
+impl InstallDatabase {
+    /// An empty database.
+    pub fn new() -> InstallDatabase {
+        InstallDatabase::default()
+    }
+
+    /// True if a node with this hash is installed.
+    pub fn contains(&self, hash: &str) -> bool {
+        self.inner.read().contains_key(hash)
+    }
+
+    /// Fetches a record by hash.
+    pub fn get(&self, hash: &str) -> Option<InstalledRecord> {
+        self.inner.read().get(hash).cloned()
+    }
+
+    /// Registers an installed node. Returns false if it was already present.
+    pub fn register(&self, record: InstalledRecord) -> bool {
+        self.inner
+            .write()
+            .insert(record.hash.clone(), record)
+            .is_none()
+    }
+
+    /// Installed records for a package name.
+    pub fn query_name(&self, name: &str) -> Vec<InstalledRecord> {
+        self.inner
+            .read()
+            .values()
+            .filter(|r| r.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// All records, sorted by hash.
+    pub fn all(&self) -> Vec<InstalledRecord> {
+        self.inner.read().values().cloned().collect()
+    }
+
+    /// Number of installed packages.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Removes a record by hash. Refuses when another installed record still
+    /// depends on it, unless `force` — exactly `spack uninstall`'s check.
+    pub fn uninstall(&self, hash: &str, force: bool) -> Result<InstalledRecord, String> {
+        let mut map = self.inner.write();
+        if !map.contains_key(hash) {
+            return Err(format!("no installed package with hash {hash}"));
+        }
+        if !force {
+            let dependents: Vec<&str> = map
+                .values()
+                .filter(|r| r.deps.iter().any(|d| d == hash))
+                .map(|r| r.spec_short.as_str())
+                .collect();
+            if !dependents.is_empty() {
+                return Err(format!(
+                    "cannot uninstall: still required by {}",
+                    dependents.join(", ")
+                ));
+            }
+        }
+        Ok(map.remove(hash).expect("checked above"))
+    }
+
+    /// Garbage collection (`spack gc`): removes every record not reachable
+    /// from an explicitly installed root. Returns the removed records.
+    pub fn gc(&self) -> Vec<InstalledRecord> {
+        let mut map = self.inner.write();
+        let mut live: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut stack: Vec<String> = map
+            .values()
+            .filter(|r| r.explicit)
+            .map(|r| r.hash.clone())
+            .collect();
+        while let Some(hash) = stack.pop() {
+            if live.insert(hash.clone()) {
+                if let Some(record) = map.get(&hash) {
+                    stack.extend(record.deps.iter().cloned());
+                }
+            }
+        }
+        let dead: Vec<String> = map
+            .keys()
+            .filter(|h| !live.contains(*h))
+            .cloned()
+            .collect();
+        dead.into_iter()
+            .filter_map(|h| map.remove(&h))
+            .collect()
+    }
+
+    /// The canonical install prefix for a node
+    /// (`<root>/<target>/<compiler>/<name>-<version>-<hash8>`).
+    pub fn prefix_for(root: &str, node: &ConcreteNode) -> String {
+        let spec = &node.spec;
+        let target = spec.target.as_deref().unwrap_or("unknown");
+        let compiler = spec
+            .compiler
+            .as_ref()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        let name = spec.name.as_deref().unwrap_or("unknown");
+        let version = spec
+            .versions
+            .concrete()
+            .map(|v| v.as_str().to_string())
+            .unwrap_or_else(|| "0".to_string());
+        let hash8 = &node.hash[..8.min(node.hash.len())];
+        format!("{root}/{target}/{compiler}/{name}-{version}-{hash8}")
+    }
+}

@@ -1,0 +1,40 @@
+//! `benchpark-spack` — configuration scopes, environments, the installation
+//! engine, and the binary cache.
+//!
+//! This crate completes the package-manager substrate (paper §3.1):
+//!
+//! * **Configuration scopes** ([`ConfigScopes`]): layered YAML configuration
+//!   (`packages.yaml`, `compilers.yaml`) with Spack's deep-merge precedence —
+//!   site policy under user overrides — parsed into the concretizer's
+//!   [`benchpark_concretizer::SiteConfig`]. Figure 4's externals file parses
+//!   verbatim.
+//! * **Environments** ([`Environment`]): the manifest-and-lock model the
+//!   paper describes (§3.1: *"environment manifests are treated as user
+//!   input, and the output of the concretizer is written to a lockfile"*).
+//!   The five-command workflow of Figure 2 (`env create`, `env activate`,
+//!   `add`, `concretize`, `install`) maps to methods here, and Figure 3's
+//!   `spack.yaml` manifest parses verbatim.
+//! * **The installation engine** ([`Installer`]): Spack's fourth component,
+//!   *"handles installing packages from source or binary cache"*. Builds are
+//!   simulated against each recipe's cost model but executed on a real
+//!   dependency-ordered parallel worker pool (crossbeam channels + parking_lot
+//!   locks), writing an [`InstallDatabase`] of content-hashed records and
+//!   optionally pushing to / fetching from a [`BinaryCache`] — the "rolling
+//!   binary cache" of §7.2 whose speedup the CI benchmark (A2) measures.
+
+mod cache;
+mod config;
+mod db;
+mod env;
+mod installer;
+mod manifest;
+
+pub use cache::{BinaryCache, CacheStats};
+pub use config::ConfigScopes;
+pub use db::{InstallDatabase, InstalledRecord};
+pub use env::{Environment, Lockfile};
+pub use installer::{Action, InstallOptions, InstallReport, Installer, PackageResult};
+pub use manifest::Manifest;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,59 @@
+//! The environment manifest (`spack.yaml`, paper Figure 3).
+
+use benchpark_yamlite::{parse, ParseError, Value};
+
+/// A parsed environment manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Abstract root specs, in declaration order.
+    pub specs: Vec<String>,
+    /// `concretizer: unify:` (defaults to true, as in Figure 3).
+    pub unify: bool,
+    /// Whether to maintain a merged view of the installations.
+    pub view: bool,
+}
+
+impl Default for Manifest {
+    fn default() -> Self {
+        Manifest {
+            specs: Vec::new(),
+            unify: true,
+            view: false,
+        }
+    }
+}
+
+impl Manifest {
+    /// Parses a `spack.yaml` document.
+    pub fn from_yaml(text: &str) -> Result<Manifest, ParseError> {
+        let doc = parse(text)?;
+        let spack = doc.get("spack").unwrap_or(&doc);
+        let specs = spack
+            .get("specs")
+            .and_then(Value::string_list)
+            .unwrap_or_default();
+        let unify = spack
+            .get_path(&["concretizer", "unify"])
+            .and_then(Value::as_bool)
+            .unwrap_or(true);
+        let view = spack.get("view").and_then(Value::as_bool).unwrap_or(false);
+        Ok(Manifest { specs, unify, view })
+    }
+
+    /// Renders the manifest back to `spack.yaml` text.
+    pub fn to_yaml(&self) -> String {
+        use benchpark_yamlite::{emit, Map};
+        let mut concretizer = Map::new();
+        concretizer.insert("unify", Value::Bool(self.unify));
+        let mut spack = Map::new();
+        spack.insert(
+            "specs",
+            Value::Seq(self.specs.iter().map(|s| Value::str(s.clone())).collect()),
+        );
+        spack.insert("concretizer", Value::Map(concretizer));
+        spack.insert("view", Value::Bool(self.view));
+        let mut root = Map::new();
+        root.insert("spack", Value::Map(spack));
+        emit(&Value::Map(root))
+    }
+}

@@ -1,0 +1,472 @@
+//! Tests for configuration scopes, environments, installer, and cache.
+
+use crate::{
+    Action, BinaryCache, ConfigScopes, Environment, InstallDatabase, InstallOptions, Installer,
+    Manifest,
+};
+use benchpark_concretizer::{Concretizer, SiteConfig};
+use benchpark_pkg::Repo;
+
+/// Figure 4's packages.yaml, verbatim.
+const FIG4_PACKAGES: &str = r#"packages:
+  blas:
+    externals:
+    - spec: intel-oneapi-mkl@2022.1.0
+      prefix: /path/to/intel-oneapi-mkl
+    buildable: false
+  mpi:
+    externals:
+    - spec: mvapich2@2.3.7-gcc12.1.1-magic
+      prefix: /path/to/mvapich2
+    buildable: false
+"#;
+
+const COMPILERS: &str = r#"compilers:
+- compiler:
+    spec: gcc@12.1.1
+    prefix: /usr/tce/gcc-12.1.1
+- compiler:
+    spec: intel@2021.6.0
+    prefix: /usr/tce/intel
+"#;
+
+fn scopes() -> ConfigScopes {
+    let mut scopes = ConfigScopes::new();
+    scopes
+        .push_scope(
+            "system",
+            &[("packages.yaml", FIG4_PACKAGES), ("compilers.yaml", COMPILERS)],
+        )
+        .unwrap();
+    scopes
+}
+
+// ---------------------------------------------------------------------------
+// Config scopes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_fig4_lowered_to_site_config() {
+    let config = scopes().site_config();
+    // compilers
+    assert_eq!(config.compilers.len(), 2);
+    assert_eq!(config.compilers[0].name, "gcc");
+    assert_eq!(config.compilers[0].version.as_str(), "12.1.1");
+    // externals attached to the provider named in the spec
+    assert_eq!(config.externals_for("intel-oneapi-mkl").len(), 1);
+    assert_eq!(config.externals_for("mvapich2").len(), 1);
+    assert_eq!(
+        config.externals_for("mvapich2")[0].prefix,
+        "/path/to/mvapich2"
+    );
+    // buildable: false propagates to the owning packages
+    assert!(!config.buildable("intel-oneapi-mkl"));
+    assert!(!config.buildable("mvapich2"));
+    assert!(config.buildable("cmake"));
+    // externals under virtual names imply provider preferences
+    assert_eq!(config.provider_prefs["mpi"], vec!["mvapich2".to_string()]);
+    assert_eq!(
+        config.provider_prefs["blas"],
+        vec!["intel-oneapi-mkl".to_string()]
+    );
+}
+
+#[test]
+fn scope_precedence_deep_merges() {
+    let mut scopes = scopes();
+    scopes
+        .push_scope(
+            "user",
+            &[(
+                "packages.yaml",
+                "packages:\n  cmake:\n    version: ['3.20.2']\n  mpi:\n    buildable: true\n",
+            )],
+        )
+        .unwrap();
+    let merged = scopes.merged("packages.yaml");
+    // user override wins
+    assert_eq!(
+        merged
+            .get_path(&["packages", "mpi", "buildable"])
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    // system settings survive
+    assert!(merged.get_path(&["packages", "blas", "externals"]).is_some());
+    // new keys added
+    let config = scopes.site_config();
+    assert!(config.version_prefs.contains_key("cmake"));
+    assert_eq!(scopes.scope_names(), vec!["system", "user"]);
+}
+
+#[test]
+fn providers_and_target_from_packages_all() {
+    let mut scopes = ConfigScopes::new();
+    scopes
+        .push_scope(
+            "system",
+            &[(
+                "packages.yaml",
+                "packages:\n  all:\n    target: [zen3]\n    providers:\n      mpi: [openmpi]\n",
+            ), ("compilers.yaml", COMPILERS)],
+        )
+        .unwrap();
+    let config = scopes.site_config();
+    assert_eq!(config.default_target, "zen3");
+    assert_eq!(config.provider_prefs["mpi"], vec!["openmpi".to_string()]);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest (Figure 3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_fig3_manifest() {
+    let text = "spack:\n  specs: [amg2023+caliper]\n  concretizer:\n    unify: true\n  view: true\n";
+    let m = Manifest::from_yaml(text).unwrap();
+    assert_eq!(m.specs, vec!["amg2023+caliper"]);
+    assert!(m.unify);
+    assert!(m.view);
+
+    // round trip
+    let again = Manifest::from_yaml(&m.to_yaml()).unwrap();
+    assert_eq!(m, again);
+}
+
+#[test]
+fn manifest_defaults() {
+    let m = Manifest::from_yaml("spack:\n  specs: [saxpy]\n").unwrap();
+    assert!(m.unify, "unify defaults to true");
+    assert!(!m.view);
+}
+
+// ---------------------------------------------------------------------------
+// Environment workflow (Figure 2)
+// ---------------------------------------------------------------------------
+
+/// The five commands of Figure 2, end to end.
+#[test]
+fn golden_fig2_environment_workflow() {
+    let repo = Repo::builtin();
+    // 1-2: spack env create/activate
+    let mut env = Environment::create("paper-fig2");
+    // 3: spack add amg2023+caliper
+    env.add("amg2023+caliper").unwrap();
+    // 4: spack --config-scope /path/to/configs concretize
+    env.push_config_scope(
+        "system",
+        &[("packages.yaml", FIG4_PACKAGES), ("compilers.yaml", COMPILERS)],
+    )
+    .unwrap();
+    let mut site = env.site_config();
+    site.default_target = "skylake_avx512".to_string();
+    env.concretize_with(&repo, &site).unwrap();
+    let lock = env.lockfile.as_ref().unwrap();
+    assert_eq!(lock.roots.len(), 1);
+    let dag = lock.get("amg2023+caliper").unwrap();
+    assert!(dag.nodes.contains_key("caliper"));
+    assert!(dag.nodes.contains_key("mvapich2"));
+
+    // 5: spack install
+    let installer = Installer::new(&repo);
+    let reports = env
+        .install(&installer, &InstallOptions::default())
+        .unwrap();
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert!(report.count(Action::Build) >= 4, "{:?}", report.results);
+    assert_eq!(report.count(Action::UseExternal), 2); // mkl + mvapich2
+    assert_eq!(installer.database().len(), dag.len());
+    // lockfile renders with hashes for storage with results
+    assert!(lock.render().contains("dag_hash"));
+}
+
+#[test]
+fn lockfile_yaml_roundtrip() {
+    let repo = Repo::builtin();
+    let mut env = Environment::create("lock-rt");
+    env.add("amg2023+caliper").unwrap();
+    env.add("saxpy+openmp").unwrap();
+    let site = benchpark_concretizer::SiteConfig::example_cts();
+    env.concretize_with(&repo, &site).unwrap();
+    let lock = env.lockfile.as_ref().unwrap();
+
+    let text = lock.to_yaml();
+    assert!(text.contains("spack_lock_version"));
+    let restored = crate::Lockfile::from_yaml(&text).unwrap();
+    assert_eq!(restored.roots.len(), lock.roots.len());
+    for ((a_text, a_dag), (b_text, b_dag)) in lock.roots.iter().zip(&restored.roots) {
+        assert_eq!(a_text, b_text);
+        assert_eq!(a_dag.root, b_dag.root);
+        assert_eq!(a_dag.nodes.len(), b_dag.nodes.len());
+        for (key, a_node) in &a_dag.nodes {
+            let b_node = &b_dag.nodes[key];
+            assert_eq!(a_node.hash, b_node.hash, "{key}");
+            assert_eq!(a_node.deps, b_node.deps, "{key}");
+            assert_eq!(a_node.origin, b_node.origin, "{key}");
+            assert_eq!(a_node.spec.short(), b_node.spec.short(), "{key}");
+            assert!(b_node.spec.is_concrete(), "{key} must stay concrete");
+        }
+    }
+    // restored lockfile still satisfies the abstract roots
+    let amg = restored.get("amg2023+caliper").unwrap();
+    assert!(amg.to_spec().satisfies(&"amg2023+caliper".parse().unwrap()));
+
+    // and the restored specs remain installable
+    let installer = Installer::new(&repo);
+    let report = installer.install(amg, &InstallOptions::default());
+    assert!(report.newly_installed > 0);
+
+    // corrupted input errors cleanly
+    assert!(crate::Lockfile::from_yaml("roots: nope\n").is_err());
+    assert!(crate::Lockfile::from_yaml("{{{{").is_err());
+}
+
+#[test]
+fn add_validates_and_dedups() {
+    let mut env = Environment::create("t");
+    env.add("saxpy+openmp").unwrap();
+    env.add("saxpy+openmp").unwrap();
+    assert_eq!(env.manifest.specs.len(), 1);
+    assert!(env.add("saxpy@@bad").is_err());
+}
+
+#[test]
+fn install_before_concretize_fails() {
+    let repo = Repo::builtin();
+    let env = Environment::create("t");
+    let installer = Installer::new(&repo);
+    assert!(env.install(&installer, &InstallOptions::default()).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Installer
+// ---------------------------------------------------------------------------
+
+fn concretize(spec: &str) -> benchpark_concretizer::ConcreteSpec {
+    let repo = Repo::builtin();
+    let config = SiteConfig::example_cts();
+    Concretizer::new(&repo, &config)
+        .concretize(&spec.parse().unwrap())
+        .unwrap()
+}
+
+#[test]
+fn install_actions_and_idempotence() {
+    let repo = Repo::builtin();
+    let dag = concretize("saxpy+openmp");
+    let installer = Installer::new(&repo);
+    let opts = InstallOptions::default();
+
+    let first = installer.install(&dag, &opts);
+    assert!(first.count(Action::Build) >= 2); // saxpy, cmake, hwloc…
+    assert_eq!(first.newly_installed, dag.len());
+
+    let second = installer.install(&dag, &opts);
+    assert_eq!(second.count(Action::AlreadyInstalled), dag.len());
+    assert_eq!(second.newly_installed, 0);
+    assert_eq!(second.makespan_seconds, 0.0);
+}
+
+#[test]
+fn binary_cache_speedup() {
+    let repo = Repo::builtin();
+    let dag = concretize("amg2023+caliper");
+    let cache = BinaryCache::new();
+
+    // first machine builds from source and populates the cache
+    let builder = Installer::new(&repo).with_cache(cache.clone());
+    let cold = builder.install(&dag, &InstallOptions::default());
+    assert!(cold.count(Action::Build) > 0);
+    assert!(cache.len() >= cold.count(Action::Build));
+
+    // second machine fetches everything buildable from the cache
+    let consumer = Installer::new(&repo)
+        .with_database(InstallDatabase::new())
+        .with_cache(cache.clone());
+    let warm = consumer.install(&dag, &InstallOptions::default());
+    assert_eq!(warm.count(Action::Build), 0);
+    assert_eq!(warm.count(Action::FetchFromCache), cold.count(Action::Build));
+    assert!(
+        warm.makespan_seconds < cold.makespan_seconds / 5.0,
+        "cache must be much faster: warm {} vs cold {}",
+        warm.makespan_seconds,
+        cold.makespan_seconds
+    );
+    assert!(cache.hit_ratio() > 0.0);
+}
+
+#[test]
+fn cache_disabled_forces_builds() {
+    let repo = Repo::builtin();
+    let dag = concretize("saxpy+openmp");
+    let cache = BinaryCache::new();
+    Installer::new(&repo)
+        .with_cache(cache.clone())
+        .install(&dag, &InstallOptions::default());
+
+    let opts = InstallOptions {
+        use_cache: false,
+        ..InstallOptions::default()
+    };
+    let report = Installer::new(&repo)
+        .with_database(InstallDatabase::new())
+        .with_cache(cache.clone())
+        .install(&dag, &opts);
+    assert_eq!(report.count(Action::FetchFromCache), 0);
+    assert!(report.count(Action::Build) > 0);
+}
+
+#[test]
+fn parallel_jobs_reduce_makespan() {
+    let repo = Repo::builtin();
+    let dag = concretize("amg2023+caliper");
+    let serial = Installer::new(&repo).install(
+        &dag,
+        &InstallOptions {
+            jobs: 1,
+            use_cache: false,
+            ..InstallOptions::default()
+        },
+    );
+    let parallel = Installer::new(&repo).install(
+        &dag,
+        &InstallOptions {
+            jobs: 8,
+            use_cache: false,
+            ..InstallOptions::default()
+        },
+    );
+    assert!(parallel.makespan_seconds < serial.makespan_seconds);
+    // same total work either way
+    assert!((parallel.total_cpu_seconds - serial.total_cpu_seconds).abs() < 1e-9);
+    // makespan is bounded below by the critical path and above by total work
+    assert!(parallel.makespan_seconds >= parallel.total_cpu_seconds / 8.0 - 1e-9);
+}
+
+#[test]
+fn schedule_respects_dependencies() {
+    let repo = Repo::builtin();
+    let dag = concretize("amg2023+caliper");
+    let report = Installer::new(&repo).install(
+        &dag,
+        &InstallOptions {
+            jobs: 4,
+            use_cache: false,
+            ..InstallOptions::default()
+        },
+    );
+    let finish_of = |name: &str| {
+        report
+            .results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.finish)
+            .unwrap()
+    };
+    let start_of = |name: &str| {
+        report
+            .results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.start)
+            .unwrap()
+    };
+    assert!(finish_of("hypre") <= start_of("amg2023") + 1e-9);
+    assert!(finish_of("adiak") <= start_of("caliper") + 1e-9);
+}
+
+#[test]
+fn database_records() {
+    let repo = Repo::builtin();
+    let dag = concretize("saxpy+openmp");
+    let installer = Installer::new(&repo);
+    installer.install(&dag, &InstallOptions::default());
+    let db = installer.database();
+
+    let saxpy = &db.query_name("saxpy")[0];
+    assert!(saxpy.explicit);
+    assert!(saxpy.prefix.contains("saxpy-1.0.0-"));
+    assert!(saxpy.prefix.contains("skylake_avx512"));
+
+    let mvapich = &db.query_name("mvapich2")[0];
+    assert!(!mvapich.explicit);
+    assert_eq!(mvapich.prefix, "/path/to/mvapich2"); // external prefix
+    assert!(db.get(&saxpy.hash).is_some());
+    assert!(db.get("no-such-hash").is_none());
+}
+
+#[test]
+fn uninstall_respects_dependents() {
+    let repo = Repo::builtin();
+    let dag = concretize("saxpy+openmp");
+    let installer = Installer::new(&repo);
+    installer.install(&dag, &InstallOptions::default());
+    let db = installer.database();
+
+    let cmake_hash = db.query_name("cmake")[0].hash.clone();
+    let saxpy_hash = db.query_name("saxpy")[0].hash.clone();
+
+    // cmake is needed by saxpy: refuse
+    let err = db.uninstall(&cmake_hash, false).unwrap_err();
+    assert!(err.contains("still required by"), "{err}");
+    // removing the dependent first makes it legal
+    db.uninstall(&saxpy_hash, false).unwrap();
+    db.uninstall(&cmake_hash, false).unwrap();
+    assert!(db.query_name("cmake").is_empty());
+    // unknown hash errors; force overrides dependency checks
+    assert!(db.uninstall("nope", false).is_err());
+}
+
+#[test]
+fn gc_removes_orphaned_dependencies() {
+    let repo = Repo::builtin();
+    let dag = concretize("saxpy+openmp");
+    let installer = Installer::new(&repo);
+    installer.install(&dag, &InstallOptions::default());
+    let db = installer.database();
+    let before = db.len();
+    assert_eq!(db.gc().len(), 0, "everything is reachable from saxpy");
+    assert_eq!(db.len(), before);
+
+    // force-remove the explicit root: its dependencies become garbage
+    let saxpy_hash = db.query_name("saxpy")[0].hash.clone();
+    db.uninstall(&saxpy_hash, true).unwrap();
+    let removed = db.gc();
+    assert_eq!(removed.len(), before - 1, "all deps were orphaned");
+    assert!(db.is_empty());
+}
+
+#[test]
+fn gc_keeps_shared_dependencies_alive() {
+    let repo = Repo::builtin();
+    let db = InstallDatabase::new();
+    let installer = Installer::new(&repo).with_database(db.clone());
+    installer.install(&concretize("saxpy+openmp"), &InstallOptions::default());
+    installer.install(&concretize("lulesh+openmp"), &InstallOptions::default());
+
+    // uninstall lulesh; shared mpi/cmake must survive gc (saxpy needs them)
+    let lulesh_hash = db.query_name("lulesh")[0].hash.clone();
+    db.uninstall(&lulesh_hash, true).unwrap();
+    db.gc();
+    assert!(!db.query_name("saxpy").is_empty());
+    assert!(!db.query_name("cmake").is_empty());
+    assert!(!db.query_name("mvapich2").is_empty());
+    assert!(db.query_name("lulesh").is_empty());
+}
+
+#[test]
+fn shared_database_across_installers() {
+    let repo = Repo::builtin();
+    let db = InstallDatabase::new();
+    let a = Installer::new(&repo).with_database(db.clone());
+    a.install(&concretize("saxpy+openmp"), &InstallOptions::default());
+    let before = db.len();
+
+    // second installer sees the shared database; cmake etc. already present
+    let b = Installer::new(&repo).with_database(db.clone());
+    let report = b.install(&concretize("lulesh+openmp"), &InstallOptions::default());
+    assert!(report.count(Action::AlreadyInstalled) > 0);
+    assert!(db.len() > before);
+}

@@ -1,0 +1,46 @@
+//! Spec parsing and constraint errors.
+
+use std::fmt;
+
+/// An error from parsing or combining specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec text could not be parsed.
+    Parse {
+        /// Byte position of the offending token.
+        position: usize,
+        message: String,
+    },
+    /// Two constraints cannot hold simultaneously.
+    Conflict {
+        message: String,
+    },
+}
+
+impl SpecError {
+    pub(crate) fn parse(position: usize, message: impl Into<String>) -> Self {
+        SpecError::Parse {
+            position,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn conflict(message: impl Into<String>) -> Self {
+        SpecError::Conflict {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { position, message } => {
+                write!(f, "spec parse error at position {position}: {message}")
+            }
+            SpecError::Conflict { message } => write!(f, "conflicting constraints: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

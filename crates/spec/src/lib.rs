@@ -1,0 +1,47 @@
+//! `benchpark-spec` — package spec syntax and constraint algebra.
+//!
+//! Spack's first primary component (paper §3.1) is *"the Spec syntax, to
+//! specify the user constraints on a build, called abstract specs"*. This
+//! crate implements that syntax and the algebra the concretizer needs:
+//!
+//! * **Parsing** of spec expressions such as
+//!   `saxpy@1.0.0 +openmp ^cmake@3.23.1`, `amg2023+caliper`,
+//!   `mvapich2@2.3.7-gcc12.1.1-magic`, `hypre %gcc@12.1.1 target=zen3`.
+//! * **Versions** with Spack semantics: `@1.2` denotes the `1.2` prefix
+//!   series (`1.2.3` satisfies it), `@1.2:1.4` is an inclusive range with
+//!   prefix-inclusive upper bound, `@=1.2` is exact, `@1.2:,2.0:2.2` unions.
+//! * **Variants**: boolean `+openmp` / `~openmp`, key-value `build_type=Release`,
+//!   multi-valued `cuda_arch=70,80`.
+//! * **Compiler constraints** `%gcc@12.1.1` and **targets** `target=zen3`
+//!   (target satisfaction consults the archspec taxonomy: `target=zen3`
+//!   satisfies a request for `target=x86_64_v3`).
+//! * **Dependency constraints** `^cmake@3.23.1` (attached to the root).
+//! * The three relations that drive concretization:
+//!   [`Spec::satisfies`], [`Spec::intersects`], and [`Spec::constrain`].
+//!
+//! # Example
+//!
+//! ```
+//! use benchpark_spec::Spec;
+//!
+//! let abstract_spec: Spec = "saxpy@1.0.0 +openmp ^cmake@3.23.1".parse().unwrap();
+//! let concrete: Spec = "saxpy@=1.0.0 +openmp ~cuda %gcc@12.1.1 target=skylake_avx512 ^cmake@=3.23.1"
+//!     .parse()
+//!     .unwrap();
+//! assert!(concrete.satisfies(&abstract_spec));
+//! assert!(!abstract_spec.satisfies(&concrete));
+//! ```
+
+mod error;
+mod parse;
+mod spec;
+mod variant;
+mod version;
+
+pub use error::SpecError;
+pub use spec::{CompilerSpec, Spec};
+pub use variant::VariantValue;
+pub use version::{Version, VersionConstraint, VersionRange};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,286 @@
+//! Parser for the spec syntax.
+//!
+//! Grammar (whitespace between clauses optional where unambiguous):
+//!
+//! ```text
+//! spec      := clause*
+//! clause    := name | '@' versions | '+' variant | '~' variant
+//!            | key '=' value | '%' compiler | '^' spec-for-dependency
+//! versions  := range (',' range)*
+//! range     := '=' version | version | version ':' version? | ':' version
+//! ```
+//!
+//! `^` always attaches a dependency to the *root* spec (as in Spack), and
+//! subsequent clauses apply to that dependency until the next `^`.
+//! Boolean negation uses `~` (the `-variant` form is ambiguous with names
+//! containing dashes and is not supported).
+
+use crate::error::SpecError;
+use crate::spec::{CompilerSpec, Spec};
+use crate::variant::VariantValue;
+use crate::version::{Version, VersionConstraint, VersionRange};
+
+/// Parses a complete spec expression.
+pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut p = Parser { chars: &chars, pos: 0 };
+    let mut root = Spec::anonymous();
+    // Which spec subsequent clauses apply to: None = root, Some(name) = dep.
+    let mut context: Option<String> = None;
+
+    p.skip_ws();
+    while p.pos < p.chars.len() {
+        let at = p.pos;
+        match p.chars[p.pos] {
+            '@' => {
+                p.pos += 1;
+                let vc = p.parse_versions()?;
+                target_spec(&mut root, &context).versions.constrain(&vc)?;
+            }
+            '+' => {
+                p.pos += 1;
+                let name = p.parse_word("variant name")?;
+                set_variant(target_spec(&mut root, &context), &name, VariantValue::Bool(true))?;
+            }
+            '~' => {
+                p.pos += 1;
+                let name = p.parse_word("variant name")?;
+                set_variant(target_spec(&mut root, &context), &name, VariantValue::Bool(false))?;
+            }
+            '%' => {
+                p.pos += 1;
+                let name = p.parse_word("compiler name")?;
+                let versions = if p.peek() == Some('@') {
+                    p.pos += 1;
+                    p.parse_versions()?
+                } else {
+                    VersionConstraint::any()
+                };
+                let spec = target_spec(&mut root, &context);
+                if spec.compiler.is_some() {
+                    return Err(SpecError::parse(at, "multiple compiler constraints"));
+                }
+                spec.compiler = Some(CompilerSpec::new(&name, versions));
+            }
+            '^' => {
+                p.pos += 1;
+                p.skip_ws();
+                let name = p.parse_word("dependency name")?;
+                root.dependencies
+                    .entry(name.clone())
+                    .or_insert_with(|| Spec::named(&name));
+                context = Some(name);
+            }
+            c if is_word_char(c) => {
+                let word = p.parse_word("name")?;
+                if p.peek() == Some('=') {
+                    p.pos += 1;
+                    if crate::spec::FLAG_KEYS.contains(&word.as_str()) {
+                        let value = p.parse_maybe_quoted_value()?;
+                        let spec = target_spec(&mut root, &context);
+                        let entry = spec.compiler_flags.entry(word).or_default();
+                        for flag in value.split_whitespace() {
+                            if !entry.iter().any(|f| f == flag) {
+                                entry.push(flag.to_string());
+                            }
+                        }
+                        p.skip_ws();
+                        continue;
+                    }
+                    let value = p.parse_value()?;
+                    let spec = target_spec(&mut root, &context);
+                    if word == "target" {
+                        if spec.target.is_some() {
+                            return Err(SpecError::parse(at, "multiple target constraints"));
+                        }
+                        spec.target = Some(value);
+                    } else {
+                        set_variant(spec, &word, VariantValue::from_value_text(&value))?;
+                    }
+                } else {
+                    let spec = target_spec(&mut root, &context);
+                    if spec.name.is_some() {
+                        return Err(SpecError::parse(
+                            at,
+                            format!("unexpected second package name `{word}`"),
+                        ));
+                    }
+                    spec.name = Some(word);
+                }
+            }
+            other => {
+                return Err(SpecError::parse(at, format!("unexpected character `{other}`")));
+            }
+        }
+        p.skip_ws();
+    }
+    Ok(root)
+}
+
+fn target_spec<'a>(root: &'a mut Spec, context: &Option<String>) -> &'a mut Spec {
+    match context {
+        None => root,
+        Some(name) => root
+            .dependencies
+            .get_mut(name)
+            .expect("dependency context always exists"),
+    }
+}
+
+fn set_variant(spec: &mut Spec, name: &str, value: VariantValue) -> Result<(), SpecError> {
+    if let Some(existing) = spec.variants.get(name) {
+        match existing.merge(&value) {
+            Some(merged) => {
+                spec.variants.insert(name.to_string(), merged);
+                return Ok(());
+            }
+            None => {
+                return Err(SpecError::conflict(format!(
+                    "variant `{name}` given twice with conflicting values"
+                )));
+            }
+        }
+    }
+    spec.variants.insert(name.to_string(), value);
+    Ok(())
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+fn is_version_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// A package/variant/compiler name: `[A-Za-z0-9_.-]+`.
+    fn parse_word(&mut self, what: &str) -> Result<String, SpecError> {
+        let start = self.pos;
+        while self.peek().is_some_and(is_word_char) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SpecError::parse(start, format!("expected {what}")));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    /// A variant value: `[A-Za-z0-9_.,+/-]+` (commas separate multi-values).
+    fn parse_value(&mut self) -> Result<String, SpecError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| is_word_char(c) || c == ',' || c == '/' || c == '+')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SpecError::parse(start, "expected value after `=`"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    /// A possibly double-quoted value (used for compiler flags, whose values
+    /// contain spaces and dashes: `cflags="-O3 -g"`).
+    fn parse_maybe_quoted_value(&mut self) -> Result<String, SpecError> {
+        if self.peek() == Some('"') {
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c != '"') {
+                self.pos += 1;
+            }
+            if self.peek() != Some('"') {
+                return Err(SpecError::parse(start, "unterminated quoted value"));
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.pos += 1;
+            return Ok(text);
+        }
+        // unquoted: allow flag-ish characters
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| is_word_char(c) || matches!(c, ',' | '/' | '+' | '='))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SpecError::parse(start, "expected value after `=`"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    /// The constraint after `@`: comma-separated ranges.
+    fn parse_versions(&mut self) -> Result<VersionConstraint, SpecError> {
+        let mut ranges = Vec::new();
+        loop {
+            ranges.push(self.parse_range()?);
+            if self.peek() == Some(',') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(VersionConstraint { ranges })
+    }
+
+    fn parse_range(&mut self) -> Result<VersionRange, SpecError> {
+        let at = self.pos;
+        if self.peek() == Some('=') {
+            self.pos += 1;
+            let v = self.parse_version_text()?;
+            return Ok(VersionRange::exact(v));
+        }
+        let lo = if self.peek().is_some_and(is_version_char) {
+            Some(self.parse_version_text()?)
+        } else {
+            None
+        };
+        if self.peek() == Some(':') {
+            self.pos += 1;
+            let hi = if self.peek().is_some_and(is_version_char) {
+                Some(self.parse_version_text()?)
+            } else {
+                None
+            };
+            Ok(VersionRange {
+                lo,
+                hi,
+                exact: false,
+            })
+        } else {
+            match lo {
+                Some(v) => Ok(VersionRange::series(v)),
+                None => Err(SpecError::parse(at, "expected version after `@`")),
+            }
+        }
+    }
+
+    fn parse_version_text(&mut self) -> Result<Version, SpecError> {
+        let start = self.pos;
+        while self.peek().is_some_and(is_version_char) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SpecError::parse(start, "expected version"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        Ok(Version::new(&text))
+    }
+}

@@ -1,0 +1,361 @@
+//! The [`Spec`] type and its constraint relations.
+
+use crate::error::SpecError;
+use crate::variant::VariantValue;
+use crate::version::VersionConstraint;
+use benchpark_archspec::taxonomy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compiler constraint: `%gcc@12.1.1`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompilerSpec {
+    pub name: String,
+    pub versions: VersionConstraint,
+}
+
+impl CompilerSpec {
+    /// Parses `gcc@12.1.1` / `gcc`.
+    pub fn new(name: &str, versions: VersionConstraint) -> CompilerSpec {
+        CompilerSpec {
+            name: name.to_string(),
+            versions,
+        }
+    }
+
+    /// `self` (more concrete) satisfies constraint `other`.
+    pub fn satisfies(&self, other: &CompilerSpec) -> bool {
+        self.name == other.name && self.versions.satisfies(&other.versions)
+    }
+
+    /// Compatible at all?
+    pub fn intersects(&self, other: &CompilerSpec) -> bool {
+        self.name == other.name && self.versions.intersects(&other.versions)
+    }
+}
+
+impl fmt::Display for CompilerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.versions.is_any() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}@{}", self.name, self.versions)
+        }
+    }
+}
+
+/// A package spec: possibly-abstract constraints on one package and its
+/// dependencies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Package name; `None` for anonymous constraint specs (`+debug %gcc`).
+    pub name: Option<String>,
+    /// Version constraint (`@…`).
+    pub versions: VersionConstraint,
+    /// Variants in canonical (sorted) order.
+    pub variants: BTreeMap<String, VariantValue>,
+    /// Compiler constraint (`%…`).
+    pub compiler: Option<CompilerSpec>,
+    /// Target microarchitecture (`target=…`).
+    pub target: Option<String>,
+    /// Dependency constraints (`^…`), keyed by dependency name.
+    pub dependencies: BTreeMap<String, Spec>,
+    /// Compiler flags (`cflags="-O3 -g"`), keyed by flag kind
+    /// (`cflags`, `cxxflags`, `fflags`, `ldflags`, `cppflags`, `ldlibs`).
+    pub compiler_flags: BTreeMap<String, Vec<String>>,
+}
+
+/// The flag kinds Spack recognizes on a spec.
+pub const FLAG_KEYS: &[&str] = &["cflags", "cxxflags", "fflags", "ldflags", "cppflags", "ldlibs"];
+
+impl Spec {
+    /// An anonymous, fully-unconstrained spec.
+    pub fn anonymous() -> Spec {
+        Spec::default()
+    }
+
+    /// A spec constraining only the package name.
+    pub fn named(name: &str) -> Spec {
+        Spec {
+            name: Some(name.to_string()),
+            ..Spec::default()
+        }
+    }
+
+    /// The package name, or `""` for anonymous specs.
+    pub fn name_str(&self) -> &str {
+        self.name.as_deref().unwrap_or("")
+    }
+
+    /// True if this spec pins name, an exact version, a compiler with an
+    /// exact version, a target, and all its dependencies recursively — i.e.
+    /// the concretizer is done with it.
+    pub fn is_concrete(&self) -> bool {
+        self.name.is_some()
+            && self.versions.concrete().is_some()
+            && self
+                .compiler
+                .as_ref()
+                .is_some_and(|c| c.versions.concrete().is_some())
+            && self.target.is_some()
+            && self.dependencies.values().all(Spec::is_concrete)
+    }
+
+    /// True if a target `mine` can satisfy a request for `wanted`, using the
+    /// archspec partial order: a binary for `wanted` runs on `mine` when
+    /// `mine` descends from `wanted` (or they are equal).
+    fn target_satisfies(mine: &str, wanted: &str) -> bool {
+        if mine == wanted {
+            return true;
+        }
+        match taxonomy().get(mine) {
+            Some(node) => node.is_descendant_of(wanted),
+            None => false,
+        }
+    }
+
+    /// `self` (the more concrete spec) satisfies the constraint `other`.
+    ///
+    /// Spack's "strict" satisfaction: every constraint present in `other`
+    /// must be provably met by `self`; constraints absent from `self` count
+    /// as failures (an abstract spec does not satisfy `+openmp` just because
+    /// it *could* be built that way).
+    pub fn satisfies(&self, other: &Spec) -> bool {
+        if let Some(other_name) = &other.name {
+            if self.name.as_ref() != Some(other_name) {
+                return false;
+            }
+        }
+        if !self.versions.satisfies(&other.versions) {
+            return false;
+        }
+        for (k, want) in &other.variants {
+            match self.variants.get(k) {
+                Some(have) if have.satisfies(want) => {}
+                _ => return false,
+            }
+        }
+        if let Some(want) = &other.compiler {
+            match &self.compiler {
+                Some(have) if have.satisfies(want) => {}
+                _ => return false,
+            }
+        }
+        if let Some(want) = &other.target {
+            match &self.target {
+                Some(have) if Spec::target_satisfies(have, want) => {}
+                _ => return false,
+            }
+        }
+        for (dep_name, want) in &other.dependencies {
+            match self.dependencies.get(dep_name) {
+                Some(have) if have.satisfies(want) => {}
+                _ => return false,
+            }
+        }
+        for (kind, want) in &other.compiler_flags {
+            let Some(have) = self.compiler_flags.get(kind) else {
+                return false;
+            };
+            if !want.iter().all(|f| have.contains(f)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if some concrete spec could satisfy both `self` and `other`.
+    pub fn intersects(&self, other: &Spec) -> bool {
+        if let (Some(a), Some(b)) = (&self.name, &other.name) {
+            if a != b {
+                return false;
+            }
+        }
+        if !self.versions.intersects(&other.versions) {
+            return false;
+        }
+        for (k, mine) in &self.variants {
+            if let Some(theirs) = other.variants.get(k) {
+                if !mine.intersects(theirs) {
+                    return false;
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (&self.compiler, &other.compiler) {
+            if !a.intersects(b) {
+                return false;
+            }
+        }
+        if let (Some(a), Some(b)) = (&self.target, &other.target) {
+            if !(Spec::target_satisfies(a, b) || Spec::target_satisfies(b, a)) {
+                return false;
+            }
+        }
+        for (dep_name, mine) in &self.dependencies {
+            if let Some(theirs) = other.dependencies.get(dep_name) {
+                if !mine.intersects(theirs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Merges the constraints of `other` into `self`, failing on conflict.
+    pub fn constrain(&mut self, other: &Spec) -> Result<(), SpecError> {
+        match (&self.name, &other.name) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(SpecError::conflict(format!(
+                    "cannot constrain `{a}` with `{b}`: different package names"
+                )));
+            }
+            (None, Some(b)) => self.name = Some(b.clone()),
+            _ => {}
+        }
+        self.versions.constrain(&other.versions)?;
+        for (k, theirs) in &other.variants {
+            match self.variants.get(k) {
+                None => {
+                    self.variants.insert(k.clone(), theirs.clone());
+                }
+                Some(mine) => match mine.merge(theirs) {
+                    Some(merged) => {
+                        self.variants.insert(k.clone(), merged);
+                    }
+                    None => {
+                        return Err(SpecError::conflict(format!(
+                            "variant `{k}`: `{mine}` conflicts with `{theirs}`"
+                        )));
+                    }
+                },
+            }
+        }
+        match (&mut self.compiler, &other.compiler) {
+            (_, None) => {}
+            (None, Some(c)) => self.compiler = Some(c.clone()),
+            (Some(mine), Some(theirs)) => {
+                if mine.name != theirs.name {
+                    return Err(SpecError::conflict(format!(
+                        "compiler `{}` conflicts with `{}`",
+                        mine.name, theirs.name
+                    )));
+                }
+                mine.versions.constrain(&theirs.versions)?;
+            }
+        }
+        match (&self.target, &other.target) {
+            (_, None) => {}
+            (None, Some(t)) => self.target = Some(t.clone()),
+            (Some(mine), Some(theirs)) => {
+                if Spec::target_satisfies(mine, theirs) {
+                    // ours is at least as specific — keep it
+                } else if Spec::target_satisfies(theirs, mine) {
+                    self.target = Some(theirs.clone());
+                } else {
+                    return Err(SpecError::conflict(format!(
+                        "target `{mine}` conflicts with `{theirs}`"
+                    )));
+                }
+            }
+        }
+        for (dep_name, theirs) in &other.dependencies {
+            match self.dependencies.get_mut(dep_name) {
+                None => {
+                    self.dependencies.insert(dep_name.clone(), theirs.clone());
+                }
+                Some(mine) => mine.constrain(theirs)?,
+            }
+        }
+        for (kind, theirs) in &other.compiler_flags {
+            let mine = self.compiler_flags.entry(kind.clone()).or_default();
+            for flag in theirs {
+                if !mine.contains(flag) {
+                    mine.push(flag.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over this spec and all transitive dependency constraints.
+    pub fn traverse(&self) -> Vec<&Spec> {
+        let mut out = vec![self];
+        for dep in self.dependencies.values() {
+            out.extend(dep.traverse());
+        }
+        out
+    }
+
+    /// A short display without dependencies (`name@version+variants`).
+    pub fn short(&self) -> String {
+        let mut s = String::new();
+        self.fmt_without_deps(&mut s);
+        s
+    }
+
+    fn fmt_without_deps(&self, out: &mut String) {
+        use std::fmt::Write;
+        if let Some(name) = &self.name {
+            out.push_str(name);
+        }
+        if !self.versions.is_any() {
+            let _ = write!(out, "@{}", self.versions);
+        }
+        if let Some(c) = &self.compiler {
+            let _ = write!(out, "%{c}");
+        }
+        // canonical variant order: +bools, ~bools, then key=value
+        for (k, v) in &self.variants {
+            if v == &VariantValue::Bool(true) {
+                let _ = write!(out, "+{k}");
+            }
+        }
+        for (k, v) in &self.variants {
+            if v == &VariantValue::Bool(false) {
+                let _ = write!(out, "~{k}");
+            }
+        }
+        for (k, v) in &self.variants {
+            if !matches!(v, VariantValue::Bool(_)) {
+                let _ = write!(out, " {}", v.render(k));
+            }
+        }
+        for (kind, flags) in &self.compiler_flags {
+            if !flags.is_empty() {
+                let _ = write!(out, " {}=\"{}\"", kind, flags.join(" "));
+            }
+        }
+        if let Some(t) = &self.target {
+            let _ = write!(out, " target={t}");
+        }
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.fmt_without_deps(&mut out);
+        for dep in self.dependencies.values() {
+            let mut dep_str = String::new();
+            dep.fmt_without_deps(&mut dep_str);
+            out.push_str(" ^");
+            out.push_str(&dep_str);
+            // nested dependencies of dependencies flatten onto the root line
+            for sub in dep.dependencies.values() {
+                let mut sub_str = String::new();
+                sub.fmt_without_deps(&mut sub_str);
+                out.push_str(" ^");
+                out.push_str(&sub_str);
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+impl std::str::FromStr for Spec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse::parse_spec(s)
+    }
+}

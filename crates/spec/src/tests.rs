@@ -1,0 +1,510 @@
+//! Tests for spec parsing, display, and constraint algebra.
+
+use crate::{Spec, SpecError, VariantValue, Version, VersionConstraint};
+
+fn spec(s: &str) -> Spec {
+    s.parse().unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+}
+
+fn v(s: &str) -> Version {
+    Version::new(s)
+}
+
+// ---------------------------------------------------------------------------
+// Versions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn version_ordering() {
+    assert!(v("1.2") < v("1.10")); // numeric, not lexicographic
+    assert!(v("1.2") < v("1.2.1"));
+    assert!(v("1.2") < v("1.2.0"));
+    assert!(v("2.3.7") < v("2.3.10"));
+    assert!(v("9") < v("10"));
+    assert_eq!(v("1.2.3"), v("1.2.3"));
+}
+
+#[test]
+fn version_with_suffix() {
+    // `2.3.7-gcc12.1.1-magic` (Figure 4) parses and compares sanely.
+    let a = v("2.3.7-gcc12.1.1-magic");
+    let b = v("2.3.7");
+    assert!(b.is_prefix_of(&a));
+    assert!(a > b);
+    assert_eq!(a.as_str(), "2.3.7-gcc12.1.1-magic");
+}
+
+#[test]
+fn version_prefix_semantics() {
+    assert!(v("1.2").is_prefix_of(&v("1.2.3")));
+    assert!(!v("1.2.3").is_prefix_of(&v("1.2")));
+    assert!(!v("1.2").is_prefix_of(&v("1.20")));
+    assert!(v("1.2").is_prefix_of(&v("1.2")));
+}
+
+#[test]
+fn version_constraint_series() {
+    let c: Spec = spec("pkg@1.2");
+    assert!(c.versions.contains(&v("1.2")));
+    assert!(c.versions.contains(&v("1.2.3"))); // series semantics
+    assert!(!c.versions.contains(&v("1.3")));
+    assert!(!c.versions.contains(&v("1.20")));
+}
+
+#[test]
+fn version_constraint_exact() {
+    let c = spec("pkg@=1.2");
+    assert!(c.versions.contains(&v("1.2")));
+    assert!(!c.versions.contains(&v("1.2.3")));
+    assert_eq!(c.versions.concrete(), Some(&v("1.2")));
+}
+
+#[test]
+fn version_constraint_ranges() {
+    let c = spec("pkg@1.2:1.4");
+    assert!(c.versions.contains(&v("1.2")));
+    assert!(c.versions.contains(&v("1.3")));
+    assert!(c.versions.contains(&v("1.4")));
+    assert!(c.versions.contains(&v("1.4.5"))); // prefix-inclusive upper bound
+    assert!(!c.versions.contains(&v("1.5")));
+    assert!(!c.versions.contains(&v("1.1.9")));
+
+    let open = spec("pkg@1.2:");
+    assert!(open.versions.contains(&v("99")));
+    assert!(!open.versions.contains(&v("1.1")));
+
+    let upto = spec("pkg@:1.4");
+    assert!(upto.versions.contains(&v("0.1")));
+    assert!(!upto.versions.contains(&v("2.0")));
+}
+
+#[test]
+fn version_constraint_union() {
+    let c = spec("pkg@1.2:1.4,2.0:2.2");
+    assert!(c.versions.contains(&v("1.3")));
+    assert!(c.versions.contains(&v("2.1")));
+    assert!(!c.versions.contains(&v("1.7")));
+}
+
+#[test]
+fn version_satisfies() {
+    let narrow = spec("pkg@1.3").versions;
+    let wide = spec("pkg@1.2:1.4").versions;
+    assert!(narrow.satisfies(&wide));
+    assert!(!wide.satisfies(&narrow));
+    let exact = spec("pkg@=1.3").versions;
+    assert!(exact.satisfies(&wide));
+    assert!(exact.satisfies(&narrow));
+    assert!(VersionConstraint::any().satisfies(&VersionConstraint::any()));
+    assert!(!wide.satisfies(&exact));
+}
+
+#[test]
+fn version_constrain_narrows() {
+    let mut c = spec("pkg@1.2:").versions;
+    c.constrain(&spec("pkg@:1.4").versions).unwrap();
+    assert!(c.contains(&v("1.3")));
+    assert!(!c.contains(&v("1.5")));
+    assert!(!c.contains(&v("1.1")));
+}
+
+#[test]
+fn version_constrain_disjoint_fails() {
+    let mut c = spec("pkg@1.2:1.3").versions;
+    let err = c.constrain(&spec("pkg@2.0:").versions).unwrap_err();
+    assert!(matches!(err, SpecError::Conflict { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Parsing & display
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parse_paper_specs() {
+    // Figure 10: `saxpy@1.0.0 +openmp ^cmake@3.23.1`
+    let s = spec("saxpy@1.0.0 +openmp ^cmake@3.23.1");
+    assert_eq!(s.name.as_deref(), Some("saxpy"));
+    assert!(s.versions.contains(&v("1.0.0")));
+    assert_eq!(s.variants.get("openmp"), Some(&VariantValue::Bool(true)));
+    let cmake = s.dependencies.get("cmake").unwrap();
+    assert!(cmake.versions.contains(&v("3.23.1")));
+
+    // Figure 2/3: `amg2023+caliper`
+    let s = spec("amg2023+caliper");
+    assert_eq!(s.name.as_deref(), Some("amg2023"));
+    assert_eq!(s.variants.get("caliper"), Some(&VariantValue::Bool(true)));
+
+    // Figure 4 externals
+    let s = spec("intel-oneapi-mkl@2022.1.0");
+    assert_eq!(s.name.as_deref(), Some("intel-oneapi-mkl"));
+    let s = spec("mvapich2@2.3.7-gcc12.1.1-magic");
+    assert!(s.versions.contains(&v("2.3.7-gcc12.1.1-magic")));
+}
+
+#[test]
+fn parse_compiler_and_target() {
+    let s = spec("hypre@2.28 %gcc@12.1.1 target=zen3");
+    let c = s.compiler.as_ref().unwrap();
+    assert_eq!(c.name, "gcc");
+    assert!(c.versions.contains(&v("12.1.1")));
+    assert_eq!(s.target.as_deref(), Some("zen3"));
+}
+
+#[test]
+fn parse_variants() {
+    let s = spec("pkg+a~b build_type=Release cuda_arch=70,80");
+    assert_eq!(s.variants.get("a"), Some(&VariantValue::Bool(true)));
+    assert_eq!(s.variants.get("b"), Some(&VariantValue::Bool(false)));
+    assert_eq!(
+        s.variants.get("build_type"),
+        Some(&VariantValue::Single("Release".into()))
+    );
+    match s.variants.get("cuda_arch").unwrap() {
+        VariantValue::Multi(set) => {
+            assert!(set.contains("70") && set.contains("80"));
+        }
+        other => panic!("expected multi value, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_compiler_flags() {
+    // quoted, multi-flag
+    let s = spec(r#"hypre cflags="-O3 -march=native" ldflags="-lm""#);
+    assert_eq!(
+        s.compiler_flags.get("cflags").unwrap(),
+        &vec!["-O3".to_string(), "-march=native".to_string()]
+    );
+    assert_eq!(s.compiler_flags.get("ldflags").unwrap(), &vec!["-lm".to_string()]);
+    // unquoted single flag
+    let s = spec("hypre cflags=-O2");
+    assert_eq!(s.compiler_flags.get("cflags").unwrap(), &vec!["-O2".to_string()]);
+    // flags on a dependency
+    let s = spec(r#"app ^hypre cflags="-O3""#);
+    assert_eq!(
+        s.dependencies["hypre"].compiler_flags.get("cflags").unwrap(),
+        &vec!["-O3".to_string()]
+    );
+    // unterminated quote errors
+    assert!(r#"hypre cflags="-O3"#.parse::<Spec>().is_err());
+}
+
+#[test]
+fn compiler_flags_satisfies_and_constrain() {
+    let have = spec(r#"pkg cflags="-O3 -g -march=native""#);
+    let want = spec(r#"pkg cflags="-O3""#);
+    assert!(have.satisfies(&want));
+    assert!(!want.satisfies(&have));
+    assert!(!spec("pkg").satisfies(&want));
+
+    let mut s = spec(r#"pkg cflags="-O3""#);
+    s.constrain(&spec(r#"pkg cflags="-g -O3" ldflags="-lm""#)).unwrap();
+    assert_eq!(
+        s.compiler_flags.get("cflags").unwrap(),
+        &vec!["-O3".to_string(), "-g".to_string()] // union, order-preserving, deduped
+    );
+    assert!(s.compiler_flags.contains_key("ldflags"));
+}
+
+#[test]
+fn compiler_flags_display_roundtrip() {
+    let s = spec(r#"pkg@=1.0 cflags="-O3 -g" target=zen3"#);
+    let printed = s.to_string();
+    assert!(printed.contains(r#"cflags="-O3 -g""#), "{printed}");
+    let reparsed = spec(&printed);
+    assert_eq!(s, reparsed);
+}
+
+#[test]
+fn parse_anonymous() {
+    let s = spec("+debug %gcc");
+    assert!(s.name.is_none());
+    assert_eq!(s.variants.get("debug"), Some(&VariantValue::Bool(true)));
+    assert_eq!(s.compiler.as_ref().unwrap().name, "gcc");
+}
+
+#[test]
+fn parse_dependency_context() {
+    // Clauses after ^dep apply to the dependency until the next ^.
+    let s = spec("app ^mpi+cuda@4: ^cmake@3.20:");
+    let mpi = s.dependencies.get("mpi").unwrap();
+    assert_eq!(mpi.variants.get("cuda"), Some(&VariantValue::Bool(true)));
+    assert!(mpi.versions.contains(&v("4.1")));
+    let cmake = s.dependencies.get("cmake").unwrap();
+    assert!(cmake.versions.contains(&v("3.23.1")));
+    // root untouched by dep clauses
+    assert!(s.variants.is_empty());
+    assert!(s.versions.is_any());
+}
+
+#[test]
+fn parse_errors() {
+    assert!("pkg other".parse::<Spec>().is_err()); // two names
+    assert!("pkg@".parse::<Spec>().is_err());
+    assert!("pkg %gcc %clang".parse::<Spec>().is_err());
+    assert!("pkg +".parse::<Spec>().is_err());
+    assert!("pkg target=a target=b".parse::<Spec>().is_err());
+    assert!("pkg !".parse::<Spec>().is_err());
+    assert!("pkg+a~a".parse::<Spec>().is_err()); // contradictory variant
+}
+
+#[test]
+fn display_roundtrip() {
+    for text in [
+        "saxpy@1.0.0+openmp ^cmake@3.23.1",
+        "amg2023+caliper",
+        "hypre@2.28%gcc@12.1.1 target=zen3",
+        "pkg@1.2:1.4,2.0:",
+        "pkg@=1.2",
+        "mvapich2@2.3.7-gcc12.1.1-magic",
+        "pkg+a~b build_type=Release",
+    ] {
+        let parsed = spec(text);
+        let printed = parsed.to_string();
+        let reparsed = spec(&printed);
+        assert_eq!(parsed, reparsed, "round trip failed for {text:?} → {printed:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// satisfies / intersects / constrain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn satisfies_name_and_version() {
+    assert!(spec("saxpy@=1.0.0").satisfies(&spec("saxpy")));
+    assert!(spec("saxpy@=1.0.0").satisfies(&spec("saxpy@1.0.0")));
+    assert!(spec("saxpy@=1.0.0").satisfies(&spec("saxpy@1.0")));
+    assert!(!spec("saxpy@=1.0.0").satisfies(&spec("other")));
+    assert!(!spec("saxpy").satisfies(&spec("saxpy@1.0")));
+    // anonymous constraints are satisfied by anything matching the clauses
+    assert!(spec("saxpy+openmp").satisfies(&spec("+openmp")));
+}
+
+#[test]
+fn satisfies_variants_strict() {
+    assert!(spec("pkg+mp").satisfies(&spec("pkg+mp")));
+    assert!(!spec("pkg").satisfies(&spec("pkg+mp"))); // absence ≠ satisfaction
+    assert!(!spec("pkg~mp").satisfies(&spec("pkg+mp")));
+    assert!(spec("pkg cuda_arch=70,80").satisfies(&spec("pkg cuda_arch=70")));
+    assert!(!spec("pkg cuda_arch=70").satisfies(&spec("pkg cuda_arch=70,80")));
+}
+
+#[test]
+fn satisfies_compiler() {
+    assert!(spec("pkg%gcc@=12.1.1").satisfies(&spec("pkg%gcc")));
+    assert!(spec("pkg%gcc@=12.1.1").satisfies(&spec("pkg%gcc@12.1.1")));
+    assert!(spec("pkg%gcc@=12.1.1").satisfies(&spec("pkg%gcc@12:")));
+    assert!(!spec("pkg%clang@=14").satisfies(&spec("pkg%gcc")));
+    assert!(!spec("pkg").satisfies(&spec("pkg%gcc")));
+}
+
+#[test]
+fn satisfies_target_uses_archspec() {
+    // zen3 satisfies requests for its generic ancestors.
+    assert!(spec("pkg target=zen3").satisfies(&spec("pkg target=x86_64_v3")));
+    assert!(spec("pkg target=zen3").satisfies(&spec("pkg target=x86_64")));
+    assert!(!spec("pkg target=x86_64_v3").satisfies(&spec("pkg target=zen3")));
+    assert!(!spec("pkg target=zen3").satisfies(&spec("pkg target=skylake")));
+    assert!(spec("pkg target=zen3").satisfies(&spec("pkg target=zen3")));
+}
+
+#[test]
+fn satisfies_dependencies() {
+    let concrete = spec("saxpy@=1.0.0+openmp ^cmake@=3.23.1");
+    assert!(concrete.satisfies(&spec("saxpy ^cmake@3.20:")));
+    assert!(!concrete.satisfies(&spec("saxpy ^cmake@3.24:")));
+    assert!(!concrete.satisfies(&spec("saxpy ^ninja")));
+}
+
+#[test]
+fn intersects_basic() {
+    assert!(spec("pkg@1.2:").intersects(&spec("pkg@:1.4")));
+    assert!(!spec("pkg@2:").intersects(&spec("pkg@:1.4")));
+    assert!(!spec("a").intersects(&spec("b")));
+    assert!(spec("pkg+mp").intersects(&spec("pkg")));
+    assert!(!spec("pkg+mp").intersects(&spec("pkg~mp")));
+    assert!(spec("pkg target=zen3").intersects(&spec("pkg target=x86_64_v3")));
+    assert!(!spec("pkg target=zen3").intersects(&spec("pkg target=power9le")));
+    // anonymous intersects anything compatible
+    assert!(spec("+mp").intersects(&spec("pkg+mp")));
+}
+
+#[test]
+fn constrain_merges() {
+    let mut s = spec("amg2023+caliper");
+    s.constrain(&spec("amg2023@1.1: %gcc@12.1.1 target=skylake_avx512"))
+        .unwrap();
+    assert!(s.versions.contains(&v("1.2")));
+    assert_eq!(s.compiler.as_ref().unwrap().name, "gcc");
+    assert_eq!(s.target.as_deref(), Some("skylake_avx512"));
+    assert_eq!(s.variants.get("caliper"), Some(&VariantValue::Bool(true)));
+}
+
+#[test]
+fn constrain_keeps_more_specific_target() {
+    let mut s = spec("pkg target=zen3");
+    s.constrain(&spec("pkg target=x86_64_v3")).unwrap();
+    assert_eq!(s.target.as_deref(), Some("zen3"));
+
+    let mut s = spec("pkg target=x86_64_v3");
+    s.constrain(&spec("pkg target=zen3")).unwrap();
+    assert_eq!(s.target.as_deref(), Some("zen3"));
+}
+
+#[test]
+fn constrain_conflicts() {
+    assert!(spec("a").constrain(&spec("b")).is_err());
+    assert!(spec("pkg+mp").constrain(&spec("pkg~mp")).is_err());
+    assert!(spec("pkg%gcc").constrain(&spec("pkg%clang")).is_err());
+    assert!(spec("pkg@1.2").constrain(&spec("pkg@2.0")).is_err());
+    assert!(spec("pkg target=zen3")
+        .constrain(&spec("pkg target=skylake"))
+        .is_err());
+}
+
+#[test]
+fn constrain_dependency_merge() {
+    let mut s = spec("app ^mpi@4:");
+    s.constrain(&spec("app ^mpi+cuda ^cmake")).unwrap();
+    let mpi = s.dependencies.get("mpi").unwrap();
+    assert!(mpi.versions.contains(&v("4.1")));
+    assert_eq!(mpi.variants.get("cuda"), Some(&VariantValue::Bool(true)));
+    assert!(s.dependencies.contains_key("cmake"));
+}
+
+#[test]
+fn anonymous_constrain_adopts_name() {
+    let mut s = spec("+debug");
+    s.constrain(&spec("hypre")).unwrap();
+    assert_eq!(s.name.as_deref(), Some("hypre"));
+}
+
+#[test]
+fn is_concrete() {
+    assert!(!spec("saxpy@1.0.0+openmp").is_concrete());
+    let c = spec("saxpy@=1.0.0+openmp%gcc@=12.1.1 target=skylake_avx512");
+    assert!(c.is_concrete());
+    let with_abstract_dep = spec("saxpy@=1.0.0%gcc@=12.1.1 target=zen3 ^cmake@3:");
+    assert!(!with_abstract_dep.is_concrete());
+}
+
+#[test]
+fn traverse_counts_nodes() {
+    let s = spec("app ^mpi ^cmake");
+    assert_eq!(s.traverse().len(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_version() -> impl Strategy<Value = String> {
+        prop::collection::vec(0u32..30, 1..4)
+            .prop_map(|parts| parts.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("."))
+    }
+
+    fn arb_spec_text() -> impl Strategy<Value = String> {
+        (
+            "[a-z][a-z0-9-]{0,8}",
+            prop::option::of(arb_version()),
+            prop::collection::vec(("[a-z]{1,6}", any::<bool>()), 0..3),
+            prop::option::of("[a-z]{1,5}"),
+        )
+            .prop_map(|(name, version, variants, compiler)| {
+                let mut s = name;
+                if let Some(v) = version {
+                    s.push('@');
+                    s.push_str(&v);
+                }
+                for (var, on) in variants {
+                    s.push(if on { '+' } else { '~' });
+                    s.push_str(&var);
+                }
+                if let Some(c) = compiler {
+                    s.push('%');
+                    s.push_str(&c);
+                }
+                s
+            })
+    }
+
+    proptest! {
+        /// display → parse is the identity.
+        #[test]
+        fn display_parse_roundtrip(text in arb_spec_text()) {
+            prop_assume!(text.parse::<Spec>().is_ok());
+            let parsed: Spec = text.parse().unwrap();
+            let reparsed: Spec = parsed.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, reparsed);
+        }
+
+        /// satisfies is reflexive.
+        #[test]
+        fn satisfies_reflexive(text in arb_spec_text()) {
+            prop_assume!(text.parse::<Spec>().is_ok());
+            let s: Spec = text.parse().unwrap();
+            prop_assert!(s.satisfies(&s));
+        }
+
+        /// a.constrain(b) succeeds ⇒ result satisfies b's variant/name
+        /// constraints and intersects both inputs.
+        #[test]
+        fn constrain_produces_common_refinement(a in arb_spec_text(), b in arb_spec_text()) {
+            let (Ok(sa), Ok(sb)) = (a.parse::<Spec>(), b.parse::<Spec>()) else { return Ok(()); };
+            let mut merged = sa.clone();
+            if merged.constrain(&sb).is_ok() {
+                prop_assert!(merged.intersects(&sa), "merged {merged} !~ {sa}");
+                prop_assert!(merged.intersects(&sb), "merged {merged} !~ {sb}");
+            }
+        }
+
+        /// intersects is symmetric.
+        #[test]
+        fn intersects_symmetric(a in arb_spec_text(), b in arb_spec_text()) {
+            let (Ok(sa), Ok(sb)) = (a.parse::<Spec>(), b.parse::<Spec>()) else { return Ok(()); };
+            prop_assert_eq!(sa.intersects(&sb), sb.intersects(&sa));
+        }
+
+        /// Version ordering is total and consistent with equality.
+        #[test]
+        fn version_order_total(a in arb_version(), b in arb_version()) {
+            let (va, vb) = (Version::new(&a), Version::new(&b));
+            let ord = va.cmp(&vb);
+            prop_assert_eq!(ord.reverse(), vb.cmp(&va));
+            if ord == std::cmp::Ordering::Equal {
+                prop_assert!(va.is_prefix_of(&vb) && vb.is_prefix_of(&va));
+            }
+        }
+
+        /// Range intersection is sound: versions in the intersection are in
+        /// both inputs.
+        #[test]
+        fn range_intersection_sound(
+            lo1 in arb_version(), hi1 in arb_version(),
+            lo2 in arb_version(), hi2 in arb_version(),
+            probe in arb_version(),
+        ) {
+            use crate::VersionRange;
+            let mk = |lo: &str, hi: &str| {
+                let (l, h) = (Version::new(lo), Version::new(hi));
+                let (l, h) = if l <= h { (l, h) } else { (h, l) };
+                VersionRange { lo: Some(l), hi: Some(h), exact: false }
+            };
+            let r1 = mk(&lo1, &hi1);
+            let r2 = mk(&lo2, &hi2);
+            if let Some(inter) = r1.intersect(&r2) {
+                let p = Version::new(&probe);
+                if inter.contains(&p) {
+                    prop_assert!(r1.contains(&p), "{p} in {inter} but not in {r1}");
+                    prop_assert!(r2.contains(&p), "{p} in {inter} but not in {r2}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Variant values: boolean, single-valued, and multi-valued.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The value of a variant in a spec.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum VariantValue {
+    /// `+name` (true) or `~name` / `-name` (false).
+    Bool(bool),
+    /// `name=value`.
+    Single(String),
+    /// `name=a,b,c` — an unordered set of values.
+    Multi(BTreeSet<String>),
+}
+
+impl VariantValue {
+    /// Parses the right-hand side of `name=value`.
+    pub fn from_value_text(text: &str) -> VariantValue {
+        if text.contains(',') {
+            VariantValue::Multi(text.split(',').map(|s| s.trim().to_string()).collect())
+        } else {
+            match text {
+                "true" | "True" => VariantValue::Bool(true),
+                "false" | "False" => VariantValue::Bool(false),
+                other => VariantValue::Single(other.to_string()),
+            }
+        }
+    }
+
+    /// True if a spec carrying `self` satisfies a constraint of `other`.
+    ///
+    /// Multi-valued constraints are satisfied by supersets: a package built
+    /// with `cuda_arch=70,80` satisfies a request for `cuda_arch=70`.
+    pub fn satisfies(&self, other: &VariantValue) -> bool {
+        match (self, other) {
+            (VariantValue::Multi(mine), VariantValue::Multi(theirs)) => theirs.is_subset(mine),
+            (VariantValue::Multi(mine), VariantValue::Single(theirs)) => mine.contains(theirs),
+            (VariantValue::Single(mine), VariantValue::Multi(theirs)) => {
+                theirs.len() == 1 && theirs.contains(mine)
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// True if the two values could be reconciled.
+    pub fn intersects(&self, other: &VariantValue) -> bool {
+        self.satisfies(other) || other.satisfies(self) || self.mergeable(other)
+    }
+
+    fn mergeable(&self, other: &VariantValue) -> bool {
+        matches!(
+            (self, other),
+            (VariantValue::Multi(_), VariantValue::Multi(_))
+                | (VariantValue::Multi(_), VariantValue::Single(_))
+                | (VariantValue::Single(_), VariantValue::Multi(_))
+        )
+    }
+
+    /// Combines two compatible values (set union for multi-valued variants).
+    pub fn merge(&self, other: &VariantValue) -> Option<VariantValue> {
+        match (self, other) {
+            (a, b) if a == b => Some(a.clone()),
+            (VariantValue::Multi(a), VariantValue::Multi(b)) => {
+                Some(VariantValue::Multi(a.union(b).cloned().collect()))
+            }
+            (VariantValue::Multi(a), VariantValue::Single(b))
+            | (VariantValue::Single(b), VariantValue::Multi(a)) => {
+                let mut set = a.clone();
+                set.insert(b.clone());
+                Some(VariantValue::Multi(set))
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the variant with its name in canonical spec syntax.
+    pub fn render(&self, name: &str) -> String {
+        match self {
+            VariantValue::Bool(true) => format!("+{name}"),
+            VariantValue::Bool(false) => format!("~{name}"),
+            VariantValue::Single(v) => format!("{name}={v}"),
+            VariantValue::Multi(vs) => {
+                let list: Vec<&str> = vs.iter().map(|s| s.as_str()).collect();
+                format!("{name}={}", list.join(","))
+            }
+        }
+    }
+}
+
+impl fmt::Display for VariantValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariantValue::Bool(b) => write!(f, "{b}"),
+            VariantValue::Single(s) => f.write_str(s),
+            VariantValue::Multi(vs) => {
+                let list: Vec<&str> = vs.iter().map(|s| s.as_str()).collect();
+                f.write_str(&list.join(","))
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Version numbers, ranges, and constraint unions with Spack semantics.
+
+use crate::error::SpecError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One component of a version: numeric components compare numerically,
+/// alphabetic ones lexically; numbers sort after letters of the same position
+/// (so `1.2rc1 < 1.2`... see `Ord` impl note).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Component {
+    Num(u64),
+    Alpha(String),
+}
+
+impl Ord for Component {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Component::Num(a), Component::Num(b)) => a.cmp(b),
+            (Component::Alpha(a), Component::Alpha(b)) => a.cmp(b),
+            // Alphabetic components (pre-release tags, `develop`) sort before
+            // numeric ones at the same position.
+            (Component::Alpha(_), Component::Num(_)) => Ordering::Less,
+            (Component::Num(_), Component::Alpha(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for Component {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A concrete version like `1.2.3`, `2.3.7-gcc12.1.1-magic`, or `develop`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Version {
+    /// Original text (kept for display: `2.3.7-gcc12.1.1-magic`).
+    text: String,
+    /// Parsed components for comparison.
+    components: Vec<Component>,
+}
+
+impl Version {
+    /// Parses a version. Any non-empty string is a valid version.
+    pub fn new(text: &str) -> Version {
+        let mut components = Vec::new();
+        let mut cur = String::new();
+        let mut cur_is_num: Option<bool> = None;
+        let flush = |cur: &mut String, is_num: Option<bool>, out: &mut Vec<Component>| {
+            if cur.is_empty() {
+                return;
+            }
+            if is_num == Some(true) {
+                out.push(Component::Num(cur.parse().unwrap_or(u64::MAX)));
+            } else {
+                out.push(Component::Alpha(std::mem::take(cur).to_lowercase()));
+                return;
+            }
+            cur.clear();
+        };
+        for c in text.chars() {
+            if c == '.' || c == '-' || c == '_' {
+                flush(&mut cur, cur_is_num, &mut components);
+                cur.clear();
+                cur_is_num = None;
+            } else {
+                let is_num = c.is_ascii_digit();
+                if cur_is_num.is_some() && cur_is_num != Some(is_num) {
+                    // boundary between digits and letters: `12a` → `12`, `a`
+                    flush(&mut cur, cur_is_num, &mut components);
+                    cur.clear();
+                }
+                cur_is_num = Some(is_num);
+                cur.push(c);
+            }
+        }
+        flush(&mut cur, cur_is_num, &mut components);
+        Version {
+            text: text.to_string(),
+            components,
+        }
+    }
+
+    /// The original text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// True if `self` is a component-wise prefix of `other` (`1.2` is a
+    /// prefix of `1.2.3`); used for Spack's series semantics where `@1.2`
+    /// admits `1.2.3`.
+    pub fn is_prefix_of(&self, other: &Version) -> bool {
+        self.components.len() <= other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a == b)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the empty version.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.components.iter().zip(&other.components) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.components.len().cmp(&other.components.len())
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl std::str::FromStr for Version {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(SpecError::parse(0, "empty version"));
+        }
+        Ok(Version::new(s))
+    }
+}
+
+/// A single version range.
+///
+/// * `@1.2` → `lo = hi = 1.2`, prefix-inclusive (admits the `1.2` series).
+/// * `@=1.2` → exact: admits only `1.2` itself.
+/// * `@1.2:1.4` → inclusive range; the upper bound is prefix-inclusive
+///   (`1.4.5` is admitted).
+/// * `@1.2:` / `@:1.4` → half-open.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionRange {
+    pub lo: Option<Version>,
+    pub hi: Option<Version>,
+    /// True for `@=x.y`: only the exact version is admitted.
+    pub exact: bool,
+}
+
+impl VersionRange {
+    /// The unconstrained range `:`.
+    pub fn any() -> VersionRange {
+        VersionRange {
+            lo: None,
+            hi: None,
+            exact: false,
+        }
+    }
+
+    /// The prefix-series range for a single version (`@1.2`).
+    pub fn series(v: Version) -> VersionRange {
+        VersionRange {
+            lo: Some(v.clone()),
+            hi: Some(v),
+            exact: false,
+        }
+    }
+
+    /// The exact single version (`@=1.2`).
+    pub fn exact(v: Version) -> VersionRange {
+        VersionRange {
+            lo: Some(v.clone()),
+            hi: Some(v),
+            exact: true,
+        }
+    }
+
+    /// True if this range admits `v`.
+    pub fn contains(&self, v: &Version) -> bool {
+        if self.exact {
+            return self.lo.as_ref() == Some(v);
+        }
+        if let Some(lo) = &self.lo {
+            // `v` must be >= lo, where any member of the lo series counts
+            // (lo is a prefix of v ⇒ in range even though e.g. 1.2.0 > 1.2
+            // holds anyway; the symmetric case matters for hi).
+            if v < lo && !lo.is_prefix_of(v) {
+                return false;
+            }
+        }
+        if let Some(hi) = &self.hi {
+            if v > hi && !hi.is_prefix_of(v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if every version admitted by `self` is admitted by `other`.
+    pub fn subset_of(&self, other: &VersionRange) -> bool {
+        if other.exact {
+            // only an identical exact range, or a series that equals the
+            // exact version with no longer members… conservatively require
+            // exact-equality.
+            return self.exact && self.lo == other.lo;
+        }
+        // lower bound: other.lo must not exclude anything self admits
+        let lo_ok = match (&self.lo, &other.lo) {
+            (_, None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(b)) => a >= b || b.is_prefix_of(a),
+        };
+        // upper bound, prefix-inclusive
+        let hi_ok = match (&self.hi, &other.hi) {
+            (_, None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(b)) => a <= b || b.is_prefix_of(a),
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Intersection of two ranges, or `None` if empty.
+    pub fn intersect(&self, other: &VersionRange) -> Option<VersionRange> {
+        if self.exact {
+            return other
+                .contains(self.lo.as_ref().unwrap())
+                .then(|| self.clone());
+        }
+        if other.exact {
+            return self
+                .contains(other.lo.as_ref().unwrap())
+                .then(|| other.clone());
+        }
+        // max of lows
+        let lo = match (&self.lo, &other.lo) {
+            (None, x) => x.clone(),
+            (x, None) => x.clone(),
+            (Some(a), Some(b)) => Some(if a >= b { a.clone() } else { b.clone() }),
+        };
+        // min of highs — prefer the *narrower* (prefix-aware) bound
+        let hi = match (&self.hi, &other.hi) {
+            (None, x) => x.clone(),
+            (x, None) => x.clone(),
+            (Some(a), Some(b)) => {
+                if a.is_prefix_of(b) {
+                    Some(b.clone()) // b is deeper inside a's series → narrower
+                } else if b.is_prefix_of(a) {
+                    Some(a.clone())
+                } else {
+                    Some(if a <= b { a.clone() } else { b.clone() })
+                }
+            }
+        };
+        // emptiness check: lo must not exceed hi
+        if let (Some(l), Some(h)) = (&lo, &hi) {
+            if l > h && !h.is_prefix_of(l) {
+                return None;
+            }
+        }
+        Some(VersionRange {
+            lo,
+            hi,
+            exact: false,
+        })
+    }
+}
+
+impl fmt::Display for VersionRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exact {
+            return write!(f, "={}", self.lo.as_ref().unwrap());
+        }
+        match (&self.lo, &self.hi) {
+            (None, None) => write!(f, ":"),
+            (Some(lo), Some(hi)) if lo == hi => write!(f, "{lo}"),
+            (Some(lo), None) => write!(f, "{lo}:"),
+            (None, Some(hi)) => write!(f, ":{hi}"),
+            (Some(lo), Some(hi)) => write!(f, "{lo}:{hi}"),
+        }
+    }
+}
+
+/// A union of version ranges: the constraint after `@`.
+///
+/// An empty list means "unconstrained".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VersionConstraint {
+    pub ranges: Vec<VersionRange>,
+}
+
+impl VersionConstraint {
+    /// The unconstrained version set.
+    pub fn any() -> VersionConstraint {
+        VersionConstraint { ranges: Vec::new() }
+    }
+
+    /// A constraint admitting exactly `v`.
+    pub fn exactly(v: Version) -> VersionConstraint {
+        VersionConstraint {
+            ranges: vec![VersionRange::exact(v)],
+        }
+    }
+
+    /// A constraint for the version series of `v` (`@1.2`).
+    pub fn series(v: Version) -> VersionConstraint {
+        VersionConstraint {
+            ranges: vec![VersionRange::series(v)],
+        }
+    }
+
+    /// True if no constraint was given.
+    pub fn is_any(&self) -> bool {
+        self.ranges.is_empty() || self.ranges.iter().any(|r| r.lo.is_none() && r.hi.is_none())
+    }
+
+    /// True if `v` is admitted.
+    pub fn contains(&self, v: &Version) -> bool {
+        self.is_any() || self.ranges.iter().any(|r| r.contains(v))
+    }
+
+    /// True if every version admitted by `self` is admitted by `other`.
+    /// (Conservative: each of our ranges must fit inside one of theirs.)
+    pub fn satisfies(&self, other: &VersionConstraint) -> bool {
+        if other.is_any() {
+            return true;
+        }
+        if self.is_any() {
+            return false;
+        }
+        self.ranges
+            .iter()
+            .all(|a| other.ranges.iter().any(|b| a.subset_of(b)))
+    }
+
+    /// True if some version could satisfy both constraints.
+    pub fn intersects(&self, other: &VersionConstraint) -> bool {
+        if self.is_any() || other.is_any() {
+            return true;
+        }
+        self.ranges
+            .iter()
+            .any(|a| other.ranges.iter().any(|b| a.intersect(b).is_some()))
+    }
+
+    /// Narrows `self` to the intersection with `other`.
+    pub fn constrain(&mut self, other: &VersionConstraint) -> Result<(), SpecError> {
+        if other.is_any() {
+            return Ok(());
+        }
+        if self.is_any() {
+            self.ranges = other.ranges.clone();
+            return Ok(());
+        }
+        let mut result = Vec::new();
+        for a in &self.ranges {
+            for b in &other.ranges {
+                if let Some(r) = a.intersect(b) {
+                    if !result.contains(&r) {
+                        result.push(r);
+                    }
+                }
+            }
+        }
+        if result.is_empty() {
+            return Err(SpecError::conflict(format!(
+                "version constraints @{self} and @{other} are disjoint"
+            )));
+        }
+        self.ranges = result;
+        Ok(())
+    }
+
+    /// If the constraint pins a single concrete version (`@=v` or a
+    /// degenerate series), returns it.
+    pub fn concrete(&self) -> Option<&Version> {
+        match self.ranges.as_slice() {
+            [range] if range.exact => range.lo.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The highest version bound mentioned, used for preference ordering.
+    pub fn highest_mentioned(&self) -> Option<&Version> {
+        self.ranges
+            .iter()
+            .filter_map(|r| r.hi.as_ref().or(r.lo.as_ref()))
+            .max()
+    }
+}
+
+impl fmt::Display for VersionConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.ranges.iter().map(|r| r.to_string()).collect();
+        f.write_str(&parts.join(","))
+    }
+}

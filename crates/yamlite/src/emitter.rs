@@ -1,0 +1,193 @@
+//! Deterministic YAML emitter whose output re-parses to the same value.
+
+use crate::value::{format_float, Map, Value};
+
+/// Serializes a value as a YAML document (trailing newline included for
+/// non-empty documents).
+pub fn emit(value: &Value) -> String {
+    let mut out = String::new();
+    match value {
+        Value::Map(m) => emit_map(m, 0, &mut out),
+        Value::Seq(s) => emit_seq(s, 0, &mut out),
+        scalar => {
+            out.push_str(&scalar_repr(scalar));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn indent_str(indent: usize) -> String {
+    " ".repeat(indent)
+}
+
+fn emit_map(map: &Map, indent: usize, out: &mut String) {
+    if map.is_empty() {
+        out.push_str(&indent_str(indent));
+        out.push_str("{}\n");
+        return;
+    }
+    for (key, value) in map.iter() {
+        out.push_str(&indent_str(indent));
+        out.push_str(&key_repr(key));
+        out.push(':');
+        match value {
+            Value::Map(m) if !m.is_empty() => {
+                out.push('\n');
+                emit_map(m, indent + 2, out);
+            }
+            Value::Seq(s) if !s.is_empty() => {
+                out.push('\n');
+                emit_seq(s, indent, out);
+            }
+            Value::Map(_) => out.push_str(" {}\n"),
+            Value::Seq(_) => out.push_str(" []\n"),
+            scalar => {
+                out.push(' ');
+                out.push_str(&scalar_repr(scalar));
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn emit_seq(seq: &[Value], indent: usize, out: &mut String) {
+    if seq.is_empty() {
+        out.push_str(&indent_str(indent));
+        out.push_str("[]\n");
+        return;
+    }
+    for item in seq {
+        match item {
+            Value::Map(m) if !m.is_empty() => {
+                // `- key: value` inline first entry, remaining entries aligned.
+                let mut first = true;
+                for (key, value) in m.iter() {
+                    if first {
+                        out.push_str(&indent_str(indent));
+                        out.push_str("- ");
+                        first = false;
+                    } else {
+                        out.push_str(&indent_str(indent + 2));
+                    }
+                    out.push_str(&key_repr(key));
+                    out.push(':');
+                    match value {
+                        Value::Map(inner) if !inner.is_empty() => {
+                            out.push('\n');
+                            emit_map(inner, indent + 4, out);
+                        }
+                        Value::Seq(inner) if !inner.is_empty() => {
+                            out.push('\n');
+                            emit_seq(inner, indent + 2, out);
+                        }
+                        Value::Map(_) => out.push_str(" {}\n"),
+                        Value::Seq(_) => out.push_str(" []\n"),
+                        scalar => {
+                            out.push(' ');
+                            out.push_str(&scalar_repr(scalar));
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+            Value::Seq(inner) => {
+                // Nested sequences are rare in our configs; emit in flow form.
+                out.push_str(&indent_str(indent));
+                out.push_str("- ");
+                out.push_str(&flow_repr(&Value::Seq(inner.clone())));
+                out.push('\n');
+            }
+            Value::Map(_) => {
+                out.push_str(&indent_str(indent));
+                out.push_str("- {}\n");
+            }
+            scalar => {
+                out.push_str(&indent_str(indent));
+                out.push_str("- ");
+                out.push_str(&scalar_repr(scalar));
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn flow_repr(value: &Value) -> String {
+    match value {
+        Value::Seq(items) => {
+            let parts: Vec<String> = items.iter().map(flow_repr).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        Value::Map(map) => {
+            let parts: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{}: {}", key_repr(k), flow_repr(v)))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+        scalar => scalar_repr(scalar),
+    }
+}
+
+fn key_repr(key: &str) -> String {
+    if needs_quoting(key) {
+        quote(key)
+    } else {
+        key.to_string()
+    }
+}
+
+fn scalar_repr(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format_float(*f),
+        Value::Str(s) => {
+            // Quote anything a plain scalar would re-parse differently.
+            let reparsed = crate::parser::infer_plain(s);
+            let plain_safe = matches!(reparsed, Value::Str(_)) && !needs_quoting(s);
+            if plain_safe {
+                s.clone()
+            } else {
+                quote(s)
+            }
+        }
+        Value::Seq(_) | Value::Map(_) => flow_repr(value),
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    if s.starts_with(char::is_whitespace) || s.ends_with(char::is_whitespace) {
+        return true;
+    }
+    if s.starts_with(['[', '{', '\'', '"', '-', '&', '*', '!', '|', '>', '%', '@']) {
+        return true;
+    }
+    s.contains(": ")
+        || s.ends_with(':')
+        || s.contains(" #")
+        || s.starts_with('#')
+        || s.contains('\n')
+        || s.contains('\t')
+        // Characters that are structural in flow context; quoting them
+        // everywhere keeps the emitter simple and the output unambiguous.
+        || s.contains([',', '[', ']', '{', '}', '"', '\'', ':'])
+}
+
+fn quote(s: &str) -> String {
+    if s.contains('\n') || s.contains('\t') {
+        let escaped = s
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+            .replace('\t', "\\t")
+            .replace('\r', "\\r");
+        format!("\"{escaped}\"")
+    } else {
+        format!("'{}'", s.replace('\'', "''"))
+    }
+}

@@ -1,0 +1,409 @@
+//! Indentation-based recursive-descent parser for the YAML subset.
+
+use crate::error::{ParseError, Result};
+use crate::value::{Map, Value};
+
+/// Parses a YAML document into a [`Value`].
+///
+/// An empty document (or one containing only comments) parses to
+/// [`Value::Null`].
+pub fn parse(input: &str) -> Result<Value> {
+    let lines = preprocess(input)?;
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    // A document whose single line is neither a sequence item nor a mapping
+    // entry is a bare scalar (or flow collection) document.
+    if lines.len() == 1 && !is_seq_item(&lines[0].text) && split_key(&lines[0].text, lines[0].no).is_err() {
+        return parse_scalar_or_flow(&lines[0].text, lines[0].no);
+    }
+    let mut pos = 0;
+    let value = parse_block(&lines, &mut pos, lines[0].indent)?;
+    if pos < lines.len() {
+        return Err(ParseError::new(
+            lines[pos].no,
+            format!("trailing content with unexpected indentation: {:?}", lines[pos].text),
+        ));
+    }
+    Ok(value)
+}
+
+/// One significant (non-blank, non-comment) line of input.
+#[derive(Debug)]
+struct Line {
+    /// 1-based source line number.
+    no: usize,
+    /// Number of leading spaces.
+    indent: usize,
+    /// Content with indentation and trailing comment removed.
+    text: String,
+}
+
+/// Strips comments/blank lines and records indentation.
+fn preprocess(input: &str) -> Result<Vec<Line>> {
+    let mut out = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        if raw[indent..].starts_with('\t') {
+            return Err(ParseError::new(no, "tabs are not allowed in indentation"));
+        }
+        let stripped = strip_comment(&raw[indent..]);
+        let text = stripped.trim_end().to_string();
+        if text.is_empty() {
+            continue;
+        }
+        if text == "---" && out.is_empty() {
+            continue; // tolerate a leading document marker
+        }
+        out.push(Line { no, indent, text });
+    }
+    Ok(out)
+}
+
+/// Removes a trailing `# comment`. A `#` begins a comment only when it is the
+/// first character or preceded by whitespace, and only outside quotes.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => {
+                // skip escaped quotes inside double-quoted strings
+                if in_double && i > 0 && bytes[i - 1] == b'\\' {
+                } else {
+                    in_double = !in_double;
+                }
+            }
+            b'#' if !in_single && !in_double
+                && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                    return &line[..i];
+                }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parses the block starting at `pos`, whose lines are indented `indent`.
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    let line = &lines[*pos];
+    if line.indent != indent {
+        return Err(ParseError::new(
+            line.no,
+            format!("expected indentation {indent}, found {}", line.indent),
+        ));
+    }
+    if is_seq_item(&line.text) {
+        parse_sequence(lines, pos, indent)
+    } else {
+        parse_mapping(lines, pos, indent, None)
+    }
+}
+
+fn is_seq_item(text: &str) -> bool {
+    text == "-" || text.starts_with("- ")
+}
+
+/// Parses a block mapping at `indent`. If `first` is given, it is an
+/// already-extracted first entry (used for mappings that begin inline inside a
+/// sequence item, e.g. `- key: value`).
+fn parse_mapping(
+    lines: &[Line],
+    pos: &mut usize,
+    indent: usize,
+    first: Option<(String, Option<String>, usize)>,
+) -> Result<Value> {
+    let mut map = Map::new();
+
+    if let Some((key, inline, no)) = first {
+        let value = mapping_value(lines, pos, indent, inline, no)?;
+        map.insert(key, value);
+    }
+
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent != indent || is_seq_item(&line.text) {
+            break;
+        }
+        let no = line.no;
+        let (key, inline) = split_key(&line.text, no)?;
+        *pos += 1;
+        let value = mapping_value(lines, pos, indent, inline, no)?;
+        if map.contains_key(&key) {
+            return Err(ParseError::new(no, format!("duplicate mapping key {key:?}")));
+        }
+        map.insert(key, value);
+    }
+    Ok(Value::Map(map))
+}
+
+/// Parses the value of a mapping entry whose key line has been consumed.
+fn mapping_value(
+    lines: &[Line],
+    pos: &mut usize,
+    key_indent: usize,
+    inline: Option<String>,
+    no: usize,
+) -> Result<Value> {
+    if let Some(text) = inline {
+        return parse_scalar_or_flow(&text, no);
+    }
+    // No inline value: the value is a nested block (deeper indent), a sequence
+    // at the same indent as the key (YAML permits this), or null.
+    if *pos < lines.len() {
+        let next = &lines[*pos];
+        if next.indent > key_indent {
+            return parse_block(lines, pos, next.indent);
+        }
+        if next.indent == key_indent && is_seq_item(&next.text) {
+            return parse_sequence(lines, pos, key_indent);
+        }
+    }
+    Ok(Value::Null)
+}
+
+/// Parses a block sequence at `indent`.
+fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    let mut items = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent != indent || !is_seq_item(&line.text) {
+            break;
+        }
+        let no = line.no;
+        let content = if line.text == "-" { "" } else { &line.text[2..] };
+        let content = content.trim_start();
+        // Column where the item's own content begins; an inline mapping that
+        // starts on the `- ` line continues at this indentation.
+        let item_indent = line.indent + (line.text.len() - content.len());
+        *pos += 1;
+
+        if content.is_empty() {
+            // `-` alone: nested block on following deeper-indented lines.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                items.push(parse_block(lines, pos, lines[*pos].indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else if content.starts_with(['[', '{']) {
+            // flow collections are values, never `key: value` entries
+            items.push(parse_scalar_or_flow(content, no)?);
+        } else if let Ok((key, inline)) = split_key(content, no) {
+            // `- key: …` starts a mapping whose entries align at item_indent.
+            items.push(parse_mapping(lines, pos, item_indent, Some((key, inline, no)))?);
+        } else {
+            items.push(parse_scalar_or_flow(content, no)?);
+        }
+    }
+    Ok(Value::Seq(items))
+}
+
+/// Splits a mapping line into `(key, inline_value)`. Fails if the line does
+/// not contain a top-level `": "` (or trailing `:`).
+fn split_key(text: &str, no: usize) -> Result<(String, Option<String>)> {
+    let bytes = text.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b':' if !in_single && !in_double => {
+                let at_end = i + 1 == bytes.len();
+                if at_end || bytes[i + 1] == b' ' {
+                    let raw_key = text[..i].trim();
+                    if raw_key.is_empty() {
+                        return Err(ParseError::new(no, "empty mapping key"));
+                    }
+                    let key = unquote(raw_key, no)?;
+                    let rest = if at_end { "" } else { text[i + 2..].trim() };
+                    let inline = if rest.is_empty() {
+                        None
+                    } else {
+                        Some(rest.to_string())
+                    };
+                    return Ok((key, inline));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(ParseError::new(no, format!("expected `key: value`, found {text:?}")))
+}
+
+/// Parses an inline value: flow sequence, flow mapping, quoted or plain scalar.
+fn parse_scalar_or_flow(text: &str, no: usize) -> Result<Value> {
+    let text = text.trim();
+    if text.starts_with('[') {
+        let inner = flow_body(text, '[', ']', no)?;
+        let mut items = Vec::new();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_scalar_or_flow(part, no)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    if text.starts_with('{') {
+        let inner = flow_body(text, '{', '}', no)?;
+        let mut map = Map::new();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, inline) = split_key(part, no)
+                .or_else(|_| flow_entry_key(part, no))?;
+            let value = match inline {
+                Some(v) => parse_scalar_or_flow(&v, no)?,
+                None => Value::Null,
+            };
+            map.insert(key, value);
+        }
+        return Ok(Value::Map(map));
+    }
+    scalar(text, no)
+}
+
+/// `key:value` (no space) is allowed inside flow mappings.
+fn flow_entry_key(part: &str, no: usize) -> Result<(String, Option<String>)> {
+    if let Some(idx) = part.find(':') {
+        let key = unquote(part[..idx].trim(), no)?;
+        let rest = part[idx + 1..].trim();
+        let inline = if rest.is_empty() {
+            None
+        } else {
+            Some(rest.to_string())
+        };
+        Ok((key, inline))
+    } else {
+        Err(ParseError::new(no, format!("expected `key: value` in flow mapping, found {part:?}")))
+    }
+}
+
+/// Validates matching flow delimiters and returns the interior text.
+fn flow_body(text: &str, open: char, close: char, no: usize) -> Result<&str> {
+    if !text.ends_with(close) {
+        return Err(ParseError::new(
+            no,
+            format!("flow collection starting with `{open}` must close with `{close}` on the same line"),
+        ));
+    }
+    Ok(&text[open.len_utf8()..text.len() - close.len_utf8()])
+}
+
+/// Splits flow-collection contents on top-level commas.
+fn split_flow(inner: &str) -> Vec<&str> {
+    let bytes = inner.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'[' | b'{' if !in_single && !in_double => depth += 1,
+            b']' | b'}' if !in_single && !in_double => depth = depth.saturating_sub(1),
+            b',' if depth == 0 && !in_single && !in_double => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+/// Parses a scalar, inferring null/bool/int/float for plain (unquoted) text.
+fn scalar(text: &str, no: usize) -> Result<Value> {
+    if text.starts_with('\'') || text.starts_with('"') {
+        return Ok(Value::Str(unquote(text, no)?));
+    }
+    Ok(infer_plain(text))
+}
+
+/// Plain-scalar tag inference.
+pub(crate) fn infer_plain(text: &str) -> Value {
+    match text {
+        "" | "~" | "null" | "Null" | "NULL" => return Value::Null,
+        "true" | "True" | "TRUE" => return Value::Bool(true),
+        "false" | "False" | "FALSE" => return Value::Bool(false),
+        _ => {}
+    }
+    if looks_like_int(text) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Value::Int(i);
+        }
+    }
+    if looks_like_float(text) {
+        if let Ok(f) = text.parse::<f64>() {
+            return Value::Float(f);
+        }
+    }
+    Value::Str(text.to_string())
+}
+
+fn looks_like_int(text: &str) -> bool {
+    let t = text.strip_prefix(['+', '-']).unwrap_or(text);
+    !t.is_empty() && t.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn looks_like_float(text: &str) -> bool {
+    let t = text.strip_prefix(['+', '-']).unwrap_or(text);
+    // Require a digit and one of . / e / E; rules out versions like `2.3.7`
+    // (which fail f64 parsing) and words like `e`.
+    t.bytes().any(|b| b.is_ascii_digit()) && t.bytes().all(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
+}
+
+/// Removes surrounding quotes and processes escapes. Unquoted text is returned
+/// verbatim.
+fn unquote(text: &str, no: usize) -> Result<String> {
+    if let Some(body) = text.strip_prefix('\'') {
+        let body = body
+            .strip_suffix('\'')
+            .ok_or_else(|| ParseError::new(no, "unterminated single-quoted scalar"))?;
+        return Ok(body.replace("''", "'"));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| ParseError::new(no, "unterminated double-quoted scalar"))?;
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('0') => out.push('\0'),
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some(other) => {
+                        return Err(ParseError::new(no, format!("unknown escape `\\{other}`")))
+                    }
+                    None => return Err(ParseError::new(no, "trailing backslash in scalar")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(out);
+    }
+    Ok(text.to_string())
+}

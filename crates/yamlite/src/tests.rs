@@ -1,0 +1,468 @@
+//! Unit, golden, and property tests for the YAML subset.
+
+use crate::{emit, parse, Map, Value};
+
+fn s(v: &str) -> Value {
+    Value::str(v)
+}
+
+#[test]
+fn empty_document_is_null() {
+    assert_eq!(parse("").unwrap(), Value::Null);
+    assert_eq!(parse("\n\n# only comments\n").unwrap(), Value::Null);
+}
+
+#[test]
+fn scalar_inference() {
+    let doc = parse("a: 3\nb: 3.5\nc: true\nd: null\ne: hello\nf: '3'\ng: 2.3.7\n").unwrap();
+    assert_eq!(doc.get("a").unwrap().as_int(), Some(3));
+    assert_eq!(doc.get("b").unwrap().as_float(), Some(3.5));
+    assert_eq!(doc.get("c").unwrap().as_bool(), Some(true));
+    assert!(doc.get("d").unwrap().is_null());
+    assert_eq!(doc.get("e").unwrap().as_str(), Some("hello"));
+    // quoted numbers stay strings; versions with two dots stay strings
+    assert_eq!(doc.get("f").unwrap().as_str(), Some("3"));
+    assert_eq!(doc.get("g").unwrap().as_str(), Some("2.3.7"));
+}
+
+#[test]
+fn negative_and_signed_numbers() {
+    let doc = parse("a: -7\nb: +4\nc: -0.5\n").unwrap();
+    assert_eq!(doc.get("a").unwrap().as_int(), Some(-7));
+    assert_eq!(doc.get("b").unwrap().as_int(), Some(4));
+    assert_eq!(doc.get("c").unwrap().as_float(), Some(-0.5));
+}
+
+#[test]
+fn nested_mappings() {
+    let doc = parse("a:\n  b:\n    c: 1\n  d: 2\n").unwrap();
+    assert_eq!(doc.get_path(&["a", "b", "c"]).unwrap().as_int(), Some(1));
+    assert_eq!(doc.get_path(&["a", "d"]).unwrap().as_int(), Some(2));
+}
+
+#[test]
+fn block_sequences() {
+    let doc = parse("list:\n  - one\n  - two\n").unwrap();
+    let seq = doc.get("list").unwrap().as_seq().unwrap();
+    assert_eq!(seq, &[s("one"), s("two")]);
+}
+
+#[test]
+fn sequence_at_key_indent() {
+    // YAML permits sequence items at the same indentation as the parent key.
+    let doc = parse("list:\n- one\n- two\nafter: 3\n").unwrap();
+    let seq = doc.get("list").unwrap().as_seq().unwrap();
+    assert_eq!(seq.len(), 2);
+    assert_eq!(doc.get("after").unwrap().as_int(), Some(3));
+}
+
+#[test]
+fn flow_sequences() {
+    let doc = parse("a: ['8', '4']\nb: [1, 2, 3]\nc: []\n").unwrap();
+    assert_eq!(
+        doc.get("a").unwrap().as_seq().unwrap(),
+        &[s("8"), s("4")]
+    );
+    assert_eq!(
+        doc.get("b").unwrap().as_seq().unwrap(),
+        &[Value::Int(1), Value::Int(2), Value::Int(3)]
+    );
+    assert!(doc.get("c").unwrap().as_seq().unwrap().is_empty());
+}
+
+#[test]
+fn nested_flow() {
+    let doc = parse("a: [[1, 2], ['x', 'y']]\n").unwrap();
+    let outer = doc.get("a").unwrap().as_seq().unwrap();
+    assert_eq!(outer[0].as_seq().unwrap()[1].as_int(), Some(2));
+    assert_eq!(outer[1].as_seq().unwrap()[0].as_str(), Some("x"));
+}
+
+#[test]
+fn flow_mapping() {
+    let doc = parse("m: {a: 1, b: 'two'}\n").unwrap();
+    assert_eq!(doc.get_path(&["m", "a"]).unwrap().as_int(), Some(1));
+    assert_eq!(doc.get_path(&["m", "b"]).unwrap().as_str(), Some("two"));
+}
+
+#[test]
+fn seq_of_maps_inline_first_key() {
+    let doc = parse(
+        "externals:\n- spec: mkl@2022.1.0\n  prefix: /opt/mkl\n- spec: mvapich2@2.3.7\n  prefix: /opt/mvapich2\n",
+    )
+    .unwrap();
+    let seq = doc.get("externals").unwrap().as_seq().unwrap();
+    assert_eq!(seq.len(), 2);
+    assert_eq!(seq[0].get("spec").unwrap().as_str(), Some("mkl@2022.1.0"));
+    assert_eq!(seq[1].get("prefix").unwrap().as_str(), Some("/opt/mvapich2"));
+}
+
+#[test]
+fn seq_item_with_nested_seq_value() {
+    // The `matrices` construct from Figure 10.
+    let text = "matrices:\n- size_threads:\n  - n\n  - n_threads\n";
+    let doc = parse(text).unwrap();
+    let matrices = doc.get("matrices").unwrap().as_seq().unwrap();
+    let m0 = matrices[0].as_map().unwrap();
+    let vars = m0.get("size_threads").unwrap().as_seq().unwrap();
+    assert_eq!(vars, &[s("n"), s("n_threads")]);
+}
+
+#[test]
+fn comments_are_stripped() {
+    let doc = parse("a: 1 # trailing\n# full line\nb: 'with # inside'\n").unwrap();
+    assert_eq!(doc.get("a").unwrap().as_int(), Some(1));
+    assert_eq!(doc.get("b").unwrap().as_str(), Some("with # inside"));
+}
+
+#[test]
+fn quoting_and_escapes() {
+    let doc = parse("a: 'it''s'\nb: \"tab\\there\"\n").unwrap();
+    assert_eq!(doc.get("a").unwrap().as_str(), Some("it's"));
+    assert_eq!(doc.get("b").unwrap().as_str(), Some("tab\there"));
+}
+
+#[test]
+fn keys_with_braces() {
+    // Ramble experiment-name templates use `{var}` inside mapping keys.
+    let doc = parse("saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:\n  variables:\n    n: 1\n").unwrap();
+    let map = doc.as_map().unwrap();
+    assert_eq!(
+        map.keys().next().unwrap(),
+        "saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}"
+    );
+}
+
+#[test]
+fn null_values_for_bare_keys() {
+    let doc = parse("a:\nb: 1\n").unwrap();
+    assert!(doc.get("a").unwrap().is_null());
+    assert_eq!(doc.get("b").unwrap().as_int(), Some(1));
+}
+
+#[test]
+fn duplicate_keys_rejected() {
+    let err = parse("a: 1\na: 2\n").unwrap_err();
+    assert!(err.message.contains("duplicate"));
+    assert_eq!(err.line, 2);
+}
+
+#[test]
+fn tabs_rejected() {
+    assert!(parse("a:\n\tb: 1\n").is_err());
+}
+
+#[test]
+fn unterminated_quote_rejected() {
+    assert!(parse("a: 'oops\n").is_err());
+}
+
+#[test]
+fn unclosed_flow_rejected() {
+    assert!(parse("a: [1, 2\n").is_err());
+}
+
+#[test]
+fn bad_indent_rejected() {
+    assert!(parse("a: 1\n   b: 2\n").is_err());
+}
+
+#[test]
+fn map_merge_semantics() {
+    let mut base = parse("packages:\n  mpi:\n    buildable: true\n  blas:\n    version: 1\n")
+        .unwrap();
+    let over = parse("packages:\n  mpi:\n    buildable: false\n  lapack:\n    version: 2\n")
+        .unwrap();
+    base.as_map_mut()
+        .unwrap()
+        .merge_from(over.as_map().unwrap());
+    assert_eq!(
+        base.get_path(&["packages", "mpi", "buildable"]).unwrap().as_bool(),
+        Some(false)
+    );
+    assert_eq!(
+        base.get_path(&["packages", "blas", "version"]).unwrap().as_int(),
+        Some(1)
+    );
+    assert_eq!(
+        base.get_path(&["packages", "lapack", "version"]).unwrap().as_int(),
+        Some(2)
+    );
+}
+
+#[test]
+fn string_list_helper() {
+    let doc = parse("a: [x, y]\nb: single\n").unwrap();
+    assert_eq!(
+        doc.get("a").unwrap().string_list().unwrap(),
+        vec!["x".to_string(), "y".to_string()]
+    );
+    assert_eq!(
+        doc.get("b").unwrap().string_list().unwrap(),
+        vec!["single".to_string()]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Golden tests: the exact configuration texts from the paper's figures.
+// ---------------------------------------------------------------------------
+
+/// Figure 3: a simple Spack environment manifest.
+#[test]
+fn golden_fig3_spack_manifest() {
+    let text = "spack:\n  specs: [amg2023+caliper]\n  concretizer:\n    unify: true\n  view: true\n";
+    let doc = parse(text).unwrap();
+    assert_eq!(
+        doc.get_path(&["spack", "specs"]).unwrap().as_seq().unwrap()[0].as_str(),
+        Some("amg2023+caliper")
+    );
+    assert_eq!(
+        doc.get_path(&["spack", "concretizer", "unify"]).unwrap().as_bool(),
+        Some(true)
+    );
+    assert_eq!(doc.get_path(&["spack", "view"]).unwrap().as_bool(), Some(true));
+}
+
+/// Figure 4: system packages.yaml with externals.
+#[test]
+fn golden_fig4_packages_externals() {
+    let text = r#"packages:
+  blas:
+    externals:
+    - spec: intel-oneapi-mkl@2022.1.0
+      prefix: /path/to/intel-oneapi-mkl
+    buildable: false
+  mpi:
+    externals:
+    - spec: mvapich2@2.3.7-gcc12.1.1-magic
+      prefix: /path/to/mvapich2
+    buildable: false
+"#;
+    let doc = parse(text).unwrap();
+    let blas = doc.get_path(&["packages", "blas"]).unwrap();
+    assert_eq!(blas.get("buildable").unwrap().as_bool(), Some(false));
+    let ext = blas.get("externals").unwrap().as_seq().unwrap();
+    assert_eq!(ext[0].get("spec").unwrap().as_str(), Some("intel-oneapi-mkl@2022.1.0"));
+    let mpi_ext = doc
+        .get_path(&["packages", "mpi", "externals"])
+        .unwrap()
+        .as_seq()
+        .unwrap();
+    assert_eq!(
+        mpi_ext[0].get("spec").unwrap().as_str(),
+        Some("mvapich2@2.3.7-gcc12.1.1-magic")
+    );
+}
+
+/// Figure 9: Ramble spack section (compiler / package definitions).
+#[test]
+fn golden_fig9_ramble_spack_section() {
+    let text = r#"spack:
+  packages:
+    default-compiler:
+      spack_spec: gcc@12.1.1
+    default-mpi:
+      spack_spec: mvapich2@2.3.7-gcc12.1.1
+    gcc1211:
+      spack_spec: gcc@12.1.1
+    lapack:
+      spack_spec: intel-oneapi-mkl@2022.1.0
+    mpi-compilers:
+      spack_spec: mvapich2@2.3.7-compilers
+"#;
+    let doc = parse(text).unwrap();
+    let pkgs = doc.get_path(&["spack", "packages"]).unwrap().as_map().unwrap();
+    assert_eq!(pkgs.len(), 5);
+    assert_eq!(
+        pkgs.get("default-mpi").unwrap().get("spack_spec").unwrap().as_str(),
+        Some("mvapich2@2.3.7-gcc12.1.1")
+    );
+}
+
+/// Figure 10: the full ramble.yaml (experiments + matrices).
+#[test]
+fn golden_fig10_ramble_yaml() {
+    let text = r#"ramble:
+  include:
+  - ./configs/spack.yaml
+  - ./configs/variables.yaml
+  config:
+    deprecated: true
+    spack_flags:
+      install: '--add --keep-stage'
+      concretize: '-U -f'
+  applications:
+    saxpy:
+      workloads:
+        problem:
+          env_vars:
+            set:
+              OMP_NUM_THREADS: '{n_threads}'
+          variables:
+            n_ranks: '8'
+            batch_time: '120'
+          experiments:
+            saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:
+              variables:
+                processes_per_node: ['8', '4']
+                n_nodes: ['1', '2']
+                n_threads: ['2', '4']
+                n: ['512', '1024']
+              matrices:
+              - size_threads:
+                - n
+                - n_threads
+  spack:
+    packages:
+      saxpy:
+        spack_spec: saxpy@1.0.0 +openmp ^cmake@3.23.1
+        compiler: default-compiler
+    environments:
+      saxpy:
+        packages:
+        - default-mpi
+        - saxpy
+"#;
+    let doc = parse(text).unwrap();
+    let workload = doc
+        .get_path(&["ramble", "applications", "saxpy", "workloads", "problem"])
+        .unwrap();
+    assert_eq!(
+        workload
+            .get_path(&["env_vars", "set", "OMP_NUM_THREADS"])
+            .unwrap()
+            .as_str(),
+        Some("{n_threads}")
+    );
+    let exp = workload
+        .get_path(&["experiments", "saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}"])
+        .unwrap();
+    assert_eq!(
+        exp.get_path(&["variables", "n"]).unwrap().string_list().unwrap(),
+        vec!["512", "1024"]
+    );
+    let matrices = exp.get("matrices").unwrap().as_seq().unwrap();
+    let m0 = matrices[0].get("size_threads").unwrap().string_list().unwrap();
+    assert_eq!(m0, vec!["n", "n_threads"]);
+    assert_eq!(
+        doc.get_path(&["ramble", "spack", "packages", "saxpy", "spack_spec"])
+            .unwrap()
+            .as_str(),
+        Some("saxpy@1.0.0 +openmp ^cmake@3.23.1")
+    );
+    let env_pkgs = doc
+        .get_path(&["ramble", "spack", "environments", "saxpy", "packages"])
+        .unwrap()
+        .string_list()
+        .unwrap();
+    assert_eq!(env_pkgs, vec!["default-mpi", "saxpy"]);
+}
+
+/// Figure 12: variables.yaml with scheduler and launcher commands.
+#[test]
+fn golden_fig12_variables_yaml() {
+    let text = r#"variables:
+  mpi_command: 'srun -N {n_nodes} -n {n_ranks}'
+  batch_submit: 'sbatch {execute_experiment}'
+  batch_nodes: '#SBATCH -N {n_nodes}'
+  batch_ranks: '#SBATCH -n {n_ranks}'
+  batch_timeout: '#SBATCH -t {batch_time}:00'
+  compilers: [gcc1211, intel202160classic]
+"#;
+    let doc = parse(text).unwrap();
+    let vars = doc.get("variables").unwrap();
+    assert_eq!(
+        vars.get("mpi_command").unwrap().as_str(),
+        Some("srun -N {n_nodes} -n {n_ranks}")
+    );
+    // `#SBATCH` lines are quoted so they are not comments.
+    assert_eq!(
+        vars.get("batch_nodes").unwrap().as_str(),
+        Some("#SBATCH -N {n_nodes}")
+    );
+    assert_eq!(
+        vars.get("compilers").unwrap().string_list().unwrap(),
+        vec!["gcc1211", "intel202160classic"]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip tests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn emit_parse_roundtrip_manual() {
+    let mut inner = Map::new();
+    inner.insert("unify", Value::Bool(true));
+    let mut spack = Map::new();
+    spack.insert("specs", Value::Seq(vec![s("amg2023+caliper")]));
+    spack.insert("concretizer", Value::Map(inner));
+    spack.insert("view", Value::Bool(true));
+    let mut root = Map::new();
+    root.insert("spack", Value::Map(spack));
+    let doc = Value::Map(root);
+
+    let text = emit(&doc);
+    let reparsed = parse(&text).unwrap();
+    assert_eq!(reparsed, doc);
+}
+
+#[test]
+fn emit_quotes_ambiguous_strings() {
+    let mut root = Map::new();
+    root.insert("a", s("true"));
+    root.insert("b", s("123"));
+    root.insert("c", s("#not-a-comment"));
+    root.insert("d", s(""));
+    let doc = Value::Map(root);
+    let reparsed = parse(&emit(&doc)).unwrap();
+    assert_eq!(reparsed, doc);
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy for scalar values that survive a round trip.
+    fn scalar_strategy() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            (-1.0e12..1.0e12f64).prop_map(Value::Float),
+            "[ -~]{0,24}".prop_map(|s| Value::Str(s.trim().to_string())),
+        ]
+    }
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        scalar_strategy().prop_recursive(3, 24, 6, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Seq),
+                prop::collection::vec(("[a-z][a-z0-9_]{0,8}", inner), 0..5).prop_map(|pairs| {
+                    let mut map = Map::new();
+                    for (k, v) in pairs {
+                        map.insert(k, v);
+                    }
+                    Value::Map(map)
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        /// emit → parse is the identity on generated documents.
+        #[test]
+        fn roundtrip(v in value_strategy()) {
+            let text = emit(&v);
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+            prop_assert_eq!(reparsed, v);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total(input in "[ -~\n]{0,200}") {
+            let _ = parse(&input);
+        }
+    }
+}

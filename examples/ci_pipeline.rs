@@ -1,0 +1,106 @@
+//! Figure 6 reproduction: the full collaborative continuous-benchmarking
+//! automation loop.
+//!
+//! An outside contributor forks the canonical Benchpark repository and opens
+//! a pull request adding a benchmark run. Hubcast refuses to mirror the
+//! untrusted PR until a site administrator approves it; Jacamar decides
+//! which user the CI jobs run as; the GitLab pipeline builds the software
+//! through Spack (publishing to the shared S3-style binary cache) and runs
+//! the benchmark on the simulated cluster; statuses stream back to GitHub
+//! and the PR merges.
+//!
+//! ```text
+//! cargo run --example ci_pipeline
+//! ```
+
+use benchpark::ci::{
+    run_pipeline, BenchparkExecutor, Hub, Hubcast, Jacamar, Lab, MirrorDecision, Repository,
+    SiteAccounts,
+};
+use benchpark::cluster::{Cluster, Machine};
+use benchpark::core::SystemProfile;
+use benchpark::pkg::Repo;
+
+const CI_CONFIG: &str = "stages:\n  - build\n  - bench\nbuild-cts1:\n  stage: build\n  script:\n    - spack install amg2023+caliper\n  tags: [cts1]\nbench-cts1:\n  stage: bench\n  script:\n    - submit cts1 ci/amg_cts1.sbatch\n  tags: [cts1]\n";
+
+const BENCH_SCRIPT: &str = "#!/bin/bash\n#SBATCH -N 1\n#SBATCH -n 8\n#SBATCH -t 30:00\nsrun -N 1 -n 8 amg -P 2 2 2 -n 64 64 64 -problem 1\n";
+
+fn main() {
+    // --- the canonical repository on GitHub ------------------------------
+    let mut canonical = Repository::init("llnl/benchpark");
+    canonical
+        .commit("main", "olga", "initial import", &[(".gitlab-ci.yml", CI_CONFIG)])
+        .unwrap();
+    let mut hub = Hub::new(canonical);
+    hub.add_admin("olga");
+
+    // --- an outside contributor forks and opens a PR ----------------------
+    let fork = hub.fork("llnl/benchpark", "jens").unwrap();
+    let repo = hub.repos.get_mut(&fork).unwrap();
+    repo.create_branch("add-amg-run", "main").unwrap();
+    repo.commit(
+        "add-amg-run",
+        "jens",
+        "add AMG2023 benchmark run on cts1",
+        &[("ci/amg_cts1.sbatch", BENCH_SCRIPT)],
+    )
+    .unwrap();
+    let pr = hub
+        .open_pr("llnl/benchpark", &fork, "add-amg-run", "main", "jens")
+        .unwrap();
+    println!("PR #{pr} opened by jens (not a member of the trusted org)");
+
+    // --- Hubcast: untrusted PRs wait for approval --------------------------
+    let mut lab = Lab::new();
+    let jacamar = Jacamar::new(SiteAccounts::new(&["olga", "alec"]));
+    let mut hubcast = Hubcast::new();
+
+    match hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr) {
+        MirrorDecision::AwaitingApproval => {
+            println!("hubcast: PR not mirrored — awaiting site/system administrator review")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    println!("olga (site admin) reviews and approves the PR");
+    hub.approve(pr, "olga").unwrap();
+
+    let MirrorDecision::Mirrored { pipeline, run_as } =
+        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr)
+    else {
+        panic!("expected mirror after approval");
+    };
+    println!("hubcast: mirrored to GitLab; pipeline #{pipeline} created");
+    println!("jacamar: jobs will run as `{run_as}` (jens has no site account)");
+
+    // --- CI builders + benchmark runners ----------------------------------
+    let pkg_repo = Repo::builtin();
+    let site = SystemProfile::cts1().site_config();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, site);
+    executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+    run_pipeline(&mut lab, pipeline, &run_as, &mut executor).unwrap();
+
+    let p = lab.pipeline(pipeline).unwrap();
+    println!("\n=== pipeline #{} [{:?}] ===", p.id, p.state());
+    for job in &p.jobs {
+        println!(
+            "\n--- job {} (stage {}, ran as {}) [{:?}] ---",
+            job.name,
+            job.stage,
+            job.ran_as.as_deref().unwrap_or("-"),
+            job.state
+        );
+        print!("{}", job.log);
+    }
+    let (hits, misses, pushes) = executor.cache.stats();
+    println!("\nbinary cache: {hits} hits, {misses} misses, {pushes} pushes");
+
+    // --- status streams back, the PR merges -------------------------------
+    hubcast.report_pipeline(&mut hub, &lab, pr, pipeline);
+    println!("\n=== status checks on PR #{pr} ===");
+    for check in &hub.pr(pr).unwrap().checks {
+        println!("  {:<22} {:?}  {}", check.context, check.state, check.description);
+    }
+    hub.merge("llnl/benchpark", pr).unwrap();
+    println!("\nPR #{pr} merged — the canonical repository now carries the new benchmark");
+}

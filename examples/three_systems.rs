@@ -1,0 +1,73 @@
+//! Paper §4 demonstration: saxpy and AMG2023 built and run on all three
+//! systems — `cts1` (Intel Xeon, Slurm), `ats2` (Power9 + V100, LSF), and
+//! `ats4` (Trento + MI250X, Flux) — each with the programming model the
+//! system supports, everything recorded in one metrics database.
+//!
+//! ```text
+//! cargo run --example three_systems
+//! ```
+
+use benchpark::core::{Benchpark, MetricsDatabase, SystemProfile};
+
+fn main() {
+    let benchpark = Benchpark::new();
+    let db = MetricsDatabase::new();
+    let base = std::env::temp_dir().join("benchpark-three-systems");
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!("=== Systems ===");
+    for profile in SystemProfile::all() {
+        let machine = profile.machine();
+        println!(
+            "{:<9} {:<52} target={} sched={:?}",
+            profile.name,
+            machine.description,
+            machine.target().name,
+            machine.scheduler
+        );
+    }
+
+    let combos = [
+        ("saxpy", "openmp", "cts1"),
+        ("saxpy", "cuda", "ats2"),
+        ("saxpy", "rocm", "ats4"),
+        ("amg2023", "openmp", "cts1"),
+        ("amg2023", "cuda", "ats2"),
+        ("amg2023", "rocm", "ats4"),
+    ];
+
+    for (benchmark, variant, system) in combos {
+        println!("\n=== {benchmark}/{variant} on {system} ===");
+        let mut ws = benchpark
+            .setup_workspace(benchmark, variant, system, base.join(format!("{benchmark}-{system}")))
+            .unwrap_or_else(|e| panic!("{benchmark} on {system}: {e}"));
+        ws.run().expect("runs succeed");
+        let analysis = ws.analyze(&benchpark).expect("analysis succeeds");
+        db.record(system, benchmark, variant, &ws.manifest(), &analysis.results);
+        for result in &analysis.results {
+            let foms: Vec<String> = result
+                .foms
+                .iter()
+                .filter(|f| !f.units.is_empty())
+                .map(|f| format!("{}={} {}", f.name, f.value, f.units))
+                .collect();
+            println!("  {:<40} {:?}  {}", result.experiment, result.status, foms.join("  "));
+        }
+    }
+
+    // the GPU systems should show (much) higher AMG solve FOMs
+    println!("\n=== AMG2023 solve FOM by system (higher is better) ===");
+    for system in ["cts1", "ats2", "ats4"] {
+        let records = db.query(Some("amg2023"), Some(system));
+        let best: f64 = records
+            .iter()
+            .flat_map(|r| r.result.foms.iter())
+            .filter(|f| f.name == "solve_fom")
+            .filter_map(|f| f.as_f64())
+            .fold(0.0, f64::max);
+        println!("  {system:<8} {best:>14.3e} DOF/s");
+    }
+
+    println!("\n=== Dashboard ===");
+    print!("{}", db.render_dashboard());
+}

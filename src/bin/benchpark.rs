@@ -1,0 +1,138 @@
+//! The `benchpark` command-line driver (paper Figure 1a, `bin/benchpark`;
+//! Figure 1c step 2: `/bin/benchpark $experiment $system $workspace_dir`).
+//!
+//! ```text
+//! benchpark list systems                 # available system profiles
+//! benchpark list experiments             # available benchmark/variant pairs
+//! benchpark tree                         # Figure 1a directory structure
+//! benchpark table1                       # Table 1, regenerated
+//! benchpark skeleton <dir>               # write the repository skeleton
+//! benchpark setup <bench>/<variant> <system> <dir>   # steps 1–7
+//! benchpark run   <bench>/<variant> <system> <dir>   # steps 1–9 + results
+//! benchpark fig14 [linear|tree|sag]      # the Figure 14 scaling study
+//! ```
+
+use benchpark::cluster::BcastAlgorithm;
+use benchpark::core::{
+    available_experiments, render_table1, render_tree, scaling, write_skeleton, Benchpark,
+    MetricsDatabase, SystemProfile,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(args.get(1).map(String::as_str)),
+        Some("tree") => {
+            print!("{}", render_tree());
+            Ok(())
+        }
+        Some("table1") => {
+            print!("{}", render_table1());
+            Ok(())
+        }
+        Some("skeleton") => cmd_skeleton(args.get(1)),
+        Some("setup") => cmd_workspace(&args[1..], false),
+        Some("run") => cmd_workspace(&args[1..], true),
+        Some("fig14") => cmd_fig14(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("{}", USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("benchpark: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  benchpark list systems|experiments
+  benchpark tree
+  benchpark table1
+  benchpark skeleton <dir>
+  benchpark setup <benchmark>/<variant> <system> <workspace_dir>
+  benchpark run   <benchmark>/<variant> <system> <workspace_dir>
+  benchpark fig14 [linear|tree|sag]";
+
+fn cmd_list(what: Option<&str>) -> Result<(), String> {
+    match what {
+        Some("systems") => {
+            for profile in SystemProfile::all() {
+                let machine = profile.machine();
+                println!(
+                    "{:<9} {:<52} {:>5} nodes  target={}",
+                    profile.name,
+                    machine.description,
+                    machine.nodes,
+                    machine.target().name
+                );
+            }
+            Ok(())
+        }
+        Some("experiments") => {
+            for (benchmark, variant) in available_experiments() {
+                println!("{benchmark}/{variant}");
+            }
+            Ok(())
+        }
+        _ => Err("expected `list systems` or `list experiments`".to_string()),
+    }
+}
+
+fn cmd_skeleton(dir: Option<&String>) -> Result<(), String> {
+    let dir = dir.ok_or("skeleton needs a target directory")?;
+    write_skeleton(dir).map_err(|e| e.to_string())?;
+    println!("wrote Benchpark repository skeleton to {dir}");
+    Ok(())
+}
+
+fn cmd_workspace(args: &[String], run: bool) -> Result<(), String> {
+    let [experiment, system, workspace_dir] = args else {
+        return Err("expected <benchmark>/<variant> <system> <workspace_dir>".to_string());
+    };
+    let (benchmark, variant) = experiment
+        .split_once('/')
+        .ok_or("experiment must be <benchmark>/<variant>")?;
+
+    let benchpark = Benchpark::new();
+    let mut ws = benchpark.setup_workspace(benchmark, variant, system, workspace_dir)?;
+    println!("{}", ws.log.render());
+    println!(
+        "\n{} experiments rendered under {}/experiments/",
+        ws.setup_report.experiments.len(),
+        workspace_dir
+    );
+    if !run {
+        for exp in &ws.setup_report.experiments {
+            println!("  {}", exp.name);
+        }
+        return Ok(());
+    }
+
+    ws.run().map_err(|e| e.to_string())?;
+    let analysis = ws.analyze(&benchpark).map_err(|e| e.to_string())?;
+    println!("\n{}", analysis.render());
+    let db = MetricsDatabase::new();
+    db.record(system, benchmark, variant, &ws.manifest(), &analysis.results);
+    print!("{}", db.render_dashboard());
+    Ok(())
+}
+
+fn cmd_fig14(algorithm: Option<&str>) -> Result<(), String> {
+    let algorithm = match algorithm {
+        None | Some("linear") => None,
+        Some("tree") => Some(BcastAlgorithm::BinomialTree),
+        Some("sag") => Some(BcastAlgorithm::ScatterAllgather),
+        Some(other) => return Err(format!("unknown algorithm `{other}` (linear|tree|sag)")),
+    };
+    let dir = std::env::temp_dir().join("benchpark-cli-fig14");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = MetricsDatabase::new();
+    let study = scaling::bcast_scaling_study("cts1", algorithm, dir, &db)?;
+    print!("{}", study.render());
+    Ok(())
+}

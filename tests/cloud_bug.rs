@@ -1,0 +1,98 @@
+//! Integration: the §7.1 cross-site debugging story, driven through the
+//! full Benchpark stack — including the "fix" a collaborator would ship.
+
+use benchpark::archspec::{detect, taxonomy};
+use benchpark::cluster::{BinaryInfo, Cluster, JobState, Machine, ProgrammingModel};
+use benchpark::concretizer::Concretizer;
+use benchpark::core::SystemProfile;
+use benchpark::pkg::Repo;
+
+const SCRIPT: &str = "#!/bin/bash\n#SBATCH -N 1\n#SBATCH -n 4\nsrun -n 4 saxpy -n 4096\n";
+
+#[test]
+fn same_binary_works_on_prem_crashes_in_cloud() {
+    let binary = BinaryInfo::for_target("saxpy", "skylake_avx512", ProgrammingModel::OpenMp);
+
+    let mut onprem = Cluster::new(Machine::cts1());
+    onprem.install_binary(binary.clone());
+    let id = onprem.submit_script(SCRIPT, "jens").unwrap();
+    onprem.run_until_idle();
+    assert_eq!(onprem.job(id).unwrap().state, JobState::Completed);
+
+    let mut cloud = Cluster::new(Machine::cloud_c5());
+    cloud.install_binary(binary);
+    let id = cloud.submit_script(SCRIPT, "jens").unwrap();
+    cloud.run_until_idle();
+    let job = cloud.job(id).unwrap();
+    assert_eq!(job.state, JobState::Failed);
+    assert_eq!(job.exit_code, 132, "SIGILL");
+    assert!(job.stdout.contains("illegal instruction"));
+}
+
+#[test]
+fn archspec_diagnoses_the_root_cause() {
+    // the diagnosis that took "days" in the paper: compare what each machine
+    // detects as and what the binary requires
+    let onprem = Machine::cts1();
+    let cloud = Machine::cloud_c5();
+    let onprem_target = detect(&onprem.cpu).unwrap();
+    let cloud_target = detect(&cloud.cpu).unwrap();
+    assert_eq!(onprem_target.name, "skylake_avx512");
+    assert_eq!(cloud_target.name, "skylake");
+    // the delta is exactly the masked hardware feature set
+    let skx = taxonomy().get("skylake_avx512").unwrap();
+    let missing: Vec<&String> = skx
+        .all_features
+        .iter()
+        .filter(|f| !cloud.cpu.features.contains(*f))
+        .collect();
+    assert!(missing.iter().any(|f| f.as_str() == "avx512f"));
+}
+
+#[test]
+fn concretizing_for_the_cloud_system_produces_a_portable_build() {
+    // Benchpark's fix: concretize against the *cloud's* system profile; the
+    // resulting spec targets `skylake`, whose feature set the cloud has.
+    let repo = Repo::builtin();
+    let cloud_profile = SystemProfile::by_name("cloud-c5").unwrap();
+    let site = cloud_profile.site_config();
+    let dag = Concretizer::new(&repo, &site)
+        .concretize(&"saxpy+openmp".parse().unwrap())
+        .unwrap();
+    let target = dag.root_node().spec.target.clone().unwrap();
+    assert_eq!(target, "skylake");
+    let machine = cloud_profile.machine();
+    assert!(machine.can_run_binary_for(&target));
+
+    // and that build runs fine in the cloud
+    let binary = BinaryInfo::for_target("saxpy", &target, ProgrammingModel::OpenMp);
+    let mut cloud = Cluster::new(machine);
+    cloud.install_binary(binary);
+    let id = cloud.submit_script(SCRIPT, "jens").unwrap();
+    cloud.run_until_idle();
+    assert!(cloud.job(id).unwrap().success());
+}
+
+#[test]
+fn performance_delta_between_sites_is_visible() {
+    // §7.2: "cloud resources can be treated like another platform" — and the
+    // interconnect difference shows up immediately in collective latency.
+    let script = "#SBATCH -N 2\n#SBATCH -n 64\nsrun -n 64 osu_bcast -m 8:8 -i 100\n";
+    let latency = |machine: Machine| {
+        let mut cluster = Cluster::new(machine);
+        let id = cluster.submit_script(script, "x").unwrap();
+        cluster.run_until_idle();
+        let out = cluster.job(id).unwrap().stdout.clone();
+        out.lines()
+            .find(|l| l.starts_with("8 "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap()
+    };
+    let onprem = latency(Machine::cts1());
+    let cloud = latency(Machine::cloud_c5());
+    assert!(
+        cloud > onprem,
+        "cloud ethernet ({cloud} us) must be slower than Omni-Path ({onprem} us)"
+    );
+}

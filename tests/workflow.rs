@@ -1,0 +1,115 @@
+//! Integration: the full Figure 1c workflow across every crate — driver →
+//! spack → ramble → cluster → analysis → metrics → perf modeling.
+
+use benchpark::core::{Benchpark, MetricsDatabase};
+use benchpark::perf::extrap;
+use benchpark::ramble::ExperimentStatus;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("benchpark-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_workflow_saxpy_on_cts1() {
+    let benchpark = Benchpark::new();
+    let mut ws = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", temp_dir("wf"))
+        .unwrap();
+
+    // Figure 10's 8 experiments, rendered as Slurm scripts
+    assert_eq!(ws.setup_report.experiments.len(), 8);
+    for exp in &ws.setup_report.experiments {
+        let script = ws.workspace.script(&exp.name).unwrap();
+        assert!(script.starts_with("#!/bin/bash"), "{script}");
+        assert!(script.contains("#SBATCH -N"), "{script}");
+        assert!(script.contains("srun -N"), "{script}");
+    }
+
+    // software went through concretizer + install engine
+    let reports = &ws.setup_report.install_reports["saxpy"];
+    let built: usize = reports.iter().map(|r| r.newly_installed).sum();
+    assert!(built >= 3, "expected saxpy + cmake + mpi, got {built}");
+
+    // run on the simulated cluster and analyze
+    ws.run().unwrap();
+    let analysis = ws.analyze(&benchpark).unwrap();
+    assert_eq!(analysis.results.len(), 8);
+    for result in &analysis.results {
+        assert_eq!(result.status, ExperimentStatus::Success, "{}", result.experiment);
+        // Figure 8's FOM extracted via the rex engine
+        assert!(result.foms.iter().any(|f| f.name == "success" && f.value == "Kernel done"));
+        let t = result
+            .foms
+            .iter()
+            .find(|f| f.name == "kernel_time")
+            .and_then(|f| f.as_f64())
+            .unwrap();
+        assert!(t > 0.0);
+    }
+
+    // record into the metrics DB with the manifest (§5)
+    let db = MetricsDatabase::new();
+    db.record("cts1", "saxpy", "openmp", &ws.manifest(), &analysis.results);
+    assert_eq!(db.len(), 8);
+    assert!(db.all()[0].manifest.contains("saxpy@1.0.0 +openmp"));
+}
+
+#[test]
+fn stream_thread_scaling_models_bandwidth_saturation() {
+    // continuous benchmarking catches the shape of the machine: STREAM triad
+    // bandwidth rises with threads and saturates — Extra-P should NOT pick a
+    // superlinear model.
+    let benchpark = Benchpark::new();
+    let db = MetricsDatabase::new();
+    let mut ws = benchpark
+        .setup_workspace("stream", "openmp", "cts1", temp_dir("stream"))
+        .unwrap();
+    ws.run().unwrap();
+    let analysis = ws.analyze(&benchpark).unwrap();
+    db.record("cts1", "stream", "openmp", &ws.manifest(), &analysis.results);
+
+    let series = db.fom_series("stream", "cts1", "triad_bw", "n_threads");
+    assert_eq!(series.len(), 4);
+    assert!(series.windows(2).all(|w| w[0].1 <= w[1].1 * 1.05));
+    let model = extrap::fit(&series).unwrap();
+    assert!(model.i <= 1.0, "bandwidth cannot scale superlinearly: {model}");
+}
+
+#[test]
+fn workspace_is_reusable_for_reanalysis() {
+    // analyze is a pure function of the captured outputs: running it twice
+    // gives identical results (replicability, §3.2).
+    let benchpark = Benchpark::new();
+    let mut ws = benchpark
+        .setup_workspace("lulesh", "openmp", "cts1", temp_dir("reanalyze"))
+        .unwrap();
+    ws.run().unwrap();
+    let a = ws.analyze(&benchpark).unwrap();
+    let b = ws.analyze(&benchpark).unwrap();
+    assert_eq!(a.results.len(), b.results.len());
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.experiment, rb.experiment);
+        assert_eq!(ra.foms, rb.foms);
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // the whole pipeline is reproducible: same FOM values on a fresh run
+    let run = |tag: &str| {
+        let benchpark = Benchpark::new();
+        let mut ws = benchpark
+            .setup_workspace("amg2023", "openmp", "cts1", temp_dir(tag))
+            .unwrap();
+        ws.run().unwrap();
+        let analysis = ws.analyze(&benchpark).unwrap();
+        analysis
+            .results
+            .iter()
+            .flat_map(|r| r.foms.iter().map(|f| (r.experiment.clone(), f.name.clone(), f.value.clone())))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run("det-a"), run("det-b"));
+}
