@@ -7,10 +7,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlagError {
     /// The compiler has no entry for this microarchitecture at any version.
-    UnsupportedCompiler {
-        uarch: String,
-        compiler: String,
-    },
+    UnsupportedCompiler { uarch: String, compiler: String },
     /// The compiler is known but this version is older than the minimum.
     VersionTooOld {
         uarch: String,

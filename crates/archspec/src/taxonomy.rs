@@ -199,9 +199,12 @@ fn build() -> Taxonomy {
             entry.features.iter().map(|s| s.to_string()).collect();
         let mut ancestors = BTreeSet::new();
         for parent in entry.parents {
-            let p = nodes
-                .get(*parent)
-                .unwrap_or_else(|| panic!("taxonomy entry {} lists unknown parent {parent}", entry.name));
+            let p = nodes.get(*parent).unwrap_or_else(|| {
+                panic!(
+                    "taxonomy entry {} lists unknown parent {parent}",
+                    entry.name
+                )
+            });
             all_features.extend(p.all_features.iter().cloned());
             ancestors.insert(p.name.clone());
             ancestors.extend(p.ancestors.iter().cloned());

@@ -58,7 +58,10 @@ fn generic_levels_thread_through_vendor_lines() {
     let zen4 = tax.get("zen4").unwrap();
     assert!(zen4.has_feature("avx512f"));
     assert!(zen4.is_descendant_of("x86_64_v4"));
-    assert!(tax.get("skylake_avx512").unwrap().is_descendant_of("x86_64_v4"));
+    assert!(tax
+        .get("skylake_avx512")
+        .unwrap()
+        .is_descendant_of("x86_64_v4"));
     // zen3 predates avx512 and must *not* satisfy the v4 level.
     assert!(!tax.get("zen3").unwrap().is_descendant_of("x86_64_v4"));
 }
@@ -115,7 +118,9 @@ fn detect_partial_features_falls_back() {
     let tax = taxonomy();
     let skx = tax.get("skylake_avx512").unwrap();
     let mut cpu = CpuDescription::of(skx);
-    for f in ["avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl", "clwb"] {
+    for f in [
+        "avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl", "clwb",
+    ] {
         cpu.features.remove(f);
     }
     let detected = detect(&cpu).unwrap();

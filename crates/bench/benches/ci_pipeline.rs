@@ -21,7 +21,10 @@ fn source_repo() -> Repository {
         "main",
         "olga",
         "ci",
-        &[(".gitlab-ci.yml", CI_CONFIG), ("ci/amg.sbatch", BENCH_SCRIPT)],
+        &[
+            (".gitlab-ci.yml", CI_CONFIG),
+            ("ci/amg.sbatch", BENCH_SCRIPT),
+        ],
     )
     .unwrap();
     repo
@@ -35,7 +38,12 @@ fn run_once(executor: &mut BenchparkExecutor<'_>, tag: u64) -> f64 {
         .unwrap();
     run_pipeline(&mut lab, id, "olga", executor).unwrap();
     let p = lab.pipeline(id).unwrap();
-    assert_eq!(p.state(), benchpark_ci::PipelineState::Success, "{:#?}", p.jobs);
+    assert_eq!(
+        p.state(),
+        benchpark_ci::PipelineState::Success,
+        "{:#?}",
+        p.jobs
+    );
     // "installed N packages in X virtual seconds"
     p.jobs[0]
         .log

@@ -40,8 +40,14 @@ fn report() {
         hashes.len()
     };
     println!("environment of {} roots:", roots.len());
-    println!("  unify: true  → {} distinct package configurations", count_distinct(&unified));
-    println!("  unify: false → {} distinct package configurations", count_distinct(&independent));
+    println!(
+        "  unify: true  → {} distinct package configurations",
+        count_distinct(&unified)
+    );
+    println!(
+        "  unify: false → {} distinct package configurations",
+        count_distinct(&independent)
+    );
     println!("(unification deduplicates shared dependencies across roots)\n");
 }
 

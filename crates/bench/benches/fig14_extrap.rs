@@ -22,7 +22,11 @@ fn regenerate_fig14() -> Vec<(f64, f64)> {
     print!("{}", linear.render());
     println!("\npaper:  -0.6355857931034596 + 0.04660217702356169 * p^(1)");
     println!("ours:   {}\n", linear.model);
-    assert_eq!((linear.model.i, linear.model.j), (1.0, 0), "shape must match the paper");
+    assert_eq!(
+        (linear.model.i, linear.model.j),
+        (1.0, 0),
+        "shape must match the paper"
+    );
 
     println!("----- ablation A4: binomial-tree broadcast -----\n");
     let tree = scaling::bcast_scaling_study(
@@ -33,7 +37,11 @@ fn regenerate_fig14() -> Vec<(f64, f64)> {
     )
     .expect("ablation runs");
     print!("{}", tree.render());
-    assert_eq!((tree.model.i, tree.model.j), (0.0, 1), "tree must fit log2(p)");
+    assert_eq!(
+        (tree.model.i, tree.model.j),
+        (0.0, 1),
+        "tree must fit log2(p)"
+    );
     println!();
     linear.points
 }

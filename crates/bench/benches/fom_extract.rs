@@ -12,7 +12,11 @@ fn synthetic_log(lines: usize) -> String {
     for i in 0..lines {
         match i % 8 {
             0 => out.push_str("iteration residual 1.0e-05 cycle v\n"),
-            1 => out.push_str(&format!("Solve phase time: {}.{:03} seconds\n", i % 97, i % 1000)),
+            1 => out.push_str(&format!(
+                "Solve phase time: {}.{:03} seconds\n",
+                i % 97,
+                i % 1000
+            )),
             2 => out.push_str(&format!("Figure of Merit (FOM_Solve): {}.4e8\n", i % 9 + 1)),
             3 => out.push_str("Kernel done\n"),
             _ => out.push_str("some unrelated progress output with numbers 123 456\n"),

@@ -11,7 +11,10 @@ fn report() {
     let n = 1 << 22;
     let x = vec![1.0f32; n];
     let y = vec![2.0f32; n];
-    println!("n = {n} elements ({} MiB traffic per call)", n * 12 / (1 << 20));
+    println!(
+        "n = {n} elements ({} MiB traffic per call)",
+        n * 12 / (1 << 20)
+    );
     for threads in [1usize, 2, 4, 8] {
         let mut r = vec![0.0f32; n];
         let start = std::time::Instant::now();

@@ -7,6 +7,7 @@ use benchpark_cluster::Cluster;
 use benchpark_concretizer::SiteConfig;
 use benchpark_pkg::Repo;
 use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
+use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
 
 /// Outcome of one job execution.
@@ -21,6 +22,12 @@ pub trait JobExecutor {
     /// Runs `job` as OS user `run_as` with the mirrored repository contents
     /// available at `branch`.
     fn execute(&mut self, job: &CiJob, repo: &Repository, branch: &str, run_as: &str) -> JobResult;
+
+    /// The sink [`run_pipeline`] uses for pipeline/stage spans and job
+    /// counters. No-op unless the executor overrides it.
+    fn telemetry(&self) -> TelemetrySink {
+        TelemetrySink::noop()
+    }
 }
 
 /// The Benchpark executor: interprets job scripts against the package
@@ -43,6 +50,7 @@ pub struct BenchparkExecutor<'a> {
     /// Benchmark runners, keyed by machine name / job tag.
     pub clusters: BTreeMap<String, Cluster>,
     pub install_opts: InstallOptions,
+    telemetry: TelemetrySink,
 }
 
 impl<'a> BenchparkExecutor<'a> {
@@ -55,11 +63,24 @@ impl<'a> BenchparkExecutor<'a> {
             db: InstallDatabase::new(),
             clusters: BTreeMap::new(),
             install_opts: InstallOptions::default(),
+            telemetry: TelemetrySink::noop(),
         }
     }
 
+    /// Routes executor telemetry (concretize/install instrumentation, cluster
+    /// scheduler metrics, pipeline spans) to `sink`. Clusters registered
+    /// before or after this call all share the sink.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> BenchparkExecutor<'a> {
+        for cluster in self.clusters.values_mut() {
+            cluster.set_telemetry(sink.clone());
+        }
+        self.telemetry = sink;
+        self
+    }
+
     /// Registers a benchmark-runner cluster under a tag.
-    pub fn add_cluster(&mut self, tag: &str, cluster: Cluster) {
+    pub fn add_cluster(&mut self, tag: &str, mut cluster: Cluster) {
+        cluster.set_telemetry(self.telemetry.clone());
         self.clusters.insert(tag.to_string(), cluster);
     }
 
@@ -71,7 +92,8 @@ impl<'a> BenchparkExecutor<'a> {
                 return false;
             }
         };
-        let solver = benchpark_concretizer::Concretizer::new(self.pkg_repo, &self.site);
+        let solver = benchpark_concretizer::Concretizer::new(self.pkg_repo, &self.site)
+            .with_telemetry(self.telemetry.clone());
         let dag = match solver.concretize(&spec) {
             Ok(d) => d,
             Err(e) => {
@@ -81,7 +103,8 @@ impl<'a> BenchparkExecutor<'a> {
         };
         let installer = Installer::new(self.pkg_repo)
             .with_database(self.db.clone())
-            .with_cache(self.cache.clone());
+            .with_cache(self.cache.clone())
+            .with_telemetry(self.telemetry.clone());
         let report = installer.install(&dag, &self.install_opts);
         for result in &report.results {
             log.push_str(&format!(
@@ -134,6 +157,10 @@ impl<'a> BenchparkExecutor<'a> {
 }
 
 impl JobExecutor for BenchparkExecutor<'_> {
+    fn telemetry(&self) -> TelemetrySink {
+        self.telemetry.clone()
+    }
+
     fn execute(&mut self, job: &CiJob, repo: &Repository, branch: &str, run_as: &str) -> JobResult {
         let mut log = format!("$ whoami\n{run_as}\n");
         let mut success = true;
@@ -186,9 +213,12 @@ pub fn run_pipeline(
         .ok_or_else(|| format!("no pipeline #{pipeline_id}"))?;
     let branch = pipeline.branch.clone();
     let stages = pipeline.stages.clone();
+    let sink = executor.telemetry();
+    let _pipeline_span = sink.span("ci.pipeline");
 
     let mut failed = false;
     for stage in &stages {
+        let _stage_span = sink.span(&format!("ci.stage.{stage}"));
         let indices = pipeline.stage_jobs(stage);
         for idx in indices {
             if failed {
@@ -202,8 +232,10 @@ pub fn run_pipeline(
             job.log = result.log;
             job.ran_as = Some(run_as.to_string());
             job.state = if result.success {
+                sink.incr("ci.jobs.success", 1);
                 JobState::Success
             } else {
+                sink.incr("ci.jobs.failed", 1);
                 JobState::Failed
             };
             if !result.success {

@@ -79,7 +79,10 @@ impl Federation {
         let mut outcomes = Vec::new();
         for (site, executor) in self.sites.iter_mut().zip(executors.iter_mut()) {
             let context = format!("gitlab-ci/{}", site.name);
-            let outcome = match site.hubcast.process_pr(hub, &mut site.lab, &site.jacamar, pr) {
+            let outcome = match site
+                .hubcast
+                .process_pr(hub, &mut site.lab, &site.jacamar, pr)
+            {
                 MirrorDecision::AwaitingApproval => SiteOutcome::AwaitingApproval,
                 MirrorDecision::AlreadyMirrored => SiteOutcome::UpToDate,
                 MirrorDecision::Error(e) => {
@@ -103,9 +106,10 @@ impl Federation {
                                 .map(|p| p.state())
                                 .unwrap_or(PipelineState::Failed);
                             let (status, description) = match state {
-                                PipelineState::Success => {
-                                    (StatusState::Success, format!("{}: all jobs passed", site.name))
-                                }
+                                PipelineState::Success => (
+                                    StatusState::Success,
+                                    format!("{}: all jobs passed", site.name),
+                                ),
                                 _ => (
                                     StatusState::Failure,
                                     format!("{}: pipeline #{pipeline} failed", site.name),

@@ -158,7 +158,9 @@ impl Repository {
                 .clone();
             for blob in commit.tree.values() {
                 if let Some(content) = source.blobs.get(blob) {
-                    self.blobs.entry(blob.clone()).or_insert_with(|| content.clone());
+                    self.blobs
+                        .entry(blob.clone())
+                        .or_insert_with(|| content.clone());
                 }
             }
             cursor = commit.parent.clone();
@@ -222,7 +224,8 @@ impl Repository {
                 "cannot fast-forward `{target}`: histories diverged"
             ));
         }
-        self.branches.insert(target.to_string(), source_head.to_string());
+        self.branches
+            .insert(target.to_string(), source_head.to_string());
         Ok(())
     }
 }

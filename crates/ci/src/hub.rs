@@ -49,11 +49,7 @@ pub struct PullRequest {
 impl PullRequest {
     /// All checks concluded successfully (and at least one ran).
     pub fn checks_green(&self) -> bool {
-        !self.checks.is_empty()
-            && self
-                .checks
-                .iter()
-                .all(|c| c.state == StatusState::Success)
+        !self.checks.is_empty() && self.checks.iter().all(|c| c.state == StatusState::Success)
     }
 
     /// Sets or updates a status check by context.

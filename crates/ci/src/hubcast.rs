@@ -137,7 +137,10 @@ impl Hubcast {
                     .filter(|j| j.state == crate::lab::JobState::Failed)
                     .map(|j| j.name.as_str())
                     .collect();
-                (StatusState::Failure, format!("failed jobs: {}", failed.join(", ")))
+                (
+                    StatusState::Failure,
+                    format!("failed jobs: {}", failed.join(", ")),
+                )
             }
             _ => (StatusState::Running, "in progress".to_string()),
         };

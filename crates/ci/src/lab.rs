@@ -52,13 +52,20 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Overall state: failed if any job failed, success if all succeeded.
+    /// Overall state: failed if any job failed, success only if there is at
+    /// least one job and all succeeded. A pipeline with no jobs is Pending
+    /// (never vacuously Success), and one with some — but not all — jobs
+    /// finished is still Running.
     pub fn state(&self) -> PipelineState {
         if self.jobs.iter().any(|j| j.state == JobState::Failed) {
             PipelineState::Failed
-        } else if self.jobs.iter().all(|j| j.state == JobState::Success) {
+        } else if !self.jobs.is_empty() && self.jobs.iter().all(|j| j.state == JobState::Success) {
             PipelineState::Success
-        } else if self.jobs.iter().any(|j| j.state == JobState::Running) {
+        } else if self
+            .jobs
+            .iter()
+            .any(|j| matches!(j.state, JobState::Running | JobState::Success))
+        {
             PipelineState::Running
         } else {
             PipelineState::Pending
@@ -102,9 +109,7 @@ impl Lab {
         source_branch: &str,
         as_branch: &str,
     ) -> Result<u64, String> {
-        let repo = self
-            .repo
-            .get_or_insert_with(|| Repository::init("mirror"));
+        let repo = self.repo.get_or_insert_with(|| Repository::init("mirror"));
         let head = repo.import_branch(source, source_branch, as_branch)?;
         let ci_text = repo
             .read(as_branch, ".gitlab-ci.yml")
@@ -189,6 +194,11 @@ pub fn parse_ci_config(text: &str) -> Result<(Vec<String>, Vec<CiJob>), String> 
         .enumerate()
         .map(|(i, s)| (s.as_str(), i))
         .collect();
-    jobs.sort_by_key(|j| stage_index.get(j.stage.as_str()).copied().unwrap_or(usize::MAX));
+    jobs.sort_by_key(|j| {
+        stage_index
+            .get(j.stage.as_str())
+            .copied()
+            .unwrap_or(usize::MAX)
+    });
     Ok((stages, jobs))
 }

@@ -17,16 +17,32 @@ use benchpark_pkg::Repo;
 fn git_commit_read_and_history() {
     let mut repo = Repository::init("llnl/benchpark");
     let c1 = repo
-        .commit("main", "olga", "add saxpy", &[("experiments/saxpy.yaml", "n: 512\n")])
+        .commit(
+            "main",
+            "olga",
+            "add saxpy",
+            &[("experiments/saxpy.yaml", "n: 512\n")],
+        )
         .unwrap();
     let c2 = repo
-        .commit("main", "olga", "bump n", &[("experiments/saxpy.yaml", "n: 1024\n")])
+        .commit(
+            "main",
+            "olga",
+            "bump n",
+            &[("experiments/saxpy.yaml", "n: 1024\n")],
+        )
         .unwrap();
     assert_ne!(c1, c2);
-    assert_eq!(repo.read("main", "experiments/saxpy.yaml"), Some("n: 1024\n"));
+    assert_eq!(
+        repo.read("main", "experiments/saxpy.yaml"),
+        Some("n: 1024\n")
+    );
     assert_eq!(repo.head("main").unwrap().hash, c2);
     assert_eq!(repo.head("main").unwrap().parent.as_ref(), Some(&c1));
-    assert_eq!(repo.changed_paths(&c2), vec!["experiments/saxpy.yaml".to_string()]);
+    assert_eq!(
+        repo.changed_paths(&c2),
+        vec!["experiments/saxpy.yaml".to_string()]
+    );
 }
 
 #[test]
@@ -43,7 +59,8 @@ fn git_hash_is_content_addressed() {
 #[test]
 fn git_branch_fork_import() {
     let mut repo = Repository::init("llnl/benchpark");
-    repo.commit("main", "olga", "base", &[("README", "hi")]).unwrap();
+    repo.commit("main", "olga", "base", &[("README", "hi")])
+        .unwrap();
 
     let mut fork = repo.fork("alice/benchpark");
     fork.create_branch("feature", "main").unwrap();
@@ -80,7 +97,12 @@ fn git_fast_forward_rules() {
 fn hub_with_pr() -> (Hub, u64) {
     let mut canonical = Repository::init("llnl/benchpark");
     canonical
-        .commit("main", "olga", "base", &[(".gitlab-ci.yml", CI_CONFIG), ("README", "benchpark")])
+        .commit(
+            "main",
+            "olga",
+            "base",
+            &[(".gitlab-ci.yml", CI_CONFIG), ("README", "benchpark")],
+        )
         .unwrap();
     let mut hub = Hub::new(canonical);
     hub.add_admin("olga");
@@ -91,7 +113,10 @@ fn hub_with_pr() -> (Hub, u64) {
         "add-bcast",
         "jens",
         "add bcast benchmark",
-        &[("ci/bcast_cts1.sbatch", "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 100\n")],
+        &[(
+            "ci/bcast_cts1.sbatch",
+            "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 100\n",
+        )],
     )
     .unwrap();
     let pr = hub
@@ -189,7 +214,10 @@ fn updated_pr_requires_fresh_approval_and_remirrors() {
             "add-bcast",
             "jens",
             "tweak message size",
-            &[("ci/bcast_cts1.sbatch", "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 64:64 -i 100\n")],
+            &[(
+                "ci/bcast_cts1.sbatch",
+                "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 64:64 -i 100\n",
+            )],
         )
         .unwrap();
     assert!(hub.refresh_pr_head(pr).unwrap());
@@ -208,7 +236,12 @@ fn updated_pr_requires_fresh_approval_and_remirrors() {
     };
     assert_ne!(p1, p2, "updated head gets a fresh pipeline");
     // the mirrored branch carries the new content
-    let mirrored = lab.repo.as_ref().unwrap().read("pr-1", "ci/bcast_cts1.sbatch").unwrap();
+    let mirrored = lab
+        .repo
+        .as_ref()
+        .unwrap()
+        .read("pr-1", "ci/bcast_cts1.sbatch")
+        .unwrap();
     assert!(mirrored.contains("-m 64:64"), "{mirrored}");
 }
 
@@ -291,7 +324,11 @@ fn golden_fig6_automation_workflow() {
     let build = &p.jobs[0];
     assert!(build.log.contains("installed"), "{}", build.log);
     let bench = &p.jobs[1];
-    assert!(bench.log.contains("OSU MPI Broadcast Latency Test"), "{}", bench.log);
+    assert!(
+        bench.log.contains("OSU MPI Broadcast Latency Test"),
+        "{}",
+        bench.log
+    );
 
     // status streams back; PR becomes mergeable
     hubcast.report_pipeline(&mut hub, &lab, pr, pipeline);
@@ -319,7 +356,9 @@ fn pipeline_failure_blocks_merge() {
         &[("ci/bcast_cts1.sbatch", "srun -n 4 nonexistent_binary\n")],
     )
     .unwrap();
-    let pr = hub.open_pr("llnl/benchpark", &fork, "bad", "main", "eve").unwrap();
+    let pr = hub
+        .open_pr("llnl/benchpark", &fork, "bad", "main", "eve")
+        .unwrap();
     hub.approve(pr, "olga").unwrap();
 
     let mut lab = Lab::new();
@@ -350,7 +389,8 @@ fn pipeline_failure_blocks_merge() {
 fn failed_stage_skips_later_stages() {
     let config = "stages:\n  - build\n  - bench\nb:\n  stage: build\n  script:\n    - spack install definitely-not-a-package\nr:\n  stage: bench\n  script:\n    - echo never runs\n";
     let mut repo = Repository::init("r");
-    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)]).unwrap();
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
     let mut lab = Lab::new();
     let source = repo.clone();
     let id = lab.receive_mirror(&source, "main", "pr-1").unwrap();
@@ -360,8 +400,60 @@ fn failed_stage_skips_later_stages() {
     run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
     let p = lab.pipeline(id).unwrap();
     assert_eq!(p.jobs[0].state, JobState::Failed);
-    assert_eq!(p.jobs[1].state, JobState::Created, "bench stage must be skipped");
+    assert_eq!(
+        p.jobs[1].state,
+        JobState::Created,
+        "bench stage must be skipped"
+    );
     assert_eq!(p.state(), PipelineState::Failed);
+}
+
+#[test]
+fn pipeline_state_empty_and_partial_progress() {
+    use crate::lab::{CiJob, Pipeline};
+
+    let job = |state: JobState| CiJob {
+        name: "j".to_string(),
+        stage: "build".to_string(),
+        script: vec!["echo hi".to_string()],
+        tags: Vec::new(),
+        state,
+        ran_as: None,
+        log: String::new(),
+    };
+    let pipeline = |jobs: Vec<CiJob>| Pipeline {
+        id: 1,
+        commit: "c".to_string(),
+        branch: "pr-1".to_string(),
+        stages: vec!["build".to_string()],
+        jobs,
+    };
+
+    // regression: a pipeline with no jobs must not be vacuously Success
+    assert_eq!(pipeline(Vec::new()).state(), PipelineState::Pending);
+    // nothing started yet
+    assert_eq!(
+        pipeline(vec![job(JobState::Created), job(JobState::Created)]).state(),
+        PipelineState::Pending
+    );
+    // regression: some jobs done, some not yet started → still Running
+    assert_eq!(
+        pipeline(vec![job(JobState::Success), job(JobState::Created)]).state(),
+        PipelineState::Running
+    );
+    assert_eq!(
+        pipeline(vec![job(JobState::Running), job(JobState::Created)]).state(),
+        PipelineState::Running
+    );
+    // terminal states
+    assert_eq!(
+        pipeline(vec![job(JobState::Success), job(JobState::Success)]).state(),
+        PipelineState::Success
+    );
+    assert_eq!(
+        pipeline(vec![job(JobState::Success), job(JobState::Failed)]).state(),
+        PipelineState::Failed
+    );
 }
 
 /// Table 1 row 6: "Hubcast@LLNL/RIKEN/AWS" — three sites validate the same
@@ -390,11 +482,7 @@ fn federation_requires_all_sites_green() {
     // AWS "forgot" to register a runner for the cts1 tag → its bench job fails
     let mut aws = BenchparkExecutor::new(&pkg_repo, site_cfg.clone());
 
-    let outcomes = federation.process_pr(
-        &mut hub,
-        pr,
-        &mut [&mut llnl, &mut riken, &mut aws],
-    );
+    let outcomes = federation.process_pr(&mut hub, pr, &mut [&mut llnl, &mut riken, &mut aws]);
     assert_eq!(outcomes.len(), 3);
     assert_eq!(outcomes[0].1, SiteOutcome::Ran(PipelineState::Success));
     assert_eq!(outcomes[1].1, SiteOutcome::Ran(PipelineState::Success));
@@ -414,32 +502,46 @@ fn federation_requires_all_sites_green() {
     aws.add_cluster("cts1", Cluster::new(Machine::cloud_c5()));
     let outcomes = federation.process_pr(&mut hub, pr, &mut [&mut llnl, &mut riken, &mut aws]);
     assert_eq!(outcomes[0].1, SiteOutcome::UpToDate);
-    assert_eq!(outcomes[2].1, SiteOutcome::UpToDate, "same head is not re-run");
+    assert_eq!(
+        outcomes[2].1,
+        SiteOutcome::UpToDate,
+        "same head is not re-run"
+    );
 
     // the contributor pushes a fix commit → all sites revalidate
     let source_repo = hub.pr(pr).unwrap().source_repo.clone();
     hub.repos
         .get_mut(&source_repo)
         .unwrap()
-        .commit("add-bcast", "jens", "bump iters", &[(
-            "ci/bcast_cts1.sbatch",
-            "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 200\n",
-        )])
+        .commit(
+            "add-bcast",
+            "jens",
+            "bump iters",
+            &[(
+                "ci/bcast_cts1.sbatch",
+                "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 200\n",
+            )],
+        )
         .unwrap();
     hub.refresh_pr_head(pr).unwrap();
     hub.approve(pr, "olga").unwrap();
     let outcomes = federation.process_pr(&mut hub, pr, &mut [&mut llnl, &mut riken, &mut aws]);
-    assert!(outcomes
-        .iter()
-        .all(|(_, o)| *o == SiteOutcome::Ran(PipelineState::Success)), "{outcomes:?}");
+    assert!(
+        outcomes
+            .iter()
+            .all(|(_, o)| *o == SiteOutcome::Ran(PipelineState::Success)),
+        "{outcomes:?}"
+    );
     hub.merge("llnl/benchpark", pr).unwrap();
 }
 
 #[test]
 fn binary_cache_shared_across_pipeline_runs() {
     let mut repo = Repository::init("r");
-    let config = "stages: [build]\nb:\n  stage: build\n  script:\n    - spack install amg2023+caliper\n";
-    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)]).unwrap();
+    let config =
+        "stages: [build]\nb:\n  stage: build\n  script:\n    - spack install amg2023+caliper\n";
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
 
     let pkg_repo = Repo::builtin();
     let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
@@ -456,5 +558,8 @@ fn binary_cache_shared_across_pipeline_runs() {
     run_pipeline(&mut lab, p2, "olga", &mut executor).unwrap();
     let log = &lab.pipeline(p2).unwrap().jobs[0].log;
     assert!(log.contains("FetchFromCache"), "{log}");
-    assert!(!log.contains(" Build "), "second run should not rebuild: {log}");
+    assert!(
+        !log.contains(" Build "),
+        "second run should not rebuild: {log}"
+    );
 }

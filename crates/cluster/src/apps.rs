@@ -41,8 +41,8 @@ impl BinaryInfo {
     /// library would actually emit.
     pub fn for_target(name: &str, target: &str, model: ProgrammingModel) -> BinaryInfo {
         let simd = [
-            "sse4_2", "avx", "avx2", "fma", "avx512f", "avx512bw", "avx512dq", "avx512vl",
-            "vsx", "altivec", "sve", "asimd",
+            "sse4_2", "avx", "avx2", "fma", "avx512f", "avx512bw", "avx512dq", "avx512vl", "vsx",
+            "altivec", "sve", "asimd",
         ];
         let required = benchpark_archspec::taxonomy()
             .get(target)
@@ -365,17 +365,15 @@ fn osu_bcast(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1000);
     let (lo, hi) = match sizes.split_once(':') {
-        Some((a, b)) => (
-            a.parse::<u64>().unwrap_or(8),
-            b.parse::<u64>().unwrap_or(8),
-        ),
+        Some((a, b)) => (a.parse::<u64>().unwrap_or(8), b.parse::<u64>().unwrap_or(8)),
         None => {
             let v = sizes.parse::<u64>().unwrap_or(8);
             (v, v)
         }
     };
     let coll = CollectiveModel::new(&ctx.machine.network);
-    let mut stdout = String::from("# OSU MPI Broadcast Latency Test\n# Size       Avg Latency(us)\n");
+    let mut stdout =
+        String::from("# OSU MPI Broadcast Latency Test\n# Size       Avg Latency(us)\n");
     let mut total = 0.0;
     let mut profile = Vec::new();
     let mut size = lo.max(1);
@@ -416,8 +414,7 @@ fn hpl(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
         (node_peak * ctx.n_nodes as f64, 0.70)
     } else {
         let threads = ctx.n_threads.max(1) as f64;
-        let cores_used =
-            (ranks_per_node as f64 * threads).min(ctx.machine.cores_per_node() as f64);
+        let cores_used = (ranks_per_node as f64 * threads).min(ctx.machine.cores_per_node() as f64);
         let node_peak = ctx.machine.gflops_per_core * 1e9 * cores_used;
         (node_peak * ctx.n_nodes as f64, 0.82)
     };
@@ -481,8 +478,14 @@ fn lulesh(args: &[String], ctx: &RunContext<'_>) -> AppOutput {
         exit_code: 0,
         profile: vec![
             ("main".to_string(), elapsed),
-            ("main/LagrangeLeapFrog".to_string(), compute * iterations as f64),
-            ("MPI_Allreduce".to_string(), coll.allreduce(ctx.n_ranks, 8) * iterations as f64),
+            (
+                "main/LagrangeLeapFrog".to_string(),
+                compute * iterations as f64,
+            ),
+            (
+                "MPI_Allreduce".to_string(),
+                coll.allreduce(ctx.n_ranks, 8) * iterations as f64,
+            ),
         ],
     }
 }

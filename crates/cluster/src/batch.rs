@@ -80,11 +80,15 @@ impl BatchScript {
                 script.workdir = Some(rest.trim().to_string());
             } else if let Some(rest) = line.strip_prefix("export ") {
                 if let Some((k, v)) = rest.split_once('=') {
-                    script.env.insert(k.trim().to_string(), v.trim().to_string());
+                    script
+                        .env
+                        .insert(k.trim().to_string(), v.trim().to_string());
                 }
             } else if is_plain_assignment(line) {
                 if let Some((k, v)) = line.split_once('=') {
-                    script.env.insert(k.trim().to_string(), v.trim().to_string());
+                    script
+                        .env
+                        .insert(k.trim().to_string(), v.trim().to_string());
                 }
             } else {
                 if let Some(cmd) = parse_command(line) {

@@ -5,6 +5,7 @@ use crate::apps::{AppModelFn, AppRegistry, BinaryInfo, ProgrammingModel, RunCont
 use crate::batch::BatchScript;
 use crate::machine::Machine;
 use crate::sched::{JobRequest, JobState, Scheduler, SchedulerPolicy};
+use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
 
 /// Opaque job identifier.
@@ -51,6 +52,7 @@ pub struct Cluster {
     /// extension point): checked before the built-in registry.
     custom_models: BTreeMap<String, AppModelFn>,
     next_id: u64,
+    telemetry: TelemetrySink,
 }
 
 impl Cluster {
@@ -69,7 +71,14 @@ impl Cluster {
             binaries: BTreeMap::new(),
             custom_models: BTreeMap::new(),
             next_id: 1,
+            telemetry: TelemetrySink::noop(),
         }
+    }
+
+    /// Routes scheduler telemetry (queue depth per submit, utilization and
+    /// completion counts per drain) to `sink`.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Registers a performance model for a new executable name — how a
@@ -136,15 +145,20 @@ impl Cluster {
             start_time: None,
             end_time: None,
             stdout: if timed_out {
-                format!("{stdout}slurmstepd: error: *** JOB {} ON {} CANCELLED DUE TO TIME LIMIT ***\n", id.0, self.machine.name)
+                format!(
+                    "{stdout}slurmstepd: error: *** JOB {} ON {} CANCELLED DUE TO TIME LIMIT ***\n",
+                    id.0, self.machine.name
+                )
             } else {
                 stdout
             },
             exit_code: if timed_out { 143 } else { exit_code },
             profile,
             nodes: script.nodes,
-            energy_kwh: self.machine.node_power_kw * script.nodes as f64
-                * duration.min(script.time_limit_s) / 3600.0,
+            energy_kwh: self.machine.node_power_kw
+                * script.nodes as f64
+                * duration.min(script.time_limit_s)
+                / 3600.0,
         };
         self.jobs.insert(id, outcome);
         self.sched.submit(JobRequest {
@@ -153,6 +167,8 @@ impl Cluster {
             time_limit_s: script.time_limit_s,
             actual_runtime_s: duration,
         });
+        self.telemetry
+            .observe("scheduler.queue_depth", self.sched.queue_depth() as f64);
         Ok(id)
     }
 
@@ -179,17 +195,13 @@ impl Cluster {
                 1
             };
             let nodes = cmd.nodes.unwrap_or(script.nodes).max(1);
-            let binary = self
-                .binaries
-                .get(&cmd.exe)
-                .cloned()
-                .unwrap_or_else(|| {
-                    BinaryInfo::for_target(
-                        &cmd.exe,
-                        &self.machine.target().name,
-                        ProgrammingModel::OpenMp,
-                    )
-                });
+            let binary = self.binaries.get(&cmd.exe).cloned().unwrap_or_else(|| {
+                BinaryInfo::for_target(
+                    &cmd.exe,
+                    &self.machine.target().name,
+                    ProgrammingModel::OpenMp,
+                )
+            });
             let seed = seed_for(&self.machine.name, id.0, &cmd.raw);
             let ctx = RunContext {
                 machine: &self.machine,
@@ -230,6 +242,8 @@ impl Cluster {
 
     /// Runs the scheduler event loop until all jobs are done.
     pub fn run_until_idle(&mut self) {
+        let span = self.telemetry.span("scheduler.drain");
+        let mut completed: u64 = 0;
         loop {
             for id in self.sched.try_start() {
                 let now = self.sched.now();
@@ -249,6 +263,7 @@ impl Cluster {
             }
             let now = self.sched.now();
             for id in finished {
+                completed += 1;
                 if let Some(job) = self.jobs.get_mut(&JobId(id)) {
                     job.end_time = Some(now);
                     job.state = if job.exit_code == 143 {
@@ -260,6 +275,12 @@ impl Cluster {
                     };
                 }
             }
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("scheduler.jobs_completed", completed);
+            self.telemetry
+                .observe("scheduler.utilization", self.sched.utilization());
+            span.set_virtual(self.sched.now());
         }
     }
 

@@ -108,6 +108,11 @@ impl Scheduler {
         self.queue.push(request);
     }
 
+    /// Jobs waiting in the queue (not yet started).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
     /// True if any work remains.
     pub fn busy(&self) -> bool {
         !self.queue.is_empty() || !self.running.is_empty()
@@ -138,7 +143,9 @@ impl Scheduler {
                     let fits = self.queue[i].nodes <= self.free_nodes;
                     let harmless = self.now + self.queue[i].time_limit_s <= shadow
                         || self.queue[i].nodes
-                            <= self.free_nodes.saturating_sub(head_nodes.min(self.free_nodes));
+                            <= self
+                                .free_nodes
+                                .saturating_sub(head_nodes.min(self.free_nodes));
                     if fits && harmless {
                         let job = self.queue.remove(i);
                         self.start(job, &mut started);
@@ -197,12 +204,7 @@ impl Scheduler {
     /// Advances to the next completion event. Returns ids of jobs that
     /// finished, or an empty vec when nothing is running.
     pub fn advance(&mut self) -> Vec<u64> {
-        let Some(next_end) = self
-            .running
-            .values()
-            .map(|r| r.end)
-            .min_by(f64::total_cmp)
-        else {
+        let Some(next_end) = self.running.values().map(|r| r.end).min_by(f64::total_cmp) else {
             return Vec::new();
         };
         self.now = next_end.max(self.now);

@@ -111,7 +111,10 @@ fn parse_slurm_script() {
     assert_eq!(s.tasks, 16);
     assert_eq!(s.time_limit_s, 120.0 * 60.0);
     assert_eq!(s.env.get("OMP_NUM_THREADS").unwrap(), "4");
-    assert_eq!(s.workdir.as_deref(), Some("/ws/experiments/saxpy_512_2_16_4"));
+    assert_eq!(
+        s.workdir.as_deref(),
+        Some("/ws/experiments/saxpy_512_2_16_4")
+    );
     assert_eq!(s.commands.len(), 1);
     let cmd = &s.commands[0];
     assert_eq!(cmd.exe, "saxpy"); // path stripped
@@ -123,7 +126,9 @@ fn parse_slurm_script() {
 
 #[test]
 fn parse_lsf_and_flux_dialects() {
-    let lsf = BatchScript::parse("#BSUB -nnodes 4\n#BSUB -W 30\njsrun -n 16 -a 1 amg -P 2 2 4 -n 64 64 64 -problem 1\n");
+    let lsf = BatchScript::parse(
+        "#BSUB -nnodes 4\n#BSUB -W 30\njsrun -n 16 -a 1 amg -P 2 2 4 -n 64 64 64 -problem 1\n",
+    );
     assert_eq!(lsf.nodes, 4);
     assert_eq!(lsf.time_limit_s, 1800.0);
     assert_eq!(lsf.commands[0].exe, "amg");
@@ -158,7 +163,11 @@ fn saxpy_kernel_correct_serial_and_parallel() {
         let mut r = vec![0.0f32; n];
         saxpy_kernel(&mut r, &x, &y, 3.0, threads);
         for i in (0..n).step_by(9973) {
-            assert_eq!(r[i], 3.0 * x[i] + y[i], "mismatch at {i} with {threads} threads");
+            assert_eq!(
+                r[i],
+                3.0 * x[i] + y[i],
+                "mismatch at {i} with {threads} threads"
+            );
         }
     }
 }
@@ -204,7 +213,8 @@ fn output_is_deterministic() {
 #[test]
 fn amg_runs_on_all_three_paper_systems() {
     for machine in [Machine::cts1(), Machine::ats2(), Machine::ats4()] {
-        let script = "#SBATCH -N 1\n#SBATCH -n 8\nsrun -N 1 -n 8 amg -P 2 2 2 -n 64 64 64 -problem 1\n";
+        let script =
+            "#SBATCH -N 1\n#SBATCH -n 8\nsrun -N 1 -n 8 amg -P 2 2 2 -n 64 64 64 -problem 1\n";
         let mut cluster = Cluster::new(machine);
         let id = cluster.submit_script(script, "bob").unwrap();
         cluster.run_until_idle();
@@ -245,17 +255,26 @@ fn gpu_machines_solve_faster_on_amg() {
             .find(|l| l.starts_with("Solve phase time:"))
             .unwrap()
             .to_string();
-        line.split_whitespace().nth(3).unwrap().parse::<f64>().unwrap()
+        line.split_whitespace()
+            .nth(3)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap()
     };
     let cpu = run(Machine::cts1(), ProgrammingModel::OpenMp);
     let gpu = run(Machine::ats4(), ProgrammingModel::Rocm);
-    assert!(gpu < cpu, "MI250X solve ({gpu}) should beat CPU solve ({cpu})");
+    assert!(
+        gpu < cpu,
+        "MI250X solve ({gpu}) should beat CPU solve ({cpu})"
+    );
 }
 
 #[test]
 fn unknown_command_gives_127() {
     let mut cluster = Cluster::new(Machine::cts1());
-    let id = cluster.submit_script("srun -n 2 not_a_real_binary --flag\n", "x").unwrap();
+    let id = cluster
+        .submit_script("srun -n 2 not_a_real_binary --flag\n", "x")
+        .unwrap();
     cluster.run_until_idle();
     let job = cluster.job(id).unwrap();
     assert_eq!(job.exit_code, 127);
@@ -345,7 +364,10 @@ fn scheduler_never_oversubscribes() {
     let a = cluster.submit_script(&wide, "x").unwrap();
     let b = cluster.submit_script(&wide, "x").unwrap();
     cluster.run_until_idle();
-    let (ja, jb) = (cluster.job(a).unwrap().clone(), cluster.job(b).unwrap().clone());
+    let (ja, jb) = (
+        cluster.job(a).unwrap().clone(),
+        cluster.job(b).unwrap().clone(),
+    );
     assert!(jb.start_time.unwrap() >= ja.end_time.unwrap() - 1e-9);
 }
 
@@ -395,8 +417,16 @@ fn degraded_memory_bandwidth_shows_in_stream() {
             .unwrap();
         cluster.run_until_idle();
         let out = cluster.job(id).unwrap().stdout.clone();
-        let line = out.lines().find(|l| l.starts_with("Triad:")).unwrap().to_string();
-        line.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap()
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("Triad:"))
+            .unwrap()
+            .to_string();
+        line.split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap()
     };
     let healthy = run(Machine::cts1());
     let degraded = run(FaultSpec::DegradeMemoryBandwidth(0.5).apply(Machine::cts1()));
@@ -404,6 +434,28 @@ fn degraded_memory_bandwidth_shows_in_stream() {
         degraded < healthy * 0.6,
         "triad {degraded} vs healthy {healthy}"
     );
+}
+
+#[test]
+fn fault_apply_edge_cases() {
+    // a "degradation" factor above 1.0 clamps: faults never improve bandwidth
+    let healthy = Machine::cts1();
+    let boosted = FaultSpec::DegradeMemoryBandwidth(3.0).apply(Machine::cts1());
+    assert!(boosted.memory_bw_gb_s <= healthy.memory_bw_gb_s);
+
+    // failing more nodes than exist saturates at zero instead of wrapping
+    let emptied = FaultSpec::FailNodes(healthy.nodes + 100).apply(Machine::cts1());
+    assert_eq!(emptied.nodes, 0);
+
+    // masking a feature the CPU never had is a no-op
+    let feature_count = healthy.cpu.features.len();
+    let masked =
+        FaultSpec::MaskCpuFeatures(vec!["not_a_real_feature".to_string()]).apply(Machine::cts1());
+    assert_eq!(masked.cpu.features.len(), feature_count);
+
+    // latency can only inflate: a factor below 1.0 is treated as 1.0
+    let faster = FaultSpec::InflateNetworkLatency(0.25).apply(Machine::cts1());
+    assert!(faster.network.latency_us >= healthy.network.latency_us);
 }
 
 #[test]
@@ -486,12 +538,23 @@ fn inflate_latency_slows_osu_bcast() {
     let run = |machine: Machine| {
         let mut cluster = Cluster::new(machine);
         let id = cluster
-            .submit_script("#SBATCH -N 8\n#SBATCH -n 64\nsrun -n 64 osu_bcast -m 8:8 -i 100\n", "x")
+            .submit_script(
+                "#SBATCH -N 8\n#SBATCH -n 64\nsrun -n 64 osu_bcast -m 8:8 -i 100\n",
+                "x",
+            )
             .unwrap();
         cluster.run_until_idle();
         let out = cluster.job(id).unwrap().stdout.clone();
-        let line = out.lines().find(|l| l.starts_with("8 ")).unwrap().to_string();
-        line.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap()
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("8 "))
+            .unwrap()
+            .to_string();
+        line.split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap()
     };
     let healthy = run(Machine::cts1());
     let slow = run(FaultSpec::InflateNetworkLatency(10.0).apply(Machine::cts1()));

@@ -9,7 +9,10 @@ pub enum ConcretizeError {
     /// The repository has no recipe (and no provider) for this name.
     UnknownPackage { name: String },
     /// A virtual package has no provider compatible with the constraints.
-    NoProvider { virtual_name: String, constraint: String },
+    NoProvider {
+        virtual_name: String,
+        constraint: String,
+    },
     /// No declared version of the package satisfies the constraints.
     NoVersion { name: String, constraint: String },
     /// The requested compiler is not installed on this system.
@@ -43,9 +46,15 @@ impl fmt::Display for ConcretizeError {
             ConcretizeError::NoProvider {
                 virtual_name,
                 constraint,
-            } => write!(f, "no provider of virtual `{virtual_name}` satisfies `{constraint}`"),
+            } => write!(
+                f,
+                "no provider of virtual `{virtual_name}` satisfies `{constraint}`"
+            ),
             ConcretizeError::NoVersion { name, constraint } => {
-                write!(f, "no declared version of `{name}` satisfies `@{constraint}`")
+                write!(
+                    f,
+                    "no declared version of `{name}` satisfies `@{constraint}`"
+                )
             }
             ConcretizeError::NoCompiler { requested } => {
                 write!(f, "compiler `{requested}` is not installed on this system")

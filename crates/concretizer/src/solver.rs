@@ -6,18 +6,31 @@ use crate::error::ConcretizeError;
 use crate::result::{content_hash, ConcreteNode, ConcreteSpec, Origin};
 use benchpark_pkg::Repo;
 use benchpark_spec::{CompilerSpec, Spec, VersionConstraint};
+use benchpark_telemetry::TelemetrySink;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The concretizer: borrows a repository and site configuration.
 pub struct Concretizer<'a> {
     repo: &'a Repo,
     config: &'a SiteConfig,
+    telemetry: TelemetrySink,
 }
 
 impl<'a> Concretizer<'a> {
     /// Creates a solver for the given repository and site.
     pub fn new(repo: &'a Repo, config: &'a SiteConfig) -> Concretizer<'a> {
-        Concretizer { repo, config }
+        Concretizer {
+            repo,
+            config,
+            telemetry: TelemetrySink::noop(),
+        }
+    }
+
+    /// Routes solver telemetry (solve counts, propagation passes, rejected
+    /// provider candidates, per-environment `concretize` spans) to `sink`.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Concretizer<'a> {
+        self.telemetry = sink;
+        self
     }
 
     /// Concretizes a single abstract spec.
@@ -38,6 +51,7 @@ impl<'a> Concretizer<'a> {
         roots: &[Spec],
         unify: bool,
     ) -> Result<Vec<ConcreteSpec>, ConcretizeError> {
+        let _span = self.telemetry.span("concretize");
         if unify {
             let mut solve = Solve::new(self);
             for root in roots {
@@ -241,12 +255,7 @@ impl<'a, 'b> Solve<'a, 'b> {
                 .iter()
                 .map(|p| p.name.clone())
                 .collect();
-            rest.sort_by_key(|n| {
-                (
-                    self.cz.config.externals_for(n).is_empty(),
-                    n.clone(),
-                )
-            });
+            rest.sort_by_key(|n| (self.cz.config.externals_for(n).is_empty(), n.clone()));
             names.extend(rest);
             names
         };
@@ -255,11 +264,7 @@ impl<'a, 'b> Solve<'a, 'b> {
             let Some(pkg) = self.cz.repo.get(&candidate) else {
                 continue;
             };
-            let Some(provide) = pkg
-                .provides
-                .iter()
-                .find(|p| p.virtual_name == virtual_name)
-            else {
+            let Some(provide) = pkg.provides.iter().find(|p| p.virtual_name == virtual_name) else {
                 continue;
             };
             // candidate must be compatible with the constraint, plus any
@@ -273,15 +278,18 @@ impl<'a, 'b> Solve<'a, 'b> {
                 let mut cond = when.clone();
                 cond.name = Some(candidate.clone());
                 if c.constrain(&cond).is_err() {
+                    self.cz.telemetry.incr("concretizer.rejected_providers", 1);
                     continue;
                 }
             }
             if probe.constrain(&c).is_err() {
+                self.cz.telemetry.incr("concretizer.rejected_providers", 1);
                 continue;
             }
             // and with any existing node of that name
             if let Some(existing) = self.nodes.get(&candidate) {
                 if !existing.spec.intersects(&probe) {
+                    self.cz.telemetry.incr("concretizer.rejected_providers", 1);
                     continue;
                 }
             }
@@ -314,7 +322,9 @@ impl<'a, 'b> Solve<'a, 'b> {
     /// Runs propagation to fixpoint, then finalizes all choices.
     fn run(&mut self) -> Result<(), ConcretizeError> {
         const MAX_ITERS: usize = 64;
+        self.cz.telemetry.incr("concretizer.solves", 1);
         for _ in 0..MAX_ITERS {
+            self.cz.telemetry.incr("concretizer.passes", 1);
             if !self.propagate_once()? {
                 break;
             }
@@ -376,7 +386,11 @@ impl<'a, 'b> Solve<'a, 'b> {
                     return Err(ConcretizeError::UnknownPackage { name: dep_name });
                 };
                 let node = self.nodes.get_mut(&key).unwrap();
-                if node.deps.insert(child_key.clone(), child_key.clone()).is_none() {
+                if node
+                    .deps
+                    .insert(child_key.clone(), child_key.clone())
+                    .is_none()
+                {
                     changed = true;
                 }
             }
@@ -545,29 +559,31 @@ impl<'a, 'b> Solve<'a, 'b> {
 
             // compiler
             let node_compiler = self.nodes[&key].spec.compiler.clone();
-            let chosen_compiler = match &node_compiler {
-                Some(c) => {
-                    let found = self.cz.config.find_compiler(c).ok_or_else(|| {
-                        ConcretizeError::NoCompiler {
-                            requested: c.to_string(),
-                        }
-                    })?;
-                    CompilerSpec::new(&found.name, VersionConstraint::exactly(found.version.clone()))
-                }
-                None => {
-                    let default =
-                        self.cz
-                            .config
-                            .default_compiler()
-                            .ok_or(ConcretizeError::NoCompiler {
+            let chosen_compiler =
+                match &node_compiler {
+                    Some(c) => {
+                        let found = self.cz.config.find_compiler(c).ok_or_else(|| {
+                            ConcretizeError::NoCompiler {
+                                requested: c.to_string(),
+                            }
+                        })?;
+                        CompilerSpec::new(
+                            &found.name,
+                            VersionConstraint::exactly(found.version.clone()),
+                        )
+                    }
+                    None => {
+                        let default = self.cz.config.default_compiler().ok_or(
+                            ConcretizeError::NoCompiler {
                                 requested: "<site default>".to_string(),
-                            })?;
-                    CompilerSpec::new(
-                        &default.name,
-                        VersionConstraint::exactly(default.version.clone()),
-                    )
-                }
-            };
+                            },
+                        )?;
+                        CompilerSpec::new(
+                            &default.name,
+                            VersionConstraint::exactly(default.version.clone()),
+                        )
+                    }
+                };
             // target
             let target = self.nodes[&key]
                 .spec

@@ -1,6 +1,6 @@
 //! Tests for the concretizer.
 
-use crate::{Concretizer, ConcretizeError, External, Origin, SiteConfig};
+use crate::{ConcretizeError, Concretizer, External, Origin, SiteConfig};
 use benchpark_pkg::Repo;
 use benchpark_spec::Spec;
 
@@ -47,9 +47,18 @@ fn defaults_fill_unset_variants() {
     let result = cts(&repo, &config).concretize(&spec("saxpy")).unwrap();
     let root = result.root_node();
     use benchpark_spec::VariantValue;
-    assert_eq!(root.spec.variants.get("openmp"), Some(&VariantValue::Bool(true)));
-    assert_eq!(root.spec.variants.get("cuda"), Some(&VariantValue::Bool(false)));
-    assert_eq!(root.spec.variants.get("rocm"), Some(&VariantValue::Bool(false)));
+    assert_eq!(
+        root.spec.variants.get("openmp"),
+        Some(&VariantValue::Bool(true))
+    );
+    assert_eq!(
+        root.spec.variants.get("cuda"),
+        Some(&VariantValue::Bool(false))
+    );
+    assert_eq!(
+        root.spec.variants.get("rocm"),
+        Some(&VariantValue::Bool(false))
+    );
 }
 
 #[test]
@@ -61,8 +70,14 @@ fn user_variants_override_defaults() {
         .unwrap();
     use benchpark_spec::VariantValue;
     let root = result.root_node();
-    assert_eq!(root.spec.variants.get("openmp"), Some(&VariantValue::Bool(false)));
-    assert_eq!(root.spec.variants.get("cuda"), Some(&VariantValue::Bool(true)));
+    assert_eq!(
+        root.spec.variants.get("openmp"),
+        Some(&VariantValue::Bool(false))
+    );
+    assert_eq!(
+        root.spec.variants.get("cuda"),
+        Some(&VariantValue::Bool(true))
+    );
     // +cuda activates the conditional dependency
     assert!(result.nodes.contains_key("cuda"));
 }
@@ -71,11 +86,15 @@ fn user_variants_override_defaults() {
 fn conditional_deps_follow_variants() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
-    let plain = cts(&repo, &config).concretize(&spec("saxpy+openmp")).unwrap();
+    let plain = cts(&repo, &config)
+        .concretize(&spec("saxpy+openmp"))
+        .unwrap();
     assert!(!plain.nodes.contains_key("cuda"));
     assert!(!plain.nodes.contains_key("hip"));
 
-    let rocm = cts(&repo, &config).concretize(&spec("saxpy+rocm~openmp")).unwrap();
+    let rocm = cts(&repo, &config)
+        .concretize(&spec("saxpy+rocm~openmp"))
+        .unwrap();
     assert!(rocm.nodes.contains_key("hip"));
     assert!(!rocm.nodes.contains_key("cuda"));
 }
@@ -85,8 +104,17 @@ fn amg_full_stack() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
     // Figure 2/3's spec
-    let result = cts(&repo, &config).concretize(&spec("amg2023+caliper")).unwrap();
-    for dep in ["hypre", "caliper", "adiak", "cmake", "mvapich2", "intel-oneapi-mkl"] {
+    let result = cts(&repo, &config)
+        .concretize(&spec("amg2023+caliper"))
+        .unwrap();
+    for dep in [
+        "hypre",
+        "caliper",
+        "adiak",
+        "cmake",
+        "mvapich2",
+        "intel-oneapi-mkl",
+    ] {
         assert!(result.nodes.contains_key(dep), "missing {dep}:\n{result}");
     }
     // MKL provides both blas and lapack — exactly one node for both virtuals
@@ -112,9 +140,13 @@ fn virtual_root_resolves_to_provider() {
 fn provider_preference_is_honored() {
     let repo = Repo::builtin();
     let mut config = SiteConfig::example_cts();
-    config.provider_prefs.insert("mpi".into(), vec!["openmpi".into()]);
+    config
+        .provider_prefs
+        .insert("mpi".into(), vec!["openmpi".into()]);
     config.not_buildable.clear();
-    let result = cts(&repo, &config).concretize(&spec("osu-micro-benchmarks")).unwrap();
+    let result = cts(&repo, &config)
+        .concretize(&spec("osu-micro-benchmarks"))
+        .unwrap();
     assert!(result.nodes.contains_key("openmpi"), "{result}");
 }
 
@@ -128,7 +160,12 @@ fn explicit_provider_request_wins() {
         .unwrap();
     assert!(result.nodes.contains_key("openmpi"), "{result}");
     assert_eq!(
-        result.nodes["openmpi"].spec.versions.concrete().unwrap().as_str(),
+        result.nodes["openmpi"]
+            .spec
+            .versions
+            .concrete()
+            .unwrap()
+            .as_str(),
         "4.1.4"
     );
     // openmpi is adopted as the mpi provider; mvapich2 is not pulled in
@@ -139,11 +176,33 @@ fn explicit_provider_request_wins() {
 fn version_selection_prefers_newest_admitted() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
-    let result = cts(&repo, &config).concretize(&spec("cmake@3.20:")).unwrap();
-    assert_eq!(result.root_node().spec.versions.concrete().unwrap().as_str(), "3.23.1");
+    let result = cts(&repo, &config)
+        .concretize(&spec("cmake@3.20:"))
+        .unwrap();
+    assert_eq!(
+        result
+            .root_node()
+            .spec
+            .versions
+            .concrete()
+            .unwrap()
+            .as_str(),
+        "3.23.1"
+    );
 
-    let result = cts(&repo, &config).concretize(&spec("cmake@:3.21")).unwrap();
-    assert_eq!(result.root_node().spec.versions.concrete().unwrap().as_str(), "3.20.2");
+    let result = cts(&repo, &config)
+        .concretize(&spec("cmake@:3.21"))
+        .unwrap();
+    assert_eq!(
+        result
+            .root_node()
+            .spec
+            .versions
+            .concrete()
+            .unwrap()
+            .as_str(),
+        "3.20.2"
+    );
 }
 
 #[test]
@@ -154,14 +213,25 @@ fn site_version_preference() {
         .version_prefs
         .insert("cmake".into(), spec("cmake@3.20.2").versions);
     let result = cts(&repo, &config).concretize(&spec("cmake")).unwrap();
-    assert_eq!(result.root_node().spec.versions.concrete().unwrap().as_str(), "3.20.2");
+    assert_eq!(
+        result
+            .root_node()
+            .spec
+            .versions
+            .concrete()
+            .unwrap()
+            .as_str(),
+        "3.20.2"
+    );
 }
 
 #[test]
 fn no_version_error() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
-    let err = cts(&repo, &config).concretize(&spec("cmake@99.9")).unwrap_err();
+    let err = cts(&repo, &config)
+        .concretize(&spec("cmake@99.9"))
+        .unwrap_err();
     assert!(matches!(err, ConcretizeError::NoVersion { .. }), "{err}");
 }
 
@@ -169,7 +239,9 @@ fn no_version_error() {
 fn unknown_package_error() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
-    let err = cts(&repo, &config).concretize(&spec("no-such-pkg")).unwrap_err();
+    let err = cts(&repo, &config)
+        .concretize(&spec("no-such-pkg"))
+        .unwrap_err();
     assert!(matches!(err, ConcretizeError::UnknownPackage { .. }));
 }
 
@@ -236,19 +308,31 @@ fn compiler_propagates_to_dependencies() {
 fn dag_hash_stability_and_sensitivity() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
-    let a = cts(&repo, &config).concretize(&spec("saxpy+openmp")).unwrap();
-    let b = cts(&repo, &config).concretize(&spec("saxpy+openmp")).unwrap();
+    let a = cts(&repo, &config)
+        .concretize(&spec("saxpy+openmp"))
+        .unwrap();
+    let b = cts(&repo, &config)
+        .concretize(&spec("saxpy+openmp"))
+        .unwrap();
     assert_eq!(a.dag_hash(), b.dag_hash(), "hashes must be deterministic");
 
-    let c = cts(&repo, &config).concretize(&spec("saxpy~openmp")).unwrap();
-    assert_ne!(a.dag_hash(), c.dag_hash(), "different variants, different hash");
+    let c = cts(&repo, &config)
+        .concretize(&spec("saxpy~openmp"))
+        .unwrap();
+    assert_ne!(
+        a.dag_hash(),
+        c.dag_hash(),
+        "different variants, different hash"
+    );
 
     // changing a dependency changes the root hash
     let mut config2 = SiteConfig::example_cts();
     config2
         .version_prefs
         .insert("cmake".into(), spec("cmake@3.20.2").versions);
-    let d = cts(&repo, &config2).concretize(&spec("saxpy+openmp")).unwrap();
+    let d = cts(&repo, &config2)
+        .concretize(&spec("saxpy+openmp"))
+        .unwrap();
     assert_ne!(a.dag_hash(), d.dag_hash());
 }
 
@@ -256,7 +340,9 @@ fn dag_hash_stability_and_sensitivity() {
 fn build_order_is_dependency_first() {
     let repo = Repo::builtin();
     let config = SiteConfig::example_cts();
-    let result = cts(&repo, &config).concretize(&spec("amg2023+caliper")).unwrap();
+    let result = cts(&repo, &config)
+        .concretize(&spec("amg2023+caliper"))
+        .unwrap();
     let order: Vec<&str> = result
         .build_order()
         .iter()
@@ -340,7 +426,9 @@ fn conditional_provides_skipped_when_contradicted() {
     let config = SiteConfig::example_cts();
     // netlib is pinned ~scalapack, so it cannot provide the virtual; there is
     // no other provider → NoProvider
-    let err = cts(&repo, &config).concretize(&spec("solver-app")).unwrap_err();
+    let err = cts(&repo, &config)
+        .concretize(&spec("solver-app"))
+        .unwrap_err();
     assert!(matches!(err, ConcretizeError::NoProvider { .. }), "{err}");
 }
 
@@ -372,7 +460,10 @@ fn unify_conflict_detected() {
     let err = cts(&repo, &config)
         .concretize_env(&[spec("cmake@=3.23.1"), spec("cmake@=3.20.2")], true)
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::UnifyConflict { .. }), "{err}");
+    assert!(
+        matches!(err, ConcretizeError::UnifyConflict { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -438,23 +529,23 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    const PKGS: &[&str] = &["saxpy", "amg2023", "stream", "lulesh", "hypre", "caliper", "cmake"];
+    const PKGS: &[&str] = &[
+        "saxpy", "amg2023", "stream", "lulesh", "hypre", "caliper", "cmake",
+    ];
     const VARIANTS: &[&str] = &["", "+openmp", "~openmp", "+caliper"];
 
     fn arb_root() -> impl Strategy<Value = String> {
-        (prop::sample::select(PKGS), prop::sample::select(VARIANTS)).prop_map(
-            |(p, v)| {
-                // only attach variants the package declares
-                let repo = Repo::builtin();
-                let pkg = repo.get(p).unwrap();
-                let vname = v.trim_start_matches(['+', '~']);
-                if v.is_empty() || !pkg.has_variant(vname) {
-                    p.to_string()
-                } else {
-                    format!("{p}{v}")
-                }
-            },
-        )
+        (prop::sample::select(PKGS), prop::sample::select(VARIANTS)).prop_map(|(p, v)| {
+            // only attach variants the package declares
+            let repo = Repo::builtin();
+            let pkg = repo.get(p).unwrap();
+            let vname = v.trim_start_matches(['+', '~']);
+            if v.is_empty() || !pkg.has_variant(vname) {
+                p.to_string()
+            } else {
+                format!("{p}{v}")
+            }
+        })
     }
 
     proptest! {

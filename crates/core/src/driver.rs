@@ -6,8 +6,9 @@ use benchpark_cluster::{AppModelFn, BinaryInfo, Cluster, Machine, ProgrammingMod
 use benchpark_concretizer::Concretizer;
 use benchpark_pkg::{AppRepo, Repo};
 use benchpark_ramble::{AnalyzeReport, RambleError, RunOutput, SetupReport, Workspace};
-use benchpark_spack::InstallOptions;
+use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
 use benchpark_spec::VariantValue;
+use benchpark_telemetry::TelemetrySink;
 use std::path::Path;
 
 /// A transcript of the workflow steps executed (Figure 1c's numbering).
@@ -32,6 +33,11 @@ impl WorkflowLog {
 pub struct Benchpark {
     pub repo: Repo,
     pub app_repo: AppRepo,
+    telemetry: TelemetrySink,
+    /// Site-wide rolling binary cache (Figure 6's S3 bucket): builds from
+    /// workspace setup publish here, and the per-system install in step 7
+    /// fetches from it.
+    site_cache: BinaryCache,
 }
 
 impl Default for Benchpark {
@@ -48,7 +54,26 @@ impl Benchpark {
         Benchpark {
             repo: Repo::builtin(),
             app_repo: AppRepo::builtin(),
+            telemetry: TelemetrySink::noop(),
+            site_cache: BinaryCache::new(),
         }
+    }
+
+    /// Routes pipeline telemetry (setup/run/analyze spans and every
+    /// substrate's counters) to `sink` — the `benchpark trace` entry point.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Benchpark {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The driver's telemetry sink.
+    pub fn telemetry(&self) -> TelemetrySink {
+        self.telemetry.clone()
+    }
+
+    /// The site-wide binary cache shared by all workspaces of this driver.
+    pub fn site_cache(&self) -> BinaryCache {
+        self.site_cache.clone()
     }
 
     /// Overlays a contributed package recipe (Benchpark's `repo/` mechanism,
@@ -117,20 +142,28 @@ impl Benchpark {
         machine_override: Option<Machine>,
         app_models: &[(&str, AppModelFn)],
     ) -> Result<BenchparkWorkspace, String> {
+        let _setup_span = self.telemetry.span("pipeline.setup");
         let mut log = WorkflowLog::default();
         log.step(1, "user clones Benchpark repository (builtin repos loaded)");
 
-        let profile = SystemProfile::by_name(system)
-            .ok_or_else(|| format!("unknown system `{system}`"))?;
+        let profile =
+            SystemProfile::by_name(system).ok_or_else(|| format!("unknown system `{system}`"))?;
         log.step(
             2,
-            format!("benchpark {benchmark}/{variant} {system} {}", workspace_dir.as_ref().display()),
+            format!(
+                "benchpark {benchmark}/{variant} {system} {}",
+                workspace_dir.as_ref().display()
+            ),
         );
-        log.step(3, "Benchpark clones Spack and Ramble (substrates instantiated)");
+        log.step(
+            3,
+            "Benchpark clones Spack and Ramble (substrates instantiated)",
+        );
 
         // step 4: generate workspace configuration
-        let mut workspace =
-            Workspace::create(&workspace_dir).map_err(|e| e.to_string())?;
+        let mut workspace = Workspace::create(&workspace_dir).map_err(|e| e.to_string())?;
+        workspace.set_telemetry(self.telemetry.clone());
+        workspace.set_cache(self.site_cache.clone());
         workspace.set_config(template).map_err(|e| e.to_string())?;
         workspace
             .merge_spack(&profile.spack_yaml)
@@ -138,14 +171,25 @@ impl Benchpark {
         workspace
             .merge_variables(&profile.variables_yaml)
             .map_err(|e| e.to_string())?;
-        log.step(4, "Benchpark generates workspace config (ramble.yaml + system includes)");
+        log.step(
+            4,
+            "Benchpark generates workspace config (ramble.yaml + system includes)",
+        );
 
         // steps 5–7: ramble workspace setup (spack builds + script rendering)
         let site = profile.site_config();
         let report = workspace
-            .setup(&self.repo, &self.app_repo, &site, &InstallOptions::default())
+            .setup(
+                &self.repo,
+                &self.app_repo,
+                &site,
+                &InstallOptions::default(),
+            )
             .map_err(|e| e.to_string())?;
-        log.step(5, "user calls Ramble within workspace (ramble workspace setup)");
+        log.step(
+            5,
+            "user calls Ramble within workspace (ramble workspace setup)",
+        );
         log.step(
             6,
             format!(
@@ -155,15 +199,26 @@ impl Benchpark {
         );
         log.step(
             7,
-            format!("Ramble renders batch experiment scripts ({} experiments)", report.experiments.len()),
+            format!(
+                "Ramble renders batch experiment scripts ({} experiments)",
+                report.experiments.len()
+            ),
         );
 
         // boot the cluster and install the built binaries on it
         let machine = machine_override.unwrap_or_else(|| profile.machine());
         let mut cluster = Cluster::new(machine);
+        cluster.set_telemetry(self.telemetry.clone());
         for (exe, model) in app_models {
             cluster.register_app_model(exe, *model);
         }
+        // The cluster side has its own (empty) install tree but shares the
+        // site-wide binary cache, so builds published during workspace setup
+        // are fetched rather than recompiled here.
+        let cluster_installer = Installer::new(&self.repo)
+            .with_database(InstallDatabase::new())
+            .with_cache(self.site_cache.clone())
+            .with_telemetry(self.telemetry.clone());
         for (app_name, _) in workspace
             .config()
             .expect("config set above")
@@ -182,8 +237,10 @@ impl Benchpark {
             let abstract_spec: benchpark_spec::Spec =
                 spec_text.parse().map_err(|e| format!("{e}"))?;
             let dag = Concretizer::new(&self.repo, &site)
+                .with_telemetry(self.telemetry.clone())
                 .concretize(&abstract_spec)
                 .map_err(|e| e.to_string())?;
+            cluster_installer.install(&dag, &InstallOptions::default());
             let concrete = &dag.root_node().spec;
             let target = concrete
                 .target
@@ -216,6 +273,7 @@ impl Benchpark {
             cluster,
             setup_report: report,
             log,
+            telemetry: self.telemetry.clone(),
         })
     }
 }
@@ -229,12 +287,14 @@ pub struct BenchparkWorkspace {
     pub cluster: Cluster,
     pub setup_report: SetupReport,
     pub log: WorkflowLog,
+    telemetry: TelemetrySink,
 }
 
 impl BenchparkWorkspace {
     /// Step 8: `ramble on` — submits every rendered script to the system's
     /// batch scheduler and waits for completion.
     pub fn run(&mut self) -> Result<(), RambleError> {
+        let _run_span = self.telemetry.span("pipeline.run");
         let cluster = &mut self.cluster;
         self.workspace.run_with(|_exp, script| {
             match cluster.submit_script(script, "benchpark") {
@@ -254,14 +314,17 @@ impl BenchparkWorkspace {
                 },
             }
         })?;
-        self.log
-            .step(8, "user calls Ramble to submit batch experiment scripts (ramble on)");
+        self.log.step(
+            8,
+            "user calls Ramble to submit batch experiment scripts (ramble on)",
+        );
         Ok(())
     }
 
     /// Step 9: `ramble workspace analyze` — extracts FOMs and success
     /// criteria.
     pub fn analyze(&mut self, benchpark: &Benchpark) -> Result<AnalyzeReport, RambleError> {
+        let _analyze_span = self.telemetry.span("pipeline.analyze");
         let report = self.workspace.analyze(&benchpark.app_repo)?;
         self.log
             .step(9, "user calls Ramble to analyze output and extract metrics");

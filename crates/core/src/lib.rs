@@ -46,7 +46,7 @@ pub use plot::ascii_plot;
 pub use procurement::{ProcurementReport, ProcurementStudy, WorkloadSpec};
 pub use regression::{detect_regression, RegressionReport};
 pub use systems::SystemProfile;
-pub use templates::{experiment_template, available_experiments};
+pub use templates::{available_experiments, experiment_template};
 pub use tree::{render_tree, write_skeleton};
 
 #[cfg(test)]

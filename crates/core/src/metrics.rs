@@ -163,10 +163,7 @@ impl MetricsDatabase {
             rec.insert("manifest", Value::str(r.manifest.clone()));
             rec.insert("experiment", Value::str(r.result.experiment.clone()));
             rec.insert("workload", Value::str(r.result.workload.clone()));
-            rec.insert(
-                "status",
-                Value::str(format!("{:?}", r.result.status)),
-            );
+            rec.insert("status", Value::str(format!("{:?}", r.result.status)));
             let mut foms = Map::new();
             for f in &r.result.foms {
                 let mut entry = Map::new();
@@ -267,6 +264,57 @@ impl MetricsDatabase {
         Ok(imported)
     }
 
+    /// Records a pipeline telemetry report alongside benchmark results:
+    /// counters and observation means become FOMs, the span tree becomes the
+    /// stored profile — so pipeline health is queryable with the same
+    /// machinery as benchmark performance. Returns the sequence point.
+    pub fn record_telemetry(
+        &self,
+        system: &str,
+        report: &benchpark_telemetry::TelemetryReport,
+    ) -> u64 {
+        use benchpark_ramble::FomValue;
+        let mut foms = Vec::new();
+        for (name, total) in &report.counters {
+            foms.push(FomValue {
+                name: name.clone(),
+                value: total.to_string(),
+                units: "count".to_string(),
+                context: Default::default(),
+            });
+        }
+        for (name, stats) in &report.observations {
+            foms.push(FomValue {
+                name: name.clone(),
+                value: format!("{:.6}", stats.mean()),
+                units: "mean".to_string(),
+                context: Default::default(),
+            });
+        }
+        let profile: Vec<(String, f64)> = report
+            .spans
+            .iter()
+            .map(|s| (s.name.clone(), s.real_seconds.unwrap_or(0.0)))
+            .collect();
+        let result = ExperimentResult {
+            experiment: "pipeline-telemetry".to_string(),
+            application: "benchpark".to_string(),
+            workload: "pipeline".to_string(),
+            status: ExperimentStatus::Success,
+            foms,
+            criteria: Vec::new(),
+            variables: std::collections::BTreeMap::new(),
+            profile,
+        };
+        self.record(
+            system,
+            "benchpark-pipeline",
+            "telemetry",
+            "pipeline self-instrumentation (spans, counters, observations)",
+            &[result],
+        )
+    }
+
     /// Benchmark usage counts (§5: *"collecting metrics on benchmark usage —
     /// which codes in Benchpark are accessed most heavily"*), most-used
     /// first.
@@ -298,7 +346,9 @@ impl MetricsDatabase {
         }
         let mut out = String::from("benchmark            system       runs  success\n");
         for ((benchmark, system), (runs, ok)) in groups {
-            out.push_str(&format!("{benchmark:<20} {system:<12} {runs:>4}  {ok:>4}/{runs}\n"));
+            out.push_str(&format!(
+                "{benchmark:<20} {system:<12} {runs:>4}  {ok:>4}/{runs}\n"
+            ));
         }
         out
     }

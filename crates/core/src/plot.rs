@@ -34,16 +34,14 @@ pub fn ascii_plot(
     }
 
     let mut grid = vec![vec![' '; width]; height];
-    let to_col = |x: f64| {
-        (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
-    };
+    let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
     let to_row = |y: f64| {
         let r = ((y - y_min) / (y_max - y_min)) * (height - 1) as f64;
         height - 1 - (r.round() as usize).min(height - 1)
     };
     if let Some(f) = model {
-        for (col, x) in (0..width)
-            .map(|c| (c, x_min + (x_max - x_min) * c as f64 / (width - 1) as f64))
+        for (col, x) in
+            (0..width).map(|c| (c, x_min + (x_max - x_min) * c as f64 / (width - 1) as f64))
         {
             let y = f(x);
             if y.is_finite() && y >= y_min && y <= y_max {

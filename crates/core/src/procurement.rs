@@ -33,7 +33,13 @@ pub struct WorkloadSpec {
 
 impl WorkloadSpec {
     /// A workload using the same variant everywhere.
-    pub fn uniform(benchmark: &str, variant: &str, fom: &str, higher_is_better: bool, weight: f64) -> WorkloadSpec {
+    pub fn uniform(
+        benchmark: &str,
+        variant: &str,
+        fom: &str,
+        higher_is_better: bool,
+        weight: f64,
+    ) -> WorkloadSpec {
         let mut map = BTreeMap::new();
         map.insert("*".to_string(), variant.to_string());
         WorkloadSpec {
@@ -105,7 +111,8 @@ impl ProcurementReport {
 
     /// Renders the procurement comparison table.
     pub fn render(&self) -> String {
-        let mut out = String::from("Procurement study: normalized workload scores (1.0 = best)\n\n");
+        let mut out =
+            String::from("Procurement study: normalized workload scores (1.0 = best)\n\n");
         out.push_str(&format!("{:<24}", "workload"));
         for system in &self.systems {
             out.push_str(&format!("{system:>12}"));
@@ -123,7 +130,10 @@ impl ProcurementReport {
         }
         out.push_str(&format!("{:<24}", "aggregate"));
         for system in &self.systems {
-            out.push_str(&format!("{:>12.3}", self.aggregate.get(system).copied().unwrap_or(0.0)));
+            out.push_str(&format!(
+                "{:>12.3}",
+                self.aggregate.get(system).copied().unwrap_or(0.0)
+            ));
         }
         out.push('\n');
         out.push_str(&format!("{:<24}", "aggregate per kWh"));
@@ -181,7 +191,13 @@ impl ProcurementStudy {
                     .map_err(|e| format!("{tag}: {e}"))?;
                 ws.run().map_err(|e| format!("{tag}: {e}"))?;
                 let analysis = ws.analyze(&benchpark).map_err(|e| format!("{tag}: {e}"))?;
-                db.record(system, &workload.benchmark, variant, &ws.manifest(), &analysis.results);
+                db.record(
+                    system,
+                    &workload.benchmark,
+                    variant,
+                    &ws.manifest(),
+                    &analysis.results,
+                );
 
                 let best = analysis
                     .successes()
@@ -198,7 +214,10 @@ impl ProcurementStudy {
                         }
                     });
                 if best.is_nan() {
-                    return Err(format!("{tag}: FOM `{}` not found in any result", workload.fom));
+                    return Err(format!(
+                        "{tag}: FOM `{}` not found in any result",
+                        workload.fom
+                    ));
                 }
                 let energy: f64 = ws.cluster.jobs().map(|j| j.energy_kwh).sum();
                 raw.insert((workload.benchmark.clone(), system.clone()), (best, energy));

@@ -72,7 +72,13 @@ pub fn bcast_scaling_study(
     )?;
     ws.run().map_err(|e| e.to_string())?;
     let analysis = ws.analyze(&benchpark).map_err(|e| e.to_string())?;
-    db.record(system, "osu-bcast", "scaling", &ws.manifest(), &analysis.results);
+    db.record(
+        system,
+        "osu-bcast",
+        "scaling",
+        &ws.manifest(),
+        &analysis.results,
+    );
 
     // compose profiles from this study's results only (the shared metrics
     // database may hold other algorithms' runs) and extract the MPI_Bcast

@@ -9,7 +9,8 @@ use benchpark_cluster::BcastAlgorithm;
 use benchpark_ramble::ExperimentStatus;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("benchpark-core-test-{tag}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("benchpark-core-test-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -86,7 +87,10 @@ fn golden_fig1c_nine_step_workflow() {
     assert_eq!(ws.log.steps.len(), 9);
     for n in 1..=9 {
         assert!(
-            ws.log.steps.iter().any(|s| s.starts_with(&format!("step {n}:"))),
+            ws.log
+                .steps
+                .iter()
+                .any(|s| s.starts_with(&format!("step {n}:"))),
             "missing step {n}: {:?}",
             ws.log.steps
         );
@@ -146,7 +150,10 @@ fn scheduler_dialects_render_correctly() {
         .unwrap();
     let script = ws.workspace.script("saxpy_cuda_16384_1_4").unwrap();
     assert!(script.contains("#BSUB -nnodes 1"), "{script}");
-    assert!(script.contains("jsrun -n 4 -a 1 saxpy -n 16384"), "{script}");
+    assert!(
+        script.contains("jsrun -n 4 -a 1 saxpy -n 16384"),
+        "{script}"
+    );
 
     // Flux on ats4
     let ws = benchpark
@@ -154,7 +161,10 @@ fn scheduler_dialects_render_correctly() {
         .unwrap();
     let script = ws.workspace.script("saxpy_rocm_16384_1_4").unwrap();
     assert!(script.contains("#flux: -N 1"), "{script}");
-    assert!(script.contains("flux run -N 1 -n 4 saxpy -n 16384"), "{script}");
+    assert!(
+        script.contains("flux run -N 1 -n 4 saxpy -n 16384"),
+        "{script}"
+    );
 }
 
 #[test]
@@ -181,7 +191,13 @@ fn metrics_database_roundtrip() {
         .unwrap();
     ws.run().unwrap();
     let analysis = ws.analyze(&benchpark).unwrap();
-    db.record("cts1", "stream", "openmp", &ws.manifest(), &analysis.results);
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        &ws.manifest(),
+        &analysis.results,
+    );
 
     assert_eq!(db.len(), 4); // 4 thread counts
     assert_eq!(db.query(Some("stream"), Some("cts1")).len(), 4);
@@ -212,7 +228,13 @@ fn metrics_database_tracks_time_sequence() {
         variables: Default::default(),
         profile: Vec::new(),
     };
-    let s1 = db.record("cts1", "saxpy", "openmp", "m", std::slice::from_ref(&result));
+    let s1 = db.record(
+        "cts1",
+        "saxpy",
+        "openmp",
+        "m",
+        std::slice::from_ref(&result),
+    );
     let s2 = db.record("cts1", "saxpy", "openmp", "m", &[result]);
     assert!(s2 > s1, "sequence must advance for tracking over time");
 }
@@ -244,7 +266,11 @@ fn golden_table1_structure() {
     assert_eq!(rows[5].benchmark_specific, ".gitlab-ci.yml");
     // every row names its implementing modules
     for row in &rows {
-        assert!(row.implemented_by.contains("benchpark-"), "row {}", row.number);
+        assert!(
+            row.implemented_by.contains("benchpark-"),
+            "row {}",
+            row.number
+        );
     }
     let rendered = render_table1();
     assert!(rendered.contains("Component"));
@@ -264,7 +290,9 @@ fn tree_and_skeleton() {
     crate::write_skeleton(&dir).unwrap();
     assert!(dir.join("configs/cts1/packages.yaml").is_file());
     assert!(dir.join("experiments/saxpy/openmp/ramble.yaml").is_file());
-    assert!(dir.join("experiments/amg2023/rocm/execute_experiment.tpl").is_file());
+    assert!(dir
+        .join("experiments/amg2023/rocm/execute_experiment.tpl")
+        .is_file());
 }
 
 // ---------------------------------------------------------------------------
@@ -277,8 +305,7 @@ fn tree_and_skeleton() {
 #[test]
 fn golden_fig14_extrap_model_on_cts() {
     let db = MetricsDatabase::new();
-    let study =
-        scaling::bcast_scaling_study("cts1", None, temp_dir("fig14"), &db).unwrap();
+    let study = scaling::bcast_scaling_study("cts1", None, temp_dir("fig14"), &db).unwrap();
     assert_eq!(study.points.len(), 8);
     assert_eq!(study.algorithm, BcastAlgorithm::Linear);
     assert_eq!(
@@ -324,4 +351,107 @@ fn fig14_ablation_tree_bcast_is_logarithmic() {
     .unwrap();
     let p_max = 3456.0;
     assert!(study.model.predict(p_max) * 10.0 < linear.model.predict(p_max));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline telemetry (spans, counters, event journal)
+// ---------------------------------------------------------------------------
+
+/// A full setup → run → analyze pass through a recording sink produces a
+/// deep span tree, cache hit *and* miss counters (workspace setup builds
+/// populate the site cache; the cluster-side install in step 7 fetches from
+/// it), and scheduler utilization samples.
+#[test]
+fn telemetry_traces_the_full_pipeline() {
+    let sink = benchpark_telemetry::TelemetrySink::recording();
+    let benchpark = Benchpark::new().with_telemetry(sink.clone());
+    let mut ws = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", temp_dir("telemetry"))
+        .unwrap();
+    ws.run().unwrap();
+    ws.analyze(&benchpark).unwrap();
+
+    let report = sink.report().unwrap();
+    assert!(
+        report.max_depth() >= 4,
+        "span tree too shallow:\n{}",
+        report.render()
+    );
+    assert!(
+        report.counter("cache.miss") > 0,
+        "setup must build something"
+    );
+    assert!(
+        report.counter("cache.hit") > 0,
+        "cluster-side install must fetch from the site cache:\n{}",
+        report.render()
+    );
+    assert!(report.counter("concretizer.solves") > 0);
+    assert!(report.counter("scheduler.jobs_completed") > 0);
+    let util = report.observation("scheduler.utilization").unwrap();
+    assert!(util.count > 0 && util.last > 0.0);
+    assert!(report.observation("install.worker_utilization").is_some());
+
+    // the named top-level phases all appear as spans
+    for phase in [
+        "pipeline.setup",
+        "workspace.setup",
+        "pipeline.run",
+        "pipeline.analyze",
+    ] {
+        assert!(
+            report.spans.iter().any(|s| s.name == phase),
+            "missing span `{phase}`"
+        );
+    }
+    // journal replays in order: first event is the setup span opening
+    assert!(matches!(
+        report.journal.first(),
+        Some(benchpark_telemetry::Event::SpanStart { name, .. }) if name == "pipeline.setup"
+    ));
+}
+
+/// Telemetry reports aggregate into the metrics database alongside FOMs.
+#[test]
+fn telemetry_report_lands_in_metrics_database() {
+    let sink = benchpark_telemetry::TelemetrySink::recording();
+    {
+        let _span = sink.span("pipeline.setup");
+        sink.incr("cache.hit", 4);
+        sink.observe("install.worker_utilization", 0.75);
+    }
+    let report = sink.report().unwrap();
+    let db = MetricsDatabase::new();
+    db.record_telemetry("cts1", &report);
+    let stored = db.query(Some("benchpark-pipeline"), Some("cts1"));
+    assert_eq!(stored.len(), 1);
+    let foms = &stored[0].result.foms;
+    let hit = foms.iter().find(|f| f.name == "cache.hit").unwrap();
+    assert_eq!(hit.value, "4");
+    assert_eq!(hit.units, "count");
+    let util = foms
+        .iter()
+        .find(|f| f.name == "install.worker_utilization")
+        .unwrap();
+    assert_eq!(util.value, "0.750000");
+    // the span tree is stored as the profile
+    assert!(stored[0]
+        .result
+        .profile
+        .iter()
+        .any(|(name, _)| name == "pipeline.setup"));
+}
+
+/// The disabled sink is the default everywhere and records nothing, and the
+/// instrumented pipeline behaves identically with it.
+#[test]
+fn noop_telemetry_changes_nothing() {
+    let benchpark = Benchpark::new(); // default: no-op sink
+    let mut ws = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", temp_dir("noop-telemetry"))
+        .unwrap();
+    ws.run().unwrap();
+    let analysis = ws.analyze(&benchpark).unwrap();
+    assert_eq!(analysis.successes().count(), 8);
+    assert!(benchpark.telemetry().report().is_none());
 }

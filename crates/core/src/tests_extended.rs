@@ -62,9 +62,11 @@ fn procurement_study_ranks_candidates() {
 #[test]
 fn procurement_lower_is_better_foms() {
     // score by solve_time (lower is better): ordering must invert vs DOF/s
-    let workloads = vec![WorkloadSpec::uniform("amg2023", "openmp", "solve_time", false, 1.0)
-        .with_variant("ats2", "cuda")
-        .with_variant("ats4", "rocm")];
+    let workloads = vec![
+        WorkloadSpec::uniform("amg2023", "openmp", "solve_time", false, 1.0)
+            .with_variant("ats2", "cuda")
+            .with_variant("ats4", "rocm"),
+    ];
     let study = ProcurementStudy::new(workloads, &["cts1", "ats4"]);
     let db = MetricsDatabase::new();
     let report = study.run(temp_dir("procurement-lib"), &db).unwrap();
@@ -77,7 +79,13 @@ fn procurement_lower_is_better_foms() {
 
 #[test]
 fn procurement_unknown_fom_errors() {
-    let workloads = vec![WorkloadSpec::uniform("stream", "openmp", "nonexistent_fom", true, 1.0)];
+    let workloads = vec![WorkloadSpec::uniform(
+        "stream",
+        "openmp",
+        "nonexistent_fom",
+        true,
+        1.0,
+    )];
     let study = ProcurementStudy::new(workloads, &["cts1"]);
     let err = study
         .run(temp_dir("procurement-bad"), &MetricsDatabase::new())
@@ -103,7 +111,13 @@ fn run_stream_epoch(db: &MetricsDatabase, degrade: Option<f64>, tag: &str) {
         .unwrap();
     ws.run().unwrap();
     let analysis = ws.analyze(&benchpark).unwrap();
-    db.record("cts1", "stream", "openmp", &ws.manifest(), &analysis.results);
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        &ws.manifest(),
+        &analysis.results,
+    );
 }
 
 #[test]
@@ -113,15 +127,19 @@ fn regression_detected_after_hardware_fault() {
     for i in 0..4 {
         run_stream_epoch(&db, None, &format!("healthy-{i}"));
     }
-    let healthy = detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10)
-        .expect("enough history");
+    let healthy =
+        detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10).expect("enough history");
     assert!(!healthy.regressed, "{}", healthy.render());
-    assert!(healthy.change.abs() < 0.05, "healthy drift too large: {}", healthy.render());
+    assert!(
+        healthy.change.abs() < 0.05,
+        "healthy drift too large: {}",
+        healthy.render()
+    );
 
     // a DIMM goes bad: memory bandwidth halves
     run_stream_epoch(&db, Some(0.5), "degraded");
-    let report = detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10)
-        .expect("enough history");
+    let report =
+        detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10).expect("enough history");
     assert!(report.regressed, "{}", report.render());
     assert!(report.change < -0.3, "expected ~-50%: {}", report.render());
     assert!(report.render().contains("REGRESSION"));
@@ -232,7 +250,13 @@ fn usage_counts_rank_benchmarks() {
         .unwrap();
     ws.run().unwrap();
     let analysis = ws.analyze(&benchpark).unwrap();
-    db.record("cts1", "lulesh", "openmp", &ws.manifest(), &analysis.results);
+    db.record(
+        "cts1",
+        "lulesh",
+        "openmp",
+        &ws.manifest(),
+        &analysis.results,
+    );
 
     let usage = db.usage_counts();
     assert_eq!(usage[0].0, "stream"); // accessed most heavily
@@ -246,7 +270,9 @@ fn usage_counts_rank_benchmarks() {
 
 #[test]
 fn ascii_plot_renders_points_and_model() {
-    let points: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64 * 432.0, 0.0466 * i as f64 * 432.0 - 0.64)).collect();
+    let points: Vec<(f64, f64)> = (1..=8)
+        .map(|i| (i as f64 * 432.0, 0.0466 * i as f64 * 432.0 - 0.64))
+        .collect();
     let model = |p: f64| 0.0466 * p - 0.64;
     let plot = ascii_plot("MPI_Bcast on CTS", &points, Some(&model), 60, 12);
     assert!(plot.contains("MPI_Bcast on CTS"));

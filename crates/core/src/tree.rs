@@ -12,12 +12,21 @@ pub fn render_tree() -> String {
     let systems = SystemProfile::all();
     for (i, system) in systems.iter().enumerate() {
         let last_system = i + 1 == systems.len();
-        let bar = if last_system { "└──" } else { "├──" };
+        let bar = if last_system {
+            "└──"
+        } else {
+            "├──"
+        };
         let pad = if last_system { "    " } else { "│   " };
         out.push_str(&format!("│   {bar} {}\n", system.name));
-        for (j, file) in ["compilers.yaml", "packages.yaml", "spack.yaml", "variables.yaml"]
-            .iter()
-            .enumerate()
+        for (j, file) in [
+            "compilers.yaml",
+            "packages.yaml",
+            "spack.yaml",
+            "variables.yaml",
+        ]
+        .iter()
+        .enumerate()
         {
             let file_bar = if j == 3 { "└──" } else { "├──" };
             out.push_str(&format!("│   {pad}{file_bar} {file}\n"));
@@ -38,7 +47,11 @@ pub fn render_tree() -> String {
             .map(|(_, v)| *v)
             .collect();
         for (j, variant) in variants.iter().enumerate() {
-            let vbar = if j + 1 == variants.len() { "└──" } else { "├──" };
+            let vbar = if j + 1 == variants.len() {
+                "└──"
+            } else {
+                "├──"
+            };
             out.push_str(&format!("│   {pad}{vbar} {variant}\n"));
             out.push_str(&format!(
                 "│   {pad}{}    ├── execute_experiment.tpl\n",
@@ -53,9 +66,17 @@ pub fn render_tree() -> String {
     out.push_str("└── repo               //benchmark + application recipes\n");
     out.push_str("    ├── repo.yaml\n");
     for (i, benchmark) in benchmarks.iter().enumerate() {
-        let bar = if i + 1 == benchmarks.len() { "└──" } else { "├──" };
+        let bar = if i + 1 == benchmarks.len() {
+            "└──"
+        } else {
+            "├──"
+        };
         out.push_str(&format!("    {bar} {benchmark}\n"));
-        let pad = if i + 1 == benchmarks.len() { "    " } else { "│   " };
+        let pad = if i + 1 == benchmarks.len() {
+            "    "
+        } else {
+            "│   "
+        };
         out.push_str(&format!("    {pad}├── application.py\n"));
         out.push_str(&format!("    {pad}└── package.py\n"));
     }

@@ -102,12 +102,14 @@ impl Annotator {
     /// runtime error.
     pub fn end(&mut self, name: &str) {
         let (top, started) = self.stack.pop().expect("end without begin");
-        assert_eq!(top, name, "mismatched region nesting: began {top}, ended {name}");
+        assert_eq!(
+            top, name,
+            "mismatched region nesting: began {top}, ended {name}"
+        );
         let mut parts: Vec<&str> = self.stack.iter().map(|(n, _)| n.as_str()).collect();
         parts.push(name);
         let path = parts.join("/");
-        self.profile
-            .record(&path, started.elapsed().as_secs_f64());
+        self.profile.record(&path, started.elapsed().as_secs_f64());
     }
 
     /// Records a simulated measurement under the current nesting.

@@ -185,8 +185,7 @@ pub fn fit(points: &[(f64, f64)]) -> Option<ScalingModel> {
                     // simpler hypothesis (smaller i, then smaller j)
                     let diff = candidate.adjusted_r_squared - cur.adjusted_r_squared;
                     diff > 1e-9
-                        || (diff.abs() <= 1e-9
-                            && (candidate.i, candidate.j) < (cur.i, cur.j))
+                        || (diff.abs() <= 1e-9 && (candidate.i, candidate.j) < (cur.i, cur.j))
                 }
             };
             if better {

@@ -5,9 +5,7 @@ use crate::{extrap, Adiak, Annotator, Profile, Thicket};
 fn profile(regions: &[(&str, f64)], metadata: &[(&str, &str)]) -> Profile {
     Profile::from_parts(
         regions.iter().map(|(k, v)| (k.to_string(), *v)),
-        metadata
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string())),
+        metadata.iter().map(|(k, v)| (k.to_string(), v.to_string())),
     )
 }
 

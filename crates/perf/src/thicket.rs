@@ -116,11 +116,7 @@ impl Thicket {
     /// Statistics for one call-tree node across all profiles
     /// (`thicket.statsframe`).
     pub fn stats(&self, region: &str) -> Option<NodeStats> {
-        let values: Vec<f64> = self
-            .profiles
-            .iter()
-            .filter_map(|p| p.get(region))
-            .collect();
+        let values: Vec<f64> = self.profiles.iter().filter_map(|p| p.get(region)).collect();
         if values.is_empty() {
             return None;
         }
@@ -149,11 +145,7 @@ impl Thicket {
     /// The `q`-th percentile (0–100, linear interpolation) of one node's
     /// values across profiles.
     pub fn percentile(&self, region: &str, q: f64) -> Option<f64> {
-        let mut values: Vec<f64> = self
-            .profiles
-            .iter()
-            .filter_map(|p| p.get(region))
-            .collect();
+        let mut values: Vec<f64> = self.profiles.iter().filter_map(|p| p.get(region)).collect();
         if values.is_empty() {
             return None;
         }

@@ -142,7 +142,13 @@ impl ApplicationDef {
     }
 
     /// `figure_of_merit("success", fom_regex=…, group_name=…, units=…)`.
-    pub fn figure_of_merit(mut self, name: &str, fom_regex: &str, group_name: &str, units: &str) -> Self {
+    pub fn figure_of_merit(
+        mut self,
+        name: &str,
+        fom_regex: &str,
+        group_name: &str,
+        units: &str,
+    ) -> Self {
         self.figures_of_merit.push(FomDef {
             name: name.to_string(),
             fom_regex: fom_regex.to_string(),
@@ -154,7 +160,13 @@ impl ApplicationDef {
     }
 
     /// `success_criteria('pass', mode='string', match=…, file=…)`.
-    pub fn success_criteria(mut self, name: &str, mode: SuccessMode, match_expr: &str, file: &str) -> Self {
+    pub fn success_criteria(
+        mut self,
+        name: &str,
+        mode: SuccessMode,
+        match_expr: &str,
+        file: &str,
+    ) -> Self {
         self.success_criteria.push(SuccessCriterion {
             name: name.to_string(),
             mode,

@@ -34,7 +34,11 @@ fn saxpy() -> ApplicationDef {
 /// AMG2023 [21]: a BoomerAMG (hypre) driver with setup and solve phases.
 fn amg2023() -> ApplicationDef {
     ApplicationDef::new("amg2023", "Parallel algebraic multigrid benchmark")
-        .executable("p", "amg -P {px} {py} {pz} -n {nx} {ny} {nz} -problem {problem_kind}", true)
+        .executable(
+            "p",
+            "amg -P {px} {py} {pz} -n {nx} {ny} {nz} -problem {problem_kind}",
+            true,
+        )
         .workload("problem1", &["p"])
         .workload("problem2", &["p"])
         .workload_variable("px", "2", "processor topology x", &[])
@@ -43,8 +47,18 @@ fn amg2023() -> ApplicationDef {
         .workload_variable("nx", "110", "per-process grid points x", &[])
         .workload_variable("ny", "110", "per-process grid points y", &[])
         .workload_variable("nz", "110", "per-process grid points z", &[])
-        .workload_variable("problem_kind", "1", "1 = Laplace, 2 = 27-pt stencil", &["problem1"])
-        .workload_variable("problem_kind", "2", "1 = Laplace, 2 = 27-pt stencil", &["problem2"])
+        .workload_variable(
+            "problem_kind",
+            "1",
+            "1 = Laplace, 2 = 27-pt stencil",
+            &["problem1"],
+        )
+        .workload_variable(
+            "problem_kind",
+            "2",
+            "1 = Laplace, 2 = 27-pt stencil",
+            &["problem2"],
+        )
         .figure_of_merit(
             "setup_fom",
             r"Figure of Merit \(FOM_Setup\): (?P<fom>[0-9.e+-]+)",
@@ -76,7 +90,12 @@ fn stream() -> ApplicationDef {
     ApplicationDef::new("stream", "STREAM memory bandwidth benchmark")
         .executable("p", "stream -s {array_size}", false)
         .workload("standard", &["p"])
-        .workload_variable("array_size", "80000000", "elements per array", &["standard"])
+        .workload_variable(
+            "array_size",
+            "80000000",
+            "elements per array",
+            &["standard"],
+        )
         .figure_of_merit("copy_bw", r"Copy:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
         .figure_of_merit("scale_bw", r"Scale:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
         .figure_of_merit("add_bw", r"Add:\s+(?P<bw>[0-9.]+)", "bw", "MB/s")
@@ -93,7 +112,11 @@ fn stream() -> ApplicationDef {
 fn osu_bcast() -> ApplicationDef {
     ApplicationDef::new("osu-bcast", "OSU MPI_Bcast latency micro-benchmark")
         .software_spec("osu-micro-benchmarks")
-        .executable("p", "osu_bcast -m {message_size}:{message_size} -i {iterations}", true)
+        .executable(
+            "p",
+            "osu_bcast -m {message_size}:{message_size} -i {iterations}",
+            true,
+        )
         .workload("bcast", &["p"])
         .workload_variable("message_size", "8", "message size in bytes", &["bcast"])
         .workload_variable("iterations", "1000", "iterations per size", &["bcast"])
@@ -118,7 +141,12 @@ fn hpl() -> ApplicationDef {
         .workload("standard", &["p"])
         .workload_variable("problem_size", "40000", "matrix dimension N", &["standard"])
         .workload_variable("block_size", "192", "panel block size NB", &["standard"])
-        .figure_of_merit("gflops", r"WR\S+\s+\d+\s+\d+\s+[0-9.]+\s+(?P<gf>[0-9.e+]+)", "gf", "GFLOPS")
+        .figure_of_merit(
+            "gflops",
+            r"WR\S+\s+\d+\s+\d+\s+[0-9.]+\s+(?P<gf>[0-9.e+]+)",
+            "gf",
+            "GFLOPS",
+        )
         .figure_of_merit("hpl_time", r"Time\s+:\s+(?P<t>[0-9.]+)", "t", "s")
         .success_criteria(
             "passed",
@@ -130,22 +158,20 @@ fn hpl() -> ApplicationDef {
 
 /// LULESH shock hydrodynamics proxy application.
 fn lulesh() -> ApplicationDef {
-    ApplicationDef::new("lulesh", "Unstructured Lagrangian shock hydrodynamics proxy")
-        .executable("p", "lulesh2.0 -s {size} -i {iterations}", true)
-        .workload("standard", &["p"])
-        .workload_variable("size", "30", "problem edge length", &["standard"])
-        .workload_variable("iterations", "100", "max iterations", &["standard"])
-        .figure_of_merit("fom", r"FOM\s+=\s+(?P<fom>[0-9.]+)", "fom", "z/s")
-        .figure_of_merit(
-            "elapsed",
-            r"Elapsed time\s+=\s+(?P<t>[0-9.]+)",
-            "t",
-            "s",
-        )
-        .success_criteria(
-            "ran",
-            SuccessMode::StringMatch,
-            r"Run completed",
-            "{experiment_run_dir}/{experiment_name}.out",
-        )
+    ApplicationDef::new(
+        "lulesh",
+        "Unstructured Lagrangian shock hydrodynamics proxy",
+    )
+    .executable("p", "lulesh2.0 -s {size} -i {iterations}", true)
+    .workload("standard", &["p"])
+    .workload_variable("size", "30", "problem edge length", &["standard"])
+    .workload_variable("iterations", "100", "max iterations", &["standard"])
+    .figure_of_merit("fom", r"FOM\s+=\s+(?P<fom>[0-9.]+)", "fom", "z/s")
+    .figure_of_merit("elapsed", r"Elapsed time\s+=\s+(?P<t>[0-9.]+)", "t", "s")
+    .success_criteria(
+        "ran",
+        SuccessMode::StringMatch,
+        r"Run completed",
+        "{experiment_run_dir}/{experiment_name}.out",
+    )
 }

@@ -26,10 +26,12 @@ mod packages;
 mod repo;
 
 pub use application::{
-    AppRepo, ApplicationDef, ExecutableDef, FomDef, SuccessCriterion, SuccessMode,
-    WorkloadDef, WorkloadVariable,
+    AppRepo, ApplicationDef, ExecutableDef, FomDef, SuccessCriterion, SuccessMode, WorkloadDef,
+    WorkloadVariable,
 };
-pub use package::{BuildSystem, ConflictDef, DepType, DependencyDef, PackageDef, ProvidesDef, VariantDef};
+pub use package::{
+    BuildSystem, ConflictDef, DepType, DependencyDef, PackageDef, ProvidesDef, VariantDef,
+};
 pub use repo::Repo;
 
 #[cfg(test)]

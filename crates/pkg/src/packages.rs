@@ -246,7 +246,11 @@ pub fn builtin() -> Vec<PackageDef> {
             .depends_on_when("mpi", DepType::Link, "+mpi")
             .depends_on_when("cuda@10:", DepType::Link, "+cuda")
             .depends_on_when("hip", DepType::Link, "+rocm")
-            .conflicts_with("+rocm", Some("+cuda"), "hypre cannot enable CUDA and ROCm together")
+            .conflicts_with(
+                "+rocm",
+                Some("+cuda"),
+                "hypre cannot enable CUDA and ROCm together",
+            )
             .build_system(BuildSystem::Autotools)
             .build_cost(420.0)
             .with_args(hypre_args),
@@ -268,23 +272,26 @@ pub fn builtin() -> Vec<PackageDef> {
             .with_args(saxpy_args),
     );
     pkgs.push(
-        PackageDef::new("amg2023", "Parallel algebraic multigrid solver benchmark (AMG2023)")
-            .version("1.0")
-            .variant_bool("mpi", true, "Distributed runs via MPI")
-            .variant_bool("openmp", false, "OpenMP threading")
-            .variant_bool("cuda", false, "NVIDIA GPU support")
-            .variant_bool("rocm", false, "AMD GPU support")
-            .variant_bool("caliper", false, "Caliper annotations")
-            .depends_on("cmake@3.14:", DepType::Build)
-            .depends_on("hypre@2.24:", DepType::Link)
-            .depends_on_when("mpi", DepType::Link, "+mpi")
-            .depends_on_when("hypre+cuda", DepType::Link, "+cuda")
-            .depends_on_when("hypre+rocm", DepType::Link, "+rocm")
-            .depends_on_when("hypre+openmp", DepType::Link, "+openmp")
-            .depends_on_when("caliper+adiak", DepType::Link, "+caliper")
-            .conflicts_with("+rocm", Some("+cuda"), "pick one GPU programming model")
-            .build_cost(90.0)
-            .with_args(amg2023_args),
+        PackageDef::new(
+            "amg2023",
+            "Parallel algebraic multigrid solver benchmark (AMG2023)",
+        )
+        .version("1.0")
+        .variant_bool("mpi", true, "Distributed runs via MPI")
+        .variant_bool("openmp", false, "OpenMP threading")
+        .variant_bool("cuda", false, "NVIDIA GPU support")
+        .variant_bool("rocm", false, "AMD GPU support")
+        .variant_bool("caliper", false, "Caliper annotations")
+        .depends_on("cmake@3.14:", DepType::Build)
+        .depends_on("hypre@2.24:", DepType::Link)
+        .depends_on_when("mpi", DepType::Link, "+mpi")
+        .depends_on_when("hypre+cuda", DepType::Link, "+cuda")
+        .depends_on_when("hypre+rocm", DepType::Link, "+rocm")
+        .depends_on_when("hypre+openmp", DepType::Link, "+openmp")
+        .depends_on_when("caliper+adiak", DepType::Link, "+caliper")
+        .conflicts_with("+rocm", Some("+cuda"), "pick one GPU programming model")
+        .build_cost(90.0)
+        .with_args(amg2023_args),
     );
     pkgs.push(
         PackageDef::new("stream", "McCalpin STREAM memory bandwidth benchmark")
@@ -311,13 +318,16 @@ pub fn builtin() -> Vec<PackageDef> {
             .build_cost(45.0),
     );
     pkgs.push(
-        PackageDef::new("lulesh", "Livermore unstructured Lagrangian shock hydrodynamics proxy app")
-            .version("2.0.3")
-            .variant_bool("openmp", true, "OpenMP threading")
-            .variant_bool("mpi", true, "MPI domain decomposition")
-            .depends_on_when("mpi", DepType::Link, "+mpi")
-            .build_system(BuildSystem::Makefile)
-            .build_cost(25.0),
+        PackageDef::new(
+            "lulesh",
+            "Livermore unstructured Lagrangian shock hydrodynamics proxy app",
+        )
+        .version("2.0.3")
+        .variant_bool("openmp", true, "OpenMP threading")
+        .variant_bool("mpi", true, "MPI domain decomposition")
+        .depends_on_when("mpi", DepType::Link, "+mpi")
+        .build_system(BuildSystem::Makefile)
+        .build_cost(25.0),
     );
 
     pkgs

@@ -10,7 +10,11 @@ fn spec(s: &str) -> Spec {
 #[test]
 fn builtin_repo_contents() {
     let repo = Repo::builtin();
-    assert!(repo.len() >= 20, "expected a substantial builtin repo, got {}", repo.len());
+    assert!(
+        repo.len() >= 20,
+        "expected a substantial builtin repo, got {}",
+        repo.len()
+    );
     for name in [
         "saxpy",
         "amg2023",
@@ -39,13 +43,21 @@ fn virtual_packages() {
     assert!(!repo.is_virtual("cmake"));
     assert!(!repo.is_virtual("nonexistent"));
 
-    let mpi_providers: Vec<&str> = repo.providers("mpi").iter().map(|p| p.name.as_str()).collect();
+    let mpi_providers: Vec<&str> = repo
+        .providers("mpi")
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
     assert!(mpi_providers.contains(&"mvapich2"));
     assert!(mpi_providers.contains(&"openmpi"));
     assert!(mpi_providers.contains(&"spectrum-mpi"));
     assert!(mpi_providers.contains(&"cray-mpich"));
 
-    let blas: Vec<&str> = repo.providers("blas").iter().map(|p| p.name.as_str()).collect();
+    let blas: Vec<&str> = repo
+        .providers("blas")
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
     assert!(blas.contains(&"intel-oneapi-mkl"));
     assert!(blas.contains(&"openblas"));
     assert!(blas.contains(&"essl"));
@@ -144,8 +156,12 @@ fn conflicts_detected() {
     let violations = saxpy.violated_conflicts(&spec("saxpy+cuda+rocm"));
     assert_eq!(violations.len(), 1);
     assert!(violations[0].contains("GPU programming model"));
-    assert!(saxpy.violated_conflicts(&spec("saxpy+cuda~rocm")).is_empty());
-    assert!(saxpy.violated_conflicts(&spec("saxpy~cuda+rocm")).is_empty());
+    assert!(saxpy
+        .violated_conflicts(&spec("saxpy+cuda~rocm"))
+        .is_empty());
+    assert!(saxpy
+        .violated_conflicts(&spec("saxpy~cuda+rocm"))
+        .is_empty());
 
     let hypre = repo.get("hypre").unwrap();
     assert_eq!(hypre.violated_conflicts(&spec("hypre+cuda+rocm")).len(), 1);
@@ -156,8 +172,14 @@ fn variant_defaults() {
     use benchpark_spec::VariantValue;
     let repo = Repo::builtin();
     let saxpy = repo.get("saxpy").unwrap();
-    assert_eq!(saxpy.variant_default("openmp"), Some(&VariantValue::Bool(true)));
-    assert_eq!(saxpy.variant_default("cuda"), Some(&VariantValue::Bool(false)));
+    assert_eq!(
+        saxpy.variant_default("openmp"),
+        Some(&VariantValue::Bool(true))
+    );
+    assert_eq!(
+        saxpy.variant_default("cuda"),
+        Some(&VariantValue::Bool(false))
+    );
     assert!(saxpy.variant_default("nope").is_none());
     assert!(saxpy.has_variant("rocm"));
 }
@@ -267,7 +289,10 @@ fn workload_variable_scoping() {
 fn software_spec_indirection() {
     let apps = AppRepo::builtin();
     // osu-bcast runs from the osu-micro-benchmarks package
-    assert_eq!(apps.get("osu-bcast").unwrap().software, "osu-micro-benchmarks");
+    assert_eq!(
+        apps.get("osu-bcast").unwrap().software,
+        "osu-micro-benchmarks"
+    );
     // saxpy defaults to its own name
     assert_eq!(apps.get("saxpy").unwrap().software, "saxpy");
 }

@@ -213,7 +213,9 @@ fn evaluate_fom_comparison(expr: &str, foms: &[FomValue]) -> Result<bool, Ramble
         _ => false,
     };
     if !matches!(*op, ">" | ">=" | "<" | "<=" | "==") {
-        return Err(RambleError::Config(format!("unknown comparison operator in {expr:?}")));
+        return Err(RambleError::Config(format!(
+            "unknown comparison operator in {expr:?}"
+        )));
     }
     Ok(values.into_iter().all(check))
 }

@@ -1,32 +1,48 @@
 //! `{variable}` expansion, Ramble's templating primitive.
 
 use crate::error::RambleError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Maximum substitution passes before declaring a cycle.
+/// Substitution passes before checking the reference graph for a real cycle.
 const MAX_DEPTH: usize = 16;
 
 /// Expands `{var}` references in `template` using `vars`, recursively
 /// (values may themselves reference variables, as `mpi_command` does in
 /// Figure 12). Unknown variables are an error; `{{` renders a literal `{`.
+///
+/// Expansion runs to a fixpoint. After `MAX_DEPTH` passes the variable
+/// reference graph reachable from the template is checked: only a genuine
+/// cycle is an error — a deep-but-acyclic chain keeps expanding, since an
+/// acyclic graph guarantees termination.
 pub fn expand(template: &str, vars: &BTreeMap<String, String>) -> Result<String, RambleError> {
     let mut current = template.to_string();
-    for _ in 0..MAX_DEPTH {
+    let mut passes = 0usize;
+    loop {
         let (next, changed) = expand_once(&current, vars)?;
         if !changed {
-            return Ok(next.replace("\u{1}", "{").replace("\u{2}", "}"));
+            return Ok(next.replace('\u{1}', "{").replace('\u{2}', "}"));
         }
         current = next;
+        passes += 1;
+        if passes == MAX_DEPTH {
+            if let Some(cycle) = find_cycle(template, vars) {
+                return Err(RambleError::Expansion(format!(
+                    "cyclic variable definitions while expanding {:?}: {}",
+                    unprotect(template),
+                    cycle.join(" -> ")
+                )));
+            }
+            // acyclic: the fixpoint exists, keep going until we reach it
+        }
     }
-    Err(RambleError::Expansion(format!(
-        "expansion of {template:?} did not terminate (cyclic variable definitions?)"
-    )))
 }
 
-fn expand_once(
-    text: &str,
-    vars: &BTreeMap<String, String>,
-) -> Result<(String, bool), RambleError> {
+/// Restores protected-brace sentinels to readable braces for error messages.
+fn unprotect(text: &str) -> String {
+    text.replace('\u{1}', "{").replace('\u{2}', "}")
+}
+
+fn expand_once(text: &str, vars: &BTreeMap<String, String>) -> Result<(String, bool), RambleError> {
     let mut out = String::with_capacity(text.len());
     let mut changed = false;
     let mut chars = text.chars().peekable();
@@ -48,10 +64,11 @@ fn expand_once(
                     }
                     name.push(nc);
                 }
-                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                {
+                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                     return Err(RambleError::Expansion(format!(
-                        "malformed variable reference `{{{name}}}` in {text:?}"
+                        "malformed variable reference `{{{}}}` in {:?}",
+                        unprotect(&name),
+                        unprotect(text)
                     )));
                 }
                 match vars.get(&name) {
@@ -61,7 +78,8 @@ fn expand_once(
                     }
                     None => {
                         return Err(RambleError::Expansion(format!(
-                            "undefined variable `{name}` in {text:?}"
+                            "undefined variable `{name}` in {:?}",
+                            unprotect(text)
                         )))
                     }
                 }
@@ -70,6 +88,75 @@ fn expand_once(
         }
     }
     Ok((out, changed))
+}
+
+/// Well-formed variable names referenced by `text` (protected braces skipped).
+fn refs_in(text: &str) -> Vec<String> {
+    let mut refs = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+            }
+            '{' => {
+                let mut name = String::new();
+                for nc in chars.by_ref() {
+                    if nc == '}' {
+                        break;
+                    }
+                    name.push(nc);
+                }
+                if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    refs.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    refs
+}
+
+/// Searches the definition graph reachable from `template` for a reference
+/// cycle; returns the cycle path (first node repeated at the end) if found.
+fn find_cycle(template: &str, vars: &BTreeMap<String, String>) -> Option<Vec<String>> {
+    fn dfs(
+        name: &str,
+        vars: &BTreeMap<String, String>,
+        stack: &mut Vec<String>,
+        done: &mut BTreeSet<String>,
+    ) -> Option<Vec<String>> {
+        if let Some(pos) = stack.iter().position(|s| s == name) {
+            let mut cycle = stack[pos..].to_vec();
+            cycle.push(name.to_string());
+            return Some(cycle);
+        }
+        if done.contains(name) {
+            return None;
+        }
+        stack.push(name.to_string());
+        if let Some(value) = vars.get(name) {
+            for reference in refs_in(value) {
+                if let Some(cycle) = dfs(&reference, vars, stack, done) {
+                    return Some(cycle);
+                }
+            }
+        }
+        stack.pop();
+        done.insert(name.to_string());
+        None
+    }
+
+    let mut done = BTreeSet::new();
+    for root in refs_in(template) {
+        if let Some(cycle) = dfs(&root, vars, &mut Vec::new(), &mut done) {
+            return Some(cycle);
+        }
+    }
+    None
 }
 
 /// Expands every value of a variable map against itself (used to resolve

@@ -15,8 +15,8 @@
 
 use crate::error::RambleError;
 use crate::expand::expand;
-use crate::rconfig::{ExperimentDef, WorkloadConfig};
 use crate::rconfig::VarValue;
+use crate::rconfig::{ExperimentDef, WorkloadConfig};
 use std::collections::BTreeMap;
 
 /// One fully-expanded experiment.

@@ -36,8 +36,8 @@ mod template;
 mod workspace;
 
 pub use analyze::{
-    analyze_experiment, analyze_experiment_with, AnalyzeReport, ExperimentResult,
-    ExperimentStatus, FomValue,
+    analyze_experiment, analyze_experiment_with, AnalyzeReport, ExperimentResult, ExperimentStatus,
+    FomValue,
 };
 pub use error::RambleError;
 pub use expand::expand;

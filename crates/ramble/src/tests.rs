@@ -111,6 +111,39 @@ fn expand_literal_braces() {
     assert_eq!(expand("{{literal}} {n}", &v).unwrap(), "{literal} 5");
 }
 
+#[test]
+fn expand_deep_acyclic_chain_is_not_a_cycle() {
+    // regression: a chain of nested references deeper than the pass budget
+    // is acyclic and must still expand (the old code reported it as cyclic)
+    let mut v = BTreeMap::new();
+    for i in 0..40 {
+        v.insert(format!("v{i}"), format!("{{v{}}}", i + 1));
+    }
+    v.insert("v40".to_string(), "done".to_string());
+    assert_eq!(expand("{v0}", &v).unwrap(), "done");
+}
+
+#[test]
+fn expand_cycle_error_names_the_cycle() {
+    let v = vars(&[("a", "x {b}"), ("b", "y {c}"), ("c", "z {a}")]);
+    let err = expand("{a}", &v).unwrap_err().to_string();
+    assert!(err.contains("cyclic"), "{err}");
+    assert!(err.contains("a -> b -> c -> a"), "{err}");
+}
+
+#[test]
+fn expand_errors_do_not_leak_brace_sentinels() {
+    // regression: after a pass protects `{{`/`}}` as \u{1}/\u{2} sentinels,
+    // a later error used to embed the protected text verbatim
+    let v = vars(&[("a", "{missing}")]);
+    let err = expand("{{lit}} {a}", &v).unwrap_err().to_string();
+    assert!(!err.contains('\u{1}') && !err.contains('\u{2}'), "{err:?}");
+    assert!(err.contains("{lit}"), "{err}");
+
+    let err = expand("{{x}} {bad name}", &v).unwrap_err().to_string();
+    assert!(!err.contains('\u{1}') && !err.contains('\u{2}'), "{err:?}");
+}
+
 // ---------------------------------------------------------------------------
 // Experiment generation (Figure 10 semantics)
 // ---------------------------------------------------------------------------
@@ -124,13 +157,20 @@ fn golden_fig10_expansion() {
     let wl = &workloads["problem"];
     assert_eq!(wl.env_vars["OMP_NUM_THREADS"], "{n_threads}");
     let def = &wl.experiments[0];
-    assert_eq!(def.name_template, "saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}");
+    assert_eq!(
+        def.name_template,
+        "saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}"
+    );
     assert_eq!(def.matrices.len(), 1);
     assert_eq!(def.matrices[0].0, "size_threads");
 
     let base = vars(&[("batch_time", "120")]);
     let exps = generate_experiments("saxpy", "problem", wl, def, &base).unwrap();
-    assert_eq!(exps.len(), 8, "matrix(2×2) × zip(2) must give 8 experiments");
+    assert_eq!(
+        exps.len(),
+        8,
+        "matrix(2×2) × zip(2) must give 8 experiments"
+    );
 
     let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
     for expected in [
@@ -143,7 +183,10 @@ fn golden_fig10_expansion() {
         "saxpy_1024_1_8_4",
         "saxpy_1024_2_8_4",
     ] {
-        assert!(names.contains(&expected), "missing {expected}; got {names:?}");
+        assert!(
+            names.contains(&expected),
+            "missing {expected}; got {names:?}"
+        );
     }
 
     // the zip ties processes_per_node to n_nodes: 8↔1, 4↔2
@@ -167,8 +210,8 @@ fn derived_n_ranks() {
     )
     .unwrap();
     let wl = &config.applications["saxpy"]["problem"];
-    let exps = generate_experiments("saxpy", "problem", wl, &wl.experiments[0], &BTreeMap::new())
-        .unwrap();
+    let exps =
+        generate_experiments("saxpy", "problem", wl, &wl.experiments[0], &BTreeMap::new()).unwrap();
     assert_eq!(exps.len(), 2);
     assert_eq!(exps[0].variables["n_ranks"], "4");
     assert_eq!(exps[1].variables["n_ranks"], "8");
@@ -179,7 +222,13 @@ fn generation_errors() {
     let make = |yaml: &str| {
         let config = RambleConfig::from_yaml(yaml).unwrap();
         let wl = config.applications["saxpy"]["problem"].clone();
-        generate_experiments("saxpy", "problem", &wl, &wl.experiments[0], &BTreeMap::new())
+        generate_experiments(
+            "saxpy",
+            "problem",
+            &wl,
+            &wl.experiments[0],
+            &BTreeMap::new(),
+        )
     };
 
     // matrix over a scalar variable
@@ -223,7 +272,9 @@ fn n_repeats_replicates_experiments() {
         generate_experiments("saxpy", "problem", wl, &wl.experiments[0], &BTreeMap::new()).unwrap();
     assert_eq!(exps.len(), 6); // 2 sizes × 3 repeats
     let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
-    for expected in ["e_64.1", "e_64.2", "e_64.3", "e_128.1", "e_128.2", "e_128.3"] {
+    for expected in [
+        "e_64.1", "e_64.2", "e_64.3", "e_128.1", "e_128.2", "e_128.3",
+    ] {
         assert!(names.contains(&expected), "missing {expected}: {names:?}");
     }
     assert_eq!(exps[0].variables["repeat_index"], "1");
@@ -259,7 +310,10 @@ fn resolved_spec_with_compiler_reference() {
         config.resolved_spec("saxpy").unwrap(),
         "saxpy@1.0.0 +openmp ^cmake@3.23.1 %gcc@12.1.1"
     );
-    assert_eq!(config.resolved_spec("default-mpi").unwrap(), "mvapich2@2.3.7");
+    assert_eq!(
+        config.resolved_spec("default-mpi").unwrap(),
+        "mvapich2@2.3.7"
+    );
     assert!(config.resolved_spec("nope").is_err());
 }
 
@@ -303,7 +357,10 @@ fn golden_fig9_spack_yaml_merge() {
 fn variables_yaml_merge() {
     let mut config = RambleConfig::from_yaml(FIG10).unwrap();
     config.merge_variables_yaml(FIG12).unwrap();
-    assert_eq!(config.variables["mpi_command"], "srun -N {n_nodes} -n {n_ranks}");
+    assert_eq!(
+        config.variables["mpi_command"],
+        "srun -N {n_nodes} -n {n_ranks}"
+    );
     assert_eq!(config.variables["batch_nodes"], "#SBATCH -N {n_nodes}");
     assert_eq!(config.compilers, vec!["gcc1211", "intel202160classic"]);
 }
@@ -317,7 +374,10 @@ fn golden_fig13_template_render() {
     let v = vars(&[
         ("batch_nodes", "#SBATCH -N 2"),
         ("batch_ranks", "#SBATCH -n 16"),
-        ("experiment_run_dir", "/ws/experiments/saxpy/problem/saxpy_512_2_8_4"),
+        (
+            "experiment_run_dir",
+            "/ws/experiments/saxpy/problem/saxpy_512_2_8_4",
+        ),
         ("spack_setup", "# spack env"),
         ("command", "srun -N 2 -n 16 saxpy -n 512"),
     ]);
@@ -416,7 +476,11 @@ fn golden_fig5_workspace_workflow() {
     // Figure 8's FOMs extracted
     let success_fom = result.foms.iter().find(|f| f.name == "success").unwrap();
     assert_eq!(success_fom.value, "Kernel done");
-    let time_fom = result.foms.iter().find(|f| f.name == "kernel_time").unwrap();
+    let time_fom = result
+        .foms
+        .iter()
+        .find(|f| f.name == "kernel_time")
+        .unwrap();
     assert_eq!(time_fom.value, "0.001234");
     assert_eq!(time_fom.units, "s");
     // variables stored with results (§5 reproducibility goal)
@@ -431,15 +495,25 @@ fn phases_enforced() {
     let mut ws = temp_workspace("phases");
     // setup before set_config
     assert!(ws
-        .setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
+        .setup(
+            &repo,
+            &apps,
+            &SiteConfig::example_cts(),
+            &InstallOptions::default()
+        )
         .is_err());
     // run before setup
     assert!(ws.run_with(stub_runner).is_err());
     // analyze before run
     ws.set_config(FIG10).unwrap();
     ws.merge_variables(FIG12).unwrap();
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     assert!(ws.analyze(&apps).is_err());
 }
 
@@ -450,8 +524,13 @@ fn failed_criterion_reported() {
     let mut ws = temp_workspace("fail");
     ws.set_config(FIG10).unwrap();
     ws.merge_variables(FIG12).unwrap();
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     // runner whose output lacks "Kernel done"
     ws.run_with(|_, _| RunOutput {
         stdout: "something went wrong\n".to_string(),
@@ -474,8 +553,13 @@ fn job_error_reported() {
     let mut ws = temp_workspace("joberr");
     ws.set_config(FIG10).unwrap();
     ws.merge_variables(FIG12).unwrap();
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     ws.run_with(|_, _| RunOutput {
         stdout: "Kernel done\n".to_string(),
         exit_code: 132,
@@ -498,8 +582,13 @@ fn modifiers_apply() {
     ws.merge_variables(FIG12).unwrap();
     ws.add_modifier(Modifier::Caliper);
     ws.add_modifier(Modifier::EnvVar("MY_FLAG".to_string(), "1".to_string()));
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     let script = ws.script("saxpy_512_1_8_2").unwrap();
     assert!(script.contains("export CALI_CONFIG=spot"), "{script}");
     assert!(script.contains("export MY_FLAG=1"), "{script}");
@@ -546,8 +635,13 @@ fn ramble_yaml_success_criteria() {
         let mut ws = temp_workspace("yamlcrit");
         ws.set_config(yaml).unwrap();
         ws.merge_variables(FIG12).unwrap();
-        ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-            .unwrap();
+        ws.setup(
+            &repo,
+            &apps,
+            &SiteConfig::example_cts(),
+            &InstallOptions::default(),
+        )
+        .unwrap();
         let out = stdout.to_string();
         ws.run_with(move |_, _| RunOutput {
             stdout: out.clone(),
@@ -569,7 +663,11 @@ fn ramble_yaml_success_criteria() {
     let analysis = run("Kernel done\nKernel time (s): 0.500000\n");
     let result = &analysis.results[0];
     assert_eq!(result.status, ExperimentStatus::Failed);
-    let fast = result.criteria.iter().find(|(n, _)| n == "fast_enough").unwrap();
+    let fast = result
+        .criteria
+        .iter()
+        .find(|(n, _)| n == "fast_enough")
+        .unwrap();
     assert!(!fast.1);
 
     // criteria with bad config are rejected at parse time
@@ -587,8 +685,13 @@ fn caliper_modifier_writes_profiles() {
     ws.set_config(FIG10).unwrap();
     ws.merge_variables(FIG12).unwrap();
     ws.add_modifier(Modifier::Caliper);
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     ws.run_with(stub_runner).unwrap();
     let cali = ws
         .root()
@@ -605,8 +708,13 @@ fn workspace_archive() {
     let mut ws = temp_workspace("archive");
     ws.set_config(FIG10).unwrap();
     ws.merge_variables(FIG12).unwrap();
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     // archive before run is a phase error
     let dest = std::env::temp_dir().join(format!("benchpark-archive-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dest);
@@ -633,8 +741,13 @@ fn analyze_fom_table() {
     let mut ws = temp_workspace("table");
     ws.set_config(FIG10).unwrap();
     ws.merge_variables(FIG12).unwrap();
-    ws.setup(&repo, &apps, &SiteConfig::example_cts(), &InstallOptions::default())
-        .unwrap();
+    ws.setup(
+        &repo,
+        &apps,
+        &SiteConfig::example_cts(),
+        &InstallOptions::default(),
+    )
+    .unwrap();
     ws.run_with(stub_runner).unwrap();
     let analysis = ws.analyze(&apps).unwrap();
     let table = analysis.fom_table();

@@ -10,7 +10,8 @@ use crate::rconfig::RambleConfig;
 use crate::template::{render_template, DEFAULT_TEMPLATE};
 use benchpark_concretizer::SiteConfig;
 use benchpark_pkg::{AppRepo, Repo};
-use benchpark_spack::{Environment, InstallOptions, InstallReport, Installer};
+use benchpark_spack::{BinaryCache, Environment, InstallOptions, InstallReport, Installer};
+use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,6 +45,10 @@ pub struct Workspace {
     experiments: Vec<ExperimentInstance>,
     scripts: BTreeMap<String, String>,
     run_outputs: BTreeMap<String, RunOutput>,
+    telemetry: TelemetrySink,
+    /// Site-wide binary cache shared across setups (when attached, builds
+    /// push to it and later installs fetch from it).
+    cache: Option<BinaryCache>,
 }
 
 impl Workspace {
@@ -61,12 +66,26 @@ impl Workspace {
             experiments: Vec::new(),
             scripts: BTreeMap::new(),
             run_outputs: BTreeMap::new(),
+            telemetry: TelemetrySink::noop(),
+            cache: None,
         })
     }
 
     /// The workspace root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Routes workspace telemetry (setup/run/analyze spans, per-environment
+    /// concretize and install instrumentation) to `sink`.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// Attaches a shared (site-wide) binary cache used by `setup` instead of
+    /// a fresh per-setup cache.
+    pub fn set_cache(&mut self, cache: BinaryCache) {
+        self.cache = Some(cache);
     }
 
     /// `ramble workspace edit`: installs the `ramble.yaml` text.
@@ -130,16 +149,21 @@ impl Workspace {
         site: &SiteConfig,
         install_opts: &InstallOptions,
     ) -> Result<SetupReport, RambleError> {
+        let _setup_span = self.telemetry.span("workspace.setup");
         let config = self
             .config
             .clone()
             .ok_or_else(|| RambleError::Phase("set_config before setup".to_string()))?;
 
         // ---- software environments (§3.2.3 step: install via Spack) -------
-        let installer = Installer::new(repo).with_cache(benchpark_spack::BinaryCache::new());
+        let cache = self.cache.clone().unwrap_or_default();
+        let installer = Installer::new(repo)
+            .with_cache(cache)
+            .with_telemetry(self.telemetry.clone());
         let mut install_reports = BTreeMap::new();
         let mut environment_specs = BTreeMap::new();
         for (env_name, env_def) in &config.environments {
+            let _env_span = self.telemetry.span("environment");
             let mut env = Environment::create(env_name);
             let mut specs = Vec::new();
             for pkg_ref in &env_def.packages {
@@ -148,7 +172,7 @@ impl Workspace {
                     .map_err(|e| RambleError::Software(format!("bad spec `{spec}`: {e}")))?;
                 specs.push(spec);
             }
-            env.concretize_with(repo, site)
+            env.concretize_instrumented(repo, site, self.telemetry.clone())
                 .map_err(|e| RambleError::Software(format!("environment `{env_name}`: {e}")))?;
             let reports = env
                 .install(&installer, install_opts)
@@ -161,9 +185,9 @@ impl Workspace {
         self.experiments.clear();
         self.scripts.clear();
         for (app_name, workloads) in &config.applications {
-            let app = app_repo.get(app_name).ok_or_else(|| {
-                RambleError::Config(format!("unknown application `{app_name}`"))
-            })?;
+            let app = app_repo
+                .get(app_name)
+                .ok_or_else(|| RambleError::Config(format!("unknown application `{app_name}`")))?;
             for (wl_name, wl_cfg) in workloads {
                 if app.get_workload(wl_name).is_none() {
                     return Err(RambleError::Config(format!(
@@ -175,10 +199,7 @@ impl Workspace {
                 for (k, v) in &config.variables {
                     base.insert(k.clone(), v.clone());
                 }
-                base.insert(
-                    "workspace_dir".to_string(),
-                    self.root.display().to_string(),
-                );
+                base.insert("workspace_dir".to_string(), self.root.display().to_string());
                 for def in &wl_cfg.experiments {
                     let mut generated =
                         generate_experiments(app_name, wl_name, wl_cfg, def, &base)?;
@@ -219,9 +240,7 @@ impl Workspace {
 
         // assemble the `command` variable: env exports + one line per
         // workload executable (MPI-launched where declared)
-        let workload = app
-            .get_workload(&exp.workload)
-            .expect("validated in setup");
+        let workload = app.get_workload(&exp.workload).expect("validated in setup");
         let mut command_lines = Vec::new();
         for (key, value) in &exp.env_vars {
             let value = expand(value, &exp.variables)?;
@@ -255,13 +274,15 @@ impl Workspace {
             "execute_experiment".to_string(),
             run_dir.join("execute_experiment").display().to_string(),
         );
-        exp.variables.entry("spack_setup".to_string()).or_insert_with(|| {
-            format!(
-                "# spack environment for {} activated from {}/software",
-                exp.application,
-                self.root.display()
-            )
-        });
+        exp.variables
+            .entry("spack_setup".to_string())
+            .or_insert_with(|| {
+                format!(
+                    "# spack environment for {} activated from {}/software",
+                    exp.application,
+                    self.root.display()
+                )
+            });
         // default batch directives when variables.yaml does not provide them
         for (key, default) in [
             ("batch_nodes", "#SBATCH -N {n_nodes}"),
@@ -289,6 +310,7 @@ impl Workspace {
         if self.experiments.is_empty() {
             return Err(RambleError::Phase("setup before run".to_string()));
         }
+        let _run_span = self.telemetry.span("workspace.run");
         let experiments = self.experiments.clone();
         for exp in &experiments {
             let script = self
@@ -331,7 +353,12 @@ impl Workspace {
         fs::create_dir_all(dest.join("configs"))?;
         let mut manifest = String::from("# ramble workspace archive\nfiles:\n");
         let mut copied = 0usize;
-        for file in ["ramble.yaml", "variables.yaml", "spack.yaml", "execute_experiment.tpl"] {
+        for file in [
+            "ramble.yaml",
+            "variables.yaml",
+            "spack.yaml",
+            "execute_experiment.tpl",
+        ] {
             let src = self.root.join("configs").join(file);
             if src.is_file() {
                 fs::copy(&src, dest.join("configs").join(file))?;
@@ -366,15 +393,15 @@ impl Workspace {
         if self.run_outputs.is_empty() {
             return Err(RambleError::Phase("run before analyze".to_string()));
         }
+        let _analyze_span = self.telemetry.span("workspace.analyze");
         let mut results = Vec::new();
         for exp in &self.experiments {
             let app = app_repo
                 .get(&exp.application)
                 .ok_or_else(|| RambleError::Config(format!("unknown app `{}`", exp.application)))?;
-            let output = self
-                .run_outputs
-                .get(&exp.name)
-                .ok_or_else(|| RambleError::Phase(format!("experiment `{}` never ran", exp.name)))?;
+            let output = self.run_outputs.get(&exp.name).ok_or_else(|| {
+                RambleError::Phase(format!("experiment `{}` never ran", exp.name))
+            })?;
             let extra = self
                 .config
                 .as_ref()

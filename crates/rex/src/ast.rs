@@ -230,11 +230,17 @@ impl Parser<'_> {
         };
         if let Some(m) = max {
             if min > m {
-                return Err(RexError::new(self.pos, format!("invalid repetition {{{min},{m}}}")));
+                return Err(RexError::new(
+                    self.pos,
+                    format!("invalid repetition {{{min},{m}}}"),
+                ));
             }
         }
         if zero_width(&atom) {
-            return Err(RexError::new(self.pos, "cannot repeat a zero-width assertion"));
+            return Err(RexError::new(
+                self.pos,
+                "cannot repeat a zero-width assertion",
+            ));
         }
         let greedy = !self.eat('?');
         Ok(Ast::Repeat {
@@ -299,7 +305,10 @@ impl Parser<'_> {
             '.' => Ok(Ast::Dot),
             '^' => Ok(Ast::Assert(Assertion::Start)),
             '$' => Ok(Ast::Assert(Assertion::End)),
-            '*' | '+' | '?' => Err(RexError::new(self.pos - 1, format!("dangling quantifier `{c}`"))),
+            '*' | '+' | '?' => Err(RexError::new(
+                self.pos - 1,
+                format!("dangling quantifier `{c}`"),
+            )),
             ')' => Err(RexError::new(self.pos - 1, "unmatched `)`")),
             other => Ok(Ast::Lit(other)),
         }
@@ -328,7 +337,10 @@ impl Parser<'_> {
             let name: String = self.chars[name_start..self.pos].iter().collect();
             self.expect('>')?;
             if self.names.iter().any(|(n, _)| *n == name) {
-                return Err(RexError::new(name_start, format!("duplicate group name `{name}`")));
+                return Err(RexError::new(
+                    name_start,
+                    format!("duplicate group name `{name}`"),
+                ));
             }
             let index = self.next_group;
             self.next_group += 1;
@@ -386,20 +398,26 @@ impl Parser<'_> {
                     .ok_or_else(|| RexError::new(self.pos, "unterminated character class"))?
                 {
                     '\\' => {
-                        let e = self
-                            .bump()
-                            .ok_or_else(|| RexError::new(self.pos, "trailing backslash in class"))?;
+                        let e = self.bump().ok_or_else(|| {
+                            RexError::new(self.pos, "trailing backslash in class")
+                        })?;
                         match class_escape(e) {
                             ClassEscape::Char(c) => c,
                             ClassEscape::Set(_) => {
-                                return Err(RexError::new(self.pos, "class escape cannot end a range"))
+                                return Err(RexError::new(
+                                    self.pos,
+                                    "class escape cannot end a range",
+                                ))
                             }
                         }
                     }
                     other => other,
                 };
                 if hi < lo {
-                    return Err(RexError::new(self.pos, format!("invalid range `{lo}-{hi}`")));
+                    return Err(RexError::new(
+                        self.pos,
+                        format!("invalid range `{lo}-{hi}`"),
+                    ));
                 }
                 ranges.push((lo, hi));
             } else {
@@ -427,7 +445,10 @@ impl Parser<'_> {
             'r' => Ast::Lit('\r'),
             '0' => Ast::Lit('\0'),
             other if other.is_ascii_alphanumeric() => {
-                return Err(RexError::new(self.pos - 1, format!("unknown escape `\\{other}`")))
+                return Err(RexError::new(
+                    self.pos - 1,
+                    format!("unknown escape `\\{other}`"),
+                ))
             }
             other => Ast::Lit(other),
         })

@@ -121,7 +121,10 @@ impl Compiler {
         for (i, branch) in branches.iter().enumerate() {
             let last = i + 1 == branches.len();
             if !last {
-                let split = self.push(Inst::Split { first: 0, second: 0 });
+                let split = self.push(Inst::Split {
+                    first: 0,
+                    second: 0,
+                });
                 split_fixups.push(split);
             }
             let branch_start = self.here();
@@ -162,7 +165,10 @@ impl Compiler {
                 // Optional copies: (split body, end) × (max - min)
                 let mut splits = Vec::new();
                 for _ in min..max {
-                    let split = self.push(Inst::Split { first: 0, second: 0 });
+                    let split = self.push(Inst::Split {
+                        first: 0,
+                        second: 0,
+                    });
                     splits.push(split);
                     let body = self.here();
                     self.emit(inner);
@@ -187,7 +193,10 @@ impl Compiler {
             }
             None => {
                 // Unbounded tail: L: split body, end; body: inner; jmp L
-                let split = self.push(Inst::Split { first: 0, second: 0 });
+                let split = self.push(Inst::Split {
+                    first: 0,
+                    second: 0,
+                });
                 let body = self.here();
                 self.emit(inner);
                 self.push(Inst::Jmp(split));

@@ -312,10 +312,14 @@ mod reference {
                     out.extend(ends(b, chars, pos));
                 }
             }
-            Ast::Repeat { inner, min, max, .. } => {
+            Ast::Repeat {
+                inner, min, max, ..
+            } => {
                 // positions reachable after exactly k iterations
                 let mut frontier = BTreeSet::from([pos]);
-                let hard_cap = max.unwrap_or((chars.len() + 1) as u32).min(chars.len() as u32 + 2);
+                let hard_cap = max
+                    .unwrap_or((chars.len() + 1) as u32)
+                    .min(chars.len() as u32 + 2);
                 let mut k = 0u32;
                 if *min == 0 {
                     out.extend(frontier.iter().copied());
@@ -365,14 +369,17 @@ mod proptests {
             Just(r"\d".to_string()),
             Just(r"\w".to_string()),
         ];
-        let repeated = (atom, prop_oneof![
-            Just("".to_string()),
-            Just("*".to_string()),
-            Just("+".to_string()),
-            Just("?".to_string()),
-            Just("{2}".to_string()),
-            Just("{1,2}".to_string()),
-        ])
+        let repeated = (
+            atom,
+            prop_oneof![
+                Just("".to_string()),
+                Just("*".to_string()),
+                Just("+".to_string()),
+                Just("?".to_string()),
+                Just("{2}".to_string()),
+                Just("{1,2}".to_string()),
+            ],
+        )
             .prop_map(|(a, q)| format!("{a}{q}"));
         prop::collection::vec(repeated, 1..5).prop_map(|parts| parts.join(""))
     }

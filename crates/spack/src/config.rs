@@ -25,11 +25,7 @@ impl ConfigScopes {
 
     /// Pushes a scope. `files` maps file names (`"packages.yaml"`) to YAML
     /// text. Later scopes take precedence.
-    pub fn push_scope(
-        &mut self,
-        name: &str,
-        files: &[(&str, &str)],
-    ) -> Result<(), ParseError> {
+    pub fn push_scope(&mut self, name: &str, files: &[(&str, &str)]) -> Result<(), ParseError> {
         let mut docs = BTreeMap::new();
         for (file, text) in files {
             docs.insert(file.to_string(), parse(text)?);
@@ -90,7 +86,11 @@ impl ConfigScopes {
         };
 
         // compilers.yaml
-        if let Some(list) = self.merged("compilers.yaml").get("compilers").and_then(|v| v.as_seq().map(<[Value]>::to_vec)) {
+        if let Some(list) = self
+            .merged("compilers.yaml")
+            .get("compilers")
+            .and_then(|v| v.as_seq().map(<[Value]>::to_vec))
+        {
             for entry in &list {
                 let body = entry.get("compiler").unwrap_or(entry);
                 let Some(spec_text) = body.get("spec").and_then(Value::as_str) else {
@@ -105,18 +105,20 @@ impl ConfigScopes {
                             .and_then(Value::as_str)
                             .unwrap_or("/usr")
                             .to_string();
-                        config.compilers.push(CompilerEntry::new(
-                            &name,
-                            version.as_str(),
-                            &prefix,
-                        ));
+                        config
+                            .compilers
+                            .push(CompilerEntry::new(&name, version.as_str(), &prefix));
                     }
                 }
             }
         }
 
         // packages.yaml
-        if let Some(packages) = self.merged("packages.yaml").get("packages").and_then(|v| v.as_map().cloned()) {
+        if let Some(packages) = self
+            .merged("packages.yaml")
+            .get("packages")
+            .and_then(|v| v.as_map().cloned())
+        {
             for (pkg_name, body) in packages.iter() {
                 if pkg_name == "all" {
                     if let Some(providers) = body.get("providers").and_then(Value::as_map) {
@@ -150,7 +152,10 @@ impl ConfigScopes {
                     }
                     continue;
                 }
-                if let Some(externals) = body.get("externals").and_then(|v| v.as_seq().map(<[Value]>::to_vec)) {
+                if let Some(externals) = body
+                    .get("externals")
+                    .and_then(|v| v.as_seq().map(<[Value]>::to_vec))
+                {
                     for ext in &externals {
                         let Some(spec_text) = ext.get("spec").and_then(Value::as_str) else {
                             continue;
@@ -169,11 +174,11 @@ impl ConfigScopes {
                         // virtuals (MKL provides blas *and* lapack) — dedupe
                         let owner = espec.name.clone().unwrap_or_else(|| pkg_name.clone());
                         let entry = config.externals.entry(owner).or_default();
-                        if !entry
-                            .iter()
-                            .any(|e| e.prefix == prefix && e.spec == espec)
-                        {
-                            entry.push(External { spec: espec, prefix });
+                        if !entry.iter().any(|e| e.prefix == prefix && e.spec == espec) {
+                            entry.push(External {
+                                spec: espec,
+                                prefix,
+                            });
                         }
                     }
                 }
@@ -207,7 +212,9 @@ impl ConfigScopes {
                 }
                 if let Some(vers) = body.get("version").and_then(Value::string_list) {
                     if let Some(first) = vers.first() {
-                        if let Ok(vc) = format!("{pkg_name}@{first}").parse::<benchpark_spec::Spec>() {
+                        if let Ok(vc) =
+                            format!("{pkg_name}@{first}").parse::<benchpark_spec::Spec>()
+                        {
                             config.version_prefs.insert(pkg_name.clone(), vc.versions);
                         }
                     }

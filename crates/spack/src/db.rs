@@ -123,14 +123,8 @@ impl InstallDatabase {
                 }
             }
         }
-        let dead: Vec<String> = map
-            .keys()
-            .filter(|h| !live.contains(*h))
-            .cloned()
-            .collect();
-        dead.into_iter()
-            .filter_map(|h| map.remove(&h))
-            .collect()
+        let dead: Vec<String> = map.keys().filter(|h| !live.contains(*h)).cloned().collect();
+        dead.into_iter().filter_map(|h| map.remove(&h)).collect()
     }
 
     /// The canonical install prefix for a node

@@ -3,7 +3,7 @@
 use crate::config::ConfigScopes;
 use crate::installer::{InstallOptions, InstallReport, Installer};
 use crate::manifest::Manifest;
-use benchpark_concretizer::{ConcreteSpec, Concretizer, ConcretizeError, SiteConfig};
+use benchpark_concretizer::{ConcreteSpec, ConcretizeError, Concretizer, SiteConfig};
 use benchpark_pkg::Repo;
 use benchpark_spec::Spec;
 
@@ -35,7 +35,10 @@ impl Lockfile {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (root, dag) in &self.roots {
-            out.push_str(&format!("# {root}\n# dag_hash: {}\n{dag}\n", dag.dag_hash()));
+            out.push_str(&format!(
+                "# {root}\n# dag_hash: {}\n{dag}\n",
+                dag.dag_hash()
+            ));
         }
         out
     }
@@ -59,7 +62,12 @@ impl Lockfile {
                 entry.insert("dependencies", Value::Map(deps));
                 entry.insert(
                     "provides",
-                    Value::Seq(node.provides.iter().map(|v| Value::str(v.clone())).collect()),
+                    Value::Seq(
+                        node.provides
+                            .iter()
+                            .map(|v| Value::str(v.clone()))
+                            .collect(),
+                    ),
                 );
                 match &node.origin {
                     Origin::Source => entry.insert("origin", Value::str("source")),
@@ -196,7 +204,10 @@ impl Environment {
     }
 
     /// Creates an environment from an existing `spack.yaml` manifest.
-    pub fn from_manifest(name: &str, manifest_yaml: &str) -> Result<Environment, benchpark_yamlite::ParseError> {
+    pub fn from_manifest(
+        name: &str,
+        manifest_yaml: &str,
+    ) -> Result<Environment, benchpark_yamlite::ParseError> {
         Ok(Environment {
             name: name.to_string(),
             manifest: Manifest::from_yaml(manifest_yaml)?,
@@ -243,6 +254,16 @@ impl Environment {
         repo: &Repo,
         site: &SiteConfig,
     ) -> Result<&Lockfile, ConcretizeError> {
+        self.concretize_instrumented(repo, site, benchpark_telemetry::TelemetrySink::noop())
+    }
+
+    /// [`Environment::concretize_with`] with solver telemetry routed to `sink`.
+    pub fn concretize_instrumented(
+        &mut self,
+        repo: &Repo,
+        site: &SiteConfig,
+        sink: benchpark_telemetry::TelemetrySink,
+    ) -> Result<&Lockfile, ConcretizeError> {
         let roots: Vec<Spec> = self
             .manifest
             .specs
@@ -250,16 +271,10 @@ impl Environment {
             .map(|s| s.parse::<Spec>())
             .collect::<Result<_, _>>()
             .map_err(ConcretizeError::from)?;
-        let solver = Concretizer::new(repo, site);
+        let solver = Concretizer::new(repo, site).with_telemetry(sink);
         let dags = solver.concretize_env(&roots, self.manifest.unify)?;
         self.lockfile = Some(Lockfile {
-            roots: self
-                .manifest
-                .specs
-                .iter()
-                .cloned()
-                .zip(dags)
-                .collect(),
+            roots: self.manifest.specs.iter().cloned().zip(dags).collect(),
         });
         Ok(self.lockfile.as_ref().expect("just set"))
     }
@@ -270,9 +285,12 @@ impl Environment {
         installer: &Installer<'_>,
         opts: &InstallOptions,
     ) -> Result<Vec<InstallReport>, ConcretizeError> {
-        let lockfile = self.lockfile.as_ref().ok_or(ConcretizeError::Unsatisfiable {
-            message: "environment is not concretized; run concretize first".to_string(),
-        })?;
+        let lockfile = self
+            .lockfile
+            .as_ref()
+            .ok_or(ConcretizeError::Unsatisfiable {
+                message: "environment is not concretized; run concretize first".to_string(),
+            })?;
         Ok(lockfile
             .dags()
             .map(|dag| installer.install(dag, opts))

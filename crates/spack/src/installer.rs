@@ -12,6 +12,7 @@ use crate::cache::{BinaryCache, CacheEntry};
 use crate::db::{InstallDatabase, InstalledRecord};
 use benchpark_concretizer::{ConcreteSpec, Origin};
 use benchpark_pkg::Repo;
+use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
 
 /// Installer knobs.
@@ -96,6 +97,7 @@ pub struct Installer<'a> {
     repo: &'a Repo,
     db: InstallDatabase,
     cache: Option<BinaryCache>,
+    telemetry: TelemetrySink,
 }
 
 impl<'a> Installer<'a> {
@@ -105,7 +107,15 @@ impl<'a> Installer<'a> {
             repo,
             db: InstallDatabase::new(),
             cache: None,
+            telemetry: TelemetrySink::noop(),
         }
+    }
+
+    /// Routes install telemetry (plan/execute spans, cache hit/miss/push
+    /// counters, makespan and worker-utilization observations) to `sink`.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// Uses an existing (shared) database.
@@ -132,7 +142,9 @@ impl<'a> Installer<'a> {
 
     /// Installs a concrete DAG.
     pub fn install(&self, dag: &ConcreteSpec, opts: &InstallOptions) -> InstallReport {
+        let install_span = self.telemetry.span("install");
         // ---- plan: action + duration per node --------------------------------
+        let plan_span = self.telemetry.span("install.plan");
         let order = dag.build_order();
         let mut actions: BTreeMap<String, (Action, f64)> = BTreeMap::new();
         for node in &order {
@@ -144,11 +156,7 @@ impl<'a> Installer<'a> {
                     Origin::External { .. } => (Action::UseExternal, 1.0),
                     Origin::Reused => (Action::Reused, 0.0),
                     Origin::Source => {
-                        let cost = self
-                            .repo
-                            .get(&name)
-                            .map(|p| p.build_cost)
-                            .unwrap_or(10.0);
+                        let cost = self.repo.get(&name).map(|p| p.build_cost).unwrap_or(10.0);
                         let cached = opts.use_cache
                             && self
                                 .cache
@@ -171,9 +179,12 @@ impl<'a> Installer<'a> {
             .values()
             .map(|(_, finish)| *finish)
             .fold(0.0, f64::max);
+        drop(plan_span);
 
         // ---- real parallel execution: worker pool over the ready queue -------
+        let execute_span = self.telemetry.span("install.execute");
         let newly = self.execute_parallel(dag, &actions, &schedule, opts);
+        drop(execute_span);
 
         let mut results: Vec<PackageResult> = order
             .iter()
@@ -191,7 +202,31 @@ impl<'a> Installer<'a> {
             })
             .collect();
         results.sort_by(|a, b| a.start.total_cmp(&b.start));
-        let total_cpu = results.iter().map(|r| r.seconds).sum();
+        let total_cpu: f64 = results.iter().map(|r| r.seconds).sum();
+
+        if self.telemetry.is_enabled() {
+            let hits = results
+                .iter()
+                .filter(|r| r.action == Action::FetchFromCache)
+                .count();
+            let misses = results.iter().filter(|r| r.action == Action::Build).count();
+            self.telemetry.incr("cache.hit", hits as u64);
+            self.telemetry.incr("cache.miss", misses as u64);
+            if opts.push_to_cache && self.cache.is_some() {
+                self.telemetry.incr("cache.push", misses as u64);
+            }
+            self.telemetry.observe("install.makespan_seconds", makespan);
+            self.telemetry
+                .observe("install.total_cpu_seconds", total_cpu);
+            if makespan > 0.0 {
+                let jobs = opts.jobs.max(1) as f64;
+                self.telemetry
+                    .observe("install.worker_utilization", total_cpu / (makespan * jobs));
+            }
+            install_span.set_virtual(makespan);
+        }
+        drop(install_span);
+
         InstallReport {
             results,
             makespan_seconds: makespan,

@@ -35,7 +35,10 @@ fn scopes() -> ConfigScopes {
     scopes
         .push_scope(
             "system",
-            &[("packages.yaml", FIG4_PACKAGES), ("compilers.yaml", COMPILERS)],
+            &[
+                ("packages.yaml", FIG4_PACKAGES),
+                ("compilers.yaml", COMPILERS),
+            ],
         )
         .unwrap();
     scopes
@@ -93,7 +96,9 @@ fn scope_precedence_deep_merges() {
         Some(true)
     );
     // system settings survive
-    assert!(merged.get_path(&["packages", "blas", "externals"]).is_some());
+    assert!(merged
+        .get_path(&["packages", "blas", "externals"])
+        .is_some());
     // new keys added
     let config = scopes.site_config();
     assert!(config.version_prefs.contains_key("cmake"));
@@ -106,10 +111,13 @@ fn providers_and_target_from_packages_all() {
     scopes
         .push_scope(
             "system",
-            &[(
-                "packages.yaml",
-                "packages:\n  all:\n    target: [zen3]\n    providers:\n      mpi: [openmpi]\n",
-            ), ("compilers.yaml", COMPILERS)],
+            &[
+                (
+                    "packages.yaml",
+                    "packages:\n  all:\n    target: [zen3]\n    providers:\n      mpi: [openmpi]\n",
+                ),
+                ("compilers.yaml", COMPILERS),
+            ],
         )
         .unwrap();
     let config = scopes.site_config();
@@ -123,7 +131,8 @@ fn providers_and_target_from_packages_all() {
 
 #[test]
 fn golden_fig3_manifest() {
-    let text = "spack:\n  specs: [amg2023+caliper]\n  concretizer:\n    unify: true\n  view: true\n";
+    let text =
+        "spack:\n  specs: [amg2023+caliper]\n  concretizer:\n    unify: true\n  view: true\n";
     let m = Manifest::from_yaml(text).unwrap();
     assert_eq!(m.specs, vec!["amg2023+caliper"]);
     assert!(m.unify);
@@ -156,7 +165,10 @@ fn golden_fig2_environment_workflow() {
     // 4: spack --config-scope /path/to/configs concretize
     env.push_config_scope(
         "system",
-        &[("packages.yaml", FIG4_PACKAGES), ("compilers.yaml", COMPILERS)],
+        &[
+            ("packages.yaml", FIG4_PACKAGES),
+            ("compilers.yaml", COMPILERS),
+        ],
     )
     .unwrap();
     let mut site = env.site_config();
@@ -170,9 +182,7 @@ fn golden_fig2_environment_workflow() {
 
     // 5: spack install
     let installer = Installer::new(&repo);
-    let reports = env
-        .install(&installer, &InstallOptions::default())
-        .unwrap();
+    let reports = env.install(&installer, &InstallOptions::default()).unwrap();
     assert_eq!(reports.len(), 1);
     let report = &reports[0];
     assert!(report.count(Action::Build) >= 4, "{:?}", report.results);
@@ -287,7 +297,10 @@ fn binary_cache_speedup() {
         .with_cache(cache.clone());
     let warm = consumer.install(&dag, &InstallOptions::default());
     assert_eq!(warm.count(Action::Build), 0);
-    assert_eq!(warm.count(Action::FetchFromCache), cold.count(Action::Build));
+    assert_eq!(
+        warm.count(Action::FetchFromCache),
+        cold.count(Action::Build)
+    );
     assert!(
         warm.makespan_seconds < cold.makespan_seconds / 5.0,
         "cache must be much faster: warm {} vs cold {}",

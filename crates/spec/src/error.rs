@@ -12,9 +12,7 @@ pub enum SpecError {
         message: String,
     },
     /// Two constraints cannot hold simultaneously.
-    Conflict {
-        message: String,
-    },
+    Conflict { message: String },
 }
 
 impl SpecError {

@@ -23,7 +23,10 @@ use crate::version::{Version, VersionConstraint, VersionRange};
 /// Parses a complete spec expression.
 pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
     let chars: Vec<char> = input.chars().collect();
-    let mut p = Parser { chars: &chars, pos: 0 };
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+    };
     let mut root = Spec::anonymous();
     // Which spec subsequent clauses apply to: None = root, Some(name) = dep.
     let mut context: Option<String> = None;
@@ -40,12 +43,20 @@ pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
             '+' => {
                 p.pos += 1;
                 let name = p.parse_word("variant name")?;
-                set_variant(target_spec(&mut root, &context), &name, VariantValue::Bool(true))?;
+                set_variant(
+                    target_spec(&mut root, &context),
+                    &name,
+                    VariantValue::Bool(true),
+                )?;
             }
             '~' => {
                 p.pos += 1;
                 let name = p.parse_word("variant name")?;
-                set_variant(target_spec(&mut root, &context), &name, VariantValue::Bool(false))?;
+                set_variant(
+                    target_spec(&mut root, &context),
+                    &name,
+                    VariantValue::Bool(false),
+                )?;
             }
             '%' => {
                 p.pos += 1;
@@ -109,7 +120,10 @@ pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
                 }
             }
             other => {
-                return Err(SpecError::parse(at, format!("unexpected character `{other}`")));
+                return Err(SpecError::parse(
+                    at,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
         p.skip_ws();

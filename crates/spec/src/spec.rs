@@ -66,7 +66,9 @@ pub struct Spec {
 }
 
 /// The flag kinds Spack recognizes on a spec.
-pub const FLAG_KEYS: &[&str] = &["cflags", "cxxflags", "fflags", "ldflags", "cppflags", "ldlibs"];
+pub const FLAG_KEYS: &[&str] = &[
+    "cflags", "cxxflags", "fflags", "ldflags", "cppflags", "ldlibs",
+];
 
 impl Spec {
     /// An anonymous, fully-unconstrained spec.

@@ -175,14 +175,23 @@ fn parse_compiler_flags() {
         s.compiler_flags.get("cflags").unwrap(),
         &vec!["-O3".to_string(), "-march=native".to_string()]
     );
-    assert_eq!(s.compiler_flags.get("ldflags").unwrap(), &vec!["-lm".to_string()]);
+    assert_eq!(
+        s.compiler_flags.get("ldflags").unwrap(),
+        &vec!["-lm".to_string()]
+    );
     // unquoted single flag
     let s = spec("hypre cflags=-O2");
-    assert_eq!(s.compiler_flags.get("cflags").unwrap(), &vec!["-O2".to_string()]);
+    assert_eq!(
+        s.compiler_flags.get("cflags").unwrap(),
+        &vec!["-O2".to_string()]
+    );
     // flags on a dependency
     let s = spec(r#"app ^hypre cflags="-O3""#);
     assert_eq!(
-        s.dependencies["hypre"].compiler_flags.get("cflags").unwrap(),
+        s.dependencies["hypre"]
+            .compiler_flags
+            .get("cflags")
+            .unwrap(),
         &vec!["-O3".to_string()]
     );
     // unterminated quote errors
@@ -198,7 +207,8 @@ fn compiler_flags_satisfies_and_constrain() {
     assert!(!spec("pkg").satisfies(&want));
 
     let mut s = spec(r#"pkg cflags="-O3""#);
-    s.constrain(&spec(r#"pkg cflags="-g -O3" ldflags="-lm""#)).unwrap();
+    s.constrain(&spec(r#"pkg cflags="-g -O3" ldflags="-lm""#))
+        .unwrap();
     assert_eq!(
         s.compiler_flags.get("cflags").unwrap(),
         &vec!["-O3".to_string(), "-g".to_string()] // union, order-preserving, deduped
@@ -262,7 +272,10 @@ fn display_roundtrip() {
         let parsed = spec(text);
         let printed = parsed.to_string();
         let reparsed = spec(&printed);
-        assert_eq!(parsed, reparsed, "round trip failed for {text:?} → {printed:?}");
+        assert_eq!(
+            parsed, reparsed,
+            "round trip failed for {text:?} → {printed:?}"
+        );
     }
 }
 
@@ -405,8 +418,13 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_version() -> impl Strategy<Value = String> {
-        prop::collection::vec(0u32..30, 1..4)
-            .prop_map(|parts| parts.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("."))
+        prop::collection::vec(0u32..30, 1..4).prop_map(|parts| {
+            parts
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(".")
+        })
     }
 
     fn arb_spec_text() -> impl Strategy<Value = String> {

@@ -1,0 +1,532 @@
+//! Pipeline-wide self-instrumentation for Benchpark, in the spirit of
+//! Caliper/Adiak annotations the paper's experiments rely on — except turned
+//! inward, on the benchmarking pipeline itself.
+//!
+//! Three primitives:
+//!
+//! * **Spans** — hierarchical timed regions (`pipeline.setup` →
+//!   `workspace.setup` → `environment` → `concretize` / `install` → …).
+//!   Every span records *real* wall-clock duration; phases that simulate
+//!   time (the installer's makespan, the cluster scheduler) may additionally
+//!   attach a *virtual* duration.
+//! * **Counters** — monotonically increasing named totals
+//!   (`concretizer.solves`, `cache.hit`, `ci.jobs.success`, …).
+//! * **Observations** — point samples aggregated into count/sum/min/max/last
+//!   (`scheduler.queue_depth`, `install.worker_utilization`, …).
+//!
+//! Every event is also appended to a structured journal, so a report can
+//! replay the exact instrumentation sequence. The whole subsystem is reached
+//! through a [`TelemetrySink`] handle: a disabled sink (the default
+//! everywhere) is a `None` and costs one branch per call site.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A cheap-to-clone handle to a telemetry recorder, or a no-op.
+///
+/// All pipeline components accept a sink and default to [`TelemetrySink::noop`],
+/// so instrumentation is zero-cost unless a recording sink is plumbed in
+/// (e.g. by `benchpark trace`).
+#[derive(Clone, Default)]
+pub struct TelemetrySink(Option<Arc<Recorder>>);
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TelemetrySink")
+            .field(&if self.0.is_some() {
+                "recording"
+            } else {
+                "noop"
+            })
+            .finish()
+    }
+}
+
+impl TelemetrySink {
+    /// The disabled sink: every call is a no-op.
+    pub fn noop() -> TelemetrySink {
+        TelemetrySink(None)
+    }
+
+    /// A live sink backed by a fresh recorder.
+    pub fn recording() -> TelemetrySink {
+        TelemetrySink(Some(Arc::new(Recorder::new())))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a span; it closes (and records its real duration) when the
+    /// returned guard drops. Nested `span` calls on clones of the same sink
+    /// form the hierarchy.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(recorder) = &self.0 else {
+            return SpanGuard {
+                recorder: None,
+                index: 0,
+            };
+        };
+        let index = recorder.start_span(name);
+        SpanGuard {
+            recorder: Some(Arc::clone(recorder)),
+            index,
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn incr(&self, name: &str, delta: u64) {
+        if let Some(recorder) = &self.0 {
+            recorder.incr(name, delta);
+        }
+    }
+
+    /// Records one sample of a named quantity.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(recorder) = &self.0 {
+            recorder.observe(name, value);
+        }
+    }
+
+    /// A snapshot of everything recorded so far (`None` for a no-op sink).
+    pub fn report(&self) -> Option<TelemetryReport> {
+        self.0.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// RAII guard for an open span; ends the span when dropped.
+pub struct SpanGuard {
+    recorder: Option<Arc<Recorder>>,
+    index: usize,
+}
+
+impl SpanGuard {
+    /// Attaches a simulated-time duration to this span (e.g. the installer's
+    /// virtual makespan), alongside the real wall-clock time measured on drop.
+    pub fn set_virtual(&self, seconds: f64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.set_virtual(self.index, seconds);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(recorder) = &self.recorder {
+            recorder.end_span(self.index);
+        }
+    }
+}
+
+/// One entry in the append-only journal. `at` is seconds since the recorder
+/// was created.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    SpanStart {
+        at: f64,
+        name: String,
+        depth: usize,
+    },
+    SpanEnd {
+        at: f64,
+        name: String,
+        real_seconds: f64,
+    },
+    Counter {
+        at: f64,
+        name: String,
+        delta: u64,
+        total: u64,
+    },
+    Observe {
+        at: f64,
+        name: String,
+        value: f64,
+    },
+}
+
+/// A recorded span, in creation order (preorder of the span tree).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Index of the parent span in the arena, or `None` for a root.
+    pub parent: Option<usize>,
+    /// Depth in the tree: roots are 1.
+    pub depth: usize,
+    /// Start offset in seconds since the recorder epoch.
+    pub started_at: f64,
+    /// Real wall-clock duration; `None` while the span is still open.
+    pub real_seconds: Option<f64>,
+    /// Simulated-time duration, if the phase attached one.
+    pub virtual_seconds: Option<f64>,
+}
+
+/// Aggregate statistics for one observation stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationStats {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub last: f64,
+}
+
+impl ObservationStats {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct RecorderState {
+    spans: Vec<SpanRecord>,
+    /// Indices of currently-open spans, innermost last.
+    stack: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    observations: BTreeMap<String, ObservationStats>,
+    journal: Vec<Event>,
+}
+
+/// The shared mutable core behind a recording [`TelemetrySink`].
+pub struct Recorder {
+    epoch: Instant,
+    state: Mutex<RecorderState>,
+}
+
+impl Recorder {
+    fn new() -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            state: Mutex::new(RecorderState::default()),
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn start_span(&self, name: &str) -> usize {
+        let at = self.now();
+        let mut state = self.state.lock().unwrap();
+        let parent = state.stack.last().copied();
+        let depth = parent.map(|p| state.spans[p].depth + 1).unwrap_or(1);
+        let index = state.spans.len();
+        state.spans.push(SpanRecord {
+            name: name.to_string(),
+            parent,
+            depth,
+            started_at: at,
+            real_seconds: None,
+            virtual_seconds: None,
+        });
+        state.stack.push(index);
+        state.journal.push(Event::SpanStart {
+            at,
+            name: name.to_string(),
+            depth,
+        });
+        index
+    }
+
+    fn end_span(&self, index: usize) {
+        let at = self.now();
+        let mut state = self.state.lock().unwrap();
+        // Close any spans opened after this one that leaked (guard dropped
+        // out of order); normal RAII nesting pops exactly one.
+        while let Some(top) = state.stack.pop() {
+            let span = &mut state.spans[top];
+            let real = at - span.started_at;
+            span.real_seconds = Some(real);
+            let name = span.name.clone();
+            state.journal.push(Event::SpanEnd {
+                at,
+                name,
+                real_seconds: real,
+            });
+            if top == index {
+                break;
+            }
+        }
+    }
+
+    fn set_virtual(&self, index: usize, seconds: f64) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(span) = state.spans.get_mut(index) {
+            span.virtual_seconds = Some(seconds);
+        }
+    }
+
+    fn incr(&self, name: &str, delta: u64) {
+        let at = self.now();
+        let mut state = self.state.lock().unwrap();
+        let total = state.counters.entry(name.to_string()).or_insert(0);
+        *total += delta;
+        let total = *total;
+        state.journal.push(Event::Counter {
+            at,
+            name: name.to_string(),
+            delta,
+            total,
+        });
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let at = self.now();
+        let mut state = self.state.lock().unwrap();
+        state
+            .observations
+            .entry(name.to_string())
+            .and_modify(|s| {
+                s.count += 1;
+                s.sum += value;
+                s.min = s.min.min(value);
+                s.max = s.max.max(value);
+                s.last = value;
+            })
+            .or_insert(ObservationStats {
+                count: 1,
+                sum: value,
+                min: value,
+                max: value,
+                last: value,
+            });
+        state.journal.push(Event::Observe {
+            at,
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    fn snapshot(&self) -> TelemetryReport {
+        let state = self.state.lock().unwrap();
+        TelemetryReport {
+            spans: state.spans.clone(),
+            counters: state.counters.clone(),
+            observations: state.observations.clone(),
+            journal: state.journal.clone(),
+        }
+    }
+}
+
+/// An immutable snapshot of a recorder: the span tree, counter totals,
+/// observation statistics, and the full event journal.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    pub spans: Vec<SpanRecord>,
+    pub counters: BTreeMap<String, u64>,
+    pub observations: BTreeMap<String, ObservationStats>,
+    pub journal: Vec<Event>,
+}
+
+impl TelemetryReport {
+    /// Total for a named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Statistics for a named observation stream, if any samples exist.
+    pub fn observation(&self, name: &str) -> Option<&ObservationStats> {
+        self.observations.get(name)
+    }
+
+    /// Deepest nesting level reached in the span tree (roots are 1).
+    pub fn max_depth(&self) -> usize {
+        self.spans.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+
+    /// Renders the span tree, counters, and observations as aligned text —
+    /// the body of `benchpark trace`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry: span tree (real wall-clock; ~virtual where simulated)\n");
+        for span in &self.spans {
+            let indent = "  ".repeat(span.depth - 1);
+            let real = span
+                .real_seconds
+                .map(|s| format!("{:.6}s", s))
+                .unwrap_or_else(|| "open".to_string());
+            match span.virtual_seconds {
+                Some(v) => {
+                    let _ = writeln!(out, "  {indent}{:<32} {real:>12}  ~{v:.3}s", span.name);
+                }
+                None => {
+                    let _ = writeln!(out, "  {indent}{:<32} {real:>12}", span.name);
+                }
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ntelemetry: counters\n");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<36} {total:>10}");
+            }
+        }
+        if !self.observations.is_empty() {
+            out.push_str("\ntelemetry: observations (mean/min/max over samples)\n");
+            for (name, stats) in &self.observations {
+                let _ = writeln!(
+                    out,
+                    "  {name:<36} mean {:>9.3}  min {:>9.3}  max {:>9.3}  n={}",
+                    stats.mean(),
+                    stats.min,
+                    stats.max,
+                    stats.count
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\ntelemetry: {} journal events, max span depth {}",
+            self.journal.len(),
+            self.max_depth()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_records_nothing() {
+        let sink = TelemetrySink::noop();
+        assert!(!sink.is_enabled());
+        {
+            let span = sink.span("anything");
+            span.set_virtual(1.0);
+            sink.incr("x", 5);
+            sink.observe("y", 2.0);
+        }
+        assert!(sink.report().is_none());
+    }
+
+    #[test]
+    fn default_sink_is_noop() {
+        assert!(!TelemetrySink::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let sink = TelemetrySink::recording();
+        {
+            let _a = sink.span("a");
+            {
+                let _b = sink.span("b");
+                let _c = sink.span("c");
+            }
+            let _d = sink.span("d");
+        }
+        let report = sink.report().unwrap();
+        assert_eq!(report.spans.len(), 4);
+        assert_eq!(report.max_depth(), 3);
+        let by_name: BTreeMap<&str, &SpanRecord> =
+            report.spans.iter().map(|s| (s.name.as_str(), s)).collect();
+        assert_eq!(by_name["a"].depth, 1);
+        assert_eq!(by_name["b"].depth, 2);
+        assert_eq!(by_name["c"].depth, 3);
+        assert_eq!(by_name["d"].depth, 2);
+        assert_eq!(by_name["c"].parent, Some(1));
+        // all closed
+        assert!(report.spans.iter().all(|s| s.real_seconds.is_some()));
+    }
+
+    #[test]
+    fn counters_accumulate_and_journal_orders_events() {
+        let sink = TelemetrySink::recording();
+        sink.incr("cache.hit", 2);
+        sink.incr("cache.hit", 3);
+        sink.incr("cache.miss", 1);
+        let report = sink.report().unwrap();
+        assert_eq!(report.counter("cache.hit"), 5);
+        assert_eq!(report.counter("cache.miss"), 1);
+        assert_eq!(report.counter("never"), 0);
+        assert_eq!(report.journal.len(), 3);
+        match &report.journal[1] {
+            Event::Counter {
+                name, delta, total, ..
+            } => {
+                assert_eq!(name, "cache.hit");
+                assert_eq!(*delta, 3);
+                assert_eq!(*total, 5);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observations_aggregate() {
+        let sink = TelemetrySink::recording();
+        sink.observe("queue_depth", 4.0);
+        sink.observe("queue_depth", 1.0);
+        sink.observe("queue_depth", 7.0);
+        let report = sink.report().unwrap();
+        let stats = report.observation("queue_depth").unwrap();
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 7.0);
+        assert_eq!(stats.last, 7.0);
+        assert!((stats.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_time_is_attached() {
+        let sink = TelemetrySink::recording();
+        {
+            let span = sink.span("install");
+            span.set_virtual(123.5);
+        }
+        let report = sink.report().unwrap();
+        assert_eq!(report.spans[0].virtual_seconds, Some(123.5));
+        assert!(report.render().contains("~123.500s"));
+    }
+
+    #[test]
+    fn cloned_sinks_share_one_recorder() {
+        let sink = TelemetrySink::recording();
+        let clone = sink.clone();
+        let _outer = sink.span("outer");
+        {
+            let _inner = clone.span("inner");
+        }
+        clone.incr("shared", 1);
+        drop(_outer);
+        let report = sink.report().unwrap();
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[1].parent, Some(0));
+        assert_eq!(report.counter("shared"), 1);
+    }
+
+    #[test]
+    fn out_of_order_drop_closes_leaked_children() {
+        let sink = TelemetrySink::recording();
+        let outer = sink.span("outer");
+        let _leaked = sink.span("leaked");
+        drop(outer); // closes `leaked` too
+        let report = sink.report().unwrap();
+        assert!(report.spans.iter().all(|s| s.real_seconds.is_some()));
+    }
+
+    #[test]
+    fn render_lists_sections() {
+        let sink = TelemetrySink::recording();
+        {
+            let _root = sink.span("pipeline.setup");
+            let _child = sink.span("concretize");
+            sink.incr("concretizer.solves", 3);
+            sink.observe("scheduler.queue_depth", 2.0);
+        }
+        let text = sink.report().unwrap().render();
+        assert!(text.contains("pipeline.setup"));
+        assert!(text.contains("  concretize"));
+        assert!(text.contains("concretizer.solves"));
+        assert!(text.contains("scheduler.queue_depth"));
+        assert!(text.contains("journal events"));
+    }
+}

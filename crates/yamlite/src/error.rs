@@ -25,7 +25,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "yaml parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

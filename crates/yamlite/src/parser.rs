@@ -14,7 +14,10 @@ pub fn parse(input: &str) -> Result<Value> {
     }
     // A document whose single line is neither a sequence item nor a mapping
     // entry is a bare scalar (or flow collection) document.
-    if lines.len() == 1 && !is_seq_item(&lines[0].text) && split_key(&lines[0].text, lines[0].no).is_err() {
+    if lines.len() == 1
+        && !is_seq_item(&lines[0].text)
+        && split_key(&lines[0].text, lines[0].no).is_err()
+    {
         return parse_scalar_or_flow(&lines[0].text, lines[0].no);
     }
     let mut pos = 0;
@@ -22,7 +25,10 @@ pub fn parse(input: &str) -> Result<Value> {
     if pos < lines.len() {
         return Err(ParseError::new(
             lines[pos].no,
-            format!("trailing content with unexpected indentation: {:?}", lines[pos].text),
+            format!(
+                "trailing content with unexpected indentation: {:?}",
+                lines[pos].text
+            ),
         ));
     }
     Ok(value)
@@ -81,10 +87,9 @@ fn strip_comment(line: &str) -> &str {
                     in_double = !in_double;
                 }
             }
-            b'#' if !in_single && !in_double
-                && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
-                    return &line[..i];
-                }
+            b'#' if !in_single && !in_double && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                return &line[..i];
+            }
             _ => {}
         }
         i += 1;
@@ -138,7 +143,10 @@ fn parse_mapping(
         *pos += 1;
         let value = mapping_value(lines, pos, indent, inline, no)?;
         if map.contains_key(&key) {
-            return Err(ParseError::new(no, format!("duplicate mapping key {key:?}")));
+            return Err(ParseError::new(
+                no,
+                format!("duplicate mapping key {key:?}"),
+            ));
         }
         map.insert(key, value);
     }
@@ -179,7 +187,11 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             break;
         }
         let no = line.no;
-        let content = if line.text == "-" { "" } else { &line.text[2..] };
+        let content = if line.text == "-" {
+            ""
+        } else {
+            &line.text[2..]
+        };
         let content = content.trim_start();
         // Column where the item's own content begins; an inline mapping that
         // starts on the `- ` line continues at this indentation.
@@ -198,7 +210,12 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             items.push(parse_scalar_or_flow(content, no)?);
         } else if let Ok((key, inline)) = split_key(content, no) {
             // `- key: …` starts a mapping whose entries align at item_indent.
-            items.push(parse_mapping(lines, pos, item_indent, Some((key, inline, no)))?);
+            items.push(parse_mapping(
+                lines,
+                pos,
+                item_indent,
+                Some((key, inline, no)),
+            )?);
         } else {
             items.push(parse_scalar_or_flow(content, no)?);
         }
@@ -238,7 +255,10 @@ fn split_key(text: &str, no: usize) -> Result<(String, Option<String>)> {
         }
         i += 1;
     }
-    Err(ParseError::new(no, format!("expected `key: value`, found {text:?}")))
+    Err(ParseError::new(
+        no,
+        format!("expected `key: value`, found {text:?}"),
+    ))
 }
 
 /// Parses an inline value: flow sequence, flow mapping, quoted or plain scalar.
@@ -264,8 +284,7 @@ fn parse_scalar_or_flow(text: &str, no: usize) -> Result<Value> {
             if part.is_empty() {
                 continue;
             }
-            let (key, inline) = split_key(part, no)
-                .or_else(|_| flow_entry_key(part, no))?;
+            let (key, inline) = split_key(part, no).or_else(|_| flow_entry_key(part, no))?;
             let value = match inline {
                 Some(v) => parse_scalar_or_flow(&v, no)?,
                 None => Value::Null,
@@ -289,7 +308,10 @@ fn flow_entry_key(part: &str, no: usize) -> Result<(String, Option<String>)> {
         };
         Ok((key, inline))
     } else {
-        Err(ParseError::new(no, format!("expected `key: value` in flow mapping, found {part:?}")))
+        Err(ParseError::new(
+            no,
+            format!("expected `key: value` in flow mapping, found {part:?}"),
+        ))
     }
 }
 
@@ -298,7 +320,9 @@ fn flow_body(text: &str, open: char, close: char, no: usize) -> Result<&str> {
     if !text.ends_with(close) {
         return Err(ParseError::new(
             no,
-            format!("flow collection starting with `{open}` must close with `{close}` on the same line"),
+            format!(
+                "flow collection starting with `{open}` must close with `{close}` on the same line"
+            ),
         ));
     }
     Ok(&text[open.len_utf8()..text.len() - close.len_utf8()])
@@ -367,7 +391,9 @@ fn looks_like_float(text: &str) -> bool {
     let t = text.strip_prefix(['+', '-']).unwrap_or(text);
     // Require a digit and one of . / e / E; rules out versions like `2.3.7`
     // (which fail f64 parsing) and words like `e`.
-    t.bytes().any(|b| b.is_ascii_digit()) && t.bytes().all(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
+    t.bytes().any(|b| b.is_ascii_digit())
+        && t.bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
 }
 
 /// Removes surrounding quotes and processes escapes. Unquoted text is returned

@@ -59,10 +59,7 @@ fn sequence_at_key_indent() {
 #[test]
 fn flow_sequences() {
     let doc = parse("a: ['8', '4']\nb: [1, 2, 3]\nc: []\n").unwrap();
-    assert_eq!(
-        doc.get("a").unwrap().as_seq().unwrap(),
-        &[s("8"), s("4")]
-    );
+    assert_eq!(doc.get("a").unwrap().as_seq().unwrap(), &[s("8"), s("4")]);
     assert_eq!(
         doc.get("b").unwrap().as_seq().unwrap(),
         &[Value::Int(1), Value::Int(2), Value::Int(3)]
@@ -94,7 +91,10 @@ fn seq_of_maps_inline_first_key() {
     let seq = doc.get("externals").unwrap().as_seq().unwrap();
     assert_eq!(seq.len(), 2);
     assert_eq!(seq[0].get("spec").unwrap().as_str(), Some("mkl@2022.1.0"));
-    assert_eq!(seq[1].get("prefix").unwrap().as_str(), Some("/opt/mvapich2"));
+    assert_eq!(
+        seq[1].get("prefix").unwrap().as_str(),
+        Some("/opt/mvapich2")
+    );
 }
 
 #[test]
@@ -125,7 +125,8 @@ fn quoting_and_escapes() {
 #[test]
 fn keys_with_braces() {
     // Ramble experiment-name templates use `{var}` inside mapping keys.
-    let doc = parse("saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:\n  variables:\n    n: 1\n").unwrap();
+    let doc =
+        parse("saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:\n  variables:\n    n: 1\n").unwrap();
     let map = doc.as_map().unwrap();
     assert_eq!(
         map.keys().next().unwrap(),
@@ -169,23 +170,29 @@ fn bad_indent_rejected() {
 
 #[test]
 fn map_merge_semantics() {
-    let mut base = parse("packages:\n  mpi:\n    buildable: true\n  blas:\n    version: 1\n")
-        .unwrap();
-    let over = parse("packages:\n  mpi:\n    buildable: false\n  lapack:\n    version: 2\n")
-        .unwrap();
+    let mut base =
+        parse("packages:\n  mpi:\n    buildable: true\n  blas:\n    version: 1\n").unwrap();
+    let over =
+        parse("packages:\n  mpi:\n    buildable: false\n  lapack:\n    version: 2\n").unwrap();
     base.as_map_mut()
         .unwrap()
         .merge_from(over.as_map().unwrap());
     assert_eq!(
-        base.get_path(&["packages", "mpi", "buildable"]).unwrap().as_bool(),
+        base.get_path(&["packages", "mpi", "buildable"])
+            .unwrap()
+            .as_bool(),
         Some(false)
     );
     assert_eq!(
-        base.get_path(&["packages", "blas", "version"]).unwrap().as_int(),
+        base.get_path(&["packages", "blas", "version"])
+            .unwrap()
+            .as_int(),
         Some(1)
     );
     assert_eq!(
-        base.get_path(&["packages", "lapack", "version"]).unwrap().as_int(),
+        base.get_path(&["packages", "lapack", "version"])
+            .unwrap()
+            .as_int(),
         Some(2)
     );
 }
@@ -210,17 +217,23 @@ fn string_list_helper() {
 /// Figure 3: a simple Spack environment manifest.
 #[test]
 fn golden_fig3_spack_manifest() {
-    let text = "spack:\n  specs: [amg2023+caliper]\n  concretizer:\n    unify: true\n  view: true\n";
+    let text =
+        "spack:\n  specs: [amg2023+caliper]\n  concretizer:\n    unify: true\n  view: true\n";
     let doc = parse(text).unwrap();
     assert_eq!(
         doc.get_path(&["spack", "specs"]).unwrap().as_seq().unwrap()[0].as_str(),
         Some("amg2023+caliper")
     );
     assert_eq!(
-        doc.get_path(&["spack", "concretizer", "unify"]).unwrap().as_bool(),
+        doc.get_path(&["spack", "concretizer", "unify"])
+            .unwrap()
+            .as_bool(),
         Some(true)
     );
-    assert_eq!(doc.get_path(&["spack", "view"]).unwrap().as_bool(), Some(true));
+    assert_eq!(
+        doc.get_path(&["spack", "view"]).unwrap().as_bool(),
+        Some(true)
+    );
 }
 
 /// Figure 4: system packages.yaml with externals.
@@ -242,7 +255,10 @@ fn golden_fig4_packages_externals() {
     let blas = doc.get_path(&["packages", "blas"]).unwrap();
     assert_eq!(blas.get("buildable").unwrap().as_bool(), Some(false));
     let ext = blas.get("externals").unwrap().as_seq().unwrap();
-    assert_eq!(ext[0].get("spec").unwrap().as_str(), Some("intel-oneapi-mkl@2022.1.0"));
+    assert_eq!(
+        ext[0].get("spec").unwrap().as_str(),
+        Some("intel-oneapi-mkl@2022.1.0")
+    );
     let mpi_ext = doc
         .get_path(&["packages", "mpi", "externals"])
         .unwrap()
@@ -271,10 +287,18 @@ fn golden_fig9_ramble_spack_section() {
       spack_spec: mvapich2@2.3.7-compilers
 "#;
     let doc = parse(text).unwrap();
-    let pkgs = doc.get_path(&["spack", "packages"]).unwrap().as_map().unwrap();
+    let pkgs = doc
+        .get_path(&["spack", "packages"])
+        .unwrap()
+        .as_map()
+        .unwrap();
     assert_eq!(pkgs.len(), 5);
     assert_eq!(
-        pkgs.get("default-mpi").unwrap().get("spack_spec").unwrap().as_str(),
+        pkgs.get("default-mpi")
+            .unwrap()
+            .get("spack_spec")
+            .unwrap()
+            .as_str(),
         Some("mvapich2@2.3.7-gcc12.1.1")
     );
 }
@@ -338,11 +362,18 @@ fn golden_fig10_ramble_yaml() {
         .get_path(&["experiments", "saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}"])
         .unwrap();
     assert_eq!(
-        exp.get_path(&["variables", "n"]).unwrap().string_list().unwrap(),
+        exp.get_path(&["variables", "n"])
+            .unwrap()
+            .string_list()
+            .unwrap(),
         vec!["512", "1024"]
     );
     let matrices = exp.get("matrices").unwrap().as_seq().unwrap();
-    let m0 = matrices[0].get("size_threads").unwrap().string_list().unwrap();
+    let m0 = matrices[0]
+        .get("size_threads")
+        .unwrap()
+        .string_list()
+        .unwrap();
     assert_eq!(m0, vec!["n", "n_threads"]);
     assert_eq!(
         doc.get_path(&["ramble", "spack", "packages", "saxpy", "spack_spec"])

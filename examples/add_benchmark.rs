@@ -18,8 +18,8 @@
 //! ```
 
 use benchpark::cluster::{AppOutput, CollectiveModel, RunContext};
-use benchpark::pkg::{ApplicationDef, DepType, PackageDef, SuccessMode};
 use benchpark::core::Benchpark;
+use benchpark::pkg::{ApplicationDef, DepType, PackageDef, SuccessMode};
 
 /// The contributed benchmark's performance model: MPI ping-pong latency
 /// between two ranks across message sizes.
@@ -117,11 +117,17 @@ fn main() {
         )
         .expect("setup succeeds");
 
-    println!("contributed benchmark generated {} experiments:", ws.setup_report.experiments.len());
+    println!(
+        "contributed benchmark generated {} experiments:",
+        ws.setup_report.experiments.len()
+    );
     for exp in &ws.setup_report.experiments {
         println!("  {}", exp.name);
     }
-    println!("\nrendered script for pingpong_1024:\n{}", ws.workspace.script("pingpong_1024").unwrap());
+    println!(
+        "\nrendered script for pingpong_1024:\n{}",
+        ws.workspace.script("pingpong_1024").unwrap()
+    );
 
     ws.run().expect("runs succeed");
     let analysis = ws.analyze(&benchpark).expect("analysis succeeds");
@@ -132,7 +138,10 @@ fn main() {
         result
             .foms
             .iter()
-            .map(|f| (f.context.get("size").cloned().unwrap_or_default(), f.value.clone()))
+            .map(|f| (
+                f.context.get("size").cloned().unwrap_or_default(),
+                f.value.clone()
+            ))
             .collect::<Vec<_>>()
     );
     println!("\nThe new benchmark needed zero changes to Benchpark itself —");

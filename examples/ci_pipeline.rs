@@ -29,7 +29,12 @@ fn main() {
     // --- the canonical repository on GitHub ------------------------------
     let mut canonical = Repository::init("llnl/benchpark");
     canonical
-        .commit("main", "olga", "initial import", &[(".gitlab-ci.yml", CI_CONFIG)])
+        .commit(
+            "main",
+            "olga",
+            "initial import",
+            &[(".gitlab-ci.yml", CI_CONFIG)],
+        )
         .unwrap();
     let mut hub = Hub::new(canonical);
     hub.add_admin("olga");
@@ -99,7 +104,10 @@ fn main() {
     hubcast.report_pipeline(&mut hub, &lab, pr, pipeline);
     println!("\n=== status checks on PR #{pr} ===");
     for check in &hub.pr(pr).unwrap().checks {
-        println!("  {:<22} {:?}  {}", check.context, check.state, check.description);
+        println!(
+            "  {:<22} {:?}  {}",
+            check.context, check.state, check.description
+        );
     }
     hub.merge("llnl/benchpark", pr).unwrap();
     println!("\nPR #{pr} merged — the canonical repository now carries the new benchmark");

@@ -35,8 +35,16 @@ fn run_on(machine: Machine, binary: BinaryInfo) -> (String, JobState, i32) {
 fn main() {
     let onprem = Machine::cts1();
     let cloud = Machine::cloud_c5();
-    println!("on-premise system: {} → archspec target `{}`", onprem.name, onprem.target().name);
-    println!("cloud instances:   {} → archspec target `{}`", cloud.name, cloud.target().name);
+    println!(
+        "on-premise system: {} → archspec target `{}`",
+        onprem.name,
+        onprem.target().name
+    );
+    println!(
+        "cloud instances:   {} → archspec target `{}`",
+        cloud.name,
+        cloud.target().name
+    );
 
     let skx = taxonomy().get("skylake_avx512").unwrap();
     let missing: Vec<&String> = skx

@@ -29,7 +29,13 @@ fn run_epoch(db: &MetricsDatabase, epoch: usize, degrade: Option<f64>) {
         .expect("setup");
     ws.run().expect("run");
     let analysis = ws.analyze(&benchpark).expect("analyze");
-    db.record("cts1", "stream", "openmp", &ws.manifest(), &analysis.results);
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        &ws.manifest(),
+        &analysis.results,
+    );
 }
 
 fn main() {
@@ -73,12 +79,18 @@ fn main() {
         )
     );
 
-    println!("benchmark usage (most exercised first): {:?}", db.usage_counts());
+    println!(
+        "benchmark usage (most exercised first): {:?}",
+        db.usage_counts()
+    );
 
     // share the history with a collaborator (§5)
     let exported = db.export_text();
     let other_center = MetricsDatabase::new();
     let imported = other_center.import_text(&exported).expect("import");
-    println!("\nexported {} results; the collaborating center imported {imported} and sees:", db.len());
+    println!(
+        "\nexported {} results; the collaborating center imported {imported} and sees:",
+        db.len()
+    );
     print!("{}", other_center.render_dashboard());
 }

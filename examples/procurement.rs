@@ -34,7 +34,10 @@ fn main() {
     ];
     println!("\n=== Workload mix ===");
     for w in &workloads {
-        println!("  {:<10} fom={:<10} weight={}", w.benchmark, w.fom, w.weight);
+        println!(
+            "  {:<10} fom={:<10} weight={}",
+            w.benchmark, w.fom, w.weight
+        );
     }
 
     let study = ProcurementStudy::new(workloads, &["cts1", "ats2", "ats4"]);
@@ -53,5 +56,8 @@ fn main() {
         );
     }
 
-    println!("\n({} results stored with manifests in the metrics database)", db.len());
+    println!(
+        "\n({} results stored with manifests in the metrics database)",
+        db.len()
+    );
 }

@@ -39,11 +39,22 @@ fn main() {
     for (benchmark, variant, system) in combos {
         println!("\n=== {benchmark}/{variant} on {system} ===");
         let mut ws = benchpark
-            .setup_workspace(benchmark, variant, system, base.join(format!("{benchmark}-{system}")))
+            .setup_workspace(
+                benchmark,
+                variant,
+                system,
+                base.join(format!("{benchmark}-{system}")),
+            )
             .unwrap_or_else(|e| panic!("{benchmark} on {system}: {e}"));
         ws.run().expect("runs succeed");
         let analysis = ws.analyze(&benchpark).expect("analysis succeeds");
-        db.record(system, benchmark, variant, &ws.manifest(), &analysis.results);
+        db.record(
+            system,
+            benchmark,
+            variant,
+            &ws.manifest(),
+            &analysis.results,
+        );
         for result in &analysis.results {
             let foms: Vec<String> = result
                 .foms
@@ -51,7 +62,12 @@ fn main() {
                 .filter(|f| !f.units.is_empty())
                 .map(|f| format!("{}={} {}", f.name, f.value, f.units))
                 .collect();
-            println!("  {:<40} {:?}  {}", result.experiment, result.status, foms.join("  "));
+            println!(
+                "  {:<40} {:?}  {}",
+                result.experiment,
+                result.status,
+                foms.join("  ")
+            );
         }
     }
 

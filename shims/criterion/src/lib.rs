@@ -1,0 +1,318 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/`).
+//!
+//! A small wall-clock benchmark harness with criterion's calling convention:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with per-input ids and throughput annotation, and
+//! `Bencher::iter`. Each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples; the report prints min/median/mean per iteration.
+//! Accepts and ignores the extra CLI flags `cargo bench` forwards (`--bench`,
+//! filters), and honors `--test` (run each benchmark once, don't measure) so
+//! `cargo test --benches` stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target time budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget before measuring.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark id made of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Test mode: run the payload once, skip measurement.
+    test_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // warm up and estimate per-iteration cost
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget_iters =
+            ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..budget_iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = budget_iters;
+    }
+
+    fn per_iter_ns(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e9 / self.iters.max(1) as f64
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The harness: holds configuration and the CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut skip_next = false;
+        for (i, arg) in args.iter().enumerate() {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--bench" | "--benches" | "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
+                "--test" => test_mode = true,
+                "--exact" | "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => skip_next = true,
+                other if other.starts_with("--") => {}
+                other => {
+                    let _ = i;
+                    filter = Some(other.to_string());
+                }
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (builder-style, like criterion).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                test_mode: true,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // a few samples; Bencher::iter handles warm-up internally on the
+        // first call, so samples after the first are already warm
+        let samples = self.sample_size.clamp(2, 10);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                test_mode: false,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                per_iter.push(b.per_iter_ns());
+            }
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        println!(
+            "{id:<48} min {:>12}  median {:>12}  mean {:>12}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean)
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// criterion's post-run hook; nothing to finalize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group the way criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            test_mode: false,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            test_mode: true,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("threads", 8);
+        assert_eq!(id.id, "threads/8");
+    }
+}

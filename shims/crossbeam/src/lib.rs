@@ -1,0 +1,151 @@
+//! Offline stand-in for the `crossbeam` crate (see `crates/shims/`).
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`channel`] — multi-producer multi-consumer unbounded channels, built
+//!   from `std::sync::mpsc` with the receiver behind a shared mutex so it
+//!   can be cloned across worker threads.
+//! * [`thread::scope`] (also re-exported as [`scope`]) — scoped threads over
+//!   `std::thread::scope`, with crossbeam's closure signature (`|scope| ...`)
+//!   and `Result`-returning scope call.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half; cloneable like crossbeam's.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving side disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half; cloneable (workers share one queue).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Err` only if a child panicked (std's scope
+    /// propagates child panics by panicking, so in practice this is `Ok`).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`: `spawn` passes
+    /// the scope back into the closure so children can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawned threads are joined
+    /// before return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_fan_in_fan_out() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        super::scope(|s| {
+            for chunk in chunks {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+}

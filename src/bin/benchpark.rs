@@ -10,6 +10,7 @@
 //! benchpark setup <bench>/<variant> <system> <dir>   # steps 1–7
 //! benchpark run   <bench>/<variant> <system> <dir>   # steps 1–9 + results
 //! benchpark fig14 [linear|tree|sag]      # the Figure 14 scaling study
+//! benchpark trace <bench>/<variant> <system> <dir>   # run + telemetry report
 //! ```
 
 use benchpark::cluster::BcastAlgorithm;
@@ -17,6 +18,7 @@ use benchpark::core::{
     available_experiments, render_table1, render_tree, scaling, write_skeleton, Benchpark,
     MetricsDatabase, SystemProfile,
 };
+use benchpark::telemetry::TelemetrySink;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("setup") => cmd_workspace(&args[1..], false),
         Some("run") => cmd_workspace(&args[1..], true),
         Some("fig14") => cmd_fig14(args.get(1).map(String::as_str)),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!("{}", USAGE);
             return ExitCode::from(2);
@@ -56,7 +59,8 @@ const USAGE: &str = "usage:
   benchpark skeleton <dir>
   benchpark setup <benchmark>/<variant> <system> <workspace_dir>
   benchpark run   <benchmark>/<variant> <system> <workspace_dir>
-  benchpark fig14 [linear|tree|sag]";
+  benchpark fig14 [linear|tree|sag]
+  benchpark trace <benchmark>/<variant> <system> <workspace_dir>";
 
 fn cmd_list(what: Option<&str>) -> Result<(), String> {
     match what {
@@ -117,8 +121,50 @@ fn cmd_workspace(args: &[String], run: bool) -> Result<(), String> {
     let analysis = ws.analyze(&benchpark).map_err(|e| e.to_string())?;
     println!("\n{}", analysis.render());
     let db = MetricsDatabase::new();
-    db.record(system, benchmark, variant, &ws.manifest(), &analysis.results);
+    db.record(
+        system,
+        benchmark,
+        variant,
+        &ws.manifest(),
+        &analysis.results,
+    );
     print!("{}", db.render_dashboard());
+    Ok(())
+}
+
+/// Runs the full setup → run → analyze pipeline with a recording telemetry
+/// sink and prints the span tree, counters, and observations.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let [experiment, system, workspace_dir] = args else {
+        return Err("expected <benchmark>/<variant> <system> <workspace_dir>".to_string());
+    };
+    let (benchmark, variant) = experiment
+        .split_once('/')
+        .ok_or("experiment must be <benchmark>/<variant>")?;
+
+    let sink = TelemetrySink::recording();
+    let benchpark = Benchpark::new().with_telemetry(sink.clone());
+    let mut ws = benchpark.setup_workspace(benchmark, variant, system, workspace_dir)?;
+    ws.run().map_err(|e| e.to_string())?;
+    let analysis = ws.analyze(&benchpark).map_err(|e| e.to_string())?;
+
+    let db = MetricsDatabase::new();
+    db.record(
+        system,
+        benchmark,
+        variant,
+        &ws.manifest(),
+        &analysis.results,
+    );
+    let report = sink.report().expect("recording sink has a report");
+    db.record_telemetry(system, &report);
+
+    print!("{}", report.render());
+    println!(
+        "\nrecorded {} telemetry FOMs into the metrics database alongside {} benchmark results",
+        report.counters.len() + report.observations.len(),
+        analysis.results.len()
+    );
     Ok(())
 }
 

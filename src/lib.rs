@@ -18,6 +18,7 @@
 //! * [`cluster`] — simulated HPC systems, scheduler, and execution engine.
 //! * [`perf`] — Caliper/Thicket/Extra-P-style performance analysis.
 //! * [`ci`] — continuous-integration substrate (git, Hubcast, Jacamar, pipelines).
+//! * [`telemetry`] — pipeline self-instrumentation (spans, counters, event journal).
 //! * [`core`] — the Benchpark driver: systems, suites, metrics database, reports.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
@@ -34,4 +35,5 @@ pub use benchpark_ramble as ramble;
 pub use benchpark_rex as rex;
 pub use benchpark_spack as spack;
 pub use benchpark_spec as spec;
+pub use benchpark_telemetry as telemetry;
 pub use benchpark_yamlite as yamlite;

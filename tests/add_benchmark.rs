@@ -75,13 +75,26 @@ fn contributed_benchmark_runs_end_to_end() {
     let dir = std::env::temp_dir().join(format!("benchpark-it-add-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut ws = benchpark
-        .setup_workspace_from_template("spin", "basic", TEMPLATE, "cts1", &dir, None, &[("spin", spin_model)])
+        .setup_workspace_from_template(
+            "spin",
+            "basic",
+            TEMPLATE,
+            "cts1",
+            &dir,
+            None,
+            &[("spin", spin_model)],
+        )
         .unwrap();
     assert_eq!(ws.setup_report.experiments.len(), 2);
     ws.run().unwrap();
     let analysis = ws.analyze(&benchpark).unwrap();
     for result in &analysis.results {
-        assert_eq!(result.status, ExperimentStatus::Success, "{}", result.experiment);
+        assert_eq!(
+            result.status,
+            ExperimentStatus::Success,
+            "{}",
+            result.experiment
+        );
     }
     let r5 = analysis.get("spin_5").unwrap();
     assert_eq!(r5.foms[0].value, "35"); // 5 × 7
@@ -124,9 +137,15 @@ fn contributed_package_must_concretize() {
     );
     let dir = std::env::temp_dir().join(format!("benchpark-it-badpkg-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let err = match benchpark
-        .setup_workspace_from_template("spin", "basic", TEMPLATE, "cts1", &dir, None, &[])
-    {
+    let err = match benchpark.setup_workspace_from_template(
+        "spin",
+        "basic",
+        TEMPLATE,
+        "cts1",
+        &dir,
+        None,
+        &[],
+    ) {
         Err(e) => e,
         Ok(_) => panic!("broken recipe must not set up"),
     };

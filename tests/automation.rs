@@ -15,21 +15,30 @@ use benchpark::pkg::Repo;
 /// like the Hubcast@LLNL/RIKEN/AWS cell of Table 1.
 const MULTI_SITE_CI: &str = "stages:\n  - build\n  - bench\nbuild-cts1:\n  stage: build\n  script:\n    - spack install saxpy+openmp\n  tags: [cts1]\nbench-cts1:\n  stage: bench\n  script:\n    - submit cts1 ci/saxpy.sbatch\n  tags: [cts1]\nbench-cloud:\n  stage: bench\n  script:\n    - submit cloud-c5 ci/saxpy.sbatch\n  tags: [cloud-c5]\n";
 
-const SAXPY_SCRIPT: &str =
-    "#!/bin/bash\n#SBATCH -N 1\n#SBATCH -n 4\nsrun -n 4 saxpy -n 2048\n";
+const SAXPY_SCRIPT: &str = "#!/bin/bash\n#SBATCH -N 1\n#SBATCH -n 4\nsrun -n 4 saxpy -n 2048\n";
 
 fn setup() -> (Hub, u64) {
     let mut canonical = Repository::init("llnl/benchpark");
     canonical
-        .commit("main", "olga", "import", &[(".gitlab-ci.yml", MULTI_SITE_CI)])
+        .commit(
+            "main",
+            "olga",
+            "import",
+            &[(".gitlab-ci.yml", MULTI_SITE_CI)],
+        )
         .unwrap();
     let mut hub = Hub::new(canonical);
     hub.add_admin("olga");
     let fork = hub.fork("llnl/benchpark", "heidi").unwrap();
     let repo = hub.repos.get_mut(&fork).unwrap();
     repo.create_branch("saxpy-ci", "main").unwrap();
-    repo.commit("saxpy-ci", "heidi", "run saxpy in CI", &[("ci/saxpy.sbatch", SAXPY_SCRIPT)])
-        .unwrap();
+    repo.commit(
+        "saxpy-ci",
+        "heidi",
+        "run saxpy in CI",
+        &[("ci/saxpy.sbatch", SAXPY_SCRIPT)],
+    )
+    .unwrap();
     let pr = hub
         .open_pr("llnl/benchpark", &fork, "saxpy-ci", "main", "heidi")
         .unwrap();
@@ -83,7 +92,10 @@ fn unapproved_untrusted_pr_never_runs() {
             MirrorDecision::AwaitingApproval
         );
     }
-    assert!(lab.pipelines().is_empty(), "untrusted code must not reach the HPC site");
+    assert!(
+        lab.pipelines().is_empty(),
+        "untrusted code must not reach the HPC site"
+    );
     assert!(hub.merge("llnl/benchpark", pr).is_err());
 }
 
@@ -133,14 +145,21 @@ fn cache_makes_second_contribution_cheap() {
     let repo2 = hub.repos.get_mut(&fork2).unwrap();
     repo2.create_branch("tweak", "main").unwrap();
     repo2
-        .commit("tweak", "doug", "tweak script", &[("ci/saxpy.sbatch", SAXPY_SCRIPT)])
+        .commit(
+            "tweak",
+            "doug",
+            "tweak script",
+            &[("ci/saxpy.sbatch", SAXPY_SCRIPT)],
+        )
         .unwrap();
     let pr2 = hub
         .open_pr("llnl/benchpark", &fork2, "tweak", "main", "doug")
         .unwrap();
     hub.approve(pr2, "olga").unwrap();
-    let MirrorDecision::Mirrored { pipeline: p2, run_as } =
-        hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr2)
+    let MirrorDecision::Mirrored {
+        pipeline: p2,
+        run_as,
+    } = hubcast.process_pr(&mut hub, &mut lab, &jacamar, pr2)
     else {
         panic!("expected mirror");
     };

@@ -33,7 +33,8 @@ fn every_experiment_runs_on_every_supporting_system() {
             let mut ws = benchpark
                 .setup_workspace(benchmark, variant, system, temp_dir(&tag))
                 .unwrap_or_else(|e| panic!("{tag}: setup failed: {e}"));
-            ws.run().unwrap_or_else(|e| panic!("{tag}: run failed: {e}"));
+            ws.run()
+                .unwrap_or_else(|e| panic!("{tag}: run failed: {e}"));
             let analysis = ws
                 .analyze(&benchpark)
                 .unwrap_or_else(|e| panic!("{tag}: analyze failed: {e}"));
@@ -44,19 +45,35 @@ fn every_experiment_runs_on_every_supporting_system() {
                     "{tag}: {} failed",
                     result.experiment
                 );
-                assert!(!result.foms.is_empty(), "{tag}: {} has no FOMs", result.experiment);
+                assert!(
+                    !result.foms.is_empty(),
+                    "{tag}: {} has no FOMs",
+                    result.experiment
+                );
             }
-            db.record(system, benchmark, variant, &ws.manifest(), &analysis.results);
+            db.record(
+                system,
+                benchmark,
+                variant,
+                &ws.manifest(),
+                &analysis.results,
+            );
             total += analysis.results.len();
         }
     }
-    assert!(total >= 45, "the matrix should produce many results, got {total}");
+    assert!(
+        total >= 45,
+        "the matrix should produce many results, got {total}"
+    );
     assert_eq!(db.len(), total);
 
     // the dashboard covers every benchmark
     let dashboard = db.render_dashboard();
     for (benchmark, _) in available_experiments() {
-        assert!(dashboard.contains(benchmark), "dashboard missing {benchmark}:\n{dashboard}");
+        assert!(
+            dashboard.contains(benchmark),
+            "dashboard missing {benchmark}:\n{dashboard}"
+        );
     }
 }
 
@@ -73,7 +90,12 @@ fn per_system_target_flows_into_manifests() {
             _ => "openmp",
         };
         let ws = benchpark
-            .setup_workspace("saxpy", variant, system, temp_dir(&format!("manifest-{system}")))
+            .setup_workspace(
+                "saxpy",
+                variant,
+                system,
+                temp_dir(&format!("manifest-{system}")),
+            )
             .unwrap();
         manifests.push(ws.manifest());
     }
@@ -91,19 +113,16 @@ fn system_profiles_and_machines_are_consistent() {
         let site = profile.site_config();
         // every compiler named in spack.yaml's default-compiler must exist
         // in compilers.yaml
-        let config = benchpark::ramble::RambleConfig::from_yaml(
-            "ramble:\n  applications: {}\n",
-        )
-        .and_then(|mut c| {
-            c.merge_spack_yaml(&profile.spack_yaml)?;
-            Ok(c)
-        })
-        .unwrap();
+        let config = benchpark::ramble::RambleConfig::from_yaml("ramble:\n  applications: {}\n")
+            .and_then(|mut c| {
+                c.merge_spack_yaml(&profile.spack_yaml)?;
+                Ok(c)
+            })
+            .unwrap();
         let compiler_spec = &config.spack_packages["default-compiler"].spack_spec;
         let parsed: benchpark::spec::Spec = compiler_spec.parse().unwrap();
         let found = site.compilers.iter().any(|c| {
-            Some(c.name.as_str()) == parsed.name.as_deref()
-                && parsed.versions.contains(&c.version)
+            Some(c.name.as_str()) == parsed.name.as_deref() && parsed.versions.contains(&c.version)
         });
         assert!(
             found,
@@ -111,7 +130,12 @@ fn system_profiles_and_machines_are_consistent() {
             profile.name
         );
         // scheduler launcher matches the machine's batch system
-        let launcher = machine.scheduler.mpi_command().split_whitespace().next().unwrap();
+        let launcher = machine
+            .scheduler
+            .mpi_command()
+            .split_whitespace()
+            .next()
+            .unwrap();
         assert!(
             profile.variables_yaml.contains(launcher),
             "{}: variables.yaml should use `{launcher}`",

@@ -20,7 +20,12 @@ fn rendered_tree_covers_figure_1a_sections() {
         assert!(tree.contains(section), "tree missing `{section}`:\n{tree}");
     }
     // system-specific files
-    for file in ["compilers.yaml", "packages.yaml", "spack.yaml", "variables.yaml"] {
+    for file in [
+        "compilers.yaml",
+        "packages.yaml",
+        "spack.yaml",
+        "variables.yaml",
+    ] {
         assert!(tree.contains(file), "tree missing `{file}`");
     }
     // benchmark entries with per-variant ramble.yaml + template
@@ -62,7 +67,11 @@ fn skeleton_round_trips_through_the_parsers() {
         let mut config = RambleConfig::from_yaml("ramble:\n  applications: {}\n").unwrap();
         config.merge_variables_yaml(&variables).unwrap();
         for key in ["mpi_command", "batch_submit", "batch_nodes", "batch_ranks"] {
-            assert!(config.variables.contains_key(key), "{}: missing {key}", profile.name);
+            assert!(
+                config.variables.contains_key(key),
+                "{}: missing {key}",
+                profile.name
+            );
         }
     }
 
@@ -74,8 +83,8 @@ fn skeleton_round_trips_through_the_parsers() {
             .join(variant)
             .join("ramble.yaml");
         let text = std::fs::read_to_string(&path).unwrap();
-        let config = RambleConfig::from_yaml(&text)
-            .unwrap_or_else(|e| panic!("{benchmark}/{variant}: {e}"));
+        let config =
+            RambleConfig::from_yaml(&text).unwrap_or_else(|e| panic!("{benchmark}/{variant}: {e}"));
         assert!(config.applications.contains_key(benchmark) || benchmark == "osu-bcast");
     }
 }

@@ -37,9 +37,17 @@ fn full_workflow_saxpy_on_cts1() {
     let analysis = ws.analyze(&benchpark).unwrap();
     assert_eq!(analysis.results.len(), 8);
     for result in &analysis.results {
-        assert_eq!(result.status, ExperimentStatus::Success, "{}", result.experiment);
+        assert_eq!(
+            result.status,
+            ExperimentStatus::Success,
+            "{}",
+            result.experiment
+        );
         // Figure 8's FOM extracted via the rex engine
-        assert!(result.foms.iter().any(|f| f.name == "success" && f.value == "Kernel done"));
+        assert!(result
+            .foms
+            .iter()
+            .any(|f| f.name == "success" && f.value == "Kernel done"));
         let t = result
             .foms
             .iter()
@@ -68,13 +76,22 @@ fn stream_thread_scaling_models_bandwidth_saturation() {
         .unwrap();
     ws.run().unwrap();
     let analysis = ws.analyze(&benchpark).unwrap();
-    db.record("cts1", "stream", "openmp", &ws.manifest(), &analysis.results);
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        &ws.manifest(),
+        &analysis.results,
+    );
 
     let series = db.fom_series("stream", "cts1", "triad_bw", "n_threads");
     assert_eq!(series.len(), 4);
     assert!(series.windows(2).all(|w| w[0].1 <= w[1].1 * 1.05));
     let model = extrap::fit(&series).unwrap();
-    assert!(model.i <= 1.0, "bandwidth cannot scale superlinearly: {model}");
+    assert!(
+        model.i <= 1.0,
+        "bandwidth cannot scale superlinearly: {model}"
+    );
 }
 
 #[test]
@@ -108,7 +125,11 @@ fn deterministic_end_to_end() {
         analysis
             .results
             .iter()
-            .flat_map(|r| r.foms.iter().map(|f| (r.experiment.clone(), f.name.clone(), f.value.clone())))
+            .flat_map(|r| {
+                r.foms
+                    .iter()
+                    .map(|f| (r.experiment.clone(), f.name.clone(), f.value.clone()))
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(run("det-a"), run("det-b"));
