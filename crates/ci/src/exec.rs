@@ -6,6 +6,7 @@ use crate::lab::{CiJob, JobState, Lab};
 use benchpark_cluster::Cluster;
 use benchpark_concretizer::SiteConfig;
 use benchpark_pkg::Repo;
+use benchpark_resilience::{FaultInjector, RetryPolicy};
 use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
 use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
@@ -51,6 +52,11 @@ pub struct BenchparkExecutor<'a> {
     pub clusters: BTreeMap<String, Cluster>,
     pub install_opts: InstallOptions,
     telemetry: TelemetrySink,
+    /// When set, job attempts fail at the runner level (before any script
+    /// line executes) with the injector's probability.
+    runner_faults: Option<FaultInjector>,
+    /// Retry policy applied to binary-cache fetches inside `spack install`.
+    cache_retry: Option<RetryPolicy>,
 }
 
 impl<'a> BenchparkExecutor<'a> {
@@ -64,7 +70,25 @@ impl<'a> BenchparkExecutor<'a> {
             clusters: BTreeMap::new(),
             install_opts: InstallOptions::default(),
             telemetry: TelemetrySink::noop(),
+            runner_faults: None,
+            cache_retry: None,
         }
+    }
+
+    /// Makes the runner flaky: each job *attempt* fails with the injector's
+    /// probability before reaching the cluster — the stale-NFS-mount / dead
+    /// agent class of CI failure that GitLab `retry:` exists for. Because
+    /// the flake strikes before submission, a retried job replays the exact
+    /// same cluster work and converges to the fault-free result.
+    pub fn inject_runner_faults(&mut self, injector: FaultInjector) {
+        self.runner_faults = Some(injector);
+    }
+
+    /// Retries flaky binary-cache fetches during `spack install` script
+    /// lines under `policy` (see [`Installer::with_retry_policy`]).
+    pub fn with_cache_retry(mut self, policy: RetryPolicy) -> BenchparkExecutor<'a> {
+        self.cache_retry = Some(policy);
+        self
     }
 
     /// Routes executor telemetry (concretize/install instrumentation, cluster
@@ -101,10 +125,13 @@ impl<'a> BenchparkExecutor<'a> {
                 return false;
             }
         };
-        let installer = Installer::new(self.pkg_repo)
+        let mut installer = Installer::new(self.pkg_repo)
             .with_database(self.db.clone())
             .with_cache(self.cache.clone())
             .with_telemetry(self.telemetry.clone());
+        if let Some(policy) = &self.cache_retry {
+            installer = installer.with_retry_policy(policy.clone());
+        }
         let report = installer.install(&dag, &self.install_opts);
         for result in &report.results {
             log.push_str(&format!(
@@ -162,6 +189,21 @@ impl JobExecutor for BenchparkExecutor<'_> {
     }
 
     fn execute(&mut self, job: &CiJob, repo: &Repository, branch: &str, run_as: &str) -> JobResult {
+        // a runner flake kills the attempt before the script starts
+        if self
+            .runner_faults
+            .as_ref()
+            .is_some_and(|injector| injector.should_fail())
+        {
+            self.telemetry.incr("ci.runner.flakes", 1);
+            return JobResult {
+                success: false,
+                log: format!(
+                    "ERROR: runner system failure on job `{}` (lost contact with agent)\n",
+                    job.name
+                ),
+            };
+        }
         let mut log = format!("$ whoami\n{run_as}\n");
         let mut success = true;
         for line in &job.script {
@@ -195,8 +237,11 @@ impl JobExecutor for BenchparkExecutor<'_> {
     }
 }
 
-/// Runs a pipeline to completion: stages execute in order; a stage failure
-/// skips all later stages (GitLab semantics).
+/// Runs a pipeline to completion: stages execute in order; a fatal failure
+/// (one not carrying `allow_failure`) marks every later job [`JobState::Skipped`]
+/// (GitLab semantics). Failed attempts of a job with `retry: N` are re-run
+/// up to N times, each retry counted on the executor's telemetry sink under
+/// `retry.attempts`.
 pub fn run_pipeline(
     lab: &mut Lab,
     pipeline_id: u64,
@@ -222,23 +267,44 @@ pub fn run_pipeline(
         let indices = pipeline.stage_jobs(stage);
         for idx in indices {
             if failed {
-                // later stages never run after a failure
+                // explicitly Skipped, not silently left Created: inspectors
+                // can tell "never ran because of the failure" from "pending"
+                pipeline.jobs[idx].state = JobState::Skipped;
+                sink.incr("ci.jobs.skipped", 1);
                 continue;
             }
             pipeline.jobs[idx].state = JobState::Running;
             let job_snapshot = pipeline.jobs[idx].clone();
-            let result = executor.execute(&job_snapshot, &repo, &branch, run_as);
+            let policy = RetryPolicy::new(job_snapshot.retry.saturating_add(1));
+            let mut log = String::new();
+            let outcome = policy.run(&sink, |attempt| {
+                if attempt > 1 {
+                    log.push_str(&format!(
+                        "\nRetrying job `{}` (attempt {attempt}/{})\n",
+                        job_snapshot.name,
+                        policy.max_attempts()
+                    ));
+                }
+                let result = executor.execute(&job_snapshot, &repo, &branch, run_as);
+                log.push_str(&result.log);
+                if result.success {
+                    Ok(())
+                } else {
+                    Err(())
+                }
+            });
+            let success = outcome.succeeded();
             let job = &mut pipeline.jobs[idx];
-            job.log = result.log;
+            job.log = log;
             job.ran_as = Some(run_as.to_string());
-            job.state = if result.success {
+            job.state = if success {
                 sink.incr("ci.jobs.success", 1);
                 JobState::Success
             } else {
                 sink.incr("ci.jobs.failed", 1);
                 JobState::Failed
             };
-            if !result.success {
+            if !success && !job_snapshot.allow_failure {
                 failed = true;
             }
         }

@@ -12,6 +12,9 @@ pub enum JobState {
     Running,
     Success,
     Failed,
+    /// Never ran because an earlier stage failed (GitLab semantics). Marked
+    /// explicitly so an inspector can tell "skipped" from "not yet run".
+    Skipped,
 }
 
 /// Pipeline lifecycle.
@@ -32,6 +35,12 @@ pub struct CiJob {
     pub script: Vec<String>,
     /// Runner tags (which machine the job targets, e.g. `cts1`).
     pub tags: Vec<String>,
+    /// Times a failed attempt is re-run before the job counts as failed
+    /// (GitLab's `retry: max`). 0 means a single attempt.
+    pub retry: u32,
+    /// A failure of this job does not fail the pipeline or skip later
+    /// stages (GitLab's `allow_failure: true`).
+    pub allow_failure: bool,
     pub state: JobState,
     /// The OS user the job ran as (decided by Jacamar).
     pub ran_as: Option<String>,
@@ -52,19 +61,24 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Overall state: failed if any job failed, success only if there is at
-    /// least one job and all succeeded. A pipeline with no jobs is Pending
-    /// (never vacuously Success), and one with some — but not all — jobs
-    /// finished is still Running.
+    /// Overall state: failed if any job failed (unless it carries
+    /// `allow_failure`), success only if there is at least one job and all
+    /// finished as Success or as a tolerated failure. A pipeline with no
+    /// jobs is Pending (never vacuously Success), and one with some — but
+    /// not all — jobs finished is still Running.
     pub fn state(&self) -> PipelineState {
-        if self.jobs.iter().any(|j| j.state == JobState::Failed) {
+        let fatal = |j: &CiJob| j.state == JobState::Failed && !j.allow_failure;
+        let finished_ok = |j: &CiJob| {
+            j.state == JobState::Success || (j.state == JobState::Failed && j.allow_failure)
+        };
+        if self.jobs.iter().any(fatal) {
             PipelineState::Failed
-        } else if !self.jobs.is_empty() && self.jobs.iter().all(|j| j.state == JobState::Success) {
+        } else if !self.jobs.is_empty() && self.jobs.iter().all(finished_ok) {
             PipelineState::Success
         } else if self
             .jobs
             .iter()
-            .any(|j| matches!(j.state, JobState::Running | JobState::Success))
+            .any(|j| !matches!(j.state, JobState::Created))
         {
             PipelineState::Running
         } else {
@@ -172,6 +186,22 @@ pub fn parse_ci_config(text: &str) -> Result<(Vec<String>, Vec<CiJob>), String> 
         if !stages.contains(&stage) {
             return Err(format!("job `{name}` references unknown stage `{stage}`"));
         }
+        // GitLab accepts `retry: 2` and `retry: { max: 2 }`
+        let retry = body_map
+            .get("retry")
+            .and_then(|v| {
+                v.as_int().or_else(|| {
+                    v.as_map()
+                        .and_then(|m| m.get("max"))
+                        .and_then(Value::as_int)
+                })
+            })
+            .unwrap_or(0)
+            .clamp(0, 10) as u32;
+        let allow_failure = body_map
+            .get("allow_failure")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
         jobs.push(CiJob {
             name: name.clone(),
             stage,
@@ -180,6 +210,8 @@ pub fn parse_ci_config(text: &str) -> Result<(Vec<String>, Vec<CiJob>), String> 
                 .get("tags")
                 .and_then(Value::string_list)
                 .unwrap_or_default(),
+            retry,
+            allow_failure,
             state: JobState::Created,
             ran_as: None,
             log: String::new(),

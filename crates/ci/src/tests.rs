@@ -400,9 +400,10 @@ fn failed_stage_skips_later_stages() {
     run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
     let p = lab.pipeline(id).unwrap();
     assert_eq!(p.jobs[0].state, JobState::Failed);
+    // bugfix: skipped jobs are marked explicitly, not left as Created
     assert_eq!(
         p.jobs[1].state,
-        JobState::Created,
+        JobState::Skipped,
         "bench stage must be skipped"
     );
     assert_eq!(p.state(), PipelineState::Failed);
@@ -417,6 +418,8 @@ fn pipeline_state_empty_and_partial_progress() {
         stage: "build".to_string(),
         script: vec!["echo hi".to_string()],
         tags: Vec::new(),
+        retry: 0,
+        allow_failure: false,
         state,
         ran_as: None,
         log: String::new(),
@@ -562,4 +565,144 @@ fn binary_cache_shared_across_pipeline_runs() {
         !log.contains(" Build "),
         "second run should not rebuild: {log}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: retry, allow_failure, flaky runners
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ci_config_parses_retry_and_allow_failure() {
+    let config = "stages: [a]\nplain:\n  stage: a\n  script: [x]\nint-form:\n  stage: a\n  script: [x]\n  retry: 2\nmap-form:\n  stage: a\n  script: [x]\n  retry:\n    max: 3\ntolerated:\n  stage: a\n  script: [x]\n  allow_failure: true\n";
+    let (_, jobs) = crate::lab::parse_ci_config(config).unwrap();
+    let by_name = |n: &str| jobs.iter().find(|j| j.name == n).unwrap();
+    assert_eq!(by_name("plain").retry, 0);
+    assert!(!by_name("plain").allow_failure);
+    assert_eq!(by_name("int-form").retry, 2);
+    assert_eq!(by_name("map-form").retry, 3);
+    assert!(by_name("tolerated").allow_failure);
+}
+
+#[test]
+fn allow_failure_does_not_fail_pipeline_or_skip_stages() {
+    let config = "stages:\n  - build\n  - bench\ncanary:\n  stage: build\n  script:\n    - spack install definitely-not-a-package\n  allow_failure: true\nr:\n  stage: bench\n  script:\n    - echo still runs\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
+    let mut lab = Lab::new();
+    let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+    let p = lab.pipeline(id).unwrap();
+    assert_eq!(p.jobs[0].state, JobState::Failed);
+    assert_eq!(p.jobs[1].state, JobState::Success, "later stage must run");
+    assert_eq!(p.state(), PipelineState::Success, "failure was tolerated");
+}
+
+#[test]
+fn retry_recovers_flaky_runner() {
+    use benchpark_resilience::FaultInjector;
+    use benchpark_telemetry::TelemetrySink;
+
+    let config = "stages: [build]\nb:\n  stage: build\n  script:\n    - echo ok\n  retry: 3\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
+    let mut lab = Lab::new();
+    let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let sink = TelemetrySink::recording();
+    let mut executor =
+        BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts()).with_telemetry(sink.clone());
+    // the first two attempts die at the runner level, the third succeeds
+    executor.inject_runner_faults(FaultInjector::new(1.0, 11).with_budget(2));
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+
+    let p = lab.pipeline(id).unwrap();
+    assert_eq!(p.state(), PipelineState::Success, "{:#?}", p.jobs);
+    assert!(p.jobs[0].log.contains("runner system failure"));
+    assert!(p.jobs[0].log.contains("attempt 3/4"), "{}", p.jobs[0].log);
+    let report = sink.report().unwrap();
+    assert_eq!(report.counter("retry.attempts"), 2);
+    assert_eq!(report.counter("ci.runner.flakes"), 2);
+}
+
+#[test]
+fn retry_exhaustion_fails_job_and_skips_later_stages() {
+    use benchpark_resilience::FaultInjector;
+
+    let config = "stages:\n  - build\n  - bench\nb:\n  stage: build\n  script:\n    - echo ok\n  retry: 1\nr:\n  stage: bench\n  script:\n    - echo never\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
+    let mut lab = Lab::new();
+    let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    executor.inject_runner_faults(FaultInjector::new(1.0, 5)); // unbounded outage
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+
+    let p = lab.pipeline(id).unwrap();
+    assert_eq!(p.jobs[0].state, JobState::Failed);
+    assert_eq!(p.jobs[1].state, JobState::Skipped);
+    assert_eq!(p.state(), PipelineState::Failed);
+}
+
+/// The convergence guarantee behind runner-level fault injection: because a
+/// flake strikes *before* the job reaches the cluster, the eventual
+/// successful attempt replays exactly the work the fault-free pipeline does
+/// — same cluster job ids, same deterministic noise, same FOMs.
+#[test]
+fn flaky_pipeline_converges_to_fault_free_results() {
+    use benchpark_resilience::FaultInjector;
+    use benchpark_telemetry::TelemetrySink;
+
+    let config = "stages:\n  - build\n  - bench\nbuild-cts1:\n  stage: build\n  script:\n    - spack install saxpy+openmp\n  tags: [cts1]\n  retry: 3\nbench-cts1:\n  stage: bench\n  script:\n    - submit cts1 ci/bcast_cts1.sbatch\n  tags: [cts1]\n  retry: 3\n";
+    let sbatch = "#SBATCH -N 2\n#SBATCH -n 16\nsrun -n 16 osu_bcast -m 8:8 -i 100\n";
+    let mut repo = Repository::init("r");
+    repo.commit(
+        "main",
+        "u",
+        "c",
+        &[(".gitlab-ci.yml", config), ("ci/bcast_cts1.sbatch", sbatch)],
+    )
+    .unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let run = |faults: Option<FaultInjector>| {
+        let mut lab = Lab::new();
+        let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+        let sink = TelemetrySink::recording();
+        let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts())
+            .with_telemetry(sink.clone());
+        executor.add_cluster("cts1", Cluster::new(Machine::cts1()));
+        if let Some(injector) = faults {
+            executor.inject_runner_faults(injector);
+        }
+        run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+        let p = lab.pipeline(id).unwrap();
+        assert_eq!(p.state(), PipelineState::Success, "{:#?}", p.jobs);
+        (p.jobs[1].log.clone(), sink.report().unwrap())
+    };
+
+    let (clean_bench, _) = run(None);
+    // a 30% flaky runner, as a paper-scale fault load; the budget guarantees
+    // the pipeline converges within the per-job retry allowance
+    let (flaky_bench, report) = run(Some(FaultInjector::new(0.3, 16).with_budget(3)));
+
+    assert!(
+        report.counter("ci.runner.flakes") > 0,
+        "seed must produce at least one flake for the test to mean anything"
+    );
+    assert!(report.counter("retry.attempts") > 0);
+    // the successful attempt's output — FOMs included — is byte-identical
+    assert!(
+        flaky_bench.ends_with(&clean_bench),
+        "flaky run must converge to the fault-free log;\nclean:\n{clean_bench}\nflaky:\n{flaky_bench}"
+    );
+    assert_ne!(flaky_bench, clean_bench, "retry markers precede the replay");
 }

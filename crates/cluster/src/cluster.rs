@@ -5,8 +5,17 @@ use crate::apps::{AppModelFn, AppRegistry, BinaryInfo, ProgrammingModel, RunCont
 use crate::batch::BatchScript;
 use crate::machine::Machine;
 use crate::sched::{JobRequest, JobState, Scheduler, SchedulerPolicy};
+use benchpark_resilience::FaultInjector;
 use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
+
+/// A node failure scheduled to strike at a fixed virtual time.
+#[derive(Debug, Clone)]
+struct ScheduledNodeFailure {
+    at_s: f64,
+    nodes: usize,
+    fired: bool,
+}
 
 /// Opaque job identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -53,6 +62,11 @@ pub struct Cluster {
     custom_models: BTreeMap<String, AppModelFn>,
     next_id: u64,
     telemetry: TelemetrySink,
+    /// Node failures waiting to strike mid-run (transient fault injection).
+    node_failures: Vec<ScheduledNodeFailure>,
+    /// When set, each submitted job may transiently hang until its wall-time
+    /// limit (a flaky filesystem, a stuck rank) and exit as a timeout.
+    timeout_injector: Option<FaultInjector>,
 }
 
 impl Cluster {
@@ -72,6 +86,8 @@ impl Cluster {
             custom_models: BTreeMap::new(),
             next_id: 1,
             telemetry: TelemetrySink::noop(),
+            node_failures: Vec::new(),
+            timeout_injector: None,
         }
     }
 
@@ -114,6 +130,27 @@ impl Cluster {
         self.sched.fail_nodes(n);
     }
 
+    /// Schedules a *mid-run* node failure: at virtual time `at_s` (during a
+    /// future [`Cluster::run_until_idle`] drain), `nodes` nodes die. Running
+    /// jobs that no longer fit on the survivors are preempted and requeued
+    /// for a full restart, counted under the `sched.requeued` telemetry
+    /// counter.
+    pub fn schedule_node_failure(&mut self, at_s: f64, nodes: usize) {
+        self.node_failures.push(ScheduledNodeFailure {
+            at_s: if at_s.is_finite() { at_s.max(0.0) } else { 0.0 },
+            nodes,
+            fired: false,
+        });
+    }
+
+    /// Installs a transient-timeout injector: each submitted job rolls the
+    /// injector's dice, and an unlucky job hangs until its wall-time limit
+    /// and exits as a Slurm-style timeout (exit 143). Retrying the
+    /// submission (e.g. from a CI job with `retry:`) draws fresh dice.
+    pub fn inject_transient_timeouts(&mut self, injector: FaultInjector) {
+        self.timeout_injector = Some(injector);
+    }
+
     /// Submits a batch script (e.g. the output of Figure 13's template).
     ///
     /// The job's stdout and runtime are computed immediately from the
@@ -134,8 +171,17 @@ impl Cluster {
 
         // execute the commands against the models now; the scheduler decides
         // *when* this output becomes visible
-        let (stdout, exit_code, duration, profile) = self.execute_commands(&script, id);
-        let timed_out = duration > script.time_limit_s;
+        let (stdout, exit_code, mut duration, profile) = self.execute_commands(&script, id);
+        // transient fault: an unlucky job hangs until the scheduler kills it
+        let injected_hang = self
+            .timeout_injector
+            .as_ref()
+            .is_some_and(|injector| injector.should_fail());
+        if injected_hang {
+            duration = duration.max(script.time_limit_s);
+            self.telemetry.incr("cluster.transient_timeouts", 1);
+        }
+        let timed_out = injected_hang || duration > script.time_limit_s;
 
         let outcome = JobOutcome {
             id,
@@ -240,7 +286,9 @@ impl Cluster {
         (stdout, exit_code, duration.max(0.001), profile)
     }
 
-    /// Runs the scheduler event loop until all jobs are done.
+    /// Runs the scheduler event loop until all jobs are done. Scheduled node
+    /// failures fire at their virtual times during the drain; preempted jobs
+    /// are requeued onto the surviving nodes and restart from scratch.
     pub fn run_until_idle(&mut self) {
         let span = self.telemetry.span("scheduler.drain");
         let mut completed: u64 = 0;
@@ -254,6 +302,10 @@ impl Cluster {
             }
             if !self.sched.busy() {
                 break;
+            }
+            // a node failure due before the next completion strikes first
+            if self.fire_due_node_failure() {
+                continue;
             }
             let finished = self.sched.advance();
             if finished.is_empty() && self.sched.busy() {
@@ -282,6 +334,39 @@ impl Cluster {
                 .observe("scheduler.utilization", self.sched.utilization());
             span.set_virtual(self.sched.now());
         }
+    }
+
+    /// Fires the earliest unfired scheduled node failure if it is due before
+    /// the next job completion. Returns true when a failure fired (the drain
+    /// loop should re-plan before advancing).
+    fn fire_due_node_failure(&mut self) -> bool {
+        let next_end = self.sched.next_completion();
+        let due = self
+            .node_failures
+            .iter_mut()
+            .filter(|f| !f.fired)
+            .min_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let Some(failure) = due else {
+            return false;
+        };
+        if next_end.is_some_and(|end| failure.at_s >= end) {
+            return false; // the running job finishes before the nodes die
+        }
+        failure.fired = true;
+        let (at_s, nodes) = (failure.at_s, failure.nodes);
+        let preempted = self.sched.fail_nodes_at(at_s, nodes);
+        for id in &preempted {
+            if let Some(job) = self.jobs.get_mut(&JobId(*id)) {
+                job.state = JobState::Pending;
+                job.start_time = None;
+            }
+        }
+        self.telemetry.incr("sched.node_failures", 1);
+        if !preempted.is_empty() {
+            self.telemetry
+                .incr("sched.requeued", preempted.len() as u64);
+        }
+        true
     }
 
     /// Looks up a job.

@@ -1,8 +1,19 @@
 //! Fault injection (paper §1: benchmarking is *"a useful tool for tracking
 //! system performance over time and diagnosing hardware failures"*; §7.1's
 //! cloud math-library bug).
+//!
+//! Two layers:
+//!
+//! * [`FaultSpec`] — *static* faults applied to a machine description before
+//!   a run (masked CPU features, degraded bandwidth, dead nodes).
+//! * [`TransientFault`] / [`FaultPlan`] — *transient* faults that strike
+//!   probabilistically or at a scheduled virtual time while the pipeline is
+//!   running: flaky CI runners, failed binary-cache fetches, nodes dying
+//!   mid-job, jobs hanging until their wall-time limit. All randomness is
+//!   seeded, so a fault plan replays identically.
 
 use crate::machine::Machine;
+use benchpark_resilience::FaultInjector;
 
 /// A fault to inject into a machine before (or while) running jobs.
 #[derive(Debug, Clone)]
@@ -24,6 +35,12 @@ pub enum FaultSpec {
 impl FaultSpec {
     /// Applies the fault to a machine description, returning the degraded
     /// machine. `FailNodes` reduces the node count.
+    ///
+    /// Degradation factors are validated: a non-finite factor (NaN, ±inf)
+    /// is treated as neutral — it neither degrades nor "improves" the
+    /// machine — and finite factors are clamped to their physical range
+    /// (`[0, 1]` for bandwidth degradation, `>= 1` for latency inflation),
+    /// so a buggy caller can never propagate NaN into performance models.
     pub fn apply(&self, mut machine: Machine) -> Machine {
         match self {
             FaultSpec::MaskCpuFeatures(features) => {
@@ -32,15 +49,172 @@ impl FaultSpec {
                 }
             }
             FaultSpec::DegradeMemoryBandwidth(factor) => {
-                machine.memory_bw_gb_s *= factor.clamp(0.0, 1.0);
+                let factor = if factor.is_finite() {
+                    factor.clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                machine.memory_bw_gb_s *= factor;
             }
             FaultSpec::InflateNetworkLatency(factor) => {
-                machine.network.latency_us *= factor.max(1.0);
+                let factor = if factor.is_finite() {
+                    factor.max(1.0)
+                } else {
+                    1.0
+                };
+                machine.network.latency_us *= factor;
             }
             FaultSpec::FailNodes(count) => {
                 machine.nodes = machine.nodes.saturating_sub(*count);
             }
         }
         machine
+    }
+}
+
+/// A transient fault: strikes while the pipeline runs, not before.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransientFault {
+    /// The CI runner machinery fails a job attempt with probability `rate`
+    /// before the job even reaches the cluster (stale mount, dead agent).
+    /// Recovered by per-job `retry:` in the pipeline executor.
+    FlakyRunner {
+        /// Per-attempt failure probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// A binary-cache fetch fails with probability `rate` (S3 hiccup).
+    /// Recovered by the installer's retry policy and circuit breaker.
+    FlakyCacheFetch {
+        /// Per-fetch failure probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// `nodes` nodes die at virtual time `at_s` during a scheduler drain.
+    /// Recovered by preempting and requeueing onto the survivors.
+    NodeFailureAt {
+        /// Virtual time of the failure, seconds.
+        at_s: f64,
+        /// Nodes taken out of service.
+        nodes: usize,
+    },
+    /// A submitted job hangs until its wall-time limit with probability
+    /// `rate` and exits as a timeout. Recovered by resubmission.
+    TransientTimeout {
+        /// Per-job hang probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+/// A seeded, replayable collection of transient faults for one pipeline
+/// run. Each consumer (CI executor, binary cache, cluster) derives its own
+/// independent injector stream from the plan seed, so adding one fault kind
+/// never perturbs another kind's random sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<TransientFault>,
+    budget: Option<u64>,
+}
+
+/// Per-consumer seed salts: distinct streams per fault kind.
+const RUNNER_SALT: u64 = 0x72756e6e65720001;
+const CACHE_SALT: u64 = 0x6361636865000002;
+const TIMEOUT_SALT: u64 = 0x74696d656f757403;
+
+impl FaultPlan {
+    /// An empty plan with a master seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+            budget: None,
+        }
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, fault: TransientFault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Caps the number of failures *each* derived injector may fire over its
+    /// lifetime, guaranteeing that retried operations converge.
+    pub fn with_budget(mut self, max_failures_per_kind: u64) -> FaultPlan {
+        self.budget = Some(max_failures_per_kind);
+        self
+    }
+
+    /// The plan's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults in the plan.
+    pub fn faults(&self) -> &[TransientFault] {
+        &self.faults
+    }
+
+    /// Injector for flaky-runner faults, if any are planned.
+    pub fn runner_injector(&self) -> Option<FaultInjector> {
+        self.injector_for(RUNNER_SALT, |f| match f {
+            TransientFault::FlakyRunner { rate } => Some(*rate),
+            _ => None,
+        })
+    }
+
+    /// Injector for flaky cache-fetch faults, if any are planned.
+    pub fn cache_injector(&self) -> Option<FaultInjector> {
+        self.injector_for(CACHE_SALT, |f| match f {
+            TransientFault::FlakyCacheFetch { rate } => Some(*rate),
+            _ => None,
+        })
+    }
+
+    /// Injector for transient job timeouts, if any are planned.
+    pub fn timeout_injector(&self) -> Option<FaultInjector> {
+        self.injector_for(TIMEOUT_SALT, |f| match f {
+            TransientFault::TransientTimeout { rate } => Some(*rate),
+            _ => None,
+        })
+    }
+
+    /// Scheduled node failures as `(virtual time, nodes)` pairs.
+    pub fn node_failures(&self) -> Vec<(f64, usize)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                TransientFault::NodeFailureAt { at_s, nodes } => Some((*at_s, *nodes)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Wires the plan's cluster-side faults (node failures, transient
+    /// timeouts) into a cluster.
+    pub fn apply_to_cluster(&self, cluster: &mut crate::Cluster) {
+        for (at_s, nodes) in self.node_failures() {
+            cluster.schedule_node_failure(at_s, nodes);
+        }
+        if let Some(injector) = self.timeout_injector() {
+            cluster.inject_transient_timeouts(injector);
+        }
+    }
+
+    /// Builds one injector from the strongest matching rate (or none when no
+    /// fault of this kind is planned).
+    fn injector_for(
+        &self,
+        salt: u64,
+        rate_of: impl Fn(&TransientFault) -> Option<f64>,
+    ) -> Option<FaultInjector> {
+        let rate = self
+            .faults
+            .iter()
+            .filter_map(rate_of)
+            .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a| a.max(r))))?;
+        let injector = FaultInjector::new(rate, self.seed ^ salt);
+        Some(match self.budget {
+            Some(budget) => injector.with_budget(budget),
+            None => injector,
+        })
     }
 }

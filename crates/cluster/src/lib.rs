@@ -38,7 +38,7 @@ pub use apps::{
 };
 pub use batch::{BatchScript, SrunCommand};
 pub use cluster::{Cluster, JobId, JobOutcome};
-pub use faults::FaultSpec;
+pub use faults::{FaultPlan, FaultSpec, TransientFault};
 pub use machine::{GpuModel, Machine, SchedulerKind};
 pub use net::{BcastAlgorithm, CollectiveModel, NetworkModel};
 pub use sched::{JobRequest, JobState, SchedulerPolicy};

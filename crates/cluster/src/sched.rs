@@ -54,11 +54,16 @@ pub struct Scheduler {
     free_nodes: usize,
     queue: Vec<JobRequest>,
     running: BTreeMap<u64, Running>,
+    /// Original requests of running jobs, kept so a preempted job can be
+    /// requeued from scratch after a node failure.
+    requests: BTreeMap<u64, JobRequest>,
     now: f64,
     /// `(job id, start time)` log.
     pub starts: Vec<(u64, f64)>,
     /// `(job id, end time)` log.
     pub finishes: Vec<(u64, f64)>,
+    /// `(job id, preemption time)` log of node-failure victims.
+    pub preemptions: Vec<(u64, f64)>,
     /// node-seconds of useful work, for utilization accounting
     busy_node_seconds: f64,
 }
@@ -72,9 +77,11 @@ impl Scheduler {
             free_nodes: total_nodes,
             queue: Vec::new(),
             running: BTreeMap::new(),
+            requests: BTreeMap::new(),
             now: 0.0,
             starts: Vec::new(),
             finishes: Vec::new(),
+            preemptions: Vec::new(),
             busy_node_seconds: 0.0,
         }
     }
@@ -105,6 +112,7 @@ impl Scheduler {
 
     /// Enqueues a job.
     pub fn submit(&mut self, request: JobRequest) {
+        self.requests.insert(request.id, request.clone());
         self.queue.push(request);
     }
 
@@ -201,10 +209,15 @@ impl Scheduler {
         started.push(job.id);
     }
 
+    /// Virtual time of the next job completion, if anything is running.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.running.values().map(|r| r.end).min_by(f64::total_cmp)
+    }
+
     /// Advances to the next completion event. Returns ids of jobs that
     /// finished, or an empty vec when nothing is running.
     pub fn advance(&mut self) -> Vec<u64> {
-        let Some(next_end) = self.running.values().map(|r| r.end).min_by(f64::total_cmp) else {
+        let Some(next_end) = self.next_completion() else {
             return Vec::new();
         };
         self.now = next_end.max(self.now);
@@ -218,8 +231,46 @@ impl Scheduler {
             let r = self.running.remove(id).expect("listed as running");
             self.free_nodes = (self.free_nodes + r.nodes).min(self.total_nodes);
             self.finishes.push((*id, self.now));
+            self.requests.remove(id);
         }
         finished
+    }
+
+    /// Injects a node failure at virtual time `at` (clamped forward to the
+    /// current clock): removes `n` nodes from service and, when the
+    /// survivors cannot hold every running job, preempts the most recently
+    /// submitted running jobs until the rest fit. Preempted jobs are
+    /// requeued at the head of the queue for a full restart on the surviving
+    /// nodes; their ids are returned.
+    pub fn fail_nodes_at(&mut self, at: f64, n: usize) -> Vec<u64> {
+        self.now = self.now.max(at);
+        let n = n.min(self.total_nodes);
+        self.total_nodes -= n;
+        let mut used: usize = self.running.values().map(|r| r.nodes).sum();
+        let mut preempted = Vec::new();
+        while used > self.total_nodes {
+            let (&id, _) = self
+                .running
+                .iter()
+                .next_back()
+                .expect("used > 0 implies a running job");
+            let run = self.running.remove(&id).expect("present");
+            used -= run.nodes;
+            // the unfinished remainder never runs: refund its accounting
+            let remaining = (run.end - self.now).max(0.0);
+            self.busy_node_seconds -= remaining * run.nodes as f64;
+            self.preemptions.push((id, self.now));
+            preempted.push(id);
+        }
+        self.free_nodes = self.total_nodes - used;
+        // requeue oldest-first at the head so victims restart before newer work
+        preempted.sort_unstable();
+        for (offset, id) in preempted.iter().enumerate() {
+            if let Some(request) = self.requests.get(id).cloned() {
+                self.queue.insert(offset.min(self.queue.len()), request);
+            }
+        }
+        preempted
     }
 
     /// Machine utilization so far: busy node-seconds over capacity.

@@ -459,6 +459,155 @@ fn fault_apply_edge_cases() {
 }
 
 #[test]
+fn fault_apply_rejects_non_finite_factors() {
+    let healthy = Machine::cts1();
+
+    // regression: DegradeMemoryBandwidth(NaN) used to propagate NaN into the
+    // bandwidth, poisoning every downstream performance model
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let degraded = FaultSpec::DegradeMemoryBandwidth(bad).apply(Machine::cts1());
+        assert!(
+            degraded.memory_bw_gb_s.is_finite(),
+            "factor {bad} must not poison bandwidth"
+        );
+        assert_eq!(degraded.memory_bw_gb_s, healthy.memory_bw_gb_s);
+
+        let inflated = FaultSpec::InflateNetworkLatency(bad).apply(Machine::cts1());
+        assert!(inflated.network.latency_us.is_finite());
+        assert_eq!(inflated.network.latency_us, healthy.network.latency_us);
+    }
+
+    // negative degradation clamps to a full outage, not a negative bandwidth
+    let dead = FaultSpec::DegradeMemoryBandwidth(-2.5).apply(Machine::cts1());
+    assert_eq!(dead.memory_bw_gb_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Transient faults: mid-run node failures, requeue, timeouts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_run_node_failure_requeues_onto_survivors() {
+    use benchpark_telemetry::TelemetrySink;
+
+    let sink = TelemetrySink::recording();
+    let mut cluster = Cluster::new(Machine::ats4()); // 64 nodes
+    cluster.set_telemetry(sink.clone());
+
+    // two 24-node jobs run side by side on the 64-node machine (48 in use)
+    let script = "#SBATCH -N 24\n#SBATCH -n 48\n#SBATCH -t 120:00\nsrun -n 48 amg -P 4 4 3 -n 96 96 96 -problem 1\n";
+    let first = cluster.submit_script(script, "x").unwrap();
+    let second = cluster.submit_script(script, "x").unwrap();
+    // 20 nodes die almost immediately: 44 survive, 48 in use → the newest
+    // job is preempted (24 freed), requeued, and restarts on the survivors
+    cluster.schedule_node_failure(1e-6, 20);
+    cluster.run_until_idle();
+
+    let victim = cluster.job(second).unwrap();
+    assert_eq!(victim.state, JobState::Completed, "{victim:?}");
+    assert!(victim.success());
+    let restart = victim.start_time.unwrap();
+    assert!(
+        restart > 0.0,
+        "restart implies a later start, got {restart}"
+    );
+    assert!(cluster.job(first).unwrap().success());
+
+    let report = sink.report().unwrap();
+    assert_eq!(report.counter("sched.requeued"), 1);
+    assert_eq!(report.counter("sched.node_failures"), 1);
+}
+
+#[test]
+fn node_failure_with_spare_capacity_preempts_nothing() {
+    use benchpark_telemetry::TelemetrySink;
+
+    let sink = TelemetrySink::recording();
+    let mut cluster = Cluster::new(Machine::ats4());
+    cluster.set_telemetry(sink.clone());
+    let script = "#SBATCH -N 2\n#SBATCH -n 4\n#SBATCH -t 60:00\nsrun -n 4 amg -P 2 2 1 -n 64 64 64 -problem 1\n";
+    let id = cluster.submit_script(script, "x").unwrap();
+    cluster.schedule_node_failure(1e-6, 10); // plenty of spare nodes
+    cluster.run_until_idle();
+    assert!(cluster.job(id).unwrap().success());
+    let report = sink.report().unwrap();
+    assert_eq!(report.counter("sched.requeued"), 0);
+    assert_eq!(report.counter("sched.node_failures"), 1);
+}
+
+#[test]
+fn transient_timeout_injection_is_seeded_and_recoverable() {
+    use benchpark_resilience::FaultInjector;
+
+    let script = "#SBATCH -N 1\n#SBATCH -n 4\n#SBATCH -t 5:00\nsrun -n 4 stream -s 1000000\n";
+
+    // rate 1.0 with a budget of 1: first submission times out, the retry runs
+    let mut cluster = Cluster::new(Machine::cts1());
+    cluster.inject_transient_timeouts(FaultInjector::new(1.0, 9).with_budget(1));
+    let first = cluster.submit_script(script, "x").unwrap();
+    cluster.run_until_idle();
+    let job = cluster.job(first).unwrap();
+    assert_eq!(job.state, JobState::Timeout);
+    assert_eq!(job.exit_code, 143);
+    assert!(
+        job.stdout.contains("CANCELLED DUE TO TIME LIMIT"),
+        "{}",
+        job.stdout
+    );
+
+    let second = cluster.submit_script(script, "x").unwrap();
+    cluster.run_until_idle();
+    assert!(
+        cluster.job(second).unwrap().success(),
+        "budget exhausted: retry runs clean"
+    );
+}
+
+#[test]
+fn fault_plan_derives_independent_seeded_streams() {
+    use crate::{FaultPlan, TransientFault};
+
+    let plan = FaultPlan::new(7)
+        .with(TransientFault::FlakyRunner { rate: 0.5 })
+        .with(TransientFault::FlakyCacheFetch { rate: 0.5 })
+        .with(TransientFault::NodeFailureAt {
+            at_s: 3.0,
+            nodes: 2,
+        })
+        .with(TransientFault::TransientTimeout { rate: 0.25 });
+
+    assert_eq!(plan.node_failures(), vec![(3.0, 2)]);
+    assert!(plan.timeout_injector().is_some());
+
+    // same plan seed → identical runner stream; replayable
+    let a: Vec<bool> = {
+        let i = plan.runner_injector().unwrap();
+        (0..64).map(|_| i.should_fail()).collect()
+    };
+    let b: Vec<bool> = {
+        let i = FaultPlan::new(7)
+            .with(TransientFault::FlakyRunner { rate: 0.5 })
+            .runner_injector()
+            .unwrap();
+        (0..64).map(|_| i.should_fail()).collect()
+    };
+    assert_eq!(a, b);
+
+    // runner and cache streams differ despite equal rates
+    let c: Vec<bool> = {
+        let i = plan.cache_injector().unwrap();
+        (0..64).map(|_| i.should_fail()).collect()
+    };
+    assert_ne!(a, c, "per-kind salts decorrelate the streams");
+
+    // a plan without a fault kind derives no injector for it
+    assert!(FaultPlan::new(7).runner_injector().is_none());
+    assert!(FaultPlan::new(7).cache_injector().is_none());
+    assert!(FaultPlan::new(7).timeout_injector().is_none());
+    assert!(FaultPlan::new(7).node_failures().is_empty());
+}
+
+#[test]
 fn failed_nodes_shrink_capacity() {
     let mut cluster = Cluster::new(Machine::ats4());
     cluster.fail_nodes(60); // 4 nodes left

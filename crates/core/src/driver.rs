@@ -2,10 +2,11 @@
 
 use crate::systems::SystemProfile;
 use crate::templates::experiment_template;
-use benchpark_cluster::{AppModelFn, BinaryInfo, Cluster, Machine, ProgrammingModel};
+use benchpark_cluster::{AppModelFn, BinaryInfo, Cluster, FaultPlan, Machine, ProgrammingModel};
 use benchpark_concretizer::Concretizer;
 use benchpark_pkg::{AppRepo, Repo};
 use benchpark_ramble::{AnalyzeReport, RambleError, RunOutput, SetupReport, Workspace};
+use benchpark_resilience::RetryPolicy;
 use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
 use benchpark_spec::VariantValue;
 use benchpark_telemetry::TelemetrySink;
@@ -38,6 +39,8 @@ pub struct Benchpark {
     /// workspace setup publish here, and the per-system install in step 7
     /// fetches from it.
     site_cache: BinaryCache,
+    /// Transient faults injected into every workspace this driver sets up.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Benchpark {
@@ -56,7 +59,31 @@ impl Benchpark {
             app_repo: AppRepo::builtin(),
             telemetry: TelemetrySink::noop(),
             site_cache: BinaryCache::new(),
+            fault_plan: None,
         }
+    }
+
+    /// Subjects every workspace this driver sets up to a seeded
+    /// [`FaultPlan`]: flaky binary-cache fetches strike the site cache
+    /// (retried with backoff, circuit-broken to source builds on sustained
+    /// outage), and node failures / transient job timeouts strike the booted
+    /// cluster (preempted jobs requeue onto survivors). Replayable: the same
+    /// plan produces the same fault sequence.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Benchpark {
+        if let Some(injector) = plan.cache_injector() {
+            self.site_cache.inject_faults(injector);
+        }
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The retry policy installers use for binary-cache fetches when a fault
+    /// plan is active: a few attempts with exponential backoff, seeded from
+    /// the plan so backoff jitter replays too.
+    fn cache_retry_policy(plan: &FaultPlan) -> RetryPolicy {
+        RetryPolicy::new(3)
+            .with_backoff(0.5, 2.0)
+            .with_jitter(0.1, plan.seed())
     }
 
     /// Routes pipeline telemetry (setup/run/analyze spans and every
@@ -164,6 +191,9 @@ impl Benchpark {
         let mut workspace = Workspace::create(&workspace_dir).map_err(|e| e.to_string())?;
         workspace.set_telemetry(self.telemetry.clone());
         workspace.set_cache(self.site_cache.clone());
+        if let Some(plan) = &self.fault_plan {
+            workspace.set_retry_policy(Self::cache_retry_policy(plan));
+        }
         workspace.set_config(template).map_err(|e| e.to_string())?;
         workspace
             .merge_spack(&profile.spack_yaml)
@@ -212,13 +242,19 @@ impl Benchpark {
         for (exe, model) in app_models {
             cluster.register_app_model(exe, *model);
         }
+        if let Some(plan) = &self.fault_plan {
+            plan.apply_to_cluster(&mut cluster);
+        }
         // The cluster side has its own (empty) install tree but shares the
         // site-wide binary cache, so builds published during workspace setup
         // are fetched rather than recompiled here.
-        let cluster_installer = Installer::new(&self.repo)
+        let mut cluster_installer = Installer::new(&self.repo)
             .with_database(InstallDatabase::new())
             .with_cache(self.site_cache.clone())
             .with_telemetry(self.telemetry.clone());
+        if let Some(plan) = &self.fault_plan {
+            cluster_installer = cluster_installer.with_retry_policy(Self::cache_retry_policy(plan));
+        }
         for (app_name, _) in workspace
             .config()
             .expect("config set above")
@@ -292,28 +328,35 @@ pub struct BenchparkWorkspace {
 
 impl BenchparkWorkspace {
     /// Step 8: `ramble on` — submits every rendered script to the system's
-    /// batch scheduler and waits for completion.
+    /// batch scheduler, drains the queue once, and collects the outputs.
+    /// Because all experiments coexist in the queue, a scheduled node
+    /// failure mid-drain can preempt running jobs, which requeue onto the
+    /// surviving nodes and restart.
     pub fn run(&mut self) -> Result<(), RambleError> {
         let _run_span = self.telemetry.span("pipeline.run");
-        let cluster = &mut self.cluster;
-        self.workspace.run_with(|_exp, script| {
-            match cluster.submit_script(script, "benchpark") {
-                Ok(id) => {
-                    cluster.run_until_idle();
-                    let job = cluster.job(id).expect("submitted job exists");
-                    RunOutput {
-                        stdout: job.stdout.clone(),
-                        exit_code: job.exit_code,
-                        profile: job.profile.clone(),
-                    }
+        let cluster = std::cell::RefCell::new(&mut self.cluster);
+        self.workspace.run_batched(
+            |_exp, script| {
+                cluster
+                    .borrow_mut()
+                    .submit_script(script, "benchpark")
+                    .map_err(|e| RunOutput {
+                        stdout: format!("sbatch: error: {e}\n"),
+                        exit_code: 1,
+                        profile: Vec::new(),
+                    })
+            },
+            || cluster.borrow_mut().run_until_idle(),
+            |_exp, id| {
+                let cluster = cluster.borrow();
+                let job = cluster.job(id).expect("submitted job exists");
+                RunOutput {
+                    stdout: job.stdout.clone(),
+                    exit_code: job.exit_code,
+                    profile: job.profile.clone(),
                 }
-                Err(e) => RunOutput {
-                    stdout: format!("sbatch: error: {e}\n"),
-                    exit_code: 1,
-                    profile: Vec::new(),
-                },
-            }
-        })?;
+            },
+        )?;
         self.log.step(
             8,
             "user calls Ramble to submit batch experiment scripts (ramble on)",

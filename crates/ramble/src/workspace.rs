@@ -10,6 +10,7 @@ use crate::rconfig::RambleConfig;
 use crate::template::{render_template, DEFAULT_TEMPLATE};
 use benchpark_concretizer::SiteConfig;
 use benchpark_pkg::{AppRepo, Repo};
+use benchpark_resilience::RetryPolicy;
 use benchpark_spack::{BinaryCache, Environment, InstallOptions, InstallReport, Installer};
 use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
@@ -49,6 +50,7 @@ pub struct Workspace {
     /// Site-wide binary cache shared across setups (when attached, builds
     /// push to it and later installs fetch from it).
     cache: Option<BinaryCache>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Workspace {
@@ -68,6 +70,7 @@ impl Workspace {
             run_outputs: BTreeMap::new(),
             telemetry: TelemetrySink::noop(),
             cache: None,
+            retry: None,
         })
     }
 
@@ -86,6 +89,12 @@ impl Workspace {
     /// a fresh per-setup cache.
     pub fn set_cache(&mut self, cache: BinaryCache) {
         self.cache = Some(cache);
+    }
+
+    /// Retries transient binary-cache fetch failures during `setup` under
+    /// `policy` (single attempt, no retries, when unset).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
     }
 
     /// `ramble workspace edit`: installs the `ramble.yaml` text.
@@ -157,9 +166,12 @@ impl Workspace {
 
         // ---- software environments (§3.2.3 step: install via Spack) -------
         let cache = self.cache.clone().unwrap_or_default();
-        let installer = Installer::new(repo)
+        let mut installer = Installer::new(repo)
             .with_cache(cache)
             .with_telemetry(self.telemetry.clone());
+        if let Some(policy) = &self.retry {
+            installer = installer.with_retry_policy(policy.clone());
+        }
         let mut install_reports = BTreeMap::new();
         let mut environment_specs = BTreeMap::new();
         for (env_name, env_def) in &config.environments {
@@ -319,20 +331,69 @@ impl Workspace {
                 .expect("setup rendered every script")
                 .clone();
             let output = runner(exp, &script);
-            let run_dir = Path::new(&exp.variables["experiment_run_dir"]);
-            fs::write(run_dir.join(format!("{}.out", exp.name)), &output.stdout)?;
-            // always-on Caliper profiling (§5): the Caliper modifier sets
-            // CALI_CONFIG, and each run then emits its profile as a .cali
-            // file next to the output
-            if exp.env_vars.contains_key("CALI_CONFIG") && !output.profile.is_empty() {
-                let mut cali = String::from("# caliper spot profile\n");
-                for (region, seconds) in &output.profile {
-                    cali.push_str(&format!("{region} {seconds:.9}\n"));
-                }
-                fs::write(run_dir.join(format!("{}.cali", exp.name)), cali)?;
-            }
-            self.run_outputs.insert(exp.name.clone(), output);
+            self.record_output(exp, output)?;
         }
+        Ok(())
+    }
+
+    /// `ramble on` against a real batch scheduler: submits every experiment
+    /// first, drains the queue once, then collects outputs. Unlike
+    /// [`Workspace::run_with`] (one submit-and-wait per experiment),
+    /// experiments coexist in the queue, so scheduler-level events — backfill,
+    /// node failures, preemption and requeue — can involve several jobs at
+    /// once. `submit` returns an opaque job handle, or `Err(output)` when the
+    /// submission itself is rejected.
+    pub fn run_batched<H>(
+        &mut self,
+        mut submit: impl FnMut(&ExperimentInstance, &str) -> Result<H, RunOutput>,
+        drain: impl FnOnce(),
+        mut collect: impl FnMut(&ExperimentInstance, H) -> RunOutput,
+    ) -> Result<(), RambleError> {
+        if self.experiments.is_empty() {
+            return Err(RambleError::Phase("setup before run".to_string()));
+        }
+        let _run_span = self.telemetry.span("workspace.run");
+        let experiments = self.experiments.clone();
+        let mut handles = Vec::with_capacity(experiments.len());
+        for exp in &experiments {
+            let script = self
+                .scripts
+                .get(&exp.name)
+                .expect("setup rendered every script")
+                .clone();
+            handles.push(submit(exp, &script));
+        }
+        drain();
+        for (exp, handle) in experiments.iter().zip(handles) {
+            let output = match handle {
+                Ok(handle) => collect(exp, handle),
+                Err(rejected) => rejected,
+            };
+            self.record_output(exp, output)?;
+        }
+        Ok(())
+    }
+
+    /// Captures one experiment's output to `{experiment_run_dir}/{name}.out`
+    /// (plus its Caliper profile when enabled).
+    fn record_output(
+        &mut self,
+        exp: &ExperimentInstance,
+        output: RunOutput,
+    ) -> Result<(), RambleError> {
+        let run_dir = Path::new(&exp.variables["experiment_run_dir"]);
+        fs::write(run_dir.join(format!("{}.out", exp.name)), &output.stdout)?;
+        // always-on Caliper profiling (§5): the Caliper modifier sets
+        // CALI_CONFIG, and each run then emits its profile as a .cali
+        // file next to the output
+        if exp.env_vars.contains_key("CALI_CONFIG") && !output.profile.is_empty() {
+            let mut cali = String::from("# caliper spot profile\n");
+            for (region, seconds) in &output.profile {
+                cali.push_str(&format!("{region} {seconds:.9}\n"));
+            }
+            fs::write(run_dir.join(format!("{}.cali", exp.name)), cali)?;
+        }
+        self.run_outputs.insert(exp.name.clone(), output);
         Ok(())
     }
 

@@ -1,0 +1,149 @@
+//! The circuit breaker: trip open after consecutive failures, cool down in
+//! virtual time, probe with a half-open state.
+
+/// Circuit-breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Virtual seconds the breaker stays open before allowing a half-open
+    /// probe.
+    pub reset_after_s: f64,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 3 consecutive failures; probe again after 60 virtual
+    /// seconds.
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            reset_after_s: 60.0,
+        }
+    }
+}
+
+/// The breaker's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every call is allowed.
+    Closed,
+    /// Tripped: calls are rejected until the cooldown elapses.
+    Open,
+    /// Cooling down: exactly one probe call is allowed; its outcome decides
+    /// whether the breaker closes or re-opens.
+    HalfOpen,
+}
+
+/// A circuit breaker over *virtual* time: the caller passes the current
+/// simulation clock to [`CircuitBreaker::allow`] and
+/// [`CircuitBreaker::record_failure`], so behavior is fully reproducible.
+///
+/// After `failure_threshold` consecutive failures the breaker opens and
+/// rejects calls — the caller degrades gracefully (the installer falls back
+/// to source builds). Once `reset_after_s` virtual seconds pass, one probe
+/// is allowed through; success closes the breaker, failure re-opens it.
+///
+/// # Examples
+///
+/// ```
+/// use benchpark_resilience::{BreakerConfig, BreakerState, CircuitBreaker};
+///
+/// let mut breaker = CircuitBreaker::new(BreakerConfig {
+///     failure_threshold: 2,
+///     reset_after_s: 10.0,
+/// });
+/// assert!(breaker.allow(0.0));
+/// breaker.record_failure(0.0);
+/// breaker.record_failure(1.0); // second consecutive failure: trips
+/// assert_eq!(breaker.state(), BreakerState::Open);
+/// assert_eq!(breaker.trips(), 1);
+/// assert!(!breaker.allow(5.0)); // still cooling down
+/// assert!(breaker.allow(11.0)); // half-open probe allowed
+/// breaker.record_success();
+/// assert_eq!(breaker.state(), BreakerState::Closed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: f64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given configuration. A zero failure
+    /// threshold is treated as one.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config: BreakerConfig {
+                failure_threshold: config.failure_threshold.max(1),
+                reset_after_s: if config.reset_after_s.is_finite() && config.reset_after_s >= 0.0 {
+                    config.reset_after_s
+                } else {
+                    60.0
+                },
+            },
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0.0,
+            trips: 0,
+        }
+    }
+
+    /// Whether a call may proceed at virtual time `now_s`. An open breaker
+    /// transitions to half-open (and allows the call) once the cooldown has
+    /// elapsed.
+    pub fn allow(&mut self, now_s: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_s >= self.opened_at + self.config.reset_after_s {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: resets the failure streak and closes a
+    /// half-open breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Reports a failed call at virtual time `now_s`. A half-open probe
+    /// failure re-opens immediately; in the closed state the breaker trips
+    /// once the consecutive-failure threshold is reached.
+    pub fn record_failure(&mut self, now_s: f64) {
+        self.consecutive_failures += 1;
+        match self.state {
+            BreakerState::HalfOpen => self.trip(now_s),
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now_s);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now_s: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at = now_s;
+        self.trips += 1;
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}

@@ -1,0 +1,310 @@
+//! Resilience primitives for the Benchpark pipeline: deterministic retry
+//! policies, circuit breakers, and seeded transient-fault injection.
+//!
+//! Real HPC systems are flaky — the paper's premise (§1) is that continuous
+//! benchmarking must keep running *through* hardware failures in order to
+//! diagnose them. This crate provides the building blocks the rest of the
+//! workspace wires into its CI executor, cluster scheduler, installer, and
+//! binary cache:
+//!
+//! * [`RetryPolicy`] — bounded attempts with exponential backoff and seeded
+//!   jitter, expressed entirely in *virtual* seconds so simulations stay
+//!   reproducible (no wall clock anywhere).
+//! * [`CircuitBreaker`] — trips open after consecutive failures so callers
+//!   can degrade gracefully (e.g. fall back from a binary cache to source
+//!   builds), and half-opens after a virtual-time cooldown.
+//! * [`FaultInjector`] — a seeded probabilistic gate used to inject
+//!   transient faults (flaky runners, failed cache fetches) with an optional
+//!   failure budget so tests provably converge.
+//!
+//! Everything is deterministic for a fixed seed: the same policy, seed, and
+//! call sequence produce byte-identical behavior on every run.
+
+#![deny(missing_docs)]
+
+use benchpark_telemetry::TelemetrySink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+mod breaker;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+
+#[cfg(test)]
+mod tests;
+
+/// A bounded retry policy with exponential backoff over virtual time.
+///
+/// Delays are computed as `min(base · multiplier^(retry-1), max_delay)`
+/// scaled by a seeded jitter factor in `[1 - jitter, 1 + jitter]`. The
+/// jitter for retry *k* depends only on `(seed, k)`, never on call order,
+/// so a policy is a pure function of its configuration.
+///
+/// # Examples
+///
+/// ```
+/// use benchpark_resilience::RetryPolicy;
+/// use benchpark_telemetry::TelemetrySink;
+///
+/// let policy = RetryPolicy::new(4)
+///     .with_backoff(0.5, 2.0)
+///     .with_max_delay(10.0)
+///     .with_jitter(0.25, 42);
+///
+/// // Succeeds on the third attempt; two virtual backoff pauses were taken.
+/// let mut failures_left = 2;
+/// let outcome = policy.run(&TelemetrySink::noop(), |_attempt| {
+///     if failures_left > 0 {
+///         failures_left -= 1;
+///         Err("transient")
+///     } else {
+///         Ok("done")
+///     }
+/// });
+/// assert_eq!(outcome.result, Ok("done"));
+/// assert_eq!(outcome.attempts, 3);
+/// assert!(outcome.virtual_backoff_s > 0.0);
+/// assert!(outcome.virtual_backoff_s <= policy.total_backoff_bound());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_delay_s: f64,
+    multiplier: f64,
+    max_delay_s: f64,
+    jitter: f64,
+    seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 s base delay doubling per retry, 30 s cap, no
+    /// jitter.
+    fn default() -> RetryPolicy {
+        RetryPolicy::new(3)
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts (the first try plus
+    /// `max_attempts - 1` retries). Zero is treated as one: every operation
+    /// runs at least once.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay_s: 1.0,
+            multiplier: 2.0,
+            max_delay_s: 30.0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the first-retry delay and the exponential growth factor.
+    /// Non-finite or negative values fall back to the defaults (1.0 / 2.0);
+    /// a multiplier below 1 is clamped to 1 (backoff never shrinks).
+    pub fn with_backoff(mut self, base_delay_s: f64, multiplier: f64) -> RetryPolicy {
+        self.base_delay_s = if base_delay_s.is_finite() && base_delay_s >= 0.0 {
+            base_delay_s
+        } else {
+            1.0
+        };
+        self.multiplier = if multiplier.is_finite() {
+            multiplier.max(1.0)
+        } else {
+            2.0
+        };
+        self
+    }
+
+    /// Caps every individual retry delay at `max_delay_s` virtual seconds.
+    /// Non-finite or negative caps fall back to 30 s.
+    pub fn with_max_delay(mut self, max_delay_s: f64) -> RetryPolicy {
+        self.max_delay_s = if max_delay_s.is_finite() && max_delay_s >= 0.0 {
+            max_delay_s
+        } else {
+            30.0
+        };
+        self
+    }
+
+    /// Enables seeded jitter: each delay is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1 + jitter]`, deterministically from
+    /// `(seed, retry index)`. `jitter` is clamped into `[0, 1]`.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> RetryPolicy {
+        self.jitter = if jitter.is_finite() {
+            jitter.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.seed = seed;
+        self
+    }
+
+    /// Total attempts this policy allows (first try included).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The virtual-seconds delay taken after failed attempt `retry`
+    /// (1-based: `retry = 1` is the pause before the second attempt).
+    /// Deterministic in `(policy, retry)`.
+    pub fn delay_before(&self, retry: u32) -> f64 {
+        let retry = retry.max(1);
+        let exponent = (retry - 1).min(63);
+        let raw = self.base_delay_s * self.multiplier.powi(exponent as i32);
+        let capped = raw.min(self.max_delay_s);
+        capped * self.jitter_factor(retry)
+    }
+
+    /// All backoff delays the policy can take, in order.
+    pub fn delays(&self) -> Vec<f64> {
+        (1..self.max_attempts)
+            .map(|r| self.delay_before(r))
+            .collect()
+    }
+
+    /// An upper bound on the total virtual backoff time an exhausted run can
+    /// accumulate: `(max_attempts - 1) · max_delay · (1 + jitter)`.
+    pub fn total_backoff_bound(&self) -> f64 {
+        (self.max_attempts.saturating_sub(1)) as f64 * self.max_delay_s * (1.0 + self.jitter)
+    }
+
+    /// Runs `op` until it succeeds or attempts are exhausted. Each retry is
+    /// counted on `sink` under `retry.attempts` and its backoff accumulated
+    /// into [`RetryOutcome::virtual_backoff_s`]. `op` receives the 1-based
+    /// attempt number.
+    pub fn run<T, E>(
+        &self,
+        sink: &TelemetrySink,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        let mut backoff = 0.0;
+        let mut attempt = 1u32;
+        loop {
+            match op(attempt) {
+                Ok(value) => {
+                    return RetryOutcome {
+                        result: Ok(value),
+                        attempts: attempt,
+                        virtual_backoff_s: backoff,
+                    }
+                }
+                Err(error) => {
+                    if attempt >= self.max_attempts {
+                        return RetryOutcome {
+                            result: Err(error),
+                            attempts: attempt,
+                            virtual_backoff_s: backoff,
+                        };
+                    }
+                    backoff += self.delay_before(attempt);
+                    sink.incr("retry.attempts", 1);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Jitter factor for retry `retry`, in `[1 - jitter, 1 + jitter]`.
+    fn jitter_factor(&self, retry: u32) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        let stream = self.seed ^ (retry as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(stream);
+        1.0 + self.jitter * (2.0 * rng.gen::<f64>() - 1.0)
+    }
+}
+
+/// What a [`RetryPolicy::run`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryOutcome<T, E> {
+    /// The final result: the first success, or the last error when attempts
+    /// ran out.
+    pub result: Result<T, E>,
+    /// Attempts actually made (1 when the first try succeeded).
+    pub attempts: u32,
+    /// Total virtual seconds spent backing off between attempts.
+    pub virtual_backoff_s: f64,
+}
+
+impl<T, E> RetryOutcome<T, E> {
+    /// True if the operation eventually succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// A seeded probabilistic fault gate: each [`FaultInjector::should_fail`]
+/// call independently fires with the configured rate, driven by a
+/// deterministic RNG. Clones share one RNG stream, so a cloned injector
+/// threaded through several subsystems produces one reproducible global
+/// fault sequence.
+///
+/// An optional *failure budget* bounds the total number of injected faults,
+/// guaranteeing that retried operations eventually converge.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    inner: Arc<parking_lot::Mutex<InjectorState>>,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: StdRng,
+    rate: f64,
+    remaining: Option<u64>,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// An injector firing with probability `rate` (clamped into `[0, 1]`;
+    /// non-finite rates disable injection), seeded with `seed`.
+    pub fn new(rate: f64, seed: u64) -> FaultInjector {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        FaultInjector {
+            inner: Arc::new(parking_lot::Mutex::new(InjectorState {
+                rng: StdRng::seed_from_u64(seed),
+                rate,
+                remaining: None,
+                injected: 0,
+            })),
+        }
+    }
+
+    /// Limits the injector to at most `max_failures` injected faults over
+    /// its lifetime; afterwards it never fires again.
+    pub fn with_budget(self, max_failures: u64) -> FaultInjector {
+        self.inner.lock().remaining = Some(max_failures);
+        self
+    }
+
+    /// Rolls the dice: true means the caller should simulate a transient
+    /// fault for this operation.
+    pub fn should_fail(&self) -> bool {
+        let mut state = self.inner.lock();
+        if state.rate <= 0.0 {
+            return false;
+        }
+        if state.remaining == Some(0) {
+            return false;
+        }
+        let rate = state.rate;
+        let fires = state.rng.gen_bool(rate);
+        if fires {
+            state.injected += 1;
+            if let Some(remaining) = &mut state.remaining {
+                *remaining -= 1;
+            }
+        }
+        fires
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.lock().injected
+    }
+}

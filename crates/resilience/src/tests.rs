@@ -1,0 +1,223 @@
+//! Unit and property tests for the resilience primitives.
+
+use crate::{BreakerConfig, BreakerState, CircuitBreaker, FaultInjector, RetryPolicy};
+use benchpark_telemetry::TelemetrySink;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn first_try_success_takes_no_backoff() {
+    let policy = RetryPolicy::new(5).with_jitter(0.5, 7);
+    let outcome = policy.run(&TelemetrySink::noop(), |_| Ok::<_, ()>(42));
+    assert_eq!(outcome.result, Ok(42));
+    assert_eq!(outcome.attempts, 1);
+    assert_eq!(outcome.virtual_backoff_s, 0.0);
+}
+
+#[test]
+fn exhaustion_returns_last_error_and_counts_retries() {
+    let sink = TelemetrySink::recording();
+    let policy = RetryPolicy::new(4)
+        .with_backoff(1.0, 2.0)
+        .with_max_delay(100.0);
+    let outcome = policy.run(&sink, Err::<(), u32>);
+    assert_eq!(outcome.result, Err(4), "last error is surfaced");
+    assert_eq!(outcome.attempts, 4);
+    // 1 + 2 + 4 virtual seconds of exponential backoff, no jitter
+    assert!((outcome.virtual_backoff_s - 7.0).abs() < 1e-12);
+    assert_eq!(sink.report().unwrap().counter("retry.attempts"), 3);
+}
+
+#[test]
+fn delays_respect_per_retry_cap() {
+    let policy = RetryPolicy::new(8)
+        .with_backoff(1.0, 10.0)
+        .with_max_delay(5.0);
+    for delay in policy.delays() {
+        assert!(delay <= 5.0, "cap must bound every delay, got {delay}");
+    }
+}
+
+#[test]
+fn degenerate_configs_are_sanitized() {
+    let policy = RetryPolicy::new(0)
+        .with_backoff(f64::NAN, f64::NEG_INFINITY)
+        .with_max_delay(f64::NAN)
+        .with_jitter(f64::NAN, 1);
+    assert_eq!(policy.max_attempts(), 1, "at least one attempt");
+    assert!(policy.delays().is_empty());
+    assert!(policy.total_backoff_bound().is_finite());
+    // a single-attempt policy never backs off
+    let outcome = policy.run(&TelemetrySink::noop(), |_| Err::<(), _>("x"));
+    assert_eq!(outcome.attempts, 1);
+    assert_eq!(outcome.virtual_backoff_s, 0.0);
+}
+
+proptest! {
+    /// Retry-with-jitter is a pure function of the policy: the same seed and
+    /// parameters yield identical delay schedules, independent of call order.
+    #[test]
+    fn retry_jitter_is_deterministic_for_fixed_seed(
+        seed in any::<u64>(),
+        attempts in 2u32..12,
+        base in 0.01f64..5.0,
+        multiplier in 1.0f64..4.0,
+        jitter in 0.0f64..1.0,
+    ) {
+        let make = || {
+            RetryPolicy::new(attempts)
+                .with_backoff(base, multiplier)
+                .with_max_delay(60.0)
+                .with_jitter(jitter, seed)
+        };
+        let a = make().delays();
+        // query a fresh policy out of order: determinism must not depend on
+        // internal RNG state advancing call to call
+        let b_policy = make();
+        let mut b: Vec<f64> = Vec::new();
+        for retry in (1..attempts).rev() {
+            b.push(b_policy.delay_before(retry));
+        }
+        b.reverse();
+        prop_assert_eq!(a.clone(), b);
+        // and a full exhausted run accumulates exactly the scheduled delays
+        let outcome = make().run(&TelemetrySink::noop(), |_| Err::<(), _>(()));
+        let expected: f64 = a.iter().sum();
+        prop_assert!((outcome.virtual_backoff_s - expected).abs() < 1e-9);
+    }
+
+    /// Total virtual backoff of any run is bounded by the policy's
+    /// documented cap, jitter included.
+    #[test]
+    fn total_backoff_is_bounded_by_policy_cap(
+        seed in any::<u64>(),
+        attempts in 1u32..16,
+        base in 0.0f64..10.0,
+        multiplier in 1.0f64..8.0,
+        max_delay in 0.1f64..20.0,
+        jitter in 0.0f64..1.0,
+        fail_n in 0u32..20,
+    ) {
+        let policy = RetryPolicy::new(attempts)
+            .with_backoff(base, multiplier)
+            .with_max_delay(max_delay)
+            .with_jitter(jitter, seed);
+        let mut failures_left = fail_n;
+        let outcome = policy.run(&TelemetrySink::noop(), |_| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(())
+            } else {
+                Ok(())
+            }
+        });
+        prop_assert!(outcome.virtual_backoff_s >= 0.0);
+        prop_assert!(
+            outcome.virtual_backoff_s <= policy.total_backoff_bound() + 1e-9,
+            "backoff {} exceeds bound {}",
+            outcome.virtual_backoff_s,
+            policy.total_backoff_bound()
+        );
+        prop_assert!(outcome.attempts <= policy.max_attempts());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_trips_after_threshold_and_half_opens() {
+    let mut breaker = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 3,
+        reset_after_s: 30.0,
+    });
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    breaker.record_failure(0.0);
+    breaker.record_failure(1.0);
+    assert_eq!(breaker.state(), BreakerState::Closed, "below threshold");
+    breaker.record_failure(2.0);
+    assert_eq!(breaker.state(), BreakerState::Open);
+    assert_eq!(breaker.trips(), 1);
+    assert!(!breaker.allow(2.0));
+    assert!(!breaker.allow(31.9));
+    assert!(breaker.allow(32.0), "cooldown elapsed: probe allowed");
+    assert_eq!(breaker.state(), BreakerState::HalfOpen);
+    // probe fails: immediately re-opens
+    breaker.record_failure(32.0);
+    assert_eq!(breaker.state(), BreakerState::Open);
+    assert_eq!(breaker.trips(), 2);
+    // second probe succeeds: closes and resets the streak
+    assert!(breaker.allow(62.5));
+    breaker.record_success();
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    breaker.record_failure(63.0);
+    assert_eq!(breaker.state(), BreakerState::Closed, "streak was reset");
+}
+
+#[test]
+fn success_resets_consecutive_failures() {
+    let mut breaker = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 2,
+        reset_after_s: 10.0,
+    });
+    for _ in 0..5 {
+        breaker.record_failure(0.0);
+        breaker.record_success();
+    }
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    assert_eq!(breaker.trips(), 0, "alternating outcomes never trip");
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injector_extremes_and_determinism() {
+    let never = FaultInjector::new(0.0, 1);
+    let always = FaultInjector::new(1.0, 1);
+    for _ in 0..100 {
+        assert!(!never.should_fail());
+        assert!(always.should_fail());
+    }
+    assert_eq!(never.injected(), 0);
+    assert_eq!(always.injected(), 100);
+
+    let a = FaultInjector::new(0.3, 99);
+    let b = FaultInjector::new(0.3, 99);
+    let seq_a: Vec<bool> = (0..200).map(|_| a.should_fail()).collect();
+    let seq_b: Vec<bool> = (0..200).map(|_| b.should_fail()).collect();
+    assert_eq!(seq_a, seq_b, "same seed, same fault sequence");
+    assert!(seq_a.iter().any(|&f| f) && seq_a.iter().any(|&f| !f));
+}
+
+#[test]
+fn injector_budget_caps_total_failures() {
+    let injector = FaultInjector::new(1.0, 7).with_budget(3);
+    let fired = (0..50).filter(|_| injector.should_fail()).count();
+    assert_eq!(fired, 3);
+    assert_eq!(injector.injected(), 3);
+}
+
+#[test]
+fn injector_clones_share_one_stream() {
+    let a = FaultInjector::new(1.0, 5).with_budget(4);
+    let b = a.clone();
+    assert!(a.should_fail());
+    assert!(b.should_fail());
+    assert_eq!(a.injected(), 2, "clones share the budget and counters");
+    assert!(a.should_fail());
+    assert!(b.should_fail());
+    assert!(!a.should_fail(), "shared budget exhausted");
+}
+
+#[test]
+fn injector_rejects_degenerate_rates() {
+    assert!(!FaultInjector::new(f64::NAN, 0).should_fail());
+    assert!(!FaultInjector::new(-3.0, 0).should_fail());
+    assert!(FaultInjector::new(7.5, 0).should_fail(), "clamped to 1.0");
+}

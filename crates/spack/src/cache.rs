@@ -1,8 +1,10 @@
 //! The content-addressed binary cache (paper §7.2: *"the Spack build pipeline
 //! and rolling binary cache makes packages available to all Spack users"*).
 
+use benchpark_resilience::FaultInjector;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,12 +17,35 @@ pub struct CacheEntry {
     pub size_bytes: u64,
 }
 
+/// A transient cache transport failure: the entry may well exist, but this
+/// fetch attempt did not reach the bucket (the simulated S3 hiccup). Retry
+/// or fall back to a source build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheFetchError {
+    /// The hash whose fetch attempt failed.
+    pub hash: String,
+}
+
+impl fmt::Display for CacheFetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transient failure fetching {} from binary cache",
+            self.hash
+        )
+    }
+}
+
+impl std::error::Error for CacheFetchError {}
+
 /// Cache hit/miss counters.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
     pub pushes: AtomicU64,
+    /// Transient fetch errors (injected transport failures).
+    pub errors: AtomicU64,
 }
 
 impl CacheStats {
@@ -41,12 +66,26 @@ impl CacheStats {
 pub struct BinaryCache {
     entries: Arc<RwLock<BTreeMap<String, CacheEntry>>>,
     stats: Arc<CacheStats>,
+    faults: Arc<RwLock<Option<FaultInjector>>>,
 }
 
 impl BinaryCache {
     /// An empty cache.
     pub fn new() -> BinaryCache {
         BinaryCache::default()
+    }
+
+    /// Makes fetches flaky: each [`BinaryCache::try_fetch`] consults the
+    /// injector and may return a transient [`CacheFetchError`]. Shared across
+    /// clones, so a plan wired after handles were passed around still applies
+    /// everywhere. Plain [`BinaryCache::fetch`] is unaffected.
+    pub fn inject_faults(&self, injector: FaultInjector) {
+        *self.faults.write() = Some(injector);
+    }
+
+    /// Removes any fault injector.
+    pub fn clear_faults(&self) {
+        *self.faults.write() = None;
     }
 
     /// Looks up a build by hash, counting hit/miss.
@@ -57,6 +96,21 @@ impl BinaryCache {
             None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
         };
         result
+    }
+
+    /// Like [`BinaryCache::fetch`], but the transport can fail: when a fault
+    /// injector is wired in, an attempt may return `Err(CacheFetchError)`
+    /// without touching hit/miss stats (the bucket was never reached).
+    /// `Ok(None)` is a genuine miss.
+    pub fn try_fetch(&self, hash: &str) -> Result<Option<CacheEntry>, CacheFetchError> {
+        let flaked = self.faults.read().as_ref().is_some_and(|i| i.should_fail());
+        if flaked {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(CacheFetchError {
+                hash: hash.to_string(),
+            });
+        }
+        Ok(self.fetch(hash))
     }
 
     /// True if the hash is cached (does not affect stats).
@@ -92,5 +146,10 @@ impl BinaryCache {
     /// Hit ratio in `[0, 1]`.
     pub fn hit_ratio(&self) -> f64 {
         self.stats.hit_ratio()
+    }
+
+    /// Number of injected transient fetch errors observed so far.
+    pub fn fetch_errors(&self) -> u64 {
+        self.stats.errors.load(Ordering::Relaxed)
     }
 }

@@ -12,6 +12,7 @@ use crate::cache::{BinaryCache, CacheEntry};
 use crate::db::{InstallDatabase, InstalledRecord};
 use benchpark_concretizer::{ConcreteSpec, Origin};
 use benchpark_pkg::Repo;
+use benchpark_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
 
@@ -98,6 +99,8 @@ pub struct Installer<'a> {
     db: InstallDatabase,
     cache: Option<BinaryCache>,
     telemetry: TelemetrySink,
+    retry: RetryPolicy,
+    breaker_config: BreakerConfig,
 }
 
 impl<'a> Installer<'a> {
@@ -108,6 +111,8 @@ impl<'a> Installer<'a> {
             db: InstallDatabase::new(),
             cache: None,
             telemetry: TelemetrySink::noop(),
+            retry: RetryPolicy::new(1),
+            breaker_config: BreakerConfig::default(),
         }
     }
 
@@ -130,6 +135,23 @@ impl<'a> Installer<'a> {
         self
     }
 
+    /// Retries transient cache-fetch failures under `policy` before falling
+    /// back to a source build. The default policy makes a single attempt
+    /// (no retries), matching the pre-resilience behavior.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Configures the per-install-run circuit breaker guarding cache
+    /// fetches. After `failure_threshold` consecutive exhausted fetch
+    /// attempts the breaker opens and the rest of the run degrades to
+    /// source builds without hammering the broken cache.
+    pub fn with_breaker_config(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = config;
+        self
+    }
+
     /// The install database.
     pub fn database(&self) -> &InstallDatabase {
         &self.db
@@ -146,6 +168,12 @@ impl<'a> Installer<'a> {
         // ---- plan: action + duration per node --------------------------------
         let plan_span = self.telemetry.span("install.plan");
         let order = dag.build_order();
+        // the breaker lives for one install run: a cache outage degrades the
+        // rest of this run to source builds, the next run probes again
+        let mut breaker = CircuitBreaker::new(self.breaker_config);
+        // virtual clock over the fetch sequence, advanced by retry backoff;
+        // drives the breaker's open → half-open recovery window
+        let mut fetch_clock = 0.0f64;
         let mut actions: BTreeMap<String, (Action, f64)> = BTreeMap::new();
         for node in &order {
             let name = node.spec.name.clone().unwrap_or_default();
@@ -157,15 +185,11 @@ impl<'a> Installer<'a> {
                     Origin::Reused => (Action::Reused, 0.0),
                     Origin::Source => {
                         let cost = self.repo.get(&name).map(|p| p.build_cost).unwrap_or(10.0);
-                        let cached = opts.use_cache
-                            && self
-                                .cache
-                                .as_ref()
-                                .is_some_and(|c| c.fetch(&node.hash).is_some());
-                        if cached {
-                            (Action::FetchFromCache, cost / CACHE_SPEEDUP)
-                        } else {
-                            (Action::Build, cost)
+                        match self.plan_fetch(node, opts, &mut breaker, &mut fetch_clock) {
+                            Some(backoff_s) => {
+                                (Action::FetchFromCache, cost / CACHE_SPEEDUP + backoff_s)
+                            }
+                            None => (Action::Build, cost),
                         }
                     }
                 }
@@ -232,6 +256,44 @@ impl<'a> Installer<'a> {
             makespan_seconds: makespan,
             total_cpu_seconds: total_cpu,
             newly_installed: newly,
+        }
+    }
+
+    /// Plans one cache fetch under the retry policy and circuit breaker.
+    /// Returns `Some(virtual backoff seconds)` when the package can be
+    /// extracted from the cache, `None` for a source build (miss, cache
+    /// disabled, fetch attempts exhausted, or breaker open).
+    fn plan_fetch(
+        &self,
+        node: &benchpark_concretizer::ConcreteNode,
+        opts: &InstallOptions,
+        breaker: &mut CircuitBreaker,
+        fetch_clock: &mut f64,
+    ) -> Option<f64> {
+        if !opts.use_cache {
+            return None;
+        }
+        let cache = self.cache.as_ref()?;
+        if !breaker.allow(*fetch_clock) {
+            return None; // open circuit: degrade to source build immediately
+        }
+        let outcome = self
+            .retry
+            .run(&self.telemetry, |_attempt| cache.try_fetch(&node.hash));
+        *fetch_clock += outcome.virtual_backoff_s;
+        match outcome.result {
+            Ok(entry) => {
+                breaker.record_success();
+                entry.map(|_| outcome.virtual_backoff_s)
+            }
+            Err(_) => {
+                let trips_before = breaker.trips();
+                breaker.record_failure(*fetch_clock);
+                if breaker.trips() > trips_before {
+                    self.telemetry.incr("cache.breaker.trips", 1);
+                }
+                None
+            }
         }
     }
 

@@ -29,7 +29,7 @@ mod env;
 mod installer;
 mod manifest;
 
-pub use cache::{BinaryCache, CacheStats};
+pub use cache::{BinaryCache, CacheFetchError, CacheStats};
 pub use config::ConfigScopes;
 pub use db::{InstallDatabase, InstalledRecord};
 pub use env::{Environment, Lockfile};

@@ -483,3 +483,92 @@ fn shared_database_across_installers() {
     assert!(report.count(Action::AlreadyInstalled) > 0);
     assert!(db.len() > before);
 }
+
+// ---------------------------------------------------------------------------
+// Resilience: flaky cache fetches, retries, circuit breaker
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flaky_cache_fetch_recovers_with_retries() {
+    use benchpark_resilience::{FaultInjector, RetryPolicy};
+    use benchpark_telemetry::TelemetrySink;
+
+    let repo = Repo::builtin();
+    let dag = concretize("amg2023+caliper");
+    let cache = BinaryCache::new();
+    let cold = Installer::new(&repo)
+        .with_cache(cache.clone())
+        .install(&dag, &InstallOptions::default());
+    assert!(
+        cold.count(Action::Build) >= 3,
+        "{}",
+        cold.count(Action::Build)
+    );
+
+    // the first two fetch attempts fail; the retry policy absorbs both
+    cache.inject_faults(FaultInjector::new(1.0, 42).with_budget(2));
+    let sink = TelemetrySink::recording();
+    let warm = Installer::new(&repo)
+        .with_database(InstallDatabase::new())
+        .with_cache(cache.clone())
+        .with_retry_policy(RetryPolicy::new(4).with_jitter(0.2, 7))
+        .with_telemetry(sink.clone())
+        .install(&dag, &InstallOptions::default());
+
+    assert_eq!(warm.count(Action::Build), 0, "retries must mask the flakes");
+    assert_eq!(
+        warm.count(Action::FetchFromCache),
+        cold.count(Action::Build)
+    );
+    assert_eq!(cache.fetch_errors(), 2);
+    let report = sink.report().unwrap();
+    assert_eq!(report.counter("retry.attempts"), 2);
+    assert_eq!(report.counter("cache.breaker.trips"), 0);
+
+    // the recovered fetch pays its backoff in virtual seconds
+    let paid: f64 = warm
+        .results
+        .iter()
+        .filter(|r| r.action == Action::FetchFromCache)
+        .map(|r| r.seconds)
+        .sum();
+    assert!(paid > 0.0);
+}
+
+#[test]
+fn cache_outage_trips_breaker_and_degrades_to_builds() {
+    use benchpark_resilience::{BreakerConfig, FaultInjector, RetryPolicy};
+    use benchpark_telemetry::TelemetrySink;
+
+    let repo = Repo::builtin();
+    let dag = concretize("amg2023+caliper");
+    let cache = BinaryCache::new();
+    let cold = Installer::new(&repo)
+        .with_cache(cache.clone())
+        .install(&dag, &InstallOptions::default());
+    assert!(cold.count(Action::Build) >= 3);
+
+    // total outage: every attempt fails, retries cannot help
+    cache.inject_faults(FaultInjector::new(1.0, 3));
+    let sink = TelemetrySink::recording();
+    let report = Installer::new(&repo)
+        .with_database(InstallDatabase::new())
+        .with_cache(cache.clone())
+        .with_retry_policy(RetryPolicy::new(2))
+        .with_breaker_config(BreakerConfig {
+            failure_threshold: 3,
+            reset_after_s: 1e9, // stay open for the whole run
+        })
+        .with_telemetry(sink.clone())
+        .install(&dag, &InstallOptions::default());
+
+    // graceful degradation: everything still installs, from source
+    assert_eq!(report.count(Action::FetchFromCache), 0);
+    assert_eq!(report.count(Action::Build), cold.count(Action::Build));
+    let counters = sink.report().unwrap();
+    assert_eq!(counters.counter("cache.breaker.trips"), 1);
+    // once open, the breaker stops hammering the cache: exactly three
+    // packages made (two) attempts each before the circuit opened
+    assert_eq!(cache.fetch_errors(), 6);
+    assert_eq!(counters.counter("retry.attempts"), 3);
+}

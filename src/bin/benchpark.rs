@@ -10,7 +10,7 @@
 //! benchpark setup <bench>/<variant> <system> <dir>   # steps 1–7
 //! benchpark run   <bench>/<variant> <system> <dir>   # steps 1–9 + results
 //! benchpark fig14 [linear|tree|sag]      # the Figure 14 scaling study
-//! benchpark trace <bench>/<variant> <system> <dir>   # run + telemetry report
+//! benchpark trace <bench>/<variant> <system> <dir> [--faults]  # run + telemetry report
 //! ```
 
 use benchpark::cluster::BcastAlgorithm;
@@ -60,7 +60,7 @@ const USAGE: &str = "usage:
   benchpark setup <benchmark>/<variant> <system> <workspace_dir>
   benchpark run   <benchmark>/<variant> <system> <workspace_dir>
   benchpark fig14 [linear|tree|sag]
-  benchpark trace <benchmark>/<variant> <system> <workspace_dir>";
+  benchpark trace <benchmark>/<variant> <system> <workspace_dir> [--faults]";
 
 fn cmd_list(what: Option<&str>) -> Result<(), String> {
     match what {
@@ -133,17 +133,44 @@ fn cmd_workspace(args: &[String], run: bool) -> Result<(), String> {
 }
 
 /// Runs the full setup → run → analyze pipeline with a recording telemetry
-/// sink and prints the span tree, counters, and observations.
+/// sink and prints the span tree, counters, and observations. With
+/// `--faults`, a seeded transient-fault plan (flaky binary-cache fetches
+/// plus one mid-run node failure) strikes the pipeline; the resilience
+/// counters (`retry.attempts`, `cache.breaker.trips`, `sched.requeued`)
+/// appear in the report.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let [experiment, system, workspace_dir] = args else {
-        return Err("expected <benchmark>/<variant> <system> <workspace_dir>".to_string());
+    let (faults, args): (bool, Vec<&String>) = {
+        let faults = args.iter().any(|a| a == "--faults");
+        (faults, args.iter().filter(|a| *a != "--faults").collect())
+    };
+    let [experiment, system, workspace_dir] = args.as_slice() else {
+        return Err(
+            "expected <benchmark>/<variant> <system> <workspace_dir> [--faults]".to_string(),
+        );
     };
     let (benchmark, variant) = experiment
         .split_once('/')
         .ok_or("experiment must be <benchmark>/<variant>")?;
 
     let sink = TelemetrySink::recording();
-    let benchpark = Benchpark::new().with_telemetry(sink.clone());
+    let mut benchpark = Benchpark::new().with_telemetry(sink.clone());
+    if faults {
+        use benchpark::cluster::{FaultPlan, TransientFault};
+        // all nodes but one die mid-drain: every running job beyond the
+        // first is preempted and must requeue onto the lone survivor
+        let nodes = SystemProfile::by_name(system)
+            .ok_or_else(|| format!("unknown system `{system}`"))?
+            .machine()
+            .nodes
+            .saturating_sub(1);
+        benchpark = benchpark.with_fault_plan(
+            FaultPlan::new(2023)
+                .with(TransientFault::FlakyCacheFetch { rate: 1.0 })
+                .with(TransientFault::NodeFailureAt { at_s: 0.25, nodes })
+                .with_budget(12),
+        );
+        println!("fault plan active: flaky cache fetches + {nodes}-node failure at t=0.25s\n");
+    }
     let mut ws = benchpark.setup_workspace(benchmark, variant, system, workspace_dir)?;
     ws.run().map_err(|e| e.to_string())?;
     let analysis = ws.analyze(&benchpark).map_err(|e| e.to_string())?;

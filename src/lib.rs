@@ -19,6 +19,7 @@
 //! * [`perf`] — Caliper/Thicket/Extra-P-style performance analysis.
 //! * [`ci`] — continuous-integration substrate (git, Hubcast, Jacamar, pipelines).
 //! * [`telemetry`] — pipeline self-instrumentation (spans, counters, event journal).
+//! * [`resilience`] — retry policies, circuit breakers, and seeded fault injection.
 //! * [`core`] — the Benchpark driver: systems, suites, metrics database, reports.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
@@ -32,6 +33,7 @@ pub use benchpark_core as core;
 pub use benchpark_perf as perf;
 pub use benchpark_pkg as pkg;
 pub use benchpark_ramble as ramble;
+pub use benchpark_resilience as resilience;
 pub use benchpark_rex as rex;
 pub use benchpark_spack as spack;
 pub use benchpark_spec as spec;

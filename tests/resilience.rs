@@ -1,0 +1,110 @@
+//! Integration: the resilience layer end to end. A full setup → run →
+//! analyze pipeline is struck by a seeded transient-fault plan — every
+//! binary-cache fetch fails (tripping the circuit breaker and degrading to
+//! source builds) and all but one compute node dies mid-run (forcing the
+//! scheduler to requeue preempted jobs onto the survivor) — yet the run
+//! completes, the analysis extracts the same figures of merit as a
+//! fault-free run, and the telemetry report carries the resilience
+//! counters that prove the machinery engaged.
+
+use benchpark::cluster::{FaultPlan, TransientFault};
+use benchpark::core::{Benchpark, SystemProfile};
+use benchpark::ramble::ExperimentStatus;
+use benchpark::telemetry::TelemetrySink;
+
+/// Runs amg2023/openmp on cts1 under the given Benchpark driver and
+/// returns the (experiment, fom-name, fom-value) triples.
+fn run_amg(benchpark: &Benchpark, dir: &std::path::Path) -> Vec<(String, String, String)> {
+    let mut ws = benchpark
+        .setup_workspace("amg2023", "openmp", "cts1", dir.to_str().unwrap())
+        .expect("setup succeeds");
+    ws.run().expect("run completes despite faults");
+    let analysis = ws.analyze(benchpark).expect("analyze succeeds");
+    assert!(
+        !analysis.results.is_empty(),
+        "expected rendered experiments"
+    );
+    for result in &analysis.results {
+        assert_eq!(
+            result.status,
+            ExperimentStatus::Success,
+            "experiment {} did not succeed",
+            result.experiment
+        );
+    }
+    analysis
+        .results
+        .iter()
+        .flat_map(|r| {
+            r.foms
+                .iter()
+                .map(|f| (r.experiment.clone(), f.name.clone(), f.value.clone()))
+        })
+        .collect()
+}
+
+#[test]
+fn faulted_pipeline_completes_and_counts_recoveries() {
+    let dir = std::env::temp_dir().join("benchpark-itest-resilience-faulted");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // All nodes but one die at t=0.25s, while both amg experiments overlap.
+    let survivors_victims = SystemProfile::by_name("cts1")
+        .expect("cts1 profile exists")
+        .machine()
+        .nodes
+        - 1;
+    let sink = TelemetrySink::recording();
+    let benchpark = Benchpark::new()
+        .with_telemetry(sink.clone())
+        .with_fault_plan(
+            FaultPlan::new(2023)
+                .with(TransientFault::FlakyCacheFetch { rate: 1.0 })
+                .with(TransientFault::NodeFailureAt {
+                    at_s: 0.25,
+                    nodes: survivors_victims,
+                })
+                .with_budget(12),
+        );
+    let faulted_foms = run_amg(&benchpark, &dir);
+
+    let report = sink.report().expect("recording sink has a report");
+    assert!(
+        report.counter("retry.attempts") > 0,
+        "cache fetch retries should have fired: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counter("cache.breaker.trips") > 0,
+        "sustained cache outage should trip the breaker: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counter("sched.requeued") > 0,
+        "node failure should preempt and requeue a job: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counter("sched.node_failures") > 0,
+        "the node-failure event itself should be counted"
+    );
+
+    // Graceful degradation, not silent corruption: the faulted run extracts
+    // the same FOMs as a fault-free run of the same experiment.
+    let clean_dir = std::env::temp_dir().join("benchpark-itest-resilience-clean");
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let clean_sink = TelemetrySink::recording();
+    let clean = Benchpark::new().with_telemetry(clean_sink.clone());
+    let clean_foms = run_amg(&clean, &clean_dir);
+
+    assert_eq!(
+        faulted_foms, clean_foms,
+        "faults must delay, never distort, the figures of merit"
+    );
+    let clean_report = clean_sink.report().expect("report");
+    assert_eq!(clean_report.counter("cache.breaker.trips"), 0);
+    assert_eq!(clean_report.counter("sched.requeued"), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
