@@ -237,17 +237,30 @@ impl JobExecutor for BenchparkExecutor<'_> {
     }
 }
 
-/// Runs a pipeline to completion: stages execute in order; a fatal failure
-/// (one not carrying `allow_failure`) marks every later job [`JobState::Skipped`]
-/// (GitLab semantics). Failed attempts of a job with `retry: N` are re-run
-/// up to N times, each retry counted on the executor's telemetry sink under
-/// `retry.attempts`.
+/// Runs a pipeline to completion as a job DAG on the shared execution
+/// engine.
+///
+/// Dependency edges follow GitLab semantics: a job with `needs:` waits only
+/// for the jobs it names (detaching from stage ordering — it can start
+/// before nominally earlier stages have finished); a job without `needs:`
+/// waits for every job of every earlier stage. Jobs within one stage carry
+/// no mutual edges, so a failure never skips its stage siblings — only
+/// dependent (later-stage or `needs:`-downstream) jobs are marked
+/// [`JobState::Skipped`], unless the failed job carries `allow_failure`.
+///
+/// Failed attempts of a job with `retry: N` are re-run up to N times by the
+/// engine's per-task retry policy, each retry counted on the executor's
+/// telemetry sink under `retry.attempts`. Each job's virtual
+/// `started_at`/`finished_at` come from the engine's deterministic LPT
+/// schedule.
 pub fn run_pipeline(
     lab: &mut Lab,
     pipeline_id: u64,
     run_as: &str,
     executor: &mut dyn JobExecutor,
 ) -> Result<(), String> {
+    use benchpark_engine::{Engine, FailurePolicy, TaskGraph, TaskStatus};
+
     let repo = lab
         .repo
         .as_ref()
@@ -258,55 +271,99 @@ pub fn run_pipeline(
         .ok_or_else(|| format!("no pipeline #{pipeline_id}"))?;
     let branch = pipeline.branch.clone();
     let stages = pipeline.stages.clone();
+    let jobs = pipeline.jobs.clone();
     let sink = executor.telemetry();
     let _pipeline_span = sink.span("ci.pipeline");
 
-    let mut failed = false;
-    for stage in &stages {
-        let _stage_span = sink.span(&format!("ci.stage.{stage}"));
-        let indices = pipeline.stage_jobs(stage);
-        for idx in indices {
-            if failed {
-                // explicitly Skipped, not silently left Created: inspectors
-                // can tell "never ran because of the failure" from "pending"
-                pipeline.jobs[idx].state = JobState::Skipped;
-                sink.incr("ci.jobs.skipped", 1);
-                continue;
+    // ---- job graph: one task per job, edges from needs/stage order -------
+    let mut graph = TaskGraph::new();
+    let mut ids = Vec::with_capacity(jobs.len());
+    for (idx, job) in jobs.iter().enumerate() {
+        // virtual duration: one second per script line, so LPT has a
+        // meaningful length signal without simulating the scripts twice
+        let id = graph
+            .add_task(&job.name, idx, job.script.len().max(1) as f64)
+            .map_err(|e| e.to_string())?;
+        if job.allow_failure {
+            graph.set_policy(id, FailurePolicy::AllowFailure);
+        }
+        if job.retry > 0 {
+            graph.set_retry(id, RetryPolicy::new(job.retry.saturating_add(1)));
+        }
+        ids.push(id);
+    }
+    let stage_rank = |stage: &str| stages.iter().position(|s| s == stage).unwrap_or(usize::MAX);
+    for (idx, job) in jobs.iter().enumerate() {
+        if job.needs.is_empty() {
+            // default GitLab gating: wait for every job of every earlier
+            // stage
+            for (dep_idx, dep) in jobs.iter().enumerate() {
+                if stage_rank(&dep.stage) < stage_rank(&job.stage) {
+                    graph
+                        .depends_on(ids[idx], ids[dep_idx])
+                        .map_err(|e| e.to_string())?;
+                }
             }
-            pipeline.jobs[idx].state = JobState::Running;
-            let job_snapshot = pipeline.jobs[idx].clone();
-            let policy = RetryPolicy::new(job_snapshot.retry.saturating_add(1));
-            let mut log = String::new();
-            let outcome = policy.run(&sink, |attempt| {
-                if attempt > 1 {
-                    log.push_str(&format!(
-                        "\nRetrying job `{}` (attempt {attempt}/{})\n",
-                        job_snapshot.name,
-                        policy.max_attempts()
-                    ));
-                }
-                let result = executor.execute(&job_snapshot, &repo, &branch, run_as);
-                log.push_str(&result.log);
-                if result.success {
-                    Ok(())
-                } else {
-                    Err(())
-                }
-            });
-            let success = outcome.succeeded();
-            let job = &mut pipeline.jobs[idx];
-            job.log = log;
-            job.ran_as = Some(run_as.to_string());
-            job.state = if success {
-                sink.incr("ci.jobs.success", 1);
-                JobState::Success
+        } else {
+            for need in &job.needs {
+                let dep = graph
+                    .id(need)
+                    .ok_or_else(|| format!("job `{}` needs unknown job `{need}`", job.name))?;
+                graph.depends_on(ids[idx], dep).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+
+    // ---- execute on the engine's deterministic serial drive --------------
+    let mut logs: Vec<String> = vec![String::new(); jobs.len()];
+    let report = Engine::new(jobs.len().max(1))
+        .with_telemetry(sink.clone())
+        .run(&graph, |task, ctx| {
+            let job = &jobs[task.payload];
+            let log = &mut logs[task.payload];
+            if ctx.attempt > 1 {
+                log.push_str(&format!(
+                    "\nRetrying job `{}` (attempt {}/{})\n",
+                    job.name, ctx.attempt, ctx.max_attempts
+                ));
+            }
+            let result = executor.execute(job, &repo, &branch, run_as);
+            log.push_str(&result.log);
+            if result.success {
+                Ok(())
             } else {
-                sink.incr("ci.jobs.failed", 1);
-                JobState::Failed
-            };
-            if !success && !job_snapshot.allow_failure {
-                failed = true;
+                Err(format!("job `{}` failed", job.name))
             }
+        })
+        .map_err(|e| e.to_string())?;
+
+    // ---- write outcomes back into the pipeline ---------------------------
+    let pipeline = lab
+        .pipeline_mut(pipeline_id)
+        .expect("pipeline existed above");
+    for (idx, outcome) in report.tasks.iter().enumerate() {
+        let job = &mut pipeline.jobs[idx];
+        match outcome.status {
+            TaskStatus::Success => {
+                sink.incr("ci.jobs.success", 1);
+                job.state = JobState::Success;
+            }
+            TaskStatus::Failed => {
+                sink.incr("ci.jobs.failed", 1);
+                job.state = JobState::Failed;
+            }
+            TaskStatus::Skipped => {
+                // explicitly Skipped, not silently left Created: inspectors
+                // can tell "never ran because of a failure" from "pending"
+                sink.incr("ci.jobs.skipped", 1);
+                job.state = JobState::Skipped;
+            }
+        }
+        if outcome.status != TaskStatus::Skipped {
+            job.log = std::mem::take(&mut logs[idx]);
+            job.ran_as = Some(run_as.to_string());
+            job.started_at = Some(outcome.start);
+            job.finished_at = Some(outcome.finish);
         }
     }
     Ok(())

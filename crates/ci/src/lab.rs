@@ -41,10 +41,19 @@ pub struct CiJob {
     /// A failure of this job does not fail the pipeline or skip later
     /// stages (GitLab's `allow_failure: true`).
     pub allow_failure: bool,
+    /// Jobs this job waits for (GitLab's `needs:`). When non-empty the job
+    /// detaches from stage ordering and starts as soon as the named jobs
+    /// finish; when empty it waits for every job of every earlier stage.
+    pub needs: Vec<String>,
     pub state: JobState,
     /// The OS user the job ran as (decided by Jacamar).
     pub ran_as: Option<String>,
     pub log: String,
+    /// Virtual start time under the pipeline's deterministic schedule
+    /// (set once the job has executed).
+    pub started_at: Option<f64>,
+    /// Virtual finish time under the pipeline's deterministic schedule.
+    pub finished_at: Option<f64>,
 }
 
 /// A pipeline for one mirrored commit.
@@ -202,6 +211,13 @@ pub fn parse_ci_config(text: &str) -> Result<(Vec<String>, Vec<CiJob>), String> 
             .get("allow_failure")
             .and_then(Value::as_bool)
             .unwrap_or(false);
+        let needs = body_map
+            .get("needs")
+            .and_then(Value::string_list)
+            .unwrap_or_default();
+        if needs.iter().any(|n| n == name) {
+            return Err(format!("job `{name}` cannot need itself"));
+        }
         jobs.push(CiJob {
             name: name.clone(),
             stage,
@@ -212,13 +228,37 @@ pub fn parse_ci_config(text: &str) -> Result<(Vec<String>, Vec<CiJob>), String> 
                 .unwrap_or_default(),
             retry,
             allow_failure,
+            needs,
             state: JobState::Created,
             ran_as: None,
             log: String::new(),
+            started_at: None,
+            finished_at: None,
         });
     }
     if jobs.is_empty() {
         return Err("ci config defines no jobs".to_string());
+    }
+    // `needs:` must reference declared jobs in the same or an earlier stage
+    // (GitLab forbids forward references; they would also create dependency
+    // cycles against the default stage edges)
+    let job_stage: BTreeMap<&str, &str> = jobs
+        .iter()
+        .map(|j| (j.name.as_str(), j.stage.as_str()))
+        .collect();
+    let stage_rank = |stage: &str| stages.iter().position(|s| s == stage).unwrap_or(usize::MAX);
+    for job in &jobs {
+        for need in &job.needs {
+            let Some(need_stage) = job_stage.get(need.as_str()) else {
+                return Err(format!("job `{}` needs unknown job `{need}`", job.name));
+            };
+            if stage_rank(need_stage) > stage_rank(&job.stage) {
+                return Err(format!(
+                    "job `{}` needs `{need}`, which is in a later stage",
+                    job.name
+                ));
+            }
+        }
     }
     // order jobs by stage order for readability
     let stage_index: BTreeMap<&str, usize> = stages

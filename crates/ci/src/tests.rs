@@ -420,9 +420,12 @@ fn pipeline_state_empty_and_partial_progress() {
         tags: Vec::new(),
         retry: 0,
         allow_failure: false,
+        needs: Vec::new(),
         state,
         ran_as: None,
         log: String::new(),
+        started_at: None,
+        finished_at: None,
     };
     let pipeline = |jobs: Vec<CiJob>| Pipeline {
         id: 1,
@@ -705,4 +708,125 @@ fn flaky_pipeline_converges_to_fault_free_results() {
         "flaky run must converge to the fault-free log;\nclean:\n{clean_bench}\nflaky:\n{flaky_bench}"
     );
     assert_ne!(flaky_bench, clean_bench, "retry markers precede the replay");
+}
+
+// ---------------------------------------------------------------------------
+// Job DAGs: same-stage independence and `needs:`
+// ---------------------------------------------------------------------------
+
+/// Regression: GitLab runs every job within a stage regardless of sibling
+/// failures — only *later* stages gate on the outcome. The old stage loop
+/// skipped the rest of a stage as soon as one job failed.
+#[test]
+fn same_stage_jobs_all_run_when_one_fails() {
+    let config = "stages:\n  - build\n  - bench\nb1:\n  stage: build\n  script:\n    - frobnicate\nb2:\n  stage: build\n  script:\n    - echo still runs\nr:\n  stage: bench\n  script:\n    - echo never\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
+    let mut lab = Lab::new();
+    let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+
+    let p = lab.pipeline(id).unwrap();
+    let by_name = |n: &str| p.jobs.iter().find(|j| j.name == n).unwrap();
+    assert_eq!(by_name("b1").state, JobState::Failed);
+    assert_eq!(
+        by_name("b2").state,
+        JobState::Success,
+        "a stage sibling of a failed job must still run"
+    );
+    assert!(by_name("b2").log.contains("still runs"));
+    assert_eq!(
+        by_name("r").state,
+        JobState::Skipped,
+        "later stages still gate on the failure"
+    );
+    assert_eq!(p.state(), PipelineState::Failed);
+}
+
+/// The point of `needs:`: a job detaches from stage ordering and starts as
+/// soon as the jobs it names finish — here the bench job starts (in virtual
+/// time) long before the slow build-stage straggler has finished.
+#[test]
+fn needs_job_starts_before_earlier_stage_finishes() {
+    let config = "stages:\n  - build\n  - bench\nb-fast:\n  stage: build\n  script:\n    - echo one\nb-slow:\n  stage: build\n  script:\n    - echo one\n    - echo two\n    - echo three\n    - echo four\n    - echo five\nr:\n  stage: bench\n  needs: [b-fast]\n  script:\n    - echo early\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
+    let mut lab = Lab::new();
+    let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+
+    let p = lab.pipeline(id).unwrap();
+    assert_eq!(p.state(), PipelineState::Success, "{:#?}", p.jobs);
+    let by_name = |n: &str| p.jobs.iter().find(|j| j.name == n).unwrap();
+    let needs_start = by_name("r").started_at.unwrap();
+    let fast_finish = by_name("b-fast").finished_at.unwrap();
+    let slow_finish = by_name("b-slow").finished_at.unwrap();
+    assert!(
+        needs_start >= fast_finish,
+        "needs edge still gates: {needs_start} < {fast_finish}"
+    );
+    assert!(
+        needs_start < slow_finish,
+        "needs job must start before the earlier stage finishes \
+         ({needs_start} vs {slow_finish})"
+    );
+}
+
+/// A `needs:` failure skips exactly the dependent chain, not unrelated jobs.
+#[test]
+fn needs_failure_skips_only_dependents() {
+    let config = "stages:\n  - build\n  - bench\nb-ok:\n  stage: build\n  script:\n    - echo fine\nb-bad:\n  stage: build\n  script:\n    - frobnicate\nr-ok:\n  stage: bench\n  needs: [b-ok]\n  script:\n    - echo runs\nr-bad:\n  stage: bench\n  needs: [b-bad]\n  script:\n    - echo never\n";
+    let mut repo = Repository::init("r");
+    repo.commit("main", "u", "c", &[(".gitlab-ci.yml", config)])
+        .unwrap();
+    let mut lab = Lab::new();
+    let id = lab.receive_mirror(&repo.clone(), "main", "pr-1").unwrap();
+
+    let pkg_repo = Repo::builtin();
+    let mut executor = BenchparkExecutor::new(&pkg_repo, SiteConfig::example_cts());
+    run_pipeline(&mut lab, id, "olga", &mut executor).unwrap();
+
+    let p = lab.pipeline(id).unwrap();
+    let by_name = |n: &str| p.jobs.iter().find(|j| j.name == n).unwrap();
+    assert_eq!(by_name("b-bad").state, JobState::Failed);
+    assert_eq!(
+        by_name("r-ok").state,
+        JobState::Success,
+        "a needs job with healthy dependencies is detached from the failure"
+    );
+    assert_eq!(by_name("r-bad").state, JobState::Skipped);
+    assert_eq!(p.state(), PipelineState::Failed);
+}
+
+#[test]
+fn ci_config_validates_needs_references() {
+    let unknown = "stages: [a]\nj:\n  stage: a\n  script: [x]\n  needs: [ghost]\n";
+    assert!(crate::lab::parse_ci_config(unknown)
+        .unwrap_err()
+        .contains("unknown job `ghost`"));
+
+    let forward = "stages: [a, b]\nearly:\n  stage: a\n  script: [x]\n  needs: [late]\nlate:\n  stage: b\n  script: [x]\n";
+    assert!(crate::lab::parse_ci_config(forward)
+        .unwrap_err()
+        .contains("later stage"));
+
+    let selfish = "stages: [a]\nj:\n  stage: a\n  script: [x]\n  needs: [j]\n";
+    assert!(crate::lab::parse_ci_config(selfish)
+        .unwrap_err()
+        .contains("cannot need itself"));
+
+    let ok = "stages: [a, b]\nbase:\n  stage: a\n  script: [x]\nnext:\n  stage: b\n  script: [x]\n  needs: [base]\n";
+    let (_, jobs) = crate::lab::parse_ci_config(ok).unwrap();
+    assert_eq!(
+        jobs.iter().find(|j| j.name == "next").unwrap().needs,
+        vec!["base".to_string()]
+    );
 }

@@ -4,13 +4,14 @@ use crate::systems::SystemProfile;
 use crate::templates::experiment_template;
 use benchpark_cluster::{AppModelFn, BinaryInfo, Cluster, FaultPlan, Machine, ProgrammingModel};
 use benchpark_concretizer::Concretizer;
+use benchpark_engine::{Engine, TaskGraph, TaskStatus};
 use benchpark_pkg::{AppRepo, Repo};
 use benchpark_ramble::{AnalyzeReport, RambleError, RunOutput, SetupReport, Workspace};
 use benchpark_resilience::RetryPolicy;
 use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
 use benchpark_spec::VariantValue;
 use benchpark_telemetry::TelemetrySink;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A transcript of the workflow steps executed (Figure 1c's numbering).
 #[derive(Debug, Clone, Default)]
@@ -41,6 +42,9 @@ pub struct Benchpark {
     site_cache: BinaryCache,
     /// Transient faults injected into every workspace this driver sets up.
     fault_plan: Option<FaultPlan>,
+    /// Parallel build jobs for installs, and the worker-pool width for
+    /// [`Benchpark::run_fleet`].
+    jobs: usize,
 }
 
 impl Default for Benchpark {
@@ -60,6 +64,24 @@ impl Benchpark {
             telemetry: TelemetrySink::noop(),
             site_cache: BinaryCache::new(),
             fault_plan: None,
+            jobs: InstallOptions::default().jobs,
+        }
+    }
+
+    /// Sets the parallel job count: `-j` for every install this driver runs
+    /// and the worker-pool width of [`Benchpark::run_fleet`]. Clamped to at
+    /// least one. Reports stay byte-identical across job counts for the
+    /// outcomes (FOMs, job states); only virtual makespans change.
+    pub fn with_jobs(mut self, jobs: usize) -> Benchpark {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The driver's install options (`jobs` applied over the defaults).
+    fn install_options(&self) -> InstallOptions {
+        InstallOptions {
+            jobs: self.jobs,
+            ..InstallOptions::default()
         }
     }
 
@@ -209,12 +231,7 @@ impl Benchpark {
         // steps 5–7: ramble workspace setup (spack builds + script rendering)
         let site = profile.site_config();
         let report = workspace
-            .setup(
-                &self.repo,
-                &self.app_repo,
-                &site,
-                &InstallOptions::default(),
-            )
+            .setup(&self.repo, &self.app_repo, &site, &self.install_options())
             .map_err(|e| e.to_string())?;
         log.step(
             5,
@@ -276,7 +293,7 @@ impl Benchpark {
                 .with_telemetry(self.telemetry.clone())
                 .concretize(&abstract_spec)
                 .map_err(|e| e.to_string())?;
-            cluster_installer.install(&dag, &InstallOptions::default());
+            cluster_installer.install(&dag, &self.install_options());
             let concrete = &dag.root_node().spec;
             let target = concrete
                 .target
@@ -312,6 +329,86 @@ impl Benchpark {
             telemetry: self.telemetry.clone(),
         })
     }
+
+    /// Runs a fleet of experiments — each a full setup → run → analyze
+    /// pipeline on its own system and workspace directory — through the
+    /// shared execution engine's worker pool, `jobs` wide (see
+    /// [`Benchpark::with_jobs`]). Experiments on independent systems execute
+    /// concurrently; results come back in input order. The workspace
+    /// directories must be distinct.
+    ///
+    /// Outcomes are deterministic in the fleet definition: FOMs, job states,
+    /// and analyze reports are identical for any worker count, including
+    /// under an active fault plan (each cluster draws its faults from the
+    /// plan's seed, never from thread timing).
+    pub fn run_fleet(&self, fleet: &[FleetExperiment]) -> Result<Vec<FleetOutcome>, String> {
+        let _fleet_span = self.telemetry.span("pipeline.fleet");
+        let mut graph = TaskGraph::new();
+        for (idx, exp) in fleet.iter().enumerate() {
+            graph
+                .add_task(
+                    &format!("{}/{}@{}", exp.benchmark, exp.variant, exp.system),
+                    idx,
+                    1.0,
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        let report = Engine::new(self.jobs)
+            .with_telemetry(self.telemetry.clone())
+            .run_pool(&graph, |task, _ctx| {
+                let exp = &fleet[task.payload];
+                let mut workspace = self.setup_workspace(
+                    &exp.benchmark,
+                    &exp.variant,
+                    &exp.system,
+                    &exp.workspace_dir,
+                )?;
+                workspace.run().map_err(|e| e.to_string())?;
+                let analysis = workspace.analyze(self).map_err(|e| e.to_string())?;
+                Ok(FleetOutcome {
+                    benchmark: exp.benchmark.clone(),
+                    variant: exp.variant.clone(),
+                    system: exp.system.clone(),
+                    analysis,
+                    log: workspace.log.clone(),
+                })
+            })
+            .map_err(|e| e.to_string())?;
+        report
+            .tasks
+            .into_iter()
+            .map(|task| match task.status {
+                TaskStatus::Success => Ok(task.output.expect("successful task has output")),
+                _ => Err(format!(
+                    "fleet experiment `{}` failed: {}",
+                    task.key,
+                    task.error.unwrap_or_else(|| "skipped".to_string())
+                )),
+            })
+            .collect()
+    }
+}
+
+/// One experiment of a [`Benchpark::run_fleet`] fan-out.
+#[derive(Debug, Clone)]
+pub struct FleetExperiment {
+    pub benchmark: String,
+    pub variant: String,
+    pub system: String,
+    /// Workspace directory for this experiment (must be unique per entry).
+    pub workspace_dir: PathBuf,
+}
+
+/// What one fleet experiment produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    pub benchmark: String,
+    pub variant: String,
+    pub system: String,
+    /// FOMs and success criteria extracted by `ramble workspace analyze`.
+    pub analysis: AnalyzeReport,
+    /// The nine-step workflow transcript of this experiment.
+    pub log: WorkflowLog,
 }
 
 /// A ready-to-run Benchpark workspace bound to a simulated cluster.

@@ -40,7 +40,7 @@ mod templates;
 mod tree;
 
 pub use components::{render_table1, table1, Table1Row};
-pub use driver::{Benchpark, BenchparkWorkspace, WorkflowLog};
+pub use driver::{Benchpark, BenchparkWorkspace, FleetExperiment, FleetOutcome, WorkflowLog};
 pub use metrics::{MetricsDatabase, StoredResult};
 pub use plot::ascii_plot;
 pub use procurement::{ProcurementReport, ProcurementStudy, WorkloadSpec};

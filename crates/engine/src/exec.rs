@@ -1,0 +1,482 @@
+//! Executing task graphs: a deterministic serial drive and a real crossbeam
+//! worker pool, both reporting against the virtual-time plan.
+
+use crate::graph::{EngineError, FailurePolicy, Task, TaskGraph};
+use benchpark_resilience::{BreakerConfig, CircuitBreaker, FaultInjector, RetryPolicy};
+use benchpark_telemetry::TelemetrySink;
+
+/// The worker callback as the attempt loop sees it: one task, one attempt
+/// context, success or an error message.
+type Worker<'w, T, O> = dyn FnMut(&Task<T>, &TaskContext) -> Result<O, String> + 'w;
+
+/// Terminal state of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The worker function returned `Ok` (possibly after retries/requeues).
+    Success,
+    /// Every attempt failed, or the circuit breaker rejected the task.
+    Failed,
+    /// Never ran: a dependency failed fatally (or was itself skipped).
+    Skipped,
+}
+
+/// What the engine passes to the worker function for each attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskContext {
+    /// 1-based attempt number within the current run.
+    pub attempt: u32,
+    /// Total attempts the retry policy allows per run.
+    pub max_attempts: u32,
+    /// Virtual start time from the plan.
+    pub start: f64,
+    /// Virtual finish time from the plan.
+    pub finish: f64,
+}
+
+/// Outcome of one task.
+#[derive(Debug, Clone)]
+pub struct TaskReport<O> {
+    /// The task's key.
+    pub key: String,
+    /// Terminal state.
+    pub status: TaskStatus,
+    /// The worker's output when the task succeeded.
+    pub output: Option<O>,
+    /// The last error when the task failed.
+    pub error: Option<String>,
+    /// Attempts actually made (0 for skipped or breaker-rejected tasks).
+    pub attempts: u32,
+    /// Full re-runs taken under [`FailurePolicy::Requeue`].
+    pub requeues: u32,
+    /// Virtual start from the plan (meaningful for non-skipped tasks).
+    pub start: f64,
+    /// Virtual finish from the plan (meaningful for non-skipped tasks).
+    pub finish: f64,
+}
+
+/// The result of an engine run: one report per task, in graph insertion
+/// order, plus the plan's virtual wall-clock.
+#[derive(Debug, Clone)]
+pub struct EngineReport<O> {
+    /// Per-task outcomes, indexed like the graph's tasks.
+    pub tasks: Vec<TaskReport<O>>,
+    /// Virtual wall-clock of the plan.
+    pub makespan: f64,
+    /// Virtual worker slots the plan used.
+    pub workers: usize,
+}
+
+impl<O> EngineReport<O> {
+    /// The report of one task, by key.
+    pub fn task(&self, key: &str) -> Option<&TaskReport<O>> {
+        self.tasks.iter().find(|t| t.key == key)
+    }
+
+    /// How many tasks ended in `status`.
+    pub fn count(&self, status: TaskStatus) -> usize {
+        self.tasks.iter().filter(|t| t.status == status).count()
+    }
+
+    /// True when every task succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.tasks.iter().all(|t| t.status == TaskStatus::Success)
+    }
+}
+
+/// The executor: worker-pool sizing plus the engine-wide resilience and
+/// telemetry hooks applied around every task.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    workers: usize,
+    telemetry: TelemetrySink,
+    retry: RetryPolicy,
+    injector: Option<FaultInjector>,
+    breaker: Option<BreakerConfig>,
+    span_prefix: Option<String>,
+}
+
+impl Engine {
+    /// An engine with `workers` slots (clamped to at least one). The same
+    /// number sizes the virtual plan and, for [`Engine::run_pool`], the real
+    /// thread pool.
+    pub fn new(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            telemetry: TelemetrySink::noop(),
+            retry: RetryPolicy::new(1),
+            injector: None,
+            breaker: None,
+            span_prefix: None,
+        }
+    }
+
+    /// Routes engine telemetry (the `engine.run` span, task counters,
+    /// retry/requeue/fault counters) to `sink`.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Engine {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The engine-wide retry policy applied to tasks without a per-task
+    /// override. The default makes a single attempt.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Engine {
+        self.retry = policy;
+        self
+    }
+
+    /// Injects transient attempt failures. The injector's rolls are drawn
+    /// once, in task-insertion order, *before* execution starts — so the
+    /// fault pattern is a pure function of the graph and the seed, never of
+    /// worker count or thread timing.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Engine {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Adds a per-run circuit breaker: after the configured number of
+    /// consecutive task failures the breaker opens and subsequent tasks are
+    /// rejected (reported `Failed` without an attempt) until its virtual
+    /// cooldown half-opens it. Consulted by the deterministic serial drive
+    /// ([`Engine::run`]) only; [`Engine::run_pool`] ignores it because
+    /// gating on cross-thread completion order would break reproducibility.
+    pub fn with_breaker_config(mut self, config: BreakerConfig) -> Engine {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Emits one telemetry span per task, named `<prefix>.<key>`, carrying
+    /// the task's virtual duration. Serial drive only (spans are scoped to
+    /// the calling thread).
+    pub fn with_span_prefix(mut self, prefix: &str) -> Engine {
+        self.span_prefix = Some(prefix.to_string());
+        self
+    }
+
+    /// Worker slots this engine plans and executes with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Pre-draws every fault-injector roll in task-insertion order, so the
+    /// injected fault pattern cannot depend on execution order.
+    fn materialize_faults<T>(&self, graph: &TaskGraph<T>) -> Vec<Vec<bool>> {
+        graph
+            .tasks
+            .iter()
+            .map(|task| {
+                let Some(injector) = &self.injector else {
+                    return Vec::new();
+                };
+                let attempts = task.retry.as_ref().unwrap_or(&self.retry).max_attempts();
+                let runs = 1 + match task.policy {
+                    FailurePolicy::Requeue { max_requeues } => max_requeues,
+                    _ => 0,
+                };
+                (0..attempts.saturating_mul(runs))
+                    .map(|_| injector.should_fail())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Whether `task` must be skipped given its dependencies' statuses.
+    fn inherits_skip<T>(
+        graph: &TaskGraph<T>,
+        statuses: &[Option<TaskStatus>],
+        task: usize,
+    ) -> bool {
+        graph.deps[task].iter().any(|&dep| {
+            match statuses[dep].expect("dependency resolved before dependent") {
+                TaskStatus::Skipped => true,
+                TaskStatus::Failed => graph.tasks[dep].policy != FailurePolicy::AllowFailure,
+                TaskStatus::Success => false,
+            }
+        })
+    }
+
+    /// Runs the retry/requeue attempt loop for one task.
+    fn attempt<T, O>(
+        &self,
+        task: &Task<T>,
+        slot: (f64, f64),
+        rolls: &[bool],
+        worker: &mut Worker<'_, T, O>,
+    ) -> TaskReport<O> {
+        let policy = task.retry.as_ref().unwrap_or(&self.retry);
+        let max_requeues = match task.policy {
+            FailurePolicy::Requeue { max_requeues } => max_requeues,
+            _ => 0,
+        };
+        let (start, finish) = slot;
+        let mut roll_cursor = 0usize;
+        let mut attempts = 0u32;
+        let mut requeues = 0u32;
+        let mut last_error = String::new();
+        for run in 0..=max_requeues {
+            let outcome = policy.run(&self.telemetry, |attempt| {
+                let injected = rolls.get(roll_cursor).copied().unwrap_or(false);
+                roll_cursor += 1;
+                if injected {
+                    self.telemetry.incr("engine.faults.injected", 1);
+                    return Err("injected transient fault".to_string());
+                }
+                let ctx = TaskContext {
+                    attempt,
+                    max_attempts: policy.max_attempts(),
+                    start,
+                    finish,
+                };
+                worker(task, &ctx)
+            });
+            attempts += outcome.attempts;
+            match outcome.result {
+                Ok(output) => {
+                    return TaskReport {
+                        key: task.key.clone(),
+                        status: TaskStatus::Success,
+                        output: Some(output),
+                        error: None,
+                        attempts,
+                        requeues,
+                        start,
+                        finish,
+                    };
+                }
+                Err(error) => {
+                    last_error = error;
+                    if run < max_requeues {
+                        requeues += 1;
+                        self.telemetry.incr("engine.requeued", 1);
+                    }
+                }
+            }
+        }
+        TaskReport {
+            key: task.key.clone(),
+            status: TaskStatus::Failed,
+            output: None,
+            error: Some(last_error),
+            attempts,
+            requeues,
+            start,
+            finish,
+        }
+    }
+
+    fn finish_report<O>(&self, report: &EngineReport<O>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.incr(
+            "engine.tasks.success",
+            report.count(TaskStatus::Success) as u64,
+        );
+        self.telemetry.incr(
+            "engine.tasks.failed",
+            report.count(TaskStatus::Failed) as u64,
+        );
+        self.telemetry.incr(
+            "engine.tasks.skipped",
+            report.count(TaskStatus::Skipped) as u64,
+        );
+    }
+
+    /// Executes the graph on the calling thread, visiting tasks in the
+    /// plan's deterministic dispatch order. The worker may hold `&mut`
+    /// state (a CI executor, a batch scheduler); every resilience hook —
+    /// retry, fault injection, requeue, circuit breaker — applies. Returns
+    /// [`EngineError::Cycle`] (naming the cycle) for cyclic graphs.
+    pub fn run<T, O>(
+        &self,
+        graph: &TaskGraph<T>,
+        mut worker: impl FnMut(&Task<T>, &TaskContext) -> Result<O, String>,
+    ) -> Result<EngineReport<O>, EngineError> {
+        let schedule = graph.plan(self.workers)?;
+        let rolls = self.materialize_faults(graph);
+        let run_span = self.telemetry.span("engine.run");
+        run_span.set_virtual(schedule.makespan);
+
+        let mut breaker = self.breaker.map(CircuitBreaker::new);
+        let mut statuses: Vec<Option<TaskStatus>> = vec![None; graph.len()];
+        let mut reports: Vec<Option<TaskReport<O>>> = Vec::with_capacity(graph.len());
+        reports.resize_with(graph.len(), || None);
+
+        for &id in &schedule.dispatch {
+            let index = id.index();
+            let task = &graph.tasks[index];
+            let (start, finish) = schedule.slots[index];
+            if Self::inherits_skip(graph, &statuses, index) {
+                statuses[index] = Some(TaskStatus::Skipped);
+                reports[index] = Some(TaskReport {
+                    key: task.key.clone(),
+                    status: TaskStatus::Skipped,
+                    output: None,
+                    error: None,
+                    attempts: 0,
+                    requeues: 0,
+                    start,
+                    finish,
+                });
+                continue;
+            }
+            if let Some(breaker) = breaker.as_mut() {
+                if !breaker.allow(start) {
+                    self.telemetry.incr("engine.breaker.rejections", 1);
+                    statuses[index] = Some(TaskStatus::Failed);
+                    reports[index] = Some(TaskReport {
+                        key: task.key.clone(),
+                        status: TaskStatus::Failed,
+                        output: None,
+                        error: Some("circuit breaker open".to_string()),
+                        attempts: 0,
+                        requeues: 0,
+                        start,
+                        finish,
+                    });
+                    continue;
+                }
+            }
+            let task_span = self
+                .span_prefix
+                .as_ref()
+                .map(|prefix| self.telemetry.span(&format!("{prefix}.{}", task.key)));
+            let report = self.attempt(task, (start, finish), &rolls[index], &mut worker);
+            if let Some(span) = task_span {
+                span.set_virtual(task.duration);
+            }
+            if let Some(breaker) = breaker.as_mut() {
+                match report.status {
+                    TaskStatus::Success => breaker.record_success(),
+                    _ => breaker.record_failure(finish),
+                }
+            }
+            statuses[index] = Some(report.status);
+            reports[index] = Some(report);
+        }
+
+        let report = EngineReport {
+            tasks: reports
+                .into_iter()
+                .map(|r| r.expect("every task dispatched"))
+                .collect(),
+            makespan: schedule.makespan,
+            workers: schedule.workers,
+        };
+        self.finish_report(&report);
+        Ok(report)
+    }
+
+    /// Executes the graph on a real crossbeam worker pool consuming a ready
+    /// queue in dependency order. For a deterministic worker function the
+    /// report is byte-identical to [`Engine::run`]'s (modulo the breaker,
+    /// which only the serial drive consults): virtual times come from the
+    /// plan and fault rolls are pre-drawn, so nothing observable depends on
+    /// thread interleaving. Requires thread-safe side effects.
+    pub fn run_pool<T, O>(
+        &self,
+        graph: &TaskGraph<T>,
+        worker: impl Fn(&Task<T>, &TaskContext) -> Result<O, String> + Sync,
+    ) -> Result<EngineReport<O>, EngineError>
+    where
+        T: Sync,
+        O: Send,
+    {
+        let schedule = graph.plan(self.workers)?;
+        let rolls = self.materialize_faults(graph);
+        let run_span = self.telemetry.span("engine.run");
+        run_span.set_virtual(schedule.makespan);
+
+        let n = graph.len();
+        let dependents = graph.dependents();
+        let mut remaining: Vec<usize> = graph.deps.iter().map(Vec::len).collect();
+        let mut statuses: Vec<Option<TaskStatus>> = vec![None; n];
+        let mut reports: Vec<Option<TaskReport<O>>> = Vec::with_capacity(n);
+        reports.resize_with(n, || None);
+
+        use crossbeam::channel;
+        let (ready_tx, ready_rx) = channel::unbounded::<usize>();
+        let (done_tx, done_rx) = channel::unbounded::<(usize, TaskReport<O>)>();
+        for (index, &blockers) in remaining.iter().enumerate() {
+            if blockers == 0 {
+                ready_tx.send(index).expect("queue open");
+            }
+        }
+
+        let rolls = &rolls;
+        let schedule_ref = &schedule;
+        let worker = &worker;
+        crossbeam::scope(|s| {
+            for _ in 0..self.workers {
+                let ready_rx = ready_rx.clone();
+                let done_tx = done_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(index) = ready_rx.recv() {
+                        let task = &graph.tasks[index];
+                        let report = self.attempt(
+                            task,
+                            schedule_ref.slots[index],
+                            &rolls[index],
+                            &mut |t, c| worker(t, c),
+                        );
+                        if done_tx.send((index, report)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // coordinator: collect completions, skip-propagate, release
+            // dependents as their dependencies resolve
+            let mut resolved = 0usize;
+            while resolved < n {
+                let (index, report) = done_rx.recv().expect("workers alive");
+                statuses[index] = Some(report.status);
+                reports[index] = Some(report);
+                resolved += 1;
+                // release dependents; skipped tasks resolve locally and
+                // cascade without visiting a worker
+                let mut newly_resolved = vec![index];
+                while let Some(done) = newly_resolved.pop() {
+                    for &dependent in &dependents[done] {
+                        remaining[dependent] -= 1;
+                        if remaining[dependent] > 0 {
+                            continue;
+                        }
+                        if Self::inherits_skip(graph, &statuses, dependent) {
+                            let (start, finish) = schedule_ref.slots[dependent];
+                            statuses[dependent] = Some(TaskStatus::Skipped);
+                            reports[dependent] = Some(TaskReport {
+                                key: graph.tasks[dependent].key.clone(),
+                                status: TaskStatus::Skipped,
+                                output: None,
+                                error: None,
+                                attempts: 0,
+                                requeues: 0,
+                                start,
+                                finish,
+                            });
+                            resolved += 1;
+                            newly_resolved.push(dependent);
+                        } else {
+                            ready_tx.send(dependent).expect("queue open");
+                        }
+                    }
+                }
+            }
+            drop(ready_tx); // workers drain and exit
+        })
+        .expect("worker pool must not panic");
+
+        let report = EngineReport {
+            tasks: reports
+                .into_iter()
+                .map(|r| r.expect("every task resolved"))
+                .collect(),
+            makespan: schedule.makespan,
+            workers: schedule.workers,
+        };
+        self.finish_report(&report);
+        Ok(report)
+    }
+}

@@ -1,0 +1,258 @@
+//! Typed task graphs: nodes, dependency edges, validation.
+
+use benchpark_resilience::RetryPolicy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to a task inside one [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// The task's index in [`TaskGraph`] insertion order (also the order of
+    /// [`crate::EngineReport::tasks`]).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// How a task's failure propagates through the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Transitive dependents of a failed task never run; they are reported
+    /// [`crate::TaskStatus::Skipped`] (GitLab's default stage gating).
+    FailFast,
+    /// The failure is tolerated: dependents run as if the task had
+    /// succeeded (GitLab's `allow_failure: true`).
+    AllowFailure,
+    /// After the retry policy is exhausted the whole task is re-enqueued up
+    /// to `max_requeues` more times (the shape of a preempted batch job
+    /// restarting on surviving nodes); once requeues run out it fails fast.
+    Requeue {
+        /// Full re-runs allowed after the first retry-exhausted run.
+        max_requeues: u32,
+    },
+}
+
+/// One node of a task graph.
+#[derive(Debug, Clone)]
+pub struct Task<T> {
+    /// Unique key within the graph (names the task in reports and errors).
+    pub key: String,
+    /// Caller data carried to the worker function.
+    pub payload: T,
+    /// Virtual duration in seconds, used by the LPT list scheduler.
+    pub duration: f64,
+    /// Failure propagation for this task.
+    pub policy: FailurePolicy,
+    /// Per-task retry override; when `None` the engine-wide policy applies.
+    pub retry: Option<RetryPolicy>,
+}
+
+/// Errors building or validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Two tasks were added under the same key.
+    DuplicateKey(String),
+    /// An operation referenced a task the graph does not contain.
+    UnknownTask(String),
+    /// A task was declared to depend on itself.
+    SelfDependency(String),
+    /// The dependency edges contain a cycle; the path lists the keys in
+    /// order with the first repeated at the end (`a -> b -> a`).
+    Cycle {
+        /// The offending cycle, first node repeated at the end.
+        path: Vec<String>,
+    },
+    /// The executor was asked to run an empty worker pool.
+    NoWorkers,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DuplicateKey(key) => write!(f, "duplicate task key `{key}`"),
+            EngineError::UnknownTask(key) => write!(f, "unknown task `{key}`"),
+            EngineError::SelfDependency(key) => write!(f, "task `{key}` depends on itself"),
+            EngineError::Cycle { path } => {
+                write!(f, "dependency cycle: {}", path.join(" -> "))
+            }
+            EngineError::NoWorkers => write!(f, "engine needs at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A DAG of typed tasks with dependency edges.
+#[derive(Debug, Clone)]
+pub struct TaskGraph<T> {
+    pub(crate) tasks: Vec<Task<T>>,
+    /// `deps[i]` — indices task `i` depends on.
+    pub(crate) deps: Vec<Vec<usize>>,
+    by_key: BTreeMap<String, usize>,
+}
+
+impl<T> Default for TaskGraph<T> {
+    fn default() -> Self {
+        TaskGraph::new()
+    }
+}
+
+impl<T> TaskGraph<T> {
+    /// An empty graph.
+    pub fn new() -> TaskGraph<T> {
+        TaskGraph {
+            tasks: Vec::new(),
+            deps: Vec::new(),
+            by_key: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a task with a virtual `duration` (non-finite or negative
+    /// durations are clamped to zero). Defaults to [`FailurePolicy::FailFast`]
+    /// and the engine-wide retry policy.
+    pub fn add_task(
+        &mut self,
+        key: &str,
+        payload: T,
+        duration: f64,
+    ) -> Result<TaskId, EngineError> {
+        if self.by_key.contains_key(key) {
+            return Err(EngineError::DuplicateKey(key.to_string()));
+        }
+        let duration = if duration.is_finite() {
+            duration.max(0.0)
+        } else {
+            0.0
+        };
+        let id = self.tasks.len();
+        self.tasks.push(Task {
+            key: key.to_string(),
+            payload,
+            duration,
+            policy: FailurePolicy::FailFast,
+            retry: None,
+        });
+        self.deps.push(Vec::new());
+        self.by_key.insert(key.to_string(), id);
+        Ok(TaskId(id))
+    }
+
+    /// Sets the failure-propagation policy of a task.
+    pub fn set_policy(&mut self, id: TaskId, policy: FailurePolicy) {
+        self.tasks[id.0].policy = policy;
+    }
+
+    /// Overrides the engine-wide retry policy for one task.
+    pub fn set_retry(&mut self, id: TaskId, policy: RetryPolicy) {
+        self.tasks[id.0].retry = Some(policy);
+    }
+
+    /// Declares that `task` cannot start before `dep` finished. Duplicate
+    /// edges are ignored.
+    pub fn depends_on(&mut self, task: TaskId, dep: TaskId) -> Result<(), EngineError> {
+        if task.0 >= self.tasks.len() || dep.0 >= self.tasks.len() {
+            return Err(EngineError::UnknownTask(format!("#{}", task.0.max(dep.0))));
+        }
+        if task == dep {
+            return Err(EngineError::SelfDependency(self.tasks[task.0].key.clone()));
+        }
+        if !self.deps[task.0].contains(&dep.0) {
+            self.deps[task.0].push(dep.0);
+        }
+        Ok(())
+    }
+
+    /// Looks a task up by key.
+    pub fn id(&self, key: &str) -> Option<TaskId> {
+        self.by_key.get(key).map(|&i| TaskId(i))
+    }
+
+    /// The task behind a handle.
+    pub fn task(&self, id: TaskId) -> &Task<T> {
+        &self.tasks[id.0]
+    }
+
+    /// All tasks, in insertion order.
+    pub fn tasks(&self) -> &[Task<T>] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Sum of all task durations (the single-worker makespan).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Reverse edges: `dependents[i]` — indices that depend on task `i`.
+    pub(crate) fn dependents(&self) -> Vec<Vec<usize>> {
+        let mut dependents = vec![Vec::new(); self.tasks.len()];
+        for (task, deps) in self.deps.iter().enumerate() {
+            for &dep in deps {
+                dependents[dep].push(task);
+            }
+        }
+        dependents
+    }
+
+    /// Checks the graph is acyclic. On failure the error names the full
+    /// cycle path in dependency order, first node repeated at the end.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        // iterative DFS with an explicit stack so ~1k-node graphs cannot
+        // overflow the thread stack
+        const WHITE: u8 = 0; // unvisited
+        const GRAY: u8 = 1; // on the current DFS path
+        const BLACK: u8 = 2; // fully explored
+        let mut color = vec![WHITE; self.tasks.len()];
+        let mut path: Vec<usize> = Vec::new();
+        for root in 0..self.tasks.len() {
+            if color[root] != WHITE {
+                continue;
+            }
+            // (node, next dependency index to explore)
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = GRAY;
+            path.push(root);
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if let Some(&dep) = self.deps[node].get(*next) {
+                    *next += 1;
+                    match color[dep] {
+                        WHITE => {
+                            color[dep] = GRAY;
+                            path.push(dep);
+                            stack.push((dep, 0));
+                        }
+                        GRAY => {
+                            let start = path
+                                .iter()
+                                .position(|&n| n == dep)
+                                .expect("gray node is on the path");
+                            let mut cycle: Vec<String> = path[start..]
+                                .iter()
+                                .map(|&n| self.tasks[n].key.clone())
+                                .collect();
+                            cycle.push(self.tasks[dep].key.clone());
+                            return Err(EngineError::Cycle { path: cycle });
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[node] = BLACK;
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,67 @@
+//! `benchpark-engine` — the shared task-graph execution core.
+//!
+//! The paper's pipeline is a chain of dependency graphs: Spack's package DAG
+//! (§3.1), Ramble's experiment set (§3.2), and the GitLab CI job graph
+//! (§3.3, Figure 6). Before this crate existed each layer hand-rolled its
+//! own indegree/dependents bookkeeping; now all of them sit on one generic,
+//! deterministic executor:
+//!
+//! * [`TaskGraph`] — typed nodes with dependency edges, duplicate-key and
+//!   self-dependency checks, and cycle detection that names the full cycle
+//!   path (mirroring `ramble::expand`'s cycle-reporting contract).
+//! * [`Schedule`] / [`TaskGraph::plan`] — virtual-time LPT list scheduling
+//!   with `workers` virtual slots. Reports (install makespans, CI job
+//!   timings) are computed from this schedule, so they are reproducible
+//!   regardless of thread timing.
+//! * [`Engine`] — runs the side effects. [`Engine::run`] drives a single
+//!   caller thread through the deterministic dispatch order (for workers
+//!   that need `&mut` state, like the CI executor); [`Engine::run_pool`]
+//!   runs a real crossbeam worker pool over a ready queue (for thread-safe
+//!   side effects, like install-database registration or multi-system
+//!   experiment fan-out). Both produce byte-identical [`EngineReport`]s for
+//!   a deterministic worker function — regardless of pool size or thread
+//!   interleaving — because virtual times come from the plan and fault
+//!   injection is materialized per task before execution starts.
+//! * Per-node resilience hooks — a [`benchpark_resilience::RetryPolicy`]
+//!   (engine-wide default or per-task override), a seeded
+//!   [`benchpark_resilience::FaultInjector`] whose rolls are pre-drawn in
+//!   task order (so outcomes cannot depend on thread timing), and an
+//!   optional [`benchpark_resilience::CircuitBreaker`] consulted in the
+//!   serial drive.
+//! * Explicit failure propagation — [`FailurePolicy::FailFast`] skips
+//!   (transitive) dependents, [`FailurePolicy::AllowFailure`] lets them
+//!   run, and [`FailurePolicy::Requeue`] re-runs the whole task a bounded
+//!   number of times (the "requeue on survivors" shape the cluster
+//!   scheduler applies to preempted jobs).
+//!
+//! # Example
+//!
+//! ```
+//! use benchpark_engine::{Engine, TaskGraph};
+//!
+//! let mut graph = TaskGraph::new();
+//! let fetch = graph.add_task("fetch", (), 2.0).unwrap();
+//! let build = graph.add_task("build", (), 5.0).unwrap();
+//! let test = graph.add_task("test", (), 1.0).unwrap();
+//! graph.depends_on(build, fetch).unwrap();
+//! graph.depends_on(test, build).unwrap();
+//!
+//! let report = Engine::new(2)
+//!     .run(&graph, |task, _ctx| Ok::<_, String>(task.key.len()))
+//!     .unwrap();
+//! assert!(report.succeeded());
+//! assert_eq!(report.makespan, 8.0); // chain: fetch → build → test
+//! ```
+
+#![deny(missing_docs)]
+
+mod exec;
+mod graph;
+mod sched;
+
+pub use exec::{Engine, EngineReport, TaskContext, TaskReport, TaskStatus};
+pub use graph::{EngineError, FailurePolicy, Task, TaskGraph, TaskId};
+pub use sched::Schedule;
+
+#[cfg(test)]
+mod tests;

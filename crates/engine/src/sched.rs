@@ -1,0 +1,91 @@
+//! Deterministic virtual-time scheduling: LPT list scheduling over `workers`
+//! virtual slots.
+
+use crate::graph::{EngineError, TaskGraph, TaskId};
+
+/// A deterministic virtual-time schedule for one graph.
+///
+/// Produced by [`TaskGraph::plan`]: nodes become ready when all their
+/// dependencies finish; among ready nodes the longest job is placed first
+/// (LPT), ties broken by insertion order, on the earliest-free virtual
+/// worker. The schedule is a pure function of the graph and the worker
+/// count — thread timing never enters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Virtual worker slots planned for.
+    pub workers: usize,
+    /// Virtual `(start, finish)` per task, indexed like the graph's tasks.
+    pub slots: Vec<(f64, f64)>,
+    /// Virtual wall-clock: the latest finish time.
+    pub makespan: f64,
+    /// Placement order — a deterministic topological order used as the
+    /// dispatch sequence by the serial drive.
+    pub dispatch: Vec<TaskId>,
+}
+
+impl Schedule {
+    /// Virtual `(start, finish)` of one task.
+    pub fn slot(&self, id: TaskId) -> (f64, f64) {
+        self.slots[id.0]
+    }
+}
+
+impl<T> TaskGraph<T> {
+    /// Plans the graph onto `workers` virtual workers (clamped to at least
+    /// one). Validates the graph first; a cyclic graph returns
+    /// [`EngineError::Cycle`] naming the full cycle path.
+    pub fn plan(&self, workers: usize) -> Result<Schedule, EngineError> {
+        self.validate()?;
+        let workers = workers.max(1);
+        let n = self.tasks.len();
+        let dependents = self.dependents();
+        let mut remaining: Vec<usize> = self.deps.iter().map(Vec::len).collect();
+
+        let mut worker_free = vec![0.0f64; workers];
+        // earliest time a task's dependencies have all finished
+        let mut ready_at = vec![0.0f64; n];
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut slots = vec![(0.0f64, 0.0f64); n];
+        let mut dispatch = Vec::with_capacity(n);
+
+        while !ready.is_empty() {
+            // LPT: longest duration first; ties broken by insertion order
+            // for determinism
+            ready.sort_by(|&a, &b| {
+                self.tasks[b]
+                    .duration
+                    .total_cmp(&self.tasks[a].duration)
+                    .then_with(|| a.cmp(&b))
+            });
+            let task = ready.remove(0);
+            // earliest-free virtual worker
+            let (widx, free) = worker_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, t)| (i, *t))
+                .expect("workers >= 1");
+            let start = free.max(ready_at[task]);
+            let finish = start + self.tasks[task].duration;
+            worker_free[widx] = finish;
+            slots[task] = (start, finish);
+            dispatch.push(TaskId(task));
+
+            for &dependent in &dependents[task] {
+                remaining[dependent] -= 1;
+                ready_at[dependent] = ready_at[dependent].max(finish);
+                if remaining[dependent] == 0 {
+                    ready.push(dependent);
+                }
+            }
+        }
+
+        let makespan = slots.iter().map(|&(_, f)| f).fold(0.0, f64::max);
+        Ok(Schedule {
+            workers,
+            slots,
+            makespan,
+            dispatch,
+        })
+    }
+}

@@ -1,0 +1,461 @@
+//! Unit and property tests for the execution engine.
+
+use crate::{Engine, EngineError, EngineReport, FailurePolicy, TaskGraph, TaskStatus};
+use benchpark_resilience::{BreakerConfig, FaultInjector, RetryPolicy};
+use benchpark_telemetry::TelemetrySink;
+use proptest::prelude::*;
+use std::cell::Cell;
+
+/// One task report flattened for comparison: key, status, output, error,
+/// attempts, requeues, and (optionally zeroed) virtual start/finish.
+type Shape<O> = (
+    String,
+    TaskStatus,
+    Option<O>,
+    Option<String>,
+    u32,
+    u32,
+    f64,
+    f64,
+);
+
+/// Flattens a report into a comparable shape. `with_times` additionally
+/// compares the virtual slots (only meaningful for a fixed worker count —
+/// plan width changes slots by design).
+fn shape<O: Clone>(report: &EngineReport<O>, with_times: bool) -> Vec<Shape<O>> {
+    report
+        .tasks
+        .iter()
+        .map(|t| {
+            (
+                t.key.clone(),
+                t.status,
+                t.output.clone(),
+                t.error.clone(),
+                t.attempts,
+                t.requeues,
+                if with_times { t.start } else { 0.0 },
+                if with_times { t.finish } else { 0.0 },
+            )
+        })
+        .collect()
+}
+
+fn diamond() -> TaskGraph<u32> {
+    let mut graph = TaskGraph::new();
+    let a = graph.add_task("a", 1, 3.0).unwrap();
+    let b = graph.add_task("b", 2, 2.0).unwrap();
+    let c = graph.add_task("c", 3, 4.0).unwrap();
+    let d = graph.add_task("d", 4, 1.0).unwrap();
+    graph.depends_on(b, a).unwrap();
+    graph.depends_on(c, a).unwrap();
+    graph.depends_on(d, b).unwrap();
+    graph.depends_on(d, c).unwrap();
+    graph
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction and validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_key_and_self_dependency_are_rejected() {
+    let mut graph = TaskGraph::new();
+    let a = graph.add_task("a", (), 1.0).unwrap();
+    assert_eq!(
+        graph.add_task("a", (), 1.0),
+        Err(EngineError::DuplicateKey("a".to_string()))
+    );
+    assert_eq!(
+        graph.depends_on(a, a),
+        Err(EngineError::SelfDependency("a".to_string()))
+    );
+}
+
+#[test]
+fn cycle_error_names_the_full_path() {
+    let mut graph = TaskGraph::new();
+    let a = graph.add_task("a", (), 1.0).unwrap();
+    let b = graph.add_task("b", (), 1.0).unwrap();
+    let c = graph.add_task("c", (), 1.0).unwrap();
+    graph.depends_on(a, b).unwrap();
+    graph.depends_on(b, c).unwrap();
+    graph.depends_on(c, a).unwrap();
+    let err = graph.validate().unwrap_err();
+    match &err {
+        EngineError::Cycle { path } => {
+            assert_eq!(path.first(), path.last(), "cycle closes on itself");
+            assert_eq!(path.len(), 4, "three nodes plus the repeated head");
+            for key in ["a", "b", "c"] {
+                assert!(
+                    path.contains(&key.to_string()),
+                    "{key} missing from {path:?}"
+                );
+            }
+        }
+        other => panic!("expected cycle, got {other:?}"),
+    }
+    let rendered = err.to_string();
+    assert!(
+        rendered.starts_with("dependency cycle: ") && rendered.contains(" -> "),
+        "human-readable path, got `{rendered}`"
+    );
+    // execution surfaces the same error
+    let exec_err = Engine::new(2)
+        .run(&graph, |_, _| Ok::<_, String>(()))
+        .unwrap_err();
+    assert_eq!(exec_err, err);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_worker_makespan_is_total_work() {
+    let graph = diamond();
+    let schedule = graph.plan(1).unwrap();
+    assert_eq!(schedule.makespan, graph.total_work());
+}
+
+#[test]
+fn plan_respects_dependencies_and_is_deterministic() {
+    let graph = diamond();
+    for workers in [1, 2, 4, 8] {
+        let schedule = graph.plan(workers).unwrap();
+        for (task, deps) in (0..graph.len()).map(|i| (i, &graph.tasks[i])) {
+            let _ = deps;
+            for &dep in &graph.deps[task] {
+                assert!(
+                    schedule.slots[dep].1 <= schedule.slots[task].0,
+                    "task must not start before its dependency finishes"
+                );
+            }
+        }
+        assert_eq!(
+            schedule,
+            graph.plan(workers).unwrap(),
+            "plan is a pure function"
+        );
+    }
+    // diamond critical path: a(3) -> c(4) -> d(1)
+    assert_eq!(graph.plan(2).unwrap().makespan, 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Execution: serial drive
+// ---------------------------------------------------------------------------
+
+#[test]
+fn diamond_runs_every_task_and_reports_in_insertion_order() {
+    let graph = diamond();
+    let report = Engine::new(2)
+        .run(&graph, |task, ctx| {
+            assert_eq!(ctx.attempt, 1);
+            assert!(
+                ctx.finish > ctx.start || graph.task(graph.id(&task.key).unwrap()).duration == 0.0
+            );
+            Ok::<_, String>(task.payload * 10)
+        })
+        .unwrap();
+    assert!(report.succeeded());
+    let keys: Vec<&str> = report.tasks.iter().map(|t| t.key.as_str()).collect();
+    assert_eq!(keys, ["a", "b", "c", "d"]);
+    assert_eq!(report.task("c").unwrap().output, Some(30));
+    assert_eq!(report.makespan, 8.0);
+}
+
+#[test]
+fn failfast_failure_skips_transitive_dependents_only() {
+    let mut graph = TaskGraph::new();
+    let a = graph.add_task("a", (), 1.0).unwrap();
+    let b = graph.add_task("b", (), 1.0).unwrap();
+    let c = graph.add_task("c", (), 1.0).unwrap();
+    graph.add_task("d", (), 1.0).unwrap();
+    graph.depends_on(b, a).unwrap();
+    graph.depends_on(c, b).unwrap();
+    let sink = TelemetrySink::recording();
+    let report = Engine::new(4)
+        .with_telemetry(sink.clone())
+        .run(&graph, |task, _| {
+            if task.key == "a" {
+                Err("boom".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+    let _ = (a, b, c);
+    assert_eq!(report.task("a").unwrap().status, TaskStatus::Failed);
+    assert_eq!(report.task("a").unwrap().error.as_deref(), Some("boom"));
+    assert_eq!(report.task("b").unwrap().status, TaskStatus::Skipped);
+    assert_eq!(
+        report.task("c").unwrap().status,
+        TaskStatus::Skipped,
+        "skips cascade"
+    );
+    assert_eq!(
+        report.task("d").unwrap().status,
+        TaskStatus::Success,
+        "independent task unaffected"
+    );
+    let telemetry = sink.report().unwrap();
+    assert_eq!(telemetry.counter("engine.tasks.failed"), 1);
+    assert_eq!(telemetry.counter("engine.tasks.skipped"), 2);
+    assert_eq!(telemetry.counter("engine.tasks.success"), 1);
+}
+
+#[test]
+fn allow_failure_lets_dependents_run() {
+    let mut graph = TaskGraph::new();
+    let a = graph.add_task("lint", (), 1.0).unwrap();
+    let b = graph.add_task("deploy", (), 1.0).unwrap();
+    graph.set_policy(a, FailurePolicy::AllowFailure);
+    graph.depends_on(b, a).unwrap();
+    let report = Engine::new(1)
+        .run(&graph, |task, _| {
+            if task.key == "lint" {
+                Err("style nit".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+    assert_eq!(report.task("lint").unwrap().status, TaskStatus::Failed);
+    assert_eq!(report.task("deploy").unwrap().status, TaskStatus::Success);
+}
+
+#[test]
+fn requeue_reruns_the_whole_task_after_retry_exhaustion() {
+    let mut graph = TaskGraph::new();
+    let flaky = graph.add_task("flaky", (), 1.0).unwrap();
+    graph.set_policy(flaky, FailurePolicy::Requeue { max_requeues: 2 });
+    let calls = Cell::new(0u32);
+    let sink = TelemetrySink::recording();
+    let report = Engine::new(1)
+        .with_telemetry(sink.clone())
+        .with_retry_policy(RetryPolicy::new(2))
+        .run(&graph, |_, _| {
+            calls.set(calls.get() + 1);
+            if calls.get() < 4 {
+                Err(format!("failure #{}", calls.get()))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+    // run 1: attempts 1-2 fail; requeue; run 2: attempt 3 fails, 4 succeeds
+    let task = report.task("flaky").unwrap();
+    assert_eq!(task.status, TaskStatus::Success);
+    assert_eq!(task.attempts, 4);
+    assert_eq!(task.requeues, 1);
+    assert_eq!(sink.report().unwrap().counter("engine.requeued"), 1);
+}
+
+#[test]
+fn per_task_retry_override_beats_engine_default() {
+    let mut graph = TaskGraph::new();
+    let a = graph.add_task("stubborn", (), 1.0).unwrap();
+    graph.set_retry(a, RetryPolicy::new(3));
+    let report = Engine::new(1)
+        .run(&graph, |_, ctx| {
+            assert_eq!(ctx.max_attempts, 3);
+            Err::<(), _>("always".to_string())
+        })
+        .unwrap();
+    assert_eq!(report.task("stubborn").unwrap().attempts, 3);
+    assert_eq!(report.task("stubborn").unwrap().status, TaskStatus::Failed);
+}
+
+#[test]
+fn breaker_rejects_tasks_after_consecutive_failures() {
+    let mut graph = TaskGraph::new();
+    for key in ["a", "b", "c", "d"] {
+        graph.add_task(key, (), 1.0).unwrap();
+    }
+    let sink = TelemetrySink::recording();
+    let report = Engine::new(1)
+        .with_telemetry(sink.clone())
+        .with_breaker_config(BreakerConfig {
+            failure_threshold: 2,
+            reset_after_s: 60.0,
+        })
+        .run(&graph, |task, _| {
+            if task.key == "a" || task.key == "b" {
+                Err("down".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+    assert_eq!(report.task("a").unwrap().status, TaskStatus::Failed);
+    assert_eq!(report.task("b").unwrap().status, TaskStatus::Failed);
+    for key in ["c", "d"] {
+        let task = report.task(key).unwrap();
+        assert_eq!(
+            task.status,
+            TaskStatus::Failed,
+            "{key} rejected by open breaker"
+        );
+        assert_eq!(task.error.as_deref(), Some("circuit breaker open"));
+        assert_eq!(task.attempts, 0, "{key} never reached the worker");
+    }
+    assert_eq!(
+        sink.report().unwrap().counter("engine.breaker.rejections"),
+        2
+    );
+}
+
+#[test]
+fn empty_graph_runs_to_an_empty_report() {
+    let graph: TaskGraph<()> = TaskGraph::new();
+    let report = Engine::new(4)
+        .run(&graph, |_, _| Ok::<_, String>(()))
+        .unwrap();
+    assert!(report.tasks.is_empty());
+    assert_eq!(report.makespan, 0.0);
+    let pooled = Engine::new(4)
+        .run_pool(&graph, |_, _| Ok::<_, String>(()))
+        .unwrap();
+    assert!(pooled.tasks.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pool equivalence and fault-injection determinism
+// ---------------------------------------------------------------------------
+
+/// A worker whose outcome is a pure function of the task.
+fn pure_worker(key: &str, payload: u32) -> Result<u32, String> {
+    let _ = key;
+    if payload.is_multiple_of(5) {
+        Err(format!("payload {payload} rejected"))
+    } else {
+        Ok(payload * 2)
+    }
+}
+
+#[test]
+fn pool_report_is_byte_identical_to_serial_report() {
+    let mut graph = TaskGraph::new();
+    let mut ids = Vec::new();
+    for i in 0..12u32 {
+        let id = graph
+            .add_task(&format!("t{i}"), i, ((i * 7 + 3) % 11) as f64)
+            .unwrap();
+        if i % 3 == 0 {
+            graph.set_policy(id, FailurePolicy::AllowFailure);
+        }
+        ids.push(id);
+    }
+    for i in 2..12usize {
+        graph.depends_on(ids[i], ids[i / 2]).unwrap();
+    }
+    for workers in [1, 2, 4, 8] {
+        let serial = Engine::new(workers)
+            .run(&graph, |t, _| pure_worker(&t.key, t.payload))
+            .unwrap();
+        let pooled = Engine::new(workers)
+            .run_pool(&graph, |t, _| pure_worker(&t.key, t.payload))
+            .unwrap();
+        assert_eq!(
+            shape(&serial, true),
+            shape(&pooled, true),
+            "serial and pool disagree at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn fault_injection_is_identical_across_worker_counts_and_modes() {
+    let mut graph = TaskGraph::new();
+    let mut ids = Vec::new();
+    for i in 0..10u32 {
+        let id = graph.add_task(&format!("t{i}"), i, 1.0 + i as f64).unwrap();
+        ids.push(id);
+    }
+    for i in 1..10usize {
+        graph.depends_on(ids[i], ids[i - 1]).unwrap();
+        if i >= 3 {
+            graph.depends_on(ids[i], ids[i - 3]).unwrap();
+        }
+    }
+    let engine = |workers| {
+        Engine::new(workers)
+            .with_retry_policy(RetryPolicy::new(3))
+            .with_fault_injector(FaultInjector::new(0.4, 2023).with_budget(8))
+    };
+    let baseline = shape(
+        &engine(1)
+            .run(&graph, |t, _| Ok::<_, String>(t.payload))
+            .unwrap(),
+        false,
+    );
+    for workers in [1, 2, 4, 8] {
+        let serial = engine(workers)
+            .run(&graph, |t, _| Ok::<_, String>(t.payload))
+            .unwrap();
+        let pooled = engine(workers)
+            .run_pool(&graph, |t, _| Ok::<_, String>(t.payload))
+            .unwrap();
+        assert_eq!(
+            shape(&serial, false),
+            baseline,
+            "serial @ {workers} workers drifted"
+        );
+        assert_eq!(
+            shape(&pooled, false),
+            baseline,
+            "pool @ {workers} workers drifted"
+        );
+        assert_eq!(
+            shape(&serial, true),
+            shape(&pooled, true),
+            "pool must match serial exactly at {workers} workers"
+        );
+    }
+}
+
+proptest! {
+    /// On random DAGs, task outcomes (status, output, error, attempts) are
+    /// identical for 1, 2, 4, and 8 workers, in both serial and pool mode;
+    /// the plan itself is deterministic per worker count; and one worker
+    /// serializes to exactly the total work.
+    #[test]
+    fn random_dags_execute_identically_for_any_worker_count(
+        n in 2usize..18,
+        edges in proptest::collection::vec((0usize..32, 0usize..32), 0..48),
+        durations in proptest::collection::vec(0u8..12, 18),
+    ) {
+        let mut graph = TaskGraph::new();
+        let mut ids = Vec::new();
+        for (i, &duration) in durations.iter().enumerate().take(n) {
+            ids.push(graph.add_task(&format!("t{i}"), i as u32, duration as f64).unwrap());
+        }
+        // orient every edge from a higher to a lower index: acyclic by
+        // construction
+        for &(a, b) in &edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                graph.depends_on(ids[a.max(b)], ids[a.min(b)]).unwrap();
+            }
+        }
+        let worker = |t: &crate::Task<u32>| {
+            if t.payload.is_multiple_of(5) {
+                Err("unlucky".to_string())
+            } else {
+                Ok(t.payload)
+            }
+        };
+
+        let baseline = Engine::new(1).run(&graph, |t, _| worker(t)).unwrap();
+        prop_assert!((baseline.makespan - graph.total_work()).abs() < 1e-9);
+        for workers in [1usize, 2, 4, 8] {
+            let serial = Engine::new(workers).run(&graph, |t, _| worker(t)).unwrap();
+            let again = Engine::new(workers).run(&graph, |t, _| worker(t)).unwrap();
+            let pooled = Engine::new(workers).run_pool(&graph, |t, _| worker(t)).unwrap();
+            prop_assert_eq!(shape(&serial, true), shape(&again, true));
+            prop_assert_eq!(shape(&serial, true), shape(&pooled, true));
+            prop_assert_eq!(shape(&serial, false), shape(&baseline, false));
+        }
+    }
+}

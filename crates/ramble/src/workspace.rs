@@ -9,6 +9,7 @@ use crate::modifiers::Modifier;
 use crate::rconfig::RambleConfig;
 use crate::template::{render_template, DEFAULT_TEMPLATE};
 use benchpark_concretizer::SiteConfig;
+use benchpark_engine::{Engine, TaskGraph};
 use benchpark_pkg::{AppRepo, Repo};
 use benchpark_resilience::RetryPolicy;
 use benchpark_spack::{BinaryCache, Environment, InstallOptions, InstallReport, Installer};
@@ -354,22 +355,77 @@ impl Workspace {
         }
         let _run_span = self.telemetry.span("workspace.run");
         let experiments = self.experiments.clone();
-        let mut handles = Vec::with_capacity(experiments.len());
-        for exp in &experiments {
-            let script = self
-                .scripts
-                .get(&exp.name)
-                .expect("setup rendered every script")
-                .clone();
-            handles.push(submit(exp, &script));
+        let scripts: Vec<String> = experiments
+            .iter()
+            .map(|exp| {
+                self.scripts
+                    .get(&exp.name)
+                    .expect("setup rendered every script")
+                    .clone()
+            })
+            .collect();
+
+        // phase markers for the engine's task payloads
+        enum Step {
+            Submit(usize),
+            Drain,
+            Collect(usize),
         }
-        drain();
-        for (exp, handle) in experiments.iter().zip(handles) {
-            let output = match handle {
-                Ok(handle) => collect(exp, handle),
-                Err(rejected) => rejected,
-            };
-            self.record_output(exp, output)?;
+
+        // submit → drain → collect as an explicit task graph: every submit
+        // precedes the single drain, every collect follows it. Equal
+        // durations make the engine's insertion-order tie-break dispatch
+        // submits in declaration order, preserving cluster job-id assignment.
+        let mut graph = TaskGraph::new();
+        let mut submits = Vec::with_capacity(experiments.len());
+        for (i, exp) in experiments.iter().enumerate() {
+            submits.push(
+                graph
+                    .add_task(&format!("submit:{}", exp.name), Step::Submit(i), 1.0)
+                    .map_err(|e| RambleError::Phase(e.to_string()))?,
+            );
+        }
+        let drain_task = graph
+            .add_task("drain", Step::Drain, 1.0)
+            .expect("unique key");
+        for &submitted in &submits {
+            graph
+                .depends_on(drain_task, submitted)
+                .expect("distinct tasks");
+        }
+        for (i, exp) in experiments.iter().enumerate() {
+            let collect_task = graph
+                .add_task(&format!("collect:{}", exp.name), Step::Collect(i), 1.0)
+                .map_err(|e| RambleError::Phase(e.to_string()))?;
+            graph
+                .depends_on(collect_task, drain_task)
+                .expect("distinct tasks");
+        }
+
+        let mut handles: Vec<Option<Result<H, RunOutput>>> =
+            (0..experiments.len()).map(|_| None).collect();
+        let mut collected: Vec<Option<RunOutput>> = (0..experiments.len()).map(|_| None).collect();
+        let mut drain = Some(drain);
+        Engine::new(experiments.len().max(1))
+            .with_telemetry(self.telemetry.clone())
+            .run(&graph, |task, _ctx| {
+                match task.payload {
+                    Step::Submit(i) => handles[i] = Some(submit(&experiments[i], &scripts[i])),
+                    Step::Drain => (drain.take().expect("drain runs once"))(),
+                    Step::Collect(i) => {
+                        let output = match handles[i].take().expect("submit preceded collect") {
+                            Ok(handle) => collect(&experiments[i], handle),
+                            Err(rejected) => rejected,
+                        };
+                        collected[i] = Some(output);
+                    }
+                }
+                Ok::<(), String>(())
+            })
+            .expect("batched run graph is acyclic and infallible");
+
+        for (exp, output) in experiments.iter().zip(collected.iter_mut()) {
+            self.record_output(exp, output.take().expect("collect task ran"))?;
         }
         Ok(())
     }

@@ -2,15 +2,17 @@
 //! or binary cache (paper §3.1, component 4).
 //!
 //! Build *durations* are simulated from each recipe's cost model (compiling
-//! real compilers is out of scope), but the execution machinery is real: a
-//! crossbeam worker pool consumes a ready-queue in dependency order and
-//! mutates the shared install database and binary cache concurrently.
-//! Virtual wall-clock time is computed by deterministic list scheduling with
-//! `jobs` workers, so reports are reproducible regardless of thread timing.
+//! real compilers is out of scope), but the execution machinery is real: the
+//! shared [`benchpark_engine`] executor runs a crossbeam worker pool over the
+//! package DAG in dependency order and mutates the shared install database
+//! and binary cache concurrently. Virtual wall-clock time comes from the
+//! engine's deterministic LPT plan with `jobs` workers, so reports are
+//! reproducible regardless of thread timing.
 
 use crate::cache::{BinaryCache, CacheEntry};
 use crate::db::{InstallDatabase, InstalledRecord};
 use benchpark_concretizer::{ConcreteSpec, Origin};
+use benchpark_engine::{Engine, TaskGraph};
 use benchpark_pkg::Repo;
 use benchpark_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use benchpark_telemetry::TelemetrySink;
@@ -197,24 +199,63 @@ impl<'a> Installer<'a> {
             actions.insert(node.hash.clone(), (action, seconds));
         }
 
-        // ---- virtual schedule: list scheduling with `jobs` workers -----------
-        let schedule = list_schedule(dag, &actions, opts.jobs.max(1));
-        let makespan = schedule
-            .values()
-            .map(|(_, finish)| *finish)
-            .fold(0.0, f64::max);
+        // ---- task graph: one node per package, edges from the DAG ------------
+        // tasks are added in `dag.nodes` key order, so the engine's
+        // insertion-order LPT tie-break reproduces the old key-order one
+        let mut graph = TaskGraph::new();
+        for (key, node) in &dag.nodes {
+            let (_, seconds) = actions[&node.hash];
+            graph
+                .add_task(key, node, seconds)
+                .expect("concrete node keys are unique");
+        }
+        for (key, node) in &dag.nodes {
+            let task = graph.id(key).expect("just added");
+            for dep in node.deps.values() {
+                let dep = graph.id(dep).expect("dependency is a DAG node");
+                graph.depends_on(task, dep).expect("distinct keys");
+            }
+        }
         drop(plan_span);
 
-        // ---- real parallel execution: worker pool over the ready queue -------
+        // ---- real parallel execution: engine worker pool over the DAG --------
         let execute_span = self.telemetry.span("install.execute");
-        let newly = self.execute_parallel(dag, &actions, &schedule, opts);
+        let report = Engine::new(opts.jobs.max(1))
+            .with_telemetry(self.telemetry.clone())
+            .run_pool(&graph, |task, ctx| {
+                let node = task.payload;
+                let (action, _) = actions[&node.hash];
+                Ok::<bool, String>(self.install_node(
+                    dag,
+                    node,
+                    task.key == dag.root,
+                    action,
+                    ctx.finish,
+                    opts,
+                ))
+            })
+            .expect("concretizer output is acyclic");
+        let makespan = report.makespan;
+        let newly = report
+            .tasks
+            .iter()
+            .filter(|t| t.output == Some(true))
+            .count();
         drop(execute_span);
+
+        // report slots by hash: graph tasks and report tasks share one order
+        let slots: BTreeMap<&str, (f64, f64)> = graph
+            .tasks()
+            .iter()
+            .zip(report.tasks.iter())
+            .map(|(task, rep)| (task.payload.hash.as_str(), (rep.start, rep.finish)))
+            .collect();
 
         let mut results: Vec<PackageResult> = order
             .iter()
             .map(|node| {
                 let (action, seconds) = actions[&node.hash];
-                let (start, finish) = schedule[&node.hash];
+                let (start, finish) = slots[node.hash.as_str()];
                 PackageResult {
                     name: node.spec.name.clone().unwrap_or_default(),
                     hash: node.hash.clone(),
@@ -297,178 +338,53 @@ impl<'a> Installer<'a> {
         }
     }
 
-    /// Runs the side effects on a crossbeam worker pool, honoring dependency
-    /// order via a ready queue. Returns the count of new database records.
-    fn execute_parallel(
+    /// Runs one node's install side effects (database registration, cache
+    /// push) from an engine worker. Thread-safe: the database and cache are
+    /// internally synchronized. Returns whether a new record was registered.
+    fn install_node(
         &self,
         dag: &ConcreteSpec,
-        actions: &BTreeMap<String, (Action, f64)>,
-        schedule: &BTreeMap<String, (f64, f64)>,
+        node: &benchpark_concretizer::ConcreteNode,
+        explicit: bool,
+        action: Action,
+        finish: f64,
         opts: &InstallOptions,
-    ) -> usize {
-        use crossbeam::channel;
-        use std::sync::atomic::{AtomicUsize, Ordering};
-
-        // reverse edges + indegrees (within this DAG, keyed by node key)
-        let mut indegree: BTreeMap<&str, usize> = BTreeMap::new();
-        let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-        for (key, node) in &dag.nodes {
-            indegree.entry(key).or_insert(0);
-            for dep in node.deps.values() {
-                *indegree.entry(key).or_insert(0) += 1;
-                dependents.entry(dep).or_default().push(key);
-            }
+    ) -> bool {
+        if action == Action::AlreadyInstalled {
+            return false;
         }
-
-        let (ready_tx, ready_rx) = channel::unbounded::<&str>();
-        let (done_tx, done_rx) = channel::unbounded::<&str>();
-        for (key, deg) in &indegree {
-            if *deg == 0 {
-                ready_tx.send(key).expect("queue open");
-            }
-        }
-
-        let new_count = AtomicUsize::new(0);
-        let total = dag.nodes.len();
-        crossbeam::scope(|s| {
-            for _ in 0..opts.jobs.max(1) {
-                let ready_rx = ready_rx.clone();
-                let done_tx = done_tx.clone();
-                let new_count = &new_count;
-                s.spawn(move |_| {
-                    while let Ok(key) = ready_rx.recv() {
-                        let node = &dag.nodes[key];
-                        let (action, _) = actions[&node.hash];
-                        let (_, finish) = schedule[&node.hash];
-                        match action {
-                            Action::AlreadyInstalled => {}
-                            _ => {
-                                let prefix = match &node.origin {
-                                    Origin::External { prefix } => prefix.clone(),
-                                    _ => InstallDatabase::prefix_for(&opts.install_tree, node),
-                                };
-                                let registered = self.db.register(InstalledRecord {
-                                    hash: node.hash.clone(),
-                                    spec_short: node.spec.short(),
-                                    name: node.spec.name.clone().unwrap_or_default(),
-                                    prefix,
-                                    origin: node.origin.clone(),
-                                    installed_at: finish,
-                                    explicit: key == dag.root,
-                                    deps: node
-                                        .deps
-                                        .values()
-                                        .map(|dep_key| dag.nodes[dep_key].hash.clone())
-                                        .collect(),
-                                });
-                                if registered {
-                                    new_count.fetch_add(1, Ordering::Relaxed);
-                                }
-                                if action == Action::Build && opts.push_to_cache {
-                                    if let Some(cache) = &self.cache {
-                                        let cost = self
-                                            .repo
-                                            .get(node.spec.name.as_deref().unwrap_or(""))
-                                            .map(|p| p.build_cost)
-                                            .unwrap_or(10.0);
-                                        cache.push(CacheEntry {
-                                            hash: node.hash.clone(),
-                                            spec_short: node.spec.short(),
-                                            size_bytes: (cost * BYTES_PER_BUILD_SECOND as f64)
-                                                as u64,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                        done_tx.send(key).expect("done channel open");
-                    }
+        let prefix = match &node.origin {
+            Origin::External { prefix } => prefix.clone(),
+            _ => InstallDatabase::prefix_for(&opts.install_tree, node),
+        };
+        let registered = self.db.register(InstalledRecord {
+            hash: node.hash.clone(),
+            spec_short: node.spec.short(),
+            name: node.spec.name.clone().unwrap_or_default(),
+            prefix,
+            origin: node.origin.clone(),
+            installed_at: finish,
+            explicit,
+            deps: node
+                .deps
+                .values()
+                .map(|dep_key| dag.nodes[dep_key].hash.clone())
+                .collect(),
+        });
+        if action == Action::Build && opts.push_to_cache {
+            if let Some(cache) = &self.cache {
+                let cost = self
+                    .repo
+                    .get(node.spec.name.as_deref().unwrap_or(""))
+                    .map(|p| p.build_cost)
+                    .unwrap_or(10.0);
+                cache.push(CacheEntry {
+                    hash: node.hash.clone(),
+                    spec_short: node.spec.short(),
+                    size_bytes: (cost * BYTES_PER_BUILD_SECOND as f64) as u64,
                 });
             }
-            drop(done_tx);
-
-            // coordinator: release dependents as their deps complete
-            let mut completed = 0usize;
-            while completed < total {
-                let key = done_rx.recv().expect("workers alive");
-                completed += 1;
-                for dependent in dependents.get(key).into_iter().flatten() {
-                    let deg = indegree.get_mut(dependent).expect("known node");
-                    *deg -= 1;
-                    if *deg == 0 {
-                        ready_tx.send(dependent).expect("queue open");
-                    }
-                }
-            }
-            drop(ready_tx); // workers drain and exit
-        })
-        .expect("worker pool must not panic");
-
-        new_count.into_inner()
-    }
-}
-
-/// Deterministic list scheduling: nodes become ready when all dependencies
-/// finish; among ready nodes the longest job is placed first (LPT) on the
-/// earliest-free worker. Returns virtual `(start, finish)` per node hash.
-fn list_schedule(
-    dag: &ConcreteSpec,
-    actions: &BTreeMap<String, (Action, f64)>,
-    jobs: usize,
-) -> BTreeMap<String, (f64, f64)> {
-    let mut remaining_deps: BTreeMap<&str, usize> = BTreeMap::new();
-    let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-    for (key, node) in &dag.nodes {
-        remaining_deps.entry(key).or_insert(0);
-        for dep in node.deps.values() {
-            *remaining_deps.entry(key).or_insert(0) += 1;
-            dependents.entry(dep).or_default().push(key);
         }
+        registered
     }
-
-    let mut worker_free = vec![0.0f64; jobs];
-    // earliest time a node's dependencies are all finished
-    let mut ready_at: BTreeMap<&str, f64> = BTreeMap::new();
-    let mut ready: Vec<&str> = remaining_deps
-        .iter()
-        .filter(|(_, d)| **d == 0)
-        .map(|(k, _)| *k)
-        .collect();
-    for k in &ready {
-        ready_at.insert(k, 0.0);
-    }
-    let mut schedule: BTreeMap<String, (f64, f64)> = BTreeMap::new();
-
-    while !ready.is_empty() {
-        // LPT: longest duration first; ties broken by key for determinism
-        ready.sort_by(|a, b| {
-            let da = actions[&dag.nodes[*a].hash].1;
-            let db = actions[&dag.nodes[*b].hash].1;
-            db.total_cmp(&da).then_with(|| a.cmp(b))
-        });
-        let key = ready.remove(0);
-        let duration = actions[&dag.nodes[key].hash].1;
-        // earliest-free worker
-        let (widx, free) = worker_free
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, t)| (i, *t))
-            .expect("jobs >= 1");
-        let start = free.max(ready_at[key]);
-        let finish = start + duration;
-        worker_free[widx] = finish;
-        schedule.insert(dag.nodes[key].hash.clone(), (start, finish));
-
-        for dependent in dependents.get(key).into_iter().flatten() {
-            let deg = remaining_deps.get_mut(dependent).expect("known node");
-            *deg -= 1;
-            let entry = ready_at.entry(dependent).or_insert(0.0);
-            *entry = entry.max(finish);
-            if *deg == 0 {
-                ready.push(dependent);
-            }
-        }
-    }
-    schedule
 }

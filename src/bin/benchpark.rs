@@ -10,7 +10,7 @@
 //! benchpark setup <bench>/<variant> <system> <dir>   # steps 1–7
 //! benchpark run   <bench>/<variant> <system> <dir>   # steps 1–9 + results
 //! benchpark fig14 [linear|tree|sag]      # the Figure 14 scaling study
-//! benchpark trace <bench>/<variant> <system> <dir> [--faults]  # run + telemetry report
+//! benchpark trace <bench>/<variant> <system> <dir> [--faults] [--jobs N]  # run + telemetry report
 //! ```
 
 use benchpark::cluster::BcastAlgorithm;
@@ -60,7 +60,12 @@ const USAGE: &str = "usage:
   benchpark setup <benchmark>/<variant> <system> <workspace_dir>
   benchpark run   <benchmark>/<variant> <system> <workspace_dir>
   benchpark fig14 [linear|tree|sag]
-  benchpark trace <benchmark>/<variant> <system> <workspace_dir> [--faults]";
+  benchpark trace <benchmark>/<variant> <system> <workspace_dir> [--faults] [--jobs N]
+
+options:
+  --faults   (trace) strike the run with a seeded transient-fault plan
+  --jobs N   (trace) number of execution-engine workers for package installs
+             (default 4; outcomes are byte-identical for any N >= 1)";
 
 fn cmd_list(what: Option<&str>) -> Result<(), String> {
     match what {
@@ -137,15 +142,34 @@ fn cmd_workspace(args: &[String], run: bool) -> Result<(), String> {
 /// `--faults`, a seeded transient-fault plan (flaky binary-cache fetches
 /// plus one mid-run node failure) strikes the pipeline; the resilience
 /// counters (`retry.attempts`, `cache.breaker.trips`, `sched.requeued`)
-/// appear in the report.
+/// appear in the report. `--jobs N` sets the execution-engine worker
+/// count for package installs; the engine guarantees the reports are
+/// byte-identical for any `N`, so this only changes wall-clock behaviour.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let (faults, args): (bool, Vec<&String>) = {
-        let faults = args.iter().any(|a| a == "--faults");
-        (faults, args.iter().filter(|a| *a != "--faults").collect())
-    };
-    let [experiment, system, workspace_dir] = args.as_slice() else {
+    let mut faults = false;
+    let mut jobs: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--faults" => faults = true,
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs needs a value")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(parsed);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [experiment, system, workspace_dir] = positional.as_slice() else {
         return Err(
-            "expected <benchmark>/<variant> <system> <workspace_dir> [--faults]".to_string(),
+            "expected <benchmark>/<variant> <system> <workspace_dir> [--faults] [--jobs N]"
+                .to_string(),
         );
     };
     let (benchmark, variant) = experiment
@@ -154,6 +178,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 
     let sink = TelemetrySink::recording();
     let mut benchpark = Benchpark::new().with_telemetry(sink.clone());
+    if let Some(jobs) = jobs {
+        benchpark = benchpark.with_jobs(jobs);
+    }
     if faults {
         use benchpark::cluster::{FaultPlan, TransientFault};
         // all nodes but one die mid-drain: every running job beyond the
