@@ -275,6 +275,22 @@ pub fn run_pipeline(
     let sink = executor.telemetry();
     let _pipeline_span = sink.span("ci.pipeline");
 
+    // pre-flight: warn-only static analysis of the pipeline definition; the
+    // runtime parser already rejected hard errors, but the linter also sees
+    // masked failures, unreachable stages, and same-stage cycles. Findings
+    // are counted on the telemetry sink and never fail the run.
+    if let Some(config) = repo.read(&branch, ".gitlab-ci.yml") {
+        let mut set = benchpark_lint::ArtifactSet::new();
+        set.add(".gitlab-ci.yml", config);
+        let report = benchpark_lint::Linter::bare().lint(&set);
+        if report.errors() > 0 {
+            sink.incr("ci.lint.errors", report.errors() as u64);
+        }
+        if report.warnings() > 0 {
+            sink.incr("ci.lint.warnings", report.warnings() as u64);
+        }
+    }
+
     // ---- job graph: one task per job, edges from needs/stage order -------
     let mut graph = TaskGraph::new();
     let mut ids = Vec::with_capacity(jobs.len());

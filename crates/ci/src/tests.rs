@@ -295,6 +295,21 @@ fn ci_config_parsing() {
     );
 }
 
+#[test]
+fn ci_config_rejects_duplicate_job_names() {
+    // Block style: the same job declared twice must be a parse error, not a
+    // silent last-writer-wins overwrite.
+    let block =
+        "stages: [a]\nbuild:\n  stage: a\n  script: [x]\nbuild:\n  stage: a\n  script: [y]\n";
+    let err = crate::lab::parse_ci_config(block).unwrap_err();
+    assert!(err.contains("duplicate"), "{err}");
+
+    // Flow style used to slip through the duplicate check entirely.
+    let flow = "{stages: [a], build: {stage: a, script: [x]}, build: {stage: a, script: [y]}}\n";
+    let err = crate::lab::parse_ci_config(flow).unwrap_err();
+    assert!(err.contains("duplicate"), "{err}");
+}
+
 /// Figure 6, end to end: PR → approval → Hubcast mirror → GitLab pipeline
 /// (build via Spack + benchmark run on the simulated cluster) → status back
 /// on GitHub → merge.

@@ -115,6 +115,27 @@ impl Benchpark {
         self
     }
 
+    /// Warn-only static analysis over a composed artifact set (experiment
+    /// template plus system profile), validated against this driver's
+    /// repositories — so contributed packages and applications are known to
+    /// the rules. Runs before every workspace setup; findings never fail the
+    /// pipeline, they are rendered to stderr and counted on the telemetry
+    /// sink (`lint.errors` / `lint.warnings`).
+    pub fn lint_composition(
+        &self,
+        template: &str,
+        profile: &SystemProfile,
+    ) -> benchpark_lint::LintReport {
+        let linter = benchpark_lint::Linter::with_repos(self.repo.clone(), self.app_repo.clone());
+        let mut set = benchpark_lint::ArtifactSet::new();
+        set.add("ramble.yaml", template);
+        set.add("compilers.yaml", &profile.compilers_yaml);
+        set.add("packages.yaml", &profile.packages_yaml);
+        set.add("spack.yaml", &profile.spack_yaml);
+        set.add("variables.yaml", &profile.variables_yaml);
+        linter.lint(&set)
+    }
+
     /// The driver's telemetry sink.
     pub fn telemetry(&self) -> TelemetrySink {
         self.telemetry.clone()
@@ -197,6 +218,23 @@ impl Benchpark {
 
         let profile =
             SystemProfile::by_name(system).ok_or_else(|| format!("unknown system `{system}`"))?;
+
+        // pre-flight: warn-only cross-artifact lint of the composition; a
+        // clean set emits nothing, so FOMs and determinism are untouched
+        let lint_report = self.lint_composition(template, &profile);
+        if !lint_report.is_empty() {
+            eprintln!("benchpark lint ({benchmark}/{variant} on {system}):");
+            eprint!("{}", lint_report.render());
+            if lint_report.errors() > 0 {
+                self.telemetry
+                    .incr("lint.errors", lint_report.errors() as u64);
+            }
+            if lint_report.warnings() > 0 {
+                self.telemetry
+                    .incr("lint.warnings", lint_report.warnings() as u64);
+            }
+        }
+
         log.step(
             2,
             format!(

@@ -1,0 +1,170 @@
+//! The artifact model: parsed-but-not-executed configuration files, grouped
+//! into the set that composes one workspace or pipeline.
+
+use crate::diag::{Diagnostic, Severity};
+use benchpark_yamlite::{parse_spanned, Span, SpannedValue};
+
+/// What layer of the stack an artifact belongs to, decided from its content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// `ramble:` — a Ramble workspace configuration (Figure 10).
+    Ramble,
+    /// `variables:` — scheduler/launcher variables (Figure 12).
+    Variables,
+    /// `spack:` with named package definitions (Figure 9).
+    SpackConfig,
+    /// `spack:` environment manifest with a `specs:` list (Figure 3).
+    SpackEnv,
+    /// `packages:` — system packages/externals (Figure 4).
+    Packages,
+    /// `compilers:` — system compiler toolchains.
+    Compilers,
+    /// A `.gitlab-ci.yml`-style pipeline: `stages:` plus job mappings.
+    Ci,
+    /// Anything the classifier does not recognize.
+    Unknown,
+}
+
+impl ArtifactKind {
+    /// The human label used in diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArtifactKind::Ramble => "ramble workspace config",
+            ArtifactKind::Variables => "system variables config",
+            ArtifactKind::SpackConfig => "spack package definitions",
+            ArtifactKind::SpackEnv => "spack environment manifest",
+            ArtifactKind::Packages => "system packages config",
+            ArtifactKind::Compilers => "system compilers config",
+            ArtifactKind::Ci => "ci pipeline",
+            ArtifactKind::Unknown => "unrecognized artifact",
+        }
+    }
+}
+
+/// One parsed configuration file: its name, source lines (for snippets), kind,
+/// and the span-carrying document tree.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Display name (file name or synthetic label).
+    pub name: String,
+    /// The source split into lines, for diagnostic snippets.
+    pub lines: Vec<String>,
+    /// The classified layer.
+    pub kind: ArtifactKind,
+    /// The parsed document.
+    pub doc: SpannedValue,
+}
+
+impl Artifact {
+    /// The source line a span points into, if any.
+    pub fn line_text(&self, span: Span) -> Option<&str> {
+        self.lines
+            .get(span.line.wrapping_sub(1))
+            .map(|s| s.as_str())
+    }
+}
+
+/// Classifies a parsed document by its top-level structure.
+fn classify(doc: &SpannedValue, name: &str) -> ArtifactKind {
+    let Some(map) = doc.as_map() else {
+        return ArtifactKind::Unknown;
+    };
+    if map.contains_key("ramble") {
+        return ArtifactKind::Ramble;
+    }
+    if map.contains_key("variables") {
+        return ArtifactKind::Variables;
+    }
+    if let Some(spack) = map.get("spack") {
+        let has_defs = spack
+            .as_map()
+            .map(|m| m.contains_key("packages") || m.contains_key("environments"))
+            .unwrap_or(false);
+        let looks_like_defs = spack
+            .get("packages")
+            .and_then(SpannedValue::as_map)
+            .map(|pkgs| pkgs.iter().any(|e| e.value.get("spack_spec").is_some()))
+            .unwrap_or(false);
+        if looks_like_defs || (has_defs && spack.get("specs").is_none()) {
+            return ArtifactKind::SpackConfig;
+        }
+        return ArtifactKind::SpackEnv;
+    }
+    if map.contains_key("packages") {
+        return ArtifactKind::Packages;
+    }
+    if map.contains_key("compilers") {
+        return ArtifactKind::Compilers;
+    }
+    let job_like = map.iter().any(|e| {
+        e.value
+            .as_map()
+            .map(|m| m.contains_key("script") || m.contains_key("stage"))
+            .unwrap_or(false)
+    });
+    if map.contains_key("stages") || name.contains("gitlab-ci") || job_like {
+        return ArtifactKind::Ci;
+    }
+    ArtifactKind::Unknown
+}
+
+/// The artifacts composing one workspace or pipeline, linted together so
+/// cross-artifact references (Table 1's independent axes) can be validated.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactSet {
+    /// Successfully parsed artifacts.
+    pub artifacts: Vec<Artifact>,
+    /// Parse failures, already converted to `BP0001` diagnostics.
+    pub parse_diagnostics: Vec<Diagnostic>,
+}
+
+impl ArtifactSet {
+    /// An empty set.
+    pub fn new() -> ArtifactSet {
+        ArtifactSet::default()
+    }
+
+    /// Parses and classifies one artifact text. A parse failure becomes a
+    /// `BP0001` diagnostic instead of aborting the set.
+    pub fn add(&mut self, name: &str, text: &str) {
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        match parse_spanned(text) {
+            Ok(doc) => {
+                let kind = classify(&doc, name);
+                self.artifacts.push(Artifact {
+                    name: name.to_string(),
+                    lines,
+                    kind,
+                    doc,
+                });
+            }
+            Err(e) => {
+                let span = Span::new(e.line, 1);
+                let snippet = lines.get(e.line.wrapping_sub(1)).cloned();
+                self.parse_diagnostics.push(Diagnostic {
+                    code: "BP0001",
+                    severity: Severity::Error,
+                    message: format!("could not parse artifact: {}", e.message),
+                    artifact: name.to_string(),
+                    span: Some(span),
+                    snippet,
+                    help: None,
+                });
+            }
+        }
+    }
+
+    /// Builds a set from `(name, text)` pairs.
+    pub fn from_texts<'a>(texts: impl IntoIterator<Item = (&'a str, &'a str)>) -> ArtifactSet {
+        let mut set = ArtifactSet::new();
+        for (name, text) in texts {
+            set.add(name, text);
+        }
+        set
+    }
+
+    /// All artifacts of a kind.
+    pub fn of_kind(&self, kind: ArtifactKind) -> impl Iterator<Item = &Artifact> {
+        self.artifacts.iter().filter(move |a| a.kind == kind)
+    }
+}

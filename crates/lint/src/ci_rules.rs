@@ -1,0 +1,271 @@
+//! CI-layer rules (`BP03xx`): stage/needs referential integrity, masking
+//! retry/allow_failure combinations, unreachable stages, and dependency
+//! cycles the runtime parser cannot see.
+
+use crate::artifact::{Artifact, ArtifactKind};
+use crate::diag::{Diagnostic, Severity};
+use crate::linter::{emit, SetCtx};
+use benchpark_yamlite::{Span, SpannedValue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One job as the linter sees it: pre-validation, straight from the tree.
+struct LintJob<'a> {
+    name: &'a str,
+    name_span: Span,
+    body: &'a SpannedValue,
+    stage: Option<(String, Span)>,
+    needs: Vec<(String, Span)>,
+}
+
+pub(crate) fn check(ctx: &SetCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for artifact in ctx.set.of_kind(ArtifactKind::Ci) {
+        check_pipeline(artifact, out);
+    }
+}
+
+const JOB_KEYS: &[&str] = &["script", "stage", "tags", "needs", "retry", "allow_failure"];
+
+fn check_pipeline(artifact: &Artifact, out: &mut Vec<Diagnostic>) {
+    let Some(doc) = artifact.doc.as_map() else {
+        return;
+    };
+    let stages: Vec<(String, Span)> = artifact
+        .doc
+        .get("stages")
+        .and_then(|s| s.string_list())
+        .unwrap_or_else(|| vec![("test".to_string(), artifact.doc.span)]);
+    let stage_index = |name: &str| -> Option<usize> { stages.iter().position(|(s, _)| s == name) };
+
+    let mut jobs: Vec<LintJob<'_>> = Vec::new();
+    for entry in doc.iter() {
+        if entry.key == "stages" || entry.key.starts_with('.') {
+            continue;
+        }
+        let Some(body) = entry.value.as_map() else {
+            continue;
+        };
+        if !JOB_KEYS.iter().any(|k| body.contains_key(k)) {
+            continue;
+        }
+        jobs.push(LintJob {
+            name: &entry.key,
+            name_span: entry.key_span,
+            body: &entry.value,
+            stage: entry
+                .value
+                .get("stage")
+                .and_then(|s| s.as_str().map(|t| (t.to_string(), s.span))),
+            needs: entry
+                .value
+                .get("needs")
+                .and_then(|n| n.string_list())
+                .unwrap_or_default(),
+        });
+    }
+    let job_names: BTreeSet<&str> = jobs.iter().map(|j| j.name).collect();
+
+    for job in &jobs {
+        // BP0307: the runtime parser silently drops script-less entries.
+        if job.body.get("script").is_none() {
+            emit(
+                out,
+                artifact,
+                "BP0307",
+                Severity::Warn,
+                job.name_span,
+                format!(
+                    "job `{}` has no `script:` and will be silently ignored by the runner",
+                    job.name
+                ),
+                Some("add a script, or prefix the name with `.` to mark it as a template"),
+            );
+        }
+        // BP0301: stage must be declared.
+        if let Some((stage, span)) = &job.stage {
+            if stage_index(stage).is_none() {
+                emit(
+                    out,
+                    artifact,
+                    "BP0301",
+                    Severity::Error,
+                    *span,
+                    format!("job `{}` references undeclared stage `{stage}`", job.name),
+                    Some("declare the stage in `stages:`"),
+                );
+            }
+        }
+        for (need, span) in &job.needs {
+            if need == job.name {
+                emit(
+                    out,
+                    artifact,
+                    "BP0306",
+                    Severity::Error,
+                    *span,
+                    format!("job `{}` needs itself", job.name),
+                    None,
+                );
+            } else if !job_names.contains(need.as_str()) {
+                // BP0302: dangling needs reference.
+                emit(
+                    out,
+                    artifact,
+                    "BP0302",
+                    Severity::Error,
+                    *span,
+                    format!("job `{}` needs `{need}`, which does not exist", job.name),
+                    None,
+                );
+            } else if let (Some((my_stage, _)), Some(other)) =
+                (&job.stage, jobs.iter().find(|j| j.name == need.as_str()))
+            {
+                // BP0303: a need on a later stage can never be satisfied.
+                if let (Some(mine), Some((other_stage, _))) = (stage_index(my_stage), &other.stage)
+                {
+                    if let Some(theirs) = stage_index(other_stage) {
+                        if theirs > mine {
+                            emit(
+                                out,
+                                artifact,
+                                "BP0303",
+                                Severity::Error,
+                                *span,
+                                format!(
+                                    "job `{}` (stage `{my_stage}`) needs `{need}` from the \
+                                     later stage `{other_stage}`",
+                                    job.name
+                                ),
+                                Some(
+                                    "stages run in order; needs may only point backwards \
+                                      or sideways",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // BP0304: retries of a job that is allowed to fail mask real breakage.
+        let retries = job
+            .body
+            .get("retry")
+            .and_then(SpannedValue::as_int)
+            .unwrap_or(0);
+        let allow_failure = job
+            .body
+            .get("allow_failure")
+            .and_then(SpannedValue::as_bool)
+            .unwrap_or(false);
+        if retries > 0 && allow_failure {
+            let span = job
+                .body
+                .get("retry")
+                .map(|r| r.span)
+                .unwrap_or(job.name_span);
+            emit(
+                out,
+                artifact,
+                "BP0304",
+                Severity::Warn,
+                span,
+                format!(
+                    "job `{}` combines `retry: {retries}` with `allow_failure: true`; \
+                     failures are retried and then ignored",
+                    job.name
+                ),
+                Some("drop one of the two settings"),
+            );
+        }
+    }
+
+    // BP0305: a declared stage no job populates.
+    for (stage, span) in &stages {
+        let used = jobs
+            .iter()
+            .any(|j| j.stage.as_ref().map(|(s, _)| s == stage).unwrap_or(false));
+        if !used && artifact.doc.get("stages").is_some() {
+            emit(
+                out,
+                artifact,
+                "BP0305",
+                Severity::Warn,
+                *span,
+                format!("stage `{stage}` has no jobs"),
+                Some("remove the stage or add a job to it"),
+            );
+        }
+    }
+
+    // BP0306: cycles among same-stage needs (the runtime parser only rejects
+    // self-needs and forward needs, so these deadlock the scheduler).
+    let edges: BTreeMap<&str, Vec<&str>> = jobs
+        .iter()
+        .map(|j| {
+            let same_stage: Vec<&str> = j
+                .needs
+                .iter()
+                .filter(|(need, _)| {
+                    need.as_str() != j.name
+                        && jobs
+                            .iter()
+                            .find(|o| o.name == need.as_str())
+                            .map(|o| {
+                                o.stage.as_ref().map(|(s, _)| s.as_str())
+                                    == j.stage.as_ref().map(|(s, _)| s.as_str())
+                            })
+                            .unwrap_or(false)
+                })
+                .map(|(need, _)| need.as_str())
+                .collect();
+            (j.name, same_stage)
+        })
+        .collect();
+    for job in &jobs {
+        if let Some(cycle) = find_cycle(job.name, &edges) {
+            // Report each cycle once, from its lexicographically first member.
+            if cycle.iter().min() == Some(&job.name) {
+                emit(
+                    out,
+                    artifact,
+                    "BP0306",
+                    Severity::Error,
+                    job.name_span,
+                    format!("dependency cycle between jobs: {}", cycle.join(" -> ")),
+                    Some("break the cycle; these jobs can never start"),
+                );
+            }
+        }
+    }
+}
+
+/// The cycle through `start`, if following `needs` edges returns to it.
+fn find_cycle<'a>(start: &'a str, edges: &BTreeMap<&'a str, Vec<&'a str>>) -> Option<Vec<&'a str>> {
+    fn dfs<'a>(
+        node: &'a str,
+        start: &'a str,
+        edges: &BTreeMap<&'a str, Vec<&'a str>>,
+        path: &mut Vec<&'a str>,
+    ) -> bool {
+        for next in edges.get(node).into_iter().flatten() {
+            if *next == start {
+                return true;
+            }
+            if path.contains(next) {
+                continue;
+            }
+            path.push(next);
+            if dfs(next, start, edges, path) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+    let mut path = vec![start];
+    if dfs(start, start, edges, &mut path) {
+        path.push(start);
+        Some(path)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,51 @@
+//! `benchpark-lint` — cross-artifact static analysis for the benchmarking
+//! stack.
+//!
+//! The paper's central observation is that a benchmarking campaign is
+//! assembled from *independent, composable artifacts* — Spack package
+//! definitions and environments, system `packages.yaml` / `compilers.yaml`
+//! profiles, Ramble workspace configurations, and CI pipeline definitions
+//! (Table 1). Composition is exactly where campaigns break: a workspace
+//! references a variable only some other file defines, a spec requests a
+//! compiler the target system does not ship, a pipeline job needs a stage
+//! that never runs. Each mistake is cheap to detect *statically* — before
+//! any allocation is burned on a doomed run — but only by analyzing the
+//! artifacts **together**.
+//!
+//! This crate parses (but does not execute) an [`ArtifactSet`], classifies
+//! each artifact by layer, and runs a registry of cross-artifact rules over
+//! the whole set. Findings are [`Diagnostic`]s with stable `BP####` codes,
+//! severities, and 1-based line/column [`Span`]s into the originating file,
+//! rendered rustc-style or as JSON:
+//!
+//! ```text
+//! error[BP0301]: job `bench` references undeclared stage `deploy`
+//!   --> .gitlab-ci.yml:7:10
+//!    |
+//!  7 |   stage: deploy
+//!    |          ^
+//!   = help: declare the stage in `stages:`
+//! ```
+//!
+//! The rule catalogue lives in [`registry::RULES`] and is documented in
+//! `docs/LINT.md`. Codes are grouped by layer: `BP00xx` artifact-level,
+//! `BP01xx` Spack, `BP02xx` Ramble, `BP03xx` CI.
+
+#![deny(missing_docs)]
+
+mod artifact;
+mod ci_rules;
+mod diag;
+mod linter;
+mod ramble_rules;
+pub mod registry;
+mod spack_rules;
+
+pub use artifact::{Artifact, ArtifactKind, ArtifactSet};
+pub use benchpark_yamlite::Span;
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use linter::{Linter, BUILTIN_VARS};
+pub use registry::{rule, RuleInfo, RULES};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,301 @@
+//! The lint driver: builds the cross-artifact context and runs every rule.
+
+use crate::artifact::{Artifact, ArtifactKind, ArtifactSet};
+use crate::diag::{Diagnostic, LintReport, Severity};
+use benchpark_pkg::{AppRepo, Repo};
+use benchpark_yamlite::{Span, SpannedValue};
+use std::collections::BTreeSet;
+
+/// Variables Ramble itself binds during rendering; references to these are
+/// always considered defined.
+pub const BUILTIN_VARS: &[&str] = &[
+    "application_name",
+    "workload_name",
+    "experiment_name",
+    "experiment_run_dir",
+    "workspace_dir",
+    "command",
+    "execute_experiment",
+    "spack_setup",
+    "batch_nodes",
+    "batch_ranks",
+    "mpi_command",
+    "n_ranks",
+    "repeat_index",
+];
+
+/// The cross-artifact facts rules consult: what names each layer defines, so
+/// references across the Table 1 axes can be validated statically.
+pub(crate) struct SetCtx<'a> {
+    /// The artifact set under analysis.
+    pub set: &'a ArtifactSet,
+    /// Named package definitions (Figure 9): `default-compiler`, `saxpy`, …
+    /// from every `spack:` section in the set.
+    pub package_defs: BTreeSet<String>,
+    /// Package names that appear in `packages.yaml` externals (their installed
+    /// versions are outside the repo's version list).
+    pub external_pkgs: BTreeSet<String>,
+    /// `compilers.yaml` toolchains as `(name, version_text)`.
+    pub compiler_entries: Vec<(String, String)>,
+    /// Whether the set contains a compilers.yaml at all (the compiler
+    /// cross-check only runs when it does).
+    pub has_compilers_yaml: bool,
+    /// Every variable name defined by any scope of any artifact, plus
+    /// application workload defaults for declared workloads.
+    pub defined_vars: BTreeSet<String>,
+}
+
+impl<'a> SetCtx<'a> {
+    pub(crate) fn build(set: &'a ArtifactSet, apps: Option<&AppRepo>) -> SetCtx<'a> {
+        let mut ctx = SetCtx {
+            set,
+            package_defs: BTreeSet::new(),
+            external_pkgs: BTreeSet::new(),
+            compiler_entries: Vec::new(),
+            has_compilers_yaml: false,
+            defined_vars: BTreeSet::new(),
+        };
+        for artifact in &set.artifacts {
+            match artifact.kind {
+                ArtifactKind::SpackConfig => {
+                    ctx.collect_spack_section(artifact.doc.get("spack"));
+                }
+                ArtifactKind::Ramble => {
+                    let ramble = artifact.doc.get("ramble");
+                    ctx.collect_spack_section(ramble.and_then(|r| r.get("spack")));
+                    ctx.collect_ramble_vars(ramble, apps);
+                }
+                ArtifactKind::Variables => {
+                    if let Some(vars) = artifact.doc.get("variables").and_then(SpannedValue::as_map)
+                    {
+                        for entry in vars.iter() {
+                            if entry.key != "compilers" {
+                                ctx.defined_vars.insert(entry.key.clone());
+                            }
+                        }
+                    }
+                }
+                ArtifactKind::Packages => {
+                    if let Some(pkgs) = artifact.doc.get("packages").and_then(SpannedValue::as_map)
+                    {
+                        for entry in pkgs.iter() {
+                            if let Some(externals) =
+                                entry.value.get("externals").and_then(SpannedValue::as_seq)
+                            {
+                                for ext in externals {
+                                    let spec_name = ext
+                                        .get("spec")
+                                        .and_then(SpannedValue::as_str)
+                                        .and_then(|s| s.parse::<benchpark_spec::Spec>().ok())
+                                        .and_then(|s| s.name);
+                                    if let Some(name) = spec_name {
+                                        ctx.external_pkgs.insert(name);
+                                    }
+                                    // the virtual the external satisfies also
+                                    // escapes repo version checking
+                                    ctx.external_pkgs.insert(entry.key.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                ArtifactKind::Compilers => {
+                    ctx.has_compilers_yaml = true;
+                    if let Some(list) = artifact.doc.get("compilers").and_then(SpannedValue::as_seq)
+                    {
+                        for item in list {
+                            if let Some(spec) = item
+                                .get("compiler")
+                                .and_then(|c| c.get("spec"))
+                                .and_then(SpannedValue::as_str)
+                            {
+                                let (name, version) = match spec.split_once('@') {
+                                    Some((n, v)) => (n.to_string(), v.to_string()),
+                                    None => (spec.to_string(), String::new()),
+                                };
+                                ctx.compiler_entries.push((name, version));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        ctx
+    }
+
+    fn collect_spack_section(&mut self, spack: Option<&SpannedValue>) {
+        let Some(spack) = spack else { return };
+        if let Some(pkgs) = spack.get("packages").and_then(SpannedValue::as_map) {
+            for entry in pkgs.iter() {
+                self.package_defs.insert(entry.key.clone());
+            }
+        }
+    }
+
+    fn collect_ramble_vars(&mut self, ramble: Option<&SpannedValue>, apps: Option<&AppRepo>) {
+        let Some(ramble) = ramble else { return };
+        if let Some(vars) = ramble.get("variables").and_then(SpannedValue::as_map) {
+            for entry in vars.iter() {
+                self.defined_vars.insert(entry.key.clone());
+            }
+        }
+        let Some(applications) = ramble.get("applications").and_then(SpannedValue::as_map) else {
+            return;
+        };
+        for app in applications.iter() {
+            let Some(workloads) = app.value.get("workloads").and_then(SpannedValue::as_map) else {
+                continue;
+            };
+            for wl in workloads.iter() {
+                if let Some(apps) = apps {
+                    if let Some(def) = apps.get(&app.key) {
+                        for (name, _) in def.defaults_for(&wl.key) {
+                            self.defined_vars.insert(name);
+                        }
+                    }
+                }
+                if let Some(vars) = wl.value.get("variables").and_then(SpannedValue::as_map) {
+                    for entry in vars.iter() {
+                        self.defined_vars.insert(entry.key.clone());
+                    }
+                }
+                let Some(exps) = wl.value.get("experiments").and_then(SpannedValue::as_map) else {
+                    continue;
+                };
+                for exp in exps.iter() {
+                    if let Some(vars) = exp.value.get("variables").and_then(SpannedValue::as_map) {
+                        for entry in vars.iter() {
+                            self.defined_vars.insert(entry.key.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when `name` is defined by some scope or is a render-time builtin.
+    pub(crate) fn var_defined(&self, name: &str) -> bool {
+        self.defined_vars.contains(name) || BUILTIN_VARS.contains(&name)
+    }
+}
+
+/// Pushes a diagnostic, capturing the source snippet for the span.
+pub(crate) fn emit(
+    out: &mut Vec<Diagnostic>,
+    artifact: &Artifact,
+    code: &'static str,
+    severity: Severity,
+    span: Span,
+    message: String,
+    help: Option<&str>,
+) {
+    out.push(Diagnostic {
+        code,
+        severity,
+        message,
+        artifact: artifact.name.clone(),
+        span: Some(span),
+        snippet: artifact.line_text(span).map(|s| s.to_string()),
+        help: help.map(|h| h.to_string()),
+    });
+}
+
+/// Well-formed `{name}` references in a template string (`{{` escapes skipped).
+pub(crate) fn refs_in(text: &str) -> Vec<String> {
+    let mut refs = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+            }
+            '{' => {
+                let mut name = String::new();
+                for nc in chars.by_ref() {
+                    if nc == '}' {
+                        break;
+                    }
+                    name.push(nc);
+                }
+                if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    refs.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    refs
+}
+
+/// The lint engine: holds the package and application repositories the
+/// cross-artifact rules validate against.
+pub struct Linter {
+    pub(crate) repo: Option<Repo>,
+    pub(crate) apps: Option<AppRepo>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A linter backed by the builtin package and application repositories.
+    pub fn new() -> Linter {
+        Linter {
+            repo: Some(Repo::builtin()),
+            apps: Some(AppRepo::builtin()),
+        }
+    }
+
+    /// A linter validating against caller-supplied repositories — used by the
+    /// driver so contributed packages and applications are known to the rules.
+    pub fn with_repos(repo: Repo, apps: AppRepo) -> Linter {
+        Linter {
+            repo: Some(repo),
+            apps: Some(apps),
+        }
+    }
+
+    /// A linter with no repositories: repo-dependent rules (unknown package,
+    /// unsatisfiable version, unknown variant) stay silent.
+    pub fn bare() -> Linter {
+        Linter {
+            repo: None,
+            apps: None,
+        }
+    }
+
+    /// Runs every rule over the set and returns the sorted report.
+    pub fn lint(&self, set: &ArtifactSet) -> LintReport {
+        let mut report = LintReport::new();
+        report.diagnostics.extend(set.parse_diagnostics.clone());
+        let ctx = SetCtx::build(set, self.apps.as_ref());
+        let out = &mut report.diagnostics;
+        for artifact in &set.artifacts {
+            if artifact.kind == ArtifactKind::Unknown {
+                out.push(Diagnostic {
+                    code: "BP0002",
+                    severity: Severity::Note,
+                    message: "artifact does not look like any known layer \
+                              (ramble / variables / spack / packages / compilers / ci)"
+                        .to_string(),
+                    artifact: artifact.name.clone(),
+                    span: Some(artifact.doc.span),
+                    snippet: artifact.line_text(artifact.doc.span).map(|s| s.to_string()),
+                    help: None,
+                });
+            }
+        }
+        crate::spack_rules::check(&ctx, self, out);
+        crate::ramble_rules::check(&ctx, self, out);
+        crate::ci_rules::check(&ctx, out);
+        report.finish();
+        report
+    }
+}

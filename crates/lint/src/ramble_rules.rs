@@ -1,0 +1,611 @@
+//! Ramble-layer rules (`BP02xx`): variable binding across workspace, workload,
+//! and experiment scopes; matrix/zip shape; name-template discrimination; and
+//! success-criteria regexes.
+
+use crate::artifact::{Artifact, ArtifactKind};
+use crate::diag::{Diagnostic, Severity};
+use crate::linter::{emit, refs_in, Linter, SetCtx};
+use benchpark_yamlite::{SpannedMap, SpannedValue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A resolved variable value at some scope: scalar, or a list consumed by
+/// matrices and zips.
+#[derive(Debug, Clone)]
+enum VarVal {
+    Scalar(String),
+    List(Vec<String>),
+}
+
+fn var_val(v: &SpannedValue) -> Option<VarVal> {
+    if let Some(seq) = v.as_seq() {
+        Some(VarVal::List(
+            seq.iter().filter_map(|e| e.scalar_string()).collect(),
+        ))
+    } else {
+        v.scalar_string().map(VarVal::Scalar)
+    }
+}
+
+pub(crate) fn check(ctx: &SetCtx<'_>, linter: &Linter, out: &mut Vec<Diagnostic>) {
+    let ramble_present = ctx
+        .set
+        .artifacts
+        .iter()
+        .any(|a| a.kind == ArtifactKind::Ramble);
+    let usage = collect_usage(ctx, linter);
+    let sys_vars = system_var_names(ctx);
+    for artifact in &ctx.set.artifacts {
+        match artifact.kind {
+            ArtifactKind::Ramble => {
+                check_ramble(artifact, ctx, linter, &usage, &sys_vars, out);
+            }
+            // A variables.yaml is only checkable against a workspace; alone it
+            // legitimately references variables the workspace will define.
+            ArtifactKind::Variables if ramble_present => {
+                check_system_variables(artifact, ctx, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Names defined by every `variables.yaml` in the set (minus the `compilers`
+/// pseudo-entry).
+fn system_var_names(ctx: &SetCtx<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for artifact in ctx.set.of_kind(ArtifactKind::Variables) {
+        if let Some(vars) = artifact.doc.get("variables").and_then(SpannedValue::as_map) {
+            for entry in vars.iter() {
+                if entry.key != "compilers" {
+                    names.insert(entry.key.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Every variable name referenced anywhere in the set — by templates, variable
+/// values, env vars, criteria files, and the declared applications' executable
+/// templates and log files. Feeds the unused-variable rule (BP0203).
+fn collect_usage(ctx: &SetCtx<'_>, linter: &Linter) -> BTreeSet<String> {
+    let mut usage = BTreeSet::new();
+    let add = |usage: &mut BTreeSet<String>, text: &str| {
+        for r in refs_in(text) {
+            usage.insert(r);
+        }
+    };
+    for artifact in &ctx.set.artifacts {
+        match artifact.kind {
+            ArtifactKind::Variables => {
+                if let Some(vars) = artifact.doc.get("variables").and_then(SpannedValue::as_map) {
+                    for entry in vars.iter() {
+                        if let Some(s) = entry.value.scalar_string() {
+                            add(&mut usage, &s);
+                        }
+                    }
+                }
+            }
+            ArtifactKind::Ramble => {
+                let Some(ramble) = artifact.doc.get("ramble") else {
+                    continue;
+                };
+                each_value_text(ramble.get("variables"), &mut |s| add(&mut usage, s));
+                let Some(apps) = ramble.get("applications").and_then(SpannedValue::as_map) else {
+                    continue;
+                };
+                for app in apps.iter() {
+                    if let Some(def) = linter.apps.as_ref().and_then(|r| r.get(&app.key)) {
+                        for exe in &def.executables {
+                            add(&mut usage, &exe.template);
+                        }
+                        for fom in &def.figures_of_merit {
+                            if let Some(log) = &fom.log_file {
+                                add(&mut usage, log);
+                            }
+                        }
+                        for crit in &def.success_criteria {
+                            add(&mut usage, &crit.file);
+                        }
+                        for wl in &def.workloads {
+                            for (_, value) in def.defaults_for(&wl.name) {
+                                add(&mut usage, &value);
+                            }
+                        }
+                    }
+                    let Some(wls) = app.value.get("workloads").and_then(SpannedValue::as_map)
+                    else {
+                        continue;
+                    };
+                    for wl in wls.iter() {
+                        each_value_text(wl.value.get("variables"), &mut |s| add(&mut usage, s));
+                        each_value_text(wl.value.get_path(&["env_vars", "set"]), &mut |s| {
+                            add(&mut usage, s)
+                        });
+                        if let Some(crits) = wl
+                            .value
+                            .get("success_criteria")
+                            .and_then(SpannedValue::as_seq)
+                        {
+                            for crit in crits {
+                                if let Some(file) = crit.get("file").and_then(SpannedValue::as_str)
+                                {
+                                    add(&mut usage, file);
+                                }
+                            }
+                        }
+                        let Some(exps) = wl.value.get("experiments").and_then(SpannedValue::as_map)
+                        else {
+                            continue;
+                        };
+                        for exp in exps.iter() {
+                            add(&mut usage, &exp.key);
+                            each_value_text(exp.value.get("variables"), &mut |s| {
+                                add(&mut usage, s)
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // n_ranks derives from processes_per_node × n_nodes during generation, so a reference to
+    // it keeps both factors alive.
+    if usage.contains("n_ranks") {
+        usage.insert("processes_per_node".to_string());
+        usage.insert("n_nodes".to_string());
+    }
+    usage
+}
+
+/// Calls `f` with the scalar text of every value in a variables-like mapping
+/// (list values contribute each element).
+fn each_value_text(map: Option<&SpannedValue>, f: &mut impl FnMut(&str)) {
+    let Some(map) = map.and_then(SpannedValue::as_map) else {
+        return;
+    };
+    for entry in map.iter() {
+        if let Some(seq) = entry.value.as_seq() {
+            for item in seq {
+                if let Some(s) = item.scalar_string() {
+                    f(&s);
+                }
+            }
+        } else if let Some(s) = entry.value.scalar_string() {
+            f(&s);
+        }
+    }
+}
+
+/// BP0202 over `variables.yaml` values (only meaningful alongside a
+/// workspace, which the caller guarantees).
+fn check_system_variables(artifact: &Artifact, ctx: &SetCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(vars) = artifact.doc.get("variables").and_then(SpannedValue::as_map) else {
+        return;
+    };
+    for entry in vars.iter() {
+        if entry.key == "compilers" {
+            continue;
+        }
+        if let Some(s) = entry.value.scalar_string() {
+            report_undefined_refs(artifact, &entry.value, &s, ctx, out);
+        }
+    }
+}
+
+/// BP0202 for one value text: every `{ref}` must be bound by some scope.
+fn report_undefined_refs(
+    artifact: &Artifact,
+    value: &SpannedValue,
+    text: &str,
+    ctx: &SetCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for r in refs_in(text) {
+        if !ctx.var_defined(&r) {
+            emit(
+                out,
+                artifact,
+                "BP0202",
+                Severity::Error,
+                value.span,
+                format!("reference to undefined variable `{r}`"),
+                Some("define it at the workspace, workload, or experiment scope"),
+            );
+        }
+    }
+}
+
+fn check_variables_map(
+    artifact: &Artifact,
+    map: Option<&SpannedMap>,
+    ctx: &SetCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(map) = map else { return };
+    for entry in map.iter() {
+        if let Some(seq) = entry.value.as_seq() {
+            for item in seq {
+                if let Some(s) = item.scalar_string() {
+                    report_undefined_refs(artifact, item, &s, ctx, out);
+                }
+            }
+        } else if let Some(s) = entry.value.scalar_string() {
+            report_undefined_refs(artifact, &entry.value, &s, ctx, out);
+        }
+    }
+}
+
+/// All rules over one `ramble.yaml` workspace.
+fn check_ramble(
+    artifact: &Artifact,
+    ctx: &SetCtx<'_>,
+    _linter: &Linter,
+    usage: &BTreeSet<String>,
+    sys_vars: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(ramble) = artifact.doc.get("ramble") else {
+        return;
+    };
+    let ws_vars = ramble.get("variables").and_then(SpannedValue::as_map);
+
+    if let Some(ws) = ws_vars {
+        for entry in ws.iter() {
+            if sys_vars.contains(&entry.key) {
+                emit(
+                    out,
+                    artifact,
+                    "BP0204",
+                    Severity::Warn,
+                    entry.key_span,
+                    format!(
+                        "workspace variable `{}` shadows the system variables.yaml definition",
+                        entry.key
+                    ),
+                    Some("rename one of the definitions to make the winner explicit"),
+                );
+            }
+            // `mpi_command` &co. are read by the workspace machinery itself
+            // (launcher assembly, batch submission), never via `{ref}` syntax.
+            let framework_read = crate::linter::BUILTIN_VARS.contains(&entry.key.as_str())
+                || entry.key == "batch_submit";
+            if !usage.contains(&entry.key) && !framework_read {
+                emit(
+                    out,
+                    artifact,
+                    "BP0203",
+                    Severity::Warn,
+                    entry.key_span,
+                    format!("workspace variable `{}` is never referenced", entry.key),
+                    Some("remove it or reference it from a template or variable"),
+                );
+            }
+        }
+    }
+    check_variables_map(artifact, ws_vars, ctx, out);
+
+    let Some(apps) = ramble.get("applications").and_then(SpannedValue::as_map) else {
+        return;
+    };
+    for app in apps.iter() {
+        let Some(wls) = app.value.get("workloads").and_then(SpannedValue::as_map) else {
+            continue;
+        };
+        for wl in wls.iter() {
+            let wl_vars = wl.value.get("variables").and_then(SpannedValue::as_map);
+            if let Some(wv) = wl_vars {
+                for entry in wv.iter() {
+                    if ws_vars.map(|m| m.contains_key(&entry.key)).unwrap_or(false) {
+                        emit(
+                            out,
+                            artifact,
+                            "BP0204",
+                            Severity::Warn,
+                            entry.key_span,
+                            format!(
+                                "workload variable `{}` shadows a workspace-level definition",
+                                entry.key
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+            check_variables_map(artifact, wl_vars, ctx, out);
+            check_variables_map(
+                artifact,
+                wl.value
+                    .get_path(&["env_vars", "set"])
+                    .and_then(SpannedValue::as_map),
+                ctx,
+                out,
+            );
+            check_criteria(artifact, wl.value.get("success_criteria"), ctx, out);
+
+            let Some(exps) = wl.value.get("experiments").and_then(SpannedValue::as_map) else {
+                continue;
+            };
+            for exp in exps.iter() {
+                check_experiment(artifact, exp.key.as_str(), exp, ws_vars, wl_vars, ctx, out);
+            }
+        }
+    }
+}
+
+/// BP0207 (invalid regex) and BP0208 (criterion file with unbound refs).
+fn check_criteria(
+    artifact: &Artifact,
+    criteria: Option<&SpannedValue>,
+    ctx: &SetCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(criteria) = criteria.and_then(SpannedValue::as_seq) else {
+        return;
+    };
+    for crit in criteria {
+        if let Some(m) = crit.get("match") {
+            if let Some(pattern) = m.as_str() {
+                if let Err(e) = benchpark_rex::Regex::new(pattern) {
+                    emit(
+                        out,
+                        artifact,
+                        "BP0207",
+                        Severity::Error,
+                        m.span,
+                        format!("success-criterion regex does not compile: {e}"),
+                        None,
+                    );
+                }
+            }
+        }
+        if let Some(file) = crit.get("file") {
+            if let Some(text) = file.as_str() {
+                for r in refs_in(text) {
+                    if !ctx.var_defined(&r) {
+                        emit(
+                            out,
+                            artifact,
+                            "BP0208",
+                            Severity::Warn,
+                            file.span,
+                            format!(
+                                "success-criterion file references unbound variable `{r}`; \
+                                 the criterion can never locate its log"
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Experiment-level rules: BP0201 (unbound template placeholder), BP0202 on
+/// experiment variables, BP0204 (shadowing), BP0205 (matrix shape), BP0206
+/// (zip lengths), BP0209 (non-discriminating template).
+#[allow(clippy::too_many_arguments)]
+fn check_experiment(
+    artifact: &Artifact,
+    template: &str,
+    exp: &benchpark_yamlite::SpannedEntry,
+    ws_vars: Option<&SpannedMap>,
+    wl_vars: Option<&SpannedMap>,
+    ctx: &SetCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let exp_vars = exp.value.get("variables").and_then(SpannedValue::as_map);
+
+    for r in refs_in(template) {
+        if !ctx.var_defined(&r) {
+            emit(
+                out,
+                artifact,
+                "BP0201",
+                Severity::Error,
+                exp.key_span,
+                format!("name template references `{{{r}}}`, which no scope defines"),
+                Some("bind the placeholder with a variable or drop it from the template"),
+            );
+        }
+    }
+    if let Some(ev) = exp_vars {
+        for entry in ev.iter() {
+            let shadows = if wl_vars.map(|m| m.contains_key(&entry.key)).unwrap_or(false) {
+                Some("workload")
+            } else if ws_vars.map(|m| m.contains_key(&entry.key)).unwrap_or(false) {
+                Some("workspace")
+            } else {
+                None
+            };
+            if let Some(outer) = shadows {
+                emit(
+                    out,
+                    artifact,
+                    "BP0204",
+                    Severity::Warn,
+                    entry.key_span,
+                    format!(
+                        "experiment variable `{}` shadows a {outer}-level definition",
+                        entry.key
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+    check_variables_map(artifact, exp_vars, ctx, out);
+
+    // Consolidated scope, innermost definition winning — the generator's view.
+    let mut vars: BTreeMap<String, VarVal> = BTreeMap::new();
+    for scope in [ws_vars, wl_vars, exp_vars].into_iter().flatten() {
+        for entry in scope.iter() {
+            if let Some(v) = var_val(&entry.value) {
+                vars.insert(entry.key.clone(), v);
+            }
+        }
+    }
+
+    // Matrices: BP0205.
+    let mut matrix_vars: BTreeSet<String> = BTreeSet::new();
+    if let Some(matrices) = exp.value.get("matrices").and_then(SpannedValue::as_seq) {
+        for m in matrices {
+            let Some(mmap) = m.as_map() else { continue };
+            for mat in mmap.iter() {
+                let Some(names) = mat.value.string_list() else {
+                    continue;
+                };
+                for (name, span) in names {
+                    match vars.get(&name) {
+                        None => emit(
+                            out,
+                            artifact,
+                            "BP0205",
+                            Severity::Error,
+                            span,
+                            format!(
+                                "matrix `{}` lists `{name}`, which no scope defines",
+                                mat.key
+                            ),
+                            None,
+                        ),
+                        Some(VarVal::Scalar(_)) => emit(
+                            out,
+                            artifact,
+                            "BP0205",
+                            Severity::Error,
+                            span,
+                            format!(
+                                "matrix `{}` lists `{name}`, which is a scalar; \
+                                 matrix variables must be lists",
+                                mat.key
+                            ),
+                            None,
+                        ),
+                        Some(VarVal::List(_)) => {
+                            if !matrix_vars.insert(name.clone()) {
+                                emit(
+                                    out,
+                                    artifact,
+                                    "BP0205",
+                                    Severity::Error,
+                                    span,
+                                    format!("variable `{name}` appears in more than one matrix"),
+                                    Some("a variable may be consumed by at most one matrix"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Zip axis: BP0206. Non-matrix list variables are zipped together, so
+    // their lengths must agree.
+    let zipped: Vec<(&String, &Vec<String>)> = vars
+        .iter()
+        .filter_map(|(k, v)| match v {
+            VarVal::List(items) if !matrix_vars.contains(k) => Some((k, items)),
+            _ => None,
+        })
+        .collect();
+    let lengths: BTreeSet<usize> = zipped.iter().map(|(_, items)| items.len()).collect();
+    if lengths.len() > 1 {
+        let detail: Vec<String> = zipped
+            .iter()
+            .map(|(k, items)| format!("`{k}` has {}", items.len()))
+            .collect();
+        emit(
+            out,
+            artifact,
+            "BP0206",
+            Severity::Error,
+            exp.key_span,
+            format!(
+                "zipped list variables have mismatched lengths: {}",
+                detail.join(", ")
+            ),
+            Some("non-matrix lists are zipped index-by-index and must be the same length"),
+        );
+        return;
+    }
+
+    // BP0209: every generated experiment must get a distinct name.
+    let template_refs: BTreeSet<String> = refs_in(template).into_iter().collect();
+    for name in &matrix_vars {
+        if let Some(VarVal::List(items)) = vars.get(name) {
+            let distinct: BTreeSet<&String> = items.iter().collect();
+            if distinct.len() > 1 && !template_refs.contains(name) {
+                emit(
+                    out,
+                    artifact,
+                    "BP0209",
+                    Severity::Error,
+                    exp.key_span,
+                    format!(
+                        "matrix variable `{name}` takes {} values but the name template \
+                         never references it, so generated experiment names collide",
+                        distinct.len()
+                    ),
+                    Some("add the variable to the name template"),
+                );
+            }
+        }
+    }
+    let zip_len = lengths.into_iter().next().unwrap_or(1);
+    if zip_len > 1 {
+        let derive_ranks = !vars.contains_key("n_ranks")
+            && template_refs.contains("n_ranks")
+            && vars.contains_key("processes_per_node")
+            && vars.contains_key("n_nodes");
+        let keys: Vec<String> = (0..zip_len)
+            .map(|i| {
+                let mut key = String::new();
+                for (name, items) in &zipped {
+                    if template_refs.contains(name.as_str()) {
+                        key.push_str(&items[i]);
+                        key.push('/');
+                    }
+                }
+                if derive_ranks {
+                    if let (Some(ppn), Some(nodes)) = (
+                        numeric_at(&vars, "processes_per_node", i),
+                        numeric_at(&vars, "n_nodes", i),
+                    ) {
+                        key.push_str(&(ppn * nodes).to_string());
+                    }
+                }
+                key
+            })
+            .collect();
+        let distinct: BTreeSet<&String> = keys.iter().collect();
+        if distinct.len() < zip_len {
+            emit(
+                out,
+                artifact,
+                "BP0209",
+                Severity::Error,
+                exp.key_span,
+                format!(
+                    "the zip axis generates {zip_len} experiments but the name template \
+                     does not distinguish them, so generated names collide"
+                ),
+                Some(
+                    "reference a zipped list variable (or a value derived from one) \
+                      in the name template",
+                ),
+            );
+        }
+    }
+}
+
+/// The numeric value of `name` at zip index `i` (scalars repeat).
+fn numeric_at(vars: &BTreeMap<String, VarVal>, name: &str, i: usize) -> Option<u64> {
+    match vars.get(name)? {
+        VarVal::Scalar(s) => s.parse().ok(),
+        VarVal::List(items) => items.get(i)?.parse().ok(),
+    }
+}

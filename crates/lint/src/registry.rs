@@ -1,0 +1,188 @@
+//! The rule registry: every stable `BP####` code with its default severity
+//! and a one-line summary. `docs/LINT.md` mirrors this table.
+
+use crate::diag::Severity;
+
+/// Static metadata for one lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable code (`BP0101`, …).
+    pub code: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description of what the rule detects.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter implements, in code order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "BP0001",
+        severity: Severity::Error,
+        name: "parse-error",
+        summary: "an artifact could not be parsed as YAML",
+    },
+    RuleInfo {
+        code: "BP0002",
+        severity: Severity::Note,
+        name: "unrecognized-artifact",
+        summary: "an artifact matches no known layer and is skipped by every rule",
+    },
+    RuleInfo {
+        code: "BP0101",
+        severity: Severity::Error,
+        name: "unknown-package",
+        summary: "a spec names a package that is in no repository (virtuals allowed)",
+    },
+    RuleInfo {
+        code: "BP0102",
+        severity: Severity::Error,
+        name: "unknown-compiler-for-system",
+        summary: "a compiler request does not match any compilers.yaml toolchain",
+    },
+    RuleInfo {
+        code: "BP0103",
+        severity: Severity::Error,
+        name: "unsatisfiable-version",
+        summary: "no known version of the package satisfies the spec's constraint",
+    },
+    RuleInfo {
+        code: "BP0104",
+        severity: Severity::Error,
+        name: "unknown-variant",
+        summary: "a spec sets a variant the package does not declare",
+    },
+    RuleInfo {
+        code: "BP0105",
+        severity: Severity::Error,
+        name: "conflicting-variants",
+        summary: "one spec node sets the same variant twice with different values",
+    },
+    RuleInfo {
+        code: "BP0106",
+        severity: Severity::Error,
+        name: "dangling-compiler-ref",
+        summary: "a package definition's `compiler:` names no known definition",
+    },
+    RuleInfo {
+        code: "BP0107",
+        severity: Severity::Error,
+        name: "dangling-env-package",
+        summary: "an environment lists a package definition that does not exist",
+    },
+    RuleInfo {
+        code: "BP0108",
+        severity: Severity::Error,
+        name: "unbuildable-package",
+        summary: "`buildable: false` with no externals can never be satisfied",
+    },
+    RuleInfo {
+        code: "BP0109",
+        severity: Severity::Error,
+        name: "invalid-spec",
+        summary: "a spec string does not parse",
+    },
+    RuleInfo {
+        code: "BP0201",
+        severity: Severity::Error,
+        name: "unbound-placeholder",
+        summary: "an experiment name template references a variable no scope defines",
+    },
+    RuleInfo {
+        code: "BP0202",
+        severity: Severity::Error,
+        name: "undefined-variable",
+        summary: "a variable value references an undefined variable",
+    },
+    RuleInfo {
+        code: "BP0203",
+        severity: Severity::Warn,
+        name: "unused-variable",
+        summary: "a workspace-level variable is never referenced",
+    },
+    RuleInfo {
+        code: "BP0204",
+        severity: Severity::Warn,
+        name: "shadowed-variable",
+        summary: "an inner scope silently redefines an outer-scope variable",
+    },
+    RuleInfo {
+        code: "BP0205",
+        severity: Severity::Error,
+        name: "bad-matrix",
+        summary: "a matrix names an undefined or scalar variable, or one in two matrices",
+    },
+    RuleInfo {
+        code: "BP0206",
+        severity: Severity::Error,
+        name: "zip-length-mismatch",
+        summary: "zipped list variables have different lengths",
+    },
+    RuleInfo {
+        code: "BP0207",
+        severity: Severity::Error,
+        name: "invalid-regex",
+        summary: "a success-criterion regex does not compile",
+    },
+    RuleInfo {
+        code: "BP0208",
+        severity: Severity::Warn,
+        name: "unbound-criterion-file",
+        summary: "a success-criterion log path references an unbound variable",
+    },
+    RuleInfo {
+        code: "BP0209",
+        severity: Severity::Error,
+        name: "nondiscriminating-template",
+        summary: "generated experiment names collide because the template ignores a varying axis",
+    },
+    RuleInfo {
+        code: "BP0301",
+        severity: Severity::Error,
+        name: "unknown-stage",
+        summary: "a job references a stage that `stages:` does not declare",
+    },
+    RuleInfo {
+        code: "BP0302",
+        severity: Severity::Error,
+        name: "dangling-needs",
+        summary: "a job needs another job that does not exist",
+    },
+    RuleInfo {
+        code: "BP0303",
+        severity: Severity::Error,
+        name: "forward-needs",
+        summary: "a job needs a job in a later stage, which can never be satisfied",
+    },
+    RuleInfo {
+        code: "BP0304",
+        severity: Severity::Warn,
+        name: "masked-failure",
+        summary: "`retry` combined with `allow_failure: true` hides real breakage",
+    },
+    RuleInfo {
+        code: "BP0305",
+        severity: Severity::Warn,
+        name: "empty-stage",
+        summary: "a declared stage has no jobs",
+    },
+    RuleInfo {
+        code: "BP0306",
+        severity: Severity::Error,
+        name: "needs-cycle",
+        summary: "jobs need each other in a cycle the scheduler can never start",
+    },
+    RuleInfo {
+        code: "BP0307",
+        severity: Severity::Warn,
+        name: "script-less-job",
+        summary: "a job-like entry has no `script:` and is silently dropped",
+    },
+];
+
+/// Looks up a rule by its code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}

@@ -1,0 +1,391 @@
+//! Spack-layer rules (`BP01xx`): spec well-formedness, package/variant/version
+//! existence against the builtin repo, and cross-references between package
+//! definitions, environments, externals, and the system compiler toolchains.
+
+use crate::artifact::{Artifact, ArtifactKind};
+use crate::diag::{Diagnostic, Severity};
+use crate::linter::{emit, Linter, SetCtx};
+use benchpark_spec::{Spec, Version, VersionConstraint};
+use benchpark_yamlite::{Span, SpannedValue};
+
+pub(crate) fn check(ctx: &SetCtx<'_>, linter: &Linter, out: &mut Vec<Diagnostic>) {
+    for artifact in &ctx.set.artifacts {
+        match artifact.kind {
+            ArtifactKind::SpackConfig => {
+                check_spack_section(artifact, artifact.doc.get("spack"), ctx, linter, out);
+            }
+            ArtifactKind::Ramble => {
+                let spack = artifact.doc.get("ramble").and_then(|r| r.get("spack"));
+                check_spack_section(artifact, spack, ctx, linter, out);
+            }
+            ArtifactKind::SpackEnv => {
+                let specs = artifact.doc.get("spack").and_then(|s| s.get("specs"));
+                if let Some(list) = specs.and_then(|s| s.string_list()) {
+                    for (text, span) in list {
+                        check_spec(artifact, span, &text, ctx, linter, out);
+                    }
+                }
+            }
+            ArtifactKind::Packages => check_packages(artifact, ctx, linter, out),
+            _ => {}
+        }
+    }
+}
+
+/// Rules over a `spack:` section holding named package definitions and
+/// environments (Figure 9 of the paper).
+fn check_spack_section(
+    artifact: &Artifact,
+    spack: Option<&SpannedValue>,
+    ctx: &SetCtx<'_>,
+    linter: &Linter,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(spack) = spack else { return };
+    if let Some(pkgs) = spack.get("packages").and_then(SpannedValue::as_map) {
+        for entry in pkgs.iter() {
+            if let Some(spec_val) = entry.value.get("spack_spec") {
+                if let Some(text) = spec_val.as_str() {
+                    check_spec(artifact, spec_val.span, text, ctx, linter, out);
+                }
+            }
+            if let Some(comp) = entry.value.get("compiler") {
+                if let Some(name) = comp.as_str() {
+                    if !ctx.package_defs.contains(name) {
+                        emit(
+                            out,
+                            artifact,
+                            "BP0106",
+                            Severity::Error,
+                            comp.span,
+                            format!(
+                                "package definition `{}` references compiler definition \
+                                 `{name}`, which is not defined in any spack section",
+                                entry.key
+                            ),
+                            Some("define it under `spack: packages:` or fix the name"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some(envs) = spack.get("environments").and_then(SpannedValue::as_map) {
+        for env in envs.iter() {
+            let Some(list) = env.value.get("packages").and_then(|p| p.string_list()) else {
+                continue;
+            };
+            for (name, span) in list {
+                if !ctx.package_defs.contains(&name) {
+                    emit(
+                        out,
+                        artifact,
+                        "BP0107",
+                        Severity::Error,
+                        span,
+                        format!(
+                            "environment `{}` lists package definition `{name}`, \
+                             which is not defined in any spack section",
+                            env.key
+                        ),
+                        Some("every environment entry must name a `spack: packages:` definition"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rules over a system `packages.yaml`: external specs must parse, and a
+/// package marked `buildable: false` must supply at least one external.
+fn check_packages(
+    artifact: &Artifact,
+    ctx: &SetCtx<'_>,
+    linter: &Linter,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(pkgs) = artifact.doc.get("packages").and_then(SpannedValue::as_map) else {
+        return;
+    };
+    for entry in pkgs.iter() {
+        let externals = entry.value.get("externals").and_then(SpannedValue::as_seq);
+        if let Some(externals) = externals {
+            for ext in externals {
+                if let Some(spec_val) = ext.get("spec") {
+                    if let Some(text) = spec_val.as_str() {
+                        check_spec(artifact, spec_val.span, text, ctx, linter, out);
+                    }
+                }
+            }
+        }
+        let buildable = entry.value.get("buildable").and_then(SpannedValue::as_bool);
+        if buildable == Some(false) && externals.map(|e| e.is_empty()).unwrap_or(true) {
+            let span = entry
+                .value
+                .get("buildable")
+                .map(|b| b.span)
+                .unwrap_or(entry.key_span);
+            emit(
+                out,
+                artifact,
+                "BP0108",
+                Severity::Error,
+                span,
+                format!(
+                    "package `{}` is marked `buildable: false` but provides no externals, \
+                     so no install can ever satisfy it",
+                    entry.key
+                ),
+                Some("add an `externals:` entry or drop `buildable: false`"),
+            );
+        }
+    }
+}
+
+/// All spec-text rules for one spec site: parse (BP0109), conflicting variant
+/// settings (BP0105), unknown packages (BP0101), unsatisfiable versions
+/// (BP0103), unknown variants (BP0104), and compiler cross-checks (BP0102).
+fn check_spec(
+    artifact: &Artifact,
+    span: Span,
+    text: &str,
+    ctx: &SetCtx<'_>,
+    linter: &Linter,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Conflicting variant settings are detected textually, before parsing:
+    // the spec parser may reject them outright, and pointing at the real
+    // conflict beats a generic parse error.
+    let mut conflicted = false;
+    for node_text in text.split('^') {
+        let settings = variant_settings(node_text);
+        for (i, (name, value)) in settings.iter().enumerate() {
+            if settings[..i].iter().any(|(n, v)| n == name && v != value) {
+                conflicted = true;
+                emit(
+                    out,
+                    artifact,
+                    "BP0105",
+                    Severity::Error,
+                    span,
+                    format!(
+                        "variant `{name}` is set more than once with conflicting values \
+                         in `{}`",
+                        node_text.trim()
+                    ),
+                    Some("keep a single setting per variant"),
+                );
+            }
+        }
+    }
+    let spec: Spec = match text.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            if !conflicted {
+                emit(
+                    out,
+                    artifact,
+                    "BP0109",
+                    Severity::Error,
+                    span,
+                    format!("invalid spec `{text}`: {e}"),
+                    None,
+                );
+            }
+            return;
+        }
+    };
+    check_spec_node(artifact, span, &spec, ctx, linter, out);
+}
+
+/// Per-node repo checks, recursing into `^` dependencies.
+fn check_spec_node(
+    artifact: &Artifact,
+    span: Span,
+    spec: &Spec,
+    ctx: &SetCtx<'_>,
+    linter: &Linter,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let (Some(name), Some(repo)) = (spec.name.as_deref(), linter.repo.as_ref()) {
+        if repo.get(name).is_none() && !repo.is_virtual(name) {
+            emit(
+                out,
+                artifact,
+                "BP0101",
+                Severity::Error,
+                span,
+                format!("unknown package `{name}`: not in the package repository"),
+                Some("check the spelling against `Repo::builtin()` package names"),
+            );
+        } else if let Some(def) = repo.get(name) {
+            let external = ctx.external_pkgs.contains(name)
+                || ctx.compiler_entries.iter().any(|(n, _)| n == name);
+            if !external
+                && !spec.versions.is_any()
+                && !def
+                    .versions
+                    .iter()
+                    .any(|v| version_admits(&spec.versions, v))
+            {
+                let known: Vec<String> = def.versions.iter().map(|v| v.to_string()).collect();
+                emit(
+                    out,
+                    artifact,
+                    "BP0103",
+                    Severity::Error,
+                    span,
+                    format!(
+                        "no known version of `{name}` satisfies `@{}`",
+                        spec.versions
+                    ),
+                    Some(&format!("known versions: {}", known.join(", "))),
+                );
+            }
+            for variant in spec.variants.keys() {
+                if !def.has_variant(variant) {
+                    emit(
+                        out,
+                        artifact,
+                        "BP0104",
+                        Severity::Error,
+                        span,
+                        format!("package `{name}` has no variant `{variant}`"),
+                        None,
+                    );
+                }
+            }
+        }
+        // A compiler named as a package (e.g. `gcc@12.1.1`) must agree with
+        // the system's compilers.yaml when one is part of the set.
+        if ctx.has_compilers_yaml && ctx.compiler_entries.iter().any(|(n, _)| n == name) {
+            check_compiler_versions(artifact, span, name, &spec.versions, "package", ctx, out);
+        }
+    }
+    if let Some(compiler) = &spec.compiler {
+        if ctx.has_compilers_yaml {
+            let known = ctx
+                .compiler_entries
+                .iter()
+                .any(|(n, _)| n == &compiler.name);
+            if !known {
+                emit(
+                    out,
+                    artifact,
+                    "BP0102",
+                    Severity::Error,
+                    span,
+                    format!(
+                        "compiler `%{}` is not declared in this system's compilers.yaml",
+                        compiler.name
+                    ),
+                    Some("use one of the toolchains listed in compilers.yaml"),
+                );
+            } else {
+                check_compiler_versions(
+                    artifact,
+                    span,
+                    &compiler.name,
+                    &compiler.versions,
+                    "compiler",
+                    ctx,
+                    out,
+                );
+            }
+        }
+    }
+    for dep in spec.dependencies.values() {
+        check_spec_node(artifact, span, dep, ctx, linter, out);
+    }
+}
+
+/// BP0102 version half: some compilers.yaml entry for `name` must admit the
+/// requested constraint.
+fn check_compiler_versions(
+    artifact: &Artifact,
+    span: Span,
+    name: &str,
+    constraint: &VersionConstraint,
+    what: &str,
+    ctx: &SetCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if constraint.is_any() {
+        return;
+    }
+    let versions: Vec<&str> = ctx
+        .compiler_entries
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let ok = versions
+        .iter()
+        .any(|v| v.is_empty() || version_admits(constraint, &Version::new(v)));
+    if !ok {
+        emit(
+            out,
+            artifact,
+            "BP0102",
+            Severity::Error,
+            span,
+            format!(
+                "{what} `{name}@{constraint}` does not match any compilers.yaml toolchain \
+                 (available: {})",
+                versions.join(", ")
+            ),
+            Some("align the version with the system's compilers.yaml"),
+        );
+    }
+}
+
+/// Whether a concrete repo/toolchain version can satisfy a constraint,
+/// treating the repo version as the head of its prefix series (so `@2.3.7`
+/// in the repo admits a request for `@2.3.7-gcc12.1.1`).
+fn version_admits(constraint: &VersionConstraint, v: &Version) -> bool {
+    constraint.contains(v) || constraint.intersects(&VersionConstraint::series(v.clone()))
+}
+
+/// Textual variant settings in one spec node: `+name` / `~name` toggles and
+/// `name=value` assignments, in source order.
+fn variant_settings(node: &str) -> Vec<(String, String)> {
+    let mut settings = Vec::new();
+    let chars: Vec<char> = node.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '+' || c == '~' {
+            let mut name = String::new();
+            let mut j = i + 1;
+            while j < chars.len()
+                && (chars[j].is_ascii_alphanumeric() || chars[j] == '_' || chars[j] == '-')
+            {
+                name.push(chars[j]);
+                j += 1;
+            }
+            if !name.is_empty() {
+                let value = if c == '+' { "enabled" } else { "disabled" };
+                settings.push((name, value.to_string()));
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    for word in node.split_whitespace() {
+        if word.starts_with('+') || word.starts_with('~') || word.starts_with('%') {
+            continue;
+        }
+        if let Some(eq) = word.find('=') {
+            let name = &word[..eq];
+            if !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                settings.push((name.to_string(), word[eq + 1..].to_string()));
+            }
+        }
+    }
+    settings
+}

@@ -14,12 +14,30 @@ const MAX_DEPTH: usize = 16;
 /// reference graph reachable from the template is checked: only a genuine
 /// cycle is an error — a deep-but-acyclic chain keeps expanding, since an
 /// acyclic graph guarantees termination.
+///
+/// Undefined references do not abort the pass: expansion continues so that
+/// *every* undefined variable reachable from the template is collected, and
+/// the fixpoint error names them all at once.
 pub fn expand(template: &str, vars: &BTreeMap<String, String>) -> Result<String, RambleError> {
     let mut current = template.to_string();
     let mut passes = 0usize;
     loop {
-        let (next, changed) = expand_once(&current, vars)?;
+        let mut undefined = BTreeSet::new();
+        let (next, changed) = expand_once(&current, vars, &mut undefined)?;
         if !changed {
+            if !undefined.is_empty() {
+                let names: Vec<String> = undefined.iter().map(|n| format!("`{n}`")).collect();
+                let noun = if names.len() == 1 {
+                    "variable"
+                } else {
+                    "variables"
+                };
+                return Err(RambleError::Expansion(format!(
+                    "undefined {noun} {} in {:?}",
+                    names.join(", "),
+                    unprotect(template)
+                )));
+            }
             return Ok(next.replace('\u{1}', "{").replace('\u{2}', "}"));
         }
         current = next;
@@ -42,7 +60,11 @@ fn unprotect(text: &str) -> String {
     text.replace('\u{1}', "{").replace('\u{2}', "}")
 }
 
-fn expand_once(text: &str, vars: &BTreeMap<String, String>) -> Result<(String, bool), RambleError> {
+fn expand_once(
+    text: &str,
+    vars: &BTreeMap<String, String>,
+    undefined: &mut BTreeSet<String>,
+) -> Result<(String, bool), RambleError> {
     let mut out = String::with_capacity(text.len());
     let mut changed = false;
     let mut chars = text.chars().peekable();
@@ -77,10 +99,12 @@ fn expand_once(text: &str, vars: &BTreeMap<String, String>) -> Result<(String, b
                         changed = true;
                     }
                     None => {
-                        return Err(RambleError::Expansion(format!(
-                            "undefined variable `{name}` in {:?}",
-                            unprotect(text)
-                        )))
+                        // Leave the reference in place and keep expanding, so
+                        // one error can report every undefined variable.
+                        undefined.insert(name.clone());
+                        out.push('{');
+                        out.push_str(&name);
+                        out.push('}');
                     }
                 }
             }

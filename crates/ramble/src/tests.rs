@@ -106,6 +106,20 @@ fn expand_errors() {
 }
 
 #[test]
+fn expand_reports_all_undefined_variables_at_once() {
+    // regression: the old code failed on the first undefined reference, so
+    // fixing a template was a one-error-per-run loop
+    let v = vars(&[("n", "512"), ("launch", "{mpi_command} -x {omp_places}")]);
+    let err = expand("run {n} {launch}", &v).unwrap_err().to_string();
+    assert!(err.contains("undefined variables"), "{err}");
+    assert!(err.contains("`mpi_command`"), "{err}");
+    assert!(err.contains("`omp_places`"), "{err}");
+    // a single miss keeps the singular message shape
+    let err = expand("{missing} {n}", &v).unwrap_err().to_string();
+    assert!(err.contains("undefined variable `missing`"), "{err}");
+}
+
+#[test]
 fn expand_literal_braces() {
     let v = vars(&[("n", "5")]);
     assert_eq!(expand("{{literal}} {n}", &v).unwrap(), "{literal} 5");

@@ -32,11 +32,13 @@
 mod emitter;
 mod error;
 mod parser;
+mod span;
 mod value;
 
 pub use emitter::emit;
 pub use error::{ParseError, Result};
-pub use parser::parse;
+pub use parser::{parse, parse_spanned};
+pub use span::{Span, SpannedEntry, SpannedMap, SpannedNode, SpannedValue};
 pub use value::{Map, Value};
 
 #[cfg(test)]

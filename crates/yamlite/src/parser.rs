@@ -1,24 +1,37 @@
 //! Indentation-based recursive-descent parser for the YAML subset.
+//!
+//! The parser builds a [`SpannedValue`] tree natively — every node and every
+//! mapping key records the 1-based `line:col` where it begins — and
+//! [`parse`] is simply [`parse_spanned`] with the spans stripped.
 
 use crate::error::{ParseError, Result};
-use crate::value::{Map, Value};
+use crate::span::{Span, SpannedMap, SpannedNode, SpannedValue};
+use crate::value::Value;
 
 /// Parses a YAML document into a [`Value`].
 ///
 /// An empty document (or one containing only comments) parses to
 /// [`Value::Null`].
 pub fn parse(input: &str) -> Result<Value> {
+    parse_spanned(input).map(SpannedValue::into_value)
+}
+
+/// Parses a YAML document into a [`SpannedValue`] carrying source positions.
+///
+/// An empty document (or one containing only comments) parses to a null node
+/// with a default span.
+pub fn parse_spanned(input: &str) -> Result<SpannedValue> {
     let lines = preprocess(input)?;
     if lines.is_empty() {
-        return Ok(Value::Null);
+        return Ok(SpannedValue::detached(SpannedNode::Null));
     }
     // A document whose single line is neither a sequence item nor a mapping
     // entry is a bare scalar (or flow collection) document.
     if lines.len() == 1
         && !is_seq_item(&lines[0].text)
-        && split_key(&lines[0].text, lines[0].no).is_err()
+        && split_key(&lines[0].text, lines[0].no, lines[0].indent + 1).is_err()
     {
-        return parse_scalar_or_flow(&lines[0].text, lines[0].no);
+        return parse_scalar_or_flow(&lines[0].text, lines[0].no, lines[0].indent + 1);
     }
     let mut pos = 0;
     let value = parse_block(&lines, &mut pos, lines[0].indent)?;
@@ -43,6 +56,12 @@ struct Line {
     indent: usize,
     /// Content with indentation and trailing comment removed.
     text: String,
+}
+
+/// An inline mapping value: its text plus the 1-based column it starts at.
+struct Inline {
+    text: String,
+    col: usize,
 }
 
 /// Strips comments/blank lines and records indentation.
@@ -98,7 +117,7 @@ fn strip_comment(line: &str) -> &str {
 }
 
 /// Parses the block starting at `pos`, whose lines are indented `indent`.
-fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<SpannedValue> {
     let line = &lines[*pos];
     if line.indent != indent {
         return Err(ParseError::new(
@@ -117,6 +136,15 @@ fn is_seq_item(text: &str) -> bool {
     text == "-" || text.starts_with("- ")
 }
 
+/// An already-extracted first entry for a mapping that begins inline inside a
+/// sequence item (e.g. `- key: value`).
+struct FirstEntry {
+    key: String,
+    key_span: Span,
+    inline: Option<Inline>,
+    no: usize,
+}
+
 /// Parses a block mapping at `indent`. If `first` is given, it is an
 /// already-extracted first entry (used for mappings that begin inline inside a
 /// sequence item, e.g. `- key: value`).
@@ -124,13 +152,15 @@ fn parse_mapping(
     lines: &[Line],
     pos: &mut usize,
     indent: usize,
-    first: Option<(String, Option<String>, usize)>,
-) -> Result<Value> {
-    let mut map = Map::new();
+    first: Option<FirstEntry>,
+) -> Result<SpannedValue> {
+    let mut map = SpannedMap::new();
+    let mut map_span = Span::new(lines.get(*pos).map(|l| l.no).unwrap_or(0), indent + 1);
 
-    if let Some((key, inline, no)) = first {
-        let value = mapping_value(lines, pos, indent, inline, no)?;
-        map.insert(key, value);
+    if let Some(entry) = first {
+        map_span = entry.key_span;
+        let value = mapping_value(lines, pos, indent, entry.inline, entry.no, entry.key_span)?;
+        map.insert(entry.key, entry.key_span, value);
     }
 
     while *pos < lines.len() {
@@ -139,18 +169,24 @@ fn parse_mapping(
             break;
         }
         let no = line.no;
-        let (key, inline) = split_key(&line.text, no)?;
+        let (key, key_span, inline) = split_key(&line.text, no, line.indent + 1)?;
         *pos += 1;
-        let value = mapping_value(lines, pos, indent, inline, no)?;
+        let value = mapping_value(lines, pos, indent, inline, no, key_span)?;
         if map.contains_key(&key) {
             return Err(ParseError::new(
                 no,
                 format!("duplicate mapping key {key:?}"),
             ));
         }
-        map.insert(key, value);
+        if map.is_empty() {
+            map_span = key_span;
+        }
+        map.insert(key, key_span, value);
     }
-    Ok(Value::Map(map))
+    Ok(SpannedValue {
+        span: map_span,
+        node: SpannedNode::Map(map),
+    })
 }
 
 /// Parses the value of a mapping entry whose key line has been consumed.
@@ -158,11 +194,12 @@ fn mapping_value(
     lines: &[Line],
     pos: &mut usize,
     key_indent: usize,
-    inline: Option<String>,
+    inline: Option<Inline>,
     no: usize,
-) -> Result<Value> {
-    if let Some(text) = inline {
-        return parse_scalar_or_flow(&text, no);
+    key_span: Span,
+) -> Result<SpannedValue> {
+    if let Some(inline) = inline {
+        return parse_scalar_or_flow(&inline.text, no, inline.col);
     }
     // No inline value: the value is a nested block (deeper indent), a sequence
     // at the same indent as the key (YAML permits this), or null.
@@ -175,12 +212,16 @@ fn mapping_value(
             return parse_sequence(lines, pos, key_indent);
         }
     }
-    Ok(Value::Null)
+    Ok(SpannedValue {
+        span: key_span,
+        node: SpannedNode::Null,
+    })
 }
 
 /// Parses a block sequence at `indent`.
-fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<SpannedValue> {
     let mut items = Vec::new();
+    let seq_span = Span::new(lines[*pos].no, indent + 1);
     while *pos < lines.len() {
         let line = &lines[*pos];
         if line.indent != indent || !is_seq_item(&line.text) {
@@ -196,6 +237,7 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
         // Column where the item's own content begins; an inline mapping that
         // starts on the `- ` line continues at this indentation.
         let item_indent = line.indent + (line.text.len() - content.len());
+        let item_col = item_indent + 1;
         *pos += 1;
 
         if content.is_empty() {
@@ -203,38 +245,56 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Valu
             if *pos < lines.len() && lines[*pos].indent > indent {
                 items.push(parse_block(lines, pos, lines[*pos].indent)?);
             } else {
-                items.push(Value::Null);
+                items.push(SpannedValue {
+                    span: Span::new(no, indent + 1),
+                    node: SpannedNode::Null,
+                });
             }
         } else if content.starts_with(['[', '{']) {
             // flow collections are values, never `key: value` entries
-            items.push(parse_scalar_or_flow(content, no)?);
-        } else if let Ok((key, inline)) = split_key(content, no) {
+            items.push(parse_scalar_or_flow(content, no, item_col)?);
+        } else if let Ok((key, key_span, inline)) = split_key(content, no, item_col) {
             // `- key: …` starts a mapping whose entries align at item_indent.
             items.push(parse_mapping(
                 lines,
                 pos,
                 item_indent,
-                Some((key, inline, no)),
+                Some(FirstEntry {
+                    key,
+                    key_span,
+                    inline,
+                    no,
+                }),
             )?);
         } else {
-            items.push(parse_scalar_or_flow(content, no)?);
+            items.push(parse_scalar_or_flow(content, no, item_col)?);
         }
     }
-    Ok(Value::Seq(items))
+    Ok(SpannedValue {
+        span: seq_span,
+        node: SpannedNode::Seq(items),
+    })
 }
 
-/// Splits a mapping line into `(key, inline_value)`. Fails if the line does
-/// not contain a top-level `": "` (or trailing `:`).
-fn split_key(text: &str, no: usize) -> Result<(String, Option<String>)> {
+/// Splits a mapping line into `(key, key_span, inline_value)`. `base_col` is
+/// the 1-based column of `text`'s first byte in the source line. Fails if the
+/// line does not contain a top-level `": "` (or trailing `:`).
+fn split_key(text: &str, no: usize, base_col: usize) -> Result<(String, Span, Option<Inline>)> {
     let bytes = text.as_bytes();
     let mut in_single = false;
     let mut in_double = false;
+    // Flow-collection nesting depth: a `:` inside `[...]`/`{...}` belongs to
+    // the flow collection, not to this line's `key: value` split. This is what
+    // lets a whole-document flow mapping (`{a: 1, b: 2}`) parse as one value.
+    let mut depth = 0usize;
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
-            b':' if !in_single && !in_double => {
+            b'[' | b'{' if !in_single && !in_double => depth += 1,
+            b']' | b'}' if !in_single && !in_double => depth = depth.saturating_sub(1),
+            b':' if !in_single && !in_double && depth == 0 => {
                 let at_end = i + 1 == bytes.len();
                 if at_end || bytes[i + 1] == b' ' {
                     let raw_key = text[..i].trim();
@@ -242,13 +302,19 @@ fn split_key(text: &str, no: usize) -> Result<(String, Option<String>)> {
                         return Err(ParseError::new(no, "empty mapping key"));
                     }
                     let key = unquote(raw_key, no)?;
-                    let rest = if at_end { "" } else { text[i + 2..].trim() };
+                    let key_span = Span::new(no, base_col);
+                    let rest = if at_end { "" } else { &text[i + 2..] };
+                    let lead = rest.len() - rest.trim_start().len();
+                    let rest = rest.trim();
                     let inline = if rest.is_empty() {
                         None
                     } else {
-                        Some(rest.to_string())
+                        Some(Inline {
+                            text: rest.to_string(),
+                            col: base_col + i + 2 + lead,
+                        })
                     };
-                    return Ok((key, inline));
+                    return Ok((key, key_span, inline));
                 }
             }
             _ => {}
@@ -262,51 +328,83 @@ fn split_key(text: &str, no: usize) -> Result<(String, Option<String>)> {
 }
 
 /// Parses an inline value: flow sequence, flow mapping, quoted or plain scalar.
-fn parse_scalar_or_flow(text: &str, no: usize) -> Result<Value> {
+/// `col` is the 1-based column of `text`'s first byte in the source line.
+fn parse_scalar_or_flow(text: &str, no: usize, col: usize) -> Result<SpannedValue> {
+    let lead = text.len() - text.trim_start().len();
+    let col = col + lead;
     let text = text.trim();
+    let span = Span::new(no, col);
     if text.starts_with('[') {
         let inner = flow_body(text, '[', ']', no)?;
         let mut items = Vec::new();
-        for part in split_flow(inner) {
-            let part = part.trim();
-            if part.is_empty() {
+        for (offset, part) in split_flow(inner) {
+            if part.trim().is_empty() {
                 continue;
             }
-            items.push(parse_scalar_or_flow(part, no)?);
+            // inner starts one byte after the `[`
+            items.push(parse_scalar_or_flow(part, no, col + 1 + offset)?);
         }
-        return Ok(Value::Seq(items));
+        return Ok(SpannedValue {
+            span,
+            node: SpannedNode::Seq(items),
+        });
     }
     if text.starts_with('{') {
         let inner = flow_body(text, '{', '}', no)?;
-        let mut map = Map::new();
-        for part in split_flow(inner) {
+        let mut map = SpannedMap::new();
+        for (offset, part) in split_flow(inner) {
+            let lead = part.len() - part.trim_start().len();
+            let part_col = col + 1 + offset + lead;
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            let (key, inline) = split_key(part, no).or_else(|_| flow_entry_key(part, no))?;
+            let (key, key_span, inline) =
+                split_key(part, no, part_col).or_else(|_| flow_entry_key(part, no, part_col))?;
+            if map.contains_key(&key) {
+                return Err(ParseError::new(
+                    no,
+                    format!("duplicate mapping key {key:?} in flow mapping"),
+                ));
+            }
             let value = match inline {
-                Some(v) => parse_scalar_or_flow(&v, no)?,
-                None => Value::Null,
+                Some(inline) => parse_scalar_or_flow(&inline.text, no, inline.col)?,
+                None => SpannedValue {
+                    span: key_span,
+                    node: SpannedNode::Null,
+                },
             };
-            map.insert(key, value);
+            map.insert(key, key_span, value);
         }
-        return Ok(Value::Map(map));
+        return Ok(SpannedValue {
+            span,
+            node: SpannedNode::Map(map),
+        });
     }
-    scalar(text, no)
+    scalar(text, no, col)
 }
 
-/// `key:value` (no space) is allowed inside flow mappings.
-fn flow_entry_key(part: &str, no: usize) -> Result<(String, Option<String>)> {
+/// `key:value` (no space) is allowed inside flow mappings. `base_col` is the
+/// 1-based column of `part`'s first byte.
+fn flow_entry_key(
+    part: &str,
+    no: usize,
+    base_col: usize,
+) -> Result<(String, Span, Option<Inline>)> {
     if let Some(idx) = part.find(':') {
         let key = unquote(part[..idx].trim(), no)?;
-        let rest = part[idx + 1..].trim();
+        let rest = &part[idx + 1..];
+        let lead = rest.len() - rest.trim_start().len();
+        let rest = rest.trim();
         let inline = if rest.is_empty() {
             None
         } else {
-            Some(rest.to_string())
+            Some(Inline {
+                text: rest.to_string(),
+                col: base_col + idx + 1 + lead,
+            })
         };
-        Ok((key, inline))
+        Ok((key, Span::new(no, base_col), inline))
     } else {
         Err(ParseError::new(
             no,
@@ -328,8 +426,9 @@ fn flow_body(text: &str, open: char, close: char, no: usize) -> Result<&str> {
     Ok(&text[open.len_utf8()..text.len() - close.len_utf8()])
 }
 
-/// Splits flow-collection contents on top-level commas.
-fn split_flow(inner: &str) -> Vec<&str> {
+/// Splits flow-collection contents on top-level commas, returning each part
+/// with its byte offset within `inner`.
+fn split_flow(inner: &str) -> Vec<(usize, &str)> {
     let bytes = inner.as_bytes();
     let mut parts = Vec::new();
     let mut depth = 0usize;
@@ -343,22 +442,34 @@ fn split_flow(inner: &str) -> Vec<&str> {
             b'[' | b'{' if !in_single && !in_double => depth += 1,
             b']' | b'}' if !in_single && !in_double => depth = depth.saturating_sub(1),
             b',' if depth == 0 && !in_single && !in_double => {
-                parts.push(&inner[start..i]);
+                parts.push((start, &inner[start..i]));
                 start = i + 1;
             }
             _ => {}
         }
     }
-    parts.push(&inner[start..]);
+    parts.push((start, &inner[start..]));
     parts
 }
 
 /// Parses a scalar, inferring null/bool/int/float for plain (unquoted) text.
-fn scalar(text: &str, no: usize) -> Result<Value> {
-    if text.starts_with('\'') || text.starts_with('"') {
-        return Ok(Value::Str(unquote(text, no)?));
-    }
-    Ok(infer_plain(text))
+fn scalar(text: &str, no: usize, col: usize) -> Result<SpannedValue> {
+    let node = if text.starts_with('\'') || text.starts_with('"') {
+        SpannedNode::Str(unquote(text, no)?)
+    } else {
+        match infer_plain(text) {
+            Value::Null => SpannedNode::Null,
+            Value::Bool(b) => SpannedNode::Bool(b),
+            Value::Int(i) => SpannedNode::Int(i),
+            Value::Float(f) => SpannedNode::Float(f),
+            Value::Str(s) => SpannedNode::Str(s),
+            Value::Seq(_) | Value::Map(_) => unreachable!("plain scalars are never collections"),
+        }
+    };
+    Ok(SpannedValue {
+        span: Span::new(no, col),
+        node,
+    })
 }
 
 /// Plain-scalar tag inference.

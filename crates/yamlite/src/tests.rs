@@ -418,6 +418,99 @@ fn golden_fig12_variables_yaml() {
 }
 
 // ---------------------------------------------------------------------------
+// Span tests: parse_spanned records 1-based line/col for nodes and keys.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spans_for_nested_mappings() {
+    let text = "a:\n  b:\n    c: 1\n  d: two\n";
+    let doc = crate::parse_spanned(text).unwrap();
+    let root = doc.as_map().unwrap();
+    let a = root.entry("a").unwrap();
+    assert_eq!(a.key_span, crate::Span::new(1, 1));
+    let b = a.value.as_map().unwrap().entry("b").unwrap();
+    assert_eq!(b.key_span, crate::Span::new(2, 3));
+    let c = b.value.as_map().unwrap().entry("c").unwrap();
+    assert_eq!(c.key_span, crate::Span::new(3, 5));
+    // inline scalar value: column of the value text, not the key
+    assert_eq!(c.value.span, crate::Span::new(3, 8));
+    assert_eq!(c.value.as_int(), Some(1));
+    let d = a.value.as_map().unwrap().entry("d").unwrap();
+    assert_eq!(d.key_span, crate::Span::new(4, 3));
+    assert_eq!(d.value.span, crate::Span::new(4, 6));
+}
+
+#[test]
+fn spans_for_block_sequences() {
+    let text = "list:\n  - one\n  - two\n";
+    let doc = crate::parse_spanned(text).unwrap();
+    let list = doc.get("list").unwrap();
+    // the sequence starts at its first `- ` line
+    assert_eq!(list.span, crate::Span::new(2, 3));
+    let items = list.as_seq().unwrap();
+    assert_eq!(items[0].span, crate::Span::new(2, 5));
+    assert_eq!(items[1].span, crate::Span::new(3, 5));
+}
+
+#[test]
+fn spans_for_seq_of_maps() {
+    let text = "externals:\n- spec: mkl@2022.1.0\n  prefix: /opt/mkl\n";
+    let doc = crate::parse_spanned(text).unwrap();
+    let items = doc.get("externals").unwrap().as_seq().unwrap();
+    let first = items[0].as_map().unwrap();
+    let spec = first.entry("spec").unwrap();
+    assert_eq!(spec.key_span, crate::Span::new(2, 3));
+    assert_eq!(spec.value.span, crate::Span::new(2, 9));
+    let prefix = first.entry("prefix").unwrap();
+    assert_eq!(prefix.key_span, crate::Span::new(3, 3));
+    assert_eq!(prefix.value.span, crate::Span::new(3, 11));
+}
+
+#[test]
+fn spans_for_flow_collections() {
+    let text = "a: ['8', '44']\nm: {x: 1, yy: 2}\n";
+    let doc = crate::parse_spanned(text).unwrap();
+    let a = doc.get("a").unwrap();
+    assert_eq!(a.span, crate::Span::new(1, 4));
+    let items = a.as_seq().unwrap();
+    assert_eq!(items[0].span, crate::Span::new(1, 5));
+    assert_eq!(items[1].span, crate::Span::new(1, 10));
+    let m = doc.as_map().unwrap().entry("m").unwrap();
+    assert_eq!(m.key_span, crate::Span::new(2, 1));
+    let inner = m.value.as_map().unwrap();
+    assert_eq!(inner.entry("x").unwrap().key_span, crate::Span::new(2, 5));
+    assert_eq!(inner.entry("x").unwrap().value.span, crate::Span::new(2, 8));
+    assert_eq!(inner.entry("yy").unwrap().key_span, crate::Span::new(2, 11));
+    assert_eq!(
+        inner.entry("yy").unwrap().value.span,
+        crate::Span::new(2, 15)
+    );
+}
+
+#[test]
+fn spans_survive_string_list() {
+    let text = "needs:\n  - build\n  - test\n";
+    let doc = crate::parse_spanned(text).unwrap();
+    let pairs = doc.get("needs").unwrap().string_list().unwrap();
+    assert_eq!(pairs[0], ("build".to_string(), crate::Span::new(2, 5)));
+    assert_eq!(pairs[1], ("test".to_string(), crate::Span::new(3, 5)));
+}
+
+#[test]
+fn spanned_parse_matches_plain_parse() {
+    let text = "a:\n  b: [1, {c: 2}]\n  d:\n  - x\n  - y: 3\n";
+    let spanned = crate::parse_spanned(text).unwrap();
+    assert_eq!(spanned.into_value(), parse(text).unwrap());
+}
+
+#[test]
+fn duplicate_flow_mapping_keys_rejected() {
+    let err = parse("m: {a: 1, a: 2}\n").unwrap_err();
+    assert!(err.message.contains("duplicate"), "{}", err.message);
+    assert_eq!(err.line, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Round-trip tests.
 // ---------------------------------------------------------------------------
 

@@ -18,6 +18,7 @@
 //! * [`cluster`] — simulated HPC systems, scheduler, and execution engine.
 //! * [`perf`] — Caliper/Thicket/Extra-P-style performance analysis.
 //! * [`ci`] — continuous-integration substrate (git, Hubcast, Jacamar, pipelines).
+//! * [`lint`] — cross-artifact static analysis with rustc-style diagnostics.
 //! * [`telemetry`] — pipeline self-instrumentation (spans, counters, event journal).
 //! * [`resilience`] — retry policies, circuit breakers, and seeded fault injection.
 //! * [`core`] — the Benchpark driver: systems, suites, metrics database, reports.
@@ -30,6 +31,7 @@ pub use benchpark_ci as ci;
 pub use benchpark_cluster as cluster;
 pub use benchpark_concretizer as concretizer;
 pub use benchpark_core as core;
+pub use benchpark_lint as lint;
 pub use benchpark_perf as perf;
 pub use benchpark_pkg as pkg;
 pub use benchpark_ramble as ramble;
