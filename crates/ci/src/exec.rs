@@ -331,9 +331,15 @@ pub fn run_pipeline(
     }
 
     // ---- execute on the engine's deterministic serial drive --------------
+    // one virtual slot per job is a fixed property of the pipeline (not a
+    // user tunable), so the schedule-derived telemetry is stable: per-job
+    // `ci.job.<name>` spans carry their planned started_at/finished_at slot
+    // attributes into canonical exports
     let mut logs: Vec<String> = vec![String::new(); jobs.len()];
     let report = Engine::new(jobs.len().max(1))
         .with_telemetry(sink.clone())
+        .with_span_prefix("ci.job")
+        .with_stable_plan()
         .run(&graph, |task, ctx| {
             let job = &jobs[task.payload];
             let log = &mut logs[task.payload];

@@ -333,6 +333,7 @@ impl Cluster {
             self.telemetry
                 .observe("scheduler.utilization", self.sched.utilization());
             span.set_virtual(self.sched.now());
+            span.set_attr("jobs_completed", completed);
         }
     }
 
@@ -354,6 +355,9 @@ impl Cluster {
         }
         failure.fired = true;
         let (at_s, nodes) = (failure.at_s, failure.nodes);
+        // the failure is an event in *virtual* scheduler time, so its span
+        // carries the event's attributes rather than a meaningful wall time
+        let failure_span = self.telemetry.span("sched.node_failure");
         let preempted = self.sched.fail_nodes_at(at_s, nodes);
         for id in &preempted {
             if let Some(job) = self.jobs.get_mut(&JobId(*id)) {
@@ -366,6 +370,9 @@ impl Cluster {
             self.telemetry
                 .incr("sched.requeued", preempted.len() as u64);
         }
+        failure_span.set_attr("at_s", at_s);
+        failure_span.set_attr("nodes_lost", nodes);
+        failure_span.set_attr("preempted", preempted.len());
         true
     }
 

@@ -526,3 +526,28 @@ impl BenchparkWorkspace {
         out
     }
 }
+
+/// Gates a run's exit status on its experiment outcomes: returns an error
+/// naming every non-successful experiment unless `allow_failed` waives the
+/// check. Drives `benchpark trace`'s exit code, so CI notices a workspace
+/// whose experiments failed even though the pipeline itself completed.
+pub fn gate_failed_experiments(
+    results: &[benchpark_ramble::ExperimentResult],
+    allow_failed: bool,
+) -> Result<(), String> {
+    use benchpark_ramble::ExperimentStatus;
+    let failed: Vec<String> = results
+        .iter()
+        .filter(|r| r.status != ExperimentStatus::Success)
+        .map(|r| format!("{} ({:?})", r.experiment, r.status))
+        .collect();
+    if failed.is_empty() || allow_failed {
+        return Ok(());
+    }
+    Err(format!(
+        "{} of {} experiments did not succeed: {} (pass --allow-failed to ignore)",
+        failed.len(),
+        results.len(),
+        failed.join(", ")
+    ))
+}

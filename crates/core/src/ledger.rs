@@ -1,0 +1,416 @@
+//! The durable run ledger: one self-contained JSONL record per pipeline
+//! invocation (paper §3.3, Figure 6 — the *persistent* metrics database the
+//! continuous-benchmarking loop ends in).
+//!
+//! Every `benchpark trace … --export` appends one line to the ledger; later
+//! invocations of `benchpark history` / `benchpark regress` replay those
+//! lines through [`crate::regression`], so baselines span real prior
+//! process lifetimes instead of one in-memory session.
+//!
+//! Design constraints, in order:
+//!
+//! * **Self-contained** — each line carries the run's provenance (system,
+//!   benchmark/variant, the exact experiment manifest), every experiment
+//!   result with FOMs, and a telemetry summary. A collaborator can append
+//!   their lines to yours and the history still makes sense.
+//! * **Deterministic** — records are emitted through
+//!   [`benchpark_yamlite::emit_json`] with fixed field order, and the
+//!   telemetry summary excludes *volatile* metrics (wall-clock or
+//!   worker-count dependent, see
+//!   [`benchpark_telemetry::TelemetryReport::volatile_observations`]), so a
+//!   `--jobs 1` and a `--jobs 8` run of the same pipeline append
+//!   byte-identical records.
+//! * **Corruption-tolerant** — a truncated or garbled line (the process
+//!   died mid-append, a careless merge) is skipped and counted under the
+//!   `obs.ledger.skipped` telemetry counter; the surrounding history stays
+//!   loadable.
+//! * **Versioned** — each record carries `schema`; records with an
+//!   unrecognized version are skipped like corrupt lines rather than
+//!   misread.
+
+use crate::metrics::MetricsDatabase;
+use benchpark_ramble::{ExperimentResult, ExperimentStatus, FomValue};
+use benchpark_telemetry::{TelemetryReport, TelemetrySink};
+use benchpark_yamlite::{emit_json, parse_json, Map, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The ledger schema version this build writes and reads.
+pub const LEDGER_SCHEMA: i64 = 1;
+
+/// One pipeline invocation, as persisted in the ledger.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Monotonic position in the ledger, assigned by [`append_run`]
+    /// (1-based; 0 until appended).
+    pub sequence: u64,
+    /// System profile the run executed on.
+    pub system: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Experiment variant (programming model).
+    pub variant: String,
+    /// The exact experiment manifest, for functional reproduction.
+    pub manifest: String,
+    /// Every experiment result of the run.
+    pub results: Vec<ExperimentResult>,
+    /// Telemetry counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Means of *stable* observation streams, sorted by name (volatile
+    /// streams are excluded by construction).
+    pub observations: Vec<(String, f64)>,
+}
+
+impl RunRecord {
+    /// Builds a record from one run's outputs. The telemetry summary keeps
+    /// counters and stable observation means only.
+    pub fn from_run(
+        system: &str,
+        benchmark: &str,
+        variant: &str,
+        manifest: &str,
+        results: &[ExperimentResult],
+        report: Option<&TelemetryReport>,
+    ) -> RunRecord {
+        let mut counters = Vec::new();
+        let mut observations = Vec::new();
+        if let Some(report) = report {
+            for (name, total) in report.sorted_counters() {
+                counters.push((name.to_string(), total));
+            }
+            for (name, stats) in report.sorted_observations() {
+                if !report.is_volatile_observation(name) {
+                    observations.push((name.to_string(), stats.mean()));
+                }
+            }
+        }
+        RunRecord {
+            sequence: 0,
+            system: system.to_string(),
+            benchmark: benchmark.to_string(),
+            variant: variant.to_string(),
+            manifest: manifest.to_string(),
+            results: results.to_vec(),
+            counters,
+            observations,
+        }
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline). Field
+    /// order is fixed, so equal records serialize byte-identically.
+    pub fn to_json_line(&self) -> String {
+        let mut root = Map::new();
+        root.insert("schema", Value::Int(LEDGER_SCHEMA));
+        root.insert("sequence", Value::Int(self.sequence as i64));
+        root.insert("system", Value::str(self.system.clone()));
+        root.insert("benchmark", Value::str(self.benchmark.clone()));
+        root.insert("variant", Value::str(self.variant.clone()));
+        root.insert("manifest", Value::str(self.manifest.clone()));
+        root.insert(
+            "results",
+            Value::Seq(self.results.iter().map(result_to_value).collect()),
+        );
+        let mut telemetry = Map::new();
+        let mut counters = Map::new();
+        for (name, total) in &self.counters {
+            counters.insert(name, Value::Int(*total as i64));
+        }
+        telemetry.insert("counters", Value::Map(counters));
+        let mut observations = Map::new();
+        for (name, mean) in &self.observations {
+            observations.insert(name, Value::Float(*mean));
+        }
+        telemetry.insert("observations", Value::Map(observations));
+        root.insert("telemetry", Value::Map(telemetry));
+        emit_json(&Value::Map(root))
+    }
+
+    /// Parses one ledger line. Fails on malformed JSON, a missing required
+    /// field, or an unknown schema version.
+    pub fn parse_line(line: &str) -> Result<RunRecord, String> {
+        let doc = parse_json(line)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_int)
+            .ok_or("record lacks `schema`")?;
+        if schema != LEDGER_SCHEMA {
+            return Err(format!("unknown ledger schema version {schema}"));
+        }
+        let text = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("record lacks `{key}`"))
+        };
+        let mut results = Vec::new();
+        for item in doc
+            .get("results")
+            .and_then(Value::as_seq)
+            .ok_or("record lacks `results`")?
+        {
+            results.push(result_from_value(item)?);
+        }
+        let mut counters = Vec::new();
+        let mut observations = Vec::new();
+        if let Some(telemetry) = doc.get("telemetry") {
+            if let Some(map) = telemetry.get("counters").and_then(Value::as_map) {
+                for (name, total) in map.iter() {
+                    let total = total.as_int().ok_or("counter total must be an integer")?;
+                    counters.push((name.clone(), total.max(0) as u64));
+                }
+            }
+            if let Some(map) = telemetry.get("observations").and_then(Value::as_map) {
+                for (name, mean) in map.iter() {
+                    let mean = mean.as_float().ok_or("observation mean must be numeric")?;
+                    observations.push((name.clone(), mean));
+                }
+            }
+        }
+        Ok(RunRecord {
+            sequence: doc
+                .get("sequence")
+                .and_then(Value::as_int)
+                .ok_or("record lacks `sequence`")?
+                .max(0) as u64,
+            system: text("system")?,
+            benchmark: text("benchmark")?,
+            variant: text("variant")?,
+            manifest: text("manifest")?,
+            results,
+            counters,
+            observations,
+        })
+    }
+
+    /// Total for a named counter in this record's telemetry summary.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(0)
+    }
+
+    /// How many of this record's experiments did not succeed.
+    pub fn failed_experiments(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.status != ExperimentStatus::Success)
+            .count()
+    }
+}
+
+fn result_to_value(result: &ExperimentResult) -> Value {
+    let mut rec = Map::new();
+    rec.insert("experiment", Value::str(result.experiment.clone()));
+    rec.insert("application", Value::str(result.application.clone()));
+    rec.insert("workload", Value::str(result.workload.clone()));
+    rec.insert("status", Value::str(format!("{:?}", result.status)));
+    let mut foms = Vec::new();
+    for f in &result.foms {
+        let mut fom = Map::new();
+        fom.insert("name", Value::str(f.name.clone()));
+        fom.insert("value", Value::str(f.value.clone()));
+        fom.insert("units", Value::str(f.units.clone()));
+        if !f.context.is_empty() {
+            let mut context = Map::new();
+            for (k, v) in &f.context {
+                context.insert(k, Value::str(v.clone()));
+            }
+            fom.insert("context", Value::Map(context));
+        }
+        foms.push(Value::Map(fom));
+    }
+    rec.insert("foms", Value::Seq(foms));
+    rec.insert(
+        "criteria",
+        Value::Seq(
+            result
+                .criteria
+                .iter()
+                .map(|(name, ok)| Value::Seq(vec![Value::str(name.clone()), Value::Bool(*ok)]))
+                .collect(),
+        ),
+    );
+    let mut variables = Map::new();
+    for (k, v) in &result.variables {
+        variables.insert(k, Value::str(v.clone()));
+    }
+    rec.insert("variables", Value::Map(variables));
+    // profiles come from virtual-time execution, so they are deterministic
+    // and safe to persist
+    rec.insert(
+        "profile",
+        Value::Seq(
+            result
+                .profile
+                .iter()
+                .map(|(name, seconds)| {
+                    Value::Seq(vec![Value::str(name.clone()), Value::Float(*seconds)])
+                })
+                .collect(),
+        ),
+    );
+    Value::Map(rec)
+}
+
+fn result_from_value(value: &Value) -> Result<ExperimentResult, String> {
+    let text = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| format!("experiment result lacks `{key}`"))
+    };
+    let status = match text("status")?.as_str() {
+        "Success" => ExperimentStatus::Success,
+        "Failed" => ExperimentStatus::Failed,
+        "JobError" => ExperimentStatus::JobError,
+        other => return Err(format!("unknown experiment status `{other}`")),
+    };
+    let mut foms = Vec::new();
+    for item in value
+        .get("foms")
+        .and_then(Value::as_seq)
+        .ok_or("experiment result lacks `foms`")?
+    {
+        let field = |key: &str| -> Result<String, String> {
+            item.get(key)
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("fom lacks `{key}`"))
+        };
+        let mut context = BTreeMap::new();
+        if let Some(map) = item.get("context").and_then(Value::as_map) {
+            for (k, v) in map.iter() {
+                context.insert(k.clone(), v.scalar_string().unwrap_or_default());
+            }
+        }
+        foms.push(FomValue {
+            name: field("name")?,
+            value: field("value")?,
+            units: field("units")?,
+            context,
+        });
+    }
+    let mut criteria = Vec::new();
+    if let Some(items) = value.get("criteria").and_then(Value::as_seq) {
+        for pair in items {
+            let pair = pair.as_seq().ok_or("criterion must be a [name, ok] pair")?;
+            match pair {
+                [Value::Str(name), Value::Bool(ok)] => criteria.push((name.clone(), *ok)),
+                _ => return Err("criterion must be a [name, ok] pair".to_string()),
+            }
+        }
+    }
+    let mut variables = BTreeMap::new();
+    if let Some(map) = value.get("variables").and_then(Value::as_map) {
+        for (k, v) in map.iter() {
+            variables.insert(k.clone(), v.scalar_string().unwrap_or_default());
+        }
+    }
+    let mut profile = Vec::new();
+    if let Some(items) = value.get("profile").and_then(Value::as_seq) {
+        for pair in items {
+            let pair = pair
+                .as_seq()
+                .ok_or("profile entry must be [name, seconds]")?;
+            match pair {
+                [Value::Str(name), seconds] => profile.push((
+                    name.clone(),
+                    seconds
+                        .as_float()
+                        .ok_or("profile seconds must be numeric")?,
+                )),
+                _ => return Err("profile entry must be [name, seconds]".to_string()),
+            }
+        }
+    }
+    Ok(ExperimentResult {
+        experiment: text("experiment")?,
+        application: text("application")?,
+        workload: text("workload")?,
+        status,
+        foms,
+        criteria,
+        variables,
+        profile,
+    })
+}
+
+/// Appends one record to the ledger at `path`, creating the file if needed.
+/// The record's `sequence` is stamped from the ledger's current line count
+/// (so consecutive invocations number their runs 1, 2, 3, …), and the
+/// stamped sequence is returned.
+pub fn append_run(path: &Path, record: &mut RunRecord) -> Result<u64, String> {
+    use std::io::Write as _;
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(format!("cannot read ledger `{}`: {e}", path.display())),
+    };
+    record.sequence = existing + 1;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open ledger `{}`: {e}", path.display()))?;
+    writeln!(file, "{}", record.to_json_line())
+        .map_err(|e| format!("cannot append to ledger `{}`: {e}", path.display()))?;
+    Ok(record.sequence)
+}
+
+/// What [`load_ledger`] found.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerLoad {
+    /// Valid records, in file order, re-stamped with 1-based sequences.
+    pub runs: Vec<RunRecord>,
+    /// Corrupt or unknown-schema lines that were skipped.
+    pub skipped: usize,
+}
+
+impl LedgerLoad {
+    /// Replays the loaded runs into a fresh [`MetricsDatabase`], one
+    /// sequence point per run in ledger order — the input
+    /// [`crate::regression`] expects.
+    pub fn to_database(&self) -> MetricsDatabase {
+        let db = MetricsDatabase::new();
+        for run in &self.runs {
+            db.record(
+                &run.system,
+                &run.benchmark,
+                &run.variant,
+                &run.manifest,
+                &run.results,
+            );
+        }
+        db
+    }
+}
+
+/// Loads a ledger, skipping corrupt lines. Each skipped line increments the
+/// `obs.ledger.skipped` counter on `sink` (and is tallied in the returned
+/// [`LedgerLoad::skipped`]). Loaded runs are re-stamped with consecutive
+/// 1-based sequences in file order, so histories assembled from several
+/// processes (or with holes from skipped lines) stay monotonic.
+pub fn load_ledger(path: &Path, sink: &TelemetrySink) -> Result<LedgerLoad, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read ledger `{}`: {e}", path.display()))?;
+    let mut load = LedgerLoad::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match RunRecord::parse_line(line) {
+            Ok(mut record) => {
+                record.sequence = load.runs.len() as u64 + 1;
+                load.runs.push(record);
+            }
+            Err(_) => {
+                load.skipped += 1;
+                sink.incr("obs.ledger.skipped", 1);
+            }
+        }
+    }
+    Ok(load)
+}

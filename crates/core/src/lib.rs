@@ -30,6 +30,7 @@
 
 mod components;
 mod driver;
+pub mod ledger;
 mod metrics;
 mod plot;
 pub mod procurement;
@@ -40,11 +41,17 @@ mod templates;
 mod tree;
 
 pub use components::{render_table1, table1, Table1Row};
-pub use driver::{Benchpark, BenchparkWorkspace, FleetExperiment, FleetOutcome, WorkflowLog};
+pub use driver::{
+    gate_failed_experiments, Benchpark, BenchparkWorkspace, FleetExperiment, FleetOutcome,
+    WorkflowLog,
+};
+pub use ledger::{append_run, load_ledger, LedgerLoad, RunRecord, LEDGER_SCHEMA};
 pub use metrics::{MetricsDatabase, StoredResult};
 pub use plot::ascii_plot;
 pub use procurement::{ProcurementReport, ProcurementStudy, WorkloadSpec};
-pub use regression::{detect_regression, RegressionReport};
+pub use regression::{
+    detect_regression, lower_is_better_units, scan_regressions, RegressionReport,
+};
 pub use systems::SystemProfile;
 pub use templates::{available_experiments, experiment_template};
 pub use tree::{render_tree, write_skeleton};
@@ -53,3 +60,5 @@ pub use tree::{render_tree, write_skeleton};
 mod tests;
 #[cfg(test)]
 mod tests_extended;
+#[cfg(test)]
+mod tests_obs;

@@ -267,7 +267,10 @@ impl MetricsDatabase {
     /// Records a pipeline telemetry report alongside benchmark results:
     /// counters and observation means become FOMs, the span tree becomes the
     /// stored profile — so pipeline health is queryable with the same
-    /// machinery as benchmark performance. Returns the sequence point.
+    /// machinery as benchmark performance. Volatile observation streams
+    /// (wall-clock/worker-count dependent) are excluded, so the stored FOMs
+    /// are comparable across runs with different `--jobs`. Returns the
+    /// sequence point.
     pub fn record_telemetry(
         &self,
         system: &str,
@@ -275,17 +278,20 @@ impl MetricsDatabase {
     ) -> u64 {
         use benchpark_ramble::FomValue;
         let mut foms = Vec::new();
-        for (name, total) in &report.counters {
+        for (name, total) in report.sorted_counters() {
             foms.push(FomValue {
-                name: name.clone(),
+                name: name.to_string(),
                 value: total.to_string(),
                 units: "count".to_string(),
                 context: Default::default(),
             });
         }
-        for (name, stats) in &report.observations {
+        for (name, stats) in report.sorted_observations() {
+            if report.is_volatile_observation(name) {
+                continue;
+            }
             foms.push(FomValue {
-                name: name.clone(),
+                name: name.to_string(),
                 value: format!("{:.6}", stats.mean()),
                 units: "mean".to_string(),
                 context: Default::default(),

@@ -125,3 +125,61 @@ pub fn detect_regression(
         history_len: baseline.len(),
     })
 }
+
+/// Heuristic: whether a FOM with these units improves downward (runtimes,
+/// latencies) rather than upward (bandwidths, rates). Used by
+/// [`scan_regressions`] when no explicit direction is configured.
+pub fn lower_is_better_units(units: &str) -> bool {
+    let u = units.trim().to_ascii_lowercase();
+    matches!(
+        u.as_str(),
+        "s" | "sec" | "secs" | "second" | "seconds" | "ms" | "msec" | "us" | "usec" | "ns"
+    ) || u.ends_with("seconds")
+        || u.ends_with("latency")
+}
+
+/// Scans the whole database: every `(benchmark, system, fom)` triple with
+/// enough history gets a [`detect_regression`] verdict, directions inferred
+/// from FOM units via [`lower_is_better_units`]. The pipeline's
+/// self-instrumentation pseudo-benchmark (`benchpark-pipeline`) is excluded —
+/// its counters are health telemetry, not performance figures. Verdicts are
+/// sorted by (benchmark, system, fom).
+pub fn scan_regressions(db: &MetricsDatabase, threshold: f64) -> Vec<RegressionReport> {
+    use std::collections::BTreeMap;
+    // (benchmark, system, fom) -> units of the most recent sighting
+    let mut triples: BTreeMap<(String, String, String), String> = BTreeMap::new();
+    for record in db.all() {
+        if record.benchmark == "benchpark-pipeline" {
+            continue;
+        }
+        if record.result.status != ExperimentStatus::Success {
+            continue;
+        }
+        for fom in &record.result.foms {
+            if fom.as_f64().is_none() {
+                continue;
+            }
+            triples.insert(
+                (
+                    record.benchmark.clone(),
+                    record.system.clone(),
+                    fom.name.clone(),
+                ),
+                fom.units.clone(),
+            );
+        }
+    }
+    triples
+        .into_iter()
+        .filter_map(|((benchmark, system, fom), units)| {
+            detect_regression(
+                db,
+                &benchmark,
+                &system,
+                &fom,
+                !lower_is_better_units(&units),
+                threshold,
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,321 @@
+//! Tests for the observability layer: the durable run ledger, regression
+//! edge cases, the units heuristic, the whole-database scan, and the
+//! failed-experiment gate.
+
+use crate::{
+    append_run, detect_regression, gate_failed_experiments, load_ledger, lower_is_better_units,
+    scan_regressions, MetricsDatabase, RunRecord,
+};
+use benchpark_ramble::{ExperimentResult, ExperimentStatus, FomValue};
+use benchpark_telemetry::TelemetrySink;
+
+fn temp_ledger(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("benchpark-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("ledger.jsonl")
+}
+
+fn result(fom: &str, value: f64, units: &str, status: ExperimentStatus) -> ExperimentResult {
+    ExperimentResult {
+        experiment: "exp_1".to_string(),
+        application: "stream".to_string(),
+        workload: "stream".to_string(),
+        status,
+        foms: vec![FomValue {
+            name: fom.to_string(),
+            value: value.to_string(),
+            units: units.to_string(),
+            context: Default::default(),
+        }],
+        criteria: vec![("found_fom".to_string(), true)],
+        variables: [("n_threads".to_string(), "8".to_string())].into(),
+        profile: vec![("kernel".to_string(), 1.5)],
+    }
+}
+
+fn record(value: f64) -> RunRecord {
+    RunRecord::from_run(
+        "cts1",
+        "stream",
+        "openmp",
+        "manifest: stream/openmp on cts1",
+        &[result("triad_bw", value, "MB/s", ExperimentStatus::Success)],
+        None,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Ledger persistence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ledger_record_round_trips_through_json() {
+    let sink = TelemetrySink::recording();
+    sink.incr("cache.hit", 4);
+    sink.observe("queue.depth", 2.0);
+    sink.observe_volatile("install.makespan_seconds", 9.0);
+    let report = sink.report().unwrap();
+    let mut original = RunRecord::from_run(
+        "ats2",
+        "amg2023",
+        "cuda",
+        "manifest text\nwith two lines",
+        &[result("fom_a", 42.5, "GB/s", ExperimentStatus::Success)],
+        Some(&report),
+    );
+    original.sequence = 7;
+    let parsed = RunRecord::parse_line(&original.to_json_line()).expect("round trip");
+    assert_eq!(parsed.sequence, 7);
+    assert_eq!(parsed.system, "ats2");
+    assert_eq!(parsed.benchmark, "amg2023");
+    assert_eq!(parsed.variant, "cuda");
+    assert_eq!(parsed.manifest, original.manifest);
+    assert_eq!(parsed.counters, original.counters);
+    assert_eq!(parsed.counter("cache.hit"), 4);
+    // volatile observation stream excluded by construction
+    assert!(original
+        .observations
+        .iter()
+        .all(|(n, _)| n == "queue.depth"));
+    assert_eq!(parsed.observations, original.observations);
+    let r = &parsed.results[0];
+    assert_eq!(r.status, ExperimentStatus::Success);
+    assert_eq!(r.foms[0].name, "fom_a");
+    assert_eq!(r.foms[0].value, "42.5");
+    assert_eq!(r.criteria, vec![("found_fom".to_string(), true)]);
+    assert_eq!(r.variables["n_threads"], "8");
+    assert_eq!(r.profile, vec![("kernel".to_string(), 1.5)]);
+    // deterministic serialization: emitting the parsed record is byte-identical
+    assert_eq!(parsed.to_json_line(), original.to_json_line());
+}
+
+#[test]
+fn ledger_append_stamps_consecutive_sequences() {
+    let path = temp_ledger("append");
+    for expected in 1..=3u64 {
+        let mut rec = record(100.0);
+        let got = append_run(&path, &mut rec).expect("append");
+        assert_eq!(got, expected);
+        assert_eq!(rec.sequence, expected);
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 3);
+}
+
+#[test]
+fn ledger_load_skips_corrupt_and_unknown_schema_lines() {
+    let path = temp_ledger("corrupt");
+    let mut first = record(100.0);
+    append_run(&path, &mut first).unwrap();
+    // a truncated append and a future schema version land between two
+    // good records
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(file, "{{\"schema\":1,\"sequence\":99,\"trunc").unwrap();
+    writeln!(file, "{{\"schema\":999,\"sequence\":2}}").unwrap();
+    drop(file);
+    let mut last = record(90.0);
+    append_run(&path, &mut last).unwrap();
+
+    let sink = TelemetrySink::recording();
+    let load = load_ledger(&path, &sink).expect("load survives corruption");
+    assert_eq!(load.runs.len(), 2);
+    assert_eq!(load.skipped, 2);
+    assert_eq!(sink.report().unwrap().counter("obs.ledger.skipped"), 2);
+    // survivors are re-stamped with consecutive sequences
+    assert_eq!(load.runs[0].sequence, 1);
+    assert_eq!(load.runs[1].sequence, 2);
+}
+
+#[test]
+fn ledger_replay_feeds_regression_scan() {
+    let path = temp_ledger("replay");
+    for value in [100.0, 100.0, 100.0, 50.0] {
+        let mut rec = record(value);
+        append_run(&path, &mut rec).unwrap();
+    }
+    let load = load_ledger(&path, &TelemetrySink::noop()).unwrap();
+    let db = load.to_database();
+    let reports = scan_regressions(&db, 0.10);
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert_eq!(
+        (report.benchmark.as_str(), report.fom.as_str()),
+        ("stream", "triad_bw")
+    );
+    assert!(report.regressed, "{}", report.render());
+}
+
+// ---------------------------------------------------------------------------
+// Regression edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regression_zero_baseline_std_flags_any_real_drop() {
+    // byte-identical baseline runs have zero variance; the 2-sigma noise
+    // band degenerates to "any difference", and the threshold alone decides
+    let db = MetricsDatabase::new();
+    for _ in 0..3 {
+        db.record(
+            "cts1",
+            "stream",
+            "openmp",
+            "m",
+            &[result("triad_bw", 100.0, "MB/s", ExperimentStatus::Success)],
+        );
+    }
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        "m",
+        &[result("triad_bw", 88.0, "MB/s", ExperimentStatus::Success)],
+    );
+    let report = detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10).unwrap();
+    assert_eq!(report.baseline_std, 0.0);
+    assert!(report.regressed, "{}", report.render());
+}
+
+#[test]
+fn regression_quiet_on_identical_reruns() {
+    let db = MetricsDatabase::new();
+    for _ in 0..4 {
+        db.record(
+            "cts1",
+            "stream",
+            "openmp",
+            "m",
+            &[result("triad_bw", 100.0, "MB/s", ExperimentStatus::Success)],
+        );
+    }
+    let report = detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10).unwrap();
+    assert!(!report.regressed, "{}", report.render());
+    assert_eq!(report.change, 0.0);
+}
+
+#[test]
+fn regression_ignores_failed_experiments() {
+    let db = MetricsDatabase::new();
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        "m",
+        &[result("triad_bw", 100.0, "MB/s", ExperimentStatus::Success)],
+    );
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        "m",
+        &[result("triad_bw", 100.0, "MB/s", ExperimentStatus::Success)],
+    );
+    // an all-failed sequence contributes nothing: still only 2 usable
+    // sequences, so no verdict
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        "m",
+        &[result("triad_bw", 1.0, "MB/s", ExperimentStatus::Failed)],
+    );
+    assert!(detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10).is_none());
+    // one more success: the failed sequence is skipped, not treated as latest
+    db.record(
+        "cts1",
+        "stream",
+        "openmp",
+        "m",
+        &[result("triad_bw", 100.0, "MB/s", ExperimentStatus::Success)],
+    );
+    let report = detect_regression(&db, "stream", "cts1", "triad_bw", true, 0.10).unwrap();
+    assert!(!report.regressed, "{}", report.render());
+}
+
+#[test]
+fn units_heuristic_classifies_directions() {
+    for lower in [
+        "s",
+        "sec",
+        "seconds",
+        "ms",
+        "us",
+        "usec",
+        "ns",
+        "microseconds",
+        "Seconds",
+    ] {
+        assert!(
+            lower_is_better_units(lower),
+            "{lower} should be lower-is-better"
+        );
+    }
+    for higher in ["MB/s", "GB/s", "count", "", "FLOPS", "iterations/sec"] {
+        assert!(
+            !lower_is_better_units(higher),
+            "{higher} should be higher-is-better"
+        );
+    }
+}
+
+#[test]
+fn scan_uses_units_to_infer_direction_and_skips_pipeline_telemetry() {
+    let db = MetricsDatabase::new();
+    // latency in `us`: an increase is a regression
+    for value in [10.0, 10.0, 10.0, 25.0] {
+        db.record(
+            "cts1",
+            "osu-bcast",
+            "scaling",
+            "m",
+            &[result(
+                "avg_latency",
+                value,
+                "us",
+                ExperimentStatus::Success,
+            )],
+        );
+        // pipeline pseudo-benchmark history that would "regress" if scanned
+        db.record(
+            "cts1",
+            "benchpark-pipeline",
+            "telemetry",
+            "m",
+            &[result(
+                "obs.ledger.skipped",
+                value,
+                "count",
+                ExperimentStatus::Success,
+            )],
+        );
+    }
+    let reports = scan_regressions(&db, 0.10);
+    assert_eq!(reports.len(), 1, "pipeline telemetry must be excluded");
+    assert_eq!(reports[0].fom, "avg_latency");
+    assert!(reports[0].regressed, "{}", reports[0].render());
+}
+
+// ---------------------------------------------------------------------------
+// Failed-experiment gate
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gate_passes_clean_runs_and_names_failures() {
+    let ok = [result("x", 1.0, "s", ExperimentStatus::Success)];
+    assert!(gate_failed_experiments(&ok, false).is_ok());
+
+    let mixed = [
+        result("x", 1.0, "s", ExperimentStatus::Success),
+        result("x", 1.0, "s", ExperimentStatus::Failed),
+        result("x", 1.0, "s", ExperimentStatus::JobError),
+    ];
+    let err = gate_failed_experiments(&mixed, false).unwrap_err();
+    assert!(err.contains("Failed"), "{err}");
+    assert!(err.contains("JobError"), "{err}");
+    assert!(err.contains("--allow-failed"), "{err}");
+    assert!(gate_failed_experiments(&mixed, true).is_ok());
+}

@@ -2,8 +2,9 @@
 //! worker pool, both reporting against the virtual-time plan.
 
 use crate::graph::{EngineError, FailurePolicy, Task, TaskGraph};
+use crate::sched::Schedule;
 use benchpark_resilience::{BreakerConfig, CircuitBreaker, FaultInjector, RetryPolicy};
-use benchpark_telemetry::TelemetrySink;
+use benchpark_telemetry::{SpanGuard, TelemetrySink};
 
 /// The worker callback as the attempt loop sees it: one task, one attempt
 /// context, success or an error message.
@@ -93,6 +94,7 @@ pub struct Engine {
     injector: Option<FaultInjector>,
     breaker: Option<BreakerConfig>,
     span_prefix: Option<String>,
+    stable_plan: bool,
 }
 
 impl Engine {
@@ -107,6 +109,7 @@ impl Engine {
             injector: None,
             breaker: None,
             span_prefix: None,
+            stable_plan: false,
         }
     }
 
@@ -145,10 +148,24 @@ impl Engine {
     }
 
     /// Emits one telemetry span per task, named `<prefix>.<key>`, carrying
-    /// the task's virtual duration. Serial drive only (spans are scoped to
-    /// the calling thread).
+    /// the task's virtual duration plus scheduling attributes (dispatch
+    /// index, planned slot, worker assignment, attempts). The serial drive
+    /// opens each span around the task's execution (real duration
+    /// meaningful); the pool drive emits them post-hoc in dispatch order
+    /// once the run completes (real durations near zero, virtual placement
+    /// intact), since spans are scoped to the calling thread.
     pub fn with_span_prefix(mut self, prefix: &str) -> Engine {
         self.span_prefix = Some(prefix.to_string());
+        self
+    }
+
+    /// Declares the plan width a fixed property of the workload rather than
+    /// a user tunable (e.g. a CI pipeline always plans with one slot per
+    /// job). Schedule-derived telemetry — makespan virtual time, per-task
+    /// slot and worker attributes — is then recorded as stable instead of
+    /// volatile, so it participates in canonical exports and ledger records.
+    pub fn with_stable_plan(mut self) -> Engine {
+        self.stable_plan = true;
         self
     }
 
@@ -263,6 +280,44 @@ impl Engine {
         }
     }
 
+    /// Opens the `engine.run` span for one drive. The makespan and plan
+    /// width depend on the worker count, so they are recorded volatile
+    /// unless [`Engine::with_stable_plan`] declared the width fixed.
+    fn open_run_span(&self, schedule: &Schedule, tasks: usize) -> SpanGuard {
+        let span = self.telemetry.span("engine.run");
+        span.set_attr("tasks", tasks);
+        if self.stable_plan {
+            span.set_virtual(schedule.makespan);
+            span.set_attr("workers", schedule.workers);
+        } else {
+            span.set_virtual_volatile(schedule.makespan);
+            span.set_attr_volatile("workers", schedule.workers);
+        }
+        span
+    }
+
+    /// Attaches schedule placement attributes to one task's span.
+    fn annotate_task_span(
+        &self,
+        span: &SpanGuard,
+        schedule: &Schedule,
+        index: usize,
+        dispatch_pos: usize,
+    ) {
+        span.set_attr("dispatch", dispatch_pos);
+        let (start, finish) = schedule.slots[index];
+        let worker = schedule.assignments[index];
+        if self.stable_plan {
+            span.set_attr("slot.start", start);
+            span.set_attr("slot.finish", finish);
+            span.set_attr("worker", worker);
+        } else {
+            span.set_attr_volatile("slot.start", start);
+            span.set_attr_volatile("slot.finish", finish);
+            span.set_attr_volatile("worker", worker);
+        }
+    }
+
     fn finish_report<O>(&self, report: &EngineReport<O>) {
         if !self.telemetry.is_enabled() {
             return;
@@ -293,15 +348,14 @@ impl Engine {
     ) -> Result<EngineReport<O>, EngineError> {
         let schedule = graph.plan(self.workers)?;
         let rolls = self.materialize_faults(graph);
-        let run_span = self.telemetry.span("engine.run");
-        run_span.set_virtual(schedule.makespan);
+        let _run_span = self.open_run_span(&schedule, graph.len());
 
         let mut breaker = self.breaker.map(CircuitBreaker::new);
         let mut statuses: Vec<Option<TaskStatus>> = vec![None; graph.len()];
         let mut reports: Vec<Option<TaskReport<O>>> = Vec::with_capacity(graph.len());
         reports.resize_with(graph.len(), || None);
 
-        for &id in &schedule.dispatch {
+        for (dispatch_pos, &id) in schedule.dispatch.iter().enumerate() {
             let index = id.index();
             let task = &graph.tasks[index];
             let (start, finish) = schedule.slots[index];
@@ -336,13 +390,16 @@ impl Engine {
                     continue;
                 }
             }
-            let task_span = self
-                .span_prefix
-                .as_ref()
-                .map(|prefix| self.telemetry.span(&format!("{prefix}.{}", task.key)));
+            let task_span = self.span_prefix.as_ref().map(|prefix| {
+                let span = self.telemetry.span(&format!("{prefix}.{}", task.key));
+                self.annotate_task_span(&span, &schedule, index, dispatch_pos);
+                span
+            });
             let report = self.attempt(task, (start, finish), &rolls[index], &mut worker);
             if let Some(span) = task_span {
                 span.set_virtual(task.duration);
+                span.set_attr("attempts", report.attempts);
+                span.set_attr("requeues", report.requeues);
             }
             if let Some(breaker) = breaker.as_mut() {
                 match report.status {
@@ -383,8 +440,7 @@ impl Engine {
     {
         let schedule = graph.plan(self.workers)?;
         let rolls = self.materialize_faults(graph);
-        let run_span = self.telemetry.span("engine.run");
-        run_span.set_virtual(schedule.makespan);
+        let _run_span = self.open_run_span(&schedule, graph.len());
 
         let n = graph.len();
         let dependents = graph.dependents();
@@ -476,6 +532,24 @@ impl Engine {
             makespan: schedule.makespan,
             workers: schedule.workers,
         };
+        // post-hoc per-task spans: workers cannot open spans (the recorder's
+        // span stack is shared), so the timeline is replayed serially in
+        // dispatch order — identical span sequence to the serial drive
+        if let Some(prefix) = &self.span_prefix {
+            for (dispatch_pos, &id) in schedule.dispatch.iter().enumerate() {
+                let index = id.index();
+                let task_report = &report.tasks[index];
+                if task_report.status == TaskStatus::Skipped {
+                    continue;
+                }
+                let task = &graph.tasks[index];
+                let span = self.telemetry.span(&format!("{prefix}.{}", task.key));
+                self.annotate_task_span(&span, &schedule, index, dispatch_pos);
+                span.set_virtual(task.duration);
+                span.set_attr("attempts", task_report.attempts);
+                span.set_attr("requeues", task_report.requeues);
+            }
+        }
         self.finish_report(&report);
         Ok(report)
     }

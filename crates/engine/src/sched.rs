@@ -16,6 +16,10 @@ pub struct Schedule {
     pub workers: usize,
     /// Virtual `(start, finish)` per task, indexed like the graph's tasks.
     pub slots: Vec<(f64, f64)>,
+    /// Virtual worker index each task was placed on, indexed like the
+    /// graph's tasks. Together with `slots` this reconstructs the full
+    /// per-worker timeline (the thread tracks in exported traces).
+    pub assignments: Vec<usize>,
     /// Virtual wall-clock: the latest finish time.
     pub makespan: f64,
     /// Placement order — a deterministic topological order used as the
@@ -27,6 +31,11 @@ impl Schedule {
     /// Virtual `(start, finish)` of one task.
     pub fn slot(&self, id: TaskId) -> (f64, f64) {
         self.slots[id.0]
+    }
+
+    /// Virtual worker index one task was placed on.
+    pub fn assignment(&self, id: TaskId) -> usize {
+        self.assignments[id.0]
     }
 }
 
@@ -46,6 +55,7 @@ impl<T> TaskGraph<T> {
         let mut ready_at = vec![0.0f64; n];
         let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
         let mut slots = vec![(0.0f64, 0.0f64); n];
+        let mut assignments = vec![0usize; n];
         let mut dispatch = Vec::with_capacity(n);
 
         while !ready.is_empty() {
@@ -69,6 +79,7 @@ impl<T> TaskGraph<T> {
             let finish = start + self.tasks[task].duration;
             worker_free[widx] = finish;
             slots[task] = (start, finish);
+            assignments[task] = widx;
             dispatch.push(TaskId(task));
 
             for &dependent in &dependents[task] {
@@ -84,6 +95,7 @@ impl<T> TaskGraph<T> {
         Ok(Schedule {
             workers,
             slots,
+            assignments,
             makespan,
             dispatch,
         })

@@ -1,0 +1,200 @@
+//! Chrome trace-event JSON — loadable in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`.
+//!
+//! The trace-event format is a JSON object `{"traceEvents": [...]}` where
+//! each event carries a phase (`ph`), a timestamp in microseconds (`ts`),
+//! process/thread ids, and optional `args`. We emit:
+//!
+//! * `B`/`E` (begin/end) pairs for spans in canonical mode, at journal ticks;
+//! * `X` (complete) events for spans in wall mode, at real microseconds;
+//! * `X` events on per-worker *virtual* thread tracks (wall mode only), laid
+//!   out from each task span's `slot.start`/`slot.finish`/`worker` attrs —
+//!   the engine's simulated schedule rendered as if each worker were a
+//!   thread;
+//! * `C` (counter) events for counter increments and observation samples;
+//! * `M` (metadata) events naming the processes and virtual worker threads.
+
+use crate::Timebase;
+use benchpark_telemetry::{Event, SpanRecord, TelemetryReport};
+use benchpark_yamlite::{emit_json, Map, Value};
+
+/// Process id for the real timeline; thread 1 carries the span stack.
+const PID_WALL: i64 = 1;
+/// Process id for the virtual schedule; one thread per engine worker.
+const PID_VIRTUAL: i64 = 2;
+
+/// Renders the report as Chrome trace-event JSON.
+///
+/// Canonical mode timestamps are journal tick indices (dimensionless, shown
+/// by viewers as microseconds) and all volatile data is dropped; the output
+/// is byte-identical across runs of the same workload. Wall mode timestamps
+/// are real microseconds since the recorder epoch, volatile data included,
+/// plus the virtual per-worker tracks.
+pub fn chrome_trace(report: &TelemetryReport, timebase: Timebase) -> String {
+    let events = match timebase {
+        Timebase::Canonical => canonical_events(report),
+        Timebase::Wall => wall_events(report),
+    };
+    let mut root = Map::new();
+    root.insert("traceEvents", Value::Seq(events));
+    root.insert("displayTimeUnit", Value::str("ms"));
+    emit_json(&Value::Map(root))
+}
+
+fn base_event(ph: &str, name: &str, ts: Value, pid: i64, tid: i64) -> Map {
+    let mut ev = Map::new();
+    ev.insert("ph", Value::str(ph));
+    ev.insert("name", Value::str(name));
+    ev.insert("ts", ts);
+    ev.insert("pid", Value::Int(pid));
+    ev.insert("tid", Value::Int(tid));
+    ev
+}
+
+fn counter_event(name: &str, ts: Value, value: Value, pid: i64) -> Value {
+    let mut ev = base_event("C", name, ts, pid, 0);
+    let mut args = Map::new();
+    args.insert("value", value);
+    ev.insert("args", Value::Map(args));
+    Value::Map(ev)
+}
+
+/// Span `args`: stable attrs always; volatile attrs and volatile virtual
+/// time only in wall mode.
+fn span_args(span: &SpanRecord, timebase: Timebase) -> Option<Value> {
+    let mut args = Map::new();
+    for (k, v) in &span.attrs {
+        args.insert(k, Value::str(v.clone()));
+    }
+    if timebase == Timebase::Wall {
+        for (k, v) in &span.volatile_attrs {
+            args.insert(k, Value::str(v.clone()));
+        }
+    }
+    if let Some(virt) = span.virtual_seconds {
+        if !span.virtual_volatile || timebase == Timebase::Wall {
+            args.insert("virtual_seconds", Value::Float(virt));
+        }
+    }
+    if args.is_empty() {
+        None
+    } else {
+        Some(Value::Map(args))
+    }
+}
+
+/// Canonical: replay the journal with tick indices as timestamps. The i-th
+/// `SpanStart` is `spans[i]`; `SpanEnd` closes the innermost open span.
+fn canonical_events(report: &TelemetryReport) -> Vec<Value> {
+    let mut events = Vec::new();
+    let mut next_span = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    for (tick, event) in report.journal.iter().enumerate() {
+        let ts = Value::Int(tick as i64);
+        match event {
+            Event::SpanStart { name, .. } => {
+                let mut ev = base_event("B", name, ts, PID_WALL, 1);
+                if let Some(span) = report.spans.get(next_span) {
+                    if let Some(args) = span_args(span, Timebase::Canonical) {
+                        ev.insert("args", args);
+                    }
+                    stack.push(next_span);
+                    next_span += 1;
+                }
+                events.push(Value::Map(ev));
+            }
+            Event::SpanEnd { name, .. } => {
+                stack.pop();
+                events.push(Value::Map(base_event("E", name, ts, PID_WALL, 1)));
+            }
+            Event::Counter { name, total, .. } => {
+                events.push(counter_event(name, ts, Value::Int(*total as i64), PID_WALL));
+            }
+            Event::Observe { name, value, .. } => {
+                if !report.is_volatile_observation(name) {
+                    events.push(counter_event(name, ts, Value::Float(*value), PID_WALL));
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Wall: spans as complete (`X`) events in real microseconds, counters and
+/// observations at their journal wall times, plus the virtual schedule as
+/// per-worker thread tracks.
+fn wall_events(report: &TelemetryReport) -> Vec<Value> {
+    let us = |seconds: f64| Value::Float(seconds * 1e6);
+    let mut events = Vec::new();
+    let mut process_meta = |pid: i64, label: &str| {
+        let mut ev = base_event("M", "process_name", Value::Int(0), pid, 0);
+        let mut args = Map::new();
+        args.insert("name", Value::str(label));
+        ev.insert("args", Value::Map(args));
+        events.push(Value::Map(ev));
+    };
+    process_meta(PID_WALL, "benchpark (wall clock)");
+    process_meta(PID_VIRTUAL, "engine schedule (virtual time)");
+
+    let mut workers_seen: Vec<i64> = Vec::new();
+    for span in &report.spans {
+        let Some(real) = span.real_seconds else {
+            continue;
+        };
+        let mut ev = base_event("X", &span.name, us(span.started_at), PID_WALL, 1);
+        ev.insert("dur", us(real));
+        if let Some(args) = span_args(span, Timebase::Wall) {
+            ev.insert("args", args);
+        }
+        events.push(Value::Map(ev));
+
+        // Virtual worker track: any span carrying a scheduled slot. The slot
+        // attrs are stable under `with_stable_plan`, volatile otherwise.
+        let lookup = |key: &str| span.attr(key).or_else(|| span.volatile_attr(key));
+        let slot = (
+            lookup("slot.start").and_then(|v| v.parse::<f64>().ok()),
+            lookup("slot.finish").and_then(|v| v.parse::<f64>().ok()),
+            lookup("worker").and_then(|v| v.parse::<i64>().ok()),
+        );
+        if let (Some(start), Some(finish), Some(worker)) = slot {
+            let tid = worker + 1;
+            if !workers_seen.contains(&tid) {
+                workers_seen.push(tid);
+            }
+            let mut ev = base_event("X", &span.name, us(start), PID_VIRTUAL, tid);
+            ev.insert("dur", us((finish - start).max(0.0)));
+            if let Some(args) = span_args(span, Timebase::Wall) {
+                ev.insert("args", args);
+            }
+            events.push(Value::Map(ev));
+        }
+    }
+    workers_seen.sort_unstable();
+    for tid in workers_seen {
+        let mut ev = base_event("M", "thread_name", Value::Int(0), PID_VIRTUAL, tid);
+        let mut args = Map::new();
+        args.insert("name", Value::str(format!("worker {}", tid - 1)));
+        ev.insert("args", Value::Map(args));
+        events.push(Value::Map(ev));
+    }
+
+    for event in &report.journal {
+        match event {
+            Event::Counter {
+                at, name, total, ..
+            } => {
+                events.push(counter_event(
+                    name,
+                    us(*at),
+                    Value::Int(*total as i64),
+                    PID_WALL,
+                ));
+            }
+            Event::Observe { at, name, value } => {
+                events.push(counter_event(name, us(*at), Value::Float(*value), PID_WALL));
+            }
+            _ => {}
+        }
+    }
+    events
+}

@@ -1,0 +1,59 @@
+//! Folded-stack flamegraph text — the input format of Brendan Gregg's
+//! `flamegraph.pl` and of speedscope: one line per unique span-tree path,
+//! `root;child;grandchild self_value`.
+//!
+//! The value on each line is the span's *self* time: its own extent minus
+//! the extents of its direct children (clamped at zero — overlapping guards
+//! can otherwise produce small negatives). Canonical mode measures extents
+//! in journal ticks, wall mode in real microseconds.
+
+use crate::{span_ticks, Timebase};
+use benchpark_telemetry::TelemetryReport;
+use std::collections::BTreeMap;
+
+/// Renders the span tree as folded stacks, aggregated per path and sorted
+/// lexicographically (the order `flamegraph.pl` expects from `sort`).
+pub fn folded_stacks(report: &TelemetryReport, timebase: Timebase) -> String {
+    let extents: Vec<f64> = match timebase {
+        Timebase::Canonical => span_ticks(report)
+            .into_iter()
+            .map(|(start, end)| end.saturating_sub(start) as f64)
+            .collect(),
+        Timebase::Wall => report
+            .spans
+            .iter()
+            .map(|s| s.real_seconds.unwrap_or(0.0) * 1e6)
+            .collect(),
+    };
+
+    let mut child_total = vec![0.0f64; report.spans.len()];
+    for (index, span) in report.spans.iter().enumerate() {
+        if let Some(parent) = span.parent {
+            child_total[parent] += extents[index];
+        }
+    }
+
+    let mut paths: Vec<String> = Vec::with_capacity(report.spans.len());
+    for span in &report.spans {
+        let path = match span.parent {
+            Some(parent) => format!("{};{}", paths[parent], span.name),
+            None => span.name.clone(),
+        };
+        paths.push(path);
+    }
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (index, path) in paths.into_iter().enumerate() {
+        let self_value = (extents[index] - child_total[index]).max(0.0).round() as u64;
+        *folded.entry(path).or_insert(0) += self_value;
+    }
+
+    let mut out = String::new();
+    for (path, value) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,119 @@
+//! `benchpark-obs` — exporters that turn a [`TelemetryReport`] into standard
+//! observability artifacts, plus the `--export` bundle writer.
+//!
+//! Three formats, chosen because each one feeds an existing off-the-shelf
+//! viewer with zero glue:
+//!
+//! * **Chrome trace-event JSON** ([`chrome_trace`]) — loads directly into
+//!   Perfetto / `chrome://tracing`. Spans become duration events, counters
+//!   and observations become counter tracks, and the engine's virtual
+//!   schedule becomes per-worker thread tracks.
+//! * **Folded stacks** ([`folded_stacks`]) — one `a;b;c value` line per
+//!   span-tree path, the input format of `flamegraph.pl` and speedscope.
+//! * **Prometheus text exposition** ([`prometheus_text`]) — counters and
+//!   observation statistics as scrape-able metrics.
+//!
+//! Every exporter takes a [`Timebase`]:
+//!
+//! * [`Timebase::Wall`] renders real microseconds — what actually happened,
+//!   including thread-pool jitter. Useful for profiling, useless for
+//!   comparing runs.
+//! * [`Timebase::Canonical`] replaces wall clocks with *journal ticks* (the
+//!   index of each event in the telemetry journal) and drops everything
+//!   flagged volatile (worker-count- or wall-clock-dependent observations,
+//!   virtual times, and span attributes). Two runs of the same workload
+//!   produce byte-identical canonical exports regardless of `--jobs` or
+//!   machine speed — which is what makes them diffable in CI.
+
+mod chrome;
+mod flame;
+mod prom;
+mod report_json;
+
+pub use chrome::chrome_trace;
+pub use flame::folded_stacks;
+pub use prom::prometheus_text;
+pub use report_json::report_to_json;
+
+use benchpark_telemetry::TelemetryReport;
+use std::path::Path;
+
+/// Which clock an exporter renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timebase {
+    /// Real wall-clock microseconds; includes volatile data. Not comparable
+    /// across runs.
+    Wall,
+    /// Journal tick indices; volatile data excluded. Byte-identical across
+    /// runs of the same workload.
+    Canonical,
+}
+
+/// File names written by [`export_all`], in write order.
+pub const EXPORT_FILES: [&str; 4] = [
+    "trace.json",
+    "trace.wall.json",
+    "flame.folded",
+    "metrics.prom",
+];
+
+/// Writes the full export bundle into `dir` (created if missing):
+///
+/// * `trace.json` — canonical Chrome trace (diffable across runs)
+/// * `trace.wall.json` — wall-clock Chrome trace with virtual worker tracks
+/// * `flame.folded` — canonical folded stacks
+/// * `metrics.prom` — canonical Prometheus text exposition
+///
+/// Returns the list of file names written.
+pub fn export_all(report: &TelemetryReport, dir: &Path) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let contents = [
+        chrome_trace(report, Timebase::Canonical),
+        chrome_trace(report, Timebase::Wall),
+        folded_stacks(report, Timebase::Canonical),
+        prometheus_text(report, Timebase::Canonical),
+    ];
+    let mut written = Vec::new();
+    for (name, body) in EXPORT_FILES.iter().zip(contents) {
+        let path = dir.join(name);
+        std::fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(name.to_string());
+    }
+    Ok(written)
+}
+
+/// Walks the journal and pairs every `SpanStart` with its span record (the
+/// i-th `SpanStart` event is `spans[i]` — both are appended under the same
+/// lock) and its open/close ticks. A span still open when the report was
+/// snapshotted closes at `journal.len()`.
+///
+/// Returns `(start_tick, end_tick)` per span, indexed like `report.spans`.
+pub(crate) fn span_ticks(report: &TelemetryReport) -> Vec<(usize, usize)> {
+    use benchpark_telemetry::Event;
+    let mut ticks: Vec<(usize, usize)> = report
+        .spans
+        .iter()
+        .map(|_| (0, report.journal.len()))
+        .collect();
+    let mut next_span = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    for (tick, event) in report.journal.iter().enumerate() {
+        match event {
+            Event::SpanStart { .. } if next_span < ticks.len() => {
+                ticks[next_span].0 = tick;
+                stack.push(next_span);
+                next_span += 1;
+            }
+            Event::SpanEnd { .. } => {
+                if let Some(index) = stack.pop() {
+                    ticks[index].1 = tick;
+                }
+            }
+            _ => {}
+        }
+    }
+    ticks
+}
+
+#[cfg(test)]
+mod tests;

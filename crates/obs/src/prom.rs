@@ -1,0 +1,55 @@
+//! Prometheus text exposition (version 0.0.4) — counters and observation
+//! statistics as scrape-able metrics, one `# HELP`/`# TYPE` header pair per
+//! family.
+//!
+//! Metric names are the telemetry names sanitized to `[a-zA-Z0-9_]` and
+//! prefixed `benchpark_`; counters gain the conventional `_total` suffix.
+//! Observation streams expose mean/min/max/last as a gauge with a `stat`
+//! label plus an explicit `_samples` count. Canonical mode skips volatile
+//! observation streams so the exposition is byte-identical across runs.
+
+use crate::Timebase;
+use benchpark_telemetry::TelemetryReport;
+use benchpark_yamlite::json_number;
+use std::fmt::Write as _;
+
+/// Sanitizes a telemetry name into a Prometheus metric name component.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders counters and observations as Prometheus text exposition.
+pub fn prometheus_text(report: &TelemetryReport, timebase: Timebase) -> String {
+    let mut out = String::new();
+    for (name, total) in report.sorted_counters() {
+        let metric = format!("benchpark_{}_total", sanitize(name));
+        let _ = writeln!(out, "# HELP {metric} Benchpark counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {total}");
+    }
+    for (name, stats) in report.sorted_observations() {
+        if timebase == Timebase::Canonical && report.is_volatile_observation(name) {
+            continue;
+        }
+        let metric = format!("benchpark_{}", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Benchpark observation `{name}` (aggregated samples)."
+        );
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for (stat, value) in [
+            ("mean", stats.mean()),
+            ("min", stats.min),
+            ("max", stats.max),
+            ("last", stats.last),
+        ] {
+            let _ = writeln!(out, "{metric}{{stat=\"{stat}\"}} {}", json_number(value));
+        }
+        let _ = writeln!(out, "# HELP {metric}_samples Sample count for `{name}`.");
+        let _ = writeln!(out, "# TYPE {metric}_samples counter");
+        let _ = writeln!(out, "{metric}_samples {}", stats.count);
+    }
+    out
+}

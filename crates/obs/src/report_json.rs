@@ -1,0 +1,82 @@
+//! JSON serialization of a full [`TelemetryReport`] — the machine-readable
+//! body of `benchpark trace --format json`, following the same convention as
+//! `benchpark lint --format json` (a single JSON document on stdout).
+//!
+//! Unlike the canonical exports this is an *inspection* format: it includes
+//! wall-clock times and volatile data, each explicitly labeled, so nothing
+//! recorded is hidden.
+
+use benchpark_telemetry::TelemetryReport;
+use benchpark_yamlite::{emit_json, Map, Value};
+
+fn attr_map(pairs: &[(String, String)]) -> Value {
+    let mut map = Map::new();
+    for (k, v) in pairs {
+        map.insert(k, Value::str(v.clone()));
+    }
+    Value::Map(map)
+}
+
+/// Renders the report as one compact JSON document.
+pub fn report_to_json(report: &TelemetryReport) -> String {
+    let mut root = Map::new();
+    root.insert("schema", Value::Int(1));
+
+    let mut spans = Vec::new();
+    for span in &report.spans {
+        let mut entry = Map::new();
+        entry.insert("name", Value::str(span.name.clone()));
+        entry.insert("depth", Value::Int(span.depth as i64));
+        entry.insert(
+            "parent",
+            span.parent
+                .map(|p| Value::Int(p as i64))
+                .unwrap_or(Value::Null),
+        );
+        entry.insert(
+            "real_seconds",
+            span.real_seconds.map(Value::Float).unwrap_or(Value::Null),
+        );
+        entry.insert(
+            "virtual_seconds",
+            span.virtual_seconds
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        );
+        entry.insert("virtual_volatile", Value::Bool(span.virtual_volatile));
+        if !span.attrs.is_empty() {
+            entry.insert("attrs", attr_map(&span.attrs));
+        }
+        if !span.volatile_attrs.is_empty() {
+            entry.insert("volatile_attrs", attr_map(&span.volatile_attrs));
+        }
+        spans.push(Value::Map(entry));
+    }
+    root.insert("spans", Value::Seq(spans));
+
+    let mut counters = Map::new();
+    for (name, total) in report.sorted_counters() {
+        counters.insert(name, Value::Int(total as i64));
+    }
+    root.insert("counters", Value::Map(counters));
+
+    let mut observations = Map::new();
+    for (name, stats) in report.sorted_observations() {
+        let mut entry = Map::new();
+        entry.insert("count", Value::Int(stats.count as i64));
+        entry.insert("mean", Value::Float(stats.mean()));
+        entry.insert("min", Value::Float(stats.min));
+        entry.insert("max", Value::Float(stats.max));
+        entry.insert("last", Value::Float(stats.last));
+        entry.insert(
+            "volatile",
+            Value::Bool(report.is_volatile_observation(name)),
+        );
+        observations.insert(name, Value::Map(entry));
+    }
+    root.insert("observations", Value::Map(observations));
+
+    root.insert("journal_events", Value::Int(report.journal.len() as i64));
+    root.insert("max_span_depth", Value::Int(report.max_depth() as i64));
+    emit_json(&Value::Map(root))
+}

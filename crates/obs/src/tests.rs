@@ -1,0 +1,227 @@
+use crate::{
+    chrome_trace, export_all, folded_stacks, prometheus_text, report_to_json, span_ticks, Timebase,
+    EXPORT_FILES,
+};
+use benchpark_telemetry::{TelemetryReport, TelemetrySink};
+use benchpark_yamlite::{parse_json, Value};
+
+/// A small, fully deterministic report: two nested spans plus a sibling,
+/// one counter, one stable and one volatile observation.
+fn sample_report() -> TelemetryReport {
+    let sink = TelemetrySink::recording();
+    {
+        let root = sink.span("pipeline.run");
+        root.set_attr("benchmark", "amg2023");
+        {
+            let child = sink.span("install");
+            child.set_virtual(12.0);
+            child.set_attr("packages", 3);
+            child.set_attr_volatile("workers", 4);
+            sink.incr("cache.hit", 2);
+            sink.observe("queue.depth", 5.0);
+            sink.observe_volatile("install.makespan_seconds", 7.5);
+        }
+        let _sibling = sink.span("analyze");
+    }
+    sink.report().unwrap()
+}
+
+#[test]
+fn span_ticks_pair_starts_with_ends() {
+    let report = sample_report();
+    let ticks = span_ticks(&report);
+    assert_eq!(ticks.len(), 3);
+    // journal: B(run) B(install) C O O E(install) B(analyze) E(analyze) E(run)
+    assert_eq!(ticks[0], (0, 8)); // pipeline.run spans the whole journal
+    assert_eq!(ticks[1], (1, 5)); // install closes after the three samples
+    assert_eq!(ticks[2], (6, 7)); // analyze
+}
+
+#[test]
+fn canonical_chrome_trace_is_valid_json_with_tick_timestamps() {
+    let report = sample_report();
+    let text = chrome_trace(&report, Timebase::Canonical);
+    let doc = parse_json(&text).expect("canonical trace parses");
+    let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
+    assert_eq!(events.len(), report.journal.len() - 1); // volatile observe dropped
+                                                        // First event: B pipeline.run at tick 0 with stable args.
+    let first = &events[0];
+    assert_eq!(first.get("ph").and_then(Value::as_str), Some("B"));
+    assert_eq!(first.get("ts").and_then(Value::as_int), Some(0));
+    assert_eq!(
+        first
+            .get("args")
+            .and_then(|a| a.get("benchmark"))
+            .and_then(Value::as_str),
+        Some("amg2023")
+    );
+    // The install span keeps its stable virtual time but not the volatile attr.
+    let install = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("install"))
+        .unwrap();
+    let args = install.get("args").unwrap();
+    assert!(args.get("virtual_seconds").is_some());
+    assert!(args.get("workers").is_none());
+    // No volatile observation anywhere.
+    assert!(!text.contains("install.makespan_seconds"));
+    // Canonical output never leaks wall-clock fields.
+    assert!(!text.contains("real_seconds"));
+}
+
+#[test]
+fn wall_chrome_trace_includes_volatile_data_and_durations() {
+    let report = sample_report();
+    let text = chrome_trace(&report, Timebase::Wall);
+    let doc = parse_json(&text).expect("wall trace parses");
+    let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
+    let install = events
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Value::as_str) == Some("install")
+                && e.get("ph").and_then(Value::as_str) == Some("X")
+        })
+        .unwrap();
+    assert!(install.get("dur").is_some());
+    assert_eq!(
+        install
+            .get("args")
+            .and_then(|a| a.get("workers"))
+            .and_then(Value::as_str),
+        Some("4")
+    );
+    assert!(text.contains("install.makespan_seconds"));
+}
+
+#[test]
+fn wall_chrome_trace_lays_out_virtual_worker_tracks() {
+    let sink = TelemetrySink::recording();
+    {
+        let span = sink.span("engine.task.a");
+        span.set_attr("slot.start", "0");
+        span.set_attr("slot.finish", "2.5");
+        span.set_attr("worker", "1");
+    }
+    let text = chrome_trace(&sink.report().unwrap(), Timebase::Wall);
+    let doc = parse_json(&text).unwrap();
+    let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
+    // A second X event for the task on pid 2 (virtual), tid = worker + 1.
+    let virtual_ev = events
+        .iter()
+        .find(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("X")
+                && e.get("pid").and_then(Value::as_int) == Some(2)
+        })
+        .expect("virtual track event");
+    assert_eq!(virtual_ev.get("tid").and_then(Value::as_int), Some(2));
+    assert_eq!(virtual_ev.get("dur").and_then(Value::as_float), Some(2.5e6));
+    // And a thread_name metadata record for the worker.
+    assert!(text.contains("thread_name"));
+    assert!(text.contains("worker 1"));
+}
+
+#[test]
+fn folded_stacks_aggregate_self_ticks_per_path() {
+    let report = sample_report();
+    let text = folded_stacks(&report, Timebase::Canonical);
+    let lines: Vec<&str> = text.lines().collect();
+    // Sorted lexicographically by path.
+    assert_eq!(
+        lines,
+        vec![
+            "pipeline.run 3", // extent 8 - install 4 - analyze 1
+            "pipeline.run;analyze 1",
+            "pipeline.run;install 4",
+        ]
+    );
+}
+
+#[test]
+fn folded_stacks_merge_repeated_paths() {
+    let sink = TelemetrySink::recording();
+    {
+        let _root = sink.span("root");
+        for _ in 0..3 {
+            let _child = sink.span("step");
+        }
+    }
+    let text = folded_stacks(&sink.report().unwrap(), Timebase::Canonical);
+    // Three `step` spans fold into one line with summed ticks.
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("root;step ")).count(),
+        1
+    );
+    assert!(text.contains("root;step 3"));
+}
+
+#[test]
+fn prometheus_text_exposes_counters_and_skips_volatile_in_canonical() {
+    let report = sample_report();
+    let text = prometheus_text(&report, Timebase::Canonical);
+    assert!(text.contains("# TYPE benchpark_cache_hit_total counter"));
+    assert!(text.contains("benchpark_cache_hit_total 2"));
+    assert!(text.contains("benchpark_queue_depth{stat=\"mean\"} 5.0"));
+    assert!(text.contains("benchpark_queue_depth_samples 1"));
+    assert!(!text.contains("makespan"));
+    let wall = prometheus_text(&report, Timebase::Wall);
+    assert!(wall.contains("benchpark_install_makespan_seconds{stat=\"last\"} 7.5"));
+}
+
+#[test]
+fn report_json_round_trips_and_labels_volatility() {
+    let report = sample_report();
+    let text = report_to_json(&report);
+    let doc = parse_json(&text).expect("report json parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_int), Some(1));
+    let spans = doc.get("spans").and_then(Value::as_seq).unwrap();
+    assert_eq!(spans.len(), 3);
+    let obs = doc.get("observations").unwrap();
+    assert_eq!(
+        obs.get("install.makespan_seconds")
+            .and_then(|o| o.get("volatile"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        obs.get("queue.depth")
+            .and_then(|o| o.get("volatile"))
+            .and_then(Value::as_bool),
+        Some(false)
+    );
+}
+
+#[test]
+fn export_all_writes_the_bundle() {
+    let dir = std::env::temp_dir().join(format!("benchpark-obs-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = sample_report();
+    let written = export_all(&report, &dir).expect("export succeeds");
+    assert_eq!(written, EXPORT_FILES.to_vec());
+    for name in EXPORT_FILES {
+        let body = std::fs::read_to_string(dir.join(name)).unwrap();
+        assert!(!body.is_empty(), "{name} is empty");
+    }
+    // The canonical trace parses as JSON.
+    let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    parse_json(&trace).expect("exported trace parses");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn canonical_exports_are_reproducible_across_reruns() {
+    // Two identically-shaped recordings taken at different wall times
+    // produce byte-identical canonical artifacts.
+    let (a, b) = (sample_report(), sample_report());
+    assert_eq!(
+        chrome_trace(&a, Timebase::Canonical),
+        chrome_trace(&b, Timebase::Canonical)
+    );
+    assert_eq!(
+        folded_stacks(&a, Timebase::Canonical),
+        folded_stacks(&b, Timebase::Canonical)
+    );
+    assert_eq!(
+        prometheus_text(&a, Timebase::Canonical),
+        prometheus_text(&b, Timebase::Canonical)
+    );
+}

@@ -222,6 +222,7 @@ impl<'a> Installer<'a> {
         let execute_span = self.telemetry.span("install.execute");
         let report = Engine::new(opts.jobs.max(1))
             .with_telemetry(self.telemetry.clone())
+            .with_span_prefix("install.pkg")
             .run_pool(&graph, |task, ctx| {
                 let node = task.payload;
                 let (action, _) = actions[&node.hash];
@@ -280,15 +281,22 @@ impl<'a> Installer<'a> {
             if opts.push_to_cache && self.cache.is_some() {
                 self.telemetry.incr("cache.push", misses as u64);
             }
-            self.telemetry.observe("install.makespan_seconds", makespan);
+            // makespan and utilization depend on the worker count, so they
+            // are volatile; total CPU seconds and package counts are not
+            self.telemetry
+                .observe_volatile("install.makespan_seconds", makespan);
             self.telemetry
                 .observe("install.total_cpu_seconds", total_cpu);
             if makespan > 0.0 {
                 let jobs = opts.jobs.max(1) as f64;
                 self.telemetry
-                    .observe("install.worker_utilization", total_cpu / (makespan * jobs));
+                    .observe_volatile("install.worker_utilization", total_cpu / (makespan * jobs));
             }
-            install_span.set_virtual(makespan);
+            install_span.set_virtual_volatile(makespan);
+            install_span.set_attr("packages", results.len());
+            install_span.set_attr("cache.hits", hits);
+            install_span.set_attr("builds", misses);
+            install_span.set_attr("newly_installed", newly);
         }
         drop(install_span);
 

@@ -19,7 +19,7 @@
 //! through a [`TelemetrySink`] handle: a disabled sink (the default
 //! everywhere) is a `None` and costs one branch per call site.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -87,7 +87,18 @@ impl TelemetrySink {
     /// Records one sample of a named quantity.
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(recorder) = &self.0 {
-            recorder.observe(name, value);
+            recorder.observe(name, value, false);
+        }
+    }
+
+    /// Records one sample of a *volatile* quantity — one whose value depends
+    /// on wall clock or worker count (e.g. a parallel makespan or a
+    /// utilization ratio). Volatile streams are aggregated and journaled like
+    /// ordinary observations, but are flagged in the report so deterministic
+    /// consumers (canonical trace exports, the run ledger) can exclude them.
+    pub fn observe_volatile(&self, name: &str, value: f64) {
+        if let Some(recorder) = &self.0 {
+            recorder.observe(name, value, true);
         }
     }
 
@@ -108,7 +119,36 @@ impl SpanGuard {
     /// virtual makespan), alongside the real wall-clock time measured on drop.
     pub fn set_virtual(&self, seconds: f64) {
         if let Some(recorder) = &self.recorder {
-            recorder.set_virtual(self.index, seconds);
+            recorder.set_virtual(self.index, seconds, false);
+        }
+    }
+
+    /// Like [`SpanGuard::set_virtual`], but marks the duration as *volatile*:
+    /// its value depends on the worker count (e.g. a parallel schedule's
+    /// makespan), so canonical exports must not compare it across runs.
+    pub fn set_virtual_volatile(&self, seconds: f64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.set_virtual(self.index, seconds, true);
+        }
+    }
+
+    /// Attaches a `key=value` attribute to this span (e.g. a task's dispatch
+    /// index, its scheduled slot, or a CI job's stage). Attributes surface in
+    /// trace exports as Chrome `args`. Setting the same key twice keeps the
+    /// last value.
+    pub fn set_attr(&self, key: &str, value: impl ToString) {
+        if let Some(recorder) = &self.recorder {
+            recorder.set_attr(self.index, key, value.to_string(), false);
+        }
+    }
+
+    /// Like [`SpanGuard::set_attr`], but marks the attribute as *volatile*
+    /// (worker-count- or wall-clock-dependent, e.g. a task's planned slot
+    /// when the plan width is user-chosen). Volatile attributes appear in
+    /// wall-time exports but are excluded from canonical ones.
+    pub fn set_attr_volatile(&self, key: &str, value: impl ToString) {
+        if let Some(recorder) = &self.recorder {
+            recorder.set_attr(self.index, key, value.to_string(), true);
         }
     }
 }
@@ -162,6 +202,33 @@ pub struct SpanRecord {
     pub real_seconds: Option<f64>,
     /// Simulated-time duration, if the phase attached one.
     pub virtual_seconds: Option<f64>,
+    /// True when `virtual_seconds` depends on worker count (a parallel
+    /// makespan) rather than being a deterministic property of the workload.
+    pub virtual_volatile: bool,
+    /// Stable `key=value` attributes attached via [`SpanGuard::set_attr`],
+    /// in insertion order (last write per key wins).
+    pub attrs: Vec<(String, String)>,
+    /// Volatile attributes ([`SpanGuard::set_attr_volatile`]): present in
+    /// wall-time exports, excluded from canonical ones.
+    pub volatile_attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Looks up a stable attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up a volatile attribute by key.
+    pub fn volatile_attr(&self, key: &str) -> Option<&str> {
+        self.volatile_attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Aggregate statistics for one observation stream.
@@ -191,6 +258,8 @@ struct RecorderState {
     stack: Vec<usize>,
     counters: BTreeMap<String, u64>,
     observations: BTreeMap<String, ObservationStats>,
+    /// Names of observation streams that were ever recorded as volatile.
+    volatile_observations: BTreeSet<String>,
     journal: Vec<Event>,
 }
 
@@ -225,6 +294,9 @@ impl Recorder {
             started_at: at,
             real_seconds: None,
             virtual_seconds: None,
+            virtual_volatile: false,
+            attrs: Vec::new(),
+            volatile_attrs: Vec::new(),
         });
         state.stack.push(index);
         state.journal.push(Event::SpanStart {
@@ -256,10 +328,27 @@ impl Recorder {
         }
     }
 
-    fn set_virtual(&self, index: usize, seconds: f64) {
+    fn set_virtual(&self, index: usize, seconds: f64, volatile: bool) {
         let mut state = self.state.lock().unwrap();
         if let Some(span) = state.spans.get_mut(index) {
             span.virtual_seconds = Some(seconds);
+            span.virtual_volatile = volatile;
+        }
+    }
+
+    fn set_attr(&self, index: usize, key: &str, value: String, volatile: bool) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(span) = state.spans.get_mut(index) {
+            let list = if volatile {
+                &mut span.volatile_attrs
+            } else {
+                &mut span.attrs
+            };
+            if let Some(slot) = list.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                list.push((key.to_string(), value));
+            }
         }
     }
 
@@ -277,9 +366,12 @@ impl Recorder {
         });
     }
 
-    fn observe(&self, name: &str, value: f64) {
+    fn observe(&self, name: &str, value: f64, volatile: bool) {
         let at = self.now();
         let mut state = self.state.lock().unwrap();
+        if volatile {
+            state.volatile_observations.insert(name.to_string());
+        }
         state
             .observations
             .entry(name.to_string())
@@ -310,6 +402,7 @@ impl Recorder {
             spans: state.spans.clone(),
             counters: state.counters.clone(),
             observations: state.observations.clone(),
+            volatile_observations: state.volatile_observations.clone(),
             journal: state.journal.clone(),
         }
     }
@@ -322,6 +415,10 @@ pub struct TelemetryReport {
     pub spans: Vec<SpanRecord>,
     pub counters: BTreeMap<String, u64>,
     pub observations: BTreeMap<String, ObservationStats>,
+    /// Streams recorded via [`TelemetrySink::observe_volatile`] — their
+    /// values are wall-clock- or worker-count-dependent and must be skipped
+    /// by deterministic consumers (canonical exports, the run ledger).
+    pub volatile_observations: BTreeSet<String>,
     pub journal: Vec<Event>,
 }
 
@@ -336,6 +433,36 @@ impl TelemetryReport {
         self.observations.get(name)
     }
 
+    /// True when the named observation stream was recorded as volatile.
+    pub fn is_volatile_observation(&self, name: &str) -> bool {
+        self.volatile_observations.contains(name)
+    }
+
+    /// Counter `(name, total)` pairs, explicitly sorted by name. Rendering
+    /// and exports go through this so the ordering contract does not silently
+    /// depend on the backing map's iteration order.
+    pub fn sorted_counters(&self) -> Vec<(&str, u64)> {
+        let mut out: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Observation `(name, stats)` pairs, explicitly sorted by name — same
+    /// contract as [`TelemetryReport::sorted_counters`].
+    pub fn sorted_observations(&self) -> Vec<(&str, &ObservationStats)> {
+        let mut out: Vec<(&str, &ObservationStats)> = self
+            .observations
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
     /// Deepest nesting level reached in the span tree (roots are 1).
     pub fn max_depth(&self) -> usize {
         self.spans.iter().map(|s| s.depth).max().unwrap_or(0)
@@ -343,6 +470,13 @@ impl TelemetryReport {
 
     /// Renders the span tree, counters, and observations as aligned text —
     /// the body of `benchpark trace`.
+    ///
+    /// Ordering invariant: spans appear in creation order (preorder of the
+    /// span tree); counters and observations appear in ascending
+    /// lexicographic name order via [`TelemetryReport::sorted_counters`] /
+    /// [`TelemetryReport::sorted_observations`], never in backing-map
+    /// iteration order. Volatile observation streams are marked with a
+    /// trailing `*`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("telemetry: span tree (real wall-clock; ~virtual where simulated)\n");
@@ -363,21 +497,32 @@ impl TelemetryReport {
         }
         if !self.counters.is_empty() {
             out.push_str("\ntelemetry: counters\n");
-            for (name, total) in &self.counters {
+            for (name, total) in self.sorted_counters() {
                 let _ = writeln!(out, "  {name:<36} {total:>10}");
             }
         }
         if !self.observations.is_empty() {
             out.push_str("\ntelemetry: observations (mean/min/max over samples)\n");
-            for (name, stats) in &self.observations {
+            let mut any_volatile = false;
+            for (name, stats) in self.sorted_observations() {
+                let mark = if self.is_volatile_observation(name) {
+                    any_volatile = true;
+                    "*"
+                } else {
+                    ""
+                };
+                let label = format!("{name}{mark}");
                 let _ = writeln!(
                     out,
-                    "  {name:<36} mean {:>9.3}  min {:>9.3}  max {:>9.3}  n={}",
+                    "  {label:<36} mean {:>9.3}  min {:>9.3}  max {:>9.3}  n={}",
                     stats.mean(),
                     stats.min,
                     stats.max,
                     stats.count
                 );
+            }
+            if any_volatile {
+                out.push_str("  (* volatile: wall-clock/worker-count dependent)\n");
             }
         }
         let _ = writeln!(
@@ -511,6 +656,104 @@ mod tests {
         drop(outer); // closes `leaked` too
         let report = sink.report().unwrap();
         assert!(report.spans.iter().all(|s| s.real_seconds.is_some()));
+    }
+
+    #[test]
+    fn span_attrs_are_recorded_last_write_wins() {
+        let sink = TelemetrySink::recording();
+        {
+            let span = sink.span("engine.task");
+            span.set_attr("dispatch", 3);
+            span.set_attr("worker", 1);
+            span.set_attr("worker", 2);
+        }
+        let report = sink.report().unwrap();
+        let span = &report.spans[0];
+        assert_eq!(span.attr("dispatch"), Some("3"));
+        assert_eq!(span.attr("worker"), Some("2"));
+        assert_eq!(span.attrs.len(), 2);
+        assert_eq!(span.attr("missing"), None);
+    }
+
+    #[test]
+    fn volatile_attrs_live_in_their_own_list() {
+        let sink = TelemetrySink::recording();
+        {
+            let span = sink.span("engine.task");
+            span.set_attr("dispatch", 0);
+            span.set_attr_volatile("slot.start", 1.5);
+            span.set_attr_volatile("slot.start", 2.5);
+        }
+        let report = sink.report().unwrap();
+        let span = &report.spans[0];
+        assert_eq!(span.attr("dispatch"), Some("0"));
+        assert_eq!(span.attr("slot.start"), None);
+        assert_eq!(span.volatile_attr("slot.start"), Some("2.5"));
+        assert_eq!(span.volatile_attrs.len(), 1);
+    }
+
+    #[test]
+    fn volatile_observations_are_flagged() {
+        let sink = TelemetrySink::recording();
+        sink.observe("stable.metric", 1.0);
+        sink.observe_volatile("install.makespan_seconds", 42.0);
+        let report = sink.report().unwrap();
+        assert!(!report.is_volatile_observation("stable.metric"));
+        assert!(report.is_volatile_observation("install.makespan_seconds"));
+        // volatile streams still aggregate and journal normally
+        assert_eq!(
+            report.observation("install.makespan_seconds").unwrap().last,
+            42.0
+        );
+        assert_eq!(report.journal.len(), 2);
+        let text = report.render();
+        assert!(text.contains("install.makespan_seconds*"));
+        assert!(text.contains("(* volatile"));
+    }
+
+    #[test]
+    fn volatile_virtual_time_is_flagged() {
+        let sink = TelemetrySink::recording();
+        {
+            let span = sink.span("engine.run");
+            span.set_virtual_volatile(8.0);
+        }
+        {
+            let span = sink.span("scheduler.drain");
+            span.set_virtual(100.0);
+        }
+        let report = sink.report().unwrap();
+        assert!(report.spans[0].virtual_volatile);
+        assert_eq!(report.spans[0].virtual_seconds, Some(8.0));
+        assert!(!report.spans[1].virtual_volatile);
+    }
+
+    #[test]
+    fn render_sorts_counters_and_observations_by_name() {
+        let sink = TelemetrySink::recording();
+        // insert in deliberately non-sorted order
+        sink.incr("zeta.count", 1);
+        sink.incr("alpha.count", 1);
+        sink.incr("mid.count", 1);
+        sink.observe("z.obs", 1.0);
+        sink.observe("a.obs", 1.0);
+        let report = sink.report().unwrap();
+        assert_eq!(
+            report
+                .sorted_counters()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>(),
+            vec!["alpha.count", "mid.count", "zeta.count"]
+        );
+        let text = report.render();
+        let pos = |needle: &str| {
+            text.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
+        assert!(pos("alpha.count") < pos("mid.count"));
+        assert!(pos("mid.count") < pos("zeta.count"));
+        assert!(pos("a.obs") < pos("z.obs"));
     }
 
     #[test]

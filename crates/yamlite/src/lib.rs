@@ -31,12 +31,14 @@
 
 mod emitter;
 mod error;
+mod json;
 mod parser;
 mod span;
 mod value;
 
 pub use emitter::emit;
 pub use error::{ParseError, Result};
+pub use json::{emit_json, json_number, json_string, parse_json};
 pub use parser::{parse, parse_spanned};
 pub use span::{Span, SpannedEntry, SpannedMap, SpannedNode, SpannedValue};
 pub use value::{Map, Value};

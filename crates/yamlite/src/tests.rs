@@ -588,5 +588,121 @@ mod proptests {
         fn parser_total(input in "[ -~\n]{0,200}") {
             let _ = parse(&input);
         }
+
+        /// JSON emit → parse is the identity, and re-emitting the reparsed
+        /// value is byte-identical (the ledger determinism contract).
+        #[test]
+        fn json_roundtrip(v in value_strategy()) {
+            let text = crate::emit_json(&v);
+            let reparsed = crate::parse_json(&text)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+            prop_assert_eq!(&reparsed, &v);
+            prop_assert_eq!(crate::emit_json(&reparsed), text);
+        }
+
+        /// The JSON parser never panics on arbitrary input.
+        #[test]
+        fn json_parser_total(input in "[ -~\n]{0,200}") {
+            let _ = crate::parse_json(&input);
+        }
+    }
+}
+
+mod json_tests {
+    use crate::{emit_json, parse_json, Map, Value};
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        let mut map = Map::new();
+        for (k, v) in pairs {
+            map.insert(*k, v.clone());
+        }
+        Value::Map(map)
+    }
+
+    #[test]
+    fn emits_compact_deterministic_json() {
+        let v = obj(&[
+            ("schema", Value::Int(1)),
+            ("name", Value::str("amg2023")),
+            ("ok", Value::Bool(true)),
+            ("ratio", Value::Float(0.5)),
+            ("tags", Value::Seq(vec![Value::str("a"), Value::Null])),
+        ]);
+        assert_eq!(
+            emit_json(&v),
+            r#"{"schema":1,"name":"amg2023","ok":true,"ratio":0.5,"tags":["a",null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::str("a\"b\\c\nd\te");
+        assert_eq!(emit_json(&v), r#""a\"b\\c\nd\te""#);
+        assert_eq!(parse_json(&emit_json(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(emit_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(emit_json(&Value::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse_json(r#" {"a": [1, 2.5, {"b": null}], "c": "x", "d": false} "#).unwrap();
+        assert_eq!(v.get_path(&["a"]).unwrap().as_seq().unwrap().len(), 3);
+        assert_eq!(v.get_path(&["c"]).unwrap().as_str(), Some("x"));
+        assert_eq!(v.get_path(&["d"]).unwrap().as_bool(), Some(false));
+        let inner = &v.get_path(&["a"]).unwrap().as_seq().unwrap()[2];
+        assert!(inner.get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn parses_numbers() {
+        assert_eq!(parse_json("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse_json("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse_json("0.25").unwrap(), Value::Float(0.25));
+        // beyond i64 range falls back to float
+        assert!(matches!(
+            parse_json("99999999999999999999").unwrap(),
+            Value::Float(_)
+        ));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Value::str("\u{1F600}"));
+        assert!(parse_json(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a: 1}",
+            "tru",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "[1 2]",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted corrupt input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_emitted_documents() {
+        let v = obj(&[
+            ("nested", obj(&[("deep", Value::Seq(vec![Value::Int(1)]))])),
+            ("f", Value::Float(1.0)),
+            ("neg", Value::Int(i64::MIN)),
+        ]);
+        let text = emit_json(&v);
+        assert_eq!(parse_json(&text).unwrap(), v);
+        assert_eq!(emit_json(&parse_json(&text).unwrap()), text);
     }
 }

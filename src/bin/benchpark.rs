@@ -10,16 +10,21 @@
 //! benchpark setup <bench>/<variant> <system> <dir>   # steps 1–7
 //! benchpark run   <bench>/<variant> <system> <dir>   # steps 1–9 + results
 //! benchpark fig14 [linear|tree|sag]      # the Figure 14 scaling study
-//! benchpark trace <bench>/<variant> <system> <dir> [--faults] [--jobs N]  # run + telemetry report
+//! benchpark trace <bench>/<variant> <system> <dir> [--faults] [--jobs N]
+//!                 [--export <dir>] [--format json] [--allow-failed]  # run + telemetry report
+//! benchpark history <ledger.jsonl>       # replay a persisted run ledger
+//! benchpark regress <ledger.jsonl> [--threshold P]  # cross-run regression scan
 //! benchpark lint [paths...] [--deny warnings] [--format json]  # static analysis
 //! ```
 
 use benchpark::cluster::BcastAlgorithm;
 use benchpark::core::{
-    available_experiments, render_table1, render_tree, scaling, write_skeleton, Benchpark,
-    MetricsDatabase, SystemProfile,
+    append_run, available_experiments, gate_failed_experiments, load_ledger, render_table1,
+    render_tree, scaling, scan_regressions, write_skeleton, Benchpark, MetricsDatabase, RunRecord,
+    SystemProfile,
 };
 use benchpark::telemetry::TelemetrySink;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,6 +44,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_workspace(&args[1..], true),
         Some("fig14") => cmd_fig14(args.get(1).map(String::as_str)),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
+        Some("regress") => cmd_regress(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!("{}", USAGE);
@@ -62,15 +69,23 @@ const USAGE: &str = "usage:
   benchpark setup <benchmark>/<variant> <system> <workspace_dir>
   benchpark run   <benchmark>/<variant> <system> <workspace_dir>
   benchpark fig14 [linear|tree|sag]
-  benchpark trace <benchmark>/<variant> <system> <workspace_dir> [--faults] [--jobs N]
+  benchpark trace <benchmark>/<variant> <system> <workspace_dir>
+                  [--faults] [--jobs N] [--export <dir>] [--format text|json] [--allow-failed]
+  benchpark history <ledger.jsonl>
+  benchpark regress <ledger.jsonl> [--threshold P]
   benchpark lint [paths...] [--deny warnings] [--format text|json]
 
 options:
   --faults   (trace) strike the run with a seeded transient-fault plan
   --jobs N   (trace) number of execution-engine workers for package installs
              (default 4; outcomes are byte-identical for any N >= 1)
+  --export DIR      (trace) write trace.json (canonical Chrome trace),
+                    trace.wall.json, flame.folded, metrics.prom into DIR and
+                    append the run to DIR/ledger.jsonl
+  --allow-failed    (trace) exit 0 even when experiments failed
+  --threshold P     (regress) relative regression threshold (default 0.05)
   --deny warnings   (lint) treat warnings as errors for the exit code
-  --format FMT      (lint) output format: text (default) or json";
+  --format FMT      (trace, lint) output format: text (default) or json";
 
 fn cmd_list(what: Option<&str>) -> Result<(), String> {
     match what {
@@ -150,9 +165,20 @@ fn cmd_workspace(args: &[String], run: bool) -> Result<(), String> {
 /// appear in the report. `--jobs N` sets the execution-engine worker
 /// count for package installs; the engine guarantees the reports are
 /// byte-identical for any `N`, so this only changes wall-clock behaviour.
+///
+/// `--export DIR` additionally writes the observability bundle (canonical +
+/// wall Chrome traces, folded flamegraph, Prometheus text) into `DIR` and
+/// appends the run to `DIR/ledger.jsonl` for later `benchpark history` /
+/// `benchpark regress`. `--format json` prints the full report as one JSON
+/// document instead of the text rendering. Unless `--allow-failed` is given,
+/// the command exits non-zero when any experiment did not succeed (after
+/// exporting, so failed runs still leave artifacts to debug).
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let mut faults = false;
     let mut jobs: Option<usize> = None;
+    let mut export: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut allow_failed = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -168,12 +194,25 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 }
                 jobs = Some(parsed);
             }
+            "--export" => {
+                let dir = iter.next().ok_or("--export needs a directory")?;
+                export = Some(dir.clone());
+            }
+            "--format" => {
+                let fmt = iter.next().ok_or("--format needs a value (text|json)")?;
+                if fmt != "text" && fmt != "json" {
+                    return Err(format!("unknown format `{fmt}` (text|json)"));
+                }
+                format = fmt.clone();
+            }
+            "--allow-failed" => allow_failed = true,
             _ => positional.push(arg),
         }
     }
     let [experiment, system, workspace_dir] = positional.as_slice() else {
         return Err(
-            "expected <benchmark>/<variant> <system> <workspace_dir> [--faults] [--jobs N]"
+            "expected <benchmark>/<variant> <system> <workspace_dir> [--faults] [--jobs N] \
+             [--export <dir>] [--format text|json] [--allow-failed]"
                 .to_string(),
         );
     };
@@ -218,13 +257,146 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let report = sink.report().expect("recording sink has a report");
     db.record_telemetry(system, &report);
 
-    print!("{}", report.render());
-    println!(
-        "\nrecorded {} telemetry FOMs into the metrics database alongside {} benchmark results",
-        report.counters.len() + report.observations.len(),
-        analysis.results.len()
-    );
+    if let Some(dir) = &export {
+        let dir = Path::new(dir);
+        let written = benchpark::obs::export_all(&report, dir)?;
+        let mut record = RunRecord::from_run(
+            system,
+            benchmark,
+            variant,
+            &ws.manifest(),
+            &analysis.results,
+            Some(&report),
+        );
+        let ledger = dir.join("ledger.jsonl");
+        let sequence = append_run(&ledger, &mut record)?;
+        eprintln!(
+            "exported {} into {} and appended run #{sequence} to {}",
+            written.join(", "),
+            dir.display(),
+            ledger.display()
+        );
+    }
+
+    if format == "json" {
+        println!("{}", benchpark::obs::report_to_json(&report));
+    } else {
+        print!("{}", report.render());
+        println!(
+            "\nrecorded {} telemetry FOMs into the metrics database alongside {} benchmark results",
+            report.counters.len() + report.observations.len(),
+            analysis.results.len()
+        );
+    }
+    gate_failed_experiments(&analysis.results, allow_failed)
+}
+
+/// `benchpark history <ledger.jsonl>` — lists every persisted run: sequence,
+/// experiment provenance, success counts, and the resilience counters that
+/// explain *why* a run was slow or partial. Corrupt ledger lines are skipped
+/// and tallied, never fatal.
+fn cmd_history(args: &[String]) -> Result<(), String> {
+    let [ledger] = args else {
+        return Err("expected <ledger.jsonl>".to_string());
+    };
+    let sink = TelemetrySink::noop();
+    let load = load_ledger(Path::new(ledger), &sink)?;
+    if load.runs.is_empty() && load.skipped == 0 {
+        println!("ledger is empty");
+        return Ok(());
+    }
+    for run in &load.runs {
+        let total = run.results.len();
+        let ok = total - run.failed_experiments();
+        let mut notes = Vec::new();
+        for counter in ["retry.attempts", "sched.requeued", "cache.breaker.trips"] {
+            let value = run.counter(counter);
+            if value > 0 {
+                notes.push(format!("{counter}={value}"));
+            }
+        }
+        let notes = if notes.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", notes.join(" "))
+        };
+        println!(
+            "#{:<3} {}/{} on {:<9} {:>2}/{} experiments ok{}",
+            run.sequence, run.benchmark, run.variant, run.system, ok, total, notes
+        );
+    }
+    if load.skipped > 0 {
+        println!(
+            "({} corrupt or unknown-schema line(s) skipped)",
+            load.skipped
+        );
+    }
     Ok(())
+}
+
+/// `benchpark regress <ledger.jsonl> [--threshold P]` — replays the ledger
+/// into a metrics database and scans every (benchmark, system, FOM) triple
+/// for regressions, directions inferred from FOM units. Exits non-zero when
+/// any triple regressed.
+fn cmd_regress(args: &[String]) -> Result<(), String> {
+    let mut threshold = 0.05f64;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let value = iter.next().ok_or("--threshold needs a value")?;
+                threshold = value
+                    .parse()
+                    .map_err(|_| format!("--threshold expects a number, got `{value}`"))?;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [ledger] = positional.as_slice() else {
+        return Err("expected <ledger.jsonl> [--threshold P]".to_string());
+    };
+    let sink = TelemetrySink::recording();
+    let load = load_ledger(Path::new(ledger), &sink)?;
+    if load.skipped > 0 {
+        eprintln!(
+            "warning: skipped {} corrupt or unknown-schema ledger line(s)",
+            load.skipped
+        );
+    }
+    if load.runs.is_empty() {
+        return Err(format!("ledger `{ledger}` holds no readable runs"));
+    }
+    let db = load.to_database();
+    let reports = scan_regressions(&db, threshold);
+    if reports.is_empty() {
+        println!(
+            "no FOM has enough history for a verdict ({} run(s) loaded; need >= 3 with successes)",
+            load.runs.len()
+        );
+        return Ok(());
+    }
+    let mut regressed = 0usize;
+    for report in &reports {
+        println!("{}", report.render());
+        if report.regressed {
+            regressed += 1;
+        }
+    }
+    if regressed > 0 {
+        Err(format!(
+            "{regressed} of {} FOM histories regressed beyond {:.0}%",
+            reports.len(),
+            threshold * 100.0
+        ))
+    } else {
+        println!(
+            "\nall {} FOM histories within {:.0}% of baseline",
+            reports.len(),
+            threshold * 100.0
+        );
+        Ok(())
+    }
 }
 
 /// `benchpark lint [paths...] [--deny warnings] [--format text|json]` —

@@ -20,6 +20,8 @@
 //! * [`ci`] — continuous-integration substrate (git, Hubcast, Jacamar, pipelines).
 //! * [`lint`] — cross-artifact static analysis with rustc-style diagnostics.
 //! * [`telemetry`] — pipeline self-instrumentation (spans, counters, event journal).
+//! * [`obs`] — telemetry exporters: Chrome trace JSON, folded flamegraphs,
+//!   Prometheus text exposition.
 //! * [`resilience`] — retry policies, circuit breakers, and seeded fault injection.
 //! * [`core`] — the Benchpark driver: systems, suites, metrics database, reports.
 //!
@@ -32,6 +34,7 @@ pub use benchpark_cluster as cluster;
 pub use benchpark_concretizer as concretizer;
 pub use benchpark_core as core;
 pub use benchpark_lint as lint;
+pub use benchpark_obs as obs;
 pub use benchpark_perf as perf;
 pub use benchpark_pkg as pkg;
 pub use benchpark_ramble as ramble;
