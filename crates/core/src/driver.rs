@@ -1,16 +1,19 @@
 //! The Benchpark driver: Figure 1c's nine-step workflow as a library.
 
+use crate::fingerprint::{Fingerprint, FingerprintBuilder, FingerprintIndex};
 use crate::systems::SystemProfile;
 use crate::templates::experiment_template;
 use benchpark_cluster::{AppModelFn, BinaryInfo, Cluster, FaultPlan, Machine, ProgrammingModel};
 use benchpark_concretizer::Concretizer;
 use benchpark_engine::{Engine, TaskGraph, TaskStatus};
 use benchpark_pkg::{AppRepo, Repo};
+use benchpark_ramble::ExperimentResult;
 use benchpark_ramble::{AnalyzeReport, RambleError, RunOutput, SetupReport, Workspace};
 use benchpark_resilience::RetryPolicy;
 use benchpark_spack::{BinaryCache, InstallDatabase, InstallOptions, Installer};
 use benchpark_spec::VariantValue;
 use benchpark_telemetry::TelemetrySink;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// A transcript of the workflow steps executed (Figure 1c's numbering).
@@ -45,6 +48,11 @@ pub struct Benchpark {
     /// Parallel build jobs for installs, and the worker-pool width for
     /// [`Benchpark::run_fleet`].
     jobs: usize,
+    /// Fingerprint → cached-result index consulted by [`Benchpark::run_fleet`]
+    /// (incremental re-benchmarking; `None` = always execute).
+    fingerprint_cache: Option<FingerprintIndex>,
+    /// When true, cache hits are executed anyway (`--force`).
+    force_rerun: bool,
 }
 
 impl Default for Benchpark {
@@ -65,7 +73,20 @@ impl Benchpark {
             site_cache: BinaryCache::new(),
             fault_plan: None,
             jobs: InstallOptions::default().jobs,
+            fingerprint_cache: None,
+            force_rerun: false,
         }
+    }
+
+    /// Attaches a fingerprint cache (built from a run ledger): every fleet
+    /// experiment whose fingerprint has a valid successful record is
+    /// skipped, its cached FOMs spliced into the outcome with a
+    /// `cached: true` marker. Pass `force` to execute hits anyway (they are
+    /// counted under the `fp.forced` telemetry counter).
+    pub fn with_fingerprint_cache(mut self, index: FingerprintIndex, force: bool) -> Benchpark {
+        self.fingerprint_cache = Some(index);
+        self.force_rerun = force;
+        self
     }
 
     /// Sets the parallel job count: `-j` for every install this driver runs
@@ -292,6 +313,7 @@ impl Benchpark {
 
         // boot the cluster and install the built binaries on it
         let machine = machine_override.unwrap_or_else(|| profile.machine());
+        let machine_text = format!("{machine:?}");
         let mut cluster = Cluster::new(machine);
         cluster.set_telemetry(self.telemetry.clone());
         for (exe, model) in app_models {
@@ -310,6 +332,10 @@ impl Benchpark {
         if let Some(plan) = &self.fault_plan {
             cluster_installer = cluster_installer.with_retry_policy(Self::cache_retry_policy(plan));
         }
+        // per-application fingerprint inputs gathered while installing: the
+        // concrete DAG hash (folds in recipes, variants, versions, and
+        // dependency resolution) and the application definition text
+        let mut concrete_inputs: Vec<(String, String, String)> = Vec::new();
         for (app_name, _) in workspace
             .config()
             .expect("config set above")
@@ -332,6 +358,11 @@ impl Benchpark {
                 .concretize(&abstract_spec)
                 .map_err(|e| e.to_string())?;
             cluster_installer.install(&dag, &self.install_options());
+            concrete_inputs.push((
+                app_name.clone(),
+                dag.dag_hash().to_string(),
+                app.fingerprint_text(),
+            ));
             let concrete = &dag.root_node().spec;
             let target = concrete
                 .target
@@ -356,6 +387,47 @@ impl Benchpark {
             }
         }
 
+        // content-addressed experiment fingerprints (§5's manifest made
+        // hashable): one per generated experiment, over everything that can
+        // change its measured result. `concrete_inputs` iterates in
+        // `applications` (BTreeMap) order, so the shared prefix is
+        // deterministic across processes and `--jobs` counts.
+        let mut shared = FingerprintBuilder::new()
+            .field("benchmark", benchmark)
+            .field("variant", variant)
+            .field("system", &profile.name)
+            .field("template", template)
+            .field("compilers.yaml", &profile.compilers_yaml)
+            .field("packages.yaml", &profile.packages_yaml)
+            .field("spack.yaml", &profile.spack_yaml)
+            .field("variables.yaml", &profile.variables_yaml)
+            .field("machine", &machine_text);
+        // an active fault plan perturbs execution, so a faulted run must
+        // never serve as (or be served by) a clean run's cache entry
+        if let Some(plan) = &self.fault_plan {
+            shared = shared.field("faults", &format!("{plan:?}"));
+        }
+        for (app_name, dag_hash, app_text) in &concrete_inputs {
+            shared = shared
+                .field(&format!("concrete.{app_name}"), dag_hash)
+                .field(&format!("application.{app_name}"), app_text);
+        }
+        let mut fingerprints = BTreeMap::new();
+        for exp in &report.experiments {
+            let fp = shared
+                .clone()
+                .field("experiment", &exp.name)
+                .field("application", &exp.application)
+                .field("workload", &exp.workload)
+                .fields("var", exp.provenance_variables())
+                .fields(
+                    "env",
+                    exp.env_vars.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+                )
+                .finish();
+            fingerprints.insert(exp.name.clone(), fp);
+        }
+
         Ok(BenchparkWorkspace {
             benchmark: benchmark.to_string(),
             variant: variant.to_string(),
@@ -363,6 +435,7 @@ impl Benchpark {
             workspace,
             cluster,
             setup_report: report,
+            fingerprints,
             log,
             telemetry: self.telemetry.clone(),
         })
@@ -401,12 +474,32 @@ impl Benchpark {
                     &exp.system,
                     &exp.workspace_dir,
                 )?;
-                workspace.run().map_err(|e| e.to_string())?;
-                let analysis = workspace.analyze(self).map_err(|e| e.to_string())?;
+                let plan = self
+                    .fingerprint_cache
+                    .as_ref()
+                    .map(|index| workspace.plan_incremental(index, self.force_rerun));
+                let fingerprints = workspace.fingerprints.clone();
+                let mut analysis = if plan.as_ref().is_some_and(IncrementalPlan::all_cached) {
+                    // Every experiment hit the cache: skip submit/drain and
+                    // analysis entirely and report straight from the ledger.
+                    AnalyzeReport {
+                        results: Vec::new(),
+                    }
+                } else {
+                    workspace.run().map_err(|e| e.to_string())?;
+                    workspace.analyze(self).map_err(|e| e.to_string())?
+                };
+                let executed = analysis.results.len();
+                if let Some(plan) = &plan {
+                    analysis.results = plan.splice(std::mem::take(&mut analysis.results));
+                }
                 Ok(FleetOutcome {
                     benchmark: exp.benchmark.clone(),
                     variant: exp.variant.clone(),
                     system: exp.system.clone(),
+                    cached: plan.as_ref().map_or(0, |p| p.hits),
+                    executed,
+                    fingerprints,
                     analysis,
                     log: workspace.log.clone(),
                 })
@@ -443,7 +536,15 @@ pub struct FleetOutcome {
     pub benchmark: String,
     pub variant: String,
     pub system: String,
-    /// FOMs and success criteria extracted by `ramble workspace analyze`.
+    /// Experiments spliced from the fingerprint cache (0 when no cache was
+    /// installed via [`Benchpark::with_fingerprint_cache`]).
+    pub cached: usize,
+    /// Experiments actually executed this run.
+    pub executed: usize,
+    /// Content-addressed fingerprint per experiment, from setup.
+    pub fingerprints: BTreeMap<String, Fingerprint>,
+    /// FOMs and success criteria extracted by `ramble workspace analyze`
+    /// (cached splices included, marked `cached`).
     pub analysis: AnalyzeReport,
     /// The nine-step workflow transcript of this experiment.
     pub log: WorkflowLog,
@@ -457,6 +558,11 @@ pub struct BenchparkWorkspace {
     pub workspace: Workspace,
     pub cluster: Cluster,
     pub setup_report: SetupReport,
+    /// Content-addressed fingerprint per generated experiment (see
+    /// [`crate::fingerprint`]), computed during setup from the concrete
+    /// specs, system profile, experiment template, application definitions,
+    /// and resolved experiment variables.
+    pub fingerprints: BTreeMap<String, Fingerprint>,
     pub log: WorkflowLog,
     telemetry: TelemetrySink,
 }
@@ -524,6 +630,124 @@ impl BenchparkWorkspace {
             }
         }
         out
+    }
+
+    /// Splits this workspace's experiments into cache hits and work to run,
+    /// consulting `index` (a ledger-derived [`FingerprintIndex`]). Hit
+    /// experiments are pruned from the workspace so [`BenchparkWorkspace::run`]
+    /// executes only the misses; their stored results come back in the
+    /// returned plan, marked `cached`, ready to be spliced with the fresh
+    /// ones. With `force`, hits are counted as forced and re-executed
+    /// anyway.
+    ///
+    /// Emits the `fp.hits` / `fp.misses` / `fp.forced` telemetry counters.
+    /// When every experiment hits, the caller should skip the run and
+    /// analyze phases entirely — `plan.all_cached()` signals this.
+    pub fn plan_incremental(&mut self, index: &FingerprintIndex, force: bool) -> IncrementalPlan {
+        use std::collections::BTreeSet;
+        // splices must restore the workspace's generation order, so a
+        // partially-cached report is byte-identical to a full run's
+        let order: Vec<String> = self
+            .setup_report
+            .experiments
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        let mut cached: Vec<ExperimentResult> = Vec::new();
+        let (mut hits, mut misses, mut forced) = (0usize, 0usize, 0usize);
+        let mut to_run: BTreeSet<String> = BTreeSet::new();
+        for (name, fp) in &self.fingerprints {
+            match index.lookup(fp) {
+                Some(entry) if !force => {
+                    let mut result = entry.result.clone();
+                    result.cached = true;
+                    cached.push(result);
+                    hits += 1;
+                }
+                Some(_) => {
+                    forced += 1;
+                    to_run.insert(name.clone());
+                }
+                None => {
+                    misses += 1;
+                    to_run.insert(name.clone());
+                }
+            }
+        }
+        self.workspace
+            .retain_experiments(|name| to_run.contains(name));
+        if hits > 0 {
+            self.telemetry.incr("fp.hits", hits as u64);
+        }
+        if misses > 0 {
+            self.telemetry.incr("fp.misses", misses as u64);
+        }
+        if forced > 0 {
+            self.telemetry.incr("fp.forced", forced as u64);
+        }
+        IncrementalPlan {
+            cached,
+            hits,
+            misses,
+            forced,
+            order,
+        }
+    }
+}
+
+/// The outcome of [`BenchparkWorkspace::plan_incremental`]: which
+/// experiments were satisfied from the ledger and which still need to
+/// execute.
+#[derive(Debug, Clone)]
+pub struct IncrementalPlan {
+    /// Ledger-spliced results for the hit experiments, each marked
+    /// `cached: true`.
+    pub cached: Vec<ExperimentResult>,
+    /// Experiments satisfied from the cache.
+    pub hits: usize,
+    /// Experiments with no valid cached record.
+    pub misses: usize,
+    /// Cache hits overridden by `--force` and re-executed.
+    pub forced: usize,
+    /// Every experiment name in workspace generation order — the canonical
+    /// report order [`IncrementalPlan::splice`] restores.
+    order: Vec<String>,
+}
+
+impl IncrementalPlan {
+    /// True when nothing is left to execute — the run and analyze phases
+    /// can be skipped outright.
+    pub fn all_cached(&self) -> bool {
+        self.misses == 0 && self.forced == 0
+    }
+
+    /// How many experiments still execute.
+    pub fn to_run(&self) -> usize {
+        self.misses + self.forced
+    }
+
+    /// Merges the freshly executed results with the cached splice, restoring
+    /// the workspace's generation order so the combined report is
+    /// byte-identical to a full (uncached) run's.
+    pub fn splice(&self, executed: Vec<ExperimentResult>) -> Vec<ExperimentResult> {
+        let position = |name: &str| {
+            self.order
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or(self.order.len())
+        };
+        let mut out = self.cached.clone();
+        out.extend(executed);
+        out.sort_by_key(|r| position(&r.experiment));
+        out
+    }
+
+    /// One-line accounting, e.g. `fingerprints: 8 hit(s), 0 miss(es), 0 forced`.
+    pub fn summary(&self) -> String {
+        format!(
+            "fingerprints: {} hit(s), {} miss(es), {} forced",
+            self.hits, self.misses, self.forced
+        )
     }
 }
 

@@ -26,7 +26,12 @@
 //!   loadable.
 //! * **Versioned** — each record carries `schema`; records with an
 //!   unrecognized version are skipped like corrupt lines rather than
-//!   misread.
+//!   misread. This build writes schema 2 (which adds per-experiment
+//!   content-addressed fingerprints, see [`crate::fingerprint`], and a
+//!   `cached` provenance marker per result) and still reads schema-1
+//!   lines — a schema-1 record simply carries no fingerprints, so it can
+//!   never satisfy a fingerprint lookup but stays fully usable for
+//!   `history`/`regress`.
 
 use crate::metrics::MetricsDatabase;
 use benchpark_ramble::{ExperimentResult, ExperimentStatus, FomValue};
@@ -35,8 +40,12 @@ use benchpark_yamlite::{emit_json, parse_json, Map, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The ledger schema version this build writes and reads.
-pub const LEDGER_SCHEMA: i64 = 1;
+/// The ledger schema version this build writes.
+pub const LEDGER_SCHEMA: i64 = 2;
+
+/// The oldest schema version this build still reads. Records outside
+/// `LEDGER_SCHEMA_MIN..=LEDGER_SCHEMA` are skipped as unknown.
+pub const LEDGER_SCHEMA_MIN: i64 = 1;
 
 /// One pipeline invocation, as persisted in the ledger.
 #[derive(Debug, Clone)]
@@ -54,6 +63,11 @@ pub struct RunRecord {
     pub manifest: String,
     /// Every experiment result of the run.
     pub results: Vec<ExperimentResult>,
+    /// Content-addressed fingerprint per experiment (experiment name →
+    /// canonical hex, sorted by name; empty for replayed schema-1 records).
+    /// This is what lets a later run recognize "nothing changed" and splice
+    /// this record's FOMs instead of re-executing.
+    pub fingerprints: Vec<(String, String)>,
     /// Telemetry counter totals, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Means of *stable* observation streams, sorted by name (volatile
@@ -91,9 +105,19 @@ impl RunRecord {
             variant: variant.to_string(),
             manifest: manifest.to_string(),
             results: results.to_vec(),
+            fingerprints: Vec::new(),
             counters,
             observations,
         }
+    }
+
+    /// Attaches per-experiment fingerprints (experiment name → canonical
+    /// hex); pairs are sorted by experiment name for deterministic
+    /// serialization.
+    pub fn with_fingerprints(mut self, mut fingerprints: Vec<(String, String)>) -> RunRecord {
+        fingerprints.sort();
+        self.fingerprints = fingerprints;
+        self
     }
 
     /// Serializes the record as one JSON line (no trailing newline). Field
@@ -110,6 +134,11 @@ impl RunRecord {
             "results",
             Value::Seq(self.results.iter().map(result_to_value).collect()),
         );
+        let mut fingerprints = Map::new();
+        for (experiment, fingerprint) in &self.fingerprints {
+            fingerprints.insert(experiment, Value::str(fingerprint.clone()));
+        }
+        root.insert("fingerprints", Value::Map(fingerprints));
         let mut telemetry = Map::new();
         let mut counters = Map::new();
         for (name, total) in &self.counters {
@@ -126,14 +155,14 @@ impl RunRecord {
     }
 
     /// Parses one ledger line. Fails on malformed JSON, a missing required
-    /// field, or an unknown schema version.
+    /// field, a malformed field value, or an unknown schema version.
     pub fn parse_line(line: &str) -> Result<RunRecord, String> {
         let doc = parse_json(line)?;
         let schema = doc
             .get("schema")
             .and_then(Value::as_int)
             .ok_or("record lacks `schema`")?;
-        if schema != LEDGER_SCHEMA {
+        if !(LEDGER_SCHEMA_MIN..=LEDGER_SCHEMA).contains(&schema) {
             return Err(format!("unknown ledger schema version {schema}"));
         }
         let text = |key: &str| -> Result<String, String> {
@@ -150,13 +179,29 @@ impl RunRecord {
         {
             results.push(result_from_value(item)?);
         }
+        let mut fingerprints = Vec::new();
+        if let Some(map) = doc.get("fingerprints").and_then(Value::as_map) {
+            for (experiment, fingerprint) in map.iter() {
+                let fingerprint = fingerprint
+                    .as_str()
+                    .ok_or("fingerprint must be a string")?
+                    .to_string();
+                fingerprints.push((experiment.clone(), fingerprint));
+            }
+        }
         let mut counters = Vec::new();
         let mut observations = Vec::new();
         if let Some(telemetry) = doc.get("telemetry") {
             if let Some(map) = telemetry.get("counters").and_then(Value::as_map) {
                 for (name, total) in map.iter() {
                     let total = total.as_int().ok_or("counter total must be an integer")?;
-                    counters.push((name.clone(), total.max(0) as u64));
+                    // a negative total is corruption, not data — reject the
+                    // record (the corrupt-line skip path handles it) rather
+                    // than clamp it into a valid-looking history
+                    if total < 0 {
+                        return Err(format!("counter `{name}` total {total} is negative"));
+                    }
+                    counters.push((name.clone(), total as u64));
                 }
             }
             if let Some(map) = telemetry.get("observations").and_then(Value::as_map) {
@@ -166,17 +211,21 @@ impl RunRecord {
                 }
             }
         }
+        let sequence = doc
+            .get("sequence")
+            .and_then(Value::as_int)
+            .ok_or("record lacks `sequence`")?;
+        if sequence < 0 {
+            return Err(format!("sequence {sequence} is negative"));
+        }
         Ok(RunRecord {
-            sequence: doc
-                .get("sequence")
-                .and_then(Value::as_int)
-                .ok_or("record lacks `sequence`")?
-                .max(0) as u64,
+            sequence: sequence as u64,
             system: text("system")?,
             benchmark: text("benchmark")?,
             variant: text("variant")?,
             manifest: text("manifest")?,
             results,
+            fingerprints,
             counters,
             observations,
         })
@@ -206,6 +255,7 @@ fn result_to_value(result: &ExperimentResult) -> Value {
     rec.insert("application", Value::str(result.application.clone()));
     rec.insert("workload", Value::str(result.workload.clone()));
     rec.insert("status", Value::str(format!("{:?}", result.status)));
+    rec.insert("cached", Value::Bool(result.cached));
     let mut foms = Vec::new();
     for f in &result.foms {
         let mut fom = Map::new();
@@ -335,17 +385,43 @@ fn result_from_value(value: &Value) -> Result<ExperimentResult, String> {
         criteria,
         variables,
         profile,
+        // absent in schema-1 records: those were all freshly measured
+        cached: value
+            .get("cached")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
     })
 }
 
 /// Appends one record to the ledger at `path`, creating the file if needed.
-/// The record's `sequence` is stamped from the ledger's current line count
-/// (so consecutive invocations number their runs 1, 2, 3, …), and the
-/// stamped sequence is returned.
+/// The record's `sequence` is stamped from the ledger's current count of
+/// *valid* records — the same criterion [`load_ledger`] re-stamps by — so
+/// persisted and replayed sequence numbers agree even when corrupt or
+/// unknown-schema lines sit in the file (a count of raw lines would
+/// diverge as soon as one line is garbled). The file is streamed line by
+/// line rather than slurped, so a growing ledger never costs a
+/// whole-history allocation per append. Returns the stamped sequence.
 pub fn append_run(path: &Path, record: &mut RunRecord) -> Result<u64, String> {
-    use std::io::Write as _;
-    let existing = match std::fs::read_to_string(path) {
-        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+    use std::io::{BufRead as _, Write as _};
+    let existing = match std::fs::File::open(path) {
+        Ok(file) => {
+            let mut reader = std::io::BufReader::new(file);
+            let mut line = String::new();
+            let mut valid = 0u64;
+            loop {
+                line.clear();
+                let read = reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("cannot read ledger `{}`: {e}", path.display()))?;
+                if read == 0 {
+                    break;
+                }
+                if !line.trim().is_empty() && RunRecord::parse_line(line.trim_end()).is_ok() {
+                    valid += 1;
+                }
+            }
+            valid
+        }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
         Err(e) => return Err(format!("cannot read ledger `{}`: {e}", path.display())),
     };

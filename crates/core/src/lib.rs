@@ -30,6 +30,7 @@
 
 mod components;
 mod driver;
+pub mod fingerprint;
 pub mod ledger;
 mod metrics;
 mod plot;
@@ -43,9 +44,12 @@ mod tree;
 pub use components::{render_table1, table1, Table1Row};
 pub use driver::{
     gate_failed_experiments, Benchpark, BenchparkWorkspace, FleetExperiment, FleetOutcome,
-    WorkflowLog,
+    IncrementalPlan, WorkflowLog,
 };
-pub use ledger::{append_run, load_ledger, LedgerLoad, RunRecord, LEDGER_SCHEMA};
+pub use fingerprint::{CachedExperiment, Fingerprint, FingerprintBuilder, FingerprintIndex};
+pub use ledger::{
+    append_run, load_ledger, LedgerLoad, RunRecord, LEDGER_SCHEMA, LEDGER_SCHEMA_MIN,
+};
 pub use metrics::{MetricsDatabase, StoredResult};
 pub use plot::ascii_plot;
 pub use procurement::{ProcurementReport, ProcurementStudy, WorkloadSpec};

@@ -256,6 +256,7 @@ impl MetricsDatabase {
                     criteria: Vec::new(),
                     variables,
                     profile: Vec::new(),
+                    cached: false,
                 },
             });
             imported += 1;
@@ -311,6 +312,7 @@ impl MetricsDatabase {
             criteria: Vec::new(),
             variables: std::collections::BTreeMap::new(),
             profile,
+            cached: false,
         };
         self.record(
             system,

@@ -129,13 +129,74 @@ pub fn detect_regression(
 /// Heuristic: whether a FOM with these units improves downward (runtimes,
 /// latencies) rather than upward (bandwidths, rates). Used by
 /// [`scan_regressions`] when no explicit direction is configured.
+///
+/// Covers plain time units across the full range (`ns` … `hours`,
+/// including abbreviation plurals like `usecs`) and per-iteration forms
+/// (`s/iter`, `ms/op`, `usec/call`): time spent *per unit of work* is a
+/// cost, while work *per unit of time* (`iter/s`, `GB/s`) is a rate and
+/// improves upward. Getting this wrong inverts the verdict — a slowdown in
+/// a minutes-unit FOM would be scored as an improvement.
 pub fn lower_is_better_units(units: &str) -> bool {
     let u = units.trim().to_ascii_lowercase();
+    // `s/iter`-style: a time unit per iteration/operation is a duration
+    let effective = match u.split_once('/') {
+        Some((numerator, denominator))
+            if matches!(
+                denominator.trim(),
+                "iter"
+                    | "iters"
+                    | "iteration"
+                    | "iterations"
+                    | "op"
+                    | "ops"
+                    | "call"
+                    | "calls"
+                    | "rep"
+                    | "reps"
+                    | "step"
+                    | "steps"
+            ) =>
+        {
+            numerator.trim()
+        }
+        _ => u.as_str(),
+    };
+    is_time_unit(effective) || u.ends_with("seconds") || u.ends_with("latency")
+}
+
+/// Plain time units, smallest to largest.
+fn is_time_unit(u: &str) -> bool {
     matches!(
-        u.as_str(),
-        "s" | "sec" | "secs" | "second" | "seconds" | "ms" | "msec" | "us" | "usec" | "ns"
-    ) || u.ends_with("seconds")
-        || u.ends_with("latency")
+        u,
+        "ns" | "nsec"
+            | "nsecs"
+            | "nanosecond"
+            | "nanoseconds"
+            | "us"
+            | "usec"
+            | "usecs"
+            | "microsecond"
+            | "microseconds"
+            | "ms"
+            | "msec"
+            | "msecs"
+            | "millisecond"
+            | "milliseconds"
+            | "s"
+            | "sec"
+            | "secs"
+            | "second"
+            | "seconds"
+            | "min"
+            | "mins"
+            | "minute"
+            | "minutes"
+            | "h"
+            | "hr"
+            | "hrs"
+            | "hour"
+            | "hours"
+    )
 }
 
 /// Scans the whole database: every `(benchmark, system, fom)` triple with

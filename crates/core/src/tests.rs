@@ -227,6 +227,7 @@ fn metrics_database_tracks_time_sequence() {
         criteria: Vec::new(),
         variables: Default::default(),
         profile: Vec::new(),
+        cached: false,
     };
     let s1 = db.record(
         "cts1",

@@ -174,6 +174,7 @@ fn lower_is_better_regression_direction() {
         criteria: Vec::new(),
         variables: Default::default(),
         profile: Vec::new(),
+        cached: false,
     };
     for _ in 0..4 {
         db.record("cts1", "osu-bcast", "scaling", "m", &[mk(10.0)]);

@@ -31,6 +31,7 @@ fn result(fom: &str, value: f64, units: &str, status: ExperimentStatus) -> Exper
         criteria: vec![("found_fom".to_string(), true)],
         variables: [("n_threads".to_string(), "8".to_string())].into(),
         profile: vec![("kernel".to_string(), 1.5)],
+        cached: false,
     }
 }
 
@@ -238,28 +239,97 @@ fn regression_ignores_failed_experiments() {
 
 #[test]
 fn units_heuristic_classifies_directions() {
-    for lower in [
-        "s",
-        "sec",
-        "seconds",
-        "ms",
-        "us",
-        "usec",
-        "ns",
-        "microseconds",
-        "Seconds",
-    ] {
-        assert!(
-            lower_is_better_units(lower),
-            "{lower} should be lower-is-better"
+    // table-driven: (units, lower_is_better)
+    let cases = [
+        // plain time units, smallest to largest, with common spellings
+        ("s", true),
+        ("sec", true),
+        ("secs", true),
+        ("seconds", true),
+        ("Seconds", true),
+        ("ms", true),
+        ("msecs", true),
+        ("us", true),
+        ("usec", true),
+        ("usecs", true),
+        ("microseconds", true),
+        ("ns", true),
+        ("nsecs", true),
+        ("min", true),
+        ("mins", true),
+        ("minutes", true),
+        ("h", true),
+        ("hr", true),
+        ("hours", true),
+        ("total_seconds", true),
+        ("p99_latency", true),
+        // time per unit of work is a cost
+        ("s/iter", true),
+        ("ms/op", true),
+        ("usec/call", true),
+        ("Sec/Step", true),
+        ("minutes/rep", true),
+        // work per unit of time is a rate
+        ("MB/s", false),
+        ("GB/s", false),
+        ("iter/s", false),
+        ("iterations/sec", false),
+        ("ops/ms", false),
+        // unknown denominators stay higher-is-better
+        ("s/node", false),
+        // not time at all
+        ("count", false),
+        ("", false),
+        ("FLOPS", false),
+        ("minsize", false),
+        ("hours_of_uptime", false),
+    ];
+    for (units, lower) in cases {
+        assert_eq!(
+            lower_is_better_units(units),
+            lower,
+            "`{units}` should be lower_is_better={lower}"
         );
     }
-    for higher in ["MB/s", "GB/s", "count", "", "FLOPS", "iterations/sec"] {
+}
+
+#[test]
+fn scan_inverts_direction_for_minutes_and_per_iteration_units() {
+    // a walltime in `minutes` that doubles, and an `ms/op` cost that
+    // doubles: both must be flagged as regressions, not improvements
+    for units in ["minutes", "ms/op"] {
+        let db = MetricsDatabase::new();
+        for value in [10.0, 10.0, 10.0, 20.0] {
+            db.record(
+                "cts1",
+                "lulesh",
+                "openmp",
+                "m",
+                &[result("walltime", value, units, ExperimentStatus::Success)],
+            );
+        }
+        let reports = scan_regressions(&db, 0.10);
+        assert_eq!(reports.len(), 1);
         assert!(
-            !lower_is_better_units(higher),
-            "{higher} should be higher-is-better"
+            reports[0].regressed,
+            "`{units}` increase must regress: {}",
+            reports[0].render()
         );
     }
+    // the same doubling in a throughput unit is an improvement
+    let db = MetricsDatabase::new();
+    for value in [10.0, 10.0, 10.0, 20.0] {
+        db.record(
+            "cts1",
+            "lulesh",
+            "openmp",
+            "m",
+            &[result("rate", value, "iter/s", ExperimentStatus::Success)],
+        );
+    }
+    let reports = scan_regressions(&db, 0.10);
+    assert_eq!(reports.len(), 1);
+    assert!(!reports[0].regressed, "{}", reports[0].render());
 }
 
 #[test]
@@ -318,4 +388,275 @@ fn gate_passes_clean_runs_and_names_failures() {
     assert!(err.contains("JobError"), "{err}");
     assert!(err.contains("--allow-failed"), "{err}");
     assert!(gate_failed_experiments(&mixed, true).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Ledger schema 2: fingerprints, cached markers, and parse hardening
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ledger_schema2_round_trips_fingerprints_and_cached_marker() {
+    let mut rec = record(100.0).with_fingerprints(vec![
+        ("exp_b".to_string(), "00000000000000ff".to_string()),
+        ("exp_1".to_string(), "deadbeefdeadbeef".to_string()),
+    ]);
+    rec.sequence = 3;
+    rec.results[0].cached = true;
+    let line = rec.to_json_line();
+    assert!(line.starts_with("{\"schema\":2,"), "{line}");
+    let parsed = RunRecord::parse_line(&line).expect("schema-2 line parses");
+    // with_fingerprints sorts by experiment name for deterministic emission
+    assert_eq!(
+        parsed.fingerprints,
+        vec![
+            ("exp_1".to_string(), "deadbeefdeadbeef".to_string()),
+            ("exp_b".to_string(), "00000000000000ff".to_string()),
+        ]
+    );
+    assert!(parsed.results[0].cached);
+    assert_eq!(parsed.to_json_line(), line);
+}
+
+#[test]
+fn ledger_loads_mixed_schema1_and_schema2_lines() {
+    let path = temp_ledger("mixed-schema");
+    // a schema-1 line (pre-fingerprint era) followed by a schema-2 line
+    let schema1 = record(100.0)
+        .to_json_line()
+        .replacen("{\"schema\":2,", "{\"schema\":1,", 1);
+    let mut rec2 =
+        record(90.0).with_fingerprints(vec![("exp_1".to_string(), "1111111111111111".to_string())]);
+    std::fs::write(&path, format!("{schema1}\n{}\n", rec2.to_json_line())).unwrap();
+
+    let load = load_ledger(&path, &TelemetrySink::noop()).expect("mixed schemas load");
+    assert_eq!(load.runs.len(), 2);
+    assert_eq!(load.skipped, 0);
+    // the schema-1 record simply has no fingerprints
+    assert!(load.runs[0].fingerprints.is_empty());
+    assert_eq!(load.runs[1].fingerprints.len(), 1);
+    let _ = &mut rec2;
+}
+
+#[test]
+fn ledger_rejects_negative_counter_totals_and_sequences() {
+    // a negative counter total is corruption and must fail the line, not be
+    // clamped into a plausible-looking zero
+    let good = record(100.0).to_json_line();
+    let line = good.replacen(
+        "\"telemetry\":{\"counters\":{}",
+        "\"telemetry\":{\"counters\":{\"retry.attempts\":-3}",
+        1,
+    );
+    assert_ne!(line, good, "replacement must have applied");
+    let err = RunRecord::parse_line(&line).unwrap_err();
+    assert!(err.contains("negative"), "{err}");
+
+    let line = good.replacen("\"sequence\":0,", "\"sequence\":-7,", 1);
+    assert_ne!(line, good);
+    let err = RunRecord::parse_line(&line).unwrap_err();
+    assert!(err.contains("negative"), "{err}");
+
+    // and the corrupt line is skipped (not fatal) on load
+    let path = temp_ledger("neg-counter");
+    let bad = good.replacen(
+        "\"telemetry\":{\"counters\":{}",
+        "\"telemetry\":{\"counters\":{\"retry.attempts\":-3}",
+        1,
+    );
+    std::fs::write(&path, format!("{good}\n{bad}\n")).unwrap();
+    let load = load_ledger(&path, &TelemetrySink::noop()).unwrap();
+    assert_eq!((load.runs.len(), load.skipped), (1, 1));
+}
+
+#[test]
+fn ledger_append_counts_only_valid_records() {
+    // garbage lines must not inflate the next sequence stamp: the stamp
+    // counts records load_ledger will actually keep
+    let path = temp_ledger("valid-count");
+    let mut first = record(100.0);
+    append_run(&path, &mut first).unwrap();
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(file, "half a rec").unwrap();
+    writeln!(file, "{{\"schema\":999}}").unwrap();
+    writeln!(file).unwrap();
+    drop(file);
+
+    let mut next = record(90.0);
+    let sequence = append_run(&path, &mut next).unwrap();
+    assert_eq!(sequence, 2, "2 garbage lines must not count as records");
+    // the stamp agrees with what a load re-stamps
+    let load = load_ledger(&path, &TelemetrySink::noop()).unwrap();
+    assert_eq!(load.runs.len(), 2);
+    assert_eq!(load.runs.last().unwrap().sequence, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints: builder framing and the ledger-backed index
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fingerprint_builder_is_deterministic_and_framing_sensitive() {
+    use crate::FingerprintBuilder;
+    let base = || {
+        FingerprintBuilder::new()
+            .field("template", "x: 1")
+            .field("system", "cts1")
+    };
+    assert_eq!(base().finish(), base().finish());
+    assert_eq!(base().finish().hex().len(), 16);
+
+    // any value edit changes the hash
+    assert_ne!(
+        base().finish(),
+        FingerprintBuilder::new()
+            .field("template", "x: 2")
+            .field("system", "cts1")
+            .finish()
+    );
+    // field order matters (the driver feeds a fixed order)
+    assert_ne!(
+        base().finish(),
+        FingerprintBuilder::new()
+            .field("system", "cts1")
+            .field("template", "x: 1")
+            .finish()
+    );
+    // framing: ("ab","c") must not collide with ("a","bc"), nor an empty
+    // value with a missing field
+    assert_ne!(
+        FingerprintBuilder::new()
+            .field("k", "ab")
+            .field("k", "c")
+            .finish(),
+        FingerprintBuilder::new()
+            .field("k", "a")
+            .field("k", "bc")
+            .finish()
+    );
+    assert_ne!(
+        FingerprintBuilder::new().field("k", "").finish(),
+        FingerprintBuilder::new().finish()
+    );
+    // fields() labels each pair under the prefix
+    assert_ne!(
+        FingerprintBuilder::new()
+            .fields("var", [("n", "1")])
+            .finish(),
+        FingerprintBuilder::new()
+            .fields("env", [("n", "1")])
+            .finish()
+    );
+}
+
+#[test]
+fn fingerprint_index_skips_failures_and_splices_and_prefers_latest() {
+    use crate::FingerprintIndex;
+    let path = temp_ledger("index");
+    let fp = |hex: &str| vec![("exp_1".to_string(), hex.to_string())];
+
+    // run 1: success @ fp aaaa… ; run 2: FAILURE @ fp bbbb… ; run 3: a
+    // spliced (cached) replay @ fp cccc… ; run 4: success @ fp aaaa… again
+    // with a different value (a --force re-measurement)
+    let mut r1 = record(100.0).with_fingerprints(fp("aaaaaaaaaaaaaaaa"));
+    append_run(&path, &mut r1).unwrap();
+    let mut r2 = RunRecord::from_run(
+        "cts1",
+        "stream",
+        "openmp",
+        "m",
+        &[result("triad_bw", 1.0, "MB/s", ExperimentStatus::Failed)],
+        None,
+    )
+    .with_fingerprints(fp("bbbbbbbbbbbbbbbb"));
+    append_run(&path, &mut r2).unwrap();
+    let mut r3 = record(100.0).with_fingerprints(fp("cccccccccccccccc"));
+    r3.results[0].cached = true;
+    append_run(&path, &mut r3).unwrap();
+    let mut r4 = record(250.0).with_fingerprints(fp("aaaaaaaaaaaaaaaa"));
+    append_run(&path, &mut r4).unwrap();
+
+    let load = load_ledger(&path, &TelemetrySink::noop()).unwrap();
+    let index = FingerprintIndex::from_ledger(&load);
+    assert_eq!(index.len(), 1, "failure and splice must not be indexed");
+    assert!(index.lookup_hex("bbbbbbbbbbbbbbbb").is_none());
+    assert!(index.lookup_hex("cccccccccccccccc").is_none());
+    let entry = index.lookup_hex("aaaaaaaaaaaaaaaa").expect("hit");
+    // the later measurement superseded the earlier one
+    assert_eq!(entry.sequence, 4);
+    assert_eq!(entry.result.foms[0].value, "250");
+    assert!(!entry.result.cached);
+}
+
+#[test]
+fn driver_plan_incremental_skips_hits_and_honors_force() {
+    use crate::{Benchpark, FingerprintIndex};
+
+    let base = std::env::temp_dir().join(format!("benchpark-inc-unit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // measure once, persist with fingerprints (what `trace --export` does)
+    let benchpark = Benchpark::new();
+    let mut ws = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", base.join("ws1"))
+        .unwrap();
+    ws.run().unwrap();
+    let analysis = ws.analyze(&benchpark).unwrap();
+    let fingerprints: Vec<(String, String)> = ws
+        .fingerprints
+        .iter()
+        .map(|(name, fp)| (name.clone(), fp.hex()))
+        .collect();
+    assert_eq!(fingerprints.len(), analysis.results.len());
+    let ledger = base.join("ledger.jsonl");
+    let mut rec = RunRecord::from_run("cts1", "saxpy", "openmp", "m", &analysis.results, None)
+        .with_fingerprints(fingerprints);
+    append_run(&ledger, &mut rec).unwrap();
+
+    let load = load_ledger(&ledger, &TelemetrySink::noop()).unwrap();
+    let index = FingerprintIndex::from_ledger(&load);
+
+    // a second workspace in a different directory: identical fingerprints,
+    // so the whole run is served from the ledger
+    let mut ws2 = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", base.join("ws2"))
+        .unwrap();
+    assert_eq!(ws.fingerprints, ws2.fingerprints, "path-independent hashes");
+    let plan = ws2.plan_incremental(&index, false);
+    assert!(plan.all_cached());
+    assert_eq!(plan.hits, analysis.results.len());
+    assert_eq!(plan.to_run(), 0);
+    let spliced = plan.splice(Vec::new());
+    assert_eq!(spliced.len(), analysis.results.len());
+    assert!(spliced.iter().all(|r| r.cached));
+    // splicing preserves the measured FOMs exactly
+    for (cached, measured) in spliced.iter().zip(&analysis.results) {
+        assert_eq!(cached.experiment, measured.experiment);
+        assert_eq!(cached.foms.len(), measured.foms.len());
+        for (a, b) in cached.foms.iter().zip(&measured.foms) {
+            assert_eq!(
+                (a.name.as_str(), a.value.as_str()),
+                (b.name.as_str(), b.value.as_str())
+            );
+        }
+    }
+    // with everything pruned, running the workspace is a setup error
+    assert!(ws2.run().is_err());
+
+    // --force: hits become forced work, nothing is spliced
+    let mut ws3 = benchpark
+        .setup_workspace("saxpy", "openmp", "cts1", base.join("ws3"))
+        .unwrap();
+    let plan = ws3.plan_incremental(&index, true);
+    assert!(!plan.all_cached());
+    assert_eq!(plan.hits, 0);
+    assert_eq!(plan.forced, analysis.results.len());
+    assert!(plan.cached.is_empty());
+    // the forced workspace still runs in full
+    ws3.run().unwrap();
+    let rerun = ws3.analyze(&benchpark).unwrap();
+    assert_eq!(rerun.results.len(), analysis.results.len());
 }

@@ -29,11 +29,13 @@ mod chrome;
 mod flame;
 mod prom;
 mod report_json;
+mod results_json;
 
 pub use chrome::chrome_trace;
 pub use flame::folded_stacks;
 pub use prom::prometheus_text;
 pub use report_json::report_to_json;
+pub use results_json::{export_results, results_to_json};
 
 use benchpark_telemetry::TelemetryReport;
 use std::path::Path;

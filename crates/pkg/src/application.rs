@@ -200,6 +200,63 @@ impl ApplicationDef {
             .map(|v| (v.name.clone(), v.default.clone()))
             .collect()
     }
+
+    /// A deterministic rendering of every result-shaping field of this
+    /// definition — executables, workloads, variable defaults, FOM
+    /// extraction rules, success criteria, and the backing software
+    /// package. Experiment fingerprints hash this text, so editing any of
+    /// these (the `application.py` half of "adding a benchmark", §4)
+    /// invalidates cached results; cosmetic fields like `description` are
+    /// deliberately excluded.
+    pub fn fingerprint_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "application {} software {}", self.name, self.software);
+        for exe in &self.executables {
+            let _ = writeln!(
+                out,
+                "executable {} mpi={} template {}",
+                exe.name, exe.use_mpi, exe.template
+            );
+        }
+        for wl in &self.workloads {
+            let _ = writeln!(
+                out,
+                "workload {} executables [{}] inputs [{}]",
+                wl.name,
+                wl.executables.join(","),
+                wl.inputs.join(",")
+            );
+        }
+        for var in &self.workload_variables {
+            let _ = writeln!(
+                out,
+                "variable {} default {} workloads [{}]",
+                var.name,
+                var.default,
+                var.workloads.join(",")
+            );
+        }
+        for fom in &self.figures_of_merit {
+            let _ = writeln!(
+                out,
+                "fom {} regex {} group {} units {} log {}",
+                fom.name,
+                fom.fom_regex,
+                fom.group_name,
+                fom.units,
+                fom.log_file.as_deref().unwrap_or("-")
+            );
+        }
+        for crit in &self.success_criteria {
+            let _ = writeln!(
+                out,
+                "criterion {} mode {:?} match {} file {}",
+                crit.name, crit.mode, crit.match_expr, crit.file
+            );
+        }
+        out
+    }
 }
 
 /// A registry of application definitions.

@@ -53,6 +53,10 @@ pub struct ExperimentResult {
     pub variables: BTreeMap<String, String>,
     /// Caliper-style profile captured by the runner, if any.
     pub profile: Vec<(String, f64)>,
+    /// Provenance: `true` when this result was *not* measured by the run
+    /// that reports it but spliced from an earlier ledger record whose
+    /// experiment fingerprint matched (incremental re-benchmarking).
+    pub cached: bool,
 }
 
 /// All experiment results of a workspace.
@@ -92,8 +96,12 @@ impl AnalyzeReport {
         let mut out = String::new();
         for r in &self.results {
             out.push_str(&format!(
-                "{} [{}:{}] — {:?}\n",
-                r.experiment, r.application, r.workload, r.status
+                "{} [{}:{}] — {:?}{}\n",
+                r.experiment,
+                r.application,
+                r.workload,
+                r.status,
+                if r.cached { " [cached]" } else { "" }
             ));
             for fom in &r.foms {
                 out.push_str(&format!("    {} = {} {}\n", fom.name, fom.value, fom.units));
@@ -180,6 +188,7 @@ pub fn analyze_experiment_with(
         criteria,
         variables: exp.variables.clone(),
         profile: output.profile.clone(),
+        cached: false,
     })
 }
 

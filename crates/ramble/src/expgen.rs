@@ -32,6 +32,32 @@ pub struct ExperimentInstance {
     pub env_vars: BTreeMap<String, String>,
 }
 
+/// Variables whose values are derived from the workspace's on-disk location
+/// (or from other variables plus that location). They identify *where* an
+/// experiment ran, not *what* it computed, so experiment fingerprints
+/// exclude them — the same experiment set up in two different workspace
+/// directories must hash identically.
+pub const WORKSPACE_LOCAL_VARIABLES: [&str; 5] = [
+    "workspace_dir",
+    "experiment_run_dir",
+    "execute_experiment",
+    "spack_setup",
+    "command",
+];
+
+impl ExperimentInstance {
+    /// The variables that determine this experiment's *result* — everything
+    /// in [`ExperimentInstance::variables`] except the workspace-location
+    /// derived entries of [`WORKSPACE_LOCAL_VARIABLES`]. Iteration order is
+    /// the map's (sorted), so fingerprinting is deterministic.
+    pub fn provenance_variables(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.variables
+            .iter()
+            .filter(|(k, _)| !WORKSPACE_LOCAL_VARIABLES.contains(&k.as_str()))
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
 /// Generates all experiments for one experiment definition.
 ///
 /// `base_vars` holds lower-precedence variables (application defaults,

@@ -41,7 +41,7 @@ pub use analyze::{
 };
 pub use error::RambleError;
 pub use expand::expand;
-pub use expgen::{generate_experiments, ExperimentInstance};
+pub use expgen::{generate_experiments, ExperimentInstance, WORKSPACE_LOCAL_VARIABLES};
 pub use modifiers::Modifier;
 pub use rconfig::{
     EnvironmentDef, ExperimentDef, RambleConfig, SpackPackageDef, VarValue, WorkloadConfig,

@@ -145,6 +145,25 @@ impl Workspace {
         &self.experiments
     }
 
+    /// Drops every generated experiment (and its rendered script) for which
+    /// `keep` returns false — the skip step of incremental re-benchmarking:
+    /// experiments whose fingerprint already has a valid ledger record are
+    /// pruned here, so `run`/`analyze` only touch the remainder. Returns how
+    /// many experiments were dropped. Call between `setup` and `run`; with
+    /// everything pruned, `run` refuses as usual ("setup before run"), so
+    /// callers skip the run phase entirely when nothing is left.
+    pub fn retain_experiments(&mut self, mut keep: impl FnMut(&str) -> bool) -> usize {
+        let before = self.experiments.len();
+        self.experiments.retain(|exp| {
+            let kept = keep(&exp.name);
+            if !kept {
+                self.scripts.remove(&exp.name);
+            }
+            kept
+        });
+        before - self.experiments.len()
+    }
+
     /// The rendered batch script for an experiment.
     pub fn script(&self, experiment: &str) -> Option<&str> {
         self.scripts.get(experiment).map(String::as_str)

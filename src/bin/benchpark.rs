@@ -46,6 +46,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("regress") => cmd_regress(&args[1..]),
+        Some("fingerprints") => cmd_fingerprints(&args[1..]),
+        Some("template") => cmd_template(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!("{}", USAGE);
@@ -70,9 +72,12 @@ const USAGE: &str = "usage:
   benchpark run   <benchmark>/<variant> <system> <workspace_dir>
   benchpark fig14 [linear|tree|sag]
   benchpark trace <benchmark>/<variant> <system> <workspace_dir>
-                  [--faults] [--jobs N] [--export <dir>] [--format text|json] [--allow-failed]
+                  [--faults] [--jobs N] [--export <dir>] [--ledger <path>] [--force]
+                  [--template <file>] [--format text|json] [--allow-failed]
   benchpark history <ledger.jsonl>
   benchpark regress <ledger.jsonl> [--threshold P]
+  benchpark fingerprints <ledger.jsonl>
+  benchpark template <benchmark>/<variant>
   benchpark lint [paths...] [--deny warnings] [--format text|json]
 
 options:
@@ -82,6 +87,12 @@ options:
   --export DIR      (trace) write trace.json (canonical Chrome trace),
                     trace.wall.json, flame.folded, metrics.prom into DIR and
                     append the run to DIR/ledger.jsonl
+  --ledger PATH     (trace) consult PATH for cached experiment results by
+                    content fingerprint and skip re-executing hits (defaults
+                    to DIR/ledger.jsonl when --export DIR is given)
+  --force           (trace) re-execute experiments even on fingerprint hits
+  --template FILE   (trace) use FILE as the ramble.yaml experiment template
+                    instead of the built-in one (see `benchpark template`)
   --allow-failed    (trace) exit 0 even when experiments failed
   --threshold P     (regress) relative regression threshold (default 0.05)
   --deny warnings   (lint) treat warnings as errors for the exit code
@@ -173,12 +184,32 @@ fn cmd_workspace(args: &[String], run: bool) -> Result<(), String> {
 /// document instead of the text rendering. Unless `--allow-failed` is given,
 /// the command exits non-zero when any experiment did not succeed (after
 /// exporting, so failed runs still leave artifacts to debug).
+///
+/// Incremental re-benchmarking: when a run ledger is available — `--ledger
+/// PATH`, or `DIR/ledger.jsonl` implied by `--export DIR` — each generated
+/// experiment's content-addressed fingerprint is looked up in it, and
+/// experiments with a valid successful record are *not* re-executed; their
+/// stored FOMs and criteria are spliced into the report, marked `[cached]`.
+/// Any input change (template, system config, application definition,
+/// concrete spec, experiment variables) changes the fingerprint, so nothing
+/// stale is ever reused. `--force` re-executes hits anyway (and appends the
+/// fresh results). Only freshly executed experiments are appended to the
+/// ledger — spliced results never re-enter it. `--template FILE` substitutes
+/// a user-supplied `ramble.yaml` for the built-in experiment template (the
+/// §4 path; pairs with `benchpark template` to dump a starting point).
 fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use benchpark::core::FingerprintIndex;
+    use benchpark::ramble::{AnalyzeReport, ExperimentResult};
+    use std::path::PathBuf;
+
     let mut faults = false;
     let mut jobs: Option<usize> = None;
     let mut export: Option<String> = None;
     let mut format = "text".to_string();
     let mut allow_failed = false;
+    let mut ledger_path: Option<String> = None;
+    let mut force = false;
+    let mut template_file: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -206,13 +237,23 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 format = fmt.clone();
             }
             "--allow-failed" => allow_failed = true,
+            "--ledger" => {
+                let path = iter.next().ok_or("--ledger needs a path")?;
+                ledger_path = Some(path.clone());
+            }
+            "--force" => force = true,
+            "--template" => {
+                let path = iter.next().ok_or("--template needs a file")?;
+                template_file = Some(path.clone());
+            }
             _ => positional.push(arg),
         }
     }
     let [experiment, system, workspace_dir] = positional.as_slice() else {
         return Err(
             "expected <benchmark>/<variant> <system> <workspace_dir> [--faults] [--jobs N] \
-             [--export <dir>] [--format text|json] [--allow-failed]"
+             [--export <dir>] [--ledger <path>] [--force] [--template <file>] \
+             [--format text|json] [--allow-failed]"
                 .to_string(),
         );
     };
@@ -242,53 +283,180 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         );
         println!("fault plan active: flaky cache fetches + {nodes}-node failure at t=0.25s\n");
     }
-    let mut ws = benchpark.setup_workspace(benchmark, variant, system, workspace_dir)?;
-    ws.run().map_err(|e| e.to_string())?;
-    let analysis = ws.analyze(&benchpark).map_err(|e| e.to_string())?;
+
+    // a --ledger path wins; --export DIR implies DIR/ledger.jsonl
+    let ledger_file: Option<PathBuf> = ledger_path.map(PathBuf::from).or_else(|| {
+        export
+            .as_ref()
+            .map(|dir| Path::new(dir).join("ledger.jsonl"))
+    });
+    let index: Option<FingerprintIndex> = match &ledger_file {
+        Some(path) if path.exists() => {
+            let load = load_ledger(path, &sink)?;
+            Some(FingerprintIndex::from_ledger(&load))
+        }
+        _ => None,
+    };
+
+    let mut ws = match &template_file {
+        Some(path) => {
+            let template = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read template `{path}`: {e}"))?;
+            benchpark.setup_workspace_from_template(
+                benchmark,
+                variant,
+                &template,
+                system,
+                workspace_dir,
+                None,
+                &[],
+            )?
+        }
+        None => benchpark.setup_workspace(benchmark, variant, system, workspace_dir)?,
+    };
+
+    let plan = index.as_ref().map(|idx| ws.plan_incremental(idx, force));
+    let executed: Vec<ExperimentResult> = if plan
+        .as_ref()
+        .is_some_and(benchpark::core::IncrementalPlan::all_cached)
+    {
+        Vec::new()
+    } else {
+        ws.run().map_err(|e| e.to_string())?;
+        ws.analyze(&benchpark).map_err(|e| e.to_string())?.results
+    };
+    let results: Vec<ExperimentResult> = match &plan {
+        Some(plan) => plan.splice(executed.clone()),
+        None => executed.clone(),
+    };
 
     let db = MetricsDatabase::new();
-    db.record(
-        system,
-        benchmark,
-        variant,
-        &ws.manifest(),
-        &analysis.results,
-    );
+    db.record(system, benchmark, variant, &ws.manifest(), &results);
     let report = sink.report().expect("recording sink has a report");
     db.record_telemetry(system, &report);
 
     if let Some(dir) = &export {
         let dir = Path::new(dir);
-        let written = benchpark::obs::export_all(&report, dir)?;
-        let mut record = RunRecord::from_run(
-            system,
-            benchmark,
-            variant,
-            &ws.manifest(),
-            &analysis.results,
-            Some(&report),
-        );
+        let mut written = benchpark::obs::export_all(&report, dir)?;
+        let all_fingerprints: Vec<(String, String)> = ws
+            .fingerprints
+            .iter()
+            .map(|(name, fp)| (name.clone(), fp.hex()))
+            .collect();
+        written.push(benchpark::obs::export_results(
+            &results,
+            &all_fingerprints,
+            dir,
+        )?);
         let ledger = dir.join("ledger.jsonl");
-        let sequence = append_run(&ledger, &mut record)?;
-        eprintln!(
-            "exported {} into {} and appended run #{sequence} to {}",
-            written.join(", "),
-            dir.display(),
-            ledger.display()
-        );
+        if executed.is_empty() && plan.is_some() {
+            eprintln!(
+                "exported {} into {}; every experiment was cached — {} unchanged",
+                written.join(", "),
+                dir.display(),
+                ledger.display()
+            );
+        } else {
+            // the ledger is a measurement log: only freshly executed
+            // results are appended, each stamped with its fingerprint
+            let fingerprints: Vec<(String, String)> = ws
+                .fingerprints
+                .iter()
+                .filter(|(name, _)| executed.iter().any(|r| &r.experiment == *name))
+                .map(|(name, fp)| (name.clone(), fp.hex()))
+                .collect();
+            let mut record = RunRecord::from_run(
+                system,
+                benchmark,
+                variant,
+                &ws.manifest(),
+                &executed,
+                Some(&report),
+            )
+            .with_fingerprints(fingerprints);
+            let sequence = append_run(&ledger, &mut record)?;
+            eprintln!(
+                "exported {} into {} and appended run #{sequence} to {}",
+                written.join(", "),
+                dir.display(),
+                ledger.display()
+            );
+        }
     }
 
     if format == "json" {
         println!("{}", benchpark::obs::report_to_json(&report));
     } else {
+        let rendered = AnalyzeReport {
+            results: results.clone(),
+        };
+        print!("{}", rendered.render());
+        if let Some(plan) = &plan {
+            println!("{}", plan.summary());
+        }
+        println!();
         print!("{}", report.render());
         println!(
             "\nrecorded {} telemetry FOMs into the metrics database alongside {} benchmark results",
             report.counters.len() + report.observations.len(),
-            analysis.results.len()
+            results.len()
         );
     }
-    gate_failed_experiments(&analysis.results, allow_failed)
+    gate_failed_experiments(&results, allow_failed)
+}
+
+/// `benchpark fingerprints <ledger.jsonl>` — lists every cached experiment
+/// the ledger can satisfy: fingerprint, run sequence, provenance, and
+/// status. This is exactly the index `benchpark trace --ledger` consults, so
+/// it answers "what would a re-run skip?".
+fn cmd_fingerprints(args: &[String]) -> Result<(), String> {
+    use benchpark::core::FingerprintIndex;
+    let [ledger] = args else {
+        return Err("expected <ledger.jsonl>".to_string());
+    };
+    let sink = TelemetrySink::noop();
+    let load = load_ledger(Path::new(ledger), &sink)?;
+    let index = FingerprintIndex::from_ledger(&load);
+    if index.is_empty() {
+        println!("no reusable experiment records (run `benchpark trace --export` first)");
+        return Ok(());
+    }
+    for entry in index.iter() {
+        println!(
+            "{}  #{:<3} {}/{} on {:<9} {}",
+            entry.fingerprint,
+            entry.sequence,
+            entry.benchmark,
+            entry.variant,
+            entry.system,
+            entry.result.experiment
+        );
+    }
+    println!(
+        "{} reusable experiment record(s) across {} run(s)",
+        index.len(),
+        load.runs.len()
+    );
+    Ok(())
+}
+
+/// `benchpark template <benchmark>/<variant>` — dumps the built-in
+/// `ramble.yaml` experiment template to stdout. Redirect it to a file, edit,
+/// and feed it back with `benchpark trace --template FILE`: the edit changes
+/// every affected experiment's fingerprint, so exactly those experiments
+/// re-run.
+fn cmd_template(args: &[String]) -> Result<(), String> {
+    use benchpark::core::experiment_template;
+    let [experiment] = args else {
+        return Err("expected <benchmark>/<variant>".to_string());
+    };
+    let (benchmark, variant) = experiment
+        .split_once('/')
+        .ok_or("experiment must be <benchmark>/<variant>")?;
+    let template = experiment_template(benchmark, variant)
+        .ok_or_else(|| format!("unknown experiment `{benchmark}/{variant}`"))?;
+    print!("{template}");
+    Ok(())
 }
 
 /// `benchpark history <ledger.jsonl>` — lists every persisted run: sequence,

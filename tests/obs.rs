@@ -53,10 +53,12 @@ fn ledger_accumulates_runs_and_regress_flags_seeded_slowdown() {
     let ledger = export.join("ledger.jsonl");
 
     // one faulted run (the resilience layer recovers it) and two clean
-    // reruns, all appending to the same ledger across process lifetimes
+    // reruns, all appending to the same ledger across process lifetimes.
+    // The second clean rerun would be satisfied from the fingerprint cache
+    // (identical inputs), so `--force` makes it re-execute and append.
     trace_run(&ws, &export, &["--faults"]);
     trace_run(&ws, &export, &[]);
-    trace_run(&ws, &export, &[]);
+    trace_run(&ws, &export, &["--force"]);
 
     let ledger_path = ledger.to_str().unwrap();
     let (ok, stdout, _) = benchpark(&["history", ledger_path]);
