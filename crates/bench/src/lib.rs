@@ -15,6 +15,16 @@
 //! | `ci_pipeline`      | Figure 6 / ablation A2: cold vs warm binary cache |
 //! | `fom_extract`      | Figure 8: FOM regex extraction throughput |
 //! | `saxpy_kernel`     | Figure 7: the real kernel's thread scaling |
+//! | `engine`           | Experiment engine: LPT plan + drive at DAG scale |
+//!
+//! The Criterion targets above regenerate artifacts; the [`suite`] module is
+//! the other half of the story — the deterministic hot-path suite behind
+//! `benchpark bench` whose medians form the committed `BENCH_<date>.json`
+//! trajectory (see `docs/perf/methodology.md`).
+
+pub mod suite;
+
+pub use suite::{run_suite, suite_names, synth_ledger_lines, synth_manifest, Scale, SuiteConfig};
 
 /// A scratch directory for bench workspaces.
 pub fn bench_dir(tag: &str) -> std::path::PathBuf {

@@ -1,0 +1,573 @@
+//! The hot-path suite behind `benchpark bench`: the benches whose medians
+//! form the repository's committed `BENCH_<date>.json` trajectory.
+//!
+//! Unlike the Criterion targets next door (which regenerate paper artifacts
+//! and print prose), this suite is a *measurement instrument*: fixed
+//! deterministic workloads, fixed iteration counts, statistics emitted as a
+//! [`BenchReport`] that `benchpark regress --bench` can gate on. The
+//! workload size is part of every bench name (`engine.plan.lpt.100k`), so a
+//! resized workload starts a fresh trajectory instead of corrupting an old
+//! one. See `docs/perf/methodology.md` for how these numbers are produced,
+//! compared, and acted on, and `docs/perf/benches.md` for what each bench
+//! covers.
+//!
+//! The suite covers the pipeline's known hot paths:
+//!
+//! * **concretization** — single-spec and 7-root environment solves;
+//! * **yamlite** — parse/emit of a large generated experiment manifest and
+//!   of ledger-shaped JSON lines;
+//! * **spec** — parsing a corpus of constraint-heavy spec strings;
+//! * **engine** — LPT planning and crossbeam-pool drive of a 100k-task DAG;
+//! * **ledger** — replay, regression scan, and fingerprint indexing over a
+//!   10k-run history;
+//! * **telemetry** — journal append throughput under a recording sink.
+
+use benchpark_concretizer::{Concretizer, SiteConfig};
+use benchpark_core::benchjson::{BenchEnv, BenchRecord, BenchReport, BENCH_SCHEMA, BENCH_SUITE};
+use benchpark_core::{scan_regressions, FingerprintIndex, LedgerLoad, RunRecord};
+use benchpark_engine::{Engine, TaskGraph};
+use benchpark_pkg::Repo;
+use benchpark_ramble::{ExperimentResult, ExperimentStatus, FomValue};
+use benchpark_spec::Spec;
+use benchpark_telemetry::TelemetrySink;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Workload scale. The *full* scale is the committed trajectory; *tiny*
+/// exists so tests can exercise the whole machinery in milliseconds. Sizes
+/// are baked into bench names, so the two scales can never be compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Trajectory scale: 100k-task DAGs, 10k-run ledgers.
+    Full,
+    /// Test scale: everything shrunk ~50×.
+    Tiny,
+}
+
+/// Suite configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Timed samples per bench (each of the bench's fixed `iters`
+    /// iterations). More samples tighten the noise band.
+    pub samples: u64,
+    /// Case-sensitive substring filter over bench names.
+    pub filter: Option<String>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// `created` date stamped into the report (`YYYY-MM-DD`).
+    pub created: String,
+}
+
+impl SuiteConfig {
+    /// The trajectory configuration: full scale, 7 samples.
+    pub fn full(created: impl Into<String>) -> SuiteConfig {
+        SuiteConfig {
+            samples: 7,
+            filter: None,
+            scale: Scale::Full,
+            created: created.into(),
+        }
+    }
+
+    /// The local-iteration configuration: full-scale workloads (so medians
+    /// stay comparable with the committed trajectory) but only 3 samples.
+    /// Not gate-quality — a median of 3 measurably flakes under ambient
+    /// interference; CI and accept/reject decisions use full samples.
+    pub fn quick(created: impl Into<String>) -> SuiteConfig {
+        SuiteConfig {
+            samples: 3,
+            ..SuiteConfig::full(created)
+        }
+    }
+
+    /// The test configuration: tiny workloads, 2 samples.
+    pub fn tiny(created: impl Into<String>) -> SuiteConfig {
+        SuiteConfig {
+            samples: 2,
+            filter: None,
+            scale: Scale::Tiny,
+            created: created.into(),
+        }
+    }
+}
+
+/// One suite bench: a name, its subsystem group, a fixed iteration count,
+/// and the measured routine.
+struct BenchDef<'w> {
+    name: String,
+    group: &'static str,
+    iters: u64,
+    routine: Box<dyn FnMut() + 'w>,
+}
+
+/// Sizes derived from the scale.
+struct Sizes {
+    /// Suffix appended to scaled bench names (`100k`, `2k`).
+    dag_tag: &'static str,
+    dag_tasks: usize,
+    ledger_tag: &'static str,
+    ledger_runs: usize,
+    manifest_tag: &'static str,
+    manifest_experiments: usize,
+    journal_tag: &'static str,
+    journal_events: usize,
+}
+
+impl Sizes {
+    fn of(scale: Scale) -> Sizes {
+        match scale {
+            Scale::Full => Sizes {
+                dag_tag: "100k",
+                dag_tasks: 100_000,
+                ledger_tag: "10k",
+                ledger_runs: 10_000,
+                manifest_tag: "1500",
+                manifest_experiments: 1_500,
+                journal_tag: "100k",
+                journal_events: 100_000,
+            },
+            Scale::Tiny => Sizes {
+                dag_tag: "2k",
+                dag_tasks: 2_000,
+                ledger_tag: "200",
+                ledger_runs: 200,
+                manifest_tag: "30",
+                manifest_experiments: 30,
+                journal_tag: "2k",
+                journal_events: 2_000,
+            },
+        }
+    }
+}
+
+/// Names of every bench the suite would run at `scale` (before filtering).
+pub fn suite_names(scale: Scale) -> Vec<String> {
+    let s = Sizes::of(scale);
+    vec![
+        "concretize.env7.unify".to_string(),
+        "concretize.single".to_string(),
+        format!("engine.drive.pool.{}", s.dag_tag),
+        format!("engine.plan.lpt.{}", s.dag_tag),
+        format!("fingerprint.index.{}", s.ledger_tag),
+        "json.emit.run_record".to_string(),
+        "json.parse.ledger_line".to_string(),
+        format!("ledger.regress.{}", s.ledger_tag),
+        format!("ledger.replay.{}", s.ledger_tag),
+        "spec.parse.corpus256".to_string(),
+        format!("telemetry.journal.{}", s.journal_tag),
+        format!("yamlite.emit.manifest{}", s.manifest_tag),
+        format!("yamlite.parse.manifest{}", s.manifest_tag),
+    ]
+}
+
+/// Runs the hot-path suite and returns the report. `progress` receives one
+/// line per finished bench (pass `|_| {}` to stay quiet).
+pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchReport {
+    let sizes = Sizes::of(config.scale);
+
+    // shared deterministic workloads, prepared once outside all timing
+    let repo = Repo::builtin();
+    let site = SiteConfig::example_cts();
+    let env_roots: Vec<Spec> = [
+        "saxpy+openmp",
+        "amg2023+caliper",
+        "stream",
+        "lulesh+openmp",
+        "osu-micro-benchmarks",
+        "caliper",
+        "hypre+openmp",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("builtin spec parses"))
+    .collect();
+    let single_root: Vec<Spec> = vec!["saxpy+openmp".parse().expect("builtin spec parses")];
+    let manifest = synth_manifest(sizes.manifest_experiments);
+    let manifest_value = benchpark_yamlite::parse(&manifest).expect("synthetic manifest parses");
+    let ledger_lines = synth_ledger_lines(sizes.ledger_runs);
+    let ledger_text = ledger_lines.join("\n");
+    let ledger_load = replay_lines(&ledger_text);
+    let sample_line = ledger_lines[ledger_lines.len() / 2].clone();
+    let sample_record =
+        RunRecord::parse_line(&sample_line).expect("synthetic ledger line parses back");
+    let probe_hexes: Vec<String> = (0..64)
+        .map(|i| fingerprint_hex(i * sizes.ledger_runs as u64 / 64, 0))
+        .collect();
+    let dag = synth_dag(sizes.dag_tasks);
+    let spec_corpus = synth_spec_corpus(256);
+
+    let mut benches: Vec<BenchDef> = Vec::new();
+    benches.push(BenchDef {
+        name: "concretize.env7.unify".into(),
+        group: "concretizer",
+        iters: 8,
+        routine: Box::new(|| {
+            let solver = Concretizer::new(&repo, &site);
+            black_box(solver.concretize_env(&env_roots, true).expect("solves"));
+        }),
+    });
+    benches.push(BenchDef {
+        name: "concretize.single".into(),
+        group: "concretizer",
+        iters: 64,
+        routine: Box::new(|| {
+            let solver = Concretizer::new(&repo, &site);
+            black_box(solver.concretize_env(&single_root, false).expect("solves"));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("yamlite.parse.manifest{}", sizes.manifest_tag),
+        group: "yamlite",
+        iters: 2,
+        routine: Box::new(|| {
+            black_box(benchpark_yamlite::parse(&manifest).expect("parses"));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("yamlite.emit.manifest{}", sizes.manifest_tag),
+        group: "yamlite",
+        iters: 4,
+        routine: Box::new(|| {
+            black_box(benchpark_yamlite::emit(&manifest_value));
+        }),
+    });
+    benches.push(BenchDef {
+        name: "json.parse.ledger_line".into(),
+        group: "yamlite",
+        iters: 256,
+        routine: Box::new(|| {
+            black_box(benchpark_yamlite::parse_json(&sample_line).expect("parses"));
+        }),
+    });
+    benches.push(BenchDef {
+        name: "json.emit.run_record".into(),
+        group: "yamlite",
+        iters: 256,
+        routine: Box::new(|| {
+            black_box(sample_record.to_json_line());
+        }),
+    });
+    benches.push(BenchDef {
+        name: "spec.parse.corpus256".into(),
+        group: "spec",
+        iters: 8,
+        routine: Box::new(|| {
+            for text in &spec_corpus {
+                black_box(text.parse::<Spec>().expect("corpus spec parses"));
+            }
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("engine.plan.lpt.{}", sizes.dag_tag),
+        group: "engine",
+        iters: 1,
+        routine: Box::new(|| {
+            black_box(dag.plan(8).expect("plans"));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("engine.drive.pool.{}", sizes.dag_tag),
+        group: "engine",
+        iters: 1,
+        routine: Box::new(|| {
+            let engine = Engine::new(8);
+            black_box(
+                engine
+                    .run_pool(&dag, |task, _ctx| Ok::<u64, String>(task.payload))
+                    .expect("drives"),
+            );
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("ledger.replay.{}", sizes.ledger_tag),
+        group: "ledger",
+        iters: 1,
+        routine: Box::new(|| {
+            black_box(replay_lines(&ledger_text));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("ledger.regress.{}", sizes.ledger_tag),
+        group: "ledger",
+        iters: 1,
+        routine: Box::new(|| {
+            let db = ledger_load.to_database();
+            black_box(scan_regressions(&db, 0.05));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("fingerprint.index.{}", sizes.ledger_tag),
+        group: "ledger",
+        iters: 1,
+        routine: Box::new(|| {
+            let index = FingerprintIndex::from_ledger(&ledger_load);
+            for hex in &probe_hexes {
+                black_box(index.lookup_hex(hex));
+            }
+            black_box(index.len());
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("telemetry.journal.{}", sizes.journal_tag),
+        group: "telemetry",
+        iters: 1,
+        routine: Box::new(|| {
+            black_box(journal_storm(sizes.journal_events));
+        }),
+    });
+
+    let mut results = Vec::new();
+    for bench in &mut benches {
+        if let Some(filter) = &config.filter {
+            if !bench.name.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let record = measure(bench, config.samples.max(2));
+        progress(&format!(
+            "{:<32} median {:>12}  mean {:>12}  ±{:>10}  ({} samples × {} iters)",
+            record.name,
+            benchpark_core::benchjson::format_ns(record.median_ns),
+            benchpark_core::benchjson::format_ns(record.mean_ns),
+            benchpark_core::benchjson::format_ns(record.std_ns),
+            record.samples,
+            record.iters,
+        ));
+        results.push(record);
+    }
+    results.sort_by(|a, b| a.name.cmp(&b.name));
+    BenchReport {
+        schema: BENCH_SCHEMA,
+        suite: BENCH_SUITE.to_string(),
+        created: config.created.clone(),
+        env: BenchEnv::current(),
+        results,
+    }
+}
+
+/// Times one bench: a warm-up pass, then `samples` timed passes of the
+/// bench's fixed `iters` iterations.
+fn measure(bench: &mut BenchDef, samples: u64) -> BenchRecord {
+    (bench.routine)(); // warm-up
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..bench.iters {
+            (bench.routine)();
+        }
+        per_iter_ns.push(start.elapsed().as_secs_f64() * 1e9 / bench.iters as f64);
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let var =
+        per_iter_ns.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / per_iter_ns.len() as f64;
+    BenchRecord {
+        name: bench.name.clone(),
+        group: bench.group.to_string(),
+        iters: bench.iters,
+        samples,
+        median_ns: median,
+        mean_ns: mean,
+        std_ns: var.sqrt(),
+        units: "ns/iter".to_string(),
+    }
+}
+
+/// A deterministic ramble.yaml-shaped manifest with `n` experiment entries —
+/// nested maps, sequences, flow lists, quoted and plain scalars — sized to
+/// stress the parser the way a fleet-scale workspace does.
+pub fn synth_manifest(n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(n * 400);
+    out.push_str("ramble:\n  variables:\n    mpi_command: 'srun -N {n_nodes} -n {n_ranks}'\n");
+    out.push_str("    batch_submit: 'sbatch {execute_experiment}'\n  applications:\n");
+    for i in 0..n {
+        let app = ["saxpy", "amg2023", "lulesh", "stream"][i % 4];
+        let _ = writeln!(out, "    exp_{i:05}:");
+        let _ = writeln!(out, "      workloads:");
+        let _ = writeln!(out, "        problem:");
+        let _ = writeln!(out, "          experiments:");
+        let _ = writeln!(out, "            {app}_{i:05}:");
+        let _ = writeln!(out, "              variant: openmp");
+        let _ = writeln!(out, "              variables:");
+        let _ = writeln!(out, "                n_nodes: [1, 2, 4, 8]");
+        let _ = writeln!(out, "                n_ranks: {}", (i % 16 + 1) * 4);
+        let _ = writeln!(
+            out,
+            "                omp_threads: {{a: {}, b: 2}}",
+            i % 8 + 1
+        );
+        let _ = writeln!(out, "                tag: \"run {i} of {n}\"");
+        let _ = writeln!(out, "              zips:");
+        let _ = writeln!(out, "                - [n_nodes, n_ranks]");
+    }
+    out
+}
+
+/// A deterministic corpus of constraint-heavy spec strings.
+fn synth_spec_corpus(n: usize) -> Vec<String> {
+    let apps = ["saxpy", "amg2023", "lulesh", "stream", "hypre", "caliper"];
+    let variants = ["+openmp", "~openmp", "+caliper", ""];
+    let versions = ["@1.0", "@2.3.7", "@0.4:1.2", ""];
+    (0..n)
+        .map(|i| {
+            format!(
+                "{}{}{}{}",
+                apps[i % apps.len()],
+                versions[(i / 3) % versions.len()],
+                variants[(i / 7) % variants.len()],
+                if i % 5 == 0 { " %gcc@12.1.0" } else { "" },
+            )
+        })
+        .collect()
+}
+
+/// A layered DAG of `n` trivial tasks: ~100 tasks per layer, each depending
+/// on two tasks of the previous layer, with LCG-derived durations.
+fn synth_dag(n: usize) -> TaskGraph<u64> {
+    let mut graph = TaskGraph::new();
+    let width = 100.min(n.max(1));
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let duration = 0.5 + (state >> 40) as f64 / (1u64 << 24) as f64 * 9.5;
+        let id = graph
+            .add_task(&format!("task-{i:06}"), i as u64, duration)
+            .expect("unique keys");
+        let layer = i / width;
+        if layer > 0 {
+            let base = (layer - 1) * width;
+            let d1 = base + (i + 1) % width;
+            let d2 = base + (i + 7) % width;
+            graph.depends_on(id, ids[d1]).expect("dep exists");
+            if d2 != d1 {
+                graph.depends_on(id, ids[d2]).expect("dep exists");
+            }
+        }
+        ids.push(id);
+    }
+    graph
+}
+
+/// Canonical 16-hex-digit fingerprint for synthetic run `i`, experiment `j`.
+fn fingerprint_hex(i: u64, j: u64) -> String {
+    format!(
+        "{:016x}",
+        (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (j.wrapping_mul(0xff51_afd7_ed55_8ccd))
+    )
+}
+
+/// A deterministic `runs`-line ledger: four benchmarks × three systems of
+/// interleaved history, each run carrying two experiments with three FOMs
+/// and a fingerprint, FOM values wobbling ±2% so the regression scan does
+/// real statistics without ever alarming.
+pub fn synth_ledger_lines(runs: usize) -> Vec<String> {
+    let benchmarks = ["saxpy", "amg2023", "lulesh", "stream"];
+    let systems = ["cts1", "ats2", "ats4"];
+    (0..runs)
+        .map(|i| {
+            let benchmark = benchmarks[i % benchmarks.len()];
+            let system = systems[(i / benchmarks.len()) % systems.len()];
+            let wobble = 1.0 + ((i % 9) as f64 - 4.0) * 0.005;
+            let results: Vec<ExperimentResult> = (0..2u64)
+                .map(|j| {
+                    let mut variables = BTreeMap::new();
+                    variables.insert("n_nodes".to_string(), (1 << (j % 4)).to_string());
+                    variables.insert("experiment_run".to_string(), i.to_string());
+                    ExperimentResult {
+                        experiment: format!("{benchmark}_exp{j}"),
+                        application: benchmark.to_string(),
+                        workload: "problem".to_string(),
+                        status: ExperimentStatus::Success,
+                        foms: vec![
+                            FomValue {
+                                name: "figure_of_merit".to_string(),
+                                value: format!("{:.4}", 12.5 * wobble + j as f64),
+                                units: "s".to_string(),
+                                context: BTreeMap::new(),
+                            },
+                            FomValue {
+                                name: "bandwidth".to_string(),
+                                value: format!("{:.2}", 182.0 / wobble),
+                                units: "GB/s".to_string(),
+                                context: BTreeMap::new(),
+                            },
+                            FomValue {
+                                name: "iterations".to_string(),
+                                value: "100".to_string(),
+                                units: "".to_string(),
+                                context: BTreeMap::new(),
+                            },
+                        ],
+                        criteria: vec![("converged".to_string(), true)],
+                        variables,
+                        profile: vec![
+                            ("setup".to_string(), 0.8),
+                            ("solve".to_string(), 11.7 * wobble),
+                        ],
+                        cached: false,
+                    }
+                })
+                .collect();
+            let mut record = RunRecord::from_run(
+                system,
+                benchmark,
+                "openmp",
+                &format!("manifest for {benchmark} on {system}"),
+                &results,
+                None,
+            )
+            .with_fingerprints(vec![
+                (format!("{benchmark}_exp0"), fingerprint_hex(i as u64, 0)),
+                (format!("{benchmark}_exp1"), fingerprint_hex(i as u64, 1)),
+            ]);
+            record.sequence = i as u64 + 1;
+            record.to_json_line()
+        })
+        .collect()
+}
+
+/// Replays ledger text through the line parser — the hot loop of
+/// `load_ledger` without the filesystem.
+fn replay_lines(text: &str) -> LedgerLoad {
+    let mut load = LedgerLoad::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(mut record) = RunRecord::parse_line(line) {
+            record.sequence = load.runs.len() as u64 + 1;
+            load.runs.push(record);
+        } else {
+            load.skipped += 1;
+        }
+    }
+    load
+}
+
+/// Hammers a recording sink with `events` journal appends: nested spans,
+/// repeated counters, and observation samples in a fixed rotation.
+fn journal_storm(events: usize) -> usize {
+    let sink = TelemetrySink::recording();
+    let counters = ["cache.hit", "engine.tasks.success", "concretizer.solves"];
+    let gauges = ["scheduler.queue_depth", "install.worker_utilization"];
+    let mut emitted = 0usize;
+    while emitted < events {
+        let span = sink.span("bench.storm");
+        emitted += 2; // start + end
+        for name in counters {
+            sink.incr(name, 1);
+            emitted += 1;
+        }
+        for (k, name) in gauges.iter().enumerate() {
+            sink.observe(name, (emitted + k) as f64);
+            emitted += 1;
+        }
+        drop(span);
+    }
+    sink.report().map(|r| r.journal.len()).unwrap_or(0)
+}

@@ -28,6 +28,7 @@
 //! * [`scaling`] — the Figure 14 pipeline: broadcast scaling study →
 //!   Thicket → Extra-P model.
 
+pub mod benchjson;
 mod components;
 mod driver;
 pub mod fingerprint;
@@ -41,6 +42,10 @@ mod systems;
 mod templates;
 mod tree;
 
+pub use benchjson::{
+    calibration_speed_factor, compare_bench_reports, compare_bench_reports_calibrated, today_utc,
+    BenchComparison, BenchEnv, BenchRecord, BenchReport, BENCH_SCHEMA, BENCH_SUITE,
+};
 pub use components::{render_table1, table1, Table1Row};
 pub use driver::{
     gate_failed_experiments, Benchpark, BenchparkWorkspace, FleetExperiment, FleetOutcome,
@@ -54,7 +59,8 @@ pub use metrics::{MetricsDatabase, StoredResult};
 pub use plot::ascii_plot;
 pub use procurement::{ProcurementReport, ProcurementStudy, WorkloadSpec};
 pub use regression::{
-    detect_regression, lower_is_better_units, scan_regressions, RegressionReport,
+    baseline_verdict, detect_regression, lower_is_better_units, scan_regressions, BaselineVerdict,
+    RegressionReport,
 };
 pub use systems::SystemProfile;
 pub use templates::{available_experiments, experiment_template};
@@ -62,6 +68,8 @@ pub use tree::{render_tree, write_skeleton};
 
 #[cfg(test)]
 mod tests;
+#[cfg(test)]
+mod tests_bench;
 #[cfg(test)]
 mod tests_extended;
 #[cfg(test)]

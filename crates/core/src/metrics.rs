@@ -301,7 +301,7 @@ impl MetricsDatabase {
         let profile: Vec<(String, f64)> = report
             .spans
             .iter()
-            .map(|s| (s.name.clone(), s.real_seconds.unwrap_or(0.0)))
+            .map(|s| (s.name.to_string(), s.real_seconds.unwrap_or(0.0)))
             .collect();
         let result = ExperimentResult {
             experiment: "pipeline-telemetry".to_string(),

@@ -77,12 +77,69 @@ fn sequence_means(
         .collect()
 }
 
+/// The statistic shared by every trajectory gate: FOM histories
+/// ([`detect_regression`]) and bench trajectories
+/// ([`crate::benchjson::compare_bench_reports`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineVerdict {
+    /// Mean of the baseline series.
+    pub baseline_mean: f64,
+    /// Standard deviation of the baseline series.
+    pub baseline_std: f64,
+    /// Relative change of `latest` vs the baseline mean, signed so that
+    /// negative is always *worse* (the direction is folded in).
+    pub change: f64,
+    /// `latest` sits more than two baseline standard deviations from the
+    /// baseline mean — the noise band a verdict must clear in either
+    /// direction. A zero-variance baseline (one prior point, or identical
+    /// points) makes any nonzero change "beyond noise", so the threshold
+    /// alone governs.
+    pub beyond_noise: bool,
+    /// Worse than baseline beyond both the threshold and the noise band.
+    pub regressed: bool,
+}
+
+/// Compares `latest` against a non-empty baseline series.
+///
+/// A regression is flagged when `latest` is worse than the baseline mean by
+/// more than `threshold` (relative) *and* more than two baseline standard
+/// deviations, so ordinary run-to-run noise never alarms.
+pub fn baseline_verdict(
+    baseline: &[f64],
+    latest: f64,
+    higher_is_better: bool,
+    threshold: f64,
+) -> BaselineVerdict {
+    let n = baseline.len().max(1) as f64;
+    let baseline_mean = baseline.iter().sum::<f64>() / n;
+    let var = baseline
+        .iter()
+        .map(|v| (v - baseline_mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let baseline_std = var.sqrt();
+    let change = if higher_is_better {
+        (latest - baseline_mean) / baseline_mean.abs().max(1e-12)
+    } else {
+        (baseline_mean - latest) / baseline_mean.abs().max(1e-12)
+    };
+    let beyond_noise = (latest - baseline_mean).abs() > 2.0 * baseline_std;
+    BaselineVerdict {
+        baseline_mean,
+        baseline_std,
+        change,
+        beyond_noise,
+        regressed: change < -threshold && beyond_noise,
+    }
+}
+
 /// Compares the latest sequence to the history.
 ///
 /// A regression is flagged when the latest mean is worse than the baseline
 /// mean by more than `threshold` (relative) *and* more than two baseline
-/// standard deviations (so ordinary run-to-run noise never alarms).
-/// Returns `None` when fewer than 3 sequences exist.
+/// standard deviations (so ordinary run-to-run noise never alarms) — the
+/// [`baseline_verdict`] statistic. Returns `None` when fewer than 3
+/// sequences exist.
 pub fn detect_regression(
     db: &MetricsDatabase,
     benchmark: &str,
@@ -95,33 +152,18 @@ pub fn detect_regression(
     if means.len() < 3 {
         return None;
     }
-    let (latest_seq, latest_mean) = *means.last().expect("len >= 3");
+    let (_, latest_mean) = *means.last().expect("len >= 3");
     let baseline: Vec<f64> = means[..means.len() - 1].iter().map(|(_, m)| *m).collect();
-    let baseline_mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
-    let var = baseline
-        .iter()
-        .map(|v| (v - baseline_mean).powi(2))
-        .sum::<f64>()
-        / baseline.len() as f64;
-    let baseline_std = var.sqrt();
-
-    let change = if higher_is_better {
-        (latest_mean - baseline_mean) / baseline_mean.abs().max(1e-12)
-    } else {
-        (baseline_mean - latest_mean) / baseline_mean.abs().max(1e-12)
-    };
-    let beyond_noise = (latest_mean - baseline_mean).abs() > 2.0 * baseline_std;
-    let regressed = change < -threshold && beyond_noise;
-    let _ = latest_seq;
+    let verdict = baseline_verdict(&baseline, latest_mean, higher_is_better, threshold);
     Some(RegressionReport {
         benchmark: benchmark.to_string(),
         system: system.to_string(),
         fom: fom.to_string(),
-        baseline_mean,
-        baseline_std,
+        baseline_mean: verdict.baseline_mean,
+        baseline_std: verdict.baseline_std,
         latest_mean,
-        change,
-        regressed,
+        change: verdict.change,
+        regressed: verdict.regressed,
         history_len: baseline.len(),
     })
 }

@@ -401,14 +401,14 @@ fn telemetry_traces_the_full_pipeline() {
         "pipeline.analyze",
     ] {
         assert!(
-            report.spans.iter().any(|s| s.name == phase),
+            report.spans.iter().any(|s| s.name.as_ref() == phase),
             "missing span `{phase}`"
         );
     }
     // journal replays in order: first event is the setup span opening
     assert!(matches!(
         report.journal.first(),
-        Some(benchpark_telemetry::Event::SpanStart { name, .. }) if name == "pipeline.setup"
+        Some(benchpark_telemetry::Event::SpanStart { name, .. }) if name.as_ref() == "pipeline.setup"
     ));
 }
 

@@ -37,7 +37,7 @@ pub fn folded_stacks(report: &TelemetryReport, timebase: Timebase) -> String {
     for span in &report.spans {
         let path = match span.parent {
             Some(parent) => format!("{};{}", paths[parent], span.name),
-            None => span.name.clone(),
+            None => span.name.to_string(),
         };
         paths.push(path);
     }

@@ -25,7 +25,7 @@ pub fn report_to_json(report: &TelemetryReport) -> String {
     let mut spans = Vec::new();
     for span in &report.spans {
         let mut entry = Map::new();
-        entry.insert("name", Value::str(span.name.clone()));
+        entry.insert("name", Value::str(span.name.as_ref()));
         entry.insert("depth", Value::Int(span.depth as i64));
         entry.insert(
             "parent",

@@ -163,27 +163,32 @@ impl Drop for SpanGuard {
 
 /// One entry in the append-only journal. `at` is seconds since the recorder
 /// was created.
+///
+/// Names are interned `Arc<str>`s: instrumentation points fire the same few
+/// dozen names millions of times, so each append clones a refcount instead
+/// of allocating a `String`. `&Event.name` coerces to `&str` wherever one is
+/// expected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     SpanStart {
         at: f64,
-        name: String,
+        name: Arc<str>,
         depth: usize,
     },
     SpanEnd {
         at: f64,
-        name: String,
+        name: Arc<str>,
         real_seconds: f64,
     },
     Counter {
         at: f64,
-        name: String,
+        name: Arc<str>,
         delta: u64,
         total: u64,
     },
     Observe {
         at: f64,
-        name: String,
+        name: Arc<str>,
         value: f64,
     },
 }
@@ -191,7 +196,8 @@ pub enum Event {
 /// A recorded span, in creation order (preorder of the span tree).
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
-    pub name: String,
+    /// Interned span name (coerces to `&str`).
+    pub name: Arc<str>,
     /// Index of the parent span in the arena, or `None` for a root.
     pub parent: Option<usize>,
     /// Depth in the tree: roots are 1.
@@ -256,11 +262,26 @@ struct RecorderState {
     spans: Vec<SpanRecord>,
     /// Indices of currently-open spans, innermost last.
     stack: Vec<usize>,
-    counters: BTreeMap<String, u64>,
-    observations: BTreeMap<String, ObservationStats>,
+    counters: BTreeMap<Arc<str>, u64>,
+    observations: BTreeMap<Arc<str>, ObservationStats>,
     /// Names of observation streams that were ever recorded as volatile.
-    volatile_observations: BTreeSet<String>,
+    volatile_observations: BTreeSet<Arc<str>>,
     journal: Vec<Event>,
+    /// Intern table: every distinct name seen by this recorder, so the hot
+    /// journal/counter/observation paths allocate a name string at most once
+    /// per distinct name over the recorder's lifetime.
+    names: BTreeSet<Arc<str>>,
+}
+
+impl RecorderState {
+    fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(existing) = self.names.get(name) {
+            return Arc::clone(existing);
+        }
+        let interned: Arc<str> = Arc::from(name);
+        self.names.insert(Arc::clone(&interned));
+        interned
+    }
 }
 
 /// The shared mutable core behind a recording [`TelemetrySink`].
@@ -284,11 +305,12 @@ impl Recorder {
     fn start_span(&self, name: &str) -> usize {
         let at = self.now();
         let mut state = self.state.lock().unwrap();
+        let name = state.intern(name);
         let parent = state.stack.last().copied();
         let depth = parent.map(|p| state.spans[p].depth + 1).unwrap_or(1);
         let index = state.spans.len();
         state.spans.push(SpanRecord {
-            name: name.to_string(),
+            name: Arc::clone(&name),
             parent,
             depth,
             started_at: at,
@@ -299,11 +321,7 @@ impl Recorder {
             volatile_attrs: Vec::new(),
         });
         state.stack.push(index);
-        state.journal.push(Event::SpanStart {
-            at,
-            name: name.to_string(),
-            depth,
-        });
+        state.journal.push(Event::SpanStart { at, name, depth });
         index
     }
 
@@ -316,7 +334,7 @@ impl Recorder {
             let span = &mut state.spans[top];
             let real = at - span.started_at;
             span.real_seconds = Some(real);
-            let name = span.name.clone();
+            let name = Arc::clone(&span.name);
             state.journal.push(Event::SpanEnd {
                 at,
                 name,
@@ -355,12 +373,13 @@ impl Recorder {
     fn incr(&self, name: &str, delta: u64) {
         let at = self.now();
         let mut state = self.state.lock().unwrap();
-        let total = state.counters.entry(name.to_string()).or_insert(0);
+        let name = state.intern(name);
+        let total = state.counters.entry(Arc::clone(&name)).or_insert(0);
         *total += delta;
         let total = *total;
         state.journal.push(Event::Counter {
             at,
-            name: name.to_string(),
+            name,
             delta,
             total,
         });
@@ -369,12 +388,13 @@ impl Recorder {
     fn observe(&self, name: &str, value: f64, volatile: bool) {
         let at = self.now();
         let mut state = self.state.lock().unwrap();
+        let name = state.intern(name);
         if volatile {
-            state.volatile_observations.insert(name.to_string());
+            state.volatile_observations.insert(Arc::clone(&name));
         }
         state
             .observations
-            .entry(name.to_string())
+            .entry(Arc::clone(&name))
             .and_modify(|s| {
                 s.count += 1;
                 s.sum += value;
@@ -389,20 +409,30 @@ impl Recorder {
                 max: value,
                 last: value,
             });
-        state.journal.push(Event::Observe {
-            at,
-            name: name.to_string(),
-            value,
-        });
+        state.journal.push(Event::Observe { at, name, value });
     }
 
     fn snapshot(&self) -> TelemetryReport {
+        // The cold path pays the String conversions the hot paths avoided,
+        // keeping the report's public maps `String`-keyed.
         let state = self.state.lock().unwrap();
         TelemetryReport {
             spans: state.spans.clone(),
-            counters: state.counters.clone(),
-            observations: state.observations.clone(),
-            volatile_observations: state.volatile_observations.clone(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            observations: state
+                .observations
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            volatile_observations: state
+                .volatile_observations
+                .iter()
+                .map(|k| k.to_string())
+                .collect(),
             journal: state.journal.clone(),
         }
     }
@@ -572,7 +602,7 @@ mod tests {
         assert_eq!(report.spans.len(), 4);
         assert_eq!(report.max_depth(), 3);
         let by_name: BTreeMap<&str, &SpanRecord> =
-            report.spans.iter().map(|s| (s.name.as_str(), s)).collect();
+            report.spans.iter().map(|s| (s.name.as_ref(), s)).collect();
         assert_eq!(by_name["a"].depth, 1);
         assert_eq!(by_name["b"].depth, 2);
         assert_eq!(by_name["c"].depth, 3);
@@ -597,7 +627,7 @@ mod tests {
             Event::Counter {
                 name, delta, total, ..
             } => {
-                assert_eq!(name, "cache.hit");
+                assert_eq!(name.as_ref(), "cache.hit");
                 assert_eq!(*delta, 3);
                 assert_eq!(*total, 5);
             }

@@ -13,6 +13,7 @@
 //! identity checks rely on.
 
 use crate::value::{Map, Value};
+use std::fmt::Write as _;
 
 /// Emits `value` as a single-line (compact) JSON document.
 ///
@@ -31,9 +32,11 @@ fn emit_into(value: &Value, out: &mut String) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
         Value::Float(f) => out.push_str(&json_number(*f)),
-        Value::Str(s) => out.push_str(&json_string(s)),
+        Value::Str(s) => json_string_into(s, out),
         Value::Seq(items) => {
             out.push('[');
             for (i, item) in items.iter().enumerate() {
@@ -50,7 +53,7 @@ fn emit_into(value: &Value, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                out.push_str(&json_string(key));
+                json_string_into(key, out);
                 out.push(':');
                 emit_into(val, out);
             }
@@ -73,20 +76,41 @@ pub fn json_number(f: f64) -> String {
 /// Escapes `s` as a JSON string literal (including the surrounding quotes).
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    json_string_into(s, &mut out);
+    out
+}
+
+/// Escapes `s` directly into `out`, copying maximal escape-free runs in one
+/// `push_str` each instead of pushing char by char. The scan is bytewise:
+/// every byte needing an escape is ASCII, and UTF-8 continuation bytes are
+/// ≥ 0x80, so a multi-byte scalar can never be split by the run boundary.
+fn json_string_into(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    let bytes = s.as_bytes();
+    let mut run = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[run..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => {
+                    let _ = write!(out, "\\u{b:04x}");
+                }
+            }
+            i += 1;
+            run = i;
+        } else {
+            i += 1;
         }
     }
+    out.push_str(&s[run..]);
     out.push('"');
-    out
 }
 
 /// Parses a JSON document into a [`Value`].
@@ -181,7 +205,38 @@ fn parse_number(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, Stri
 fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
     *pos += 1;
-    let mut out = String::new();
+    let start = *pos;
+    // Fast path: a bytewise scan to the closing quote. Every byte that can
+    // end the scan (`"`, `\`, controls) is ASCII, and UTF-8 continuation
+    // bytes are ≥ 0x80, so the scan never needs to decode scalars. Most
+    // ledger/trace strings carry no escapes, so this copies the whole
+    // string in one exactly-sized allocation.
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                let plain = &text[start..*pos];
+                *pos += 1;
+                return Ok(plain.to_string());
+            }
+            b'\\' => return parse_string_escaped(text, bytes, pos, start),
+            _ if b < 0x20 => return Err("bare control character in string".to_string()),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Slow path of [`parse_string`]: `*pos` sits on the first backslash, the
+/// escape-free prefix spans `start..*pos`. Decodes escapes one by one but
+/// still copies each plain run between them with a single `push_str`.
+fn parse_string_escaped(
+    text: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    start: usize,
+) -> Result<String, String> {
+    let mut out = String::with_capacity((*pos - start) + 16);
+    out.push_str(&text[start..*pos]);
     loop {
         let Some(&b) = bytes.get(*pos) else {
             return Err("unterminated string".to_string());
@@ -240,10 +295,15 @@ fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Str
             }
             _ if b < 0x20 => return Err("bare control character in string".to_string()),
             _ => {
-                // multi-byte UTF-8: copy the whole scalar
-                let c = text[*pos..].chars().next().expect("in-bounds char");
-                out.push(c);
-                *pos += c.len_utf8();
+                // copy the whole escape-free run in one push_str
+                let run = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                out.push_str(&text[run..*pos]);
             }
         }
     }

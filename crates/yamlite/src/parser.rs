@@ -28,10 +28,10 @@ pub fn parse_spanned(input: &str) -> Result<SpannedValue> {
     // A document whose single line is neither a sequence item nor a mapping
     // entry is a bare scalar (or flow collection) document.
     if lines.len() == 1
-        && !is_seq_item(&lines[0].text)
-        && split_key(&lines[0].text, lines[0].no, lines[0].indent + 1).is_err()
+        && !is_seq_item(lines[0].text)
+        && split_key(lines[0].text, lines[0].no, lines[0].indent + 1).is_err()
     {
-        return parse_scalar_or_flow(&lines[0].text, lines[0].no, lines[0].indent + 1);
+        return parse_scalar_or_flow(lines[0].text, lines[0].no, lines[0].indent + 1);
     }
     let mut pos = 0;
     let value = parse_block(&lines, &mut pos, lines[0].indent)?;
@@ -47,25 +47,28 @@ pub fn parse_spanned(input: &str) -> Result<SpannedValue> {
     Ok(value)
 }
 
-/// One significant (non-blank, non-comment) line of input.
+/// One significant (non-blank, non-comment) line of input, borrowed from the
+/// source text — preprocessing a document allocates only the `Vec`, never a
+/// `String` per line.
 #[derive(Debug)]
-struct Line {
+struct Line<'a> {
     /// 1-based source line number.
     no: usize,
     /// Number of leading spaces.
     indent: usize,
     /// Content with indentation and trailing comment removed.
-    text: String,
+    text: &'a str,
 }
 
-/// An inline mapping value: its text plus the 1-based column it starts at.
-struct Inline {
-    text: String,
+/// An inline mapping value: its text (borrowed from the source line) plus
+/// the 1-based column it starts at.
+struct Inline<'a> {
+    text: &'a str,
     col: usize,
 }
 
 /// Strips comments/blank lines and records indentation.
-fn preprocess(input: &str) -> Result<Vec<Line>> {
+fn preprocess(input: &str) -> Result<Vec<Line<'_>>> {
     let mut out = Vec::new();
     for (idx, raw) in input.lines().enumerate() {
         let no = idx + 1;
@@ -77,7 +80,7 @@ fn preprocess(input: &str) -> Result<Vec<Line>> {
             return Err(ParseError::new(no, "tabs are not allowed in indentation"));
         }
         let stripped = strip_comment(&raw[indent..]);
-        let text = stripped.trim_end().to_string();
+        let text = stripped.trim_end();
         if text.is_empty() {
             continue;
         }
@@ -117,7 +120,7 @@ fn strip_comment(line: &str) -> &str {
 }
 
 /// Parses the block starting at `pos`, whose lines are indented `indent`.
-fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<SpannedValue> {
+fn parse_block(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<SpannedValue> {
     let line = &lines[*pos];
     if line.indent != indent {
         return Err(ParseError::new(
@@ -125,7 +128,7 @@ fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Spanned
             format!("expected indentation {indent}, found {}", line.indent),
         ));
     }
-    if is_seq_item(&line.text) {
+    if is_seq_item(line.text) {
         parse_sequence(lines, pos, indent)
     } else {
         parse_mapping(lines, pos, indent, None)
@@ -138,10 +141,10 @@ fn is_seq_item(text: &str) -> bool {
 
 /// An already-extracted first entry for a mapping that begins inline inside a
 /// sequence item (e.g. `- key: value`).
-struct FirstEntry {
+struct FirstEntry<'a> {
     key: String,
     key_span: Span,
-    inline: Option<Inline>,
+    inline: Option<Inline<'a>>,
     no: usize,
 }
 
@@ -149,10 +152,10 @@ struct FirstEntry {
 /// already-extracted first entry (used for mappings that begin inline inside a
 /// sequence item, e.g. `- key: value`).
 fn parse_mapping(
-    lines: &[Line],
+    lines: &[Line<'_>],
     pos: &mut usize,
     indent: usize,
-    first: Option<FirstEntry>,
+    first: Option<FirstEntry<'_>>,
 ) -> Result<SpannedValue> {
     let mut map = SpannedMap::new();
     let mut map_span = Span::new(lines.get(*pos).map(|l| l.no).unwrap_or(0), indent + 1);
@@ -165,11 +168,11 @@ fn parse_mapping(
 
     while *pos < lines.len() {
         let line = &lines[*pos];
-        if line.indent != indent || is_seq_item(&line.text) {
+        if line.indent != indent || is_seq_item(line.text) {
             break;
         }
         let no = line.no;
-        let (key, key_span, inline) = split_key(&line.text, no, line.indent + 1)?;
+        let (key, key_span, inline) = split_key(line.text, no, line.indent + 1)?;
         *pos += 1;
         let value = mapping_value(lines, pos, indent, inline, no, key_span)?;
         if map.contains_key(&key) {
@@ -191,15 +194,15 @@ fn parse_mapping(
 
 /// Parses the value of a mapping entry whose key line has been consumed.
 fn mapping_value(
-    lines: &[Line],
+    lines: &[Line<'_>],
     pos: &mut usize,
     key_indent: usize,
-    inline: Option<Inline>,
+    inline: Option<Inline<'_>>,
     no: usize,
     key_span: Span,
 ) -> Result<SpannedValue> {
     if let Some(inline) = inline {
-        return parse_scalar_or_flow(&inline.text, no, inline.col);
+        return parse_scalar_or_flow(inline.text, no, inline.col);
     }
     // No inline value: the value is a nested block (deeper indent), a sequence
     // at the same indent as the key (YAML permits this), or null.
@@ -208,7 +211,7 @@ fn mapping_value(
         if next.indent > key_indent {
             return parse_block(lines, pos, next.indent);
         }
-        if next.indent == key_indent && is_seq_item(&next.text) {
+        if next.indent == key_indent && is_seq_item(next.text) {
             return parse_sequence(lines, pos, key_indent);
         }
     }
@@ -219,12 +222,12 @@ fn mapping_value(
 }
 
 /// Parses a block sequence at `indent`.
-fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<SpannedValue> {
+fn parse_sequence(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<SpannedValue> {
     let mut items = Vec::new();
     let seq_span = Span::new(lines[*pos].no, indent + 1);
     while *pos < lines.len() {
         let line = &lines[*pos];
-        if line.indent != indent || !is_seq_item(&line.text) {
+        if line.indent != indent || !is_seq_item(line.text) {
             break;
         }
         let no = line.no;
@@ -279,7 +282,11 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Span
 /// Splits a mapping line into `(key, key_span, inline_value)`. `base_col` is
 /// the 1-based column of `text`'s first byte in the source line. Fails if the
 /// line does not contain a top-level `": "` (or trailing `:`).
-fn split_key(text: &str, no: usize, base_col: usize) -> Result<(String, Span, Option<Inline>)> {
+fn split_key<'a>(
+    text: &'a str,
+    no: usize,
+    base_col: usize,
+) -> Result<(String, Span, Option<Inline<'a>>)> {
     let bytes = text.as_bytes();
     let mut in_single = false;
     let mut in_double = false;
@@ -310,7 +317,7 @@ fn split_key(text: &str, no: usize, base_col: usize) -> Result<(String, Span, Op
                         None
                     } else {
                         Some(Inline {
-                            text: rest.to_string(),
+                            text: rest,
                             col: base_col + i + 2 + lead,
                         })
                     };
@@ -368,7 +375,7 @@ fn parse_scalar_or_flow(text: &str, no: usize, col: usize) -> Result<SpannedValu
                 ));
             }
             let value = match inline {
-                Some(inline) => parse_scalar_or_flow(&inline.text, no, inline.col)?,
+                Some(inline) => parse_scalar_or_flow(inline.text, no, inline.col)?,
                 None => SpannedValue {
                     span: key_span,
                     node: SpannedNode::Null,
@@ -386,11 +393,11 @@ fn parse_scalar_or_flow(text: &str, no: usize, col: usize) -> Result<SpannedValu
 
 /// `key:value` (no space) is allowed inside flow mappings. `base_col` is the
 /// 1-based column of `part`'s first byte.
-fn flow_entry_key(
-    part: &str,
+fn flow_entry_key<'a>(
+    part: &'a str,
     no: usize,
     base_col: usize,
-) -> Result<(String, Span, Option<Inline>)> {
+) -> Result<(String, Span, Option<Inline<'a>>)> {
     if let Some(idx) = part.find(':') {
         let key = unquote(part[..idx].trim(), no)?;
         let rest = &part[idx + 1..];
@@ -400,7 +407,7 @@ fn flow_entry_key(
             None
         } else {
             Some(Inline {
-                text: rest.to_string(),
+                text: rest,
                 col: base_col + idx + 1 + lead,
             })
         };

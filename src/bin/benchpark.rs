@@ -14,6 +14,8 @@
 //!                 [--export <dir>] [--format json] [--allow-failed]  # run + telemetry report
 //! benchpark history <ledger.jsonl>       # replay a persisted run ledger
 //! benchpark regress <ledger.jsonl> [--threshold P]  # cross-run regression scan
+//! benchpark regress --bench <BENCH.json>... [--threshold P]  # bench-trajectory gate
+//! benchpark bench [--quick] [--out PATH]  # run the hot-path suite, emit BENCH json
 //! benchpark lint [paths...] [--deny warnings] [--format json]  # static analysis
 //! ```
 
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("regress") => cmd_regress(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("fingerprints") => cmd_fingerprints(&args[1..]),
         Some("template") => cmd_template(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
@@ -76,6 +79,8 @@ const USAGE: &str = "usage:
                   [--template <file>] [--format text|json] [--allow-failed]
   benchpark history <ledger.jsonl>
   benchpark regress <ledger.jsonl> [--threshold P]
+  benchpark regress --bench <BENCH.json>... [--threshold P] [--absolute]
+  benchpark bench [--quick] [--samples N] [--filter SUBSTR] [--out PATH] [--list]
   benchpark fingerprints <ledger.jsonl>
   benchpark template <benchmark>/<variant>
   benchpark lint [paths...] [--deny warnings] [--format text|json]
@@ -94,7 +99,25 @@ options:
   --template FILE   (trace) use FILE as the ramble.yaml experiment template
                     instead of the built-in one (see `benchpark template`)
   --allow-failed    (trace) exit 0 even when experiments failed
-  --threshold P     (regress) relative regression threshold (default 0.05)
+  --threshold P     (regress) relative regression threshold (default 0.05;
+                    0.10 with --bench)
+  --bench           (regress) compare BENCH_*.json reports (chronological
+                    order; the last file is gated against the earlier ones)
+                    instead of a FOM ledger. Reports are speed-calibrated:
+                    each is normalized by its geometric-mean median over
+                    the shared benches, so a uniformly slower machine does
+                    not flag everything — only benches that moved relative
+                    to the rest of the suite
+  --absolute        (regress --bench) skip speed calibration and compare
+                    raw medians (same-machine A/B runs)
+  --quick           (bench) 3 timed samples instead of 7 (same workload
+                    sizes, so medians stay comparable — for local
+                    iteration; gates want the full 7 samples)
+  --samples N       (bench) explicit timed sample count (minimum 2)
+  --filter SUBSTR   (bench) run only benches whose name contains SUBSTR
+  --out PATH        (bench) write the report to PATH (a directory gets the
+                    conventional BENCH_<date>.json name inside it)
+  --list            (bench) list bench names and exit without measuring
   --deny warnings   (lint) treat warnings as errors for the exit code
   --format FMT      (trace, lint) output format: text (default) or json";
 
@@ -506,21 +529,41 @@ fn cmd_history(args: &[String]) -> Result<(), String> {
 /// into a metrics database and scans every (benchmark, system, FOM) triple
 /// for regressions, directions inferred from FOM units. Exits non-zero when
 /// any triple regressed.
+///
+/// `benchpark regress --bench <BENCH.json>... [--threshold P]` — the same
+/// statistical gate applied to the repository's own bench trajectory: the
+/// files are a chronological series of `benchpark bench` reports, and the
+/// last one is compared against the medians of all the earlier ones. The
+/// default threshold is coarser (10%) because bench wall-clock numbers cross
+/// machines in CI; see `docs/perf/methodology.md`.
 fn cmd_regress(args: &[String]) -> Result<(), String> {
-    let mut threshold = 0.05f64;
+    let mut threshold: Option<f64> = None;
+    let mut bench_mode = false;
+    let mut absolute = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--threshold" => {
                 let value = iter.next().ok_or("--threshold needs a value")?;
-                threshold = value
-                    .parse()
-                    .map_err(|_| format!("--threshold expects a number, got `{value}`"))?;
+                threshold = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--threshold expects a number, got `{value}`"))?,
+                );
             }
+            "--bench" => bench_mode = true,
+            "--absolute" => absolute = true,
             _ => positional.push(arg),
         }
     }
+    if bench_mode {
+        return cmd_regress_bench(&positional, threshold.unwrap_or(0.10), absolute);
+    }
+    if absolute {
+        return Err("--absolute only applies to --bench trajectories".to_string());
+    }
+    let threshold = threshold.unwrap_or(0.05);
     let [ledger] = positional.as_slice() else {
         return Err("expected <ledger.jsonl> [--threshold P]".to_string());
     };
@@ -565,6 +608,175 @@ fn cmd_regress(args: &[String]) -> Result<(), String> {
         );
         Ok(())
     }
+}
+
+/// The `--bench` arm of [`cmd_regress`]: parses each file as a
+/// [`benchpark::core::BenchReport`], compares the last against the earlier
+/// ones, prints one verdict per bench, and exits non-zero when any bench
+/// regressed beyond the threshold *and* the 2σ noise band.
+fn cmd_regress_bench(files: &[&String], threshold: f64, absolute: bool) -> Result<(), String> {
+    use benchpark::core::{
+        calibration_speed_factor, compare_bench_reports, compare_bench_reports_calibrated,
+        BenchReport,
+    };
+    if files.len() < 2 {
+        return Err(
+            "expected at least two BENCH_*.json files in chronological order (baseline... latest)"
+                .to_string(),
+        );
+    }
+    let mut reports = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read bench report `{file}`: {e}"))?;
+        let report =
+            BenchReport::parse(&text).map_err(|e| format!("bench report `{file}`: {e}"))?;
+        reports.push(report);
+    }
+    let refs: Vec<&BenchReport> = reports.iter().collect();
+    let comparisons = if absolute {
+        compare_bench_reports(&refs, threshold)
+    } else {
+        compare_bench_reports_calibrated(&refs, threshold)
+    };
+    if !absolute {
+        match calibration_speed_factor(&refs) {
+            Some(factor) => println!(
+                "machine speed vs baseline: {factor:.2}x (geometric mean over shared benches; \
+                 uniform shifts are calibrated out — pass --absolute to compare raw numbers)"
+            ),
+            None => println!(
+                "trajectory not calibratable (fewer than two shared benches); comparing raw numbers"
+            ),
+        }
+    }
+    if comparisons.is_empty() {
+        println!(
+            "no bench in the latest report has a baseline sighting across {} earlier report(s)",
+            reports.len() - 1
+        );
+        return Ok(());
+    }
+    let mut regressed = 0usize;
+    let mut improved = 0usize;
+    for comparison in &comparisons {
+        println!("{}", comparison.render());
+        if comparison.regressed {
+            regressed += 1;
+        }
+        if comparison.improved {
+            improved += 1;
+        }
+    }
+    let fresh = reports
+        .last()
+        .map(|r| r.results.len() - comparisons.len())
+        .unwrap_or(0);
+    if fresh > 0 {
+        println!("({fresh} bench(es) have no baseline yet and were skipped)");
+    }
+    if regressed > 0 {
+        Err(format!(
+            "{regressed} of {} bench trajectories regressed beyond {:.0}%",
+            comparisons.len(),
+            threshold * 100.0
+        ))
+    } else {
+        println!(
+            "\nall {} bench trajectories within {:.0}% of baseline ({improved} improved)",
+            comparisons.len(),
+            threshold * 100.0
+        );
+        Ok(())
+    }
+}
+
+/// `benchpark bench` — runs the deterministic hot-path suite and emits the
+/// schema-versioned BENCH report (`docs/perf/methodology.md`). Without
+/// `--out` the JSON goes to stdout (progress lines go to stderr, so
+/// redirection captures a clean document); with `--out PATH` the report is
+/// written there, and a `PATH` that is a directory gets the conventional
+/// `BENCH_<date>.json` name inside it.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use benchpark::bench::{run_suite, suite_names, Scale, SuiteConfig};
+    let mut config = SuiteConfig::full(benchpark::core::today_utc());
+    let mut out: Option<String> = None;
+    let mut list = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config.samples = 3,
+            "--samples" => {
+                let value = iter.next().ok_or("--samples needs a value")?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--samples expects a positive integer, got `{value}`"))?;
+                if parsed < 2 {
+                    return Err("--samples must be at least 2".to_string());
+                }
+                config.samples = parsed;
+            }
+            "--filter" => {
+                let value = iter.next().ok_or("--filter needs a substring")?;
+                config.filter = Some(value.clone());
+            }
+            "--out" => {
+                let path = iter.next().ok_or("--out needs a path")?;
+                out = Some(path.clone());
+            }
+            "--list" => list = true,
+            other => return Err(format!("unknown bench argument `{other}`")),
+        }
+    }
+    if list {
+        for name in suite_names(Scale::Full) {
+            println!("{name}");
+        }
+        return Ok(());
+    }
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "warning: debug build — numbers are not comparable with the committed trajectory"
+        );
+    }
+    eprintln!(
+        "running hot-path suite ({} samples per bench){}",
+        config.samples,
+        config
+            .filter
+            .as_deref()
+            .map(|f| format!(", filter `{f}`"))
+            .unwrap_or_default()
+    );
+    let report = run_suite(&config, |line| eprintln!("  {line}"));
+    if report.results.is_empty() {
+        return Err("filter matched no benches (try `benchpark bench --list`)".to_string());
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let path = Path::new(&path);
+            let target = if path.is_dir() {
+                path.join(report.file_name())
+            } else {
+                path.to_path_buf()
+            };
+            if let Some(parent) = target.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+            }
+            std::fs::write(&target, &json)
+                .map_err(|e| format!("cannot write `{}`: {e}", target.display()))?;
+            eprintln!(
+                "wrote {} ({} benches) to {}",
+                report.file_name(),
+                report.results.len(),
+                target.display()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
 }
 
 /// `benchpark lint [paths...] [--deny warnings] [--format text|json]` —

@@ -24,11 +24,14 @@
 //!   Prometheus text exposition.
 //! * [`resilience`] — retry policies, circuit breakers, and seeded fault injection.
 //! * [`core`] — the Benchpark driver: systems, suites, metrics database, reports.
+//! * [`mod@bench`] — the hot-path suite behind `benchpark bench` and the
+//!   `BENCH_<date>.json` trajectory (see `docs/perf/methodology.md`).
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every table and figure.
 
 pub use benchpark_archspec as archspec;
+pub use benchpark_bench as bench;
 pub use benchpark_ci as ci;
 pub use benchpark_cluster as cluster;
 pub use benchpark_concretizer as concretizer;
