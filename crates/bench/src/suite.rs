@@ -20,6 +20,8 @@
 //! * **engine** — LPT planning and crossbeam-pool drive of a 100k-task DAG;
 //! * **ledger** — replay, regression scan, and fingerprint indexing over a
 //!   10k-run history;
+//! * **serve** — submission-queue admission plus deficit-round-robin batch
+//!   picking over 10k synthetic multi-tenant requests (no execution);
 //! * **telemetry** — journal append throughput under a recording sink.
 
 use benchpark_concretizer::{Concretizer, SiteConfig};
@@ -28,6 +30,7 @@ use benchpark_core::{scan_regressions, FingerprintIndex, LedgerLoad, RunRecord};
 use benchpark_engine::{Engine, TaskGraph};
 use benchpark_pkg::Repo;
 use benchpark_ramble::{ExperimentResult, ExperimentStatus, FomValue};
+use benchpark_serve::{DrrScheduler, ExperimentRequest, QueueConfig, SubmissionQueue};
 use benchpark_spec::Spec;
 use benchpark_telemetry::TelemetrySink;
 use std::collections::BTreeMap;
@@ -112,6 +115,8 @@ struct Sizes {
     manifest_experiments: usize,
     journal_tag: &'static str,
     journal_events: usize,
+    serve_tag: &'static str,
+    serve_requests: usize,
 }
 
 impl Sizes {
@@ -126,6 +131,8 @@ impl Sizes {
                 manifest_experiments: 1_500,
                 journal_tag: "100k",
                 journal_events: 100_000,
+                serve_tag: "10k",
+                serve_requests: 10_000,
             },
             Scale::Tiny => Sizes {
                 dag_tag: "2k",
@@ -136,6 +143,8 @@ impl Sizes {
                 manifest_experiments: 30,
                 journal_tag: "2k",
                 journal_events: 2_000,
+                serve_tag: "500",
+                serve_requests: 500,
             },
         }
     }
@@ -154,6 +163,7 @@ pub fn suite_names(scale: Scale) -> Vec<String> {
         "json.parse.ledger_line".to_string(),
         format!("ledger.regress.{}", s.ledger_tag),
         format!("ledger.replay.{}", s.ledger_tag),
+        format!("serve.enqueue_drain.{}", s.serve_tag),
         "spec.parse.corpus256".to_string(),
         format!("telemetry.journal.{}", s.journal_tag),
         format!("yamlite.emit.manifest{}", s.manifest_tag),
@@ -195,6 +205,7 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         .collect();
     let dag = synth_dag(sizes.dag_tasks);
     let spec_corpus = synth_spec_corpus(256);
+    let serve_requests = synth_requests(sizes.serve_requests);
 
     let mut benches: Vec<BenchDef> = Vec::new();
     benches.push(BenchDef {
@@ -308,6 +319,31 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         }),
     });
     benches.push(BenchDef {
+        name: format!("serve.enqueue_drain.{}", sizes.serve_tag),
+        group: "serve",
+        iters: 1,
+        routine: Box::new(|| {
+            let config = QueueConfig {
+                max_queued_per_tenant: sizes.serve_requests,
+                max_queued_global: sizes.serve_requests,
+                ..QueueConfig::default()
+            };
+            let mut queue = SubmissionQueue::new(config.clone(), TelemetrySink::noop());
+            for request in &serve_requests {
+                queue
+                    .admit(request.clone())
+                    .expect("synthetic request admits");
+            }
+            let mut sched = DrrScheduler::new(&config);
+            let mut drained = 0usize;
+            while !queue.is_empty() {
+                drained += sched.next_batch(&mut queue).len();
+            }
+            assert_eq!(drained, sizes.serve_requests);
+            black_box(drained);
+        }),
+    });
+    benches.push(BenchDef {
         name: format!("telemetry.journal.{}", sizes.journal_tag),
         group: "telemetry",
         iters: 1,
@@ -406,6 +442,28 @@ pub fn synth_manifest(n: usize) -> String {
 }
 
 /// A deterministic corpus of constraint-heavy spec strings.
+/// `n` valid experiment requests cycling through 8 tenants, 2 systems, and
+/// 2 built-in experiments, so admission validation always passes and the
+/// DRR scheduler has a genuinely multi-tenant queue to arbitrate.
+fn synth_requests(n: usize) -> Vec<ExperimentRequest> {
+    const TENANTS: [&str; 8] = [
+        "acme", "blue", "cobalt", "delta", "ember", "flint", "gamma", "helix",
+    ];
+    const SYSTEMS: [&str; 2] = ["cts1", "ats2"];
+    const EXPERIMENTS: [(&str, &str); 2] = [("saxpy", "openmp"), ("stream", "openmp")];
+    (0..n)
+        .map(|i| {
+            let (benchmark, variant) = EXPERIMENTS[i % EXPERIMENTS.len()];
+            ExperimentRequest::new(
+                TENANTS[i % TENANTS.len()],
+                benchmark,
+                variant,
+                SYSTEMS[(i / TENANTS.len()) % SYSTEMS.len()],
+            )
+        })
+        .collect()
+}
+
 fn synth_spec_corpus(n: usize) -> Vec<String> {
     let apps = ["saxpy", "amg2023", "lulesh", "stream", "hypre", "caliper"];
     let variants = ["+openmp", "~openmp", "+caliper", ""];

@@ -441,6 +441,106 @@ impl Benchpark {
         })
     }
 
+    /// **Setup stage**: workspace generation, concretization, installs,
+    /// script rendering, and the incremental plan against `index` (when
+    /// given). The first of the three per-request stages the serve daemon
+    /// (and every other driver entry point) is built from — see
+    /// [`Benchpark::run_request`] for the chained form.
+    pub fn stage_setup(
+        &self,
+        spec: &RunSpec,
+        index: Option<&FingerprintIndex>,
+        force: bool,
+    ) -> Result<StagedRun, String> {
+        let workspace = match &spec.template {
+            Some(template) => self.setup_workspace_from_template(
+                &spec.benchmark,
+                &spec.variant,
+                template,
+                &spec.system,
+                &spec.workspace_dir,
+                None,
+                &[],
+            )?,
+            None => self.setup_workspace(
+                &spec.benchmark,
+                &spec.variant,
+                &spec.system,
+                &spec.workspace_dir,
+            )?,
+        };
+        let mut staged = StagedRun {
+            workspace,
+            plan: None,
+        };
+        if let Some(index) = index {
+            staged.plan = Some(staged.workspace.plan_incremental(index, force));
+        }
+        Ok(staged)
+    }
+
+    /// **Execute stage**: submits the (cache-pruned) experiments to the
+    /// cluster, drains the queue, and analyzes the outputs. Returns the
+    /// freshly measured results only — empty when the incremental plan
+    /// satisfied every experiment from the cache, in which case the run and
+    /// analyze phases are skipped outright.
+    pub fn stage_execute(&self, staged: &mut StagedRun) -> Result<Vec<ExperimentResult>, String> {
+        if staged
+            .plan
+            .as_ref()
+            .is_some_and(IncrementalPlan::all_cached)
+        {
+            return Ok(Vec::new());
+        }
+        staged.workspace.run().map_err(|e| e.to_string())?;
+        Ok(staged
+            .workspace
+            .analyze(self)
+            .map_err(|e| e.to_string())?
+            .results)
+    }
+
+    /// **Collect stage**: splices cached results back into workspace
+    /// generation order and packages everything a caller needs to report,
+    /// export, or persist the run — without holding on to the workspace.
+    pub fn stage_collect(
+        &self,
+        staged: StagedRun,
+        executed: Vec<ExperimentResult>,
+    ) -> CollectedRun {
+        let StagedRun { workspace, plan } = staged;
+        let results = match &plan {
+            Some(plan) => plan.splice(executed.clone()),
+            None => executed.clone(),
+        };
+        CollectedRun {
+            benchmark: workspace.benchmark.clone(),
+            variant: workspace.variant.clone(),
+            system: workspace.system.name.clone(),
+            manifest: workspace.manifest(),
+            fingerprints: workspace.fingerprints.clone(),
+            plan,
+            executed,
+            results,
+            log: workspace.log.clone(),
+        }
+    }
+
+    /// Runs one experiment request end to end: setup → execute → collect.
+    /// This is the per-request unit of work the multi-tenant serve daemon
+    /// schedules, with the fingerprint `index` resolving against the
+    /// submitting tenant's ledger shards.
+    pub fn run_request(
+        &self,
+        spec: &RunSpec,
+        index: Option<&FingerprintIndex>,
+        force: bool,
+    ) -> Result<CollectedRun, String> {
+        let mut staged = self.stage_setup(spec, index, force)?;
+        let executed = self.stage_execute(&mut staged)?;
+        Ok(self.stage_collect(staged, executed))
+    }
+
     /// Runs a fleet of experiments — each a full setup → run → analyze
     /// pipeline on its own system and workspace directory — through the
     /// shared execution engine's worker pool, `jobs` wide (see
@@ -468,41 +568,15 @@ impl Benchpark {
             .with_telemetry(self.telemetry.clone())
             .run_pool(&graph, |task, _ctx| {
                 let exp = &fleet[task.payload];
-                let mut workspace = self.setup_workspace(
+                let spec = RunSpec::new(
                     &exp.benchmark,
                     &exp.variant,
                     &exp.system,
                     &exp.workspace_dir,
-                )?;
-                let plan = self
-                    .fingerprint_cache
-                    .as_ref()
-                    .map(|index| workspace.plan_incremental(index, self.force_rerun));
-                let fingerprints = workspace.fingerprints.clone();
-                let mut analysis = if plan.as_ref().is_some_and(IncrementalPlan::all_cached) {
-                    // Every experiment hit the cache: skip submit/drain and
-                    // analysis entirely and report straight from the ledger.
-                    AnalyzeReport {
-                        results: Vec::new(),
-                    }
-                } else {
-                    workspace.run().map_err(|e| e.to_string())?;
-                    workspace.analyze(self).map_err(|e| e.to_string())?
-                };
-                let executed = analysis.results.len();
-                if let Some(plan) = &plan {
-                    analysis.results = plan.splice(std::mem::take(&mut analysis.results));
-                }
-                Ok(FleetOutcome {
-                    benchmark: exp.benchmark.clone(),
-                    variant: exp.variant.clone(),
-                    system: exp.system.clone(),
-                    cached: plan.as_ref().map_or(0, |p| p.hits),
-                    executed,
-                    fingerprints,
-                    analysis,
-                    log: workspace.log.clone(),
-                })
+                );
+                let collected =
+                    self.run_request(&spec, self.fingerprint_cache.as_ref(), self.force_rerun)?;
+                Ok(FleetOutcome::from(collected))
             })
             .map_err(|e| e.to_string())?;
         report
@@ -517,6 +591,140 @@ impl Benchpark {
                 )),
             })
             .collect()
+    }
+}
+
+/// One experiment request, driver-agnostic: what to run and where. The
+/// currency of the staged run path ([`Benchpark::stage_setup`] →
+/// [`Benchpark::stage_execute`] → [`Benchpark::stage_collect`]) and of the
+/// `benchpark serve` submission queue.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Experiment variant (programming model).
+    pub variant: String,
+    /// System profile name.
+    pub system: String,
+    /// Workspace directory (must be unique per concurrent request).
+    pub workspace_dir: PathBuf,
+    /// User-supplied `ramble.yaml` text overriding the built-in template.
+    pub template: Option<String>,
+}
+
+impl RunSpec {
+    /// A request for a built-in experiment template.
+    pub fn new(
+        benchmark: &str,
+        variant: &str,
+        system: &str,
+        workspace_dir: impl AsRef<Path>,
+    ) -> RunSpec {
+        RunSpec {
+            benchmark: benchmark.to_string(),
+            variant: variant.to_string(),
+            system: system.to_string(),
+            workspace_dir: workspace_dir.as_ref().to_path_buf(),
+            template: None,
+        }
+    }
+
+    /// Substitutes a user-supplied `ramble.yaml` template (the §4 path).
+    pub fn with_template(mut self, template: impl Into<String>) -> RunSpec {
+        self.template = Some(template.into());
+        self
+    }
+}
+
+/// A request after the setup stage: the ready workspace plus the
+/// incremental plan (when a fingerprint index was consulted).
+pub struct StagedRun {
+    /// The ready-to-run workspace.
+    pub workspace: BenchparkWorkspace,
+    /// Cache plan from [`BenchparkWorkspace::plan_incremental`], if any.
+    pub plan: Option<IncrementalPlan>,
+}
+
+/// Everything the collect stage distills from one finished request.
+#[derive(Debug, Clone)]
+pub struct CollectedRun {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Experiment variant.
+    pub variant: String,
+    /// System profile name.
+    pub system: String,
+    /// The exact experiment manifest (§5's manifest-with-results).
+    pub manifest: String,
+    /// Content-addressed fingerprint per generated experiment.
+    pub fingerprints: BTreeMap<String, Fingerprint>,
+    /// The incremental plan, when a fingerprint index was consulted.
+    pub plan: Option<IncrementalPlan>,
+    /// Freshly measured results only (what a ledger append persists).
+    pub executed: Vec<ExperimentResult>,
+    /// All results in workspace generation order, cache splices included.
+    pub results: Vec<ExperimentResult>,
+    /// The nine-step workflow transcript.
+    pub log: WorkflowLog,
+}
+
+impl CollectedRun {
+    /// Experiments satisfied from the fingerprint cache.
+    pub fn cached(&self) -> usize {
+        self.plan.as_ref().map_or(0, |p| p.hits)
+    }
+
+    /// True when a consulted cache satisfied every experiment (nothing was
+    /// measured, so there is nothing to persist).
+    pub fn all_cached(&self) -> bool {
+        self.plan.as_ref().is_some_and(IncrementalPlan::all_cached)
+    }
+
+    /// The ledger record of this run's *fresh* measurements, stamped with
+    /// their fingerprints — or `None` when a consulted cache satisfied
+    /// everything (spliced results never re-enter the ledger; it is a
+    /// measurement log, not a cache file).
+    pub fn to_record(
+        &self,
+        report: Option<&benchpark_telemetry::TelemetryReport>,
+    ) -> Option<crate::ledger::RunRecord> {
+        if self.executed.is_empty() && self.plan.is_some() {
+            return None;
+        }
+        let fingerprints: Vec<(String, String)> = self
+            .fingerprints
+            .iter()
+            .filter(|(name, _)| self.executed.iter().any(|r| &r.experiment == *name))
+            .map(|(name, fp)| (name.clone(), fp.hex()))
+            .collect();
+        Some(
+            crate::ledger::RunRecord::from_run(
+                &self.system,
+                &self.benchmark,
+                &self.variant,
+                &self.manifest,
+                &self.executed,
+                report,
+            )
+            .with_fingerprints(fingerprints),
+        )
+    }
+}
+
+impl From<CollectedRun> for FleetOutcome {
+    fn from(collected: CollectedRun) -> FleetOutcome {
+        FleetOutcome {
+            cached: collected.cached(),
+            executed: collected.executed.len(),
+            benchmark: collected.benchmark,
+            variant: collected.variant,
+            system: collected.system,
+            fingerprints: collected.fingerprints,
+            analysis: AnalyzeReport {
+                results: collected.results,
+            },
+            log: collected.log,
+        }
     }
 }
 

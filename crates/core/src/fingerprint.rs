@@ -170,30 +170,38 @@ impl FingerprintIndex {
     pub fn from_ledger(load: &LedgerLoad) -> FingerprintIndex {
         let mut index = FingerprintIndex::new();
         for run in &load.runs {
-            for (experiment, fingerprint) in &run.fingerprints {
-                if fingerprint.is_empty() {
-                    continue;
-                }
-                let Some(result) = run.results.iter().find(|r| &r.experiment == experiment) else {
-                    continue;
-                };
-                if result.status != ExperimentStatus::Success || result.cached {
-                    continue;
-                }
-                index.entries.insert(
-                    fingerprint.clone(),
-                    CachedExperiment {
-                        fingerprint: fingerprint.clone(),
-                        sequence: run.sequence,
-                        system: run.system.clone(),
-                        benchmark: run.benchmark.clone(),
-                        variant: run.variant.clone(),
-                        result: result.clone(),
-                    },
-                );
-            }
+            index.index_run(run);
         }
         index
+    }
+
+    /// Indexes one run's fingerprinted successful results, superseding any
+    /// earlier entry for the same fingerprint. This is the incremental
+    /// update path a long-lived daemon uses after each `append_run`: the
+    /// in-memory index tracks the shard without replaying it from disk.
+    pub fn index_run(&mut self, run: &crate::ledger::RunRecord) {
+        for (experiment, fingerprint) in &run.fingerprints {
+            if fingerprint.is_empty() {
+                continue;
+            }
+            let Some(result) = run.results.iter().find(|r| &r.experiment == experiment) else {
+                continue;
+            };
+            if result.status != ExperimentStatus::Success || result.cached {
+                continue;
+            }
+            self.entries.insert(
+                fingerprint.clone(),
+                CachedExperiment {
+                    fingerprint: fingerprint.clone(),
+                    sequence: run.sequence,
+                    system: run.system.clone(),
+                    benchmark: run.benchmark.clone(),
+                    variant: run.variant.clone(),
+                    result: result.clone(),
+                },
+            );
+        }
     }
 
     /// The cached experiment for `fingerprint`, if any.

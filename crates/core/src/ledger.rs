@@ -401,13 +401,23 @@ fn result_from_value(value: &Value) -> Result<ExperimentResult, String> {
 /// diverge as soon as one line is garbled). The file is streamed line by
 /// line rather than slurped, so a growing ledger never costs a
 /// whole-history allocation per append. Returns the stamped sequence.
+///
+/// Crash safety: the record is serialized into a single buffer, written
+/// with one `write_all`, and `fsync`ed before this function returns — a
+/// caller (like the serve daemon's fingerprint index) never observes an
+/// append that is not durable. If the file's last byte is not a newline —
+/// the tail of a torn append from a process killed mid-write — a newline
+/// is emitted first, so the torn fragment stays contained in its own line
+/// (skipped and counted by [`load_ledger`]) instead of corrupting this
+/// record too.
 pub fn append_run(path: &Path, record: &mut RunRecord) -> Result<u64, String> {
     use std::io::{BufRead as _, Write as _};
-    let existing = match std::fs::File::open(path) {
+    let (existing, ends_with_newline) = match std::fs::File::open(path) {
         Ok(file) => {
             let mut reader = std::io::BufReader::new(file);
             let mut line = String::new();
             let mut valid = 0u64;
+            let mut newline_terminated = true;
             loop {
                 line.clear();
                 let read = reader
@@ -416,23 +426,32 @@ pub fn append_run(path: &Path, record: &mut RunRecord) -> Result<u64, String> {
                 if read == 0 {
                     break;
                 }
+                newline_terminated = line.ends_with('\n');
                 if !line.trim().is_empty() && RunRecord::parse_line(line.trim_end()).is_ok() {
                     valid += 1;
                 }
             }
-            valid
+            (valid, newline_terminated)
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => (0, true),
         Err(e) => return Err(format!("cannot read ledger `{}`: {e}", path.display())),
     };
     record.sequence = existing + 1;
+    let mut payload = String::new();
+    if !ends_with_newline {
+        payload.push('\n');
+    }
+    payload.push_str(&record.to_json_line());
+    payload.push('\n');
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)
         .map_err(|e| format!("cannot open ledger `{}`: {e}", path.display()))?;
-    writeln!(file, "{}", record.to_json_line())
+    file.write_all(payload.as_bytes())
         .map_err(|e| format!("cannot append to ledger `{}`: {e}", path.display()))?;
+    file.sync_all()
+        .map_err(|e| format!("cannot sync ledger `{}`: {e}", path.display()))?;
     Ok(record.sequence)
 }
 
@@ -489,4 +508,142 @@ pub fn load_ledger(path: &Path, sink: &TelemetrySink) -> Result<LedgerLoad, Stri
         }
     }
     Ok(load)
+}
+
+/// The shard file for one `(tenant, system)` pair under a sharded-ledger
+/// root: `<root>/<tenant>/<system>.jsonl`. This is the multi-tenant layout
+/// the `benchpark serve` daemon appends to — one schema-2 JSONL ledger per
+/// tenant/system, so tenants never contend on (or corrupt) each other's
+/// history, while [`ShardedLedger::load`] still presents the union.
+pub fn shard_path(root: &Path, tenant: &str, system: &str) -> std::path::PathBuf {
+    root.join(tenant).join(format!("{system}.jsonl"))
+}
+
+/// One discovered shard of a sharded ledger.
+#[derive(Debug, Clone)]
+pub struct LedgerShard {
+    /// Tenant the shard belongs to (the directory name).
+    pub tenant: String,
+    /// System the shard records (the file stem).
+    pub system: String,
+    /// The shard file.
+    pub path: std::path::PathBuf,
+    /// Valid records loaded from this shard.
+    pub runs: usize,
+    /// Corrupt or unknown-schema lines skipped in this shard.
+    pub skipped: usize,
+}
+
+/// A merge-on-query view over a directory of per-tenant/system ledger
+/// shards (`<root>/<tenant>/<system>.jsonl`).
+///
+/// Shards are discovered in sorted `(tenant, system)` order and their
+/// records concatenated in file order, then re-stamped with consecutive
+/// global sequences — so the merged view is a deterministic function of
+/// shard *contents*, independent of the interleaving in which concurrent
+/// tenants appended. `history`, `regress`, and `fingerprints` run
+/// unchanged over [`ShardedLedger::merged`]; per-tenant fingerprint
+/// caches (the serve daemon's read path) come from
+/// [`ShardedLedger::tenant_view`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedLedger {
+    /// Every discovered shard, sorted by `(tenant, system)`.
+    pub shards: Vec<LedgerShard>,
+    /// All shard records merged in shard order, re-stamped 1-based.
+    pub merged: LedgerLoad,
+    /// Tenant of `merged.runs[i]`, index-parallel with the merged runs.
+    pub tenants: Vec<String>,
+}
+
+impl ShardedLedger {
+    /// Discovers and loads every `<tenant>/<system>.jsonl` shard under
+    /// `root`. Non-directories at the top level and non-`.jsonl` files
+    /// inside tenant directories are ignored; corrupt lines are skipped
+    /// and counted exactly as [`load_ledger`] counts them. An empty or
+    /// missing root yields an empty view, not an error — a daemon's first
+    /// boot has no history yet.
+    pub fn load(root: &Path, sink: &TelemetrySink) -> Result<ShardedLedger, String> {
+        let mut sharded = ShardedLedger::default();
+        let entries = match std::fs::read_dir(root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(sharded),
+            Err(e) => return Err(format!("cannot read shard root `{}`: {e}", root.display())),
+        };
+        let mut tenant_dirs: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        tenant_dirs.sort();
+        for tenant_dir in tenant_dirs {
+            let tenant = tenant_dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let mut shard_files: Vec<std::path::PathBuf> = std::fs::read_dir(&tenant_dir)
+                .map_err(|e| format!("cannot read shard dir `{}`: {e}", tenant_dir.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+                .collect();
+            shard_files.sort();
+            for path in shard_files {
+                let system = path
+                    .file_stem()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                let load = load_ledger(&path, sink)?;
+                sharded.shards.push(LedgerShard {
+                    tenant: tenant.clone(),
+                    system,
+                    path,
+                    runs: load.runs.len(),
+                    skipped: load.skipped,
+                });
+                sharded.merged.skipped += load.skipped;
+                for mut run in load.runs {
+                    run.sequence = sharded.merged.runs.len() as u64 + 1;
+                    sharded.merged.runs.push(run);
+                    sharded.tenants.push(tenant.clone());
+                }
+            }
+        }
+        Ok(sharded)
+    }
+
+    /// The merged view restricted to one tenant's shards, re-stamped with
+    /// consecutive 1-based sequences — the ledger a fingerprint lookup for
+    /// that tenant's submissions resolves against (tenant isolation: a
+    /// tenant's cache hits come only from its own measurements).
+    pub fn tenant_view(&self, tenant: &str) -> LedgerLoad {
+        let mut load = LedgerLoad::default();
+        for shard in self.shards.iter().filter(|s| s.tenant == tenant) {
+            load.skipped += shard.skipped;
+        }
+        for (run, run_tenant) in self.merged.runs.iter().zip(&self.tenants) {
+            if run_tenant == tenant {
+                let mut run = run.clone();
+                run.sequence = load.runs.len() as u64 + 1;
+                load.runs.push(run);
+            }
+        }
+        load
+    }
+
+    /// Tenant names with at least one shard, sorted.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.shards.iter().map(|s| s.tenant.as_str()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Total records across all shards.
+    pub fn len(&self) -> usize {
+        self.merged.runs.len()
+    }
+
+    /// True when no shard holds a record.
+    pub fn is_empty(&self) -> bool {
+        self.merged.runs.is_empty()
+    }
 }

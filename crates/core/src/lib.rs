@@ -48,12 +48,13 @@ pub use benchjson::{
 };
 pub use components::{render_table1, table1, Table1Row};
 pub use driver::{
-    gate_failed_experiments, Benchpark, BenchparkWorkspace, FleetExperiment, FleetOutcome,
-    IncrementalPlan, WorkflowLog,
+    gate_failed_experiments, Benchpark, BenchparkWorkspace, CollectedRun, FleetExperiment,
+    FleetOutcome, IncrementalPlan, RunSpec, StagedRun, WorkflowLog,
 };
 pub use fingerprint::{CachedExperiment, Fingerprint, FingerprintBuilder, FingerprintIndex};
 pub use ledger::{
-    append_run, load_ledger, LedgerLoad, RunRecord, LEDGER_SCHEMA, LEDGER_SCHEMA_MIN,
+    append_run, load_ledger, shard_path, LedgerLoad, LedgerShard, RunRecord, ShardedLedger,
+    LEDGER_SCHEMA, LEDGER_SCHEMA_MIN,
 };
 pub use metrics::{MetricsDatabase, StoredResult};
 pub use plot::ascii_plot;

@@ -660,3 +660,88 @@ fn driver_plan_incremental_skips_hits_and_honors_force() {
     let rerun = ws3.analyze(&benchpark).unwrap();
     assert_eq!(rerun.results.len(), analysis.results.len());
 }
+
+// ---------------------------------------------------------------------------
+// Crash safety and the sharded multi-tenant layout
+// ---------------------------------------------------------------------------
+
+/// A process killed mid-append leaves a torn line with no trailing newline.
+/// The next `append_run` must contain the fragment in its own line (never
+/// splice the new record onto it), and the load must count exactly one
+/// skipped line.
+#[test]
+fn append_contains_torn_tail_from_killed_writer() {
+    let path = temp_ledger("torn-tail");
+    let mut first = record(100.0);
+    append_run(&path, &mut first).unwrap();
+
+    // simulate a writer killed mid-line: a truncated JSON prefix, no newline
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    write!(file, "{{\"schema\":2,\"sequence\":9,\"sys").unwrap();
+    drop(file);
+
+    let mut next = record(90.0);
+    let sequence = append_run(&path, &mut next).unwrap();
+    assert_eq!(sequence, 2, "the torn fragment is not a record");
+
+    let load = load_ledger(&path, &TelemetrySink::noop()).unwrap();
+    assert_eq!(load.runs.len(), 2, "both real records survive");
+    assert_eq!(load.skipped, 1, "the torn fragment is one skipped line");
+    assert_eq!(load.runs[1].sequence, 2);
+}
+
+/// Shard discovery: `<root>/<tenant>/<system>.jsonl` files load sorted by
+/// `(tenant, system)`, the merged view re-stamps 1-based sequences in that
+/// order, and `tenant_view` exposes exactly one tenant's runs.
+#[test]
+fn sharded_ledger_discovers_and_merges_per_tenant_shards() {
+    use crate::{shard_path, ShardedLedger};
+    let root = temp_ledger("shards");
+    let root = root.parent().unwrap().join("ledger");
+
+    // append out of discovery order to prove sorting is by name, not mtime
+    for (tenant, system, value) in [
+        ("zoe", "cts1", 10.0),
+        ("amy", "ats2", 20.0),
+        ("amy", "cts1", 30.0),
+        ("amy", "cts1", 40.0),
+    ] {
+        let path = shard_path(&root, tenant, system);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let mut rec = record(value);
+        rec.system = system.to_string();
+        append_run(&path, &mut rec).unwrap();
+    }
+
+    let sink = TelemetrySink::noop();
+    let sharded = ShardedLedger::load(&root, &sink).unwrap();
+    assert_eq!(sharded.tenant_names(), ["amy", "zoe"]);
+    assert_eq!(sharded.shards.len(), 3, "one shard per (tenant, system)");
+    assert_eq!(sharded.len(), 4);
+
+    // merged order: amy/ats2, amy/cts1 (x2), zoe/cts1 — re-stamped 1..=4
+    let sequences: Vec<u64> = sharded.merged.runs.iter().map(|r| r.sequence).collect();
+    assert_eq!(sequences, [1, 2, 3, 4]);
+    let systems: Vec<&str> = sharded
+        .merged
+        .runs
+        .iter()
+        .map(|r| r.system.as_str())
+        .collect();
+    assert_eq!(systems, ["ats2", "cts1", "cts1", "cts1"]);
+
+    let amy = sharded.tenant_view("amy");
+    assert_eq!(amy.runs.len(), 3, "tenant view holds only amy's runs");
+    let zoe = sharded.tenant_view("zoe");
+    assert_eq!(zoe.runs.len(), 1);
+    assert_eq!(zoe.runs[0].system, "cts1");
+
+    // a missing root is an empty ledger, not an error
+    let empty = ShardedLedger::load(&root.join("nope"), &sink).unwrap();
+    assert!(empty.is_empty());
+    assert!(empty.tenant_names().is_empty());
+}

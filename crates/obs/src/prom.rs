@@ -20,14 +20,75 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Splits a `serve.tenant.<tenant>.<metric>` counter name into its tenant
+/// label and metric remainder. Tenant ids are `[a-z0-9_-]+` (enforced at
+/// admission), so the first dot after the prefix ends the tenant.
+fn tenant_series(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix("serve.tenant.")?;
+    let (tenant, metric) = rest.split_once('.')?;
+    if tenant.is_empty() || metric.is_empty() {
+        return None;
+    }
+    Some((tenant, metric))
+}
+
 /// Renders counters and observations as Prometheus text exposition.
+///
+/// Per-tenant serve counters (`serve.tenant.<tenant>.<metric>`) are
+/// exported as one labeled family per metric —
+/// `benchpark_serve_<metric>_total{tenant="<tenant>"}` — rather than one
+/// flat metric per tenant, so a dashboard can aggregate or filter across
+/// tenants. All other counters keep their flat names, byte-for-byte.
 pub fn prometheus_text(report: &TelemetryReport, timebase: Timebase) -> String {
     let mut out = String::new();
+    // First pass: group per-tenant serve counters into labeled families so
+    // each family gets exactly one HELP/TYPE header (exposition-format
+    // requirement). A family is keyed by its full metric name, which also
+    // detects collisions with flat counters: `serve.submitted` and
+    // `serve.tenant.alice.submitted` both land in
+    // `benchpark_serve_submitted_total` and must share one header.
+    type Family<'a> = (String, &'a str, Vec<(&'a str, u64)>);
+    let mut families: Vec<Family<'_>> = Vec::new();
     for (name, total) in report.sorted_counters() {
+        if let Some((tenant, family)) = tenant_series(name) {
+            let metric = format!("benchpark_serve_{}_total", sanitize(family));
+            match families.iter_mut().find(|(m, _, _)| *m == metric) {
+                Some((_, _, series)) => series.push((tenant, total)),
+                None => families.push((metric, family, vec![(tenant, total)])),
+            }
+        }
+    }
+    families.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut emitted: Vec<bool> = vec![false; families.len()];
+    for (name, total) in report.sorted_counters() {
+        if tenant_series(name).is_some() {
+            continue;
+        }
         let metric = format!("benchpark_{}_total", sanitize(name));
         let _ = writeln!(out, "# HELP {metric} Benchpark counter `{name}`.");
         let _ = writeln!(out, "# TYPE {metric} counter");
         let _ = writeln!(out, "{metric} {total}");
+        // A labeled family sharing this metric name joins the same header,
+        // unlabeled aggregate first.
+        if let Some(pos) = families.iter().position(|(m, _, _)| *m == metric) {
+            for (tenant, tenant_total) in &families[pos].2 {
+                let _ = writeln!(out, "{metric}{{tenant=\"{tenant}\"}} {tenant_total}");
+            }
+            emitted[pos] = true;
+        }
+    }
+    for (pos, (metric, family, series)) in families.iter().enumerate() {
+        if emitted[pos] {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Benchpark per-tenant serve counter `{family}`."
+        );
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for (tenant, total) in series {
+            let _ = writeln!(out, "{metric}{{tenant=\"{tenant}\"}} {total}");
+        }
     }
     for (name, stats) in report.sorted_observations() {
         if timebase == Timebase::Canonical && report.is_volatile_observation(name) {

@@ -225,3 +225,36 @@ fn canonical_exports_are_reproducible_across_reruns() {
         prometheus_text(&b, Timebase::Canonical)
     );
 }
+
+#[test]
+fn prometheus_text_labels_per_tenant_serve_counters() {
+    let sink = TelemetrySink::recording();
+    sink.incr("serve.submitted", 7);
+    sink.incr("serve.tenant.alice.submitted", 4);
+    sink.incr("serve.tenant.bob.submitted", 3);
+    sink.incr("serve.tenant.alice.completed", 4);
+    let text = prometheus_text(&sink.report().unwrap(), Timebase::Canonical);
+    // Flat counters keep their names.
+    assert!(text.contains("benchpark_serve_submitted_total 7"));
+    // Per-tenant counters collapse into one labeled family per metric...
+    assert!(text.contains("benchpark_serve_submitted_total{tenant=\"alice\"} 4"));
+    assert!(text.contains("benchpark_serve_submitted_total{tenant=\"bob\"} 3"));
+    assert!(text.contains("benchpark_serve_completed_total{tenant=\"alice\"} 4"));
+    // ...with exactly one HELP/TYPE header pair per family, even when a
+    // flat counter shares the family name (unlabeled aggregate + labeled
+    // series under one header).
+    let headers = text
+        .matches("# TYPE benchpark_serve_submitted_total counter")
+        .count();
+    assert_eq!(headers, 1);
+    assert_eq!(
+        text.matches("# HELP benchpark_serve_completed_total ")
+            .count(),
+        1
+    );
+    let flat = text.find("benchpark_serve_submitted_total 7").unwrap();
+    let labeled = text
+        .find("benchpark_serve_submitted_total{tenant=\"alice\"}")
+        .unwrap();
+    assert!(flat < labeled);
+}

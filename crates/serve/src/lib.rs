@@ -1,0 +1,51 @@
+//! `benchpark-serve` — the paper's Figure 6 loop as a standing service.
+//!
+//! The one-shot `benchpark trace` driver runs one experiment batch and
+//! exits: one tenant per process. Collaborative continuous benchmarking
+//! (§6, "millions of users") is a *service* — many forks push experiment
+//! requests, CI runners fan out, and a shared metrics database accumulates.
+//! This crate re-platforms the driver as a multi-tenant daemon:
+//!
+//! * [`SubmissionQueue`] — file- or stdin-driven request intake with
+//!   deterministic FIFO-within-tenant ordering and admission control:
+//!   per-tenant and global queue quotas reject over-limit submissions with
+//!   typed [`RejectReason`]s, surfaced as `serve.rejected.*` counters and a
+//!   `serve.queue.depth` gauge (backpressure the submitter can see).
+//! * [`DrrScheduler`] — deficit round-robin fairness across tenants: each
+//!   drain round visits tenants in name order, tops up a per-tenant deficit
+//!   by a fixed quantum, and picks FIFO up to the per-tenant in-flight cap.
+//!   A flood from one tenant cannot starve the others, and the pick
+//!   sequence is a pure function of queue state — identical at any
+//!   `--jobs` count.
+//! * [`ServeDaemon`] — the drain loop: each batch fans out over the shared
+//!   `benchpark-engine` worker pool (one staged
+//!   setup → execute → collect run per request, via
+//!   [`benchpark_core::Benchpark::run_request`]), then commits outcomes in
+//!   pick order: one schema-2 JSONL ledger shard per tenant/system under
+//!   `<root>/ledger/`, per-tenant fingerprint indexes (a tenant's cache
+//!   hits resolve against that tenant's shards only), and per-tenant FOM
+//!   transcripts that are byte-identical to the same requests run serially
+//!   through the one-shot path.
+//! * [`ServeReport`] — throughput, fingerprint hit rate, rejection and
+//!   failure rolls, per-tenant stats; rendered human-readable or as JSON
+//!   for the CI artifact.
+//!
+//! No network: requests arrive as replay files or a spool directory (see
+//! `docs/SERVICE.md`), which keeps the daemon deterministic and testable —
+//! the stress harness replays 1000+ requests and byte-compares the result
+//! against the serial driver.
+
+mod daemon;
+mod queue;
+mod report;
+mod request;
+mod sched;
+
+pub use daemon::{demo_fault_plan, ServeConfig, ServeDaemon};
+pub use queue::{AdmitError, QueueConfig, QueuedRequest, RejectReason, SubmissionQueue};
+pub use report::{fom_transcript, RejectionRecord, ServeReport, TenantStats};
+pub use request::ExperimentRequest;
+pub use sched::DrrScheduler;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,298 @@
+//! The submission queue: FIFO-within-tenant intake with admission control.
+
+use crate::request::ExperimentRequest;
+use benchpark_core::{available_experiments, SystemProfile};
+use benchpark_telemetry::TelemetrySink;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Queue and scheduler quotas. Defaults are sized for the stress harness:
+/// deep queues (rejections are opt-in via the CLI flags), small quanta.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Max requests a single tenant may have queued (admission control).
+    pub max_queued_per_tenant: usize,
+    /// Max requests queued across all tenants (global backpressure).
+    pub max_queued_global: usize,
+    /// Max requests per tenant in flight in one scheduler batch.
+    pub max_inflight_per_tenant: usize,
+    /// Deficit round-robin quantum: queue credit a tenant earns per round.
+    pub quantum: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            max_queued_per_tenant: 1024,
+            max_queued_global: 8192,
+            max_inflight_per_tenant: 4,
+            quantum: 2,
+        }
+    }
+}
+
+/// Why a submission was refused. Every variant maps to a stable
+/// kebab-case code (the `serve.rejected.<code>` telemetry counter and the
+/// rejection roll in the serve report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request line did not parse.
+    BadRequest {
+        /// Parser message.
+        detail: String,
+    },
+    /// Tenant id is empty or has characters outside `[a-z0-9_-]`.
+    BadTenant {
+        /// The offending tenant id.
+        tenant: String,
+    },
+    /// No such system profile.
+    UnknownSystem {
+        /// The requested system.
+        system: String,
+    },
+    /// No such benchmark/variant template.
+    UnknownExperiment {
+        /// The requested benchmark.
+        benchmark: String,
+        /// The requested variant.
+        variant: String,
+    },
+    /// `template=PATH` could not be read at admission.
+    TemplateUnreadable {
+        /// The requested path.
+        path: String,
+        /// The I/O error.
+        error: String,
+    },
+    /// The tenant's queue is at `max_queued_per_tenant`.
+    TenantQueueFull {
+        /// The quota that was hit.
+        limit: usize,
+    },
+    /// The global queue is at `max_queued_global`.
+    GlobalQueueFull {
+        /// The quota that was hit.
+        limit: usize,
+    },
+}
+
+impl RejectReason {
+    /// The stable kebab-case code for this reason.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::BadRequest { .. } => "bad-request",
+            RejectReason::BadTenant { .. } => "bad-tenant",
+            RejectReason::UnknownSystem { .. } => "unknown-system",
+            RejectReason::UnknownExperiment { .. } => "unknown-experiment",
+            RejectReason::TemplateUnreadable { .. } => "template-unreadable",
+            RejectReason::TenantQueueFull { .. } => "tenant-queue-full",
+            RejectReason::GlobalQueueFull { .. } => "global-queue-full",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            RejectReason::BadTenant { tenant } => {
+                write!(f, "bad tenant `{tenant}` (want lowercase [a-z0-9_-]+)")
+            }
+            RejectReason::UnknownSystem { system } => write!(f, "unknown system `{system}`"),
+            RejectReason::UnknownExperiment { benchmark, variant } => {
+                write!(f, "unknown experiment `{benchmark}/{variant}`")
+            }
+            RejectReason::TemplateUnreadable { path, error } => {
+                write!(f, "cannot read template `{path}`: {error}")
+            }
+            RejectReason::TenantQueueFull { limit } => {
+                write!(f, "tenant queue full ({limit} queued)")
+            }
+            RejectReason::GlobalQueueFull { limit } => {
+                write!(f, "global queue full ({limit} queued)")
+            }
+        }
+    }
+}
+
+/// A refused submission: who asked, and why it bounced.
+#[derive(Debug, Clone)]
+pub struct AdmitError {
+    /// The submitting tenant (as written, even when invalid).
+    pub tenant: String,
+    /// The typed reason.
+    pub reason: RejectReason,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rejected [{}] {}: {}",
+            self.reason.code(),
+            self.tenant,
+            self.reason
+        )
+    }
+}
+
+/// An admitted request, stamped with its intake position.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    /// The request.
+    pub request: ExperimentRequest,
+    /// 1-based position within the tenant's submissions (FIFO order).
+    pub tenant_seq: u64,
+    /// 1-based global intake position (workspace directory naming).
+    pub intake_seq: u64,
+}
+
+/// The multi-tenant submission queue. Admission validates the request
+/// (tenant id shape, known system, known experiment) and enforces the
+/// per-tenant and global quotas; admitted requests wait FIFO within their
+/// tenant's queue until the scheduler picks them.
+pub struct SubmissionQueue {
+    config: QueueConfig,
+    queues: BTreeMap<String, VecDeque<QueuedRequest>>,
+    tenant_seqs: BTreeMap<String, u64>,
+    total_queued: usize,
+    intake_seq: u64,
+    telemetry: TelemetrySink,
+}
+
+fn valid_tenant(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+}
+
+impl SubmissionQueue {
+    /// An empty queue under `config`, reporting to `telemetry`.
+    pub fn new(config: QueueConfig, telemetry: TelemetrySink) -> SubmissionQueue {
+        SubmissionQueue {
+            config,
+            queues: BTreeMap::new(),
+            tenant_seqs: BTreeMap::new(),
+            total_queued: 0,
+            intake_seq: 0,
+            telemetry,
+        }
+    }
+
+    /// The active quota configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.config
+    }
+
+    /// Validates and admits one request, or rejects it with a typed
+    /// reason. Emits `serve.submitted` / `serve.rejected` /
+    /// `serve.rejected.<code>` counters and observes `serve.queue.depth`.
+    pub fn admit(&mut self, request: ExperimentRequest) -> Result<u64, AdmitError> {
+        let reason = self.check(&request);
+        if let Some(reason) = reason {
+            self.telemetry.incr("serve.rejected", 1);
+            self.telemetry
+                .incr(&format!("serve.rejected.{}", reason.code()), 1);
+            if valid_tenant(&request.tenant) {
+                self.telemetry
+                    .incr(&format!("serve.tenant.{}.rejected", request.tenant), 1);
+            }
+            return Err(AdmitError {
+                tenant: request.tenant,
+                reason,
+            });
+        }
+        let tenant = request.tenant.clone();
+        let tenant_seq = self.tenant_seqs.entry(tenant.clone()).or_insert(0);
+        *tenant_seq += 1;
+        self.intake_seq += 1;
+        let seq = *tenant_seq;
+        self.queues
+            .entry(tenant.clone())
+            .or_default()
+            .push_back(QueuedRequest {
+                request,
+                tenant_seq: seq,
+                intake_seq: self.intake_seq,
+            });
+        self.total_queued += 1;
+        self.telemetry.incr("serve.submitted", 1);
+        self.telemetry
+            .incr(&format!("serve.tenant.{tenant}.submitted"), 1);
+        self.telemetry
+            .observe("serve.queue.depth", self.total_queued as f64);
+        Ok(seq)
+    }
+
+    fn check(&self, request: &ExperimentRequest) -> Option<RejectReason> {
+        if !valid_tenant(&request.tenant) {
+            return Some(RejectReason::BadTenant {
+                tenant: request.tenant.clone(),
+            });
+        }
+        if SystemProfile::by_name(&request.system).is_none() {
+            return Some(RejectReason::UnknownSystem {
+                system: request.system.clone(),
+            });
+        }
+        let known = available_experiments()
+            .iter()
+            .any(|(b, v)| *b == request.benchmark && *v == request.variant);
+        if !known {
+            return Some(RejectReason::UnknownExperiment {
+                benchmark: request.benchmark.clone(),
+                variant: request.variant.clone(),
+            });
+        }
+        let depth = self.queues.get(&request.tenant).map_or(0, VecDeque::len);
+        if depth >= self.config.max_queued_per_tenant {
+            return Some(RejectReason::TenantQueueFull {
+                limit: self.config.max_queued_per_tenant,
+            });
+        }
+        if self.total_queued >= self.config.max_queued_global {
+            return Some(RejectReason::GlobalQueueFull {
+                limit: self.config.max_queued_global,
+            });
+        }
+        None
+    }
+
+    /// Tenants with at least one queued request, in name order (the
+    /// scheduler's visit order).
+    pub fn waiting_tenants(&self) -> Vec<String> {
+        self.queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// Pops the tenant's oldest queued request.
+    pub fn pop_front(&mut self, tenant: &str) -> Option<QueuedRequest> {
+        let picked = self.queues.get_mut(tenant)?.pop_front();
+        if picked.is_some() {
+            self.total_queued -= 1;
+            self.telemetry
+                .observe("serve.queue.depth", self.total_queued as f64);
+        }
+        picked
+    }
+
+    /// Queued requests for one tenant.
+    pub fn depth(&self, tenant: &str) -> usize {
+        self.queues.get(tenant).map_or(0, VecDeque::len)
+    }
+
+    /// Queued requests across all tenants.
+    pub fn len(&self) -> usize {
+        self.total_queued
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.total_queued == 0
+    }
+}

@@ -1,0 +1,116 @@
+//! One experiment request, as submitted by a tenant.
+
+use benchpark_core::FingerprintBuilder;
+use std::path::PathBuf;
+
+/// A tenant's request for one experiment run — the unit the submission
+/// queue admits and the scheduler picks.
+///
+/// The line format (replay files, the `submit` subcommand, the spool) is
+///
+/// ```text
+/// <tenant> <benchmark>/<variant> <system> [faults] [template=PATH]
+/// ```
+///
+/// with `#`-comments and blank lines ignored. `faults` activates the demo
+/// fault plan (see [`crate::demo_fault_plan`]); `template=PATH` substitutes
+/// a user-supplied `ramble.yaml` for the built-in experiment template (the
+/// §4 customization path). The template text is read at admission time, so
+/// a request in the queue is self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentRequest {
+    /// Submitting tenant (a fork, a team, a bot) — lowercase
+    /// `[a-z0-9_-]+`.
+    pub tenant: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Experiment variant (programming model).
+    pub variant: String,
+    /// Target system profile.
+    pub system: String,
+    /// Run under the demo transient-fault plan.
+    pub faults: bool,
+    /// Template path as written in the request line, for provenance.
+    pub template_path: Option<PathBuf>,
+    /// Resolved template text (filled in at admission).
+    pub template: Option<String>,
+}
+
+impl ExperimentRequest {
+    /// A plain request for a built-in experiment.
+    pub fn new(tenant: &str, benchmark: &str, variant: &str, system: &str) -> ExperimentRequest {
+        ExperimentRequest {
+            tenant: tenant.to_string(),
+            benchmark: benchmark.to_string(),
+            variant: variant.to_string(),
+            system: system.to_string(),
+            faults: false,
+            template_path: None,
+            template: None,
+        }
+    }
+
+    /// Parses one request line. Returns `Ok(None)` for blank lines and
+    /// `#`-comments; `Err` describes the malformation.
+    pub fn parse_line(line: &str) -> Result<Option<ExperimentRequest>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut tokens = line.split_whitespace();
+        let tenant = tokens.next().expect("non-empty line has a first token");
+        let experiment = tokens
+            .next()
+            .ok_or("missing experiment (want `<tenant> <benchmark>/<variant> <system>`)")?;
+        let (benchmark, variant) = experiment
+            .split_once('/')
+            .ok_or_else(|| format!("experiment `{experiment}` must be <benchmark>/<variant>"))?;
+        let system = tokens
+            .next()
+            .ok_or("missing system (want `<tenant> <benchmark>/<variant> <system>`)")?;
+        let mut request = ExperimentRequest::new(tenant, benchmark, variant, system);
+        for token in tokens {
+            if token == "faults" {
+                request.faults = true;
+            } else if let Some(path) = token.strip_prefix("template=") {
+                request.template_path = Some(PathBuf::from(path));
+            } else {
+                return Err(format!(
+                    "unknown request option `{token}` (want `faults` or `template=PATH`)"
+                ));
+            }
+        }
+        Ok(Some(request))
+    }
+
+    /// Renders the request back to its line form (what `submit` appends to
+    /// the spool). Round-trips through [`ExperimentRequest::parse_line`].
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "{} {}/{} {}",
+            self.tenant, self.benchmark, self.variant, self.system
+        );
+        if self.faults {
+            line.push_str(" faults");
+        }
+        if let Some(path) = &self.template_path {
+            line.push_str(&format!(" template={}", path.display()));
+        }
+        line
+    }
+
+    /// A tenant-independent key for what this request *runs* — benchmark,
+    /// variant, system, fault plan, and template content hash. Two requests
+    /// with equal spec keys generate identical workspaces (in different
+    /// directories), so their experiment fingerprints are equal: the
+    /// daemon's memo fastpath keys on this.
+    pub fn spec_key(&self) -> String {
+        let template_hash = FingerprintBuilder::new()
+            .field("template", self.template.as_deref().unwrap_or(""))
+            .finish();
+        format!(
+            "{}/{}@{}|faults={}|tpl={}",
+            self.benchmark, self.variant, self.system, self.faults, template_hash
+        )
+    }
+}

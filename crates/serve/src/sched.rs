@@ -1,0 +1,61 @@
+//! Deficit round-robin tenant fairness.
+
+use crate::queue::{QueueConfig, QueuedRequest, SubmissionQueue};
+use std::collections::BTreeMap;
+
+/// Deficit round-robin over tenant queues (Shreedhar & Varghese '95, with
+/// unit-cost requests). Each [`DrrScheduler::next_batch`] round visits the
+/// waiting tenants in name order, tops up each tenant's deficit counter by
+/// the quantum, and picks FIFO while the deficit lasts — capped by the
+/// per-tenant in-flight limit, with any unspent deficit carried to the next
+/// round. A tenant whose queue empties forfeits its deficit (no banking
+/// credit while idle), so a returning flood starts from the same footing as
+/// everyone else.
+///
+/// The pick sequence is a pure function of queue state: the same
+/// submissions always drain in the same batches, whatever `--jobs` count
+/// executes them.
+pub struct DrrScheduler {
+    quantum: u64,
+    max_inflight: usize,
+    deficits: BTreeMap<String, u64>,
+}
+
+impl DrrScheduler {
+    /// A scheduler with `config`'s quantum and in-flight cap.
+    pub fn new(config: &QueueConfig) -> DrrScheduler {
+        DrrScheduler {
+            quantum: config.quantum.max(1),
+            max_inflight: config.max_inflight_per_tenant.max(1),
+            deficits: BTreeMap::new(),
+        }
+    }
+
+    /// One DRR round: the next batch of requests to run concurrently.
+    /// Empty when nothing is queued.
+    pub fn next_batch(&mut self, queue: &mut SubmissionQueue) -> Vec<QueuedRequest> {
+        let mut batch = Vec::new();
+        for tenant in queue.waiting_tenants() {
+            let deficit = self.deficits.entry(tenant.clone()).or_insert(0);
+            *deficit += self.quantum;
+            let mut picked = 0usize;
+            while *deficit >= 1 && picked < self.max_inflight {
+                let Some(request) = queue.pop_front(&tenant) else {
+                    break;
+                };
+                *deficit -= 1;
+                picked += 1;
+                batch.push(request);
+            }
+            if queue.depth(&tenant) == 0 {
+                self.deficits.remove(&tenant);
+            }
+        }
+        batch
+    }
+
+    /// The carried deficit for `tenant` (zero when idle). Test hook.
+    pub fn deficit(&self, tenant: &str) -> u64 {
+        self.deficits.get(tenant).copied().unwrap_or(0)
+    }
+}

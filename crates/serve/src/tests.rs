@@ -1,0 +1,206 @@
+use crate::queue::{QueueConfig, RejectReason, SubmissionQueue};
+use crate::request::ExperimentRequest;
+use crate::sched::DrrScheduler;
+use benchpark_telemetry::TelemetrySink;
+
+fn req(tenant: &str) -> ExperimentRequest {
+    ExperimentRequest::new(tenant, "saxpy", "openmp", "cts1")
+}
+
+#[test]
+fn parse_line_roundtrip() {
+    let r = ExperimentRequest::parse_line("alice saxpy/openmp cts1")
+        .unwrap()
+        .unwrap();
+    assert_eq!(r.tenant, "alice");
+    assert_eq!(r.benchmark, "saxpy");
+    assert_eq!(r.variant, "openmp");
+    assert_eq!(r.system, "cts1");
+    assert!(!r.faults);
+    assert_eq!(r.to_line(), "alice saxpy/openmp cts1");
+
+    let r = ExperimentRequest::parse_line("bob stream/openmp ats2 faults template=t.yaml")
+        .unwrap()
+        .unwrap();
+    assert!(r.faults);
+    assert_eq!(
+        r.template_path.as_ref().unwrap().to_str().unwrap(),
+        "t.yaml"
+    );
+    assert_eq!(r.to_line(), "bob stream/openmp ats2 faults template=t.yaml");
+}
+
+#[test]
+fn parse_line_skips_comments_and_rejects_malformed() {
+    assert!(ExperimentRequest::parse_line("").unwrap().is_none());
+    assert!(ExperimentRequest::parse_line("  # comment")
+        .unwrap()
+        .is_none());
+    assert!(ExperimentRequest::parse_line("alice").is_err());
+    assert!(ExperimentRequest::parse_line("alice saxpy cts1").is_err());
+    assert!(ExperimentRequest::parse_line("alice saxpy/openmp cts1 bogus").is_err());
+}
+
+#[test]
+fn spec_key_ignores_tenant_but_not_template() {
+    let a = req("alice");
+    let b = req("bob");
+    assert_eq!(a.spec_key(), b.spec_key());
+    let mut c = req("alice");
+    c.template = Some("experiments: {}".to_string());
+    assert_ne!(a.spec_key(), c.spec_key());
+    let mut d = req("alice");
+    d.faults = true;
+    assert_ne!(a.spec_key(), d.spec_key());
+}
+
+#[test]
+fn admission_validates_and_enforces_quotas() {
+    let sink = TelemetrySink::recording();
+    let config = QueueConfig {
+        max_queued_per_tenant: 2,
+        max_queued_global: 3,
+        ..QueueConfig::default()
+    };
+    let mut queue = SubmissionQueue::new(config, sink.clone());
+
+    let bad = queue.admit(req("Alice")).unwrap_err();
+    assert!(matches!(bad.reason, RejectReason::BadTenant { .. }));
+    assert_eq!(bad.reason.code(), "bad-tenant");
+
+    let mut r = req("alice");
+    r.system = "nosuch".to_string();
+    let bad = queue.admit(r).unwrap_err();
+    assert_eq!(bad.reason.code(), "unknown-system");
+
+    let mut r = req("alice");
+    r.benchmark = "nosuch".to_string();
+    let bad = queue.admit(r).unwrap_err();
+    assert_eq!(bad.reason.code(), "unknown-experiment");
+
+    assert_eq!(queue.admit(req("alice")).unwrap(), 1);
+    assert_eq!(queue.admit(req("alice")).unwrap(), 2);
+    let bad = queue.admit(req("alice")).unwrap_err();
+    assert!(matches!(
+        bad.reason,
+        RejectReason::TenantQueueFull { limit: 2 }
+    ));
+
+    assert_eq!(queue.admit(req("bob")).unwrap(), 1);
+    let bad = queue.admit(req("carol")).unwrap_err();
+    assert!(matches!(
+        bad.reason,
+        RejectReason::GlobalQueueFull { limit: 3 }
+    ));
+
+    let report = sink.report().unwrap();
+    assert_eq!(report.counter("serve.submitted"), 3);
+    assert_eq!(report.counter("serve.rejected"), 5);
+    assert_eq!(report.counter("serve.rejected.tenant-queue-full"), 1);
+    assert_eq!(report.counter("serve.rejected.global-queue-full"), 1);
+    assert_eq!(report.counter("serve.tenant.alice.submitted"), 2);
+    assert_eq!(report.counter("serve.tenant.alice.rejected"), 3);
+}
+
+#[test]
+fn queue_is_fifo_within_tenant() {
+    let mut queue = SubmissionQueue::new(QueueConfig::default(), TelemetrySink::noop());
+    let mut a1 = req("alice");
+    a1.system = "cts1".to_string();
+    let mut a2 = req("alice");
+    a2.system = "ats2".to_string();
+    queue.admit(a1).unwrap();
+    queue.admit(a2).unwrap();
+    let first = queue.pop_front("alice").unwrap();
+    let second = queue.pop_front("alice").unwrap();
+    assert_eq!(first.tenant_seq, 1);
+    assert_eq!(first.request.system, "cts1");
+    assert_eq!(second.tenant_seq, 2);
+    assert_eq!(second.request.system, "ats2");
+    assert!(queue.pop_front("alice").is_none());
+}
+
+#[test]
+fn drr_is_fair_across_tenants() {
+    let config = QueueConfig {
+        quantum: 2,
+        max_inflight_per_tenant: 4,
+        ..QueueConfig::default()
+    };
+    let mut queue = SubmissionQueue::new(config.clone(), TelemetrySink::noop());
+    // alice floods, bob submits two: bob must not starve.
+    for _ in 0..6 {
+        queue.admit(req("alice")).unwrap();
+    }
+    for _ in 0..2 {
+        queue.admit(req("bob")).unwrap();
+    }
+    let mut sched = DrrScheduler::new(&config);
+
+    let batch = sched.next_batch(&mut queue);
+    let tenants: Vec<&str> = batch.iter().map(|q| q.request.tenant.as_str()).collect();
+    assert_eq!(tenants, vec!["alice", "alice", "bob", "bob"]);
+
+    let batch = sched.next_batch(&mut queue);
+    let tenants: Vec<&str> = batch.iter().map(|q| q.request.tenant.as_str()).collect();
+    assert_eq!(tenants, vec!["alice", "alice"]);
+
+    let batch = sched.next_batch(&mut queue);
+    assert_eq!(batch.len(), 2);
+    assert!(queue.is_empty());
+    assert!(sched.next_batch(&mut queue).is_empty());
+}
+
+#[test]
+fn drr_caps_per_tenant_inflight_and_carries_deficit() {
+    let config = QueueConfig {
+        quantum: 5,
+        max_inflight_per_tenant: 3,
+        ..QueueConfig::default()
+    };
+    let mut queue = SubmissionQueue::new(config.clone(), TelemetrySink::noop());
+    for _ in 0..8 {
+        queue.admit(req("alice")).unwrap();
+    }
+    let mut sched = DrrScheduler::new(&config);
+    // Round 1: deficit 5, capped at 3 picks, 2 carried.
+    assert_eq!(sched.next_batch(&mut queue).len(), 3);
+    assert_eq!(sched.deficit("alice"), 2);
+    // Round 2: deficit 7, capped at 3 picks.
+    assert_eq!(sched.next_batch(&mut queue).len(), 3);
+    // Round 3: queue empties; deficit forfeited.
+    assert_eq!(sched.next_batch(&mut queue).len(), 2);
+    assert_eq!(sched.deficit("alice"), 0);
+}
+
+#[test]
+fn report_json_and_render() {
+    let mut report = crate::report::ServeReport {
+        admitted: 10,
+        completed: 9,
+        failed: 1,
+        batches: 3,
+        experiments_fresh: 4,
+        experiments_cached: 12,
+        elapsed_s: 2.0,
+        ..Default::default()
+    };
+    report.tenants.insert(
+        "alice".to_string(),
+        crate::report::TenantStats {
+            submitted: 10,
+            completed: 9,
+            failed: 1,
+            fresh: 4,
+            cached: 12,
+            ..Default::default()
+        },
+    );
+    assert!((report.throughput() - 4.5).abs() < 1e-9);
+    assert!((report.hit_rate() - 0.75).abs() < 1e-9);
+    let json = report.to_json();
+    assert!(json.contains("\"throughput_rps\""));
+    assert!(json.contains("\"alice\""));
+    let text = report.render();
+    assert!(text.contains("hit rate: 75.0%"));
+}

@@ -1,0 +1,91 @@
+//! `benchpark bench` — the deterministic hot-path suite.
+
+use std::path::Path;
+
+/// `benchpark bench` — runs the deterministic hot-path suite and emits the
+/// schema-versioned BENCH report (`docs/perf/methodology.md`). Without
+/// `--out` the JSON goes to stdout (progress lines go to stderr, so
+/// redirection captures a clean document); with `--out PATH` the report is
+/// written there, and a `PATH` that is a directory gets the conventional
+/// `BENCH_<date>.json` name inside it.
+pub fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use benchpark::bench::{run_suite, suite_names, Scale, SuiteConfig};
+    let mut config = SuiteConfig::full(benchpark::core::today_utc());
+    let mut out: Option<String> = None;
+    let mut list = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config.samples = 3,
+            "--samples" => {
+                let value = iter.next().ok_or("--samples needs a value")?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--samples expects a positive integer, got `{value}`"))?;
+                if parsed < 2 {
+                    return Err("--samples must be at least 2".to_string());
+                }
+                config.samples = parsed;
+            }
+            "--filter" => {
+                let value = iter.next().ok_or("--filter needs a substring")?;
+                config.filter = Some(value.clone());
+            }
+            "--out" => {
+                let path = iter.next().ok_or("--out needs a path")?;
+                out = Some(path.clone());
+            }
+            "--list" => list = true,
+            other => return Err(format!("unknown bench argument `{other}`")),
+        }
+    }
+    if list {
+        for name in suite_names(Scale::Full) {
+            println!("{name}");
+        }
+        return Ok(());
+    }
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "warning: debug build — numbers are not comparable with the committed trajectory"
+        );
+    }
+    eprintln!(
+        "running hot-path suite ({} samples per bench){}",
+        config.samples,
+        config
+            .filter
+            .as_deref()
+            .map(|f| format!(", filter `{f}`"))
+            .unwrap_or_default()
+    );
+    let report = run_suite(&config, |line| eprintln!("  {line}"));
+    if report.results.is_empty() {
+        return Err("filter matched no benches (try `benchpark bench --list`)".to_string());
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let path = Path::new(&path);
+            let target = if path.is_dir() {
+                path.join(report.file_name())
+            } else {
+                path.to_path_buf()
+            };
+            if let Some(parent) = target.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+            }
+            std::fs::write(&target, &json)
+                .map_err(|e| format!("cannot write `{}`: {e}", target.display()))?;
+            eprintln!(
+                "wrote {} ({} benches) to {}",
+                report.file_name(),
+                report.results.len(),
+                target.display()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! `benchpark lint` — cross-artifact static analysis.
+
+/// `benchpark lint [paths...] [--deny warnings] [--format text|json]` —
+/// cross-artifact static analysis. Each directory of YAML artifacts is linted
+/// as one composed set (so cross-file references resolve); files named
+/// directly form one set of their own. Exits non-zero when errors (or, under
+/// `--deny warnings`, warnings) are found.
+pub fn cmd_lint(args: &[String]) -> Result<(), String> {
+    use benchpark::lint::{ArtifactSet, LintReport, Linter};
+    use std::path::{Path, PathBuf};
+
+    let mut deny_warnings = false;
+    let mut format = "text".to_string();
+    let mut paths: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--deny" => {
+                let what = iter.next().ok_or("--deny needs a value (warnings)")?;
+                if what != "warnings" {
+                    return Err(format!("unknown --deny target `{what}` (only: warnings)"));
+                }
+                deny_warnings = true;
+            }
+            "--format" => {
+                let fmt = iter.next().ok_or("--format needs a value (text|json)")?;
+                if fmt != "text" && fmt != "json" {
+                    return Err(format!("unknown format `{fmt}` (text|json)"));
+                }
+                format = fmt.clone();
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        paths.push("examples".to_string());
+    }
+
+    fn is_yaml(path: &Path) -> bool {
+        matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("yaml") | Some("yml")
+        )
+    }
+    fn walk(path: &Path, found: &mut Vec<PathBuf>) -> Result<(), String> {
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .collect();
+            entries.sort();
+            for entry in entries {
+                walk(&entry, found)?;
+            }
+        } else if is_yaml(path) {
+            found.push(path.to_path_buf());
+        }
+        Ok(())
+    }
+
+    // group artifacts by directory: one directory = one composed set
+    let mut loose: Vec<PathBuf> = Vec::new();
+    let mut files: Vec<PathBuf> = Vec::new();
+    for path in &paths {
+        let path = Path::new(path);
+        if !path.exists() {
+            return Err(format!("no such path `{}`", path.display()));
+        }
+        if path.is_dir() {
+            walk(path, &mut files)?;
+        } else {
+            loose.push(path.to_path_buf());
+        }
+    }
+    let mut groups: Vec<(PathBuf, Vec<PathBuf>)> = Vec::new();
+    for file in files {
+        let dir = file.parent().unwrap_or(Path::new(".")).to_path_buf();
+        match groups.iter_mut().find(|(d, _)| *d == dir) {
+            Some((_, members)) => members.push(file),
+            None => groups.push((dir, vec![file])),
+        }
+    }
+    if !loose.is_empty() {
+        groups.push((PathBuf::from("."), loose));
+    }
+
+    let linter = Linter::new();
+    let mut report = LintReport::new();
+    let mut scanned = 0usize;
+    for (_, members) in &groups {
+        let mut set = ArtifactSet::new();
+        for file in members {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read `{}`: {e}", file.display()))?;
+            set.add(&file.display().to_string(), &text);
+            scanned += 1;
+        }
+        report.diagnostics.extend(linter.lint(&set).diagnostics);
+    }
+    report.finish();
+
+    if format == "json" {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+        println!("({scanned} artifacts checked)");
+    }
+    if report.is_clean(deny_warnings) {
+        Ok(())
+    } else {
+        Err(report.summary())
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-tenant service subcommands: `serve`, `submit`, `drain`.
+//!
+//! No network dependency: requests arrive as a replay file (`serve
+//! --replay FILE`) or through the spool at `<root>/queue` (`submit`
+//! appends, `drain`/`serve` consume). See `docs/SERVICE.md` for the
+//! queue/fairness/quota semantics and a replay walkthrough.
+
+use benchpark::serve::{ExperimentRequest, ServeConfig, ServeDaemon};
+use std::path::{Path, PathBuf};
+
+struct ServeArgs {
+    root: PathBuf,
+    replay: Option<PathBuf>,
+    config: ServeConfig,
+    report_path: Option<PathBuf>,
+    positional: Vec<String>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut queue = benchpark::serve::QueueConfig::default();
+    let mut report_path: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = iter.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--replay" => {
+                let file = iter.next().ok_or("--replay needs a file")?;
+                replay = Some(PathBuf::from(file));
+            }
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs needs a value")?;
+                jobs = value
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got `{value}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--max-queued" => {
+                let value = iter.next().ok_or("--max-queued needs a value")?;
+                queue.max_queued_per_tenant = value.parse().map_err(|_| {
+                    format!("--max-queued expects a positive integer, got `{value}`")
+                })?;
+            }
+            "--global-queued" => {
+                let value = iter.next().ok_or("--global-queued needs a value")?;
+                queue.max_queued_global = value.parse().map_err(|_| {
+                    format!("--global-queued expects a positive integer, got `{value}`")
+                })?;
+            }
+            "--max-inflight" => {
+                let value = iter.next().ok_or("--max-inflight needs a value")?;
+                queue.max_inflight_per_tenant = value.parse().map_err(|_| {
+                    format!("--max-inflight expects a positive integer, got `{value}`")
+                })?;
+            }
+            "--quantum" => {
+                let value = iter.next().ok_or("--quantum needs a value")?;
+                queue.quantum = value
+                    .parse()
+                    .map_err(|_| format!("--quantum expects a positive integer, got `{value}`"))?;
+            }
+            "--report" => {
+                let path = iter.next().ok_or("--report needs a path")?;
+                report_path = Some(PathBuf::from(path));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let root = root.ok_or("--root DIR is required")?;
+    let mut config = ServeConfig::new(&root);
+    config.queue = queue;
+    config.jobs = jobs;
+    Ok(ServeArgs {
+        root,
+        replay,
+        config,
+        report_path,
+        positional,
+    })
+}
+
+fn run_daemon(parsed: ServeArgs) -> Result<(), String> {
+    let spool = parsed.root.join("queue");
+    let (text, base, from_spool) = match &parsed.replay {
+        Some(file) => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read replay file `{}`: {e}", file.display()))?;
+            let base = file
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .unwrap_or(Path::new("."))
+                .to_path_buf();
+            (text, base, false)
+        }
+        None => {
+            let text = match std::fs::read_to_string(&spool) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(format!("cannot read spool `{}`: {e}", spool.display())),
+            };
+            (text, parsed.root.clone(), true)
+        }
+    };
+    let mut daemon = ServeDaemon::new(parsed.config)?;
+    daemon.intake_text(&text, &base);
+    daemon.drain()?;
+    if from_spool && spool.exists() {
+        // the spool is consumed: every line was either completed or
+        // rejected with a recorded reason
+        std::fs::remove_file(&spool)
+            .map_err(|e| format!("cannot consume spool `{}`: {e}", spool.display()))?;
+    }
+    let report = daemon.report();
+    print!("{}", report.render());
+    if let Some(path) = &parsed.report_path {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report `{}`: {e}", path.display()))?;
+        eprintln!("wrote throughput report to {}", path.display());
+    }
+    Ok(())
+}
+
+/// `benchpark serve --root DIR [--replay FILE]` — boots the daemon over the
+/// root's ledger shards, intakes the replay file (or the spool), drains the
+/// queue with per-tenant fairness, and prints the throughput report.
+pub fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let parsed = parse_serve_args(args)?;
+    if !parsed.positional.is_empty() {
+        return Err(format!(
+            "unexpected serve argument `{}`",
+            parsed.positional[0]
+        ));
+    }
+    run_daemon(parsed)
+}
+
+/// `benchpark drain --root DIR` — drains the spool at `<root>/queue`
+/// (exactly `serve` without `--replay`).
+pub fn cmd_drain(args: &[String]) -> Result<(), String> {
+    let parsed = parse_serve_args(args)?;
+    if !parsed.positional.is_empty() {
+        return Err(format!(
+            "unexpected drain argument `{}`",
+            parsed.positional[0]
+        ));
+    }
+    if parsed.replay.is_some() {
+        return Err("drain reads the spool; use `serve --replay` for files".to_string());
+    }
+    run_daemon(parsed)
+}
+
+/// `benchpark submit --root DIR <tenant> <benchmark>/<variant> <system>
+/// [faults] [template=PATH]` — validates the request line and appends it to
+/// the spool at `<root>/queue` for a later `benchpark drain`.
+pub fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let parsed = parse_serve_args(args)?;
+    if parsed.replay.is_some() {
+        return Err("--replay does not apply to submit".to_string());
+    }
+    let line = parsed.positional.join(" ");
+    let request = ExperimentRequest::parse_line(&line)?
+        .ok_or("expected <tenant> <benchmark>/<variant> <system> [faults] [template=PATH]")?;
+    std::fs::create_dir_all(&parsed.root)
+        .map_err(|e| format!("cannot create root `{}`: {e}", parsed.root.display()))?;
+    let spool = parsed.root.join("queue");
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&spool)
+        .map_err(|e| format!("cannot open spool `{}`: {e}", spool.display()))?;
+    writeln!(file, "{}", request.to_line())
+        .map_err(|e| format!("cannot append to spool `{}`: {e}", spool.display()))?;
+    println!(
+        "spooled {} for tenant {} (drain with `benchpark drain --root {}`)",
+        request.to_line(),
+        request.tenant,
+        parsed.root.display()
+    );
+    Ok(())
+}

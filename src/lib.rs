@@ -24,6 +24,9 @@
 //!   Prometheus text exposition.
 //! * [`resilience`] — retry policies, circuit breakers, and seeded fault injection.
 //! * [`core`] — the Benchpark driver: systems, suites, metrics database, reports.
+//! * [`serve`] — the multi-tenant service: submission queue, deficit
+//!   round-robin scheduler, admission control, sharded ledgers
+//!   (see `docs/SERVICE.md`).
 //! * [`mod@bench`] — the hot-path suite behind `benchpark bench` and the
 //!   `BENCH_<date>.json` trajectory (see `docs/perf/methodology.md`).
 //!
@@ -43,6 +46,7 @@ pub use benchpark_pkg as pkg;
 pub use benchpark_ramble as ramble;
 pub use benchpark_resilience as resilience;
 pub use benchpark_rex as rex;
+pub use benchpark_serve as serve;
 pub use benchpark_spack as spack;
 pub use benchpark_spec as spec;
 pub use benchpark_telemetry as telemetry;
