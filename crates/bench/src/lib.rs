@@ -24,7 +24,10 @@
 
 pub mod suite;
 
-pub use suite::{run_suite, suite_names, synth_ledger_lines, synth_manifest, Scale, SuiteConfig};
+pub use suite::{
+    deep_package_name, run_suite, suite_names, synth_ledger_lines, synth_manifest, synth_repo,
+    Scale, SuiteConfig,
+};
 
 /// A scratch directory for bench workspaces.
 pub fn bench_dir(tag: &str) -> std::path::PathBuf {

@@ -117,6 +117,9 @@ struct Sizes {
     journal_events: usize,
     serve_tag: &'static str,
     serve_requests: usize,
+    repo_tag: &'static str,
+    repo_packages: usize,
+    repo_width: usize,
 }
 
 impl Sizes {
@@ -133,6 +136,9 @@ impl Sizes {
                 journal_events: 100_000,
                 serve_tag: "10k",
                 serve_requests: 10_000,
+                repo_tag: "10k",
+                repo_packages: 10_000,
+                repo_width: 100,
             },
             Scale::Tiny => Sizes {
                 dag_tag: "2k",
@@ -145,6 +151,9 @@ impl Sizes {
                 journal_events: 2_000,
                 serve_tag: "500",
                 serve_requests: 500,
+                repo_tag: "500",
+                repo_packages: 500,
+                repo_width: 25,
             },
         }
     }
@@ -155,6 +164,8 @@ pub fn suite_names(scale: Scale) -> Vec<String> {
     let s = Sizes::of(scale);
     vec![
         "concretize.env7.unify".to_string(),
+        format!("concretize.repo_{}.cold", s.repo_tag),
+        format!("concretize.repo_{}.incr", s.repo_tag),
         "concretize.single".to_string(),
         format!("engine.drive.pool.{}", s.dag_tag),
         format!("engine.plan.lpt.{}", s.dag_tag),
@@ -206,6 +217,17 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
     let dag = synth_dag(sizes.dag_tasks);
     let spec_corpus = synth_spec_corpus(256);
     let serve_requests = synth_requests(sizes.serve_requests);
+    let synth_repo = synth_repo(sizes.repo_packages, sizes.repo_width);
+    let synth_root: Spec = "synth-root".parse().expect("synth root parses");
+    // the incremental bench re-propagates one version edit against a warm
+    // session; the session's cold solve happens once here, outside timing
+    let synth_cz = Concretizer::new(&synth_repo, &site);
+    let mut synth_session = synth_cz
+        .session(&synth_root)
+        .expect("synthetic repo solves");
+    let edit_target = deep_package_name(sizes.repo_packages, sizes.repo_width);
+    let edit_constraint =
+        benchpark_spec::VersionConstraint::exactly("2.0.0".parse().expect("version parses"));
 
     let mut benches: Vec<BenchDef> = Vec::new();
     benches.push(BenchDef {
@@ -224,6 +246,31 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         routine: Box::new(|| {
             let solver = Concretizer::new(&repo, &site);
             black_box(solver.concretize_env(&single_root, false).expect("solves"));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("concretize.repo_{}.cold", sizes.repo_tag),
+        group: "concretizer",
+        iters: 1,
+        routine: Box::new(|| {
+            let solver = Concretizer::new(&synth_repo, &site);
+            black_box(
+                solver
+                    .concretize(&synth_root)
+                    .expect("synthetic repo solves"),
+            );
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("concretize.repo_{}.incr", sizes.repo_tag),
+        group: "concretizer",
+        iters: 4,
+        routine: Box::new(|| {
+            black_box(
+                synth_session
+                    .resolve_version(&edit_target, &edit_constraint)
+                    .expect("incremental edit solves"),
+            );
         }),
     });
     benches.push(BenchDef {
@@ -408,6 +455,64 @@ fn measure(bench: &mut BenchDef, samples: u64) -> BenchRecord {
         std_ns: var.sqrt(),
         units: "ns/iter".to_string(),
     }
+}
+
+/// The canonical name of the synthetic package at `(layer, col)`.
+fn synth_package_name(layer: usize, col: usize) -> String {
+    format!("synth-l{layer:03}-p{col:03}")
+}
+
+/// A package deep in the synthetic repo's last layer — the incremental
+/// bench's edit target (an edit at the bottom touches the smallest
+/// frontier, which is exactly the case incremental re-propagation exists
+/// for).
+pub fn deep_package_name(packages: usize, width: usize) -> String {
+    let depth = packages / width;
+    synth_package_name(depth - 1, 0)
+}
+
+/// A deterministic layered stress repository of `packages` packages plus a
+/// `synth-root` aggregator: `packages / width` layers of `width` packages,
+/// the root depending on every layer-0 package and each layer-`i` package
+/// depending on two packages of layer `i+1` (wrapping), so the root's
+/// closure is the entire repository. Every package declares three versions
+/// and one boolean variant; alternating dependency edges carry version
+/// constraints so the solver does real domain pruning, not just graph
+/// walking.
+pub fn synth_repo(packages: usize, width: usize) -> Repo {
+    use benchpark_pkg::{DepType, PackageDef};
+    let depth = packages / width;
+    let mut repo = Repo::new();
+    for layer in 0..depth {
+        for col in 0..width {
+            let mut pkg =
+                PackageDef::new(&synth_package_name(layer, col), "synthetic stress package")
+                    .version("2.1.0")
+                    .version("2.0.0")
+                    .version("1.9.0")
+                    .variant_bool("tuned", col % 2 == 0, "synthetic tuning knob");
+            if layer + 1 < depth {
+                let d1 = (col + 1) % width;
+                let d2 = (col + 7) % width;
+                let n1 = synth_package_name(layer + 1, d1);
+                pkg = if col % 2 == 0 {
+                    pkg.depends_on(&format!("{n1}@2:"), DepType::Link)
+                } else {
+                    pkg.depends_on(&n1, DepType::Link)
+                };
+                if d2 != d1 {
+                    pkg = pkg.depends_on(&synth_package_name(layer + 1, d2), DepType::Link);
+                }
+            }
+            repo.add(pkg);
+        }
+    }
+    let mut root = PackageDef::new("synth-root", "synthetic stress root").version("1.0");
+    for col in 0..width {
+        root = root.depends_on(&synth_package_name(0, col), DepType::Link);
+    }
+    repo.add(root);
+    repo
 }
 
 /// A deterministic ramble.yaml-shaped manifest with `n` experiment entries —

@@ -1,0 +1,251 @@
+//! Solver-backed static analysis: dry-solve a spec and report
+//! satisfiability, justification chains, provider ambiguity, and dead
+//! variant values.
+//!
+//! This is the layer behind `benchpark explain <spec>` and the BP05xx
+//! `lint --solve` rules: the spec is solved in analysis mode (recipe
+//! conflicts as eagerly-propagated nogoods, every provider candidate's
+//! viability evaluated), and the outcome is distilled into a [`SpecReport`].
+
+use crate::config::SiteConfig;
+use crate::error::ConcretizeError;
+use crate::solver::{Concretizer, ProviderChoice};
+use benchpark_pkg::Repo;
+use benchpark_spec::{Spec, VariantValue};
+
+/// A virtual with more than one viable provider and no site preference to
+/// disambiguate: the choice is stable but arbitrary, worth a site policy.
+#[derive(Debug, Clone)]
+pub struct AmbiguousProvider {
+    pub virtual_name: String,
+    pub chosen: String,
+    /// Every candidate that was viable at decision time.
+    pub viable: Vec<String>,
+}
+
+/// A variant value no solution can take on this site.
+#[derive(Debug, Clone)]
+pub struct DeadVariant {
+    pub variant: String,
+    /// Rendered dead value (`+cuda`, `~openmp`).
+    pub value: String,
+    /// Why forcing that value fails.
+    pub error: String,
+}
+
+/// One additional observation about a satisfiable spec (reserved for rule
+/// layers that want a uniform finding shape).
+#[derive(Debug, Clone)]
+pub struct SpecFinding {
+    pub summary: String,
+    pub notes: Vec<String>,
+}
+
+/// The outcome of dry-solving one spec.
+#[derive(Debug)]
+pub struct SpecReport {
+    /// The analyzed spec, as written.
+    pub spec: String,
+    pub satisfiable: bool,
+    /// The failure, when unsatisfiable (carries path + justification chain).
+    pub error: Option<ConcretizeError>,
+    /// The justification chain as `= note:` lines (empty when satisfiable).
+    pub chain: Vec<String>,
+    /// Provider decisions taken during the solve.
+    pub providers: Vec<ProviderChoice>,
+    /// Virtuals with several viable providers and no site preference.
+    pub ambiguous: Vec<AmbiguousProvider>,
+    /// Root variant values no solution can take.
+    pub dead_variants: Vec<DeadVariant>,
+}
+
+impl SpecReport {
+    /// The full rustc-style transcript (`benchpark explain` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.error {
+            Some(error) => {
+                out.push_str(&error.render());
+            }
+            None => {
+                out.push_str(&format!("ok: `{}` is satisfiable\n", self.spec));
+                for p in &self.providers {
+                    out.push_str(&format!(
+                        "  = provider: `{}` -> `{}`{}\n",
+                        p.virtual_name,
+                        p.chosen,
+                        if p.preferred { " (site policy)" } else { "" }
+                    ));
+                }
+            }
+        }
+        for a in &self.ambiguous {
+            out.push_str(&format!(
+                "  = warning: virtual `{}` has {} viable providers ({}) and no site preference; `{}` was chosen by candidate order\n",
+                a.virtual_name,
+                a.viable.len(),
+                a.viable.join(", "),
+                a.chosen
+            ));
+        }
+        for d in &self.dead_variants {
+            out.push_str(&format!(
+                "  = warning: variant value `{}` is dead on this site: {}\n",
+                d.value, d.error
+            ));
+        }
+        out
+    }
+
+    /// The report as a JSON document (`benchpark explain --format json`).
+    pub fn to_json(&self) -> String {
+        fn s(text: &str) -> String {
+            let mut out = String::with_capacity(text.len() + 2);
+            out.push('"');
+            for c in text.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn list(items: impl IntoIterator<Item = String>) -> String {
+            let rendered: Vec<String> = items.into_iter().collect();
+            format!("[{}]", rendered.join(", "))
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"spec\": {},\n", s(&self.spec)));
+        out.push_str(&format!("  \"satisfiable\": {},\n", self.satisfiable));
+        match &self.error {
+            Some(e) => out.push_str(&format!("  \"error\": {},\n", s(&e.to_string()))),
+            None => out.push_str("  \"error\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"chain\": {},\n",
+            list(self.chain.iter().map(|n| s(n)))
+        ));
+        out.push_str(&format!(
+            "  \"providers\": {},\n",
+            list(self.providers.iter().map(|p| format!(
+                "{{\"virtual\": {}, \"chosen\": {}, \"viable\": {}, \"preferred\": {}}}",
+                s(&p.virtual_name),
+                s(&p.chosen),
+                list(p.viable.iter().map(|v| s(v))),
+                p.preferred
+            )))
+        ));
+        out.push_str(&format!(
+            "  \"ambiguous\": {},\n",
+            list(self.ambiguous.iter().map(|a| format!(
+                "{{\"virtual\": {}, \"chosen\": {}, \"viable\": {}}}",
+                s(&a.virtual_name),
+                s(&a.chosen),
+                list(a.viable.iter().map(|v| s(v)))
+            )))
+        ));
+        out.push_str(&format!(
+            "  \"dead_variants\": {}\n",
+            list(self.dead_variants.iter().map(|d| format!(
+                "{{\"variant\": {}, \"value\": {}, \"error\": {}}}",
+                s(&d.variant),
+                s(&d.value),
+                s(&d.error)
+            )))
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Dry-solves `spec` in analysis mode. `probe_variants` additionally tests
+/// both directions of every boolean variant on the root recipe (skipping
+/// values the spec already pins) to find dead values — a handful of extra
+/// solves, so rule layers can opt out for large workspaces.
+pub fn analyze_spec(
+    repo: &Repo,
+    config: &SiteConfig,
+    spec: &Spec,
+    probe_variants: bool,
+) -> SpecReport {
+    let cz = Concretizer::new(repo, config).analysis();
+    let (result, trace) = cz.concretize_traced(spec);
+    let mut report = SpecReport {
+        spec: spec.to_string(),
+        satisfiable: result.is_ok(),
+        error: None,
+        chain: Vec::new(),
+        providers: trace.providers.clone(),
+        ambiguous: Vec::new(),
+        dead_variants: Vec::new(),
+    };
+    match result {
+        Ok(_) => {
+            for p in &trace.providers {
+                if p.viable.len() > 1 && !p.preferred {
+                    report.ambiguous.push(AmbiguousProvider {
+                        virtual_name: p.virtual_name.clone(),
+                        chosen: p.chosen.clone(),
+                        viable: p.viable.clone(),
+                    });
+                }
+            }
+            if probe_variants {
+                report.dead_variants = probe_dead_variants(repo, config, spec);
+            }
+        }
+        Err(error) => {
+            if let Some(explanation) = &error.explanation {
+                report.chain = explanation.notes();
+            }
+            if error.path.len() >= 2 {
+                report
+                    .chain
+                    .push(format!("required via `{}`", error.path.join(" -> ")));
+            }
+            report.error = Some(error);
+        }
+    }
+    report
+}
+
+/// Forces each unpinned boolean variant of the root recipe in both
+/// directions; a direction that cannot concretize is a dead value.
+fn probe_dead_variants(repo: &Repo, config: &SiteConfig, spec: &Spec) -> Vec<DeadVariant> {
+    let mut dead = Vec::new();
+    let Some(name) = spec.name.as_deref() else {
+        return dead;
+    };
+    let Some(pkg) = repo.get(name) else {
+        return dead;
+    };
+    let cz = Concretizer::new(repo, config);
+    for variant in &pkg.variants {
+        if !matches!(variant.default, VariantValue::Bool(_)) {
+            continue;
+        }
+        if spec.variants.contains_key(&variant.name) {
+            continue;
+        }
+        for value in [true, false] {
+            let mut probe = spec.clone();
+            probe
+                .variants
+                .insert(variant.name.clone(), VariantValue::Bool(value));
+            if let Err(e) = cz.concretize(&probe) {
+                dead.push(DeadVariant {
+                    variant: variant.name.clone(),
+                    value: VariantValue::Bool(value).render(&variant.name),
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+    dead
+}

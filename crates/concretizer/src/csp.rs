@@ -1,0 +1,1132 @@
+//! The propagation core: typed variables, preference-ordered finite domains,
+//! constraints with provenance, an AC-3 worklist, and a trail.
+//!
+//! This is the ADR-003 shape: concretization is modeled as a constraint
+//! satisfaction problem over `Variable`/`Domain`/`Constraint`, solved by
+//! arc-consistency propagation with backtracking search over the pruned
+//! domains. Every value ever removed from a domain is recorded on a trail
+//! together with the constraint (and its human-readable [`Reason`]) that
+//! removed it, so a domain wipeout can be rendered as a rustc-style
+//! **justification chain** — and the same trail supports `mark`/`rewind`,
+//! which is what makes both backtracking and incremental re-propagation
+//! (re-solving from the propagation frontier after one constraint edit)
+//! cheap.
+//!
+//! The solver (`solver.rs`) compiles package recipes into this model;
+//! [`crate::analyze`] runs it in *eager* mode where recipe conflicts are
+//! posted as n-ary nogoods and propagated, which is what powers
+//! `benchpark explain` and the BP05xx lint rules.
+
+use benchpark_spec::{Version, VersionConstraint};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Index of a variable in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+/// Index of a constraint in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConstraintId(usize);
+
+/// What a variable ranges over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarKind {
+    /// The concrete version chosen for a package.
+    Version,
+    /// The value of one named variant of a package.
+    Variant(String),
+    /// The provider package chosen for a virtual.
+    Provider,
+    /// The compiler entry chosen for a package.
+    Compiler,
+}
+
+/// A typed variable: one choice point of the concretization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarKey {
+    /// Owning package (for [`VarKind::Provider`], the *virtual* name).
+    pub package: String,
+    pub kind: VarKind,
+}
+
+impl VarKey {
+    pub fn version(package: &str) -> VarKey {
+        VarKey {
+            package: package.to_string(),
+            kind: VarKind::Version,
+        }
+    }
+    pub fn variant(package: &str, name: &str) -> VarKey {
+        VarKey {
+            package: package.to_string(),
+            kind: VarKind::Variant(name.to_string()),
+        }
+    }
+    pub fn provider(virtual_name: &str) -> VarKey {
+        VarKey {
+            package: virtual_name.to_string(),
+            kind: VarKind::Provider,
+        }
+    }
+    pub fn compiler(package: &str) -> VarKey {
+        VarKey {
+            package: package.to_string(),
+            kind: VarKind::Compiler,
+        }
+    }
+}
+
+impl fmt::Display for VarKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            VarKind::Version => write!(f, "{}:version", self.package),
+            VarKind::Variant(name) => write!(f, "{}:variant({name})", self.package),
+            VarKind::Provider => write!(f, "provider({})", self.package),
+            VarKind::Compiler => write!(f, "{}:compiler", self.package),
+        }
+    }
+}
+
+/// A domain value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Val {
+    Version(Version),
+    Variant(benchpark_spec::VariantValue),
+    /// Provider package names and compiler entries (`gcc@12.1.1`).
+    Name(String),
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Version(v) => f.write_str(v.as_str()),
+            Val::Variant(v) => write!(f, "{v}"),
+            Val::Name(n) => f.write_str(n),
+        }
+    }
+}
+
+/// Why a constraint exists: who asked for it and what it demands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reason {
+    /// The actor: `user spec \`saxpy+cuda\``, `recipe \`hypre\``,
+    /// `site packages.yaml`, `external /usr/tce/cmake`, `decision`.
+    pub actor: String,
+    /// What it demands: `requires @3.20:`, `forces +scalapack`, …
+    pub detail: String,
+}
+
+impl Reason {
+    pub fn new(actor: impl Into<String>, detail: impl Into<String>) -> Reason {
+        Reason {
+            actor: actor.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.actor, self.detail)
+    }
+}
+
+/// What a constraint demands of its variable(s).
+#[derive(Debug, Clone)]
+pub enum ConstraintKind {
+    /// Keep only versions admitted by the constraint (a `Version` var).
+    VersionIn(VersionConstraint),
+    /// Keep only the listed values.
+    KeepOnly(Vec<Val>),
+    /// Remove the listed values.
+    Exclude(Vec<Val>),
+    /// Merge-constrain a variant domain with a required value
+    /// (set-union semantics for multi-valued variants).
+    VariantIs(benchpark_spec::VariantValue),
+    /// N-ary nogood: not all literals may hold simultaneously. A literal
+    /// `(var, vals)` *holds* when every remaining domain value of `var` is in
+    /// `vals`. Used for recipe `conflicts(…)` in eager (analysis) mode.
+    NotAll(Vec<(VarId, Vec<Val>)>),
+}
+
+/// A constraint: a demand plus the provenance that justifies it.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub kind: ConstraintKind,
+    pub reason: Reason,
+    /// Optional `(package, message)` tag carried by recipe-conflict nogoods so
+    /// a violation can be reported as the package's conflict error.
+    pub tag: Option<(String, String)>,
+}
+
+/// One step of a justification chain: a constraint and what it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainStep {
+    /// Rendered [`Reason`] of the responsible constraint.
+    pub reason: String,
+    /// Values removed from the domain by this constraint.
+    pub removed: Vec<String>,
+    /// Values narrowed in place (`old -> new`), for variant merges.
+    pub narrowed: Vec<(String, String)>,
+    /// Values admitted into the domain (open-domain overrides, resets).
+    pub added: Vec<String>,
+}
+
+/// A justification chain: why a variable's domain looks the way it does —
+/// and, when it is empty, why the problem is unsatisfiable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Explanation {
+    /// Display key of the wiped (or explained) variable.
+    pub var: String,
+    /// Ordered pruning steps that emptied the domain.
+    pub steps: Vec<ExplainStep>,
+    /// Candidate values the domain started from.
+    pub initial: Vec<String>,
+    /// Set when the failure is a violated nogood rather than a wipeout:
+    /// the rendered reason of the violated constraint.
+    pub conflict: Option<String>,
+    /// `(package, message)` of the violated recipe conflict, if any.
+    pub tag: Option<(String, String)>,
+}
+
+impl Explanation {
+    /// The chain as rustc-style `= note:` lines (no trailing newlines).
+    pub fn notes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.initial.is_empty() {
+            out.push(format!(
+                "candidates for {}: {}",
+                self.var,
+                self.initial.join(", ")
+            ));
+        }
+        for step in &self.steps {
+            if !step.removed.is_empty() {
+                out.push(format!(
+                    "{} — removed {}",
+                    step.reason,
+                    step.removed
+                        .iter()
+                        .map(|v| format!("`{v}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            for (old, new) in &step.narrowed {
+                out.push(format!("{} — narrowed `{old}` to `{new}`", step.reason));
+            }
+            if !step.added.is_empty() {
+                out.push(format!(
+                    "{} — admitted {}",
+                    step.reason,
+                    step.added
+                        .iter()
+                        .map(|v| format!("`{v}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        match &self.conflict {
+            Some(conflict) => out.push(format!("violated: {conflict}")),
+            None => out.push(format!("no candidate values remain for {}", self.var)),
+        }
+        out
+    }
+
+    /// Renders the full rustc-style block under a headline.
+    pub fn render(&self, headline: &str) -> String {
+        let mut out = format!("error: {headline}\n  --> {}\n", self.var);
+        for note in self.notes() {
+            out.push_str("  = note: ");
+            out.push_str(&note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A point on the trail to rewind to.
+#[derive(Debug, Clone, Copy)]
+pub struct Mark {
+    vars: usize,
+    constraints: usize,
+    trail: usize,
+}
+
+#[derive(Debug, Clone)]
+enum TrailEvent {
+    /// `value` was removed from `var` at position `index`.
+    Remove {
+        var: VarId,
+        index: usize,
+        value: Val,
+        constraint: ConstraintId,
+    },
+    /// `var`'s value at `index` was rewritten from `old` (variant merge).
+    Rewrite {
+        var: VarId,
+        index: usize,
+        old: Val,
+        constraint: ConstraintId,
+    },
+    /// A value was appended to `var`'s domain at `index`.
+    Add {
+        var: VarId,
+        index: usize,
+        constraint: ConstraintId,
+    },
+    /// `var.posted` transitioned from `was`.
+    SetPosted { var: VarId, was: bool },
+}
+
+#[derive(Debug, Clone)]
+struct Variable {
+    key: VarKey,
+    /// Remaining values in preference order (most preferred first).
+    values: Vec<Val>,
+    /// Open domains accept a first posted value outside the candidates
+    /// (undeclared variants, user overrides of declared value lists).
+    open: bool,
+    /// A [`ConstraintKind::VariantIs`] has been applied.
+    posted: bool,
+}
+
+/// The constraint model: variables, domains, constraints, trail, worklist.
+#[derive(Debug, Default)]
+pub struct Csp {
+    vars: Vec<Variable>,
+    index: BTreeMap<String, VarId>,
+    constraints: Vec<Constraint>,
+    /// Per-variable list of nogood constraints watching it.
+    watchers: Vec<Vec<ConstraintId>>,
+    trail: Vec<TrailEvent>,
+    /// Nogoods awaiting revision (the AC-3 worklist).
+    queue: VecDeque<ConstraintId>,
+    /// Eager mode: nogoods prune domains as soon as they become unit.
+    /// Non-eager mode only detects fully-entailed violations.
+    eager: bool,
+    prunes: usize,
+    backtracks: usize,
+}
+
+impl Csp {
+    /// A model for production solving (nogoods check, they don't prune).
+    pub fn new() -> Csp {
+        Csp::default()
+    }
+
+    /// A model for analysis: nogoods propagate eagerly so wipeouts carry
+    /// full justification chains.
+    pub fn analysis() -> Csp {
+        Csp {
+            eager: true,
+            ..Csp::default()
+        }
+    }
+
+    /// Total values pruned so far (telemetry).
+    pub fn prunes(&self) -> usize {
+        self.prunes
+    }
+
+    /// Backtracks taken by [`Csp::search`] (telemetry).
+    pub fn backtracks(&self) -> usize {
+        self.backtracks
+    }
+
+    /// Registers a variable with a preference-ordered candidate domain.
+    /// Returns the existing variable if the key is already registered.
+    pub fn var(&mut self, key: VarKey, values: Vec<Val>, open: bool) -> VarId {
+        let display = key.to_string();
+        if let Some(&id) = self.index.get(&display) {
+            return id;
+        }
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            key,
+            values,
+            open,
+            posted: false,
+        });
+        self.watchers.push(Vec::new());
+        self.index.insert(display, id);
+        id
+    }
+
+    /// Looks up a variable by its display key (`cmake:version`).
+    pub fn lookup(&self, display: &str) -> Option<VarId> {
+        self.index.get(display).copied()
+    }
+
+    /// The variable's key.
+    pub fn key(&self, var: VarId) -> &VarKey {
+        &self.vars[var.0].key
+    }
+
+    /// Remaining domain values in preference order.
+    pub fn domain(&self, var: VarId) -> &[Val] {
+        &self.vars[var.0].values
+    }
+
+    /// The preferred (first remaining) value, if any.
+    pub fn first(&self, var: VarId) -> Option<&Val> {
+        self.vars[var.0].values.first()
+    }
+
+    /// True once exactly one value remains.
+    pub fn is_singleton(&self, var: VarId) -> bool {
+        self.vars[var.0].values.len() == 1
+    }
+
+    /// Posts a unary constraint on `var` and revises the domain immediately.
+    /// Returns whether the domain changed; a wipeout returns the
+    /// justification chain.
+    pub fn post(
+        &mut self,
+        var: VarId,
+        kind: ConstraintKind,
+        reason: Reason,
+    ) -> Result<bool, Box<Explanation>> {
+        debug_assert!(!matches!(kind, ConstraintKind::NotAll(_)));
+        let cid = ConstraintId(self.constraints.len());
+        // store a placeholder while revising so the kind needn't be cloned;
+        // the error path only reads the constraint's reason
+        self.constraints.push(Constraint {
+            kind: ConstraintKind::Exclude(Vec::new()),
+            reason,
+            tag: None,
+        });
+        let result = self.revise_unary(var, &kind, cid);
+        self.constraints[cid.0].kind = kind;
+        let changed = result?;
+        if changed {
+            self.wake_watchers(var);
+        }
+        Ok(changed)
+    }
+
+    /// Posts an n-ary nogood and enqueues it for revision.
+    pub fn post_nogood(
+        &mut self,
+        literals: Vec<(VarId, Vec<Val>)>,
+        reason: Reason,
+        tag: Option<(String, String)>,
+    ) -> ConstraintId {
+        let cid = ConstraintId(self.constraints.len());
+        for (var, _) in &literals {
+            self.watchers[var.0].push(cid);
+        }
+        self.constraints.push(Constraint {
+            kind: ConstraintKind::NotAll(literals),
+            reason,
+            tag,
+        });
+        self.queue.push_back(cid);
+        cid
+    }
+
+    /// Replaces `var`'s domain with exactly `values` (authoritative resets,
+    /// e.g. adopting an external pins the version regardless of the declared
+    /// list). Trailed like any other change.
+    pub fn reset(&mut self, var: VarId, values: Vec<Val>, reason: Reason) {
+        let cid = ConstraintId(self.constraints.len());
+        self.constraints.push(Constraint {
+            kind: ConstraintKind::KeepOnly(values.clone()),
+            reason,
+            tag: None,
+        });
+        while let Some(value) = self.vars[var.0].values.pop() {
+            let index = self.vars[var.0].values.len();
+            self.trail.push(TrailEvent::Remove {
+                var,
+                index,
+                value,
+                constraint: cid,
+            });
+            self.prunes += 1;
+        }
+        for value in values {
+            let index = self.vars[var.0].values.len();
+            self.vars[var.0].values.push(value);
+            self.trail.push(TrailEvent::Add {
+                var,
+                index,
+                constraint: cid,
+            });
+        }
+        self.wake_watchers(var);
+    }
+
+    /// Decides `var := value` (prunes every other value). The value must be
+    /// in the current domain.
+    pub fn assign(
+        &mut self,
+        var: VarId,
+        value: &Val,
+        reason: Reason,
+    ) -> Result<bool, Box<Explanation>> {
+        self.post(var, ConstraintKind::KeepOnly(vec![value.clone()]), reason)
+    }
+
+    fn revise_unary(
+        &mut self,
+        var: VarId,
+        kind: &ConstraintKind,
+        cid: ConstraintId,
+    ) -> Result<bool, Box<Explanation>> {
+        let keep = |val: &Val| -> bool {
+            match (kind, val) {
+                (ConstraintKind::VersionIn(vc), Val::Version(v)) => vc.contains(v),
+                (ConstraintKind::VersionIn(_), _) => true,
+                (ConstraintKind::KeepOnly(vals), v) => vals.contains(v),
+                (ConstraintKind::Exclude(vals), v) => !vals.contains(v),
+                _ => true,
+            }
+        };
+        let mut changed = false;
+        match kind {
+            ConstraintKind::VariantIs(required) => {
+                let open_add = {
+                    let variable = &self.vars[var.0];
+                    variable.values.is_empty() && variable.open && !variable.posted
+                };
+                if open_add {
+                    self.vars[var.0].values.push(Val::Variant(required.clone()));
+                    self.trail.push(TrailEvent::Add {
+                        var,
+                        index: 0,
+                        constraint: cid,
+                    });
+                } else {
+                    // merge-filter each candidate; values that cannot merge
+                    // with the requirement are pruned, mergeable ones are
+                    // narrowed in place (multi-valued set union)
+                    let mut i = 0;
+                    let mut no_survivor = true;
+                    while i < self.vars[var.0].values.len() {
+                        let current = match &self.vars[var.0].values[i] {
+                            Val::Variant(v) => v.clone(),
+                            other => {
+                                // non-variant value in a variant domain: drop
+                                let value = other.clone();
+                                self.vars[var.0].values.remove(i);
+                                self.trail.push(TrailEvent::Remove {
+                                    var,
+                                    index: i,
+                                    value,
+                                    constraint: cid,
+                                });
+                                self.prunes += 1;
+                                changed = true;
+                                continue;
+                            }
+                        };
+                        match current.merge(required) {
+                            Some(merged) => {
+                                no_survivor = false;
+                                if merged != current {
+                                    self.vars[var.0].values[i] = Val::Variant(merged);
+                                    self.trail.push(TrailEvent::Rewrite {
+                                        var,
+                                        index: i,
+                                        old: Val::Variant(current),
+                                        constraint: cid,
+                                    });
+                                    changed = true;
+                                }
+                                i += 1;
+                            }
+                            None => {
+                                let value = Val::Variant(current);
+                                self.vars[var.0].values.remove(i);
+                                self.trail.push(TrailEvent::Remove {
+                                    var,
+                                    index: i,
+                                    value,
+                                    constraint: cid,
+                                });
+                                self.prunes += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    // a first posted value may override a declared value list
+                    // (the greedy solver never validated declared lists)
+                    if no_survivor && !self.vars[var.0].posted {
+                        let index = self.vars[var.0].values.len();
+                        self.vars[var.0].values.push(Val::Variant(required.clone()));
+                        self.trail.push(TrailEvent::Add {
+                            var,
+                            index,
+                            constraint: cid,
+                        });
+                        changed = true;
+                    }
+                }
+                let was = self.vars[var.0].posted;
+                if !was {
+                    self.vars[var.0].posted = true;
+                    self.trail.push(TrailEvent::SetPosted { var, was });
+                }
+            }
+            _ => {
+                let mut i = 0;
+                while i < self.vars[var.0].values.len() {
+                    if keep(&self.vars[var.0].values[i]) {
+                        i += 1;
+                        continue;
+                    }
+                    let value = self.vars[var.0].values.remove(i);
+                    self.trail.push(TrailEvent::Remove {
+                        var,
+                        index: i,
+                        value,
+                        constraint: cid,
+                    });
+                    self.prunes += 1;
+                    changed = true;
+                }
+            }
+        }
+        if self.vars[var.0].values.is_empty() {
+            return Err(Box::new(self.explain(var)));
+        }
+        Ok(changed)
+    }
+
+    fn wake_watchers(&mut self, var: VarId) {
+        for &cid in &self.watchers[var.0] {
+            if !self.queue.contains(&cid) {
+                self.queue.push_back(cid);
+            }
+        }
+    }
+
+    /// True when every remaining value of `var` is in `vals`.
+    fn entailed(&self, var: VarId, vals: &[Val]) -> bool {
+        let domain = &self.vars[var.0].values;
+        !domain.is_empty() && domain.iter().all(|v| vals.contains(v))
+    }
+
+    /// Drains the AC-3 worklist: revises queued nogoods until fixpoint.
+    ///
+    /// In eager mode a *unit* nogood (all literals but one entailed) prunes
+    /// the free literal's values. In either mode a fully-entailed nogood is a
+    /// violation and yields a justification chain over its literals.
+    pub fn propagate(&mut self) -> Result<(), Box<Explanation>> {
+        while let Some(cid) = self.queue.pop_front() {
+            if !matches!(self.constraints[cid.0].kind, ConstraintKind::NotAll(_)) {
+                continue;
+            }
+            // take the literal list instead of cloning it; restored below
+            // before any error propagates (backtracking retries the nogood)
+            let kind = std::mem::replace(
+                &mut self.constraints[cid.0].kind,
+                ConstraintKind::NotAll(Vec::new()),
+            );
+            let ConstraintKind::NotAll(literals) = &kind else {
+                unreachable!("checked above");
+            };
+            let entailed: Vec<bool> = literals
+                .iter()
+                .map(|(var, vals)| self.entailed(*var, vals))
+                .collect();
+            let free: Vec<usize> = (0..literals.len()).filter(|&i| !entailed[i]).collect();
+            let outcome = match free.len() {
+                0 => Err(Box::new(self.explain_violation(cid, literals))),
+                1 if self.eager => {
+                    let (var, vals) = &literals[free[0]];
+                    self.revise_unary(*var, &ConstraintKind::Exclude(vals.clone()), cid)
+                        .map(|changed| {
+                            if changed {
+                                self.wake_watchers(*var);
+                            }
+                        })
+                }
+                _ => Ok(()),
+            };
+            self.constraints[cid.0].kind = kind;
+            outcome?;
+        }
+        Ok(())
+    }
+
+    fn explain_violation(&self, cid: ConstraintId, literals: &[(VarId, Vec<Val>)]) -> Explanation {
+        let constraint = &self.constraints[cid.0];
+        let mut steps = Vec::new();
+        for (var, vals) in literals {
+            let values = vals
+                .iter()
+                .map(|v| format!("`{v}`"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut why: Vec<String> = self
+                .explain(*var)
+                .steps
+                .iter()
+                .map(|s| s.reason.clone())
+                .collect();
+            why.dedup();
+            let held = if why.is_empty() {
+                "by default".to_string()
+            } else {
+                format!("because {}", why.join("; "))
+            };
+            steps.push(ExplainStep {
+                reason: format!("{} holds {} ({held})", self.vars[var.0].key, values),
+                removed: Vec::new(),
+                narrowed: Vec::new(),
+                added: Vec::new(),
+            });
+        }
+        Explanation {
+            var: literals
+                .first()
+                .map(|(v, _)| self.vars[v.0].key.to_string())
+                .unwrap_or_default(),
+            steps,
+            initial: Vec::new(),
+            conflict: Some(constraint.reason.to_string()),
+            tag: constraint.tag.clone(),
+        }
+    }
+
+    /// The justification chain for `var`: every trailed event that touched
+    /// it, in order, grouped by responsible constraint.
+    pub fn explain(&self, var: VarId) -> Explanation {
+        let mut steps: Vec<(ConstraintId, ExplainStep)> = Vec::new();
+        for event in &self.trail {
+            let (evar, cid, removed, narrowed, added) = match event {
+                TrailEvent::Remove {
+                    var: v,
+                    value,
+                    constraint,
+                    ..
+                } => (*v, *constraint, Some(value.to_string()), None, None),
+                TrailEvent::Rewrite {
+                    var: v,
+                    index,
+                    old,
+                    constraint,
+                } => {
+                    let new = self.vars[v.0]
+                        .values
+                        .get(*index)
+                        .map(|x| x.to_string())
+                        .unwrap_or_default();
+                    (*v, *constraint, None, Some((old.to_string(), new)), None)
+                }
+                TrailEvent::Add {
+                    var: v,
+                    index,
+                    constraint,
+                } => {
+                    let value = self.vars[v.0]
+                        .values
+                        .get(*index)
+                        .map(|x| x.to_string())
+                        .unwrap_or_default();
+                    (*v, *constraint, None, None, Some(value))
+                }
+                _ => continue,
+            };
+            if evar != var {
+                continue;
+            }
+            let reason = self.constraints[cid.0].reason.to_string();
+            match steps.last_mut() {
+                Some((last_cid, step)) if *last_cid == cid => {
+                    if let Some(v) = removed {
+                        step.removed.push(v);
+                    }
+                    if let Some(n) = narrowed {
+                        step.narrowed.push(n);
+                    }
+                    if let Some(a) = added {
+                        step.added.push(a);
+                    }
+                }
+                _ => {
+                    let mut step = ExplainStep {
+                        reason,
+                        removed: Vec::new(),
+                        narrowed: Vec::new(),
+                        added: Vec::new(),
+                    };
+                    if let Some(v) = removed {
+                        step.removed.push(v);
+                    }
+                    if let Some(n) = narrowed {
+                        step.narrowed.push(n);
+                    }
+                    if let Some(a) = added {
+                        step.added.push(a);
+                    }
+                    steps.push((cid, step));
+                }
+            }
+        }
+        Explanation {
+            var: self.vars[var.0].key.to_string(),
+            steps: steps.into_iter().map(|(_, s)| s).collect(),
+            initial: self
+                .initial_domain(var)
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
+            conflict: None,
+            tag: None,
+        }
+    }
+
+    /// The candidate domain `var` was created with, reconstructed by undoing
+    /// its trailed events in reverse (exactly the [`Csp::rewind`] replay).
+    /// Keeping this off the success path means variable creation never clones
+    /// its domain just to remember it.
+    fn initial_domain(&self, var: VarId) -> Vec<Val> {
+        let mut values = self.vars[var.0].values.clone();
+        for event in self.trail.iter().rev() {
+            match event {
+                TrailEvent::Remove {
+                    var: v,
+                    index,
+                    value,
+                    ..
+                } if *v == var => values.insert(*index, value.clone()),
+                TrailEvent::Rewrite {
+                    var: v, index, old, ..
+                } if *v == var => values[*index] = old.clone(),
+                TrailEvent::Add { var: v, index, .. } if *v == var => {
+                    values.remove(*index);
+                }
+                _ => {}
+            }
+        }
+        values
+    }
+
+    /// Saves the current state for [`Csp::rewind`].
+    pub fn mark(&self) -> Mark {
+        Mark {
+            vars: self.vars.len(),
+            constraints: self.constraints.len(),
+            trail: self.trail.len(),
+        }
+    }
+
+    /// Rewinds domains, variables, and constraints to `mark`, undoing every
+    /// trailed event in reverse order.
+    pub fn rewind(&mut self, mark: Mark) {
+        while self.trail.len() > mark.trail {
+            match self.trail.pop().expect("trail is non-empty") {
+                TrailEvent::Remove {
+                    var, index, value, ..
+                } => {
+                    if var.0 < mark.vars {
+                        self.vars[var.0].values.insert(index, value);
+                    }
+                }
+                TrailEvent::Rewrite {
+                    var, index, old, ..
+                } => {
+                    if var.0 < mark.vars {
+                        self.vars[var.0].values[index] = old;
+                    }
+                }
+                TrailEvent::Add { var, index, .. } => {
+                    if var.0 < mark.vars {
+                        self.vars[var.0].values.remove(index);
+                    }
+                }
+                TrailEvent::SetPosted { var, was } => {
+                    if var.0 < mark.vars {
+                        self.vars[var.0].posted = was;
+                    }
+                }
+            }
+        }
+        for variable in self.vars.drain(mark.vars..) {
+            self.index.remove(&variable.key.to_string());
+        }
+        self.watchers.truncate(mark.vars);
+        for watcher in &mut self.watchers {
+            watcher.retain(|cid| cid.0 < mark.constraints);
+        }
+        self.constraints.truncate(mark.constraints);
+        self.queue.retain(|cid| cid.0 < mark.constraints);
+    }
+
+    /// Backtracking search: assigns each decision variable its most
+    /// preferred viable value, propagating after each decision and
+    /// backtracking (trail rewind) on wipeout. Non-decision variables keep
+    /// their pruned domains (callers read [`Csp::first`]).
+    pub fn search(&mut self, order: &[VarId]) -> Result<(), Box<Explanation>> {
+        self.propagate()?;
+        self.search_from(order, 0)
+    }
+
+    fn search_from(&mut self, order: &[VarId], depth: usize) -> Result<(), Box<Explanation>> {
+        let Some(&var) = order.get(depth) else {
+            return Ok(());
+        };
+        if self.is_singleton(var) {
+            return self.search_from(order, depth + 1);
+        }
+        let candidates = self.vars[var.0].values.clone();
+        let mut last = None;
+        for value in candidates {
+            let mark = self.mark();
+            let reason = Reason::new(
+                "decision",
+                format!("try {} = `{value}`", self.vars[var.0].key),
+            );
+            let attempt = self
+                .assign(var, &value, reason)
+                .and_then(|_| self.propagate())
+                .and_then(|_| self.search_from(order, depth + 1));
+            match attempt {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    self.rewind(mark);
+                    self.backtracks += 1;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| Box::new(self.explain(var))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchpark_spec::VariantValue;
+
+    fn names(vals: &[&str]) -> Vec<Val> {
+        vals.iter().map(|v| Val::Name(v.to_string())).collect()
+    }
+
+    #[test]
+    fn unary_pruning_and_first_value() {
+        let mut csp = Csp::new();
+        let v = csp.var(
+            VarKey::provider("mpi"),
+            names(&["mvapich2", "openmpi", "mpich"]),
+            false,
+        );
+        csp.post(
+            v,
+            ConstraintKind::Exclude(names(&["mvapich2"])),
+            Reason::new("site", "mvapich2 is broken here"),
+        )
+        .unwrap();
+        assert_eq!(csp.first(v), Some(&Val::Name("openmpi".into())));
+        assert_eq!(csp.prunes(), 1);
+    }
+
+    #[test]
+    fn wipeout_yields_justification_chain() {
+        let mut csp = Csp::new();
+        let v = csp.var(VarKey::provider("mpi"), names(&["a", "b"]), false);
+        csp.post(
+            v,
+            ConstraintKind::Exclude(names(&["a"])),
+            Reason::new("user spec", "rejects a"),
+        )
+        .unwrap();
+        let err = csp
+            .post(
+                v,
+                ConstraintKind::Exclude(names(&["b"])),
+                Reason::new("recipe", "rejects b"),
+            )
+            .unwrap_err();
+        assert_eq!(err.var, "provider(mpi)");
+        assert_eq!(err.steps.len(), 2);
+        let notes = err.notes();
+        assert!(notes[0].contains("candidates for provider(mpi): a, b"));
+        assert!(notes.last().unwrap().contains("no candidate values remain"));
+    }
+
+    #[test]
+    fn variant_merge_narrows_multi_values() {
+        let mut csp = Csp::new();
+        let v = csp.var(VarKey::variant("pkg", "cuda_arch"), vec![], true);
+        csp.post(
+            v,
+            ConstraintKind::VariantIs(VariantValue::from_value_text("70")),
+            Reason::new("user", "cuda_arch=70"),
+        )
+        .unwrap();
+        csp.post(
+            v,
+            ConstraintKind::VariantIs(VariantValue::from_value_text("70,80")),
+            Reason::new("recipe", "cuda_arch=70,80"),
+        )
+        .unwrap();
+        match csp.first(v) {
+            Some(Val::Variant(VariantValue::Multi(set))) => {
+                assert_eq!(set.len(), 2);
+            }
+            other => panic!("expected merged multi value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_bool_variants_wipe_out() {
+        let mut csp = Csp::new();
+        let v = csp.var(
+            VarKey::variant("pkg", "openmp"),
+            vec![
+                Val::Variant(VariantValue::Bool(true)),
+                Val::Variant(VariantValue::Bool(false)),
+            ],
+            false,
+        );
+        csp.post(
+            v,
+            ConstraintKind::VariantIs(VariantValue::Bool(true)),
+            Reason::new("user", "+openmp"),
+        )
+        .unwrap();
+        let err = csp
+            .post(
+                v,
+                ConstraintKind::VariantIs(VariantValue::Bool(false)),
+                Reason::new("recipe", "~openmp"),
+            )
+            .unwrap_err();
+        assert!(err
+            .notes()
+            .iter()
+            .any(|n| n.contains("+openmp") || n.contains("user")));
+    }
+
+    #[test]
+    fn mark_rewind_restores_domains_exactly() {
+        let mut csp = Csp::new();
+        let v = csp.var(VarKey::provider("mpi"), names(&["a", "b", "c"]), false);
+        let mark = csp.mark();
+        csp.post(
+            v,
+            ConstraintKind::Exclude(names(&["b"])),
+            Reason::new("edit", "drop b"),
+        )
+        .unwrap();
+        let w = csp.var(VarKey::provider("blas"), names(&["x"]), false);
+        assert_eq!(csp.domain(v), &names(&["a", "c"])[..]);
+        assert_eq!(csp.domain(w), &names(&["x"])[..]);
+        csp.rewind(mark);
+        assert_eq!(csp.domain(v), &names(&["a", "b", "c"])[..]);
+        assert!(csp.lookup("provider(blas)").is_none());
+    }
+
+    #[test]
+    fn nogood_violation_detected_in_production_mode() {
+        let mut csp = Csp::new();
+        let a = csp.var(
+            VarKey::variant("p", "cuda"),
+            vec![Val::Variant(VariantValue::Bool(true))],
+            false,
+        );
+        let b = csp.var(
+            VarKey::variant("p", "rocm"),
+            vec![Val::Variant(VariantValue::Bool(true))],
+            false,
+        );
+        csp.post_nogood(
+            vec![
+                (a, vec![Val::Variant(VariantValue::Bool(true))]),
+                (b, vec![Val::Variant(VariantValue::Bool(true))]),
+            ],
+            Reason::new("recipe `p`", "conflicts: +cuda with +rocm"),
+            Some(("p".to_string(), "GPU backends are exclusive".to_string())),
+        );
+        let err = csp.propagate().unwrap_err();
+        assert!(err.conflict.is_some());
+        assert_eq!(err.tag.as_ref().unwrap().0, "p");
+    }
+
+    #[test]
+    fn eager_nogood_prunes_unit_literal() {
+        let mut csp = Csp::analysis();
+        let a = csp.var(
+            VarKey::variant("p", "cuda"),
+            vec![Val::Variant(VariantValue::Bool(true))],
+            false,
+        );
+        let b = csp.var(
+            VarKey::variant("p", "rocm"),
+            vec![
+                Val::Variant(VariantValue::Bool(false)),
+                Val::Variant(VariantValue::Bool(true)),
+            ],
+            false,
+        );
+        csp.post_nogood(
+            vec![
+                (a, vec![Val::Variant(VariantValue::Bool(true))]),
+                (b, vec![Val::Variant(VariantValue::Bool(true))]),
+            ],
+            Reason::new("recipe `p`", "conflicts: +cuda with +rocm"),
+            None,
+        );
+        csp.propagate().unwrap();
+        // rocm=true was pruned by the unit nogood
+        assert_eq!(
+            csp.domain(b),
+            &[Val::Variant(VariantValue::Bool(false))][..]
+        );
+    }
+
+    #[test]
+    fn backtracking_search_recovers_from_bad_first_choice() {
+        let mut csp = Csp::analysis();
+        // provider prefers `a`, but `a` conflicts with the pinned variant
+        let p = csp.var(VarKey::provider("mpi"), names(&["a", "b"]), false);
+        let v = csp.var(
+            VarKey::variant("root", "fast"),
+            vec![Val::Variant(VariantValue::Bool(true))],
+            false,
+        );
+        csp.post_nogood(
+            vec![
+                (p, names(&["a"])),
+                (v, vec![Val::Variant(VariantValue::Bool(true))]),
+            ],
+            Reason::new("recipe `a`", "conflicts with +fast roots"),
+            None,
+        );
+        csp.search(&[p]).unwrap();
+        assert_eq!(csp.first(p), Some(&Val::Name("b".into())));
+        assert!(csp.backtracks() <= 1);
+    }
+
+    #[test]
+    fn search_exhaustion_reports_last_failure() {
+        // production mode: nogoods only detect violations, so the search has
+        // to try (and fail) both providers
+        let mut csp = Csp::new();
+        let p = csp.var(VarKey::provider("mpi"), names(&["a", "b"]), false);
+        let v = csp.var(
+            VarKey::variant("root", "fast"),
+            vec![Val::Variant(VariantValue::Bool(true))],
+            false,
+        );
+        for name in ["a", "b"] {
+            csp.post_nogood(
+                vec![
+                    (p, names(&[name])),
+                    (v, vec![Val::Variant(VariantValue::Bool(true))]),
+                ],
+                Reason::new(format!("recipe `{name}`"), "conflicts with +fast roots"),
+                None,
+            );
+        }
+        let err = csp.search(&[p]).unwrap_err();
+        assert!(err.conflict.is_some(), "{err:?}");
+        assert_eq!(csp.backtracks(), 2);
+    }
+}

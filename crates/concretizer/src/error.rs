@@ -1,11 +1,13 @@
-//! Concretization failure modes.
+//! Concretization failure modes, with dependency-path context and
+//! justification chains.
 
+use crate::csp::Explanation;
 use benchpark_spec::SpecError;
 use std::fmt;
 
 /// Why concretization failed.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ConcretizeError {
+pub enum ConcretizeErrorKind {
     /// The repository has no recipe (and no provider) for this name.
     UnknownPackage { name: String },
     /// A virtual package has no provider compatible with the constraints.
@@ -29,51 +31,141 @@ pub enum ConcretizeError {
     UnifyConflict { name: String, message: String },
 }
 
-impl From<SpecError> for ConcretizeError {
-    fn from(e: SpecError) -> Self {
-        ConcretizeError::Unsatisfiable {
-            message: e.to_string(),
+/// A concretization failure: the failure kind, the dependency path from the
+/// root to the failing package (`a -> b -> c`), and — when the failure came
+/// from a domain wipeout in the propagation core — the justification chain
+/// recording which constraint removed which candidate and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcretizeError {
+    pub kind: ConcretizeErrorKind,
+    /// Dependency chain from a root to the failing package. Empty or
+    /// single-element paths add no context and are not displayed.
+    pub path: Vec<String>,
+    /// The justification chain, when the propagation core produced one.
+    pub explanation: Option<Box<Explanation>>,
+}
+
+impl ConcretizeError {
+    /// Wraps a failure kind with no path or explanation.
+    pub fn new(kind: ConcretizeErrorKind) -> ConcretizeError {
+        ConcretizeError {
+            kind,
+            path: Vec::new(),
+            explanation: None,
         }
+    }
+
+    /// Shorthand for a propagation contradiction.
+    pub fn unsatisfiable(message: impl Into<String>) -> ConcretizeError {
+        ConcretizeError::new(ConcretizeErrorKind::Unsatisfiable {
+            message: message.into(),
+        })
+    }
+
+    /// Attaches the dependency path from the root to the failing package.
+    pub fn with_path(mut self, path: Vec<String>) -> ConcretizeError {
+        self.path = path;
+        self
+    }
+
+    /// Attaches a justification chain from the propagation core.
+    pub fn with_explanation(mut self, explanation: Box<Explanation>) -> ConcretizeError {
+        self.explanation = Some(explanation);
+        self
+    }
+
+    /// The failing package's name, when the kind names one.
+    pub fn package(&self) -> Option<&str> {
+        match &self.kind {
+            ConcretizeErrorKind::UnknownPackage { name }
+            | ConcretizeErrorKind::NoVersion { name, .. }
+            | ConcretizeErrorKind::Conflict { name, .. }
+            | ConcretizeErrorKind::NotBuildable { name }
+            | ConcretizeErrorKind::UnifyConflict { name, .. } => Some(name),
+            ConcretizeErrorKind::NoProvider { virtual_name, .. } => Some(virtual_name),
+            _ => None,
+        }
+    }
+
+    /// The full rustc-style report: headline, dependency path, and the
+    /// justification chain as `= note:` lines.
+    pub fn render(&self) -> String {
+        let headline = self.kind.to_string();
+        let mut out = match &self.explanation {
+            Some(explanation) => explanation.render(&headline),
+            None => format!("error: {headline}\n"),
+        };
+        if self.path.len() >= 2 {
+            out.push_str(&format!(
+                "  = note: required via `{}`\n",
+                self.path.join(" -> ")
+            ));
+        }
+        out
     }
 }
 
-impl fmt::Display for ConcretizeError {
+impl From<SpecError> for ConcretizeError {
+    fn from(e: SpecError) -> Self {
+        ConcretizeError::unsatisfiable(e.to_string())
+    }
+}
+
+impl From<ConcretizeErrorKind> for ConcretizeError {
+    fn from(kind: ConcretizeErrorKind) -> Self {
+        ConcretizeError::new(kind)
+    }
+}
+
+impl fmt::Display for ConcretizeErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConcretizeError::UnknownPackage { name } => {
+            ConcretizeErrorKind::UnknownPackage { name } => {
                 write!(f, "unknown package `{name}`")
             }
-            ConcretizeError::NoProvider {
+            ConcretizeErrorKind::NoProvider {
                 virtual_name,
                 constraint,
             } => write!(
                 f,
                 "no provider of virtual `{virtual_name}` satisfies `{constraint}`"
             ),
-            ConcretizeError::NoVersion { name, constraint } => {
+            ConcretizeErrorKind::NoVersion { name, constraint } => {
                 write!(
                     f,
                     "no declared version of `{name}` satisfies `@{constraint}`"
                 )
             }
-            ConcretizeError::NoCompiler { requested } => {
+            ConcretizeErrorKind::NoCompiler { requested } => {
                 write!(f, "compiler `{requested}` is not installed on this system")
             }
-            ConcretizeError::Unsatisfiable { message } => write!(f, "unsatisfiable: {message}"),
-            ConcretizeError::Conflict { name, messages } => {
+            ConcretizeErrorKind::Unsatisfiable { message } => {
+                write!(f, "unsatisfiable: {message}")
+            }
+            ConcretizeErrorKind::Conflict { name, messages } => {
                 write!(f, "conflicts in `{name}`: {}", messages.join("; "))
             }
-            ConcretizeError::NotBuildable { name } => write!(
+            ConcretizeErrorKind::NotBuildable { name } => write!(
                 f,
                 "package `{name}` is not buildable and no external installation matches"
             ),
-            ConcretizeError::Cycle { through } => {
+            ConcretizeErrorKind::Cycle { through } => {
                 write!(f, "dependency cycle through `{through}`")
             }
-            ConcretizeError::UnifyConflict { name, message } => {
+            ConcretizeErrorKind::UnifyConflict { name, message } => {
                 write!(f, "unify conflict on `{name}`: {message}")
             }
         }
+    }
+}
+
+impl fmt::Display for ConcretizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind.fmt(f)?;
+        if self.path.len() >= 2 {
+            write!(f, " (required via `{}`)", self.path.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 

@@ -41,15 +41,19 @@
 //! assert_eq!(root.spec.versions.concrete().unwrap().as_str(), "1.0.0");
 //! ```
 
+pub mod analyze;
 mod config;
+pub mod csp;
 mod error;
 mod result;
 mod solver;
 
+pub use analyze::{analyze_spec, AmbiguousProvider, DeadVariant, SpecFinding, SpecReport};
 pub use config::{CompilerEntry, External, SiteConfig};
-pub use error::ConcretizeError;
+pub use csp::Explanation;
+pub use error::{ConcretizeError, ConcretizeErrorKind};
 pub use result::{ConcreteNode, ConcreteSpec, Origin};
-pub use solver::Concretizer;
+pub use solver::{Concretizer, ProviderChoice, SolveSession, SolveTrace};
 
 #[cfg(test)]
 mod tests;

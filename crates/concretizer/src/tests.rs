@@ -1,6 +1,6 @@
 //! Tests for the concretizer.
 
-use crate::{ConcretizeError, Concretizer, External, Origin, SiteConfig};
+use crate::{ConcretizeErrorKind, Concretizer, External, Origin, SiteConfig};
 use benchpark_pkg::Repo;
 use benchpark_spec::Spec;
 
@@ -232,7 +232,10 @@ fn no_version_error() {
     let err = cts(&repo, &config)
         .concretize(&spec("cmake@99.9"))
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::NoVersion { .. }), "{err}");
+    assert!(
+        matches!(err.kind, ConcretizeErrorKind::NoVersion { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -242,7 +245,37 @@ fn unknown_package_error() {
     let err = cts(&repo, &config)
         .concretize(&spec("no-such-pkg"))
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::UnknownPackage { .. }));
+    assert!(matches!(
+        err.kind,
+        ConcretizeErrorKind::UnknownPackage { .. }
+    ));
+}
+
+/// The dependency path in errors must carry the whole parent chain, not
+/// just the failing leaf: `a -> b -> c` when `a` pulls `b` pulls an
+/// unknown `c`.
+#[test]
+fn error_path_carries_full_parent_chain() {
+    use benchpark_pkg::{DepType, PackageDef};
+    let mut repo = Repo::new();
+    repo.add(
+        PackageDef::new("a", "chain root")
+            .version("1.0")
+            .depends_on("b", DepType::Link),
+    );
+    repo.add(
+        PackageDef::new("b", "chain middle")
+            .version("1.0")
+            .depends_on("c", DepType::Link),
+    );
+    let config = SiteConfig::example_cts();
+    let err = cts(&repo, &config).concretize(&spec("a")).unwrap_err();
+    assert!(matches!(err.kind, ConcretizeErrorKind::UnknownPackage { ref name } if name == "c"));
+    assert_eq!(err.path, vec!["a", "b", "c"]);
+    assert!(
+        err.to_string().contains("(required via `a -> b -> c`)"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -252,7 +285,10 @@ fn unknown_compiler_error() {
     let err = cts(&repo, &config)
         .concretize(&spec("saxpy%clang@14"))
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::NoCompiler { .. }), "{err}");
+    assert!(
+        matches!(err.kind, ConcretizeErrorKind::NoCompiler { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -262,7 +298,10 @@ fn conflict_error() {
     let err = cts(&repo, &config)
         .concretize(&spec("saxpy+cuda+rocm"))
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::Conflict { .. }), "{err}");
+    assert!(
+        matches!(err.kind, ConcretizeErrorKind::Conflict { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -271,7 +310,10 @@ fn not_buildable_without_external() {
     let mut config = SiteConfig::example_cts();
     config.not_buildable.push("cmake".to_string());
     let err = cts(&repo, &config).concretize(&spec("cmake")).unwrap_err();
-    assert!(matches!(err, ConcretizeError::NotBuildable { .. }), "{err}");
+    assert!(
+        matches!(err.kind, ConcretizeErrorKind::NotBuildable { .. }),
+        "{err}"
+    );
 }
 
 /// Figure 4 semantics: `buildable: false` + externals → the external is used.
@@ -429,7 +471,10 @@ fn conditional_provides_skipped_when_contradicted() {
     let err = cts(&repo, &config)
         .concretize(&spec("solver-app"))
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::NoProvider { .. }), "{err}");
+    assert!(
+        matches!(err.kind, ConcretizeErrorKind::NoProvider { .. }),
+        "{err}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -461,7 +506,7 @@ fn unify_conflict_detected() {
         .concretize_env(&[spec("cmake@=3.23.1"), spec("cmake@=3.20.2")], true)
         .unwrap_err();
     assert!(
-        matches!(err, ConcretizeError::UnifyConflict { .. }),
+        matches!(err.kind, ConcretizeErrorKind::UnifyConflict { .. }),
         "{err}"
     );
 }
@@ -583,6 +628,80 @@ mod proptests {
             // determinism
             let again = Concretizer::new(&repo, &config).concretize(&abstract_spec).unwrap();
             prop_assert_eq!(result.dag_hash(), again.dag_hash());
+        }
+
+        /// Incremental re-propagation after one version edit produces the
+        /// same concrete spec as a cold solve with the edit folded into the
+        /// abstract input — node for node, hash for hash. Unsatisfiable
+        /// edits must fail both ways.
+        #[test]
+        fn incremental_edit_matches_cold_solve(
+            root in prop::sample::select(PKGS),
+            pick in 0usize..64,
+            vpick in 0usize..8,
+        ) {
+            let repo = Repo::builtin();
+            let config = SiteConfig::example_cts();
+            let root_spec: Spec = root.parse().unwrap();
+            let cz = Concretizer::new(&repo, &config);
+            let mut session = cz.session(&root_spec).unwrap();
+
+            // pick the root or one of its direct dependencies (a `^dep@=v`
+            // user spec adds a root edge, so a transitive dep would make the
+            // cold formulation a different DAG, not an equivalent edit) and
+            // any of its declared versions as the edit
+            let root_node = session.base().nodes.values()
+                .find(|n| n.spec.name.as_deref() == Some(root))
+                .unwrap();
+            let mut names: Vec<String> = vec![root.to_string()];
+            names.extend(root_node.deps.values().cloned());
+            let target = names[pick % names.len()].clone();
+            let pkg = repo.get(&target).unwrap();
+            let version = &pkg.versions[vpick % pkg.versions.len()];
+            let constraint =
+                benchpark_spec::VersionConstraint::exactly(version.clone());
+
+            let cold_text = if target == root {
+                format!("{root}@={version}")
+            } else {
+                format!("{root} ^{target}@={version}")
+            };
+            let cold = Concretizer::new(&repo, &config).concretize(&spec(&cold_text));
+            let incremental = session.resolve_version(&target, &constraint);
+
+            match (cold, incremental) {
+                (Ok(c), Ok(i)) => {
+                    prop_assert_eq!(
+                        c.dag_hash(), i.dag_hash(),
+                        "cold and incremental solves diverged for `{}`", cold_text
+                    );
+                }
+                (Err(_), Err(_)) => {} // both reject the edit — consistent
+                (Ok(_), Err(e)) => {
+                    return Err(TestCaseError::fail(
+                        format!("incremental rejected `{cold_text}` that cold solves: {e}")));
+                }
+                (Err(e), Ok(_)) => {
+                    return Err(TestCaseError::fail(
+                        format!("incremental solved `{cold_text}` that cold rejects: {e}")));
+                }
+            }
+        }
+
+        /// A satisfiable spec never yields a justification chain: chains
+        /// exist only to explain failure.
+        #[test]
+        fn satisfiable_specs_have_no_chain(root in arb_root()) {
+            let repo = Repo::builtin();
+            let config = SiteConfig::example_cts();
+            let abstract_spec: Spec = root.parse().unwrap();
+            let report = crate::analyze_spec(&repo, &config, &abstract_spec, false);
+            prop_assert!(report.satisfiable, "corpus root `{}` became unsat", root);
+            prop_assert!(report.error.is_none());
+            prop_assert!(
+                report.chain.is_empty(),
+                "satisfiable `{}` produced a justification chain: {:?}", root, report.chain
+            );
         }
     }
 }

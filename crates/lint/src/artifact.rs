@@ -149,6 +149,7 @@ impl ArtifactSet {
                     span: Some(span),
                     snippet,
                     help: None,
+                    notes: Vec::new(),
                 });
             }
         }

@@ -49,6 +49,9 @@ pub struct Diagnostic {
     pub snippet: Option<String>,
     /// An optional `help:` line suggesting the fix.
     pub help: Option<String>,
+    /// Additional `= note:` lines — the solver rules put justification
+    /// chains here so an unsat finding explains *why* (rustc-style).
+    pub notes: Vec<String>,
 }
 
 impl Diagnostic {
@@ -88,6 +91,9 @@ impl Diagnostic {
         }
         if let Some(help) = &self.help {
             out.push_str(&format!("  = help: {help}\n"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
         }
         out
     }
@@ -201,6 +207,14 @@ impl LintReport {
                 Some(h) => out.push_str(&format!("\"help\": {}, ", json_str(h))),
                 None => out.push_str("\"help\": null, "),
             }
+            out.push_str("\"notes\": [");
+            for (j, note) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(note));
+            }
+            out.push_str("], ");
             out.push_str(&format!("\"message\": {}", json_str(&d.message)));
             out.push('}');
         }

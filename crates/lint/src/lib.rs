@@ -29,7 +29,8 @@
 //!
 //! The rule catalogue lives in [`registry::RULES`] and is documented in
 //! `docs/LINT.md`. Codes are grouped by layer: `BP00xx` artifact-level,
-//! `BP01xx` Spack, `BP02xx` Ramble, `BP03xx` CI.
+//! `BP01xx` Spack, `BP02xx` Ramble, `BP03xx` CI, and `BP05xx` solver-backed
+//! rules (dry-concretization, enabled with [`Linter::with_solve`]).
 
 #![deny(missing_docs)]
 
@@ -39,6 +40,7 @@ mod diag;
 mod linter;
 mod ramble_rules;
 pub mod registry;
+mod solver_rules;
 mod spack_rules;
 
 pub use artifact::{Artifact, ArtifactKind, ArtifactSet};

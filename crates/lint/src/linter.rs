@@ -198,6 +198,7 @@ pub(crate) fn emit(
         span: Some(span),
         snippet: artifact.line_text(span).map(|s| s.to_string()),
         help: help.map(|h| h.to_string()),
+        notes: Vec::new(),
     });
 }
 
@@ -236,6 +237,7 @@ pub(crate) fn refs_in(text: &str) -> Vec<String> {
 pub struct Linter {
     pub(crate) repo: Option<Repo>,
     pub(crate) apps: Option<AppRepo>,
+    pub(crate) solve: bool,
 }
 
 impl Default for Linter {
@@ -250,6 +252,7 @@ impl Linter {
         Linter {
             repo: Some(Repo::builtin()),
             apps: Some(AppRepo::builtin()),
+            solve: false,
         }
     }
 
@@ -259,6 +262,7 @@ impl Linter {
         Linter {
             repo: Some(repo),
             apps: Some(apps),
+            solve: false,
         }
     }
 
@@ -268,7 +272,18 @@ impl Linter {
         Linter {
             repo: None,
             apps: None,
+            solve: false,
         }
+    }
+
+    /// Enables the `BP05xx` solver rules (`benchpark lint --solve`): every
+    /// spec in the set is dry-solved against the set's own site configuration
+    /// and unsatisfiable specs, dead variants, ambiguous virtual providers,
+    /// and conflicting constraint pairs are reported with their justification
+    /// chains.
+    pub fn with_solve(mut self, solve: bool) -> Linter {
+        self.solve = solve;
+        self
     }
 
     /// Runs every rule over the set and returns the sorted report.
@@ -289,12 +304,16 @@ impl Linter {
                     span: Some(artifact.doc.span),
                     snippet: artifact.line_text(artifact.doc.span).map(|s| s.to_string()),
                     help: None,
+                    notes: Vec::new(),
                 });
             }
         }
         crate::spack_rules::check(&ctx, self, out);
         crate::ramble_rules::check(&ctx, self, out);
         crate::ci_rules::check(&ctx, out);
+        if self.solve {
+            crate::solver_rules::check(&ctx, self, out);
+        }
         report.finish();
         report
     }

@@ -180,6 +180,30 @@ pub const RULES: &[RuleInfo] = &[
         name: "script-less-job",
         summary: "a job-like entry has no `script:` and is silently dropped",
     },
+    RuleInfo {
+        code: "BP0501",
+        severity: Severity::Error,
+        name: "unsatisfiable-spec",
+        summary: "a spec has no solution on this site; notes carry the justification chain",
+    },
+    RuleInfo {
+        code: "BP0502",
+        severity: Severity::Warn,
+        name: "dead-variant",
+        summary: "a boolean variant value of the root package can never be taken on this site",
+    },
+    RuleInfo {
+        code: "BP0503",
+        severity: Severity::Warn,
+        name: "ambiguous-virtual-provider",
+        summary: "several providers are viable for a virtual and no site preference disambiguates",
+    },
+    RuleInfo {
+        code: "BP0504",
+        severity: Severity::Error,
+        name: "conflicting-constraint-pair",
+        summary: "two specific constraints in the composition can never hold together",
+    },
 ];
 
 /// Looks up a rule by its code.

@@ -1,0 +1,198 @@
+//! Solver-backed rules (`BP05xx`): dry-concretize every spec in the set
+//! against the set's *own* site configuration (`benchpark lint --solve`).
+//!
+//! Where the `BP01xx` rules check each spec token in isolation (does the
+//! package exist, does the version constraint admit anything), these rules
+//! run the real propagation-based concretizer in analysis mode and report
+//! what the composition as a whole can never do:
+//!
+//! * **BP0501** — the spec has no solution on this site at all; the
+//!   diagnostic carries the solver's justification chain as `= note:` lines.
+//! * **BP0502** — the spec solves, but some boolean variant value of the
+//!   root package can never be taken on this site (a dead choice point).
+//! * **BP0503** — a virtual was resolved by candidate order because several
+//!   providers were viable and no site preference disambiguates.
+//! * **BP0504** — the justification chain identifies two specific
+//!   constraints that cannot both hold (a conflicting pair), reported in
+//!   addition to BP0501 so the fix is named, not just the failure.
+//!
+//! The rules only run on sets that look like a concretizable site: a
+//! `compilers.yaml` must be present, and sets that already produced error
+//! diagnostics are skipped (dry-solving a broken composition would only
+//! restate the breakage).
+
+use crate::artifact::{Artifact, ArtifactKind};
+use crate::diag::{Diagnostic, Severity};
+use crate::linter::{emit, Linter, SetCtx};
+use benchpark_concretizer::analyze_spec;
+use benchpark_spack::ConfigScopes;
+use benchpark_spec::Spec;
+use benchpark_yamlite::{Span, SpannedValue};
+
+pub(crate) fn check(ctx: &SetCtx<'_>, linter: &Linter, out: &mut Vec<Diagnostic>) {
+    if out.iter().any(|d| d.severity == Severity::Error) {
+        return;
+    }
+    let Some(repo) = &linter.repo else { return };
+    if !ctx.has_compilers_yaml {
+        return;
+    }
+
+    // the set's own packages.yaml / compilers.yaml, lowered exactly the way
+    // `benchpark setup` would lower them
+    let mut scopes = ConfigScopes::new();
+    for artifact in &ctx.set.artifacts {
+        let file = match artifact.kind {
+            ArtifactKind::Packages => "packages.yaml",
+            ArtifactKind::Compilers => "compilers.yaml",
+            _ => continue,
+        };
+        let text = artifact.lines.join("\n");
+        if scopes.push_scope(&artifact.name, &[(file, &text)]).is_err() {
+            return; // parse failures are BP0001's job
+        }
+    }
+    let config = scopes.site_config();
+
+    for (artifact, span, text) in collect_specs(ctx) {
+        let Ok(spec) = text.parse::<Spec>() else {
+            continue; // BP0109's job
+        };
+        let report = analyze_spec(repo, &config, &spec, true);
+        if !report.satisfiable {
+            let error = report.error.as_ref().expect("unsat reports carry an error");
+            emit(
+                out,
+                artifact,
+                "BP0501",
+                Severity::Error,
+                span,
+                format!("spec `{text}` cannot be concretized on this site: {error}"),
+                Some("the notes below are the solver's justification chain"),
+            );
+            out.last_mut().expect("just pushed").notes = report.chain.clone();
+            if let Some((first, second)) = conflicting_pair(error) {
+                emit(
+                    out,
+                    artifact,
+                    "BP0504",
+                    Severity::Error,
+                    span,
+                    format!("constraints from `{first}` and `{second}` can never hold together"),
+                    Some("relax one of the two constraints"),
+                );
+                out.last_mut().expect("just pushed").notes = report.chain.clone();
+            }
+            continue;
+        }
+        for dead in &report.dead_variants {
+            emit(
+                out,
+                artifact,
+                "BP0502",
+                Severity::Warn,
+                span,
+                format!(
+                    "variant value `{}` of `{text}` is dead on this site: no solution can take it",
+                    dead.value
+                ),
+                Some("drop the choice point or fix the site configuration"),
+            );
+            out.last_mut().expect("just pushed").notes = vec![dead.error.clone()];
+        }
+        for ambiguous in &report.ambiguous {
+            emit(
+                out,
+                artifact,
+                "BP0503",
+                Severity::Warn,
+                span,
+                format!(
+                    "virtual `{}` has {} viable providers ({}) and no site preference; \
+                     `{}` was chosen by candidate order",
+                    ambiguous.virtual_name,
+                    ambiguous.viable.len(),
+                    ambiguous.viable.join(", "),
+                    ambiguous.chosen
+                ),
+                Some("pin the choice with `packages: all: providers:` in packages.yaml"),
+            );
+        }
+    }
+}
+
+/// Two distinct constraints responsible for a domain wipeout, when the
+/// justification chain shows more than one actor pruning the same variable.
+fn conflicting_pair(error: &benchpark_concretizer::ConcretizeError) -> Option<(String, String)> {
+    let explanation = error.explanation.as_deref()?;
+    if explanation.conflict.is_some() {
+        return None; // a violated nogood is a recipe conflict, not a pair
+    }
+    let mut reasons: Vec<&str> = Vec::new();
+    for step in &explanation.steps {
+        if step.removed.is_empty() && step.narrowed.is_empty() {
+            continue;
+        }
+        if !reasons.contains(&step.reason.as_str()) {
+            reasons.push(&step.reason);
+        }
+    }
+    if reasons.len() >= 2 {
+        let last = reasons[reasons.len() - 1];
+        Some((reasons[0].to_string(), last.to_string()))
+    } else {
+        None
+    }
+}
+
+/// Every spec the set asks the concretizer to solve: `spack_spec:` entries in
+/// package definitions (standalone or inside a ramble workspace) and `specs:`
+/// lists of environment manifests.
+fn collect_specs<'a>(ctx: &SetCtx<'a>) -> Vec<(&'a Artifact, Span, String)> {
+    let mut specs = Vec::new();
+    for artifact in &ctx.set.artifacts {
+        match artifact.kind {
+            ArtifactKind::SpackConfig => {
+                collect_section(artifact, artifact.doc.get("spack"), &mut specs);
+            }
+            ArtifactKind::Ramble => {
+                let spack = artifact.doc.get("ramble").and_then(|r| r.get("spack"));
+                collect_section(artifact, spack, &mut specs);
+            }
+            ArtifactKind::SpackEnv => {
+                let list = artifact
+                    .doc
+                    .get("spack")
+                    .and_then(|s| s.get("specs"))
+                    .and_then(|s| s.string_list());
+                if let Some(list) = list {
+                    for (text, span) in list {
+                        specs.push((artifact, span, text));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    specs
+}
+
+fn collect_section<'a>(
+    artifact: &'a Artifact,
+    spack: Option<&SpannedValue>,
+    specs: &mut Vec<(&'a Artifact, Span, String)>,
+) {
+    let Some(pkgs) = spack
+        .and_then(|s| s.get("packages"))
+        .and_then(SpannedValue::as_map)
+    else {
+        return;
+    };
+    for entry in pkgs.iter() {
+        if let Some(spec_val) = entry.value.get("spack_spec") {
+            if let Some(text) = spec_val.as_str() {
+                specs.push((artifact, spec_val.span, text.to_string()));
+            }
+        }
+    }
+}

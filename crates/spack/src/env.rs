@@ -285,12 +285,9 @@ impl Environment {
         installer: &Installer<'_>,
         opts: &InstallOptions,
     ) -> Result<Vec<InstallReport>, ConcretizeError> {
-        let lockfile = self
-            .lockfile
-            .as_ref()
-            .ok_or(ConcretizeError::Unsatisfiable {
-                message: "environment is not concretized; run concretize first".to_string(),
-            })?;
+        let lockfile = self.lockfile.as_ref().ok_or_else(|| {
+            ConcretizeError::unsatisfiable("environment is not concretized; run concretize first")
+        })?;
         Ok(lockfile
             .dags()
             .map(|dag| installer.install(dag, opts))

@@ -1,0 +1,79 @@
+//! `benchpark explain <spec>` — dry-solve one spec and print the solver's
+//! report: satisfiability, provider decisions, ambiguity and dead-variant
+//! warnings, and (for unsatisfiable specs) the justification chain.
+
+/// `benchpark explain <spec> [--system NAME] [--format text|json]`. Solves
+/// against the named system profile (default: the example CTS site). Exits
+/// non-zero when the spec is unsatisfiable, so scripts can gate on it.
+pub fn cmd_explain(args: &[String]) -> Result<(), String> {
+    use benchpark::concretizer::{analyze_spec, SiteConfig};
+    use benchpark::core::SystemProfile;
+    use benchpark::pkg::Repo;
+    use benchpark::spec::Spec;
+
+    let mut system: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut spec_text: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--system" => {
+                system = Some(iter.next().ok_or("--system needs a value")?.clone());
+            }
+            "--format" => {
+                let fmt = iter.next().ok_or("--format needs a value (text|json)")?;
+                if fmt != "text" && fmt != "json" {
+                    return Err(format!("unknown format `{fmt}` (text|json)"));
+                }
+                format = fmt.clone();
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown explain option `{other}`"));
+            }
+            other => match &mut spec_text {
+                None => spec_text = Some(other.to_string()),
+                // spec strings contain spaces; join loose words back together
+                Some(text) => {
+                    text.push(' ');
+                    text.push_str(other);
+                }
+            },
+        }
+    }
+    let text = spec_text.ok_or("explain needs a spec, e.g. `benchpark explain saxpy+openmp`")?;
+    let spec: Spec = text
+        .parse()
+        .map_err(|e| format!("spec `{text}` does not parse: {e}"))?;
+
+    let (site_name, config) = match &system {
+        None => ("example_cts".to_string(), SiteConfig::example_cts()),
+        Some(name) if name == "example_cts" => (name.clone(), SiteConfig::example_cts()),
+        Some(name) => {
+            let profile = SystemProfile::all()
+                .into_iter()
+                .find(|p| &p.name == name)
+                .ok_or_else(|| {
+                    let known: Vec<String> =
+                        SystemProfile::all().into_iter().map(|p| p.name).collect();
+                    format!(
+                        "unknown system `{name}` (known: example_cts, {})",
+                        known.join(", ")
+                    )
+                })?;
+            (name.clone(), profile.site_config())
+        }
+    };
+
+    let repo = Repo::builtin();
+    let report = analyze_spec(&repo, &config, &spec, true);
+    if format == "json" {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.satisfiable {
+        Ok(())
+    } else {
+        Err(format!("spec `{text}` is unsatisfiable on {site_name}"))
+    }
+}

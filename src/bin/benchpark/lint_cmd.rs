@@ -1,20 +1,24 @@
 //! `benchpark lint` — cross-artifact static analysis.
 
-/// `benchpark lint [paths...] [--deny warnings] [--format text|json]` —
-/// cross-artifact static analysis. Each directory of YAML artifacts is linted
-/// as one composed set (so cross-file references resolve); files named
-/// directly form one set of their own. Exits non-zero when errors (or, under
+/// `benchpark lint [paths...] [--deny warnings] [--solve] [--format
+/// text|json]` — cross-artifact static analysis. Each directory of YAML
+/// artifacts is linted as one composed set (so cross-file references
+/// resolve); files named directly form one set of their own. `--solve` adds
+/// the BP05xx rules: every spec in a set is dry-concretized against the
+/// set's own site configuration. Exits non-zero when errors (or, under
 /// `--deny warnings`, warnings) are found.
 pub fn cmd_lint(args: &[String]) -> Result<(), String> {
     use benchpark::lint::{ArtifactSet, LintReport, Linter};
     use std::path::{Path, PathBuf};
 
     let mut deny_warnings = false;
+    let mut solve = false;
     let mut format = "text".to_string();
     let mut paths: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--solve" => solve = true,
             "--deny" => {
                 let what = iter.next().ok_or("--deny needs a value (warnings)")?;
                 if what != "warnings" {
@@ -84,7 +88,7 @@ pub fn cmd_lint(args: &[String]) -> Result<(), String> {
         groups.push((PathBuf::from("."), loose));
     }
 
-    let linter = Linter::new();
+    let linter = Linter::new().with_solve(solve);
     let mut report = LintReport::new();
     let mut scanned = 0usize;
     for (_, members) in &groups {

@@ -16,7 +16,8 @@
 //! benchpark regress <ledger.jsonl> [--threshold P]  # cross-run regression scan
 //! benchpark regress --bench <BENCH.json>... [--threshold P]  # bench-trajectory gate
 //! benchpark bench [--quick] [--out PATH]  # run the hot-path suite, emit BENCH json
-//! benchpark lint [paths...] [--deny warnings] [--format json]  # static analysis
+//! benchpark lint [paths...] [--deny warnings] [--solve] [--format json]  # static analysis
+//! benchpark explain <spec> [--system NAME]   # dry-solve one spec, with justification
 //! benchpark serve --root DIR --replay FILE [--jobs N]  # multi-tenant drain
 //! benchpark submit --root DIR <tenant> <bench>/<variant> <system>  # spool a request
 //! benchpark drain --root DIR [--jobs N]   # drain the spool
@@ -26,6 +27,7 @@
 //! usage text.
 
 mod bench_cmd;
+mod explain_cmd;
 mod ledger_cmds;
 mod lint_cmd;
 mod serve_cmd;
@@ -58,6 +60,7 @@ fn main() -> ExitCode {
         Some("fingerprints") => ledger_cmds::cmd_fingerprints(&args[1..]),
         Some("template") => workspace_cmds::cmd_template(&args[1..]),
         Some("lint") => lint_cmd::cmd_lint(&args[1..]),
+        Some("explain") => explain_cmd::cmd_explain(&args[1..]),
         Some("serve") => serve_cmd::cmd_serve(&args[1..]),
         Some("submit") => serve_cmd::cmd_submit(&args[1..]),
         Some("drain") => serve_cmd::cmd_drain(&args[1..]),
@@ -92,7 +95,8 @@ const USAGE: &str = "usage:
   benchpark bench [--quick] [--samples N] [--filter SUBSTR] [--out PATH] [--list]
   benchpark fingerprints <ledger.jsonl|shard-root>
   benchpark template <benchmark>/<variant>
-  benchpark lint [paths...] [--deny warnings] [--format text|json]
+  benchpark lint [paths...] [--deny warnings] [--solve] [--format text|json]
+  benchpark explain <spec> [--system NAME] [--format text|json]
   benchpark serve --root DIR [--replay FILE] [--jobs N] [--max-queued N]
                   [--max-inflight N] [--global-queued N] [--quantum N]
                   [--report PATH]
@@ -134,7 +138,15 @@ options:
                     conventional BENCH_<date>.json name inside it)
   --list            (bench) list bench names and exit without measuring
   --deny warnings   (lint) treat warnings as errors for the exit code
-  --format FMT      (trace, lint) output format: text (default) or json
+  --solve           (lint) also dry-concretize every spec in each set against
+                    the set's own site configuration (BP05xx rules:
+                    unsatisfiable specs with justification chains, dead
+                    variants, ambiguous virtual providers, conflicting
+                    constraint pairs)
+  --system NAME     (explain) solve against this system profile
+                    (default example_cts)
+  --format FMT      (trace, lint, explain) output format: text (default)
+                    or json
   --root DIR        (serve, submit, drain) the service root: ledger shards
                     under DIR/ledger/<tenant>/<system>.jsonl, FOM
                     transcripts under DIR/foms/, request spool at DIR/queue

@@ -1,0 +1,258 @@
+//! Golden-transcript corpus for the concretizer.
+//!
+//! Renders every concretization in the corpus — every builtin package on
+//! every builtin system profile, plus curated variant/provider/external/reuse
+//! scenarios and unify environments — to one canonical transcript and compares
+//! it byte-for-byte against `tests/golden/concretize_corpus.txt`.
+//!
+//! The committed golden file was generated from the pre-CSP greedy solver, so
+//! this test is the proof that the propagation-based re-platform produces
+//! byte-identical results on the entire existing corpus. Regenerate (only
+//! when a behavior change is *intended*) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test concretize_golden
+//! ```
+
+use benchpark::concretizer::{ConcretizeError, Concretizer, External, SiteConfig};
+use benchpark::core::SystemProfile;
+use benchpark::pkg::Repo;
+use benchpark::spec::Spec;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden/concretize_corpus.txt";
+
+fn spec(s: &str) -> Spec {
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad corpus spec `{s}`: {e}"))
+}
+
+/// A stable one-token name for each failure mode. Tokens are part of the
+/// golden transcript, so they must not change across solver rewrites.
+fn kind_token(err: &ConcretizeError) -> &'static str {
+    use benchpark::concretizer::ConcretizeErrorKind as K;
+    match &err.kind {
+        K::UnknownPackage { .. } => "UnknownPackage",
+        K::NoProvider { .. } => "NoProvider",
+        K::NoVersion { .. } => "NoVersion",
+        K::NoCompiler { .. } => "NoCompiler",
+        K::Unsatisfiable { .. } => "Unsatisfiable",
+        K::Conflict { .. } => "Conflict",
+        K::NotBuildable { .. } => "NotBuildable",
+        K::Cycle { .. } => "Cycle",
+        K::UnifyConflict { .. } => "UnifyConflict",
+    }
+}
+
+fn render_case(out: &mut String, site: &str, text: &str, repo: &Repo, config: &SiteConfig) {
+    writeln!(out, "## {site} :: {text}").unwrap();
+    match Concretizer::new(repo, config).concretize(&spec(text)) {
+        Ok(result) => {
+            write!(out, "{result}").unwrap();
+            writeln!(out, "dag-hash: {}", result.dag_hash()).unwrap();
+        }
+        Err(err) => writeln!(out, "UNSAT: {}", kind_token(&err)).unwrap(),
+    }
+    writeln!(out).unwrap();
+}
+
+fn render_env_case(
+    out: &mut String,
+    site: &str,
+    roots: &[&str],
+    unify: bool,
+    repo: &Repo,
+    config: &SiteConfig,
+) {
+    let mode = if unify { "unify" } else { "independent" };
+    writeln!(out, "## env[{mode}] {site} :: {}", roots.join(" | ")).unwrap();
+    let root_specs: Vec<Spec> = roots.iter().map(|r| spec(r)).collect();
+    match Concretizer::new(repo, config).concretize_env(&root_specs, unify) {
+        Ok(results) => {
+            for result in &results {
+                write!(out, "{result}").unwrap();
+                writeln!(out, "dag-hash: {}", result.dag_hash()).unwrap();
+            }
+        }
+        Err(err) => writeln!(out, "UNSAT: {}", kind_token(&err)).unwrap(),
+    }
+    writeln!(out).unwrap();
+}
+
+/// Curated single-spec cases exercised on every site.
+const CURATED: &[&str] = &[
+    "saxpy@1.0.0 +openmp ^cmake@3.23.1",
+    "saxpy~openmp+cuda",
+    "saxpy+rocm~openmp",
+    "saxpy+openmp",
+    "amg2023+caliper",
+    "amg2023 %gcc@12.1.1",
+    "cmake@3.20:",
+    "cmake@:3.21",
+    "mpi",
+    "lapack",
+    "osu-micro-benchmarks ^openmpi@4.1.4",
+    "lulesh+openmp",
+    "cmake@99.9",
+    "no-such-pkg",
+    "saxpy%clang@14",
+    "saxpy+cuda+rocm",
+];
+
+fn transcript() -> String {
+    let repo = Repo::builtin();
+    let mut out = String::new();
+    out.push_str("# concretizer golden corpus (generated; see tests/concretize_golden.rs)\n\n");
+
+    // every builtin package and every curated spec, on every site
+    let mut sites: Vec<(String, SiteConfig)> =
+        vec![("example_cts".to_string(), SiteConfig::example_cts())];
+    for profile in SystemProfile::all() {
+        sites.push((profile.name.clone(), profile.site_config()));
+    }
+    for (site, config) in &sites {
+        for name in repo.names() {
+            render_case(&mut out, site, name, &repo, config);
+        }
+        for text in CURATED {
+            render_case(&mut out, site, text, &repo, config);
+        }
+    }
+
+    // environments (Figure 3 unify semantics)
+    let cts = SiteConfig::example_cts();
+    render_env_case(
+        &mut out,
+        "example_cts",
+        &["saxpy+openmp", "amg2023"],
+        true,
+        &repo,
+        &cts,
+    );
+    render_env_case(
+        &mut out,
+        "example_cts",
+        &["cmake@=3.23.1", "cmake@=3.20.2"],
+        true,
+        &repo,
+        &cts,
+    );
+    render_env_case(
+        &mut out,
+        "example_cts",
+        &["cmake@=3.23.1", "cmake@=3.20.2"],
+        false,
+        &repo,
+        &cts,
+    );
+    render_env_case(
+        &mut out,
+        "example_cts",
+        &["osu-micro-benchmarks", "amg2023+caliper", "saxpy+openmp"],
+        true,
+        &repo,
+        &cts,
+    );
+
+    // site-policy scenarios on example_cts
+    let mut prefs = SiteConfig::example_cts();
+    prefs
+        .provider_prefs
+        .insert("mpi".into(), vec!["openmpi".into()]);
+    prefs.not_buildable.clear();
+    render_case(
+        &mut out,
+        "example_cts+openmpi-pref",
+        "osu-micro-benchmarks",
+        &repo,
+        &prefs,
+    );
+
+    let mut vprefs = SiteConfig::example_cts();
+    vprefs
+        .version_prefs
+        .insert("cmake".into(), spec("cmake@3.20.2").versions);
+    render_case(
+        &mut out,
+        "example_cts+cmake-3.20-pref",
+        "cmake",
+        &repo,
+        &vprefs,
+    );
+    render_case(
+        &mut out,
+        "example_cts+cmake-3.20-pref",
+        "saxpy+openmp",
+        &repo,
+        &vprefs,
+    );
+
+    let mut ext = SiteConfig::example_cts();
+    ext.externals.insert(
+        "cmake".to_string(),
+        vec![External::new("cmake@3.23.1", "/usr/tce/cmake")],
+    );
+    render_case(&mut out, "example_cts+cmake-external", "saxpy", &repo, &ext);
+
+    let mut nobuild = SiteConfig::example_cts();
+    nobuild.not_buildable.push("cmake".to_string());
+    render_case(
+        &mut out,
+        "example_cts+cmake-notbuildable",
+        "cmake",
+        &repo,
+        &nobuild,
+    );
+
+    let first = Concretizer::new(&repo, &cts)
+        .concretize(&spec("cmake@=3.20.2"))
+        .unwrap();
+    let mut reuse = SiteConfig::example_cts();
+    reuse.reuse = true;
+    reuse.installed.push(first);
+    render_case(&mut out, "example_cts+reuse-cmake", "saxpy", &repo, &reuse);
+    render_case(
+        &mut out,
+        "example_cts+reuse-cmake",
+        "saxpy ^cmake@=3.23.1",
+        &repo,
+        &reuse,
+    );
+
+    out
+}
+
+#[test]
+fn concretize_corpus_matches_golden() {
+    let actual = transcript();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN_PATH}: {e} (run with UPDATE_GOLDEN=1 to create)")
+    });
+    if expected != actual {
+        // find the first differing line for a readable failure
+        let mut diff = String::new();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                let _ = write!(
+                    diff,
+                    "first difference at line {}:\n  golden: {e}\n  actual: {a}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        if diff.is_empty() {
+            diff = format!(
+                "line counts differ: golden {} vs actual {}",
+                expected.lines().count(),
+                actual.lines().count()
+            );
+        }
+        panic!("concretizer output diverged from the pre-rewrite golden corpus\n{diff}");
+    }
+}

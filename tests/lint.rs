@@ -37,12 +37,12 @@ fn builtin_compositions_lint_clean() {
 }
 
 /// Load every YAML artifact in a fixture directory (sorted by file name,
-/// skipping the `EXPECT` snapshot) into one [`ArtifactSet`].
+/// skipping the `EXPECT` / `EXPECT.json` snapshots) into one [`ArtifactSet`].
 fn load_fixture_set(dir: &Path) -> ArtifactSet {
     let mut names: Vec<_> = fs::read_dir(dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().into_string().unwrap())
-        .filter(|n| n != "EXPECT")
+        .filter(|n| !n.starts_with("EXPECT"))
         .collect();
     names.sort();
     let mut set = ArtifactSet::new();
@@ -67,12 +67,21 @@ fn sorted_subdirs(path: &Path) -> Vec<std::path::PathBuf> {
     dirs
 }
 
+/// The `bp05xx` fixtures exercise the solver rules, which only run on a
+/// solve-enabled linter (`benchpark lint --solve`).
+fn linter_for(dir: &Path) -> Linter {
+    let solve = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("bp05"));
+    Linter::new().with_solve(solve)
+}
+
 #[test]
 fn fixture_corpus_good_artifacts_are_clean() {
-    let linter = Linter::new();
     let mut failures = String::new();
     for dir in sorted_subdirs(&fixture_root().join("good")) {
-        let report = linter.lint(&load_fixture_set(&dir));
+        let report = linter_for(&dir).lint(&load_fixture_set(&dir));
         if !report.is_empty() {
             failures.push_str(&format!("{}:\n{}\n", dir.display(), report.render()));
         }
@@ -120,16 +129,15 @@ fn docs_lint_table_matches_registry() {
 
 #[test]
 fn fixture_corpus_bad_artifacts_match_expected_findings() {
-    let linter = Linter::new();
     let mut failures = String::new();
     let dirs = sorted_subdirs(&fixture_root().join("bad"));
     assert!(
-        dirs.len() >= 27,
+        dirs.len() >= 31,
         "expected a fixture per rule, found {}",
         dirs.len()
     );
     for dir in dirs {
-        let report = linter.lint(&load_fixture_set(&dir));
+        let report = linter_for(&dir).lint(&load_fixture_set(&dir));
         let actual: Vec<String> = report
             .diagnostics
             .iter()

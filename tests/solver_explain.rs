@@ -1,0 +1,147 @@
+//! Golden justification-transcript corpus for the propagation solver.
+//!
+//! A stress corpus of conflicting-variant and multi-provider scenarios is
+//! dry-solved with [`analyze_spec`] and the full `benchpark explain`-style
+//! transcript (headline, dependency path, justification chain, provider
+//! decisions, ambiguity and dead-variant warnings) is compared byte-for-byte
+//! against `tests/golden/solver_explain.txt`.
+//!
+//! This pins down the *explanations*, where `concretize_golden` pins down
+//! the *solutions*: a solver change that still finds the same answers but
+//! justifies them differently fails here first. Regenerate (only when a
+//! wording or chain change is intended) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test solver_explain
+//! ```
+
+use benchpark::concretizer::{analyze_spec, SiteConfig};
+use benchpark::pkg::Repo;
+use benchpark::spec::Spec;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden/solver_explain.txt";
+
+fn spec(s: &str) -> Spec {
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad corpus spec `{s}`: {e}"))
+}
+
+fn render_case(out: &mut String, site: &str, text: &str, repo: &Repo, config: &SiteConfig) {
+    let report = analyze_spec(repo, config, &spec(text), true);
+    writeln!(out, "## {site} :: {text}").unwrap();
+    out.push_str(&report.render());
+    writeln!(out).unwrap();
+}
+
+/// Conflicting-variant scenarios: recipe conflicts, disjoint version
+/// ranges, per-package and user-vs-recipe contradictions.
+const CONFLICTING: &[&str] = &[
+    "saxpy+cuda+rocm",                  // recipe conflicts(+rocm when +cuda)
+    "hypre+cuda+rocm",                  // same conflict, different recipe
+    "saxpy ^cmake@:3.19",               // user range disjoint from depends_on range
+    "amg2023 ^hypre@:2.23",             // disjoint from depends_on, deeper in the graph
+    "saxpy@2:",                         // no admitted version at the root
+    "cmake@99.9",                       // no such version
+    "saxpy%clang@14",                   // compiler the site does not provide
+    "osu-micro-benchmarks ^openmpi@5:", // provider pinned to a dead range
+];
+
+/// Multi-provider scenarios: which provider wins, and why.
+const PROVIDERS: &[&str] = &[
+    "mpi",                                 // bare virtual root
+    "osu-micro-benchmarks",                // virtual dependency, all providers viable
+    "osu-micro-benchmarks ^openmpi@4.1.4", // user pins the provider
+    "hypre",                               // blas + lapack virtuals
+    "lapack",
+];
+
+fn transcript() -> String {
+    let repo = Repo::builtin();
+    let mut out = String::new();
+    out.push_str("# solver justification corpus (generated; see tests/solver_explain.rs)\n\n");
+
+    let cts = SiteConfig::example_cts();
+    for text in CONFLICTING {
+        render_case(&mut out, "example_cts", text, &repo, &cts);
+    }
+
+    // bare site: no provider preferences, so ambiguity warnings fire
+    let mut bare = SiteConfig::example_cts();
+    bare.provider_prefs.clear();
+    bare.externals.clear();
+    bare.not_buildable.clear();
+    for text in PROVIDERS {
+        render_case(&mut out, "bare_cts", text, &repo, &bare);
+    }
+
+    // pinned site: preferences silence the same cases
+    let mut pinned = bare.clone();
+    pinned
+        .provider_prefs
+        .insert("mpi".into(), vec!["mvapich2".into()]);
+    pinned
+        .provider_prefs
+        .insert("blas".into(), vec!["openblas".into()]);
+    pinned
+        .provider_prefs
+        .insert("lapack".into(), vec!["openblas".into()]);
+    for text in PROVIDERS {
+        render_case(&mut out, "pinned_cts", text, &repo, &pinned);
+    }
+
+    out
+}
+
+#[test]
+fn solver_explanations_match_golden() {
+    let actual = transcript();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN_PATH}: {e} (run with UPDATE_GOLDEN=1 to create)")
+    });
+    if expected != actual {
+        let mut diff = String::new();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                let _ = write!(
+                    diff,
+                    "first difference at line {}:\n  golden: {e}\n  actual: {a}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        if diff.is_empty() {
+            diff = format!(
+                "line counts differ: golden {} vs actual {}",
+                expected.lines().count(),
+                actual.lines().count()
+            );
+        }
+        panic!("solver justification transcript diverged from golden\n{diff}");
+    }
+}
+
+/// Every unsatisfiable corpus case must come with a non-empty justification
+/// chain — an unexplained UNSAT is a solver bug, not a corpus problem.
+#[test]
+fn every_unsat_case_is_justified() {
+    let repo = Repo::builtin();
+    let cts = SiteConfig::example_cts();
+    for text in CONFLICTING {
+        let report = analyze_spec(&repo, &cts, &spec(text), false);
+        assert!(
+            !report.satisfiable,
+            "corpus case `{text}` became satisfiable"
+        );
+        assert!(
+            !report.chain.is_empty(),
+            "unsat case `{text}` has no justification chain"
+        );
+    }
+}
