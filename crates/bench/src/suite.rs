@@ -21,8 +21,11 @@
 //! * **ledger** — replay, regression scan, and fingerprint indexing over a
 //!   10k-run history;
 //! * **serve** — submission-queue admission plus deficit-round-robin batch
-//!   picking over 10k synthetic multi-tenant requests (no execution);
-//! * **telemetry** — journal append throughput under a recording sink.
+//!   picking over 10k synthetic multi-tenant requests (no execution), and
+//!   the observability path: rolling windows + stage histograms + SLO
+//!   verdicts + status-snapshot serialization over 10k completions;
+//! * **telemetry** — journal append throughput under a recording sink, and
+//!   `record_hist` aggregation throughput at 1M samples.
 
 use benchpark_concretizer::{Concretizer, SiteConfig};
 use benchpark_core::benchjson::{BenchEnv, BenchRecord, BenchReport, BENCH_SCHEMA, BENCH_SUITE};
@@ -117,6 +120,10 @@ struct Sizes {
     journal_events: usize,
     serve_tag: &'static str,
     serve_requests: usize,
+    hist_tag: &'static str,
+    hist_records: usize,
+    status_tag: &'static str,
+    status_events: usize,
     repo_tag: &'static str,
     repo_packages: usize,
     repo_width: usize,
@@ -136,6 +143,10 @@ impl Sizes {
                 journal_events: 100_000,
                 serve_tag: "10k",
                 serve_requests: 10_000,
+                hist_tag: "1m",
+                hist_records: 1_000_000,
+                status_tag: "10k",
+                status_events: 10_000,
                 repo_tag: "10k",
                 repo_packages: 10_000,
                 repo_width: 100,
@@ -151,6 +162,10 @@ impl Sizes {
                 journal_events: 2_000,
                 serve_tag: "500",
                 serve_requests: 500,
+                hist_tag: "20k",
+                hist_records: 20_000,
+                status_tag: "500",
+                status_events: 500,
                 repo_tag: "500",
                 repo_packages: 500,
                 repo_width: 25,
@@ -175,7 +190,9 @@ pub fn suite_names(scale: Scale) -> Vec<String> {
         format!("ledger.regress.{}", s.ledger_tag),
         format!("ledger.replay.{}", s.ledger_tag),
         format!("serve.enqueue_drain.{}", s.serve_tag),
+        format!("serve.status.snapshot.{}", s.status_tag),
         "spec.parse.corpus256".to_string(),
+        format!("telemetry.hist.record.{}", s.hist_tag),
         format!("telemetry.journal.{}", s.journal_tag),
         format!("yamlite.emit.manifest{}", s.manifest_tag),
         format!("yamlite.parse.manifest{}", s.manifest_tag),
@@ -391,11 +408,27 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         }),
     });
     benches.push(BenchDef {
+        name: format!("serve.status.snapshot.{}", sizes.status_tag),
+        group: "serve",
+        iters: 1,
+        routine: Box::new(|| {
+            black_box(status_snapshot_storm(sizes.status_events));
+        }),
+    });
+    benches.push(BenchDef {
         name: format!("telemetry.journal.{}", sizes.journal_tag),
         group: "telemetry",
         iters: 1,
         routine: Box::new(|| {
             black_box(journal_storm(sizes.journal_events));
+        }),
+    });
+    benches.push(BenchDef {
+        name: format!("telemetry.hist.record.{}", sizes.hist_tag),
+        group: "telemetry",
+        iters: 1,
+        routine: Box::new(|| {
+            black_box(hist_storm(sizes.hist_records));
         }),
     });
 
@@ -710,6 +743,95 @@ fn replay_lines(text: &str) -> LedgerLoad {
         }
     }
     load
+}
+
+/// Hammers a recording sink with `records` histogram samples across four
+/// stage families and a rotating per-tenant pair, values spread by an LCG
+/// over the full bucket range — the daemon's per-commit `record_hist`
+/// traffic at fleet scale.
+fn hist_storm(records: usize) -> usize {
+    let sink = TelemetrySink::recording();
+    let stages = [
+        "serve.stage.queue_wait",
+        "serve.stage.schedule",
+        "serve.stage.execute",
+        "serve.stage.commit",
+    ];
+    let tenants = ["serve.tenant.acme.queue_wait", "serve.tenant.blue.execute"];
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..records {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let value = state >> 28; // up to ~2^36: exercises overflow too
+        if i % 8 < 6 {
+            sink.record_hist(stages[i % stages.len()], value);
+        } else {
+            sink.record_hist(tenants[i % tenants.len()], value);
+        }
+    }
+    sink.report().map(|r| r.histograms.len()).unwrap_or(0)
+}
+
+/// Feeds `events` synthetic request completions through the daemon's
+/// observability state — rolling windows plus stage/tenant histograms —
+/// then builds and serializes the status snapshot with SLO verdicts: one
+/// drain-loop's worth of `--status-out` work, end to end.
+fn status_snapshot_storm(events: usize) -> usize {
+    use benchpark_serve::{
+        CompletionEvent, RollingWindows, SloSpec, StageHists, StatusSnapshot, TenantStats,
+    };
+    const TENANTS: [&str; 8] = [
+        "acme", "blue", "cobalt", "delta", "ember", "flint", "gamma", "helix",
+    ];
+    let slo =
+        SloSpec::parse("p99_queue_wait <= 2048 ticks\nhit_rate >= 0.25\nreject_rate <= 0.05\n")
+            .expect("bench SLO parses");
+    let mut windows = RollingWindows::default();
+    let mut hists = StageHists::default();
+    let mut report = benchpark_serve::ServeReport::default();
+    let mut state = 0x517c_c1b7_2722_0a95_u64;
+    for i in 0..events {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let tenant = TENANTS[i % TENANTS.len()];
+        let tick = i as u64 * 2;
+        let queue_wait = (state >> 56) + 1;
+        let execute = (state >> 48) & 0x3ff;
+        windows.record_submit(tick);
+        windows.record_complete(
+            tick + 1,
+            CompletionEvent {
+                fresh: 1,
+                cached: (i % 4) as u64,
+                queue_wait_ticks: queue_wait,
+                execute_ticks: execute,
+                ..CompletionEvent::default()
+            },
+        );
+        hists.record(
+            tenant,
+            queue_wait,
+            (i % 4) as u64,
+            execute,
+            (i % 4) as u64 + 1,
+        );
+        let stats = report
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(TenantStats::default);
+        stats.submitted += 1;
+        stats.completed += 1;
+        stats.fresh += 1;
+        stats.cached += (i % 4) as u64;
+        report.admitted += 1;
+        report.completed += 1;
+        report.experiments_fresh += 1;
+        report.experiments_cached += (i % 4) as u64;
+    }
+    let snapshot = StatusSnapshot::build(events as u64 * 2, &report, &hists, &windows, Some(&slo));
+    snapshot.to_json().len()
 }
 
 /// Hammers a recording sink with `events` journal appends: nested spans,

@@ -26,11 +26,14 @@
 //!   loadable.
 //! * **Versioned** — each record carries `schema`; records with an
 //!   unrecognized version are skipped like corrupt lines rather than
-//!   misread. This build writes schema 2 (which adds per-experiment
-//!   content-addressed fingerprints, see [`crate::fingerprint`], and a
-//!   `cached` provenance marker per result) and still reads schema-1
-//!   lines — a schema-1 record simply carries no fingerprints, so it can
-//!   never satisfy a fingerprint lookup but stays fully usable for
+//!   misread. This build writes schema 3 (which adds the optional
+//!   [`RequestTrace`] block the serve daemon stamps: tenant, request id,
+//!   and per-stage virtual-tick durations) and still reads schema 2
+//!   (per-experiment content-addressed fingerprints, see
+//!   [`crate::fingerprint`], and a `cached` provenance marker per result)
+//!   and schema-1 lines. An older record simply carries no fingerprints
+//!   and/or no request trace — it can never satisfy a fingerprint lookup
+//!   and reports absent stage timings, but stays fully usable for
 //!   `history`/`regress`.
 
 use crate::metrics::MetricsDatabase;
@@ -41,11 +44,35 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// The ledger schema version this build writes.
-pub const LEDGER_SCHEMA: i64 = 2;
+pub const LEDGER_SCHEMA: i64 = 3;
 
 /// The oldest schema version this build still reads. Records outside
 /// `LEDGER_SCHEMA_MIN..=LEDGER_SCHEMA` are skipped as unknown.
 pub const LEDGER_SCHEMA_MIN: i64 = 1;
+
+/// The request-scoped trace the serve daemon stamps onto a record at
+/// commit (schema 3): who asked, and how long each service stage took in
+/// the daemon's virtual clock. All tick values are deterministic functions
+/// of the submission sequence — identical at any worker count. Absent on
+/// one-shot (`benchpark trace`) records and on schema-1/2 history.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestTrace {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Global intake sequence number (1-based).
+    pub request_id: u64,
+    /// Daemon virtual-clock tick at admission.
+    pub submit_tick: u64,
+    /// Ticks spent queued between admission and the DRR pick.
+    pub queue_wait_ticks: u64,
+    /// Dispatch offset within the picked batch (pick-order position).
+    pub schedule_ticks: u64,
+    /// Virtual execution time: the summed stable virtual-seconds of the
+    /// run's simulated phases (cluster drains), rounded to ticks.
+    pub execute_ticks: u64,
+    /// Position in the batch's serialized commit sequence (1-based).
+    pub commit_ticks: u64,
+}
 
 /// One pipeline invocation, as persisted in the ledger.
 #[derive(Debug, Clone)]
@@ -73,6 +100,9 @@ pub struct RunRecord {
     /// Means of *stable* observation streams, sorted by name (volatile
     /// streams are excluded by construction).
     pub observations: Vec<(String, f64)>,
+    /// The serve daemon's request trace (schema 3); `None` for one-shot
+    /// runs and for records replayed from schema-1/2 history.
+    pub request: Option<RequestTrace>,
 }
 
 impl RunRecord {
@@ -108,6 +138,7 @@ impl RunRecord {
             fingerprints: Vec::new(),
             counters,
             observations,
+            request: None,
         }
     }
 
@@ -117,6 +148,12 @@ impl RunRecord {
     pub fn with_fingerprints(mut self, mut fingerprints: Vec<(String, String)>) -> RunRecord {
         fingerprints.sort();
         self.fingerprints = fingerprints;
+        self
+    }
+
+    /// Attaches the serve daemon's request trace (schema 3).
+    pub fn with_request(mut self, request: RequestTrace) -> RunRecord {
+        self.request = Some(request);
         self
     }
 
@@ -130,6 +167,20 @@ impl RunRecord {
         root.insert("benchmark", Value::str(self.benchmark.clone()));
         root.insert("variant", Value::str(self.variant.clone()));
         root.insert("manifest", Value::str(self.manifest.clone()));
+        if let Some(trace) = &self.request {
+            let mut request = Map::new();
+            request.insert("tenant", Value::str(trace.tenant.clone()));
+            request.insert("request_id", Value::Int(trace.request_id as i64));
+            request.insert("submit_tick", Value::Int(trace.submit_tick as i64));
+            request.insert(
+                "queue_wait_ticks",
+                Value::Int(trace.queue_wait_ticks as i64),
+            );
+            request.insert("schedule_ticks", Value::Int(trace.schedule_ticks as i64));
+            request.insert("execute_ticks", Value::Int(trace.execute_ticks as i64));
+            request.insert("commit_ticks", Value::Int(trace.commit_ticks as i64));
+            root.insert("request", Value::Map(request));
+        }
         root.insert(
             "results",
             Value::Seq(self.results.iter().map(result_to_value).collect()),
@@ -211,6 +262,32 @@ impl RunRecord {
                 }
             }
         }
+        let mut request = None;
+        if let Some(map) = doc.get("request").and_then(Value::as_map) {
+            let tick = |key: &str| -> Result<u64, String> {
+                let value = map
+                    .get(key)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| format!("request trace lacks `{key}`"))?;
+                if value < 0 {
+                    return Err(format!("request trace `{key}` {value} is negative"));
+                }
+                Ok(value as u64)
+            };
+            request = Some(RequestTrace {
+                tenant: map
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .ok_or("request trace lacks `tenant`")?
+                    .to_string(),
+                request_id: tick("request_id")?,
+                submit_tick: tick("submit_tick")?,
+                queue_wait_ticks: tick("queue_wait_ticks")?,
+                schedule_ticks: tick("schedule_ticks")?,
+                execute_ticks: tick("execute_ticks")?,
+                commit_ticks: tick("commit_ticks")?,
+            });
+        }
         let sequence = doc
             .get("sequence")
             .and_then(Value::as_int)
@@ -228,6 +305,7 @@ impl RunRecord {
             fingerprints,
             counters,
             observations,
+            request,
         })
     }
 

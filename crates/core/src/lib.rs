@@ -53,8 +53,8 @@ pub use driver::{
 };
 pub use fingerprint::{CachedExperiment, Fingerprint, FingerprintBuilder, FingerprintIndex};
 pub use ledger::{
-    append_run, load_ledger, shard_path, LedgerLoad, LedgerShard, RunRecord, ShardedLedger,
-    LEDGER_SCHEMA, LEDGER_SCHEMA_MIN,
+    append_run, load_ledger, shard_path, LedgerLoad, LedgerShard, RequestTrace, RunRecord,
+    ShardedLedger, LEDGER_SCHEMA, LEDGER_SCHEMA_MIN,
 };
 pub use metrics::{MetricsDatabase, StoredResult};
 pub use plot::ascii_plot;

@@ -4,7 +4,7 @@
 
 use crate::{
     append_run, detect_regression, gate_failed_experiments, load_ledger, lower_is_better_units,
-    scan_regressions, MetricsDatabase, RunRecord,
+    scan_regressions, MetricsDatabase, RequestTrace, RunRecord,
 };
 use benchpark_ramble::{ExperimentResult, ExperimentStatus, FomValue};
 use benchpark_telemetry::TelemetrySink;
@@ -391,7 +391,7 @@ fn gate_passes_clean_runs_and_names_failures() {
 }
 
 // ---------------------------------------------------------------------------
-// Ledger schema 2: fingerprints, cached markers, and parse hardening
+// Ledger schema 2/3: fingerprints, cached markers, request traces, parse hardening
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -403,7 +403,7 @@ fn ledger_schema2_round_trips_fingerprints_and_cached_marker() {
     rec.sequence = 3;
     rec.results[0].cached = true;
     let line = rec.to_json_line();
-    assert!(line.starts_with("{\"schema\":2,"), "{line}");
+    assert!(line.starts_with("{\"schema\":3,"), "{line}");
     let parsed = RunRecord::parse_line(&line).expect("schema-2 line parses");
     // with_fingerprints sorts by experiment name for deterministic emission
     assert_eq!(
@@ -423,7 +423,7 @@ fn ledger_loads_mixed_schema1_and_schema2_lines() {
     // a schema-1 line (pre-fingerprint era) followed by a schema-2 line
     let schema1 = record(100.0)
         .to_json_line()
-        .replacen("{\"schema\":2,", "{\"schema\":1,", 1);
+        .replacen("{\"schema\":3,", "{\"schema\":1,", 1);
     let mut rec2 =
         record(90.0).with_fingerprints(vec![("exp_1".to_string(), "1111111111111111".to_string())]);
     std::fs::write(&path, format!("{schema1}\n{}\n", rec2.to_json_line())).unwrap();
@@ -435,6 +435,80 @@ fn ledger_loads_mixed_schema1_and_schema2_lines() {
     assert!(load.runs[0].fingerprints.is_empty());
     assert_eq!(load.runs[1].fingerprints.len(), 1);
     let _ = &mut rec2;
+}
+
+#[test]
+fn ledger_schema3_round_trips_request_trace() {
+    let mut rec = record(100.0).with_request(RequestTrace {
+        tenant: "alice".to_string(),
+        request_id: 17,
+        submit_tick: 3,
+        queue_wait_ticks: 9,
+        schedule_ticks: 1,
+        execute_ticks: 812,
+        commit_ticks: 2,
+    });
+    rec.sequence = 1;
+    let line = rec.to_json_line();
+    assert!(line.contains("\"request\":{\"tenant\":\"alice\""), "{line}");
+    let parsed = RunRecord::parse_line(&line).expect("schema-3 line parses");
+    let trace = parsed.request.as_ref().expect("trace survives");
+    assert_eq!(trace.tenant, "alice");
+    assert_eq!(trace.request_id, 17);
+    assert_eq!(trace.queue_wait_ticks, 9);
+    assert_eq!(trace.execute_ticks, 812);
+    assert_eq!(parsed.to_json_line(), line);
+    // negative tick values are corruption, not data
+    let bad = line.replace("\"execute_ticks\":812", "\"execute_ticks\":-1");
+    assert!(RunRecord::parse_line(&bad).is_err());
+}
+
+#[test]
+fn ledger_loads_mixed_schema123_with_absent_stage_timings() {
+    let path = temp_ledger("mixed-schema123");
+    // history written by three generations of the tool: schema 1 (no
+    // fingerprints), schema 2 (fingerprints, no request trace), schema 3
+    // (request trace from the serve daemon)
+    let schema1 = record(100.0)
+        .to_json_line()
+        .replacen("{\"schema\":3,", "{\"schema\":1,", 1);
+    let schema2 = record(95.0)
+        .with_fingerprints(vec![("exp_1".to_string(), "2222222222222222".to_string())])
+        .to_json_line()
+        .replacen("{\"schema\":3,", "{\"schema\":2,", 1);
+    let schema3 = record(90.0)
+        .with_request(RequestTrace {
+            tenant: "bob".to_string(),
+            request_id: 1,
+            submit_tick: 0,
+            queue_wait_ticks: 2,
+            schedule_ticks: 0,
+            execute_ticks: 400,
+            commit_ticks: 1,
+        })
+        .to_json_line();
+    std::fs::write(&path, format!("{schema1}\n{schema2}\n{schema3}\n")).unwrap();
+
+    let load = load_ledger(&path, &TelemetrySink::noop()).expect("mixed schemas load");
+    assert_eq!(load.runs.len(), 3);
+    assert_eq!(load.skipped, 0);
+    // old records report absent stage timings rather than failing
+    assert!(load.runs[0].request.is_none());
+    assert!(load.runs[1].request.is_none());
+    assert_eq!(
+        load.runs[2].request.as_ref().map(|t| t.queue_wait_ticks),
+        Some(2)
+    );
+    // and the mixed file still answers history/regress queries: all three
+    // generations replay into the metrics database and the scan flags the
+    // 10% triad_bw drop across them
+    let db = load.to_database();
+    assert_eq!(db.len(), 3);
+    let scan = scan_regressions(&db, 0.05);
+    assert!(
+        scan.iter().any(|r| r.fom == "triad_bw"),
+        "expected the cross-generation drop to be flagged: {scan:?}"
+    );
 }
 
 #[test]

@@ -1,15 +1,20 @@
-//! Prometheus text exposition (version 0.0.4) — counters and observation
-//! statistics as scrape-able metrics, one `# HELP`/`# TYPE` header pair per
-//! family.
+//! Prometheus text exposition (version 0.0.4) — counters, observation
+//! statistics, and latency histograms as scrape-able metrics, one
+//! `# HELP`/`# TYPE` header pair per family.
 //!
 //! Metric names are the telemetry names sanitized to `[a-zA-Z0-9_]` and
 //! prefixed `benchpark_`; counters gain the conventional `_total` suffix.
 //! Observation streams expose mean/min/max/last as a gauge with a `stat`
-//! label plus an explicit `_samples` count. Canonical mode skips volatile
-//! observation streams so the exposition is byte-identical across runs.
+//! label plus an explicit `_samples` count. Telemetry histograms become
+//! native Prometheus histograms: cumulative `_bucket{le="..."}` series over
+//! the power-of-two boundaries, plus `_sum` and `_count`. Label *values*
+//! are escaped per the exposition format (`\\`, `\"`, `\n`) — a tenant name
+//! is admission-validated today, but the exporter must not rely on that.
+//! Canonical mode skips volatile observation streams so the exposition is
+//! byte-identical across runs.
 
 use crate::Timebase;
-use benchpark_telemetry::TelemetryReport;
+use benchpark_telemetry::{HistogramStats, TelemetryReport, HIST_BUCKET_COUNT};
 use benchpark_yamlite::json_number;
 use std::fmt::Write as _;
 
@@ -18,6 +23,56 @@ fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect()
+}
+
+/// Escapes a label *value* per the text exposition format: backslash,
+/// double quote, and line feed must be escaped; everything else passes
+/// through verbatim.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits one histogram's `_bucket`/`_sum`/`_count` lines. `labels` is
+/// either empty or a pre-escaped `tenant="..."` prefix for each series.
+/// Per-bucket counts become cumulative here (the exposition contract);
+/// trailing all-empty finite buckets are trimmed, `+Inf` is always present.
+fn histogram_series(out: &mut String, metric: &str, labels: &str, hist: &HistogramStats) {
+    let last = (0..HIST_BUCKET_COUNT)
+        .rev()
+        .find(|&i| hist.buckets[i] > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for i in 0..last {
+        cumulative += hist.buckets[i];
+        let le = HistogramStats::bucket_le(i);
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        hist.count
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{metric}_sum {}", hist.sum);
+        let _ = writeln!(out, "{metric}_count {}", hist.count);
+    } else {
+        let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", hist.sum);
+        let _ = writeln!(out, "{metric}_count{{{labels}}} {}", hist.count);
+    }
 }
 
 /// Splits a `serve.tenant.<tenant>.<metric>` counter name into its tenant
@@ -72,7 +127,11 @@ pub fn prometheus_text(report: &TelemetryReport, timebase: Timebase) -> String {
         // unlabeled aggregate first.
         if let Some(pos) = families.iter().position(|(m, _, _)| *m == metric) {
             for (tenant, tenant_total) in &families[pos].2 {
-                let _ = writeln!(out, "{metric}{{tenant=\"{tenant}\"}} {tenant_total}");
+                let _ = writeln!(
+                    out,
+                    "{metric}{{tenant=\"{}\"}} {tenant_total}",
+                    escape_label(tenant)
+                );
             }
             emitted[pos] = true;
         }
@@ -87,7 +146,49 @@ pub fn prometheus_text(report: &TelemetryReport, timebase: Timebase) -> String {
         );
         let _ = writeln!(out, "# TYPE {metric} counter");
         for (tenant, total) in series {
-            let _ = writeln!(out, "{metric}{{tenant=\"{tenant}\"}} {total}");
+            let _ = writeln!(
+                out,
+                "{metric}{{tenant=\"{}\"}} {total}",
+                escape_label(tenant)
+            );
+        }
+    }
+    // Histograms: per-tenant `serve.tenant.<t>.<metric>` histograms merge
+    // into one labeled family per metric (`benchpark_serve_<metric>` with a
+    // `tenant` label), everything else exports under its flat name.
+    type HistFamily<'a> = (String, &'a str, Vec<(&'a str, &'a HistogramStats)>);
+    let mut hist_families: Vec<HistFamily<'_>> = Vec::new();
+    for (name, hist) in report.sorted_histograms() {
+        if let Some((tenant, family)) = tenant_series(name) {
+            let metric = format!("benchpark_serve_{}", sanitize(family));
+            match hist_families.iter_mut().find(|(m, _, _)| *m == metric) {
+                Some((_, _, series)) => series.push((tenant, hist)),
+                None => hist_families.push((metric, family, vec![(tenant, hist)])),
+            }
+        }
+    }
+    hist_families.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, hist) in report.sorted_histograms() {
+        if tenant_series(name).is_some() {
+            continue;
+        }
+        let metric = format!("benchpark_{}", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Benchpark histogram `{name}` (power-of-two buckets)."
+        );
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        histogram_series(&mut out, &metric, "", hist);
+    }
+    for (metric, family, series) in &hist_families {
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Benchpark per-tenant serve histogram `{family}` (power-of-two buckets)."
+        );
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        for (tenant, hist) in series {
+            let labels = format!("tenant=\"{}\"", escape_label(tenant));
+            histogram_series(&mut out, metric, &labels, hist);
         }
     }
     for (name, stats) in report.sorted_observations() {

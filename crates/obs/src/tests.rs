@@ -258,3 +258,88 @@ fn prometheus_text_labels_per_tenant_serve_counters() {
         .unwrap();
     assert!(flat < labeled);
 }
+
+// --- PR 10: label escaping and histogram exposition ---
+
+/// Label values with exposition-format metacharacters must be escaped.
+/// Tenant ids are admission-validated today, but the exporter hardens
+/// against whatever lands in a telemetry name; table-driven over the
+/// characters the format reserves.
+#[test]
+fn prometheus_label_values_are_escaped() {
+    let cases: [(&str, &str); 5] = [
+        ("plain", "plain"),
+        ("he\"llo\n", "he\\\"llo\\n"),
+        ("back\\slash", "back\\\\slash"),
+        ("a\nb", "a\\nb"),
+        ("q\"q", "q\\\"q"),
+    ];
+    for (raw, want) in cases {
+        let sink = TelemetrySink::recording();
+        // constructed via the counter name, bypassing admission validation
+        sink.incr(&format!("serve.tenant.{raw}.completed"), 3);
+        let text = prometheus_text(&sink.report().unwrap(), Timebase::Canonical);
+        let line = format!("benchpark_serve_completed_total{{tenant=\"{want}\"}} 3");
+        assert!(text.contains(&line), "expected {line:?} in:\n{text}");
+        // every emitted label value is free of raw quotes/newlines inside
+        for l in text.lines() {
+            assert!(!l.contains('\n'), "no raw newline can survive in one line");
+        }
+    }
+}
+
+#[test]
+fn prometheus_histograms_expose_cumulative_buckets_sum_and_count() {
+    let sink = TelemetrySink::recording();
+    for v in [1u64, 2, 2, 3, 100] {
+        sink.record_hist("serve.stage.queue_wait", v);
+    }
+    let text = prometheus_text(&sink.report().unwrap(), Timebase::Canonical);
+    assert!(text.contains("# TYPE benchpark_serve_stage_queue_wait histogram"));
+    // per-bucket counts become cumulative: le=1 -> 1, le=2 -> 3, le=4 -> 4,
+    // then flat until le=128 catches 100
+    assert!(text.contains("benchpark_serve_stage_queue_wait_bucket{le=\"1\"} 1"));
+    assert!(text.contains("benchpark_serve_stage_queue_wait_bucket{le=\"2\"} 3"));
+    assert!(text.contains("benchpark_serve_stage_queue_wait_bucket{le=\"4\"} 4"));
+    assert!(text.contains("benchpark_serve_stage_queue_wait_bucket{le=\"128\"} 5"));
+    assert!(text.contains("benchpark_serve_stage_queue_wait_bucket{le=\"+Inf\"} 5"));
+    assert!(
+        !text.contains("le=\"256\""),
+        "trailing empty finite buckets are trimmed:\n{text}"
+    );
+    assert!(text.contains("benchpark_serve_stage_queue_wait_sum 108"));
+    assert!(text.contains("benchpark_serve_stage_queue_wait_count 5"));
+
+    // cumulative bucket series must be monotone nondecreasing
+    let mut prev = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("benchpark_serve_stage_queue_wait_bucket") {
+            let count: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= prev, "bucket counts regressed in:\n{text}");
+            prev = count;
+        }
+    }
+}
+
+#[test]
+fn prometheus_per_tenant_histograms_share_one_family_header() {
+    let sink = TelemetrySink::recording();
+    sink.record_hist("serve.tenant.alice.execute", 5);
+    sink.record_hist("serve.tenant.bob.execute", 300);
+    let text = prometheus_text(&sink.report().unwrap(), Timebase::Canonical);
+    assert_eq!(
+        text.matches("# TYPE benchpark_serve_execute histogram")
+            .count(),
+        1,
+        "one header per family:\n{text}"
+    );
+    assert!(text.contains("benchpark_serve_execute_bucket{tenant=\"alice\",le=\"8\"} 1"));
+    assert!(text.contains("benchpark_serve_execute_bucket{tenant=\"alice\",le=\"+Inf\"} 1"));
+    assert!(text.contains("benchpark_serve_execute_bucket{tenant=\"bob\",le=\"512\"} 1"));
+    assert!(text.contains("benchpark_serve_execute_sum{tenant=\"alice\"} 5"));
+    assert!(text.contains("benchpark_serve_execute_count{tenant=\"bob\"} 1"));
+    // flat histograms and labeled families coexist
+    sink.record_hist("telemetry.latency", 9);
+    let text = prometheus_text(&sink.report().unwrap(), Timebase::Canonical);
+    assert!(text.contains("benchpark_telemetry_latency_bucket{le=\"16\"} 1"));
+}

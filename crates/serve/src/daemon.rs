@@ -5,10 +5,13 @@ use crate::queue::{QueuedRequest, RejectReason, SubmissionQueue};
 use crate::report::{fom_transcript, RejectionRecord, ServeReport};
 use crate::request::ExperimentRequest;
 use crate::sched::DrrScheduler;
+use crate::slo::SloSpec;
+use crate::status::{write_atomic, StageHists, StatusSnapshot};
+use crate::window::{CompletionEvent, RollingWindows};
 use benchpark_cluster::{FaultPlan, TransientFault};
 use benchpark_core::{
-    append_run, shard_path, Benchpark, CollectedRun, FingerprintIndex, RunSpec, ShardedLedger,
-    SystemProfile,
+    append_run, shard_path, Benchpark, CollectedRun, FingerprintIndex, RequestTrace, RunSpec,
+    ShardedLedger, SystemProfile,
 };
 use benchpark_engine::{Engine, FailurePolicy, TaskGraph, TaskStatus};
 use benchpark_obs::{prometheus_text, Timebase};
@@ -29,15 +32,24 @@ pub struct ServeConfig {
     pub queue: crate::queue::QueueConfig,
     /// Worker-pool width for each scheduler batch.
     pub jobs: usize,
+    /// Declarative SLO targets (`--slo FILE`); verdicts land in the status
+    /// snapshot.
+    pub slo: Option<SloSpec>,
+    /// Where to write the live status snapshot after every drain round
+    /// (`--status-out PATH`). The final snapshot always lands at
+    /// `<root>/status.json` regardless.
+    pub status_out: Option<PathBuf>,
 }
 
 impl ServeConfig {
-    /// Defaults: default quotas, one worker.
+    /// Defaults: default quotas, one worker, no SLOs.
     pub fn new(root: impl AsRef<Path>) -> ServeConfig {
         ServeConfig {
             root: root.as_ref().to_path_buf(),
             queue: crate::queue::QueueConfig::default(),
             jobs: 1,
+            slo: None,
+            status_out: None,
         }
     }
 }
@@ -67,6 +79,23 @@ enum Outcome {
     Failed(String),
 }
 
+/// Virtual execution ticks for one request: the rounded sum of the
+/// *stable* virtual durations in its telemetry report. Only spans that set
+/// a non-volatile virtual duration contribute (the cluster scheduler's
+/// simulated makespan does; wall-clock-derived spans do not), so the result
+/// is identical at any worker count — and inflates deterministically when a
+/// seeded fault plan extends the simulated schedule.
+fn execute_ticks(report: Option<&TelemetryReport>) -> u64 {
+    let Some(report) = report else { return 0 };
+    report
+        .spans
+        .iter()
+        .filter(|span| !span.virtual_volatile)
+        .filter_map(|span| span.virtual_seconds)
+        .sum::<f64>()
+        .round() as u64
+}
+
 /// The multi-tenant daemon: owns the submission queue, the scheduler, the
 /// per-tenant fingerprint indexes over the sharded ledger, and the drain
 /// loop. Everything is deterministic in the submission sequence — batch
@@ -86,6 +115,11 @@ pub struct ServeDaemon {
     memo: BTreeMap<String, Vec<(String, String)>>,
     foms: BTreeMap<String, String>,
     report: ServeReport,
+    /// Rolling tick windows feeding the SLO evaluator and status snapshot.
+    windows: RollingWindows,
+    /// Stage-latency histograms, mirrored into the telemetry sink as
+    /// `serve.stage.*` / `serve.tenant.<t>.*` histogram families.
+    hists: StageHists,
 }
 
 impl ServeDaemon {
@@ -112,6 +146,8 @@ impl ServeDaemon {
             memo: BTreeMap::new(),
             foms: BTreeMap::new(),
             report: ServeReport::default(),
+            windows: RollingWindows::default(),
+            hists: StageHists::default(),
         })
     }
 
@@ -132,9 +168,11 @@ impl ServeDaemon {
     }
 
     fn submit_at(&mut self, request: ExperimentRequest, line: usize) -> Result<u64, String> {
+        let tick = self.queue.tick();
         match self.queue.admit(request) {
             Ok(seq) => {
                 self.report.admitted += 1;
+                self.windows.record_submit(tick);
                 Ok(seq)
             }
             Err(e) => {
@@ -145,6 +183,7 @@ impl ServeDaemon {
     }
 
     fn reject(&mut self, line: usize, tenant: String, reason: &RejectReason) {
+        self.windows.record_reject(self.queue.tick(), reason.code());
         if !matches!(
             reason,
             RejectReason::BadTenant { .. } | RejectReason::BadRequest { .. }
@@ -216,17 +255,44 @@ impl ServeDaemon {
     pub fn drain(&mut self) -> Result<&ServeReport, String> {
         let start = std::time::Instant::now();
         while !self.queue.is_empty() {
+            // every request picked this round waited until the same tick
+            let pick_tick = self.queue.tick();
             let batch = self.sched.next_batch(&mut self.queue);
             if batch.is_empty() {
                 return Err("scheduler made no progress with a non-empty queue".to_string());
             }
             self.report.batches += 1;
             self.telemetry.incr("serve.batches", 1);
-            self.run_batch(batch)?;
+            self.run_batch(batch, pick_tick)?;
+            self.queue.advance_tick(1);
+            // sample the depth every drain tick, not just on queue churn —
+            // the gauge must show the queue reaching empty
+            self.telemetry
+                .observe("serve.queue.depth", self.queue.len() as f64);
+            self.windows.roll_to(self.queue.tick());
+            if let Some(path) = self.config.status_out.clone() {
+                self.write_status(&path)?;
+            }
         }
         self.report.elapsed_s += start.elapsed().as_secs_f64();
         self.flush()?;
         Ok(&self.report)
+    }
+
+    /// The current status snapshot (tick clock, stage latencies, windows,
+    /// SLO verdicts).
+    pub fn status(&self) -> StatusSnapshot {
+        StatusSnapshot::build(
+            self.queue.tick(),
+            &self.report,
+            &self.hists,
+            &self.windows,
+            self.config.slo.as_ref(),
+        )
+    }
+
+    fn write_status(&self, path: &Path) -> Result<(), String> {
+        write_atomic(path, &self.status().to_json())
     }
 
     fn fastpath_results(&self, picked: &QueuedRequest) -> Option<Vec<ExperimentResult>> {
@@ -242,7 +308,7 @@ impl ServeDaemon {
         Some(results)
     }
 
-    fn run_batch(&mut self, batch: Vec<QueuedRequest>) -> Result<(), String> {
+    fn run_batch(&mut self, batch: Vec<QueuedRequest>, pick_tick: u64) -> Result<(), String> {
         // Phase 1 — memo fastpath: repeat submissions whose fingerprints all
         // resolve against the submitting tenant's index skip setup outright.
         let mut outcomes: Vec<Option<Outcome>> = batch.iter().map(|_| None).collect();
@@ -284,6 +350,14 @@ impl ServeDaemon {
                     let picked = &batch[task.payload];
                     let req = &picked.request;
                     let sink = TelemetrySink::recording();
+                    // the request's trace context roots this run's span tree;
+                    // every field is a pure function of the intake sequence
+                    let ctx = picked.ctx();
+                    let span = sink.span("serve.request");
+                    span.set_attr("tenant", &ctx.tenant);
+                    span.set_attr("request_id", ctx.request_id);
+                    span.set_attr("spec_key", &ctx.spec_key);
+                    span.set_attr("submit_tick", ctx.submit_tick);
                     let mut benchpark = Benchpark::new().with_telemetry(sink.clone()).with_jobs(1);
                     if req.faults {
                         benchpark = benchpark.with_fault_plan(demo_fault_plan(&req.system)?);
@@ -300,6 +374,7 @@ impl ServeDaemon {
                     }
                     let collected =
                         benchpark.run_request(&spec, indexes.get(&req.tenant), false)?;
+                    drop(span); // close serve.request before snapshotting
                     let report = sink.report();
                     Ok((Box::new(collected), report))
                 })
@@ -318,18 +393,89 @@ impl ServeDaemon {
         }
 
         // Phase 3 — commit in pick order: transcripts, shard appends, index
-        // and memo updates. Serialized, so shard sequence numbers and
-        // per-tenant FIFO are exact whatever the pool width was.
+        // and memo updates. Serialized, so shard sequence numbers, stage
+        // ticks, and per-tenant FIFO are exact whatever the pool width was.
         for (idx, picked) in batch.iter().enumerate() {
             let outcome = outcomes[idx]
                 .take()
                 .expect("every batch entry has an outcome");
-            self.commit(picked, outcome)?;
+            self.commit(picked, outcome, pick_tick, idx as u64)?;
         }
         Ok(())
     }
 
-    fn commit(&mut self, picked: &QueuedRequest, outcome: Outcome) -> Result<(), String> {
+    /// Stamps one committed request's stage latencies everywhere they are
+    /// observable: the daemon's own histograms (status snapshot), the
+    /// telemetry sink's histogram families (Prometheus exposition), a
+    /// `serve.request` span on the daemon's span tree, and the rolling
+    /// windows (SLO horizons). Returns the trace for the ledger record.
+    fn stamp_stages(
+        &mut self,
+        picked: &QueuedRequest,
+        pick_tick: u64,
+        batch_idx: u64,
+        execute: u64,
+        event: CompletionEvent,
+    ) -> RequestTrace {
+        let ctx = picked.ctx();
+        let queue_wait = pick_tick.saturating_sub(ctx.submit_tick);
+        let schedule = batch_idx;
+        let commit = batch_idx + 1;
+        if !event.failed {
+            self.hists
+                .record(&ctx.tenant, queue_wait, schedule, execute, commit);
+            for (stage, ticks) in [
+                ("queue_wait", queue_wait),
+                ("schedule", schedule),
+                ("execute", execute),
+                ("commit", commit),
+            ] {
+                self.telemetry
+                    .record_hist(&format!("serve.stage.{stage}"), ticks);
+            }
+            self.telemetry.record_hist(
+                &format!("serve.tenant.{}.queue_wait", ctx.tenant),
+                queue_wait,
+            );
+            self.telemetry
+                .record_hist(&format!("serve.tenant.{}.execute", ctx.tenant), execute);
+        }
+        let span = self.telemetry.span("serve.request");
+        span.set_attr("tenant", &ctx.tenant);
+        span.set_attr("request_id", ctx.request_id);
+        span.set_attr("submit_tick", ctx.submit_tick);
+        span.set_attr("queue_wait_ticks", queue_wait);
+        span.set_attr("schedule_ticks", schedule);
+        span.set_attr("execute_ticks", execute);
+        span.set_attr("commit_ticks", commit);
+        span.set_virtual((queue_wait + schedule + execute + commit) as f64);
+        drop(span);
+        self.windows.record_complete(
+            pick_tick,
+            CompletionEvent {
+                queue_wait_ticks: queue_wait,
+                execute_ticks: execute,
+                ..event
+            },
+        );
+        RequestTrace {
+            tenant: ctx.tenant,
+            request_id: ctx.request_id,
+            submit_tick: ctx.submit_tick,
+            queue_wait_ticks: queue_wait,
+            schedule_ticks: schedule,
+            execute_ticks: execute,
+            commit_ticks: commit,
+        }
+    }
+
+    fn commit(
+        &mut self,
+        picked: &QueuedRequest,
+        outcome: Outcome,
+        pick_tick: u64,
+        batch_idx: u64,
+    ) -> Result<(), String> {
         let req = &picked.request;
         let tenant = req.tenant.clone();
         let header = format!(
@@ -356,6 +502,17 @@ impl ServeDaemon {
                     .incr("serve.experiments.cached", results.len() as u64);
                 self.telemetry
                     .incr(&format!("serve.tenant.{tenant}.completed"), 1);
+                self.stamp_stages(
+                    picked,
+                    pick_tick,
+                    batch_idx,
+                    0, // fastpath splices touch no cluster: zero execute ticks
+                    CompletionEvent {
+                        fastpath: true,
+                        cached: results.len() as u64,
+                        ..CompletionEvent::default()
+                    },
+                );
             }
             Outcome::Ran(collected, tel_report) => {
                 let transcript = self.foms.entry(tenant.clone()).or_default();
@@ -377,7 +534,19 @@ impl ServeDaemon {
                 self.telemetry.incr("serve.experiments.cached", cached);
                 self.telemetry
                     .incr(&format!("serve.tenant.{tenant}.completed"), 1);
-                if let Some(mut record) = collected.to_record(tel_report.as_ref()) {
+                let trace = self.stamp_stages(
+                    picked,
+                    pick_tick,
+                    batch_idx,
+                    execute_ticks(tel_report.as_ref()),
+                    CompletionEvent {
+                        fresh,
+                        cached,
+                        ..CompletionEvent::default()
+                    },
+                );
+                if let Some(record) = collected.to_record(tel_report.as_ref()) {
+                    let mut record = record.with_request(trace);
                     let path =
                         shard_path(&self.config.root.join("ledger"), &tenant, &collected.system);
                     if let Some(parent) = path.parent() {
@@ -425,6 +594,16 @@ impl ServeDaemon {
                 self.telemetry.incr("serve.failed", 1);
                 self.telemetry
                     .incr(&format!("serve.tenant.{tenant}.failed"), 1);
+                self.stamp_stages(
+                    picked,
+                    pick_tick,
+                    batch_idx,
+                    0,
+                    CompletionEvent {
+                        failed: true,
+                        ..CompletionEvent::default()
+                    },
+                );
             }
         }
         Ok(())
@@ -441,6 +620,12 @@ impl ServeDaemon {
             let prom = prometheus_text(&report, Timebase::Canonical);
             std::fs::write(self.config.root.join("metrics.prom"), prom)
                 .map_err(|e| format!("cannot write metrics.prom: {e}"))?;
+        }
+        // the final snapshot always lands under the root (what `benchpark
+        // status <root>` reads), plus wherever --status-out pointed
+        self.write_status(&self.config.root.join("status.json"))?;
+        if let Some(path) = self.config.status_out.clone() {
+            self.write_status(&path)?;
         }
         Ok(())
     }

@@ -21,7 +21,7 @@
 //!   `benchpark-engine` worker pool (one staged
 //!   setup → execute → collect run per request, via
 //!   [`benchpark_core::Benchpark::run_request`]), then commits outcomes in
-//!   pick order: one schema-2 JSONL ledger shard per tenant/system under
+//!   pick order: one schema-3 JSONL ledger shard per tenant/system under
 //!   `<root>/ledger/`, per-tenant fingerprint indexes (a tenant's cache
 //!   hits resolve against that tenant's shards only), and per-tenant FOM
 //!   transcripts that are byte-identical to the same requests run serially
@@ -29,6 +29,15 @@
 //! * [`ServeReport`] — throughput, fingerprint hit rate, rejection and
 //!   failure rolls, per-tenant stats; rendered human-readable or as JSON
 //!   for the CI artifact.
+//! * **Service observability** — every admission mints a [`RequestCtx`]
+//!   (tenant, request id, spec key, submit tick) against the queue's
+//!   virtual clock; commits stamp queue-wait / schedule / execute / commit
+//!   ticks onto the span tree, into `serve.stage.*` histogram families,
+//!   into the schema-3 ledger trace, and into [`RollingWindows`] whose
+//!   fast/slow burn horizons feed a declarative [`SloSpec`]. The daemon
+//!   writes a [`StatusSnapshot`] (`status.json`, rendered by `benchpark
+//!   status`) atomically after every drain round — all of it in virtual
+//!   ticks, so snapshots are byte-identical at any `--jobs` count.
 //!
 //! No network: requests arrive as replay files or a spool directory (see
 //! `docs/SERVICE.md`), which keeps the daemon deterministic and testable —
@@ -40,12 +49,22 @@ mod queue;
 mod report;
 mod request;
 mod sched;
+mod slo;
+mod status;
+mod window;
 
 pub use daemon::{demo_fault_plan, ServeConfig, ServeDaemon};
-pub use queue::{AdmitError, QueueConfig, QueuedRequest, RejectReason, SubmissionQueue};
+pub use queue::{
+    AdmitError, QueueConfig, QueuedRequest, RejectReason, RequestCtx, SubmissionQueue,
+};
 pub use report::{fom_transcript, RejectionRecord, ServeReport, TenantStats};
 pub use request::ExperimentRequest;
 pub use sched::DrrScheduler;
+pub use slo::{SloMetric, SloOp, SloSpec, SloTarget, SloVerdict, Verdict};
+pub use status::{
+    write_atomic, SloStatus, StageHists, StageLatency, StatusSnapshot, TenantStatus, WindowStatus,
+};
+pub use window::{CompletionEvent, RollingWindows, WindowConfig, WindowSummary};
 
 #[cfg(test)]
 mod tests;

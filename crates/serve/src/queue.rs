@@ -137,6 +137,23 @@ impl fmt::Display for AdmitError {
     }
 }
 
+/// Request-scoped trace context, minted at admission and carried through
+/// DRR pick → engine execution → ledger commit. Everything in it is a pure
+/// function of the submission sequence, so the stamps it produces (span
+/// attributes, histogram samples, `RunRecord` request traces) are identical
+/// at any worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Global intake sequence number (1-based) — the daemon's request id.
+    pub request_id: u64,
+    /// Tenant-blind spec key ([`ExperimentRequest::spec_key`]).
+    pub spec_key: String,
+    /// Queue virtual-clock tick at admission.
+    pub submit_tick: u64,
+}
+
 /// An admitted request, stamped with its intake position.
 #[derive(Debug, Clone)]
 pub struct QueuedRequest {
@@ -146,6 +163,20 @@ pub struct QueuedRequest {
     pub tenant_seq: u64,
     /// 1-based global intake position (workspace directory naming).
     pub intake_seq: u64,
+    /// Queue virtual-clock tick at admission (see [`SubmissionQueue::tick`]).
+    pub submit_tick: u64,
+}
+
+impl QueuedRequest {
+    /// The trace context minted for this request at admission.
+    pub fn ctx(&self) -> RequestCtx {
+        RequestCtx {
+            tenant: self.request.tenant.clone(),
+            request_id: self.intake_seq,
+            spec_key: self.request.spec_key(),
+            submit_tick: self.submit_tick,
+        }
+    }
 }
 
 /// The multi-tenant submission queue. Admission validates the request
@@ -158,6 +189,11 @@ pub struct SubmissionQueue {
     tenant_seqs: BTreeMap<String, u64>,
     total_queued: usize,
     intake_seq: u64,
+    /// The queue's virtual clock: advances one tick per admission and, via
+    /// [`SubmissionQueue::advance_tick`], one tick per daemon drain round.
+    /// A pure function of queue activity — never of wall time — so every
+    /// latency derived from it is byte-identical across `--jobs` counts.
+    tick: u64,
     telemetry: TelemetrySink,
 }
 
@@ -177,6 +213,7 @@ impl SubmissionQueue {
             tenant_seqs: BTreeMap::new(),
             total_queued: 0,
             intake_seq: 0,
+            tick: 0,
             telemetry,
         }
     }
@@ -184,6 +221,17 @@ impl SubmissionQueue {
     /// The active quota configuration.
     pub fn config(&self) -> &QueueConfig {
         &self.config
+    }
+
+    /// The current virtual-clock tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances the virtual clock (the daemon calls this once per drain
+    /// round, so queued requests accumulate measurable wait).
+    pub fn advance_tick(&mut self, ticks: u64) {
+        self.tick += ticks;
     }
 
     /// Validates and admits one request, or rejects it with a typed
@@ -209,6 +257,8 @@ impl SubmissionQueue {
         *tenant_seq += 1;
         self.intake_seq += 1;
         let seq = *tenant_seq;
+        let submit_tick = self.tick;
+        self.tick += 1; // each admission occupies one virtual tick
         self.queues
             .entry(tenant.clone())
             .or_default()
@@ -216,6 +266,7 @@ impl SubmissionQueue {
                 request,
                 tenant_seq: seq,
                 intake_seq: self.intake_seq,
+                submit_tick,
             });
         self.total_queued += 1;
         self.telemetry.incr("serve.submitted", 1);

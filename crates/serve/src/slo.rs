@@ -1,0 +1,240 @@
+//! Declarative service-level objectives with multi-window burn-rate
+//! verdicts.
+//!
+//! An SLO file is one target per line — `<metric> <op> <threshold>`, with
+//! `#` comments and a tolerated trailing unit word (`ticks`):
+//!
+//! ```text
+//! # queue wait must stay tame, cache hits must carry the load
+//! p99_queue_wait <= 2048 ticks
+//! reject_rate    <= 0.01
+//! hit_rate       >= 0.5
+//! ```
+//!
+//! Each target is evaluated over two horizons borrowed from SRE
+//! multi-window burn-rate alerting: the *fast* horizon (the most recent
+//! window with activity) catches a breach as it happens, and the *slow*
+//! horizon (the union of all retained windows) confirms it is sustained
+//! rather than a blip. Both breaching is `FAIL`, exactly one is `WARN`,
+//! neither is `PASS`. Since windows are deterministic in virtual time, so
+//! are the verdicts.
+
+use crate::window::WindowSummary;
+
+/// The measurable quantities a target may constrain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloMetric {
+    /// A quantile of the queue-wait distribution (0.50/0.95/0.99).
+    QueueWaitP(u8),
+    /// A quantile of the execute distribution.
+    ExecuteP(u8),
+    /// Rejected / arrived.
+    RejectRate,
+    /// Cached experiments / all experiments.
+    HitRate,
+    /// Failed / finished requests.
+    FailRate,
+    /// Completed requests per tick.
+    Throughput,
+}
+
+impl SloMetric {
+    fn parse(token: &str) -> Option<SloMetric> {
+        let quantile = |p: &str| -> Option<u8> {
+            match p {
+                "p50" => Some(50),
+                "p95" => Some(95),
+                "p99" => Some(99),
+                _ => None,
+            }
+        };
+        if let Some(p) = token.strip_suffix("_queue_wait").and_then(quantile) {
+            return Some(SloMetric::QueueWaitP(p));
+        }
+        if let Some(p) = token.strip_suffix("_execute").and_then(quantile) {
+            return Some(SloMetric::ExecuteP(p));
+        }
+        match token {
+            "reject_rate" => Some(SloMetric::RejectRate),
+            "hit_rate" => Some(SloMetric::HitRate),
+            "fail_rate" => Some(SloMetric::FailRate),
+            "throughput" => Some(SloMetric::Throughput),
+            _ => None,
+        }
+    }
+
+    /// Evaluates this metric over one window.
+    pub fn value(&self, window: &WindowSummary) -> f64 {
+        match self {
+            SloMetric::QueueWaitP(p) => window.queue_wait.quantile(*p as f64 / 100.0) as f64,
+            SloMetric::ExecuteP(p) => window.execute.quantile(*p as f64 / 100.0) as f64,
+            SloMetric::RejectRate => window.reject_rate(),
+            SloMetric::HitRate => window.hit_rate(),
+            SloMetric::FailRate => window.fail_rate(),
+            SloMetric::Throughput => window.throughput(),
+        }
+    }
+}
+
+/// `<=` or `>=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloOp {
+    /// The metric must not exceed the threshold.
+    Le,
+    /// The metric must not fall below the threshold.
+    Ge,
+}
+
+impl SloOp {
+    fn holds(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            SloOp::Le => value <= threshold,
+            SloOp::Ge => value >= threshold,
+        }
+    }
+
+    fn as_str(&self) -> &'static str {
+        match self {
+            SloOp::Le => "<=",
+            SloOp::Ge => ">=",
+        }
+    }
+}
+
+/// One declarative target.
+#[derive(Debug, Clone)]
+pub struct SloTarget {
+    /// The metric name as written (`p99_queue_wait`).
+    pub name: String,
+    /// The parsed metric.
+    pub metric: SloMetric,
+    /// The comparison direction.
+    pub op: SloOp,
+    /// The threshold value.
+    pub threshold: f64,
+}
+
+impl SloTarget {
+    /// `p99_queue_wait <= 2048`.
+    pub fn render(&self) -> String {
+        format!("{} {} {}", self.name, self.op.as_str(), self.threshold)
+    }
+}
+
+/// A parsed SLO file.
+#[derive(Debug, Clone, Default)]
+pub struct SloSpec {
+    /// Targets in file order.
+    pub targets: Vec<SloTarget>,
+}
+
+impl SloSpec {
+    /// Parses an SLO file. Unknown metrics, operators, or thresholds are
+    /// hard errors — a silently dropped target is an outage you did not
+    /// alert on.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let mut targets = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let err = |what: &str| format!("slo line {}: {what}: `{raw}`", i + 1);
+            let name = tokens.next().ok_or_else(|| err("missing metric"))?;
+            let metric = SloMetric::parse(name).ok_or_else(|| {
+                err("unknown metric (want pNN_queue_wait, pNN_execute, reject_rate, hit_rate, fail_rate, throughput)")
+            })?;
+            let op = match tokens.next() {
+                Some("<=") => SloOp::Le,
+                Some(">=") => SloOp::Ge,
+                _ => return Err(err("want `<=` or `>=`")),
+            };
+            let threshold: f64 = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("threshold must be numeric"))?;
+            if let Some(extra) = tokens.next() {
+                if extra != "ticks" {
+                    return Err(err("unexpected trailing token"));
+                }
+            }
+            targets.push(SloTarget {
+                name: name.to_string(),
+                metric,
+                op,
+                threshold,
+            });
+        }
+        Ok(SloSpec { targets })
+    }
+
+    /// Evaluates every target over the fast and slow horizons.
+    pub fn evaluate(&self, fast: &WindowSummary, slow: &WindowSummary) -> Vec<SloVerdict> {
+        self.targets
+            .iter()
+            .map(|target| {
+                let fast_value = target.metric.value(fast);
+                let slow_value = target.metric.value(slow);
+                let fast_ok = target.op.holds(fast_value, target.threshold);
+                let slow_ok = target.op.holds(slow_value, target.threshold);
+                let verdict = match (fast_ok, slow_ok) {
+                    (true, true) => Verdict::Pass,
+                    (false, false) => Verdict::Fail,
+                    _ => Verdict::Warn,
+                };
+                SloVerdict {
+                    target: target.render(),
+                    fast: fast_value,
+                    slow: slow_value,
+                    verdict,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The burn-rate outcome for one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Neither horizon breaches.
+    Pass,
+    /// Exactly one horizon breaches (error budget burning, or recovering).
+    Warn,
+    /// Both horizons breach: the violation is current *and* sustained.
+    Fail,
+}
+
+impl Verdict {
+    /// `PASS` / `WARN` / `FAIL`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "PASS",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        }
+    }
+
+    /// Parses the rendered form back.
+    pub fn parse(s: &str) -> Option<Verdict> {
+        match s {
+            "PASS" => Some(Verdict::Pass),
+            "WARN" => Some(Verdict::Warn),
+            "FAIL" => Some(Verdict::Fail),
+            _ => None,
+        }
+    }
+}
+
+/// One evaluated target: the values seen on each horizon and the verdict.
+#[derive(Debug, Clone)]
+pub struct SloVerdict {
+    /// The target as written (`p99_queue_wait <= 2048`).
+    pub target: String,
+    /// Metric value over the fast horizon.
+    pub fast: f64,
+    /// Metric value over the slow horizon.
+    pub slow: f64,
+    /// The burn-rate verdict.
+    pub verdict: Verdict,
+}

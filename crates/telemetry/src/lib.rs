@@ -13,9 +13,18 @@
 //!   (`concretizer.solves`, `cache.hit`, `ci.jobs.success`, …).
 //! * **Observations** — point samples aggregated into count/sum/min/max/last
 //!   (`scheduler.queue_depth`, `install.worker_utilization`, …).
+//! * **Histograms** — latency distributions over deterministic
+//!   power-of-two buckets ([`TelemetrySink::record_hist`]): bucket `i`
+//!   counts samples `<= 2^i` ticks, so two runs that record the same
+//!   virtual-time values build byte-identical distributions regardless of
+//!   worker count. Mergeable, with rank-based quantile estimates
+//!   ([`HistogramStats::quantile`]).
 //!
 //! Every event is also appended to a structured journal, so a report can
-//! replay the exact instrumentation sequence. The whole subsystem is reached
+//! replay the exact instrumentation sequence. (Histogram samples are the
+//! one exception: they aggregate in place without a journal entry, so a
+//! million-sample latency distribution does not swamp the journal.) The
+//! whole subsystem is reached
 //! through a [`TelemetrySink`] handle: a disabled sink (the default
 //! everywhere) is a `None` and costs one branch per call site.
 
@@ -99,6 +108,17 @@ impl TelemetrySink {
     pub fn observe_volatile(&self, name: &str, value: f64) {
         if let Some(recorder) = &self.0 {
             recorder.observe(name, value, true);
+        }
+    }
+
+    /// Records one sample into the named log-bucketed histogram. Values are
+    /// virtual-time ticks (or any deterministic non-negative quantity);
+    /// bucket boundaries are fixed powers of two, so the resulting
+    /// distribution is byte-identical across runs that observe the same
+    /// values, whatever order they arrive in.
+    pub fn record_hist(&self, name: &str, value: u64) {
+        if let Some(recorder) = &self.0 {
+            recorder.record_hist(name, value);
         }
     }
 
@@ -257,6 +277,123 @@ impl ObservationStats {
     }
 }
 
+/// Number of finite histogram buckets: bucket `i` counts samples
+/// `<= 2^i`, for `i` in `0..32`; anything above `2^31` lands in the
+/// overflow bucket (Prometheus `+Inf`).
+pub const HIST_BUCKET_COUNT: usize = 32;
+
+/// A log-bucketed latency histogram with deterministic power-of-two
+/// boundaries. Bucket `i` holds the count of samples `<= 2^i` (exclusive of
+/// smaller buckets — counts are per-bucket, not cumulative); samples above
+/// `2^31` land in `overflow`. Because the boundaries are fixed and samples
+/// are integers, two runs recording the same multiset of values produce
+/// identical histograms regardless of arrival order or worker count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramStats {
+    /// Per-bucket sample counts; bucket `i` covers `(2^(i-1), 2^i]`
+    /// (bucket 0 covers `[0, 1]`).
+    pub buckets: [u64; HIST_BUCKET_COUNT],
+    /// Samples above the largest finite boundary (`2^31`).
+    pub overflow: u64,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples (integer, so merge order cannot change it).
+    pub sum: u64,
+    /// Smallest sample seen (0 when empty).
+    pub min: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramStats {
+    /// An empty histogram.
+    pub fn new() -> HistogramStats {
+        HistogramStats::default()
+    }
+
+    /// The finite bucket index for `value`, or `None` for the overflow
+    /// bucket: the smallest `i` with `value <= 2^i`.
+    pub fn bucket_index(value: u64) -> Option<usize> {
+        if value <= 1 {
+            return Some(0);
+        }
+        let index = 64 - (value - 1).leading_zeros() as usize;
+        (index < HIST_BUCKET_COUNT).then_some(index)
+    }
+
+    /// The inclusive upper boundary of finite bucket `i` (`2^i`).
+    pub fn bucket_le(index: usize) -> u64 {
+        1u64 << index
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        match HistogramStats::bucket_index(value) {
+            Some(index) => self.buckets[index] += 1,
+            None => self.overflow += 1,
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Folds another histogram into this one. Buckets are aligned by
+    /// construction, so merging is elementwise addition — the basis for
+    /// per-tenant → global rollups.
+    pub fn merge(&mut self, other: &HistogramStats) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The estimated `q`-quantile (`0.0..=1.0`): the upper boundary of the
+    /// bucket containing the ceil(q·count)-th sample, clamped to the
+    /// observed max so a one-value histogram reports that value exactly.
+    /// Deterministic — a pure function of the bucket counts.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return HistogramStats::bucket_le(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 #[derive(Default)]
 struct RecorderState {
     spans: Vec<SpanRecord>,
@@ -264,6 +401,7 @@ struct RecorderState {
     stack: Vec<usize>,
     counters: BTreeMap<Arc<str>, u64>,
     observations: BTreeMap<Arc<str>, ObservationStats>,
+    histograms: BTreeMap<Arc<str>, HistogramStats>,
     /// Names of observation streams that were ever recorded as volatile.
     volatile_observations: BTreeSet<Arc<str>>,
     journal: Vec<Event>,
@@ -412,6 +550,14 @@ impl Recorder {
         state.journal.push(Event::Observe { at, name, value });
     }
 
+    fn record_hist(&self, name: &str, value: u64) {
+        // Deliberately not journaled: histogram call sites fire per-sample
+        // at high rates and the aggregate is the product.
+        let mut state = self.state.lock().unwrap();
+        let name = state.intern(name);
+        state.histograms.entry(name).or_default().record(value);
+    }
+
     fn snapshot(&self) -> TelemetryReport {
         // The cold path pays the String conversions the hot paths avoided,
         // keeping the report's public maps `String`-keyed.
@@ -427,6 +573,11 @@ impl Recorder {
                 .observations
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
             volatile_observations: state
                 .volatile_observations
@@ -445,6 +596,9 @@ pub struct TelemetryReport {
     pub spans: Vec<SpanRecord>,
     pub counters: BTreeMap<String, u64>,
     pub observations: BTreeMap<String, ObservationStats>,
+    /// Log-bucketed latency histograms ([`TelemetrySink::record_hist`]),
+    /// keyed by name. Deterministic by construction — never volatile.
+    pub histograms: BTreeMap<String, HistogramStats>,
     /// Streams recorded via [`TelemetrySink::observe_volatile`] — their
     /// values are wall-clock- or worker-count-dependent and must be skipped
     /// by deterministic consumers (canonical exports, the run ledger).
@@ -466,6 +620,23 @@ impl TelemetryReport {
     /// True when the named observation stream was recorded as volatile.
     pub fn is_volatile_observation(&self, name: &str) -> bool {
         self.volatile_observations.contains(name)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStats> {
+        self.histograms.get(name)
+    }
+
+    /// Histogram `(name, stats)` pairs, explicitly sorted by name — same
+    /// contract as [`TelemetryReport::sorted_counters`].
+    pub fn sorted_histograms(&self) -> Vec<(&str, &HistogramStats)> {
+        let mut out: Vec<(&str, &HistogramStats)> = self
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
     }
 
     /// Counter `(name, total)` pairs, explicitly sorted by name. Rendering
@@ -553,6 +724,20 @@ impl TelemetryReport {
             }
             if any_volatile {
                 out.push_str("  (* volatile: wall-clock/worker-count dependent)\n");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\ntelemetry: histograms (power-of-two buckets, ticks)\n");
+            for (name, hist) in self.sorted_histograms() {
+                let _ = writeln!(
+                    out,
+                    "  {name:<36} p50 {:>6}  p95 {:>6}  p99 {:>6}  max {:>6}  n={}",
+                    hist.quantile(0.50),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                    hist.max,
+                    hist.count
+                );
             }
         }
         let _ = writeln!(
@@ -801,5 +986,102 @@ mod tests {
         assert!(text.contains("concretizer.solves"));
         assert!(text.contains("scheduler.queue_depth"));
         assert!(text.contains("journal events"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(HistogramStats::bucket_index(0), Some(0));
+        assert_eq!(HistogramStats::bucket_index(1), Some(0));
+        assert_eq!(HistogramStats::bucket_index(2), Some(1));
+        assert_eq!(HistogramStats::bucket_index(3), Some(2));
+        assert_eq!(HistogramStats::bucket_index(4), Some(2));
+        assert_eq!(HistogramStats::bucket_index(5), Some(3));
+        assert_eq!(HistogramStats::bucket_index(1 << 31), Some(31));
+        assert_eq!(HistogramStats::bucket_index((1 << 31) + 1), None);
+        assert_eq!(HistogramStats::bucket_index(u64::MAX), None);
+        assert_eq!(HistogramStats::bucket_le(0), 1);
+        assert_eq!(HistogramStats::bucket_le(5), 32);
+    }
+
+    #[test]
+    fn histogram_records_and_aggregates() {
+        let mut hist = HistogramStats::new();
+        for value in [0, 1, 2, 3, 100, 5_000_000_000] {
+            hist.record(value);
+        }
+        assert_eq!(hist.count, 6);
+        assert_eq!(hist.sum, 5_000_000_106);
+        assert_eq!(hist.min, 0);
+        assert_eq!(hist.max, 5_000_000_000);
+        assert_eq!(hist.buckets[0], 2); // 0 and 1
+        assert_eq!(hist.buckets[1], 1); // 2
+        assert_eq!(hist.buckets[2], 1); // 3
+        assert_eq!(hist.buckets[7], 1); // 100 <= 128
+        assert_eq!(hist.overflow, 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds_clamped_to_max() {
+        let mut hist = HistogramStats::new();
+        for _ in 0..99 {
+            hist.record(3); // bucket le=4
+        }
+        hist.record(1000); // bucket le=1024
+        assert_eq!(hist.quantile(0.50), 4);
+        assert_eq!(hist.quantile(0.99), 4);
+        assert_eq!(hist.quantile(1.0), 1000); // le bound 1024 clamped to max
+                                              // a single-value histogram reports that value at every quantile
+        let mut single = HistogramStats::new();
+        single.record(3);
+        assert_eq!(single.quantile(0.5), 3);
+        assert_eq!(HistogramStats::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise_and_order_independent() {
+        let mut a = HistogramStats::new();
+        let mut b = HistogramStats::new();
+        for v in [1, 5, 9] {
+            a.record(v);
+        }
+        for v in [2, 6_000_000_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+        assert_eq!(ab.min, 1);
+        assert_eq!(ab.max, 6_000_000_000);
+        assert_eq!(ab.overflow, 1);
+        let mut empty = HistogramStats::new();
+        empty.merge(&ab);
+        assert_eq!(empty, ab);
+    }
+
+    #[test]
+    fn record_hist_reaches_the_report_in_sorted_order() {
+        let sink = TelemetrySink::recording();
+        sink.record_hist("serve.stage.queue_wait", 7);
+        sink.record_hist("serve.stage.execute", 900);
+        sink.record_hist("serve.stage.queue_wait", 2);
+        let report = sink.report().unwrap();
+        let names: Vec<&str> = report.sorted_histograms().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["serve.stage.execute", "serve.stage.queue_wait"]);
+        let wait = report.histogram("serve.stage.queue_wait").unwrap();
+        assert_eq!(wait.count, 2);
+        assert_eq!(wait.sum, 9);
+        assert!(report.histogram("missing").is_none());
+        // journal untouched: histogram samples aggregate in place
+        assert!(report.journal.is_empty());
+        let text = report.render();
+        assert!(text.contains("telemetry: histograms"));
+        assert!(text.contains("serve.stage.execute"));
+        // the no-op sink ignores histogram records
+        let noop = TelemetrySink::noop();
+        noop.record_hist("x", 1);
+        assert!(noop.report().is_none());
     }
 }

@@ -49,6 +49,13 @@ pub fn cmd_history(args: &[String]) -> Result<(), String> {
                 notes.push(format!("{counter}={value}"));
             }
         }
+        // schema-3 records minted by the serve daemon carry a request trace
+        if let Some(trace) = &run.request {
+            notes.push(format!(
+                "tenant={} wait={}t exec={}t",
+                trace.tenant, trace.queue_wait_ticks, trace.execute_ticks
+            ));
+        }
         let notes = if notes.is_empty() {
             String::new()
         } else {

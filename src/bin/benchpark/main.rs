@@ -18,9 +18,10 @@
 //! benchpark bench [--quick] [--out PATH]  # run the hot-path suite, emit BENCH json
 //! benchpark lint [paths...] [--deny warnings] [--solve] [--format json]  # static analysis
 //! benchpark explain <spec> [--system NAME]   # dry-solve one spec, with justification
-//! benchpark serve --root DIR --replay FILE [--jobs N]  # multi-tenant drain
+//! benchpark serve --root DIR --replay FILE [--jobs N] [--slo FILE]  # multi-tenant drain
 //! benchpark submit --root DIR <tenant> <bench>/<variant> <system>  # spool a request
 //! benchpark drain --root DIR [--jobs N]   # drain the spool
+//! benchpark status <root> [--format json] [--check]  # service status + SLO verdicts
 //! ```
 //!
 //! One module per subcommand family; this file is the dispatch table and the
@@ -31,6 +32,7 @@ mod explain_cmd;
 mod ledger_cmds;
 mod lint_cmd;
 mod serve_cmd;
+mod status_cmd;
 mod trace_cmd;
 mod workspace_cmds;
 
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
         Some("serve") => serve_cmd::cmd_serve(&args[1..]),
         Some("submit") => serve_cmd::cmd_submit(&args[1..]),
         Some("drain") => serve_cmd::cmd_drain(&args[1..]),
+        Some("status") => status_cmd::cmd_status(&args[1..]),
         _ => {
             eprintln!("{}", USAGE);
             return ExitCode::from(2);
@@ -99,10 +102,12 @@ const USAGE: &str = "usage:
   benchpark explain <spec> [--system NAME] [--format text|json]
   benchpark serve --root DIR [--replay FILE] [--jobs N] [--max-queued N]
                   [--max-inflight N] [--global-queued N] [--quantum N]
-                  [--report PATH]
+                  [--report PATH] [--slo FILE] [--status-out PATH]
   benchpark submit --root DIR <tenant> <benchmark>/<variant> <system>
                    [faults] [template=PATH]
-  benchpark drain --root DIR [--jobs N] [--report PATH]
+  benchpark drain --root DIR [--jobs N] [--report PATH] [--slo FILE]
+                  [--status-out PATH]
+  benchpark status <root|status.json> [--format text|json] [--check]
 
 options:
   --faults   (trace) strike the run with a seeded transient-fault plan
@@ -162,4 +167,12 @@ options:
                     (default 4)
   --quantum N       (serve, drain) deficit round-robin quantum (default 2)
   --report PATH     (serve, drain) also write the throughput report as JSON
-                    to PATH";
+                    to PATH
+  --slo FILE        (serve, drain) evaluate declarative SLO targets (one
+                    `<metric> <=|>= <threshold>` per line, e.g.
+                    `p99_queue_wait <= 2048 ticks`) over fast/slow burn
+                    horizons; verdicts land in the status snapshot
+  --status-out PATH (serve, drain) atomically write the live status
+                    snapshot (JSON) to PATH after every drain round; the
+                    final snapshot always lands at DIR/status.json
+  --check           (status) exit non-zero when any SLO verdict is FAIL";

@@ -5,7 +5,7 @@
 //! appends, `drain`/`serve` consume). See `docs/SERVICE.md` for the
 //! queue/fairness/quota semantics and a replay walkthrough.
 
-use benchpark::serve::{ExperimentRequest, ServeConfig, ServeDaemon};
+use benchpark::serve::{ExperimentRequest, ServeConfig, ServeDaemon, SloSpec};
 use std::path::{Path, PathBuf};
 
 struct ServeArgs {
@@ -22,10 +22,23 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     let mut jobs = 1usize;
     let mut queue = benchpark::serve::QueueConfig::default();
     let mut report_path: Option<PathBuf> = None;
+    let mut slo: Option<SloSpec> = None;
+    let mut status_out: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--slo" => {
+                let file = iter.next().ok_or("--slo needs a file")?;
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read SLO file `{file}`: {e}"))?;
+                // malformed targets are a CLI error, not a daemon one
+                slo = Some(SloSpec::parse(&text)?);
+            }
+            "--status-out" => {
+                let path = iter.next().ok_or("--status-out needs a path")?;
+                status_out = Some(PathBuf::from(path));
+            }
             "--root" => {
                 let dir = iter.next().ok_or("--root needs a directory")?;
                 root = Some(PathBuf::from(dir));
@@ -78,6 +91,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     let mut config = ServeConfig::new(&root);
     config.queue = queue;
     config.jobs = jobs;
+    config.slo = slo;
+    config.status_out = status_out;
     Ok(ServeArgs {
         root,
         replay,

@@ -1,0 +1,81 @@
+//! `benchpark status` — render a serve daemon's status snapshot.
+//!
+//! Reads the `status.json` a daemon wrote (atomically, so it is safe to
+//! read while the daemon is mid-drain via `--status-out`) and renders the
+//! per-tenant table with stage latencies, rolling windows, and SLO
+//! verdicts. `--format json` re-emits the raw snapshot; `--check` turns a
+//! failing SLO into a non-zero exit for CI gates.
+
+use benchpark::serve::StatusSnapshot;
+use std::path::{Path, PathBuf};
+
+/// `benchpark status <root|status.json> [--format text|json] [--check]`.
+pub fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut target: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut check = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                if value != "text" && value != "json" {
+                    return Err(format!("--format expects text or json, got `{value}`"));
+                }
+                format = value.clone();
+            }
+            "--check" => check = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected status argument `{other}`"));
+            }
+            other => {
+                if target.is_some() {
+                    return Err(format!("unexpected status argument `{other}`"));
+                }
+                target = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let target = target
+        .ok_or("usage: benchpark status <root|status.json> [--format text|json] [--check]")?;
+    // a service root holds status.json; a file path is the snapshot itself
+    let path = if target.is_dir() {
+        target.join("status.json")
+    } else {
+        target
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read status snapshot `{}`: {e} (did the daemon run with this root?)",
+            path.display()
+        )
+    })?;
+    let snapshot = StatusSnapshot::parse(&text)
+        .map_err(|e| format!("malformed status snapshot `{}`: {e}", path.display()))?;
+    if format == "json" {
+        print!("{text}");
+        if !text.ends_with('\n') {
+            println!();
+        }
+    } else {
+        print!("{}", snapshot.render());
+    }
+    if check && snapshot.has_failing_slo() {
+        return Err(failing_summary(&snapshot, &path));
+    }
+    Ok(())
+}
+
+fn failing_summary(snapshot: &StatusSnapshot, path: &Path) -> String {
+    let failing: Vec<&str> = snapshot
+        .slo
+        .iter()
+        .filter(|s| s.verdict == "FAIL")
+        .map(|s| s.target.as_str())
+        .collect();
+    format!(
+        "SLO check failed ({}): {}",
+        path.display(),
+        failing.join("; ")
+    )
+}

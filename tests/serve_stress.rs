@@ -183,15 +183,24 @@ fn stress_1000_requests_matches_serial_driver_byte_for_byte() {
 }
 
 /// The same replay at `--jobs 1` and `--jobs 8` leaves byte-identical
-/// `foms/` and `ledger/` trees: batch composition is a pure function of
-/// queue state and commits are serialized in pick order, so parallelism
-/// only changes wall-clock.
+/// `foms/` and `ledger/` trees — and, since every service-observability
+/// quantity lives on the queue's virtual clock, byte-identical
+/// `status.json` (stage latencies, windows, SLO verdicts) and
+/// `metrics.prom` (including the latency histograms): batch composition is
+/// a pure function of queue state and commits are serialized in pick
+/// order, so parallelism only changes wall-clock.
 #[test]
 fn jobs_1_and_jobs_8_trees_are_byte_identical() {
     let base = temp_base("jobs");
     let lines = stress_lines(200);
     let replay = base.join("replay.txt");
     std::fs::write(&replay, lines.join("\n") + "\n").unwrap();
+    let slo = base.join("slo.txt");
+    std::fs::write(
+        &slo,
+        "p99_queue_wait <= 2048 ticks\nreject_rate <= 0.01\nhit_rate >= 0.5\n",
+    )
+    .unwrap();
 
     let mut trees = Vec::new();
     for jobs in ["1", "8"] {
@@ -210,6 +219,10 @@ fn jobs_1_and_jobs_8_trees_are_byte_identical() {
                 replay.to_str().unwrap(),
                 "--jobs",
                 jobs,
+                "--slo",
+                slo.to_str().unwrap(),
+                "--status-out",
+                "live-status.json",
             ])
             .output()
             .expect("benchpark binary runs");
@@ -220,13 +233,135 @@ fn jobs_1_and_jobs_8_trees_are_byte_identical() {
             String::from_utf8_lossy(&output.stderr)
         );
         let root = cwd.join("root");
+        assert!(
+            cwd.join("live-status.json").exists(),
+            "--status-out writes the live snapshot"
+        );
         trees.push((
             tree_bytes(&root.join("foms")),
             tree_bytes(&root.join("ledger")),
+            std::fs::read(root.join("status.json")).expect("status.json written"),
+            std::fs::read(root.join("metrics.prom")).expect("metrics.prom written"),
         ));
     }
     assert_eq!(trees[0].0, trees[1].0, "foms/ trees differ across --jobs");
     assert_eq!(trees[0].1, trees[1].1, "ledger/ trees differ across --jobs");
+    assert_eq!(trees[0].2, trees[1].2, "status.json differs across --jobs");
+    assert_eq!(trees[0].3, trees[1].3, "metrics.prom differs across --jobs");
+
+    // the snapshot carries the observability surface end to end
+    let status = String::from_utf8(trees[0].2.clone()).unwrap();
+    assert!(status.contains("\"queue_wait\""), "{status}");
+    assert!(status.contains("\"verdict\":\"PASS\""), "{status}");
+    let prom = String::from_utf8(trees[0].3.clone()).unwrap();
+    assert!(
+        prom.contains("benchpark_serve_stage_execute_bucket"),
+        "{prom}"
+    );
+    assert!(prom.contains("le=\"+Inf\""), "{prom}");
+
+    // `benchpark status` renders the table and the SLO verdicts
+    let (ok, stdout, stderr) =
+        benchpark(&["status", base.join("j1").join("root").to_str().unwrap()]);
+    assert!(ok, "status renders\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("stage latencies (virtual ticks):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("PASS p99_queue_wait <= 2048"), "{stdout}");
+    for tenant in TENANTS {
+        assert!(
+            stdout.contains(tenant),
+            "tenant {tenant} row missing:\n{stdout}"
+        );
+    }
+    // --format json re-emits the snapshot verbatim
+    let (ok, json_out, _) = benchpark(&[
+        "status",
+        base.join("j1").join("root").to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(ok);
+    assert_eq!(json_out.trim_end().as_bytes(), &trees[0].2[..]);
+}
+
+/// A seeded fault plan inflates virtual execute latency deterministically;
+/// an SLO tight enough to pass the clean run fails the faulted one, and
+/// `benchpark status --check` turns that into a non-zero exit.
+#[test]
+fn seeded_faults_breach_the_execute_slo_and_fail_check() {
+    let base = temp_base("slo");
+    let slo = base.join("slo.txt");
+    // clean saxpy/cts1 executes in ~338 virtual ticks; the seeded
+    // node-failure plan stretches it past 600 — 512 splits the two
+    std::fs::write(&slo, "p95_execute <= 512 ticks\n").unwrap();
+
+    let mut verdicts = Vec::new();
+    for (tag, faults) in [("clean", ""), ("faulted", " faults")] {
+        let replay = base.join(format!("replay-{tag}.txt"));
+        let lines: Vec<String> = TENANTS
+            .iter()
+            .map(|t| format!("{t} saxpy/openmp cts1{faults}"))
+            .collect();
+        std::fs::write(&replay, lines.join("\n") + "\n").unwrap();
+        let root = base.join(format!("root-{tag}"));
+        let (ok, stdout, stderr) = benchpark(&[
+            "serve",
+            "--root",
+            root.to_str().unwrap(),
+            "--replay",
+            replay.to_str().unwrap(),
+            "--slo",
+            slo.to_str().unwrap(),
+        ]);
+        assert!(ok, "serve ({tag}) succeeds\n{stdout}\n{stderr}");
+        let (check_ok, stdout, stderr) = benchpark(&["status", root.to_str().unwrap(), "--check"]);
+        verdicts.push((check_ok, stdout, stderr));
+    }
+
+    let (clean_ok, clean_out, _) = &verdicts[0];
+    assert!(clean_ok, "clean run passes --check:\n{clean_out}");
+    assert!(clean_out.contains("PASS p95_execute <= 512"), "{clean_out}");
+
+    let (faulted_ok, faulted_out, faulted_err) = &verdicts[1];
+    assert!(!faulted_ok, "faulted run must fail --check:\n{faulted_out}");
+    assert!(
+        faulted_out.contains("FAIL p95_execute <= 512"),
+        "{faulted_out}"
+    );
+    assert!(faulted_err.contains("SLO check failed"), "{faulted_err}");
+
+    // without --check the exit stays zero even on a breach (status is a
+    // viewer; the gate is opt-in)
+    let (ok, _, _) = benchpark(&["status", base.join("root-faulted").to_str().unwrap()]);
+    assert!(ok, "plain status never gates");
+}
+
+/// Schema-3 ledger shards carry the request trace; `history` over the
+/// shard root replays them cleanly.
+#[test]
+fn serve_ledger_records_carry_request_traces() {
+    let base = temp_base("trace");
+    let replay = base.join("replay.txt");
+    std::fs::write(&replay, "alice saxpy/openmp cts1\nbob saxpy/openmp cts1\n").unwrap();
+    let root = base.join("root");
+    let (ok, _, stderr) = benchpark(&[
+        "serve",
+        "--root",
+        root.to_str().unwrap(),
+        "--replay",
+        replay.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let shard = root.join("ledger").join("alice").join("cts1.jsonl");
+    let line = std::fs::read_to_string(&shard).unwrap();
+    assert!(line.starts_with("{\"schema\":3,"), "{line}");
+    assert!(line.contains("\"request\":{\"tenant\":\"alice\""), "{line}");
+    assert!(line.contains("\"queue_wait_ticks\":"), "{line}");
+    let (ok, history, _) = benchpark(&["history", root.to_str().unwrap()]);
+    assert!(ok, "history replays schema-3 shards");
+    assert!(!history.contains("skipped"), "{history}");
 }
 
 /// Saturating one tenant's queue yields typed `tenant-queue-full`
